@@ -1,0 +1,35 @@
+//! Criterion bench for the abstraction-heuristic ablation (§6: different
+//! heuristics change speed, never output).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpo_bench::{order_k_on, AlgorithmKind, HeuristicKind, MeasureKind, RunConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation-heuristics");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let cfg = RunConfig::new(
+        "ablation-heuristics",
+        MeasureKind::Coverage,
+        AlgorithmKind::IDrips,
+        8,
+    );
+    let inst = cfg.instance();
+    for h in [
+        HeuristicKind::ByTuples,
+        HeuristicKind::ByExtent,
+        HeuristicKind::ByAlpha,
+        HeuristicKind::Random,
+    ] {
+        let id = BenchmarkId::new("idrips/coverage/k10", h.label());
+        g.bench_with_input(id, &inst, |b, inst| {
+            b.iter(|| order_k_on(inst, MeasureKind::Coverage, AlgorithmKind::IDrips, h, 10))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for the `fig6-coverage` experiment (see DESIGN.md §4).
+//! The regen-experiments binary covers the full parameter sweep; this
+//! bench tracks a bounded subset for regression detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpo_bench::{order_k_on, AlgorithmKind, HeuristicKind, MeasureKind, RunConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6-coverage");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for &m in &[4usize, 8, 12] {
+        for measure in [MeasureKind::Coverage] {
+            for alg in [AlgorithmKind::Streamer, AlgorithmKind::IDrips, AlgorithmKind::Pi] {
+                for k in [1usize, 10] {
+                    let cfg = RunConfig::new("fig6-coverage", measure, alg, m);
+                    let inst = cfg.instance();
+                    if order_k_on(&inst, measure, alg, HeuristicKind::ByTuples, 1).is_none() {
+                        continue; // algorithm inapplicable to this measure
+                    }
+                    let id = BenchmarkId::new(
+                        format!("{}/{}/k{}", measure.label(), alg.label(), k),
+                        m,
+                    );
+                    g.bench_with_input(id, &inst, |b, inst| {
+                        b.iter(|| {
+                            order_k_on(inst, measure, alg, HeuristicKind::ByTuples, k)
+                        })
+                    });
+                }
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

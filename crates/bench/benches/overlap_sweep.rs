@@ -1,0 +1,30 @@
+//! Criterion bench for the overlap-rate sensitivity sweep (§6: Streamer's
+//! recycling degrades as overlap — hence plan dependence — rises).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpo_bench::{order_k_on, AlgorithmKind, HeuristicKind, MeasureKind, RunConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlap-sweep");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for &overlap in &[0.1f64, 0.3, 0.6] {
+        for alg in [AlgorithmKind::Streamer, AlgorithmKind::Pi] {
+            let mut cfg = RunConfig::new("overlap-sweep", MeasureKind::Coverage, alg, 8);
+            cfg.overlap = overlap;
+            let inst = cfg.instance();
+            let id = BenchmarkId::new(format!("{}/k10", alg.label()), format!("rho{overlap}"));
+            g.bench_with_input(id, &inst, |b, inst| {
+                b.iter(|| {
+                    order_k_on(inst, MeasureKind::Coverage, alg, HeuristicKind::ByTuples, 10)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the query-length sweep (§6: the trends of Figure 6
+//! persist from length 1 to 7, with growing gaps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpo_bench::{order_k_on, AlgorithmKind, HeuristicKind, MeasureKind, RunConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qlen-sweep");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for qlen in [1usize, 3, 5, 7] {
+        for alg in [AlgorithmKind::Streamer, AlgorithmKind::IDrips, AlgorithmKind::Pi] {
+            let mut cfg = RunConfig::new("qlen-sweep", MeasureKind::FailureNoCache, alg, 4);
+            cfg.query_len = qlen;
+            let inst = cfg.instance();
+            let id = BenchmarkId::new(format!("{}/k10", alg.label()), qlen);
+            g.bench_with_input(id, &inst, |b, inst| {
+                b.iter(|| {
+                    order_k_on(
+                        inst,
+                        MeasureKind::FailureNoCache,
+                        alg,
+                        HeuristicKind::ByTuples,
+                        10,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates the paper's evaluation.
+//!
+//! ```text
+//! regen-experiments                 # run everything
+//! regen-experiments list            # list experiment ids
+//! regen-experiments fig6-coverage   # run one experiment
+//! regen-experiments --out DIR ...   # also write CSVs to DIR
+//! ```
+//!
+//! Build with `--release`; each configuration runs single-threaded (the
+//! paper's setting) but configurations run in parallel.
+
+use qpo_bench::{all_experiments, format_table, run_experiment, to_csv};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        args.remove(pos);
+        if pos < args.len() {
+            out_dir = Some(PathBuf::from(args.remove(pos)));
+        } else {
+            eprintln!("--out requires a directory argument");
+            std::process::exit(2);
+        }
+    }
+
+    let experiments = all_experiments();
+    if args.first().map(String::as_str) == Some("answers-curve") {
+        // The §1 motivation claim: answers vs plans, ordered vs arbitrary.
+        println!("answers-curve — cumulative answers, coverage-ordered vs arbitrary");
+        println!("(query length 2, bucket size 5, overlap 0.3, seed 7)\n");
+        let curve = qpo_bench::answers_curve(2, 5, 7);
+        print!("{}", qpo_bench::format_curve(&curve));
+        return;
+    }
+    if args.first().map(String::as_str) == Some("list") {
+        for e in &experiments {
+            println!("{:<22} {} [{}]", e.id, e.title, e.paper_ref);
+        }
+        return;
+    }
+
+    let selected: Vec<_> = if args.is_empty() {
+        experiments.iter().collect()
+    } else {
+        let picked: Vec<_> = experiments
+            .iter()
+            .filter(|e| args.iter().any(|a| a == e.id))
+            .collect();
+        if picked.is_empty() {
+            eprintln!("no experiment matches {args:?}; try `regen-experiments list`");
+            std::process::exit(2);
+        }
+        picked
+    };
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("output directory is creatable");
+    }
+
+    for exp in selected {
+        println!("────────────────────────────────────────────────────────────");
+        println!("{} — {}", exp.id, exp.title);
+        println!("paper: {}", exp.paper_ref);
+        println!("expected: {}", exp.expectation);
+        let start = std::time::Instant::now();
+        let rows = run_experiment(exp, threads);
+        println!(
+            "({} configs, {:.1}s wall)\n",
+            exp.configs.len(),
+            start.elapsed().as_secs_f64()
+        );
+        print!("{}", format_table(&rows));
+        println!();
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.csv", exp.id));
+            std::fs::write(&path, to_csv(&rows)).expect("CSV is writable");
+            println!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Catalogs: LAV source descriptions paired with their statistics.
+
+use crate::schema::{MediatedSchema, SchemaError};
+use crate::stats::SourceStats;
+use qpo_datalog::{SourceDescription, ConjunctiveQuery};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A registered source: its LAV description plus its statistics.
+#[derive(Debug, Clone)]
+pub struct SourceEntry {
+    /// LAV view definition.
+    pub description: SourceDescription,
+    /// Statistics used by the utility measures.
+    pub stats: SourceStats,
+}
+
+/// A catalog: the mediated schema together with every known source.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// The mediated schema.
+    pub schema: MediatedSchema,
+    sources: BTreeMap<Arc<str>, SourceEntry>,
+}
+
+/// Catalog registration failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A source with the same name is already registered.
+    DuplicateSource(Arc<str>),
+    /// The view body does not conform to the mediated schema.
+    InvalidView(SchemaError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateSource(s) => write!(f, "source `{s}` already registered"),
+            CatalogError::InvalidView(e) => write!(f, "invalid view body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl Catalog {
+    /// Creates a catalog over a schema, with no sources.
+    pub fn new(schema: MediatedSchema) -> Self {
+        Catalog {
+            schema,
+            sources: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a source. The stats' `name` is set to the source name if
+    /// not already set.
+    pub fn add_source(
+        &mut self,
+        description: SourceDescription,
+        stats: SourceStats,
+    ) -> Result<(), CatalogError> {
+        self.schema
+            .validate_body(&description.definition)
+            .map_err(CatalogError::InvalidView)?;
+        let name = description.name().clone();
+        if self.sources.contains_key(&name) {
+            return Err(CatalogError::DuplicateSource(name));
+        }
+        let stats = if stats.name.is_none() {
+            stats.with_name(name.as_ref())
+        } else {
+            stats
+        };
+        self.sources.insert(name, SourceEntry { description, stats });
+        Ok(())
+    }
+
+    /// Looks up a source by name.
+    pub fn source(&self, name: &str) -> Option<&SourceEntry> {
+        self.sources.get(name)
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True iff no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Iterates over sources in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &SourceEntry> {
+        self.sources.values()
+    }
+
+    /// All source descriptions, in name order.
+    pub fn descriptions(&self) -> Vec<SourceDescription> {
+        self.iter().map(|e| e.description.clone()).collect()
+    }
+
+    /// The `name → description` map expected by plan expansion.
+    pub fn view_map(&self) -> BTreeMap<Arc<str>, SourceDescription> {
+        self.sources
+            .iter()
+            .map(|(k, v)| (k.clone(), v.description.clone()))
+            .collect()
+    }
+
+    /// Validates a user query against the schema.
+    pub fn validate_query(&self, query: &ConjunctiveQuery) -> Result<(), SchemaError> {
+        self.schema.validate_body(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaRelation;
+    use qpo_datalog::parse_query;
+
+    fn schema() -> MediatedSchema {
+        MediatedSchema::with_relations([
+            SchemaRelation::new("play_in", 2),
+            SchemaRelation::new("review_of", 2),
+        ])
+    }
+
+    fn desc(text: &str) -> SourceDescription {
+        SourceDescription::new(parse_query(text).unwrap())
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new(schema());
+        assert!(c.is_empty());
+        c.add_source(
+            desc("v1(A, M) :- play_in(A, M)"),
+            SourceStats::new().with_tuples(10.0),
+        )
+        .unwrap();
+        assert_eq!(c.len(), 1);
+        let e = c.source("v1").unwrap();
+        assert_eq!(e.stats.tuples, 10.0);
+        assert_eq!(e.stats.name.as_deref(), Some("v1"), "name backfilled");
+        assert!(c.source("v2").is_none());
+        assert_eq!(c.descriptions().len(), 1);
+        assert_eq!(c.view_map().len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut c = Catalog::new(schema());
+        let d = desc("v1(A, M) :- play_in(A, M)");
+        c.add_source(d.clone(), SourceStats::new()).unwrap();
+        assert_eq!(
+            c.add_source(d, SourceStats::new()).unwrap_err(),
+            CatalogError::DuplicateSource(Arc::from("v1"))
+        );
+    }
+
+    #[test]
+    fn rejects_views_off_schema() {
+        let mut c = Catalog::new(schema());
+        let err = c
+            .add_source(desc("v1(D, M) :- directs(D, M)"), SourceStats::new())
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidView(_)));
+        assert!(err.to_string().contains("directs"));
+    }
+
+    #[test]
+    fn validates_queries() {
+        let c = Catalog::new(schema());
+        assert!(c
+            .validate_query(&parse_query("q(M) :- play_in(ford, M)").unwrap())
+            .is_ok());
+        assert!(c
+            .validate_query(&parse_query("q(M) :- directs(D, M)").unwrap())
+            .is_err());
+    }
+}

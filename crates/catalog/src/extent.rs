@@ -1,0 +1,185 @@
+//! Coverage extents: the geometric source-overlap model.
+//!
+//! The paper depicts sources as overlapping circles (Figure 3) and its
+//! coverage measure comes from a technical-report appendix we cannot access.
+//! Our substitution (documented in DESIGN.md): each source for subgoal `i`
+//! covers a half-open integer range — an *extent* — of that subgoal's
+//! universe `[0, U_i)`. A plan covers the product box of its extents, and
+//! plan coverage is box volume minus what executed plans already covered.
+//! The model keeps everything the experiments rely on: controlled pairwise
+//! overlap, context-dependent utility, diminishing returns, and an
+//! `∃`-disjoint-axis independence test.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open integer range `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Extent {
+    /// Inclusive start.
+    pub start: u64,
+    /// Length; `0` means the empty extent.
+    pub len: u64,
+}
+
+impl Extent {
+    /// The empty extent at origin.
+    pub const EMPTY: Extent = Extent { start: 0, len: 0 };
+
+    /// Creates `[start, start + len)`.
+    pub fn new(start: u64, len: u64) -> Self {
+        Extent { start, len }
+    }
+
+    /// Exclusive end.
+    pub fn end(self) -> u64 {
+        self.start + self.len
+    }
+
+    /// True iff the extent covers no points.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff `point ∈ [start, end)`.
+    pub fn contains(self, point: u64) -> bool {
+        self.start <= point && point < self.end()
+    }
+
+    /// True iff the two extents share at least one point.
+    pub fn overlaps(self, other: Extent) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// The intersection (possibly empty).
+    pub fn intersect(self, other: Extent) -> Extent {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        if start < end {
+            Extent::new(start, end - start)
+        } else {
+            Extent::EMPTY
+        }
+    }
+
+    /// The smallest extent containing both (their convex hull). The hull of
+    /// anything with the empty extent is the non-empty side.
+    pub fn hull(self, other: Extent) -> Extent {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        let start = self.start.min(other.start);
+        let end = self.end().max(other.end());
+        Extent::new(start, end - start)
+    }
+
+    /// Subtracts `other`, yielding the (up to two) remaining pieces.
+    pub fn subtract(self, other: Extent) -> [Extent; 2] {
+        let inter = self.intersect(other);
+        if inter.is_empty() {
+            return [self, Extent::EMPTY];
+        }
+        let left = if inter.start > self.start {
+            Extent::new(self.start, inter.start - self.start)
+        } else {
+            Extent::EMPTY
+        };
+        let right = if inter.end() < self.end() {
+            Extent::new(inter.end(), self.end() - inter.end())
+        } else {
+            Extent::EMPTY
+        };
+        [left, right]
+    }
+
+    /// True iff `other ⊆ self`.
+    pub fn contains_extent(self, other: Extent) -> bool {
+        other.is_empty() || (self.start <= other.start && other.end() <= self.end())
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(start: u64, len: u64) -> Extent {
+        Extent::new(start, len)
+    }
+
+    #[test]
+    fn basics() {
+        let x = e(2, 5);
+        assert_eq!(x.end(), 7);
+        assert!(!x.is_empty());
+        assert!(Extent::EMPTY.is_empty());
+        assert!(x.contains(2) && x.contains(6));
+        assert!(!x.contains(7) && !x.contains(1));
+        assert_eq!(x.to_string(), "[2, 7)");
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(e(0, 5).intersect(e(3, 5)), e(3, 2));
+        assert_eq!(e(0, 5).intersect(e(5, 5)), Extent::EMPTY, "touching is empty");
+        assert_eq!(e(0, 10).intersect(e(2, 3)), e(2, 3), "nested");
+        assert!(e(0, 5).overlaps(e(4, 1)));
+        assert!(!e(0, 5).overlaps(e(5, 1)));
+        assert!(!e(0, 0).overlaps(e(0, 10)), "empty overlaps nothing");
+    }
+
+    #[test]
+    fn hull() {
+        assert_eq!(e(0, 2).hull(e(5, 2)), e(0, 7));
+        assert_eq!(e(0, 2).hull(Extent::EMPTY), e(0, 2));
+        assert_eq!(Extent::EMPTY.hull(e(3, 1)), e(3, 1));
+    }
+
+    #[test]
+    fn subtract_middle_splits() {
+        let [l, r] = e(0, 10).subtract(e(3, 4));
+        assert_eq!(l, e(0, 3));
+        assert_eq!(r, e(7, 3));
+    }
+
+    #[test]
+    fn subtract_edges_and_disjoint() {
+        let [l, r] = e(0, 10).subtract(e(0, 4));
+        assert_eq!((l, r), (Extent::EMPTY, e(4, 6)));
+        let [l, r] = e(0, 10).subtract(e(6, 10));
+        assert_eq!((l, r), (e(0, 6), Extent::EMPTY));
+        let [l, r] = e(0, 10).subtract(e(20, 5));
+        assert_eq!((l, r), (e(0, 10), Extent::EMPTY));
+        let [l, r] = e(2, 4).subtract(e(0, 10));
+        assert_eq!((l, r), (Extent::EMPTY, Extent::EMPTY), "fully covered");
+    }
+
+    #[test]
+    fn subtract_conserves_length() {
+        for (a, b) in [
+            (e(0, 10), e(3, 4)),
+            (e(5, 10), e(0, 7)),
+            (e(0, 4), e(4, 4)),
+            (e(3, 3), e(0, 20)),
+        ] {
+            let [l, r] = a.subtract(b);
+            assert_eq!(l.len + r.len + a.intersect(b).len, a.len);
+        }
+    }
+
+    #[test]
+    fn containment() {
+        assert!(e(0, 10).contains_extent(e(2, 3)));
+        assert!(e(0, 10).contains_extent(e(0, 10)));
+        assert!(!e(0, 10).contains_extent(e(5, 6)));
+        assert!(e(0, 10).contains_extent(Extent::EMPTY));
+    }
+}

@@ -1,0 +1,188 @@
+//! Mediated schemas: the virtual relations users query against.
+
+use qpo_datalog::ConjunctiveQuery;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One mediated-schema relation (name and arity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaRelation {
+    /// Relation name, e.g. `play_in`.
+    pub name: Arc<str>,
+    /// Number of attributes.
+    pub arity: usize,
+}
+
+impl SchemaRelation {
+    /// Creates a relation.
+    pub fn new(name: impl AsRef<str>, arity: usize) -> Self {
+        SchemaRelation {
+            name: Arc::from(name.as_ref()),
+            arity,
+        }
+    }
+}
+
+impl fmt::Display for SchemaRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// A mediated schema: the set of relations available to user queries and to
+/// the bodies of LAV source descriptions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MediatedSchema {
+    relations: BTreeMap<Arc<str>, SchemaRelation>,
+}
+
+/// Why a query failed schema validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The query mentions a relation the schema does not define.
+    UnknownRelation(Arc<str>),
+    /// The query uses a relation at the wrong arity.
+    ArityMismatch {
+        /// The relation.
+        relation: Arc<str>,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity used in the query.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownRelation(r) => write!(f, "unknown schema relation `{r}`"),
+            SchemaError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but is used with arity {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl MediatedSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        MediatedSchema::default()
+    }
+
+    /// Creates a schema from a list of relations.
+    pub fn with_relations(relations: impl IntoIterator<Item = SchemaRelation>) -> Self {
+        let mut s = MediatedSchema::new();
+        for r in relations {
+            s.add(r);
+        }
+        s
+    }
+
+    /// Adds (or replaces) a relation.
+    pub fn add(&mut self, relation: SchemaRelation) {
+        self.relations.insert(relation.name.clone(), relation);
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&SchemaRelation> {
+        self.relations.get(name)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over relations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &SchemaRelation> {
+        self.relations.values()
+    }
+
+    /// Checks that every *body* atom of `query` uses a schema relation at
+    /// the declared arity. (Heads are query-defined, not schema relations.)
+    pub fn validate_body(&self, query: &ConjunctiveQuery) -> Result<(), SchemaError> {
+        for atom in &query.body {
+            match self.relations.get(&atom.predicate) {
+                None => return Err(SchemaError::UnknownRelation(atom.predicate.clone())),
+                Some(rel) if rel.arity != atom.arity() => {
+                    return Err(SchemaError::ArityMismatch {
+                        relation: atom.predicate.clone(),
+                        expected: rel.arity,
+                        found: atom.arity(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_datalog::parse_query;
+
+    fn movie_schema() -> MediatedSchema {
+        MediatedSchema::with_relations([
+            SchemaRelation::new("play_in", 2),
+            SchemaRelation::new("review_of", 2),
+            SchemaRelation::new("american", 1),
+        ])
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let s = movie_schema();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.relation("play_in").unwrap().arity, 2);
+        assert!(s.relation("nope").is_none());
+        assert_eq!(s.iter().count(), 3);
+        assert_eq!(s.relation("american").unwrap().to_string(), "american/1");
+    }
+
+    #[test]
+    fn replace_keeps_latest() {
+        let mut s = movie_schema();
+        s.add(SchemaRelation::new("play_in", 3));
+        assert_eq!(s.relation("play_in").unwrap().arity, 3);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn validates_good_query() {
+        let q = parse_query("q(M, R) :- play_in(ford, M), review_of(R, M)").unwrap();
+        assert!(movie_schema().validate_body(&q).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_relation() {
+        let q = parse_query("q(M) :- directs(D, M)").unwrap();
+        assert_eq!(
+            movie_schema().validate_body(&q).unwrap_err(),
+            SchemaError::UnknownRelation(Arc::from("directs"))
+        );
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let q = parse_query("q(M) :- american(M, Y)").unwrap();
+        let err = movie_schema().validate_body(&q).unwrap_err();
+        assert!(matches!(err, SchemaError::ArityMismatch { expected: 1, found: 2, .. }));
+        assert!(err.to_string().contains("arity 1"));
+    }
+}

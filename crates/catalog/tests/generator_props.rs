@@ -1,0 +1,73 @@
+//! Property tests for the synthetic instance generator.
+
+use proptest::prelude::*;
+use qpo_catalog::generator::empirical_overlap_rate;
+use qpo_catalog::{GeneratorConfig, StatRange};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_instances_are_valid(seed in any::<u64>(), n in 1usize..6, m in 1usize..12,
+                                     overlap in 0.0f64..=1.0) {
+        let inst = GeneratorConfig::new(n, m)
+            .with_seed(seed)
+            .with_overlap_rate(overlap)
+            .build();
+        prop_assert!(inst.validate().is_ok());
+        prop_assert_eq!(inst.query_len(), n);
+        prop_assert!(inst.buckets.iter().all(|b| b.len() == m));
+        prop_assert_eq!(inst.plan_count(), m.pow(n as u32));
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let a = GeneratorConfig::new(3, 5).with_seed(seed).build();
+        let b = GeneratorConfig::new(3, 5).with_seed(seed).build();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_respect_ranges(seed in any::<u64>()) {
+        let cfg = GeneratorConfig::new(2, 10)
+            .with_seed(seed)
+            .with_transmission_cost(StatRange::new(0.5, 0.7))
+            .with_failure_prob(StatRange::new(0.1, 0.2));
+        let inst = cfg.build();
+        for bucket in &inst.buckets {
+            for s in bucket {
+                prop_assert!((0.5..=0.7).contains(&s.transmission_cost));
+                prop_assert!((0.1..=0.2).contains(&s.failure_prob));
+                prop_assert!(s.extent.end() <= cfg.universe);
+                prop_assert!(s.tuples >= 1.0, "tuples track extent length");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_rate_tracks_the_target(seed in 0u64..200, target in 0.15f64..0.6) {
+        // Statistical: average over three seeds to damp variance, and
+        // accept a generous tolerance — the generator documents the
+        // approximation.
+        let mut total = 0.0;
+        for delta in 0..3u64 {
+            let inst = GeneratorConfig::new(2, 30)
+                .with_seed(seed.wrapping_add(delta * 7919))
+                .with_overlap_rate(target)
+                .build();
+            total += empirical_overlap_rate(&inst);
+        }
+        let realized = total / 3.0;
+        prop_assert!((realized - target).abs() < 0.2,
+            "target {target}, realized {realized}");
+    }
+
+    #[test]
+    fn constant_ranges_are_constant(seed in any::<u64>(), v in 0.0f64..5.0) {
+        let cfg = GeneratorConfig::new(1, 6)
+            .with_seed(seed)
+            .with_transmission_cost(StatRange::constant(v));
+        let inst = cfg.build();
+        prop_assert!(inst.buckets[0].iter().all(|s| s.transmission_cost == v));
+    }
+}

@@ -1,0 +1,176 @@
+//! Algorithm-selection guidance — §6's summary, as an API.
+//!
+//! The paper closes with "guidance on which algorithms perform best under
+//! which conditions": Greedy whenever the measure is fully monotonic
+//! (it "clearly outperforms the other algorithms when applicable");
+//! Streamer when diminishing returns holds and plan dependence is modest
+//! (it recycles dominance relations); iDrips otherwise (it assumes
+//! nothing); PI only as a baseline or when plan evaluation is trivially
+//! cheap. [`advise`] evaluates those conditions for a concrete instance
+//! and measure.
+
+use crate::orderer::OrdererError;
+use qpo_catalog::ProblemInstance;
+use qpo_utility::UtilityMeasure;
+use std::fmt;
+
+/// Which algorithm §6's guidance points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommended {
+    /// The measure is fully monotonic: use Greedy.
+    Greedy,
+    /// Diminishing returns holds: use Streamer.
+    Streamer,
+    /// No structural property holds: use iDrips.
+    IDrips,
+}
+
+impl fmt::Display for Recommended {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Recommended::Greedy => write!(f, "greedy"),
+            Recommended::Streamer => write!(f, "streamer"),
+            Recommended::IDrips => write!(f, "idrips"),
+        }
+    }
+}
+
+/// Applicability of each algorithm to a (instance, measure) pair, plus the
+/// paper's recommendation.
+#[derive(Debug, Clone)]
+pub struct AlgorithmAdvice {
+    /// `Ok` iff Greedy applies (full monotonicity).
+    pub greedy: Result<(), OrdererError>,
+    /// `Ok` iff Streamer applies (utility-diminishing returns).
+    pub streamer: Result<(), OrdererError>,
+    /// `Ok` iff multi-space merging applies (context-free measure).
+    pub merged: Result<(), OrdererError>,
+    /// iDrips and the brute-force baselines always apply.
+    pub recommended: Recommended,
+    /// One-sentence rationale, in the paper's terms.
+    pub rationale: &'static str,
+}
+
+impl fmt::Display for AlgorithmAdvice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = |r: &Result<(), OrdererError>| if r.is_ok() { "yes" } else { "no" };
+        writeln!(f, "greedy applicable:   {}", mark(&self.greedy))?;
+        writeln!(f, "streamer applicable: {}", mark(&self.streamer))?;
+        writeln!(f, "multi-space merge:   {}", mark(&self.merged))?;
+        writeln!(f, "idrips applicable:   yes (always)")?;
+        write!(f, "recommended: {} — {}", self.recommended, self.rationale)
+    }
+}
+
+/// Evaluates §6's guidance for an instance and measure.
+pub fn advise<M: UtilityMeasure + ?Sized>(
+    inst: &ProblemInstance,
+    measure: &M,
+) -> AlgorithmAdvice {
+    let greedy = if measure.is_fully_monotonic(inst) {
+        Ok(())
+    } else {
+        Err(OrdererError::NotFullyMonotonic(measure.name()))
+    };
+    let streamer = if measure.diminishing_returns() {
+        Ok(())
+    } else {
+        Err(OrdererError::NoDiminishingReturns(measure.name()))
+    };
+    let merged = if measure.context_free() {
+        Ok(())
+    } else {
+        Err(OrdererError::ContextDependent(measure.name()))
+    };
+    let (recommended, rationale) = if greedy.is_ok() {
+        (
+            Recommended::Greedy,
+            "fully monotonic: Greedy finds each best plan by per-bucket argmax, \
+             linear in the number of sources (§4)",
+        )
+    } else if streamer.is_ok() {
+        (
+            Recommended::Streamer,
+            "diminishing returns holds: Streamer abstracts once and recycles \
+             dominance relations across emissions (§5.2)",
+        )
+    } else {
+        (
+            Recommended::IDrips,
+            "no structural property holds (e.g. caching): iDrips re-runs Drips \
+             per emission and assumes nothing (§5.2)",
+        )
+    };
+    AlgorithmAdvice {
+        greedy,
+        streamer,
+        merged,
+        recommended,
+        rationale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_catalog::GeneratorConfig;
+    use qpo_utility::{Combined, Coverage, FailureCost, FusionCost, LinearCost, MonetaryCost};
+
+    fn inst() -> ProblemInstance {
+        GeneratorConfig::new(3, 4).build()
+    }
+
+    #[test]
+    fn monotone_measures_get_greedy() {
+        let advice = advise(&inst(), &LinearCost);
+        assert_eq!(advice.recommended, Recommended::Greedy);
+        assert!(advice.greedy.is_ok() && advice.streamer.is_ok() && advice.merged.is_ok());
+        assert!(advice.to_string().contains("recommended: greedy"));
+    }
+
+    #[test]
+    fn coverage_gets_streamer() {
+        let advice = advise(&inst(), &Coverage);
+        assert_eq!(advice.recommended, Recommended::Streamer);
+        assert!(advice.greedy.is_err());
+        assert!(advice.merged.is_err(), "coverage is context-dependent");
+        assert!(advice.to_string().contains("dominance relations"));
+    }
+
+    #[test]
+    fn caching_measures_get_idrips() {
+        for advice in [
+            advise(&inst(), &FailureCost::with_caching()),
+            advise(&inst(), &MonetaryCost::with_caching()),
+        ] {
+            assert_eq!(advice.recommended, Recommended::IDrips);
+            assert!(advice.streamer.is_err());
+            assert!(advice.to_string().contains("idrips"));
+        }
+    }
+
+    #[test]
+    fn fusion_cost_depends_on_alpha_uniformity() {
+        // Generated instances have varying α → not fully monotonic, but
+        // context-free → Streamer + merging both apply.
+        let advice = advise(&inst(), &FusionCost);
+        assert_eq!(advice.recommended, Recommended::Streamer);
+        assert!(advice.merged.is_ok());
+    }
+
+    #[test]
+    fn combined_measures_compose_advice() {
+        let m = Combined::new(Coverage, 10.0, FailureCost::without_caching(), 1.0);
+        let advice = advise(&inst(), &m);
+        assert_eq!(advice.recommended, Recommended::Streamer);
+        let m = Combined::new(Coverage, 10.0, FailureCost::with_caching(), 1.0);
+        assert_eq!(advise(&inst(), &m).recommended, Recommended::IDrips);
+    }
+
+    #[test]
+    fn recommended_display() {
+        assert_eq!(Recommended::Greedy.to_string(), "greedy");
+        assert_eq!(Recommended::Streamer.to_string(), "streamer");
+        assert_eq!(Recommended::IDrips.to_string(), "idrips");
+    }
+}

@@ -1,0 +1,393 @@
+//! Drips (§5.1): abstraction-based search for the single best plan.
+//!
+//! Drips abstracts each bucket into a hierarchy of abstract sources, starts
+//! from the top abstract plan, and repeatedly (a) evaluates utility
+//! intervals, (b) eliminates dominated plans (`l_p ≥ h_q` ⇒ drop `q`), and
+//! (c) refines the most promising abstract plan by replacing one abstract
+//! source with its children — until the surviving nondominated plan is
+//! concrete. Most concrete plans are pruned away inside eliminated abstract
+//! plans without ever being evaluated.
+//!
+//! This module is the engine; [`crate::idrips`] iterates it over shrinking
+//! plan spaces, and a standalone [`Drips`] orderer exposes the classic
+//! find-the-first-plan behaviour.
+
+use crate::abstraction::{AbstractionHeuristic, AbstractionTree, NodeId};
+use crate::orderer::{OrderedPlan, PlanOrderer};
+use crate::planspace::{full_space, PlanSpace};
+use qpo_catalog::ProblemInstance;
+use qpo_interval::Interval;
+use qpo_utility::{as_concrete, ExecutionContext, UtilityMeasure};
+
+/// A plan in the refinement pool: one abstraction-tree node per bucket.
+#[derive(Debug, Clone)]
+struct PoolPlan {
+    /// Which plan space this plan belongs to (iDrips runs Drips over
+    /// several spaces at once).
+    space: usize,
+    /// Node per bucket, into that space's trees.
+    nodes: Vec<NodeId>,
+    /// Candidate indices per bucket (materialized from the nodes).
+    cands: Vec<Vec<usize>>,
+    utility: Option<Interval>,
+    alive: bool,
+    /// Creation order; used for deterministic tie-breaking.
+    id: usize,
+}
+
+impl PoolPlan {
+    fn is_concrete(&self) -> bool {
+        self.cands.iter().all(|c| c.len() == 1)
+    }
+}
+
+/// Outcome of a Drips search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DripsOutcome {
+    /// Index of the plan space the winner came from.
+    pub space: usize,
+    /// The winning concrete plan.
+    pub plan: Vec<usize>,
+    /// Its exact utility under the search context.
+    pub utility: f64,
+    /// Number of refinement steps performed.
+    pub refinements: usize,
+}
+
+/// Decides whether `p` eliminates `q` (Drips' dominance with a
+/// deterministic tie-break so two equal point-utilities eliminate exactly
+/// one of the pair).
+fn eliminates(p: (Interval, usize), q: (Interval, usize)) -> bool {
+    let (up, idp) = p;
+    let (uq, idq) = q;
+    up.lo() > uq.hi() || (up.lo() == uq.hi() && idp < idq)
+}
+
+/// Runs Drips over the given plan spaces under `ctx`, returning the best
+/// concrete plan across all of them (or `None` when there are no spaces).
+///
+/// The abstraction hierarchies are built fresh per call ("reabstracts the
+/// sources in the new plan spaces", §5.2) with the supplied heuristic.
+pub fn find_best<M, H>(
+    inst: &ProblemInstance,
+    measure: &M,
+    ctx: &ExecutionContext,
+    spaces: &[PlanSpace],
+    heuristic: &H,
+) -> Option<DripsOutcome>
+where
+    M: UtilityMeasure + ?Sized,
+    H: AbstractionHeuristic + ?Sized,
+{
+    if spaces.is_empty() {
+        return None;
+    }
+    // One tree per (space, bucket).
+    let trees: Vec<Vec<AbstractionTree>> = spaces
+        .iter()
+        .map(|space| {
+            space
+                .iter()
+                .enumerate()
+                .map(|(b, cands)| AbstractionTree::build(inst, b, cands, heuristic))
+                .collect()
+        })
+        .collect();
+
+    let mut pool: Vec<PoolPlan> = Vec::new();
+    for (s, space_trees) in trees.iter().enumerate() {
+        let nodes: Vec<NodeId> = space_trees.iter().map(AbstractionTree::root).collect();
+        let cands: Vec<Vec<usize>> = space_trees
+            .iter()
+            .zip(&nodes)
+            .map(|(t, &n)| t.indices(n).to_vec())
+            .collect();
+        pool.push(PoolPlan {
+            space: s,
+            nodes,
+            cands,
+            utility: None,
+            alive: true,
+            id: pool.len(),
+        });
+    }
+
+    let mut next_id = pool.len();
+    let mut refinements = 0usize;
+    loop {
+        // Drop eliminated plans from previous rounds.
+        pool.retain(|p| p.alive);
+        // (a) evaluate pending utilities.
+        for p in pool.iter_mut().filter(|p| p.alive && p.utility.is_none()) {
+            p.utility = Some(measure.utility_interval(inst, &p.cands, ctx));
+        }
+        // (b) eliminate dominated plans.
+        let snapshot: Vec<(usize, Interval, usize)> = pool
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| (p.id, p.utility.expect("evaluated above"), p.space))
+            .collect();
+        for p in pool.iter_mut().filter(|p| p.alive) {
+            let uq = p.utility.expect("evaluated above");
+            if snapshot
+                .iter()
+                .any(|&(id, up, _)| id != p.id && eliminates((up, id), (uq, p.id)))
+            {
+                p.alive = false;
+            }
+        }
+        // (c) refine the most promising abstract survivor, if any.
+        let target = pool
+            .iter()
+            .filter(|p| p.alive && !p.is_concrete())
+            .max_by(|a, b| {
+                let ua = a.utility.expect("evaluated above").hi();
+                let ub = b.utility.expect("evaluated above").hi();
+                ua.partial_cmp(&ub)
+                    .expect("utilities are comparable")
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|p| p.id);
+        let Some(target_id) = target else {
+            // All survivors concrete: return the best one.
+            let winner = pool
+                .iter()
+                .filter(|p| p.alive)
+                .max_by(|a, b| {
+                    let ua = a.utility.expect("evaluated above").lo();
+                    let ub = b.utility.expect("evaluated above").lo();
+                    ua.partial_cmp(&ub)
+                        .expect("utilities are comparable")
+                        .then(b.id.cmp(&a.id))
+                })
+                .expect("pool never empties: elimination spares a maximum");
+            let plan = as_concrete(&winner.cands).expect("winner is concrete");
+            return Some(DripsOutcome {
+                space: winner.space,
+                plan,
+                utility: winner.utility.expect("evaluated above").lo(),
+                refinements,
+            });
+        };
+        refinements += 1;
+        let pos = pool
+            .iter()
+            .position(|p| p.id == target_id)
+            .expect("target is in the pool");
+        let parent = pool.swap_remove(pos);
+        // Split the widest abstract bucket: replace its node by the
+        // children, one child plan each.
+        let bucket = (0..parent.nodes.len())
+            .filter(|&b| parent.cands[b].len() > 1)
+            .max_by_key(|&b| parent.cands[b].len())
+            .expect("abstract plan has a non-singleton bucket");
+        let tree = &trees[parent.space][bucket];
+        for &child in tree.children(parent.nodes[bucket]) {
+            let mut nodes = parent.nodes.clone();
+            nodes[bucket] = child;
+            let mut cands = parent.cands.clone();
+            cands[bucket] = tree.indices(child).to_vec();
+            pool.push(PoolPlan {
+                space: parent.space,
+                nodes,
+                cands,
+                utility: None,
+                alive: true,
+                id: next_id,
+            });
+            next_id += 1;
+        }
+    }
+}
+
+/// Standalone Drips orderer: yields exactly one plan — the best — then
+/// stops. Provided for parity with the paper ("Drips is not suited for data
+/// integration because it finds only the first plan", §5.2).
+pub struct Drips<'a, M: UtilityMeasure + ?Sized, H> {
+    inst: &'a ProblemInstance,
+    measure: &'a M,
+    heuristic: H,
+    done: bool,
+    /// Refinements performed by the (single) search, for reporting.
+    pub refinements: usize,
+}
+
+impl<'a, M: UtilityMeasure + ?Sized, H: AbstractionHeuristic> Drips<'a, M, H> {
+    /// Creates the one-shot orderer.
+    pub fn new(inst: &'a ProblemInstance, measure: &'a M, heuristic: H) -> Self {
+        Drips {
+            inst,
+            measure,
+            heuristic,
+            done: false,
+            refinements: 0,
+        }
+    }
+}
+
+impl<M: UtilityMeasure + ?Sized, H: AbstractionHeuristic> PlanOrderer for Drips<'_, M, H> {
+    fn algorithm_name(&self) -> &'static str {
+        "drips"
+    }
+
+    fn next_plan(&mut self) -> Option<OrderedPlan> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let ctx = ExecutionContext::new();
+        let outcome = find_best(
+            self.inst,
+            self.measure,
+            &ctx,
+            &[full_space(self.inst)],
+            &self.heuristic,
+        )?;
+        self.refinements = outcome.refinements;
+        Some(OrderedPlan {
+            plan: outcome.plan,
+            utility: outcome.utility,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::ByExpectedTuples;
+    use qpo_catalog::{Extent, GeneratorConfig, SourceStats};
+    use qpo_utility::{CountingMeasure, Coverage, FailureCost, MonetaryCost};
+
+    fn coverage_inst() -> ProblemInstance {
+        let src = |s, l| SourceStats::new().with_extent(Extent::new(s, l));
+        ProblemInstance::new(
+            1.0,
+            vec![20, 20],
+            vec![
+                vec![src(0, 8), src(5, 8), src(14, 6)],
+                vec![src(0, 10), src(9, 10), src(3, 4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn brute_best<M: UtilityMeasure>(inst: &ProblemInstance, m: &M) -> f64 {
+        let ctx = ExecutionContext::new();
+        inst.all_plans()
+            .iter()
+            .map(|p| m.utility(inst, p, &ctx))
+            .fold(f64::MIN, f64::max)
+    }
+
+    #[test]
+    fn finds_the_best_plan_for_coverage() {
+        let inst = coverage_inst();
+        let ctx = ExecutionContext::new();
+        let out = find_best(&inst, &Coverage, &ctx, &[full_space(&inst)], &ByExpectedTuples)
+            .unwrap();
+        assert_eq!(out.utility, brute_best(&inst, &Coverage));
+        assert_eq!(out.space, 0);
+    }
+
+    #[test]
+    fn finds_best_across_measures_on_generated_instances() {
+        for seed in 0..5u64 {
+            let inst = GeneratorConfig::new(3, 6).with_seed(seed).build();
+            let ctx = ExecutionContext::new();
+            let spaces = [full_space(&inst)];
+            let cov = find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples).unwrap();
+            assert!(
+                (cov.utility - brute_best(&inst, &Coverage)).abs() < 1e-12,
+                "seed {seed} coverage"
+            );
+            let fc = FailureCost::without_caching();
+            let out = find_best(&inst, &fc, &ctx, &spaces, &ByExpectedTuples).unwrap();
+            assert!(
+                (out.utility - brute_best(&inst, &fc)).abs() < 1e-9,
+                "seed {seed} failure-cost"
+            );
+            let mc = MonetaryCost::without_caching();
+            let out = find_best(&inst, &mc, &ctx, &spaces, &ByExpectedTuples).unwrap();
+            assert!(
+                (out.utility - brute_best(&inst, &mc)).abs() < 1e-9,
+                "seed {seed} monetary"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_the_execution_context() {
+        let inst = coverage_inst();
+        let mut ctx = ExecutionContext::new();
+        let first = find_best(&inst, &Coverage, &ctx, &[full_space(&inst)], &ByExpectedTuples)
+            .unwrap();
+        ctx.record(&first.plan);
+        let second =
+            find_best(&inst, &Coverage, &ctx, &[full_space(&inst)], &ByExpectedTuples).unwrap();
+        // The best plan given the first was executed: brute-force check.
+        let best2 = inst
+            .all_plans()
+            .iter()
+            .map(|p| Coverage.utility(&inst, p, &ctx))
+            .fold(f64::MIN, f64::max);
+        assert!((second.utility - best2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluates_fewer_plans_than_brute_force_when_abstraction_helps() {
+        // Many similar sources: abstraction prunes aggressively.
+        let inst = GeneratorConfig::new(3, 12).with_seed(11).build();
+        let m = CountingMeasure::new(FailureCost::without_caching());
+        let ctx = ExecutionContext::new();
+        find_best(&inst, &m, &ctx, &[full_space(&inst)], &ByExpectedTuples).unwrap();
+        let total = m.total_evals();
+        assert!(
+            (total as usize) < inst.plan_count(),
+            "Drips evaluated {total} ≥ {} plans",
+            inst.plan_count()
+        );
+    }
+
+    #[test]
+    fn searches_multiple_spaces() {
+        let inst = coverage_inst();
+        let ctx = ExecutionContext::new();
+        // Two disjoint sub-spaces; best plan must carry the right space id.
+        let spaces = [
+            vec![vec![0], vec![0, 1, 2]],
+            vec![vec![1, 2], vec![0, 1, 2]],
+        ];
+        let out = find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples).unwrap();
+        let all_best = brute_best(&inst, &Coverage);
+        assert!((out.utility - all_best).abs() < 1e-12);
+        assert!(out.space < 2);
+        // Empty space list → None.
+        assert!(find_best(&inst, &Coverage, &ctx, &[], &ByExpectedTuples).is_none());
+    }
+
+    #[test]
+    fn standalone_drips_orders_once() {
+        let inst = coverage_inst();
+        let mut d = Drips::new(&inst, &Coverage, ByExpectedTuples);
+        assert_eq!(d.algorithm_name(), "drips");
+        let first = d.next_plan().unwrap();
+        assert_eq!(first.utility, brute_best(&inst, &Coverage));
+        assert!(d.next_plan().is_none(), "Drips yields only the first plan");
+    }
+
+    #[test]
+    fn tie_handling_never_eliminates_all() {
+        // All sources identical: every plan ties; Drips must still return one.
+        let src = || SourceStats::new().with_extent(Extent::new(0, 5));
+        let inst = ProblemInstance::new(
+            0.0,
+            vec![10, 10],
+            vec![vec![src(), src(), src(), src()], vec![src(), src()]],
+        )
+        .unwrap();
+        let ctx = ExecutionContext::new();
+        let out = find_best(&inst, &Coverage, &ctx, &[full_space(&inst)], &ByExpectedTuples)
+            .unwrap();
+        assert_eq!(out.utility, 0.25);
+    }
+}

@@ -1,0 +1,69 @@
+//! Plan-ordering algorithms for data integration.
+//!
+//! Rust implementation of the algorithms of **Doan & Halevy, "Efficiently
+//! Ordering Query Plans for Data Integration" (ICDE 2002)**: given buckets
+//! of candidate sources per query subgoal and a utility measure
+//! `u(p | executed, Q)`, emit concrete plans in exact decreasing-utility
+//! order, *incrementally* — the first plans arrive without enumerating the
+//! Cartesian product.
+//!
+//! | Algorithm | Section | Requires | Character |
+//! |-----------|---------|----------|-----------|
+//! | [`Greedy`] | §4 | full monotonicity | per-bucket argmax + space splitting; no plan enumeration |
+//! | [`Drips`]  | §5.1 | — | abstraction refinement; finds only the *first* plan |
+//! | [`IDrips`] | §5.2 | — | re-runs Drips per emission; works for every measure |
+//! | [`Streamer`] | §5.2 | diminishing returns | single abstraction + dominance-graph recycling |
+//! | [`Pi`] | §6 | — | independence-aware brute force (the paper's baseline) |
+//! | [`Naive`] | — | — | full recomputation brute force (sanity baseline) |
+//!
+//! All orderers implement [`PlanOrderer`] and produce *identical utility
+//! sequences* (Definition 2.1) whenever they are applicable;
+//! [`verify_ordering`] checks that property against brute force.
+//!
+//! ```
+//! use qpo_catalog::GeneratorConfig;
+//! use qpo_core::{ByExpectedTuples, PlanOrderer, Pi, Streamer, verify_ordering};
+//! use qpo_utility::Coverage;
+//!
+//! // A synthetic instance: 3 subgoals × 5 sources, overlap 0.3 (§6 setup).
+//! let inst = GeneratorConfig::new(3, 5).with_seed(7).build();
+//!
+//! // Streamer emits the 10 best plans without enumerating all 125.
+//! let mut streamer = Streamer::new(&inst, &Coverage, &ByExpectedTuples).unwrap();
+//! let plans = streamer.order_k(10);
+//! verify_ordering(&inst, &Coverage, &plans, 1e-12).unwrap();
+//!
+//! // The PI baseline agrees on every utility.
+//! let baseline = Pi::new(&inst, &Coverage).order_k(10);
+//! for (a, b) in plans.iter().zip(&baseline) {
+//!     assert!((a.utility - b.utility).abs() < 1e-12);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstraction;
+pub mod advice;
+pub mod drips;
+pub mod greedy;
+pub mod idrips;
+pub mod merged;
+pub mod orderer;
+pub mod pi;
+pub mod planspace;
+pub mod streamer;
+
+pub use abstraction::{
+    AbstractionHeuristic, AbstractionTree, ByExpectedTuples, ByExtentMidpoint,
+    ByTransmissionCost, NodeId, RandomKey,
+};
+pub use advice::{advise, AlgorithmAdvice, Recommended};
+pub use drips::{find_best, Drips, DripsOutcome};
+pub use greedy::Greedy;
+pub use idrips::IDrips;
+pub use merged::{merge_greedys, merge_streamers, MergedOrderer};
+pub use orderer::{verify_ordering, OrderedPlan, OrdererError, PlanOrderer};
+pub use pi::{Naive, Pi};
+pub use planspace::{full_space, remove_plan, space_contains, space_size, PlanSpace};
+pub use streamer::{Streamer, StreamerStats};

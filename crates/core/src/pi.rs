@@ -1,0 +1,226 @@
+//! PI — the paper's reference baseline (§6): brute force over the full
+//! plan space, made as strong as possible by exploiting plan independence.
+//!
+//! PI materializes every concrete plan once. Each round it recomputes only
+//! the utilities invalidated by the previously emitted plan (those of plans
+//! *not independent* of it), then emits the maximum. Its first round
+//! therefore evaluates the whole plan space — exactly the cost the
+//! abstraction algorithms avoid.
+
+use crate::orderer::{OrderedPlan, PlanOrderer};
+use qpo_catalog::ProblemInstance;
+use qpo_utility::{ExecutionContext, UtilityMeasure};
+
+/// The independence-aware brute-force orderer.
+pub struct Pi<'a, M: UtilityMeasure + ?Sized> {
+    inst: &'a ProblemInstance,
+    measure: &'a M,
+    ctx: ExecutionContext,
+    /// `(plan, cached utility)`; `None` = needs recomputation.
+    plans: Vec<(Vec<usize>, Option<f64>)>,
+}
+
+impl<'a, M: UtilityMeasure + ?Sized> Pi<'a, M> {
+    /// Creates the orderer; the plan space is materialized eagerly (that is
+    /// the point of the baseline).
+    pub fn new(inst: &'a ProblemInstance, measure: &'a M) -> Self {
+        Pi {
+            inst,
+            measure,
+            ctx: ExecutionContext::new(),
+            plans: inst.all_plans().into_iter().map(|p| (p, None)).collect(),
+        }
+    }
+
+    /// Plans still available.
+    pub fn remaining(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+impl<M: UtilityMeasure + ?Sized> PlanOrderer for Pi<'_, M> {
+    fn algorithm_name(&self) -> &'static str {
+        "pi"
+    }
+
+    fn next_plan(&mut self) -> Option<OrderedPlan> {
+        if self.plans.is_empty() {
+            return None;
+        }
+        for (plan, utility) in &mut self.plans {
+            if utility.is_none() {
+                *utility = Some(self.measure.utility(self.inst, plan, &self.ctx));
+            }
+        }
+        let best = self
+            .plans
+            .iter()
+            .enumerate()
+            .max_by(|(_, (pa, ua)), (_, (pb, ub))| {
+                let ua = ua.expect("computed above");
+                let ub = ub.expect("computed above");
+                ua.partial_cmp(&ub)
+                    .expect("utilities are comparable")
+                    .then_with(|| pb.cmp(pa)) // ties → smaller plan wins
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty plan list");
+        let (plan, utility) = self.plans.swap_remove(best);
+        let utility = utility.expect("computed above");
+        // Invalidate only plans that depend on the emitted one.
+        for (p, u) in &mut self.plans {
+            if !self.measure.independent(self.inst, p, &plan) {
+                *u = None;
+            }
+        }
+        self.ctx.record(&plan);
+        Some(OrderedPlan { plan, utility })
+    }
+}
+
+/// Naive brute force: recomputes *every* remaining utility each round.
+/// Strictly dominated by [`Pi`]; kept as a sanity baseline and for the
+/// ablation that isolates the value of independence information.
+pub struct Naive<'a, M: UtilityMeasure + ?Sized> {
+    inst: &'a ProblemInstance,
+    measure: &'a M,
+    ctx: ExecutionContext,
+    plans: Vec<Vec<usize>>,
+}
+
+impl<'a, M: UtilityMeasure + ?Sized> Naive<'a, M> {
+    /// Creates the orderer.
+    pub fn new(inst: &'a ProblemInstance, measure: &'a M) -> Self {
+        Naive {
+            inst,
+            measure,
+            ctx: ExecutionContext::new(),
+            plans: inst.all_plans(),
+        }
+    }
+}
+
+impl<M: UtilityMeasure + ?Sized> PlanOrderer for Naive<'_, M> {
+    fn algorithm_name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn next_plan(&mut self) -> Option<OrderedPlan> {
+        if self.plans.is_empty() {
+            return None;
+        }
+        let (best, utility) = self
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, self.measure.utility(self.inst, p, &self.ctx)))
+            .max_by(|(ia, ua), (ib, ub)| {
+                ua.partial_cmp(ub)
+                    .expect("utilities are comparable")
+                    .then_with(|| self.plans[*ib].cmp(&self.plans[*ia]))
+            })
+            .expect("non-empty plan list");
+        let plan = self.plans.swap_remove(best);
+        self.ctx.record(&plan);
+        Some(OrderedPlan { plan, utility })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orderer::verify_ordering;
+    use qpo_catalog::{Extent, SourceStats};
+    use qpo_utility::{CountingMeasure, Coverage, FailureCost, LinearCost};
+
+    fn coverage_inst() -> ProblemInstance {
+        let src = |s, l| SourceStats::new().with_extent(Extent::new(s, l));
+        ProblemInstance::new(
+            1.0,
+            vec![20, 20],
+            vec![
+                vec![src(0, 8), src(5, 8), src(14, 6)],
+                vec![src(0, 10), src(9, 10), src(3, 4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pi_orders_coverage_exactly() {
+        let inst = coverage_inst();
+        let mut pi = Pi::new(&inst, &Coverage);
+        assert_eq!(pi.remaining(), 9);
+        let ordering = pi.order_k(9);
+        assert_eq!(ordering.len(), 9);
+        verify_ordering(&inst, &Coverage, &ordering, 1e-12).unwrap();
+        assert_eq!(pi.next_plan(), None);
+        // Utilities are non-increasing? Not guaranteed in general for
+        // context-dependent measures, but holds under diminishing returns.
+        for w in ordering.windows(2) {
+            assert!(w[0].utility >= w[1].utility - 1e-12);
+        }
+    }
+
+    #[test]
+    fn naive_matches_pi_utility_sequence() {
+        let inst = coverage_inst();
+        let pi: Vec<f64> = Pi::new(&inst, &Coverage)
+            .order_k(9)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect();
+        let naive: Vec<f64> = Naive::new(&inst, &Coverage)
+            .order_k(9)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect();
+        assert_eq!(pi, naive);
+    }
+
+    #[test]
+    fn pi_recomputes_fewer_utilities_than_naive() {
+        let inst = coverage_inst();
+        let m_pi = CountingMeasure::new(Coverage);
+        Pi::new(&inst, &m_pi).order_k(9);
+        let m_naive = CountingMeasure::new(Coverage);
+        Naive::new(&inst, &m_naive).order_k(9);
+        assert!(
+            m_pi.concrete_evals() < m_naive.concrete_evals(),
+            "PI {} vs Naive {}",
+            m_pi.concrete_evals(),
+            m_naive.concrete_evals()
+        );
+    }
+
+    #[test]
+    fn pi_on_context_free_measure_evaluates_each_plan_once() {
+        let inst = coverage_inst();
+        let m = CountingMeasure::new(LinearCost);
+        Pi::new(&inst, &m).order_k(9);
+        assert_eq!(m.concrete_evals(), 9, "full independence → no recomputation");
+    }
+
+    #[test]
+    fn pi_handles_caching_cost_dependence() {
+        let inst = coverage_inst();
+        let m = FailureCost::with_caching();
+        let ordering = Pi::new(&inst, &m).order_k(9);
+        verify_ordering(&inst, &m, &ordering, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn naive_verifies_on_caching_cost() {
+        let inst = coverage_inst();
+        let m = FailureCost::with_caching();
+        let ordering = Naive::new(&inst, &m).order_k(9);
+        verify_ordering(&inst, &m, &ordering, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn names() {
+        let inst = coverage_inst();
+        assert_eq!(Pi::new(&inst, &Coverage).algorithm_name(), "pi");
+        assert_eq!(Naive::new(&inst, &Coverage).algorithm_name(), "naive");
+    }
+}

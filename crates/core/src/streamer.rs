@@ -1,0 +1,514 @@
+//! Streamer (§5.2, Figure 5): abstraction-based ordering with dominance
+//! recycling.
+//!
+//! Streamer abstracts sources **once**, then maintains a *dominance graph*
+//! whose nodes are (abstract and concrete) plans and whose edges `p → q`
+//! record that some member of `p` dominates everything in `q`. Each edge
+//! carries the set `E(p, q)` of plans removed since the edge was created;
+//! an edge survives the removal of plan `d` iff some member of `p` is
+//! independent of every plan in `E(p,q) ∪ {d}` — then that member's utility
+//! is unchanged while `q`'s can only have fallen (diminishing returns), so
+//! the dominance still holds. This recycling is what lets Streamer avoid
+//! re-deriving the dominance work iDrips redoes every round.
+//!
+//! Applicable only when the measure exhibits utility-diminishing returns.
+
+use crate::abstraction::{AbstractionHeuristic, AbstractionTree, NodeId};
+use crate::orderer::{OrderedPlan, OrdererError, PlanOrderer};
+use qpo_catalog::ProblemInstance;
+use qpo_interval::Interval;
+use qpo_utility::{as_concrete, ExecutionContext, UtilityMeasure};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Work counters exposed for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamerStats {
+    /// Refinements of abstract plans (Step 2.c).
+    pub refinements: usize,
+    /// Dominance links created (Step 2.b).
+    pub links_created: usize,
+    /// Link validity checks that passed, extending `E(p,q)` (Step 2.d).
+    pub links_recycled: usize,
+    /// Links removed because validity could not be certified.
+    pub links_invalidated: usize,
+    /// Utility (re)computations (Step 2.a).
+    pub utility_recomputations: usize,
+}
+
+#[derive(Debug, Clone)]
+struct SNode {
+    /// Abstraction-tree node per bucket.
+    nodes: Vec<NodeId>,
+    /// Candidate indices per bucket (materialized from `nodes`).
+    cands: Vec<Vec<usize>>,
+    /// `None` = nil in the paper's pseudocode (needs recomputation).
+    utility: Option<Interval>,
+}
+
+impl SNode {
+    fn is_concrete(&self) -> bool {
+        self.cands.iter().all(|c| c.len() == 1)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Link {
+    from: usize,
+    to: usize,
+    /// The paper's `E(p,q)`: plans removed since the link was created.
+    removed: Vec<Vec<usize>>,
+}
+
+/// The Streamer plan orderer.
+pub struct Streamer<'a, M: UtilityMeasure + ?Sized> {
+    inst: &'a ProblemInstance,
+    measure: &'a M,
+    trees: Vec<AbstractionTree>,
+    ctx: ExecutionContext,
+    nodes: BTreeMap<usize, SNode>,
+    links: Vec<Link>,
+    /// `(from, to)` index over `links`, for O(log L) duplicate checks.
+    link_set: BTreeSet<(usize, usize)>,
+    next_id: usize,
+    stats: StreamerStats,
+}
+
+impl<'a, M: UtilityMeasure + ?Sized> Streamer<'a, M> {
+    /// Creates the orderer; sources are abstracted once, here. Fails if the
+    /// measure lacks utility-diminishing returns.
+    pub fn new<H: AbstractionHeuristic + ?Sized>(
+        inst: &'a ProblemInstance,
+        measure: &'a M,
+        heuristic: &H,
+    ) -> Result<Self, OrdererError> {
+        if !measure.diminishing_returns() {
+            return Err(OrdererError::NoDiminishingReturns(measure.name()));
+        }
+        let trees: Vec<AbstractionTree> = inst
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(b, bucket)| {
+                let all: Vec<usize> = (0..bucket.len()).collect();
+                AbstractionTree::build(inst, b, &all, heuristic)
+            })
+            .collect();
+        let top_nodes: Vec<NodeId> = trees.iter().map(AbstractionTree::root).collect();
+        let top_cands: Vec<Vec<usize>> = trees
+            .iter()
+            .zip(&top_nodes)
+            .map(|(t, &n)| t.indices(n).to_vec())
+            .collect();
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            0,
+            SNode {
+                nodes: top_nodes,
+                cands: top_cands,
+                utility: None,
+            },
+        );
+        Ok(Streamer {
+            inst,
+            measure,
+            trees,
+            ctx: ExecutionContext::new(),
+            nodes,
+            links: Vec::new(),
+            link_set: BTreeSet::new(),
+            next_id: 1,
+            stats: StreamerStats::default(),
+        })
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> StreamerStats {
+        self.stats
+    }
+
+    /// Current dominance-graph size (nodes, links).
+    pub fn graph_size(&self) -> (usize, usize) {
+        (self.nodes.len(), self.links.len())
+    }
+
+    /// Renders the current dominance graph in Graphviz DOT format: one node
+    /// per plan (doubly-outlined when abstract, annotated with its utility
+    /// interval when known) and one edge per dominance link, labelled with
+    /// the size of its `E(p,q)` recycling set. Figure 4 of the paper, live.
+    pub fn dominance_graph_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph dominance {\n  rankdir=LR;\n");
+        for (id, node) in &self.nodes {
+            let cands: Vec<String> = node
+                .cands
+                .iter()
+                .map(|c| {
+                    let xs: Vec<String> = c.iter().map(usize::to_string).collect();
+                    format!("{{{}}}", xs.join(","))
+                })
+                .collect();
+            let utility = match node.utility {
+                Some(u) => format!("\\n{u}"),
+                None => "\\nnil".to_string(),
+            };
+            let shape = if node.is_concrete() { "box" } else { "ellipse" };
+            writeln!(
+                out,
+                "  n{id} [shape={shape}, label=\"{}{utility}\"];",
+                cands.join("×")
+            )
+            .expect("writing to a String cannot fail");
+        }
+        for link in &self.links {
+            writeln!(
+                out,
+                "  n{} -> n{} [label=\"|E|={}\"];",
+                link.from,
+                link.to,
+                link.removed.len()
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Ids with no incoming dominance link.
+    fn nondominated(&self) -> Vec<usize> {
+        let dominated: BTreeSet<usize> = self.links.iter().map(|l| l.to).collect();
+        self.nodes
+            .keys()
+            .copied()
+            .filter(|id| !dominated.contains(id))
+            .collect()
+    }
+
+    fn has_link(&self, from: usize, to: usize) -> bool {
+        self.link_set.contains(&(from, to))
+    }
+
+    fn remove_node_and_links(&mut self, id: usize) -> SNode {
+        self.link_set.retain(|&(f, t)| f != id && t != id);
+        self.links.retain(|l| l.from != id && l.to != id);
+        self.nodes.remove(&id).expect("node exists")
+    }
+
+    /// Step 2.c: replace an abstract plan by its children (splitting the
+    /// widest bucket).
+    fn refine(&mut self, id: usize) {
+        let parent = self.remove_node_and_links(id);
+        let bucket = (0..parent.cands.len())
+            .filter(|&b| parent.cands[b].len() > 1)
+            .max_by_key(|&b| parent.cands[b].len())
+            .expect("refined plan is abstract");
+        let tree = &self.trees[bucket];
+        for &child in tree.children(parent.nodes[bucket]) {
+            let mut nodes = parent.nodes.clone();
+            nodes[bucket] = child;
+            let mut cands = parent.cands.clone();
+            cands[bucket] = tree.indices(child).to_vec();
+            self.nodes.insert(
+                self.next_id,
+                SNode {
+                    nodes,
+                    cands,
+                    utility: None,
+                },
+            );
+            self.next_id += 1;
+        }
+        self.stats.refinements += 1;
+    }
+}
+
+impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
+    fn algorithm_name(&self) -> &'static str {
+        "streamer"
+    }
+
+    fn next_plan(&mut self) -> Option<OrderedPlan> {
+        loop {
+            if self.nodes.is_empty() {
+                return None;
+            }
+            // Step 2.a: recompute nil utilities of nondominated plans.
+            let nd = self.nondominated();
+            for &id in &nd {
+                let node = self.nodes.get_mut(&id).expect("nondominated node exists");
+                if node.utility.is_none() {
+                    node.utility =
+                        Some(self.measure.utility_interval(self.inst, &node.cands, &self.ctx));
+                    self.stats.utility_recomputations += 1;
+                }
+            }
+            // Step 2.b: create dominance links among nondominated pairs.
+            // One incoming link suffices to make a plan dominated, so skip
+            // targets that are already dominated (keeps tied clusters at
+            // O(t) links instead of O(t²); dropping redundant links is
+            // always sound).
+            let utilities: Vec<(usize, Interval)> = nd
+                .iter()
+                .map(|&id| (id, self.nodes[&id].utility.expect("computed in 2.a")))
+                .collect();
+            let mut dominated_now: BTreeSet<usize> =
+                self.links.iter().map(|l| l.to).collect();
+            for &(b, ub) in &utilities {
+                if dominated_now.contains(&b) {
+                    continue; // a dominated plan need not dominate others
+                }
+                for &(c, uc) in &utilities {
+                    if b == c || dominated_now.contains(&c) || !ub.dominates(uc) {
+                        continue;
+                    }
+                    // Mutual (tied) dominance: orient by id so exactly one
+                    // of each tied pair stays nondominated.
+                    if uc.dominates(ub) && b > c {
+                        continue;
+                    }
+                    if self.has_link(b, c) {
+                        continue;
+                    }
+                    self.links.push(Link {
+                        from: b,
+                        to: c,
+                        removed: Vec::new(),
+                    });
+                    self.link_set.insert((b, c));
+                    dominated_now.insert(c);
+                    self.stats.links_created += 1;
+                }
+            }
+            // Step 2.c: refine an abstract nondominated plan, if any (the
+            // one with the highest optimistic utility).
+            let nd = self.nondominated();
+            let to_refine = nd
+                .iter()
+                .copied()
+                .filter(|id| !self.nodes[id].is_concrete())
+                .max_by(|&a, &b| {
+                    let ua = self.nodes[&a].utility.expect("computed in 2.a").hi();
+                    let ub = self.nodes[&b].utility.expect("computed in 2.a").hi();
+                    ua.partial_cmp(&ub)
+                        .expect("utilities are comparable")
+                        .then(b.cmp(&a))
+                });
+            if let Some(id) = to_refine {
+                self.refine(id);
+                continue;
+            }
+            // Step 2.d: every nondominated plan is concrete (and, by 2.b,
+            // they all tie); output one.
+            let d_id = nd
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let ua = self.nodes[&a].utility.expect("computed in 2.a").lo();
+                    let ub = self.nodes[&b].utility.expect("computed in 2.a").lo();
+                    ua.partial_cmp(&ub)
+                        .expect("utilities are comparable")
+                        .then(b.cmp(&a))
+                })
+                .expect("graph is non-empty, so some plan is nondominated");
+            let d = self.remove_node_and_links(d_id);
+            let d_plan = as_concrete(&d.cands).expect("2.d plans are concrete");
+            let d_utility = d.utility.expect("computed in 2.a").lo();
+
+            // Recheck every surviving link: CheckValidity(q, E ∪ {d}).
+            //
+            // Fast path: if *every* member of the dominator is independent
+            // of d, then d cannot disturb any witness, so the link stays
+            // valid with E unchanged (adding d to E would be a no-op for
+            // all future checks too). Otherwise extend E and re-certify.
+            // E sets are capped: a link whose E would grow past the cap is
+            // dropped instead — always sound (the target merely becomes
+            // nondominated again) and it bounds per-removal work.
+            const MAX_RECYCLE_SET: usize = 64;
+            let mut kept = Vec::with_capacity(self.links.len());
+            for mut link in std::mem::take(&mut self.links) {
+                let q = &self.nodes[&link.from];
+                let valid = if self.measure.all_independent(self.inst, &q.cands, &d_plan) {
+                    true
+                } else if link.removed.len() >= MAX_RECYCLE_SET {
+                    false
+                } else {
+                    link.removed.push(d_plan.clone());
+                    self.measure
+                        .exists_independent(self.inst, &q.cands, &link.removed)
+                };
+                if valid {
+                    self.stats.links_recycled += 1;
+                    kept.push(link);
+                } else {
+                    self.stats.links_invalidated += 1;
+                    self.link_set.remove(&(link.from, link.to));
+                }
+            }
+            self.links = kept;
+            // Invalidate utilities of plans that may depend on d.
+            for node in self.nodes.values_mut() {
+                if !self.measure.all_independent(self.inst, &node.cands, &d_plan) {
+                    node.utility = None;
+                }
+            }
+            self.ctx.record(&d_plan);
+            return Some(OrderedPlan {
+                plan: d_plan,
+                utility: d_utility,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::{ByExpectedTuples, ByExtentMidpoint, RandomKey};
+    use crate::orderer::verify_ordering;
+    use crate::pi::Pi;
+    use qpo_catalog::GeneratorConfig;
+    use qpo_utility::{Coverage, FailureCost, FusionCost, MonetaryCost};
+
+    #[test]
+    fn rejects_measures_without_diminishing_returns() {
+        let inst = GeneratorConfig::new(2, 3).build();
+        let m = FailureCost::with_caching();
+        assert!(matches!(
+            Streamer::new(&inst, &m, &ByExpectedTuples).err().unwrap(),
+            OrdererError::NoDiminishingReturns("failure-cost+cache")
+        ));
+        let m = MonetaryCost::with_caching();
+        assert!(Streamer::new(&inst, &m, &ByExpectedTuples).is_err());
+    }
+
+    #[test]
+    fn exact_ordering_for_coverage() {
+        let inst = GeneratorConfig::new(2, 5).with_seed(3).build();
+        let mut alg = Streamer::new(&inst, &Coverage, &ByExpectedTuples).unwrap();
+        let ordering = alg.order_k(inst.plan_count());
+        assert_eq!(ordering.len(), inst.plan_count());
+        verify_ordering(&inst, &Coverage, &ordering, 1e-12).unwrap();
+        assert_eq!(alg.next_plan(), None, "plan space exhausted");
+    }
+
+    #[test]
+    fn exact_ordering_for_failure_cost_without_caching() {
+        let inst = GeneratorConfig::new(3, 4).with_seed(9).build();
+        let m = FailureCost::without_caching();
+        let mut alg = Streamer::new(&inst, &m, &ByExpectedTuples).unwrap();
+        let ordering = alg.order_k(12);
+        verify_ordering(&inst, &m, &ordering, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn exact_ordering_for_monetary_without_caching() {
+        let inst = GeneratorConfig::new(3, 4).with_seed(30).build();
+        let m = MonetaryCost::without_caching();
+        let ordering = Streamer::new(&inst, &m, &ByExpectedTuples)
+            .unwrap()
+            .order_k(10);
+        verify_ordering(&inst, &m, &ordering, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn exact_ordering_for_fusion_cost() {
+        let inst = GeneratorConfig::new(3, 5).with_seed(14).build();
+        let ordering = Streamer::new(&inst, &FusionCost, &ByExpectedTuples)
+            .unwrap()
+            .order_k(15);
+        verify_ordering(&inst, &FusionCost, &ordering, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn matches_pi_utility_sequence() {
+        let inst = GeneratorConfig::new(2, 6).with_seed(77).build();
+        let s: Vec<f64> = Streamer::new(&inst, &Coverage, &ByExpectedTuples)
+            .unwrap()
+            .order_k(20)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect();
+        let p: Vec<f64> = Pi::new(&inst, &Coverage)
+            .order_k(20)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect();
+        assert_eq!(s.len(), p.len());
+        for (a, b) in s.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-12, "streamer {s:?} vs pi {p:?}");
+        }
+    }
+
+    #[test]
+    fn heuristic_affects_speed_not_output() {
+        let inst = GeneratorConfig::new(2, 6).with_seed(41).build();
+        let base: Vec<f64> = Streamer::new(&inst, &Coverage, &ByExpectedTuples)
+            .unwrap()
+            .order_k(10)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect();
+        for ordering in [
+            Streamer::new(&inst, &Coverage, &ByExtentMidpoint).unwrap().order_k(10),
+            Streamer::new(&inst, &Coverage, &RandomKey { seed: 5 }).unwrap().order_k(10),
+        ] {
+            verify_ordering(&inst, &Coverage, &ordering, 1e-12).unwrap();
+            for (a, o) in base.iter().zip(&ordering) {
+                assert!((a - o.utility).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn recycles_dominance_relations() {
+        // Moderate overlap → plenty of independence → links survive.
+        let inst = GeneratorConfig::new(3, 8)
+            .with_overlap_rate(0.2)
+            .with_seed(6)
+            .build();
+        let mut alg = Streamer::new(&inst, &Coverage, &ByExpectedTuples).unwrap();
+        alg.order_k(10);
+        let st = alg.stats();
+        assert!(st.links_created > 0);
+        assert!(st.links_recycled > 0, "no links recycled: {st:?}");
+        assert!(st.refinements > 0);
+        let (n, l) = alg.graph_size();
+        assert!(n > 0 && l > 0);
+    }
+
+    #[test]
+    fn full_independence_recycles_everything() {
+        // Without caching, cost utilities are context-free: every link
+        // survives every removal.
+        let inst = GeneratorConfig::new(2, 6).with_seed(19).build();
+        let m = FailureCost::without_caching();
+        let mut alg = Streamer::new(&inst, &m, &ByExpectedTuples).unwrap();
+        alg.order_k(36);
+        assert_eq!(alg.stats().links_invalidated, 0);
+    }
+
+    #[test]
+    fn dot_dump_reflects_the_graph() {
+        let inst = GeneratorConfig::new(2, 4).with_seed(12).build();
+        let mut alg = Streamer::new(&inst, &Coverage, &ByExpectedTuples).unwrap();
+        let initial = alg.dominance_graph_dot();
+        assert!(initial.starts_with("digraph dominance {"));
+        assert!(initial.contains("{0,1,2,3}"), "top plan present: {initial}");
+        assert!(initial.contains("nil"), "utility not yet computed");
+        alg.order_k(3);
+        let later = alg.dominance_graph_dot();
+        let (nodes, links) = alg.graph_size();
+        assert_eq!(later.matches("shape=").count(), nodes);
+        assert_eq!(later.matches(" -> ").count(), links);
+        assert!(later.ends_with("}\n"));
+    }
+
+    #[test]
+    fn single_source_buckets() {
+        let inst = GeneratorConfig::new(3, 1).build();
+        let mut alg = Streamer::new(&inst, &Coverage, &ByExpectedTuples).unwrap();
+        let ordering = alg.order_k(5);
+        assert_eq!(ordering.len(), 1, "only one plan exists");
+        assert_eq!(ordering[0].plan, vec![0, 0, 0]);
+        assert_eq!(alg.algorithm_name(), "streamer");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the structural machinery of the ordering algorithms:
+//! plan-space splitting (§4) and abstraction hierarchies (§5.1).
+
+use proptest::prelude::*;
+use qpo_catalog::{Extent, GeneratorConfig, ProblemInstance, SourceStats};
+use qpo_core::{
+    full_space, remove_plan, space_contains, space_size, AbstractionTree, ByExpectedTuples,
+    Greedy, Pi, PlanOrderer, RandomKey,
+};
+use qpo_utility::LinearCost;
+use std::collections::BTreeSet;
+
+fn arb_space() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(1usize..5, 1..4).prop_map(|sizes| {
+        sizes
+            .into_iter()
+            .map(|n| (0..n).collect::<Vec<usize>>())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §4's removal yields a partition: sub-spaces are disjoint, contain
+    /// every plan but the removed one, and never the removed one.
+    #[test]
+    fn removal_partitions(space in arb_space(), pick in any::<u64>()) {
+        // Pick a member plan deterministically.
+        let plan: Vec<usize> = space
+            .iter()
+            .enumerate()
+            .map(|(b, c)| c[(pick as usize + b) % c.len()])
+            .collect();
+        prop_assert!(space_contains(&space, &plan));
+        let subs = remove_plan(&space, &plan);
+        prop_assert!(subs.len() <= space.len(), "at most n sub-spaces");
+        let total: usize = subs.iter().map(space_size).sum();
+        prop_assert_eq!(total, space_size(&space) - 1);
+        // Enumerate and check disjointness + exclusion.
+        let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for sub in &subs {
+            let mut worklist = vec![Vec::new()];
+            for cands in sub {
+                let mut next = Vec::new();
+                for w in &worklist {
+                    for &c in cands {
+                        let mut v = w.clone();
+                        v.push(c);
+                        next.push(v);
+                    }
+                }
+                worklist = next;
+            }
+            for p in worklist {
+                prop_assert!(p != plan, "removed plan reappeared");
+                prop_assert!(seen.insert(p), "duplicate plan across sub-spaces");
+            }
+        }
+    }
+
+    /// Abstraction trees partition the candidate set at every level,
+    /// whatever the heuristic.
+    #[test]
+    fn abstraction_tree_partitions(n in 1usize..12, seed in any::<u64>()) {
+        let bucket: Vec<SourceStats> = (0..n)
+            .map(|i| {
+                SourceStats::new()
+                    .with_extent(Extent::new(i as u64, 1))
+                    .with_tuples((seed % (i as u64 + 7)) as f64)
+            })
+            .collect();
+        let inst = ProblemInstance::new(0.0, vec![100], vec![bucket]).unwrap();
+        let candidates: Vec<usize> = (0..n).collect();
+        for tree in [
+            AbstractionTree::build(&inst, 0, &candidates, &ByExpectedTuples),
+            AbstractionTree::build(&inst, 0, &candidates, &RandomKey { seed }),
+        ] {
+            prop_assert_eq!(tree.indices(tree.root()), &candidates[..]);
+            let mut stack = vec![tree.root()];
+            while let Some(id) = stack.pop() {
+                if tree.is_leaf(id) {
+                    prop_assert_eq!(tree.width(id), 1);
+                    continue;
+                }
+                let mut union: Vec<usize> = tree
+                    .children(id)
+                    .iter()
+                    .flat_map(|&c| tree.indices(c).iter().copied())
+                    .collect();
+                union.sort_unstable();
+                prop_assert_eq!(&union[..], tree.indices(id));
+                stack.extend_from_slice(tree.children(id));
+            }
+        }
+    }
+
+    /// Greedy equals the brute-force baseline on every monotone instance.
+    #[test]
+    fn greedy_matches_pi(seed in 0u64..5000, m in 2usize..6, n in 1usize..4) {
+        let inst = GeneratorConfig::new(n, m).with_seed(seed).build();
+        let k = 12;
+        let g: Vec<f64> = Greedy::new(&inst, &LinearCost)
+            .expect("linear cost is monotone")
+            .order_k(k)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect();
+        let p: Vec<f64> = Pi::new(&inst, &LinearCost)
+            .order_k(k)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect();
+        prop_assert_eq!(g.len(), p.len());
+        for (a, b) in g.iter().zip(&p) {
+            prop_assert!((a - b).abs() < 1e-9, "greedy {g:?} vs pi {p:?}");
+        }
+    }
+
+    /// Greedy's frontier never exceeds the k·n bound used in the paper's
+    /// complexity argument.
+    #[test]
+    fn greedy_frontier_bound(seed in 0u64..5000, m in 2usize..7) {
+        let inst = GeneratorConfig::new(3, m).with_seed(seed).build();
+        let mut g = Greedy::new(&inst, &LinearCost).unwrap();
+        for _ in 0..10 {
+            if g.next_plan().is_none() {
+                break;
+            }
+            prop_assert!(g.frontier_size() <= g.emitted() * inst.query_len() + 1);
+        }
+    }
+
+    /// The full space of an instance contains exactly the instance's plans.
+    #[test]
+    fn full_space_is_exact(seed in 0u64..5000, m in 1usize..5, n in 1usize..4) {
+        let inst = GeneratorConfig::new(n, m).with_seed(seed).build();
+        let space = full_space(&inst);
+        prop_assert_eq!(space_size(&space), inst.plan_count());
+        for plan in inst.all_plans() {
+            prop_assert!(space_contains(&space, &plan));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Conjunctive-query containment via canonical databases.
+//!
+//! `Q1 ⊑ Q2` (every answer of `Q1` is an answer of `Q2`, over every
+//! database) holds iff there is a *containment mapping* from `Q2` to `Q1`:
+//! freeze `Q1`'s variables into fresh constants, treat its body as a
+//! canonical database, and search for a homomorphism from `Q2`'s body into
+//! that database that also maps `Q2`'s head onto `Q1`'s frozen head
+//! (Chandra–Merlin). The problem is NP-complete in query size, but the
+//! queries of a mediator (and of this paper) are short, so a backtracking
+//! search with most-constrained-first ordering is entirely adequate.
+
+use crate::atom::Atom;
+use crate::query::ConjunctiveQuery;
+use crate::substitution::Substitution;
+use crate::term::{Constant, Term};
+
+/// Prefix of frozen constants. Contains a NUL byte so frozen constants can
+/// never collide with constants appearing in real queries.
+const FROZEN_PREFIX: &str = "\u{0}frozen#";
+
+/// Freezes a query: each variable becomes a distinct reserved constant.
+fn freeze(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut subst = Substitution::new();
+    for (i, v) in q.all_variables().into_iter().enumerate() {
+        subst.bind(v.as_ref(), Term::Const(Constant::str(format!("{FROZEN_PREFIX}{i}"))));
+    }
+    q.apply(&subst)
+}
+
+/// Attempts to extend `subst` so that `atom` (which may contain variables)
+/// matches the ground atom `fact` position-wise.
+fn try_match(atom: &Atom, fact: &Atom, subst: &Substitution) -> Option<Substitution> {
+    if atom.predicate != fact.predicate || atom.arity() != fact.arity() {
+        return None;
+    }
+    let mut ext = subst.clone();
+    for (pat, tgt) in atom.terms.iter().zip(&fact.terms) {
+        if !ext.match_term(pat, tgt) {
+            return None;
+        }
+    }
+    Some(ext)
+}
+
+/// Backtracking homomorphism search: maps every atom in `goals[idx..]` onto
+/// some atom of `db`, consistently with `subst`.
+fn search(goals: &[Atom], idx: usize, db: &[Atom], subst: &Substitution) -> Option<Substitution> {
+    let Some(goal) = goals.get(idx) else {
+        return Some(subst.clone());
+    };
+    for fact in db {
+        if let Some(ext) = try_match(goal, fact, subst) {
+            if let Some(found) = search(goals, idx + 1, db, &ext) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+/// Orders goals most-constrained-first: atoms whose predicate has few
+/// candidate facts are matched early, cutting the branching factor.
+fn order_goals(goals: &[Atom], db: &[Atom]) -> Vec<Atom> {
+    let mut indexed: Vec<(usize, &Atom)> = goals
+        .iter()
+        .map(|g| {
+            let candidates = db.iter().filter(|f| f.predicate == g.predicate).count();
+            (candidates, g)
+        })
+        .collect();
+    indexed.sort_by_key(|&(c, _)| c);
+    indexed.into_iter().map(|(_, g)| g.clone()).collect()
+}
+
+/// Finds a containment mapping from `outer` to `inner`, witnessing
+/// `inner ⊑ outer`. Returns the homomorphism (a substitution over `outer`'s
+/// variables, onto frozen constants of `inner`) if one exists.
+pub fn find_containment_mapping(
+    inner: &ConjunctiveQuery,
+    outer: &ConjunctiveQuery,
+) -> Option<Substitution> {
+    if inner.head.arity() != outer.head.arity() {
+        return None;
+    }
+    let frozen = freeze(inner);
+    // The head condition is just one more atom to match, against a database
+    // containing exactly the frozen head (under a reserved predicate).
+    let head_goal = Atom::new("\u{0}head", outer.head.terms.clone());
+    let head_fact = Atom::new("\u{0}head", frozen.head.terms.clone());
+
+    let mut goals = vec![head_goal];
+    goals.extend(order_goals(&outer.body, &frozen.body));
+    let mut db = vec![head_fact];
+    db.extend(frozen.body.iter().cloned());
+
+    search(&goals, 0, &db, &Substitution::new())
+}
+
+/// True iff `q1 ⊑ q2`: every answer of `q1` (over any database) is an
+/// answer of `q2`.
+pub fn contains(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    find_containment_mapping(q1, q2).is_some()
+}
+
+/// True iff the queries are equivalent (mutually contained).
+pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    contains(q1, q2) && contains(q2, q1)
+}
+
+/// Minimizes a conjunctive query by greedily dropping redundant body atoms
+/// (atoms whose removal leaves an equivalent query). The result is a *core*
+/// of the input: equivalent to it and with no removable atom.
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = q.clone();
+    loop {
+        let mut reduced = None;
+        for i in 0..current.body.len() {
+            let mut candidate = current.clone();
+            candidate.body.remove(i);
+            if candidate.is_safe() && equivalent(&candidate, &current) {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => return current,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn identical_queries_are_equivalent() {
+        let a = q("q(X, Y) :- r(X, Z), s(Z, Y)");
+        assert!(equivalent(&a, &a));
+    }
+
+    #[test]
+    fn renamed_queries_are_equivalent() {
+        let a = q("q(X, Y) :- r(X, Z), s(Z, Y)");
+        let b = q("q(A, B) :- r(A, C), s(C, B)");
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn more_constrained_query_is_contained() {
+        // a restricts Z to a constant; every answer of a is an answer of b.
+        let a = q("q(X) :- r(X, c)");
+        let b = q("q(X) :- r(X, Z)");
+        assert!(contains(&a, &b));
+        assert!(!contains(&b, &a));
+    }
+
+    #[test]
+    fn extra_subgoal_means_containment_one_way() {
+        let a = q("q(X) :- r(X), s(X)");
+        let b = q("q(X) :- r(X)");
+        assert!(contains(&a, &b));
+        assert!(!contains(&b, &a));
+    }
+
+    #[test]
+    fn figure1_soundness_shape() {
+        // Expansion of V1 V4: restricts movies to american ones — contained.
+        let expansion = q("p(M, R) :- play_in(\"ford\", M), american(M), review_of(R, M)");
+        let query = q("q(M, R) :- play_in(\"ford\", M), review_of(R, M)");
+        assert!(contains(&expansion, &query));
+        assert!(!contains(&query, &expansion));
+    }
+
+    #[test]
+    fn head_arity_mismatch_is_not_contained() {
+        let a = q("q(X) :- r(X)");
+        let b = q("q(X, Y) :- r(X), r(Y)");
+        assert!(!contains(&a, &b));
+    }
+
+    #[test]
+    fn head_constants_must_map() {
+        let a = q("q(1) :- r(1)");
+        let b = q("q(2) :- r(2)");
+        assert!(!contains(&a, &b));
+        let c = q("q(X) :- r(X)");
+        assert!(contains(&a, &c), "q(1):-r(1) ⊑ q(X):-r(X)");
+        assert!(!contains(&c, &a));
+    }
+
+    #[test]
+    fn join_structure_matters() {
+        // Chain of length 2 vs two disconnected atoms.
+        let chain = q("q(X, Y) :- r(X, Z), r(Z, Y)");
+        let free = q("q(X, Y) :- r(X, A), r(B, Y)");
+        assert!(contains(&chain, &free));
+        assert!(!contains(&free, &chain));
+    }
+
+    #[test]
+    fn repeated_variables_constrain() {
+        let diag = q("q(X) :- r(X, X)");
+        let pair = q("q(X) :- r(X, Y)");
+        assert!(contains(&diag, &pair));
+        assert!(!contains(&pair, &diag));
+    }
+
+    #[test]
+    fn frozen_constants_do_not_leak_into_matches() {
+        // A constant in the outer query can only map to the same constant.
+        let a = q("q(X) :- r(X, Z)");
+        let b = q("q(X) :- r(X, c)");
+        assert!(!contains(&a, &b));
+    }
+
+    #[test]
+    fn minimize_drops_redundant_atoms() {
+        // The second r-atom is subsumed under the homomorphism Z ↦ Y.
+        let redundant = q("q(X) :- r(X, Y), r(X, Z)");
+        let minimized = minimize(&redundant);
+        assert_eq!(minimized.body.len(), 1);
+        assert!(equivalent(&minimized, &redundant));
+    }
+
+    #[test]
+    fn minimize_keeps_core_intact() {
+        let core = q("q(X, Y) :- r(X, Z), s(Z, Y)");
+        assert_eq!(minimize(&core), core);
+    }
+
+    #[test]
+    fn minimize_respects_safety() {
+        // Dropping r(Y) would make the query unsafe, so it must stay even
+        // though it looks "redundant" for containment purposes.
+        let qq = q("q(Y) :- r(Y), r(Z)");
+        let m = minimize(&qq);
+        assert!(m.is_safe());
+        assert!(equivalent(&m, &qq));
+        assert_eq!(m.body.len(), 1);
+        assert_eq!(m.to_string(), "q(Y) :- r(Y)");
+    }
+
+    #[test]
+    fn mapping_witness_is_returned() {
+        let inner = q("q(X) :- r(X, c)");
+        let outer = q("q(A) :- r(A, B)");
+        let mapping = find_containment_mapping(&inner, &outer).unwrap();
+        // B must be mapped to the constant c.
+        assert_eq!(mapping.get("B"), Some(&Term::str("c")));
+    }
+}

@@ -1,0 +1,245 @@
+//! Plan expansion: unfolding source atoms into their view definitions.
+//!
+//! A query plan `p(Ȳ) :- V1(Ū1), ..., Vn(Ūn)` is a conjunctive query over
+//! *source* relations. Its **expansion** replaces every `Vi(Ūi)` by the body
+//! of `Vi`'s LAV definition, with the definition's existential variables
+//! freshly renamed and its distinguished variables unified with `Ūi`. The
+//! expansion is a conjunctive query over *schema* relations, and the plan is
+//! sound iff its expansion is contained in the user query (§2).
+
+use crate::atom::Atom;
+use crate::query::ConjunctiveQuery;
+use crate::term::Term;
+use crate::view::SourceDescription;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised while expanding a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpansionError {
+    /// A plan atom references a source with no registered description.
+    UnknownSource(Arc<str>),
+    /// A plan atom's arity differs from its source description's arity.
+    ArityMismatch {
+        /// The offending source.
+        source: Arc<str>,
+        /// Arity expected by the description.
+        expected: usize,
+        /// Arity found in the plan atom.
+        found: usize,
+    },
+    /// Unification of head terms forced two distinct constants to be equal;
+    /// the plan can never produce a tuple.
+    Unsatisfiable,
+}
+
+impl fmt::Display for ExpansionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpansionError::UnknownSource(s) => write!(f, "unknown source relation `{s}`"),
+            ExpansionError::ArityMismatch {
+                source,
+                expected,
+                found,
+            } => write!(
+                f,
+                "source `{source}` has arity {expected} but the plan uses arity {found}"
+            ),
+            ExpansionError::Unsatisfiable => {
+                write!(f, "plan is unsatisfiable (constant clash during expansion)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExpansionError {}
+
+/// A union-find-free unifier for function-symbol-free terms: a map from
+/// variables to terms with path resolution at bind/apply time.
+#[derive(Default)]
+struct Unifier {
+    map: BTreeMap<Arc<str>, Term>,
+}
+
+impl Unifier {
+    /// Follows variable bindings to a representative term.
+    fn resolve(&self, term: &Term) -> Term {
+        let mut cur = term.clone();
+        // Bindings never form cycles: we only ever bind an *unbound*
+        // variable, so each step strictly shrinks the unbound set.
+        while let Term::Var(v) = &cur {
+            match self.map.get(v.as_ref()) {
+                Some(next) => cur = next.clone(),
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Unifies two terms, returning `false` on a constant clash.
+    fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        if ra == rb {
+            return true;
+        }
+        match (&ra, &rb) {
+            (Term::Var(v), _) => {
+                self.map.insert(v.clone(), rb);
+                true
+            }
+            (_, Term::Var(v)) => {
+                self.map.insert(v.clone(), ra);
+                true
+            }
+            _ => false, // two distinct constants
+        }
+    }
+
+    /// Applies the unifier to an atom, resolving every term fully.
+    fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom {
+            predicate: atom.predicate.clone(),
+            terms: atom.terms.iter().map(|t| self.resolve(t)).collect(),
+        }
+    }
+}
+
+/// Expands a plan into schema relations using the given source descriptions
+/// (keyed by source name).
+///
+/// Fresh existential variables are prefixed `__x{i}_` where `i` is the plan
+/// atom's position, so two occurrences of the same source never share
+/// existentials.
+pub fn expand_plan(
+    plan: &ConjunctiveQuery,
+    views: &BTreeMap<Arc<str>, SourceDescription>,
+) -> Result<ConjunctiveQuery, ExpansionError> {
+    let mut unifier = Unifier::default();
+    let mut body = Vec::new();
+
+    for (i, atom) in plan.body.iter().enumerate() {
+        let desc = views
+            .get(&atom.predicate)
+            .ok_or_else(|| ExpansionError::UnknownSource(atom.predicate.clone()))?;
+        if desc.arity() != atom.arity() {
+            return Err(ExpansionError::ArityMismatch {
+                source: atom.predicate.clone(),
+                expected: desc.arity(),
+                found: atom.arity(),
+            });
+        }
+        let renamed = desc.definition.rename_with_prefix(&format!("__x{i}_"));
+        for (head_term, plan_term) in renamed.head.terms.iter().zip(&atom.terms) {
+            if !unifier.unify(head_term, plan_term) {
+                return Err(ExpansionError::Unsatisfiable);
+            }
+        }
+        body.extend(renamed.body.iter().cloned());
+    }
+
+    // Resolve accumulated bindings across the whole expansion (a later plan
+    // atom can constrain variables introduced by an earlier one).
+    let body = body.iter().map(|a| unifier.apply_atom(a)).collect();
+    let head = unifier.apply_atom(&plan.head);
+    Ok(ConjunctiveQuery::new(head, body))
+}
+
+/// Convenience: builds the `name → description` map [`expand_plan`] expects.
+pub fn view_map(views: &[SourceDescription]) -> BTreeMap<Arc<str>, SourceDescription> {
+    views
+        .iter()
+        .map(|v| (v.name().clone(), v.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(text: &str) -> SourceDescription {
+        SourceDescription::new(crate::parse::parse_query(text).unwrap())
+    }
+
+    fn figure1_views() -> BTreeMap<Arc<str>, SourceDescription> {
+        view_map(&[
+            desc("v1(A, M) :- play_in(A, M), american(M)"),
+            desc("v2(A, M) :- play_in(A, M), russian(M)"),
+            desc("v3(A, M) :- play_in(A, M)"),
+            desc("v4(R, M) :- review_of(R, M)"),
+        ])
+    }
+
+    #[test]
+    fn expands_figure1_plan() {
+        let plan = crate::parse::parse_query("p(M, R) :- v1(ford, M), v4(R, M)").unwrap();
+        let exp = expand_plan(&plan, &figure1_views()).unwrap();
+        assert_eq!(
+            exp.to_string(),
+            "p(M, R) :- play_in(\"ford\", M), american(M), review_of(R, M)"
+        );
+    }
+
+    #[test]
+    fn fresh_existentials_per_occurrence() {
+        // A view with an existential variable not in its head.
+        let views = view_map(&[desc("v(X) :- r(X, Y)")]);
+        let plan = crate::parse::parse_query("p(A, B) :- v(A), v(B)").unwrap();
+        let exp = expand_plan(&plan, &views).unwrap();
+        assert_eq!(exp.body.len(), 2);
+        let y0 = &exp.body[0].terms[1];
+        let y1 = &exp.body[1].terms[1];
+        assert!(y0.is_var() && y1.is_var());
+        assert_ne!(y0, y1, "existentials from separate occurrences must differ");
+    }
+
+    #[test]
+    fn repeated_head_variable_unifies_plan_terms() {
+        // v(X, X) forces its two arguments to be equal.
+        let views = view_map(&[desc("v(X, X) :- r(X)")]);
+        let plan = crate::parse::parse_query("p(A, B) :- v(A, B)").unwrap();
+        let exp = expand_plan(&plan, &views).unwrap();
+        // Head becomes p(T, T) for a single representative T.
+        assert_eq!(exp.head.terms[0], exp.head.terms[1]);
+    }
+
+    #[test]
+    fn constant_clash_is_unsatisfiable() {
+        let views = view_map(&[desc("v(X, X) :- r(X)")]);
+        let plan = crate::parse::parse_query("p() :- v(a, b)").unwrap();
+        assert_eq!(
+            expand_plan(&plan, &views),
+            Err(ExpansionError::Unsatisfiable)
+        );
+    }
+
+    #[test]
+    fn constant_in_view_head_propagates() {
+        let views = view_map(&[desc("v(X, 7) :- r(X)")]);
+        let plan = crate::parse::parse_query("p(A, B) :- v(A, B)").unwrap();
+        let exp = expand_plan(&plan, &views).unwrap();
+        assert_eq!(exp.head.terms[1], Term::int(7));
+    }
+
+    #[test]
+    fn unknown_source_and_arity_errors() {
+        let plan = crate::parse::parse_query("p(X) :- nosuch(X)").unwrap();
+        assert!(matches!(
+            expand_plan(&plan, &figure1_views()),
+            Err(ExpansionError::UnknownSource(_))
+        ));
+        let plan = crate::parse::parse_query("p(X) :- v1(X)").unwrap();
+        assert!(matches!(
+            expand_plan(&plan, &figure1_views()),
+            Err(ExpansionError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ExpansionError::UnknownSource(Arc::from("v9"));
+        assert_eq!(e.to_string(), "unknown source relation `v9`");
+        assert!(ExpansionError::Unsatisfiable.to_string().contains("unsatisfiable"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Plan soundness: the test the bucket algorithm applies to each candidate.
+//!
+//! A plan is *sound* iff every answer it produces is an answer to the user
+//! query — equivalently (for LAV views), iff the plan's expansion is
+//! contained in the query (§2 of the paper).
+
+use crate::containment::contains;
+use crate::expansion::{expand_plan, ExpansionError};
+use crate::query::ConjunctiveQuery;
+use crate::view::SourceDescription;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Decides whether `plan` is a sound (and useful) plan for `query`.
+///
+/// Returns `Ok(true)` iff the expansion of `plan` is contained in `query`.
+/// A plan whose expansion is unsatisfiable (constant clash) is vacuously
+/// sound but produces no tuples, so it is reported as `Ok(false)` — the
+/// bucket algorithm should discard it either way.
+pub fn is_sound_plan(
+    plan: &ConjunctiveQuery,
+    views: &BTreeMap<Arc<str>, SourceDescription>,
+    query: &ConjunctiveQuery,
+) -> Result<bool, ExpansionError> {
+    match expand_plan(plan, views) {
+        Ok(expansion) => Ok(contains(&expansion, query)),
+        Err(ExpansionError::Unsatisfiable) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::view_map;
+    use crate::parse::parse_query;
+
+    fn desc(text: &str) -> SourceDescription {
+        SourceDescription::new(parse_query(text).unwrap())
+    }
+
+    /// Figure 1 of the paper: three actor sources, one review source, plus a
+    /// source over an unrelated relation to exercise unsoundness.
+    fn views() -> BTreeMap<Arc<str>, SourceDescription> {
+        view_map(&[
+            desc("v1(A, M) :- play_in(A, M), american(M)"),
+            desc("v2(A, M) :- play_in(A, M), russian(M)"),
+            desc("v3(A, M) :- play_in(A, M)"),
+            desc("v4(R, M) :- review_of(R, M)"),
+            desc("v7(D, M) :- directs(D, M)"),
+        ])
+    }
+
+    fn query() -> ConjunctiveQuery {
+        parse_query("q(M, R) :- play_in(ford, M), review_of(R, M)").unwrap()
+    }
+
+    #[test]
+    fn all_figure1_combinations_are_sound() {
+        let views = views();
+        let query = query();
+        for actor_src in ["v1", "v2", "v3"] {
+            let plan =
+                parse_query(&format!("p(M, R) :- {actor_src}(ford, M), v4(R, M)")).unwrap();
+            assert!(
+                is_sound_plan(&plan, &views, &query).unwrap(),
+                "{actor_src} x v4 should be sound"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_relation_is_unsound() {
+        // A director source cannot answer an actor query.
+        let plan = parse_query("p(M, R) :- v7(ford, M), v4(R, M)").unwrap();
+        assert!(!is_sound_plan(&plan, &views(), &query()).unwrap());
+    }
+
+    #[test]
+    fn missing_subgoal_is_unsound() {
+        // Covers play_in but not review_of: R is unconstrained — not sound.
+        let plan = parse_query("p(M, R) :- v3(ford, M), v3(R, M)").unwrap();
+        assert!(!is_sound_plan(&plan, &views(), &query()).unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_plan_is_rejected() {
+        let views = view_map(&[desc("v(X, X) :- play_in(X, X)")]);
+        let q = parse_query("q(X) :- play_in(X, X)").unwrap();
+        let plan = parse_query("p(X) :- v(a, b)").unwrap();
+        assert_eq!(is_sound_plan(&plan, &views, &q), Ok(false));
+    }
+
+    #[test]
+    fn unknown_source_is_an_error() {
+        let plan = parse_query("p(M, R) :- v99(ford, M), v4(R, M)").unwrap();
+        assert!(is_sound_plan(&plan, &views(), &query()).is_err());
+    }
+
+    #[test]
+    fn redundant_extra_source_is_still_sound() {
+        // Accessing v3 twice with the same binding pattern is wasteful but
+        // sound: the expansion is still contained in the query.
+        let plan = parse_query("p(M, R) :- v3(ford, M), v3(ford, M), v4(R, M)").unwrap();
+        assert!(is_sound_plan(&plan, &views(), &query()).unwrap());
+    }
+}

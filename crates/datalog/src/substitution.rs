@@ -1,0 +1,136 @@
+//! Variable substitutions (partial maps from variables to terms).
+
+use crate::term::Term;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A substitution `{X1 ↦ t1, ..., Xn ↦ tn}`.
+///
+/// Backed by a `BTreeMap` so iteration order — and therefore everything
+/// derived from substitutions, such as generated plans — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: BTreeMap<Arc<str>, Term>,
+}
+
+impl Substitution {
+    /// Creates an empty substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// Binds `var` to `term`, replacing any previous binding.
+    pub fn bind(&mut self, var: impl AsRef<str>, term: Term) {
+        self.map.insert(Arc::from(var.as_ref()), term);
+    }
+
+    /// Returns the binding of `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Applies the substitution to a single term (non-recursively: bindings
+    /// are expected to be to final terms, as produced by unification against
+    /// ground atoms or by renaming).
+    pub fn apply(&self, term: &Term) -> Term {
+        match term {
+            Term::Var(v) => self.map.get(v.as_ref()).cloned().unwrap_or_else(|| term.clone()),
+            Term::Const(_) => term.clone(),
+        }
+    }
+
+    /// Attempts to extend the substitution so that `pattern` equals
+    /// `target` after application. `target` may contain variables (matching
+    /// is one-way: variables in `pattern` bind, variables in `target` are
+    /// treated as rigid symbols).
+    ///
+    /// Returns `false` and leaves `self` unchanged if matching fails.
+    pub fn match_term(&mut self, pattern: &Term, target: &Term) -> bool {
+        match pattern {
+            Term::Const(c) => matches!(target, Term::Const(d) if c == d),
+            Term::Var(v) => match self.map.get(v.as_ref()) {
+                Some(bound) => bound == target,
+                None => {
+                    self.map.insert(v.clone(), target.clone());
+                    true
+                }
+            },
+        }
+    }
+
+    /// Iterates over `(variable, term)` bindings in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &Term)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_get_apply() {
+        let mut s = Substitution::new();
+        assert!(s.is_empty());
+        s.bind("X", Term::int(1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("X"), Some(&Term::int(1)));
+        assert_eq!(s.get("Y"), None);
+        assert_eq!(s.apply(&Term::var("X")), Term::int(1));
+        assert_eq!(s.apply(&Term::var("Y")), Term::var("Y"));
+        assert_eq!(s.apply(&Term::str("c")), Term::str("c"));
+    }
+
+    #[test]
+    fn rebinding_overwrites() {
+        let mut s = Substitution::new();
+        s.bind("X", Term::int(1));
+        s.bind("X", Term::int(2));
+        assert_eq!(s.get("X"), Some(&Term::int(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn match_constant_against_constant() {
+        let mut s = Substitution::new();
+        assert!(s.match_term(&Term::int(3), &Term::int(3)));
+        assert!(!s.match_term(&Term::int(3), &Term::int(4)));
+        assert!(!s.match_term(&Term::int(3), &Term::var("X")));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn match_variable_binds_and_stays_consistent() {
+        let mut s = Substitution::new();
+        assert!(s.match_term(&Term::var("X"), &Term::int(1)));
+        assert!(s.match_term(&Term::var("X"), &Term::int(1)), "same binding ok");
+        assert!(!s.match_term(&Term::var("X"), &Term::int(2)), "conflict fails");
+        assert_eq!(s.get("X"), Some(&Term::int(1)));
+    }
+
+    #[test]
+    fn match_variable_against_variable_is_rigid() {
+        let mut s = Substitution::new();
+        assert!(s.match_term(&Term::var("X"), &Term::var("Y")));
+        assert_eq!(s.apply(&Term::var("X")), Term::var("Y"));
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let mut s = Substitution::new();
+        s.bind("B", Term::int(2));
+        s.bind("A", Term::int(1));
+        let keys: Vec<_> = s.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["A", "B"]);
+    }
+}

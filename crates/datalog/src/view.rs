@@ -1,0 +1,99 @@
+//! LAV source descriptions: `V(Ū) :- R1(...), ..., Rk(...)`.
+
+use crate::atom::Atom;
+use crate::query::ConjunctiveQuery;
+use std::fmt;
+use std::sync::Arc;
+
+/// A local-as-view description of one data source.
+///
+/// The head predicate is the *source relation* name (e.g. `v1`); the body is
+/// a conjunction of mediated-schema relations. Per §2 of the paper, the
+/// description means every tuple stored by the source satisfies the
+/// conjunction — the source may be incomplete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDescription {
+    /// The view definition; `definition.head.predicate` is the source name.
+    pub definition: ConjunctiveQuery,
+}
+
+impl SourceDescription {
+    /// Creates a source description.
+    ///
+    /// # Panics
+    /// Panics if the definition is unsafe (a head variable missing from the
+    /// body), which would make the source meaningless under LAV semantics.
+    pub fn new(definition: ConjunctiveQuery) -> Self {
+        assert!(
+            definition.is_safe(),
+            "unsafe source description: {definition}"
+        );
+        SourceDescription { definition }
+    }
+
+    /// The source relation name.
+    pub fn name(&self) -> &Arc<str> {
+        &self.definition.head.predicate
+    }
+
+    /// Arity of the source relation.
+    pub fn arity(&self) -> usize {
+        self.definition.head.arity()
+    }
+
+    /// The head atom (source relation applied to its distinguished terms).
+    pub fn head(&self) -> &Atom {
+        &self.definition.head
+    }
+
+    /// True iff the view body mentions schema relation `predicate`.
+    pub fn covers_predicate(&self, predicate: &str) -> bool {
+        self.definition
+            .body
+            .iter()
+            .any(|a| a.predicate.as_ref() == predicate)
+    }
+}
+
+impl fmt::Display for SourceDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.definition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    /// `v1(A, M) :- play_in(A, M), american(M)` from Figure 1.
+    fn v1() -> SourceDescription {
+        SourceDescription::new(ConjunctiveQuery::new(
+            Atom::new("v1", vec![Term::var("A"), Term::var("M")]),
+            vec![
+                Atom::new("play_in", vec![Term::var("A"), Term::var("M")]),
+                Atom::new("american", vec![Term::var("M")]),
+            ],
+        ))
+    }
+
+    #[test]
+    fn accessors() {
+        let v = v1();
+        assert_eq!(v.name().as_ref(), "v1");
+        assert_eq!(v.arity(), 2);
+        assert!(v.covers_predicate("play_in"));
+        assert!(v.covers_predicate("american"));
+        assert!(!v.covers_predicate("review_of"));
+        assert_eq!(v.head().to_string(), "v1(A, M)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe source description")]
+    fn rejects_unsafe_definition() {
+        SourceDescription::new(ConjunctiveQuery::new(
+            Atom::new("v", vec![Term::var("X"), Term::var("Y")]),
+            vec![Atom::new("r", vec![Term::var("X")])],
+        ));
+    }
+}

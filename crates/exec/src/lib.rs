@@ -1,0 +1,20 @@
+//! Execution engine and mediator loop for data-integration query plans.
+//!
+//! This crate closes the loop of the paper's architecture (§1): the
+//! reformulator produces plans, the ordering algorithms emit them best
+//! first, and the *execution engine* here evaluates them against
+//! in-memory source extensions, unioning the answers. It exists so the
+//! examples can demonstrate — with actual tuples — that ordering plans by
+//! utility front-loads the answers a user sees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod mediator;
+pub mod pipeline;
+pub mod profile;
+
+pub use extensions::populate_sources;
+pub use profile::{estimate_extent, estimate_tuples, profile_catalog};
+pub use mediator::{Mediator, MediatorError, MediatorRun, PlanReport, StopCondition, Strategy};

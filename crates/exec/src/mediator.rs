@@ -1,0 +1,452 @@
+//! The end-to-end mediator loop: reformulate → order → test soundness →
+//! execute → union (the architecture of §1–2 of the paper).
+//!
+//! Plans come out of a [`PlanOrderer`] in decreasing-utility order; each is
+//! tested for soundness as it pops out (unsound candidates are discarded,
+//! exactly the strategy of §2), executed against the source extensions, and
+//! its answers unioned into the result. The run report records how many
+//! *new* tuples each plan contributed — the empirical counterpart of plan
+//! coverage, and the quantity an "anytime" client cares about.
+
+use crate::extensions::populate_sources;
+use qpo_catalog::Catalog;
+use qpo_core::{
+    ByExpectedTuples, Greedy, IDrips, OrderedPlan, OrdererError, Pi, PlanOrderer, Streamer,
+};
+use qpo_datalog::{is_sound_plan, ConjunctiveQuery, Database, Tuple};
+use qpo_reformulation::{reformulate, Reformulation, ReformulationError};
+use qpo_utility::UtilityMeasure;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which ordering algorithm the mediator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Greedy (§4) — requires a fully monotonic measure.
+    Greedy,
+    /// iDrips (§5.2) — applicable to every measure.
+    IDrips,
+    /// Streamer (§5.2) — requires diminishing returns.
+    Streamer,
+    /// The PI brute-force baseline (§6).
+    Pi,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Strategy::Greedy => "greedy",
+            Strategy::IDrips => "idrips",
+            Strategy::Streamer => "streamer",
+            Strategy::Pi => "pi",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// What happened to one plan popped from the orderer.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The emitted plan (bucket-index form).
+    pub ordered: OrderedPlan,
+    /// Source names, bucket by bucket.
+    pub sources: Vec<String>,
+    /// The materialized conjunctive plan.
+    pub query: ConjunctiveQuery,
+    /// Whether the soundness test admitted the plan.
+    pub sound: bool,
+    /// Tuples this plan produced that no earlier plan had (0 if unsound —
+    /// unsound plans are not executed).
+    pub new_tuples: usize,
+    /// Total distinct answers after this plan.
+    pub cumulative: usize,
+}
+
+/// When an anytime mediation run should stop (§1: "query execution can
+/// then be aborted as soon as the user has found a satisfactory answer, or
+/// when allotted resource limits have been reached"). The run stops at the
+/// first satisfied condition; `None` fields never trigger.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StopCondition {
+    /// Stop once at least this many distinct answers have been produced.
+    pub enough_answers: Option<usize>,
+    /// Stop after emitting this many plans (sound or not).
+    pub max_plans: Option<usize>,
+    /// Stop once cumulative *negated utility* (i.e. cost, for cost-like
+    /// measures) of executed plans exceeds this budget.
+    pub max_cost: Option<f64>,
+}
+
+impl StopCondition {
+    /// A condition that never stops early (bounded only by the plan space).
+    pub fn unbounded() -> Self {
+        StopCondition::default()
+    }
+
+    /// Stop after `n` distinct answers.
+    pub fn answers(n: usize) -> Self {
+        StopCondition {
+            enough_answers: Some(n),
+            ..StopCondition::default()
+        }
+    }
+
+    /// Stop after a cost budget is exhausted.
+    pub fn budget(cost: f64) -> Self {
+        StopCondition {
+            max_cost: Some(cost),
+            ..StopCondition::default()
+        }
+    }
+
+    fn satisfied(&self, answers: usize, plans: usize, spent: f64) -> bool {
+        self.enough_answers.is_some_and(|n| answers >= n)
+            || self.max_plans.is_some_and(|n| plans >= n)
+            || self.max_cost.is_some_and(|c| spent > c)
+    }
+}
+
+/// A full mediator run.
+#[derive(Debug, Clone)]
+pub struct MediatorRun {
+    /// Per-plan reports, in emission order.
+    pub reports: Vec<PlanReport>,
+    /// The union of all executed plans' answers.
+    pub answers: BTreeSet<Tuple>,
+}
+
+impl MediatorRun {
+    /// Number of sound plans executed.
+    pub fn executed(&self) -> usize {
+        self.reports.iter().filter(|r| r.sound).count()
+    }
+
+    /// Plans discarded by the soundness test.
+    pub fn discarded(&self) -> usize {
+        self.reports.len() - self.executed()
+    }
+}
+
+/// Mediator failures.
+#[derive(Debug)]
+pub enum MediatorError {
+    /// Query reformulation failed.
+    Reformulation(ReformulationError),
+    /// The chosen strategy does not apply to the measure.
+    Orderer(OrdererError),
+}
+
+impl fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediatorError::Reformulation(e) => write!(f, "reformulation failed: {e}"),
+            MediatorError::Orderer(e) => write!(f, "ordering failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {}
+
+/// A data integration mediator over a catalog with materialized source
+/// extensions.
+pub struct Mediator {
+    catalog: Catalog,
+    db: Database,
+    /// Per-subgoal universe used when assembling problem instances.
+    universe: u64,
+    /// Access overhead `h` for the cost measures.
+    overhead: f64,
+}
+
+impl Mediator {
+    /// Creates a mediator, materializing synthetic extensions from the
+    /// catalog's extents with the given value pool.
+    pub fn new(catalog: Catalog, universe: u64, pool: &[&str]) -> Self {
+        let db = populate_sources(&catalog, pool);
+        Mediator {
+            catalog,
+            db,
+            universe,
+            overhead: 5.0,
+        }
+    }
+
+    /// The source database (for inspection).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The catalog this mediator serves.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub(crate) fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    pub(crate) fn overhead(&self) -> f64 {
+        self.overhead
+    }
+
+    /// Answers `query`: orders plans under `measure` with `strategy`,
+    /// executes the first `k` *emitted* plans (sound ones), and unions
+    /// their results.
+    pub fn answer<M: UtilityMeasure>(
+        &self,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        k: usize,
+    ) -> Result<MediatorRun, MediatorError> {
+        self.answer_until(
+            query,
+            measure,
+            strategy,
+            StopCondition {
+                max_plans: Some(k),
+                ..StopCondition::default()
+            },
+        )
+    }
+
+    /// The anytime variant of [`Mediator::answer`]: keeps emitting and
+    /// executing plans until `stop` is satisfied or the plan space is
+    /// exhausted. This is the execution model the paper motivates in §1 —
+    /// because the plans arrive best first, stopping early still leaves the
+    /// user with the most valuable answers per unit of work.
+    pub fn answer_until<M: UtilityMeasure>(
+        &self,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        stop: StopCondition,
+    ) -> Result<MediatorRun, MediatorError> {
+        let reform = reformulate(&self.catalog, query).map_err(MediatorError::Reformulation)?;
+        let inst = reform
+            .problem_instance(&self.catalog, self.universe, self.overhead)
+            .map_err(MediatorError::Reformulation)?;
+        let mut orderer: Box<dyn PlanOrderer> = match strategy {
+            Strategy::Greedy => {
+                Box::new(Greedy::new(&inst, measure).map_err(MediatorError::Orderer)?)
+            }
+            Strategy::IDrips => Box::new(IDrips::new(&inst, measure, ByExpectedTuples)),
+            Strategy::Streamer => Box::new(
+                Streamer::new(&inst, measure, &ByExpectedTuples).map_err(MediatorError::Orderer)?,
+            ),
+            Strategy::Pi => Box::new(Pi::new(&inst, measure)),
+        };
+        Ok(self.run(&reform, orderer.as_mut(), stop))
+    }
+
+    fn run(
+        &self,
+        reform: &Reformulation,
+        orderer: &mut dyn PlanOrderer,
+        stop: StopCondition,
+    ) -> MediatorRun {
+        let view_map = self.catalog.view_map();
+        let mut answers: BTreeSet<Tuple> = BTreeSet::new();
+        let mut reports = Vec::new();
+        let mut spent = 0.0;
+        while !stop.satisfied(answers.len(), reports.len(), spent) {
+            let Some(ordered) = orderer.next_plan() else {
+                break;
+            };
+            spent += -ordered.utility;
+            let plan_query = reform.plan_query(&ordered.plan);
+            let sources = reform.plan_sources(&ordered.plan);
+            let sound = is_sound_plan(&plan_query, &view_map, &reform.query).unwrap_or(false);
+            let mut new_tuples = 0;
+            if sound {
+                for t in self.db.evaluate(&plan_query) {
+                    if answers.insert(t) {
+                        new_tuples += 1;
+                    }
+                }
+            }
+            reports.push(PlanReport {
+                ordered,
+                sources,
+                query: plan_query,
+                sound,
+                new_tuples,
+                cumulative: answers.len(),
+            });
+        }
+        MediatorRun { reports, answers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+    use qpo_utility::{Coverage, FailureCost, LinearCost};
+
+    fn mediator() -> Mediator {
+        Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"])
+    }
+
+    #[test]
+    fn greedy_run_answers_movie_query() {
+        let m = mediator();
+        let run = m
+            .answer(&movie_query(), &LinearCost, Strategy::Greedy, 9)
+            .unwrap();
+        assert_eq!(run.reports.len(), 9);
+        assert_eq!(run.executed(), 9, "all Figure 1 plans are sound");
+        assert_eq!(run.discarded(), 0);
+        assert!(!run.answers.is_empty());
+        // Utilities are non-increasing for the context-free measure.
+        for w in run.reports.windows(2) {
+            assert!(w[0].ordered.utility >= w[1].ordered.utility);
+        }
+        // Cumulative counts are non-decreasing and end at the union size.
+        for w in run.reports.windows(2) {
+            assert!(w[0].cumulative <= w[1].cumulative);
+        }
+        assert_eq!(run.reports.last().unwrap().cumulative, run.answers.len());
+    }
+
+    #[test]
+    fn coverage_ordering_front_loads_new_tuples() {
+        let m = mediator();
+        let run = m
+            .answer(&movie_query(), &Coverage, Strategy::Streamer, 9)
+            .unwrap();
+        let total = run.answers.len();
+        assert!(total > 0);
+        // The first half of the plans must contribute at least half of the
+        // answers — the whole point of coverage ordering.
+        let first_half: usize = run.reports[..5].iter().map(|r| r.new_tuples).sum();
+        assert!(
+            first_half * 2 >= total,
+            "first half contributed {first_half} of {total}"
+        );
+        // And the very first plan is the single largest contributor.
+        let first = run.reports[0].new_tuples;
+        assert!(run.reports.iter().all(|r| r.new_tuples <= first));
+    }
+
+    #[test]
+    fn streamer_and_pi_produce_the_same_answers() {
+        let m = mediator();
+        let a = m
+            .answer(&movie_query(), &Coverage, Strategy::Streamer, 9)
+            .unwrap();
+        let b = m.answer(&movie_query(), &Coverage, Strategy::Pi, 9).unwrap();
+        assert_eq!(a.answers, b.answers);
+        let ua: Vec<f64> = a.reports.iter().map(|r| r.ordered.utility).collect();
+        let ub: Vec<f64> = b.reports.iter().map(|r| r.ordered.utility).collect();
+        for (x, y) in ua.iter().zip(&ub) {
+            assert!((x - y).abs() < 1e-12, "{ua:?} vs {ub:?}");
+        }
+    }
+
+    #[test]
+    fn idrips_handles_caching_measure() {
+        let m = mediator();
+        let run = m
+            .answer(
+                &movie_query(),
+                &FailureCost::with_caching(),
+                Strategy::IDrips,
+                5,
+            )
+            .unwrap();
+        assert_eq!(run.reports.len(), 5);
+    }
+
+    #[test]
+    fn strategy_applicability_errors_surface() {
+        let m = mediator();
+        let err = m
+            .answer(&movie_query(), &Coverage, Strategy::Greedy, 3)
+            .err()
+            .unwrap();
+        assert!(matches!(err, MediatorError::Orderer(_)), "{err}");
+        let err = m
+            .answer(
+                &movie_query(),
+                &FailureCost::with_caching(),
+                Strategy::Streamer,
+                3,
+            )
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("diminishing"));
+    }
+
+    #[test]
+    fn unanswerable_query_reports_reformulation_error() {
+        let m = mediator();
+        let q = qpo_datalog::parse_query("q(D) :- directs(D, M)").unwrap();
+        let err = m.answer(&q, &LinearCost, Strategy::Greedy, 1).err().unwrap();
+        assert!(matches!(err, MediatorError::Reformulation(_)));
+    }
+
+    #[test]
+    fn answer_until_stops_on_enough_answers() {
+        let m = mediator();
+        let run = m
+            .answer_until(
+                &movie_query(),
+                &Coverage,
+                Strategy::Streamer,
+                StopCondition::answers(1),
+            )
+            .unwrap();
+        assert!(!run.answers.is_empty());
+        // Stops as soon as the answer count is reached: with coverage
+        // ordering the very first plan already produces tuples.
+        assert_eq!(run.reports.len(), 1);
+    }
+
+    #[test]
+    fn answer_until_respects_cost_budget() {
+        let m = mediator();
+        let unbounded = m
+            .answer_until(
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+            )
+            .unwrap();
+        assert_eq!(unbounded.reports.len(), 9, "unbounded runs the whole space");
+        let total_cost: f64 = unbounded.reports.iter().map(|r| -r.ordered.utility).sum();
+        let budget = total_cost / 3.0;
+        let bounded = m
+            .answer_until(
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::budget(budget),
+            )
+            .unwrap();
+        assert!(bounded.reports.len() < 9, "budget cuts the run short");
+        // Spent cost exceeds the budget by at most one plan.
+        let spent: f64 = bounded.reports.iter().map(|r| -r.ordered.utility).sum();
+        let last = -bounded.reports.last().unwrap().ordered.utility;
+        assert!(spent - last <= budget && spent > budget);
+    }
+
+    #[test]
+    fn stop_condition_combinators() {
+        let c = StopCondition::answers(5);
+        assert!(c.satisfied(5, 0, 0.0) && !c.satisfied(4, 99, 1e9));
+        let c = StopCondition::budget(10.0);
+        assert!(c.satisfied(0, 0, 10.1) && !c.satisfied(99, 99, 10.0));
+        let c = StopCondition::unbounded();
+        assert!(!c.satisfied(usize::MAX, usize::MAX, f64::MAX));
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(Strategy::Greedy.to_string(), "greedy");
+        assert_eq!(Strategy::IDrips.to_string(), "idrips");
+        assert_eq!(Strategy::Streamer.to_string(), "streamer");
+        assert_eq!(Strategy::Pi.to_string(), "pi");
+    }
+}

@@ -1,0 +1,119 @@
+//! Statistics estimation from materialized extensions.
+//!
+//! The paper assumes source statistics (`n_i`, coverage extents) are known
+//! to the mediator. In practice they are *profiled*: this module derives
+//! [`SourceStats`] fields from the actual source contents, so a catalog's
+//! guesses can be replaced by measurements — and so tests can verify that
+//! the synthetic populator and the statistics model agree.
+
+use qpo_catalog::{Catalog, Extent};
+use qpo_datalog::{Constant, Database};
+
+/// Measured cardinality of a source relation.
+pub fn estimate_tuples(db: &Database, source: &str) -> f64 {
+    db.cardinality(source) as f64
+}
+
+/// Measured extent of a source relation: the `[min, max+1)` range of the
+/// integer item ids in its *last* attribute (the join-attribute convention
+/// of [`crate::extensions`]). Sources without integer ids get the empty
+/// extent.
+pub fn estimate_extent(db: &Database, source: &str) -> Extent {
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    let mut seen = false;
+    for tuple in db.tuples(source) {
+        if let Some(Constant::Int(v)) = tuple.last() {
+            if *v >= 0 {
+                let v = *v as u64;
+                min = min.min(v);
+                max = max.max(v);
+                seen = true;
+            }
+        }
+    }
+    if seen {
+        Extent::new(min, max - min + 1)
+    } else {
+        Extent::EMPTY
+    }
+}
+
+/// Returns a copy of `catalog` with each source's `tuples` and `extent`
+/// replaced by measurements from `db`. Cost parameters (`α`, fees, failure
+/// probabilities, access costs) are kept — they cannot be profiled from
+/// contents alone.
+pub fn profile_catalog(catalog: &Catalog, db: &Database) -> Catalog {
+    let mut profiled = Catalog::new(catalog.schema.clone());
+    for entry in catalog.iter() {
+        let name = entry.description.name().clone();
+        let mut stats = entry.stats.clone();
+        stats.tuples = estimate_tuples(db, &name);
+        let measured = estimate_extent(db, &name);
+        if !measured.is_empty() {
+            stats.extent = measured;
+        }
+        profiled
+            .add_source(entry.description.clone(), stats)
+            .expect("profiled copy of a valid catalog stays valid");
+    }
+    profiled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extensions::populate_sources;
+    use qpo_catalog::domains::movie_domain;
+
+    #[test]
+    fn profiling_recovers_the_configured_statistics() {
+        let catalog = movie_domain();
+        let db = populate_sources(&catalog, &["ford", "hanks"]);
+        let profiled = profile_catalog(&catalog, &db);
+        assert_eq!(profiled.len(), catalog.len());
+        for entry in catalog.iter() {
+            let name = entry.description.name();
+            let p = &profiled.source(name).unwrap().stats;
+            // The populator emits exactly one tuple per extent item, so
+            // measurement reproduces the configuration.
+            assert_eq!(p.tuples, entry.stats.extent.len as f64, "{name}");
+            assert_eq!(p.extent, entry.stats.extent, "{name}");
+            // Unprofilable fields survive.
+            assert_eq!(p.transmission_cost, entry.stats.transmission_cost);
+            assert_eq!(p.failure_prob, entry.stats.failure_prob);
+        }
+    }
+
+    #[test]
+    fn empty_source_measures_zero() {
+        let catalog = movie_domain();
+        let db = Database::new();
+        assert_eq!(estimate_tuples(&db, "v1"), 0.0);
+        assert!(estimate_extent(&db, "v1").is_empty());
+        let profiled = profile_catalog(&catalog, &db);
+        assert_eq!(profiled.source("v1").unwrap().stats.tuples, 0.0);
+        // Extent falls back to the configured one when nothing measured.
+        assert_eq!(
+            profiled.source("v1").unwrap().stats.extent,
+            catalog.source("v1").unwrap().stats.extent
+        );
+    }
+
+    #[test]
+    fn non_integer_ids_yield_empty_extent() {
+        let mut db = Database::new();
+        db.insert("v", vec![Constant::str("a"), Constant::str("b")]);
+        assert!(estimate_extent(&db, "v").is_empty());
+        assert_eq!(estimate_tuples(&db, "v"), 1.0);
+    }
+
+    #[test]
+    fn extent_spans_min_to_max() {
+        let mut db = Database::new();
+        for v in [10i64, 12, 17] {
+            db.insert("v", vec![Constant::Int(v)]);
+        }
+        assert_eq!(estimate_extent(&db, "v"), Extent::new(10, 8));
+    }
+}

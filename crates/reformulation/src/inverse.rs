@@ -1,0 +1,375 @@
+//! The inverse-rule reformulation algorithm [Duschka–Genesereth, PODS '97],
+//! and its bridge to plan ordering (§7 of the plan-ordering paper).
+//!
+//! Each LAV view `V(X̄) :- p1(Ȳ1), ..., pk(Ȳk)` is inverted into one rule
+//! per body atom: `pi(Ȳi') :- V(X̄)`, where existential view variables
+//! become Skolem terms over the head variables. For conjunctive queries the
+//! inverse rules covering the same schema relation "naturally form a
+//! bucket" (§7), which is exactly how [`buckets_from_inverse_rules`] feeds
+//! the ordering algorithms.
+
+use qpo_datalog::{Atom, SourceDescription, Term};
+use std::fmt;
+use std::sync::Arc;
+
+/// A term in an inverse-rule head: an ordinary term or a Skolem function of
+/// the view's distinguished variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleTerm {
+    /// A plain variable or constant (copied from the view).
+    Plain(Term),
+    /// `f_{view,index}(head vars)` — stands for the unknown value of an
+    /// existential view variable.
+    Skolem {
+        /// View the Skolem function belongs to.
+        view: Arc<str>,
+        /// Which existential variable of the view (by first occurrence).
+        index: usize,
+        /// The Skolem function's arguments: the view's distinguished terms.
+        args: Vec<Term>,
+    },
+}
+
+impl fmt::Display for RuleTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleTerm::Plain(t) => write!(f, "{t}"),
+            RuleTerm::Skolem { view, index, args } => {
+                write!(f, "f_{view}_{index}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One inverse rule: `head_relation(head_terms) :- source(source_terms)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InverseRule {
+    /// Schema relation the rule derives.
+    pub relation: Arc<str>,
+    /// Derived terms (may contain Skolems).
+    pub terms: Vec<RuleTerm>,
+    /// The source atom in the rule body (the view head).
+    pub source: Atom,
+}
+
+impl fmt::Display for InverseRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- {}", self.source)
+    }
+}
+
+/// Inverts a set of view definitions.
+pub fn invert(views: &[SourceDescription]) -> Vec<InverseRule> {
+    let mut rules = Vec::new();
+    for view in views {
+        let head = &view.definition.head;
+        let head_vars = head.variables();
+        // Existential variables, numbered by first occurrence.
+        let mut existentials: Vec<Arc<str>> = Vec::new();
+        for atom in &view.definition.body {
+            for v in atom.variables() {
+                if !head_vars.contains(&v) && !existentials.contains(&v) {
+                    existentials.push(v);
+                }
+            }
+        }
+        for atom in &view.definition.body {
+            let terms = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) if !head_vars.contains(v) => {
+                        let index = existentials
+                            .iter()
+                            .position(|e| e == v)
+                            .expect("existential was collected");
+                        RuleTerm::Skolem {
+                            view: view.name().clone(),
+                            index,
+                            args: head.terms.clone(),
+                        }
+                    }
+                    other => RuleTerm::Plain(other.clone()),
+                })
+                .collect();
+            rules.push(InverseRule {
+                relation: atom.predicate.clone(),
+                terms,
+                source: head.clone(),
+            });
+        }
+    }
+    rules
+}
+
+/// Reserved prefix marking Skolem constants produced by
+/// [`answer_with_inverse_rules`]; contains a NUL byte so it can never
+/// collide with real data values.
+const SKOLEM_PREFIX: &str = "\u{0}sk:";
+
+/// Answers `query` by *executing* the inverse-rule program over the source
+/// extensions — the maximally-contained-rewriting semantics of
+/// Duschka–Genesereth:
+///
+/// 1. every source tuple fires each of its view's inverse rules, deriving
+///    schema facts in which existential view variables become Skolem
+///    constants (one per `(view, existential, head-binding)`),
+/// 2. the user query is evaluated over the derived schema facts,
+/// 3. answers containing Skolem constants are discarded (they denote
+///    unknown values and cannot be reported).
+///
+/// For conjunctive queries this produces exactly the union of the answers
+/// of all sound plans — the equivalence the integration tests exploit to
+/// cross-validate the bucket-algorithm mediator against an independent
+/// semantics.
+pub fn answer_with_inverse_rules(
+    query: &qpo_datalog::ConjunctiveQuery,
+    views: &[SourceDescription],
+    sources: &qpo_datalog::Database,
+) -> std::collections::BTreeSet<qpo_datalog::Tuple> {
+    use qpo_datalog::{Constant, Database};
+    use std::collections::BTreeMap;
+
+    let rules = invert(views);
+    let mut schema_db = Database::new();
+    for rule in &rules {
+        // The rule body is the view head: bind its variables per tuple.
+        'tuples: for tuple in sources.tuples(&rule.source.predicate) {
+            if tuple.len() != rule.source.arity() {
+                continue;
+            }
+            let mut binding: BTreeMap<Arc<str>, Constant> = BTreeMap::new();
+            for (term, value) in rule.source.terms.iter().zip(tuple) {
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match binding.get(v.as_ref()) {
+                        Some(prev) if prev != value => continue 'tuples,
+                        Some(_) => {}
+                        None => {
+                            binding.insert(v.clone(), value.clone());
+                        }
+                    },
+                }
+            }
+            let fact: Vec<Constant> = rule
+                .terms
+                .iter()
+                .map(|rt| match rt {
+                    RuleTerm::Plain(Term::Const(c)) => c.clone(),
+                    RuleTerm::Plain(Term::Var(v)) => binding
+                        .get(v.as_ref())
+                        .cloned()
+                        .expect("head variables are bound by the view head"),
+                    RuleTerm::Skolem { view, index, args } => {
+                        // Deterministic Skolem constant over the bound args.
+                        let vals: Vec<String> = args
+                            .iter()
+                            .map(|a| match a {
+                                Term::Const(c) => c.to_string(),
+                                Term::Var(v) => binding
+                                    .get(v.as_ref())
+                                    .expect("Skolem args are head terms")
+                                    .to_string(),
+                            })
+                            .collect();
+                        Constant::str(format!(
+                            "{SKOLEM_PREFIX}{view}:{index}:{}",
+                            vals.join(",")
+                        ))
+                    }
+                })
+                .collect();
+            schema_db.insert(rule.relation.as_ref(), fact);
+        }
+    }
+    schema_db
+        .evaluate(query)
+        .into_iter()
+        .filter(|answer| {
+            !answer.iter().any(|c| {
+                matches!(c, Constant::Str(s) if s.starts_with(SKOLEM_PREFIX))
+            })
+        })
+        .collect()
+}
+
+/// Groups inverse rules into buckets for the query's subgoals (§7): rule
+/// `r` enters subgoal `g`'s bucket iff it derives `g`'s relation and
+/// unifies with it positionally — a Skolem term unifies with a variable but
+/// never with a constant (its value is unknown, so it cannot be *proven*
+/// equal to a constant), and a query constant must match a plain constant
+/// or a variable/Skolem-free position.
+pub fn buckets_from_inverse_rules<'r>(
+    query: &qpo_datalog::ConjunctiveQuery,
+    rules: &'r [InverseRule],
+) -> Vec<Vec<&'r InverseRule>> {
+    query
+        .body
+        .iter()
+        .map(|goal| {
+            rules
+                .iter()
+                .filter(|r| {
+                    r.relation == goal.predicate
+                        && r.terms.len() == goal.arity()
+                        && goal.terms.iter().zip(&r.terms).all(|(qt, rt)| match (qt, rt) {
+                            (Term::Var(_), _) => true,
+                            (Term::Const(c), RuleTerm::Plain(Term::Const(d))) => c == d,
+                            (Term::Const(_), RuleTerm::Plain(Term::Var(_))) => true,
+                            (Term::Const(_), RuleTerm::Skolem { .. }) => false,
+                        })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_datalog::parse_query;
+
+    fn desc(text: &str) -> SourceDescription {
+        SourceDescription::new(parse_query(text).unwrap())
+    }
+
+    #[test]
+    fn inverts_figure1_views() {
+        let rules = invert(&[
+            desc("v1(A, M) :- play_in(A, M), american(M)"),
+            desc("v4(R, M) :- review_of(R, M)"),
+        ]);
+        assert_eq!(rules.len(), 3, "one rule per body atom");
+        assert_eq!(rules[0].to_string(), "play_in(A, M) :- v1(A, M)");
+        assert_eq!(rules[1].to_string(), "american(M) :- v1(A, M)");
+        assert_eq!(rules[2].to_string(), "review_of(R, M) :- v4(R, M)");
+    }
+
+    #[test]
+    fn existentials_become_skolems() {
+        let rules = invert(&[desc("v(X) :- r(X, Y), s(Y, Z)")]);
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].to_string(), "r(X, f_v_0(X)) :- v(X)");
+        assert_eq!(rules[1].to_string(), "s(f_v_0(X), f_v_1(X)) :- v(X)");
+        match &rules[1].terms[1] {
+            RuleTerm::Skolem { view, index, args } => {
+                assert_eq!(view.as_ref(), "v");
+                assert_eq!(*index, 1);
+                assert_eq!(args, &vec![Term::var("X")]);
+            }
+            other => panic!("expected Skolem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bucket_grouping_matches_bucket_algorithm_on_figure1() {
+        let views = [
+            desc("v1(A, M) :- play_in(A, M), american(M)"),
+            desc("v2(A, M) :- play_in(A, M), russian(M)"),
+            desc("v3(A, M) :- play_in(A, M)"),
+            desc("v4(R, M) :- review_of(R, M)"),
+            desc("v5(R, M) :- review_of(R, M)"),
+            desc("v6(R, M) :- review_of(R, M)"),
+        ];
+        let rules = invert(&views);
+        let query = parse_query("q(M, R) :- play_in(ford, M), review_of(R, M)").unwrap();
+        let buckets = buckets_from_inverse_rules(&query, &rules);
+        let names = |b: &[&InverseRule]| -> Vec<String> {
+            b.iter().map(|r| r.source.predicate.to_string()).collect()
+        };
+        assert_eq!(names(&buckets[0]), vec!["v1", "v2", "v3"]);
+        assert_eq!(names(&buckets[1]), vec!["v4", "v5", "v6"]);
+    }
+
+    #[test]
+    fn skolem_never_unifies_with_a_constant() {
+        // v hides the second attribute of r, so a query fixing it to a
+        // constant cannot use the rule.
+        let rules = invert(&[desc("v(X) :- r(X, Y)")]);
+        let q = parse_query("q(X) :- r(X, paris)").unwrap();
+        let buckets = buckets_from_inverse_rules(&q, &rules);
+        assert!(buckets[0].is_empty());
+        // A variable there is fine.
+        let q2 = parse_query("q(X) :- r(X, Y)").unwrap();
+        assert_eq!(buckets_from_inverse_rules(&q2, &rules)[0].len(), 1);
+    }
+
+    #[test]
+    fn inverse_evaluation_joins_through_skolems() {
+        use qpo_datalog::{Constant, Database};
+        // v(X) :- r(X, Y): r's second column is a Skolem per X — answers
+        // projecting it away survive, answers exposing it are dropped.
+        let views = [desc("v(X) :- r(X, Y)")];
+        let mut db = Database::new();
+        db.insert("v", vec![Constant::int(1)]);
+        db.insert("v", vec![Constant::int(2)]);
+
+        let project = parse_query("q(X) :- r(X, Y)").unwrap();
+        let answers = answer_with_inverse_rules(&project, &views, &db);
+        assert_eq!(answers.len(), 2);
+
+        let expose = parse_query("q(X, Y) :- r(X, Y)").unwrap();
+        assert!(
+            answer_with_inverse_rules(&expose, &views, &db).is_empty(),
+            "Skolem values must never be reported"
+        );
+    }
+
+    #[test]
+    fn inverse_evaluation_equates_skolems_from_the_same_binding() {
+        use qpo_datalog::{Constant, Database};
+        // w(X, Z) :- r(X, Y), s(Y, Z): both atoms share the same Skolem for
+        // Y, so the derived facts join back together.
+        let views = [desc("w(X, Z) :- r(X, Y), s(Y, Z)")];
+        let mut db = Database::new();
+        db.insert("w", vec![Constant::int(1), Constant::int(9)]);
+        let q = parse_query("q(X, Z) :- r(X, Y), s(Y, Z)").unwrap();
+        let answers = answer_with_inverse_rules(&q, &views, &db);
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&vec![Constant::int(1), Constant::int(9)]));
+        // Distinct bindings get distinct Skolems: no cross-tuple joins.
+        db.insert("w", vec![Constant::int(2), Constant::int(8)]);
+        let answers = answer_with_inverse_rules(&q, &views, &db);
+        assert_eq!(answers.len(), 2, "no spurious cross joins");
+        assert!(!answers.contains(&vec![Constant::int(1), Constant::int(8)]));
+    }
+
+    #[test]
+    fn inverse_evaluation_respects_view_constants() {
+        use qpo_datalog::{Constant, Database};
+        let views = [desc("v(M) :- play_in(ford, M)")];
+        let mut db = Database::new();
+        db.insert("v", vec![Constant::str("witness")]);
+        let q = parse_query("q(M) :- play_in(ford, M)").unwrap();
+        assert_eq!(answer_with_inverse_rules(&q, &views, &db).len(), 1);
+        let q2 = parse_query("q(M) :- play_in(hanks, M)").unwrap();
+        assert!(answer_with_inverse_rules(&q2, &views, &db).is_empty());
+    }
+
+    #[test]
+    fn constants_in_rules_must_match() {
+        let rules = invert(&[desc("v(M) :- play_in(ford, M)")]);
+        let q_ok = parse_query("q(M) :- play_in(ford, M)").unwrap();
+        assert_eq!(buckets_from_inverse_rules(&q_ok, &rules)[0].len(), 1);
+        let q_bad = parse_query("q(M) :- play_in(hanks, M)").unwrap();
+        assert!(buckets_from_inverse_rules(&q_bad, &rules)[0].is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Query reformulation for LAV data integration.
+//!
+//! Three plan-generation algorithms, all feeding the plan-ordering
+//! algorithms of `qpo-core` (per §2 and §7 of Doan & Halevy, ICDE 2002):
+//!
+//! - [`bucket`] — the bucket algorithm: one bucket per subgoal, candidate
+//!   plans from the Cartesian product, soundness tested per plan;
+//! - [`inverse`] — inverse rules: view inversion with Skolem terms, rules
+//!   grouped per covered relation into buckets;
+//! - [`minicon`] — MiniCon: generalized buckets covering *sets* of
+//!   subgoals, combined into plan spaces that contain only sound plans;
+//! - [`assemble`] — binds reformulated buckets to catalog statistics,
+//!   producing the [`qpo_catalog::ProblemInstance`] the orderers consume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod bucket;
+pub mod inverse;
+pub mod minicon;
+
+pub use assemble::{minicon_instances, reformulate, Reformulation, ReformulationError};
+pub use bucket::{candidate_plan, create_buckets, enumerate_sound_plans, BucketEntry, Buckets};
+pub use inverse::{answer_with_inverse_rules, buckets_from_inverse_rules, invert, InverseRule, RuleTerm};
+pub use minicon::{form_mcds, minicon_plan_spaces, GeneralizedBucket, Mcd, McdPlanSpace};

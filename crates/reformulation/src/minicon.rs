@@ -1,0 +1,477 @@
+//! The MiniCon algorithm [Pottinger–Levy, VLDB '00], adapted to produce
+//! the *generalized buckets* and *plan spaces* of §7 of the plan-ordering
+//! paper.
+//!
+//! A MiniCon description (MCD) records that a view can cover a *set* of
+//! query subgoals at once; the key rule is that when a query variable maps
+//! to an existential view variable, every subgoal mentioning that variable
+//! must be covered by the same MCD (the join can only happen inside the
+//! view). MCDs with the same covered set form a generalized bucket; a set
+//! of buckets whose covered sets partition the query's subgoals forms a
+//! plan space containing **only sound plans** — so, unlike with the bucket
+//! algorithm, plans popped from the ordering algorithms need no soundness
+//! test.
+//!
+//! This implementation is deliberately conservative in one corner: it
+//! rejects mappings that send two distinct query variables to the same view
+//! variable (equating variables through a view). Such rewritings are rare
+//! and the restriction only loses candidate plans, never admits unsound
+//! ones; the tests cross-check every produced plan against the
+//! expansion-containment soundness test.
+
+use qpo_datalog::{Atom, ConjunctiveQuery, SourceDescription, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A MiniCon description: one view covering a set of query subgoals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mcd {
+    /// The view used.
+    pub view: Arc<str>,
+    /// Indices of the query subgoals this MCD covers.
+    pub covered: BTreeSet<usize>,
+    /// The instantiated source atom to splice into plans.
+    pub atom: Atom,
+}
+
+/// All MCDs sharing one covered set: a generalized bucket (§7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneralizedBucket {
+    /// The covered subgoal indices.
+    pub covered: BTreeSet<usize>,
+    /// The MCDs (plan alternatives) for this covered set.
+    pub entries: Vec<Mcd>,
+}
+
+/// A plan space: generalized buckets whose covered sets partition the
+/// query's subgoals. Every choice of one entry per bucket is a sound plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McdPlanSpace {
+    /// The buckets, ordered by their smallest covered subgoal.
+    pub buckets: Vec<GeneralizedBucket>,
+}
+
+impl McdPlanSpace {
+    /// Number of plans in this space.
+    pub fn plan_count(&self) -> usize {
+        self.buckets.iter().map(|b| b.entries.len()).product()
+    }
+
+    /// Materializes the plan selecting `choice[i]` from bucket `i`.
+    pub fn plan(&self, query: &ConjunctiveQuery, choice: &[usize]) -> ConjunctiveQuery {
+        assert_eq!(choice.len(), self.buckets.len(), "one choice per bucket");
+        let body = self
+            .buckets
+            .iter()
+            .zip(choice)
+            .map(|(b, &c)| b.entries[c].atom.clone())
+            .collect();
+        ConjunctiveQuery::new(query.head.clone(), body)
+    }
+}
+
+/// In-progress MCD construction state.
+#[derive(Debug, Clone)]
+struct State {
+    /// query variable → view term.
+    tau: BTreeMap<Arc<str>, Term>,
+    /// view variable → query term (must stay single-valued: the
+    /// conservative no-equating rule).
+    rev: BTreeMap<Arc<str>, Term>,
+    covered: BTreeSet<usize>,
+}
+
+struct ViewInfo<'v> {
+    desc: &'v SourceDescription,
+    head_vars: Vec<Arc<str>>,
+}
+
+/// Tries to extend `state` by matching query subgoal `goal` against view
+/// body atom `atom`. Returns the query variables newly mapped to
+/// existential view variables (whose other subgoals must then be covered).
+fn match_atom(
+    state: &mut State,
+    goal: &Atom,
+    atom: &Atom,
+    view: &ViewInfo,
+    query_head_vars: &[Arc<str>],
+) -> Option<Vec<Arc<str>>> {
+    if goal.predicate != atom.predicate || goal.arity() != atom.arity() {
+        return None;
+    }
+    let mut forced = Vec::new();
+    for (qt, vt) in goal.terms.iter().zip(&atom.terms) {
+        match (qt, vt) {
+            (Term::Const(c), Term::Const(d)) => {
+                if c != d {
+                    return None;
+                }
+            }
+            (Term::Const(_), Term::Var(y)) => {
+                // The plan can select y = constant only if y is exported.
+                if !view.head_vars.contains(y) {
+                    return None;
+                }
+                match state.rev.get(y.as_ref()) {
+                    Some(prev) if prev != qt => return None,
+                    Some(_) => {}
+                    None => {
+                        state.rev.insert(y.clone(), qt.clone());
+                    }
+                }
+            }
+            (Term::Var(x), vt) => {
+                match state.tau.get(x.as_ref()) {
+                    Some(prev) if prev != vt => return None,
+                    Some(_) => continue, // already mapped consistently
+                    None => {}
+                }
+                if let Term::Var(y) = vt {
+                    let distinguished = view.head_vars.contains(y);
+                    if query_head_vars.contains(x) && !distinguished {
+                        return None; // C1: distinguished var must be exported
+                    }
+                    match state.rev.get(y.as_ref()) {
+                        Some(prev) if prev != qt => return None, // no equating
+                        Some(_) => {}
+                        None => {
+                            state.rev.insert(y.clone(), qt.clone());
+                        }
+                    }
+                    if !distinguished {
+                        forced.push(x.clone()); // C2 closure trigger
+                    }
+                } else {
+                    // View constant: the value is fixed *inside* the view.
+                    // A distinguished variable could not be reported, and a
+                    // join on x could only be checked inside this view —
+                    // so close over x's other subgoals, like C2.
+                    if query_head_vars.contains(x) {
+                        return None;
+                    }
+                    forced.push(x.clone());
+                }
+                state.tau.insert(x.clone(), vt.clone());
+            }
+        }
+    }
+    Some(forced)
+}
+
+/// Recursively covers `pending` subgoals inside the view, branching over
+/// body-atom choices; pushes completed states into `done`.
+fn close(
+    state: State,
+    mut pending: Vec<usize>,
+    query: &ConjunctiveQuery,
+    view: &ViewInfo,
+    query_head_vars: &[Arc<str>],
+    done: &mut Vec<State>,
+) {
+    // Drop already-covered goals.
+    while let Some(&g) = pending.last() {
+        if state.covered.contains(&g) {
+            pending.pop();
+        } else {
+            break;
+        }
+    }
+    let Some(goal_idx) = pending.pop() else {
+        done.push(state);
+        return;
+    };
+    let goal = &query.body[goal_idx];
+    for atom in &view.desc.definition.body {
+        let mut next = state.clone();
+        next.covered.insert(goal_idx);
+        if let Some(forced) = match_atom(&mut next, goal, atom, view, query_head_vars) {
+            let mut next_pending = pending.clone();
+            for x in forced {
+                for (i, g) in query.body.iter().enumerate() {
+                    if !next.covered.contains(&i) && g.variables().contains(&x) {
+                        next_pending.push(i);
+                    }
+                }
+            }
+            close(next, next_pending, query, view, query_head_vars, done);
+        }
+    }
+}
+
+/// Builds the instantiated source atom for a completed state.
+fn instantiate(state: &State, view: &ViewInfo, fresh_prefix: &str) -> Atom {
+    let mut fresh = 0usize;
+    let terms = view
+        .desc
+        .definition
+        .head
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(_) => t.clone(),
+            Term::Var(y) => state.rev.get(y.as_ref()).cloned().unwrap_or_else(|| {
+                fresh += 1;
+                Term::var(format!("{fresh_prefix}f{fresh}"))
+            }),
+        })
+        .collect();
+    Atom::new(view.desc.name().as_ref(), terms)
+}
+
+/// Forms all MCDs for `query` over `views`.
+pub fn form_mcds(query: &ConjunctiveQuery, views: &[SourceDescription]) -> Vec<Mcd> {
+    let query_head_vars = query.head_variables();
+    let mut mcds: Vec<Mcd> = Vec::new();
+    for desc in views {
+        let view = ViewInfo {
+            desc,
+            head_vars: desc.definition.head.variables(),
+        };
+        for start in 0..query.body.len() {
+            let state = State {
+                tau: BTreeMap::new(),
+                rev: BTreeMap::new(),
+                covered: BTreeSet::new(),
+            };
+            let mut done = Vec::new();
+            close(state, vec![start], query, &view, &query_head_vars, &mut done);
+            for (k, s) in done.into_iter().enumerate() {
+                // Keep only MCDs whose smallest covered goal is the start:
+                // closures discovered from a later start are duplicates.
+                if s.covered.iter().next() != Some(&start) {
+                    continue;
+                }
+                let prefix = format!("_M{}g{start}c{k}_", mcds.len());
+                let mcd = Mcd {
+                    view: desc.name().clone(),
+                    covered: s.covered.clone(),
+                    atom: instantiate(&s, &view, &prefix),
+                };
+                // Structural dedup (ignoring fresh-variable names).
+                let dup = mcds.iter().any(|m| {
+                    m.view == mcd.view
+                        && m.covered == mcd.covered
+                        && m.atom.terms.len() == mcd.atom.terms.len()
+                        && m.atom
+                            .terms
+                            .iter()
+                            .zip(&mcd.atom.terms)
+                            .all(|(a, b)| a == b || (a.is_var() && b.is_var()))
+                });
+                if !dup {
+                    mcds.push(mcd);
+                }
+            }
+        }
+    }
+    mcds
+}
+
+/// Groups MCDs into plan spaces: every partition of the subgoal indices
+/// into covered sets (with at least one MCD each) yields one space.
+pub fn minicon_plan_spaces(
+    query: &ConjunctiveQuery,
+    views: &[SourceDescription],
+) -> Vec<McdPlanSpace> {
+    let mcds = form_mcds(query, views);
+    // Distinct covered sets, each with its entries.
+    let mut groups: BTreeMap<BTreeSet<usize>, Vec<Mcd>> = BTreeMap::new();
+    for m in mcds {
+        groups.entry(m.covered.clone()).or_default().push(m);
+    }
+    let sets: Vec<&BTreeSet<usize>> = groups.keys().collect();
+    let n = query.body.len();
+    let mut spaces = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+
+    fn cover(
+        uncovered: &BTreeSet<usize>,
+        sets: &[&BTreeSet<usize>],
+        stack: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        let Some(&first) = uncovered.iter().next() else {
+            out.push(stack.clone());
+            return;
+        };
+        for (i, s) in sets.iter().enumerate() {
+            if s.contains(&first) && s.is_subset(uncovered) {
+                stack.push(i);
+                let rest: BTreeSet<usize> = uncovered.difference(s).copied().collect();
+                cover(&rest, sets, stack, out);
+                stack.pop();
+            }
+        }
+    }
+
+    let all: BTreeSet<usize> = (0..n).collect();
+    let mut covers = Vec::new();
+    cover(&all, &sets, &mut stack, &mut covers);
+    for c in covers {
+        let mut buckets: Vec<GeneralizedBucket> = c
+            .into_iter()
+            .map(|i| GeneralizedBucket {
+                covered: sets[i].clone(),
+                entries: groups[sets[i]].clone(),
+            })
+            .collect();
+        buckets.sort_by_key(|b| b.covered.iter().next().copied());
+        spaces.push(McdPlanSpace { buckets });
+    }
+    spaces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_datalog::{expansion::view_map, is_sound_plan, parse_query};
+
+    fn desc(text: &str) -> SourceDescription {
+        SourceDescription::new(parse_query(text).unwrap())
+    }
+
+    fn figure1_views() -> Vec<SourceDescription> {
+        vec![
+            desc("v1(A, M) :- play_in(A, M), american(M)"),
+            desc("v2(A, M) :- play_in(A, M), russian(M)"),
+            desc("v3(A, M) :- play_in(A, M)"),
+            desc("v4(R, M) :- review_of(R, M)"),
+            desc("v5(R, M) :- review_of(R, M)"),
+            desc("v6(R, M) :- review_of(R, M)"),
+        ]
+    }
+
+    fn assert_all_sound(
+        query: &ConjunctiveQuery,
+        views: &[SourceDescription],
+        spaces: &[McdPlanSpace],
+    ) -> usize {
+        let vm = view_map(views);
+        let mut count = 0;
+        for space in spaces {
+            let mut choice = vec![0usize; space.buckets.len()];
+            'space: loop {
+                let plan = space.plan(query, &choice);
+                assert!(
+                    is_sound_plan(&plan, &vm, query).unwrap(),
+                    "unsound minicon plan: {plan}"
+                );
+                count += 1;
+                let mut b = space.buckets.len();
+                loop {
+                    if b == 0 {
+                        break 'space;
+                    }
+                    b -= 1;
+                    choice[b] += 1;
+                    if choice[b] < space.buckets[b].entries.len() {
+                        break;
+                    }
+                    choice[b] = 0;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn figure1_single_space_with_nine_plans() {
+        let query = parse_query("q(M, R) :- play_in(ford, M), review_of(R, M)").unwrap();
+        let views = figure1_views();
+        let spaces = minicon_plan_spaces(&query, &views);
+        assert_eq!(spaces.len(), 1);
+        assert_eq!(spaces[0].buckets.len(), 2);
+        assert_eq!(spaces[0].plan_count(), 9);
+        let n = assert_all_sound(&query, &views, &spaces);
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn hidden_join_variable_forces_multi_goal_mcd() {
+        // v covers both subgoals at once (Y is hidden); w exports Y.
+        let views = vec![
+            desc("v(X, Z) :- r(X, Y), s(Y, Z)"),
+            desc("w1(X, Y) :- r(X, Y)"),
+            desc("w2(Y, Z) :- s(Y, Z)"),
+        ];
+        let query = parse_query("q(X, Z) :- r(X, Y), s(Y, Z)").unwrap();
+        let mcds = form_mcds(&query, &views);
+        let v_mcd = mcds.iter().find(|m| m.view.as_ref() == "v").unwrap();
+        assert_eq!(v_mcd.covered.len(), 2, "v must cover both subgoals");
+        // Two plan spaces: {v} and {w1} × {w2}.
+        let spaces = minicon_plan_spaces(&query, &views);
+        assert_eq!(spaces.len(), 2);
+        let total = assert_all_sound(&query, &views, &spaces);
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn view_that_cannot_join_is_excluded() {
+        // v hides Y but covers only r — its MCD would need to cover the s
+        // subgoal too, which v cannot; so v yields no MCD at all.
+        let views = vec![desc("v(X) :- r(X, Y)"), desc("w(Y, Z) :- s(Y, Z)")];
+        let query = parse_query("q(X) :- r(X, Y), s(Y, Z)").unwrap();
+        let mcds = form_mcds(&query, &views);
+        assert!(
+            mcds.iter().all(|m| m.view.as_ref() != "v"),
+            "v must not form an MCD: {mcds:?}"
+        );
+        assert!(minicon_plan_spaces(&query, &views).is_empty());
+    }
+
+    #[test]
+    fn distinguished_variable_must_be_exported() {
+        let views = vec![desc("v(X) :- r(X, Y)")];
+        let query = parse_query("q(X, Y) :- r(X, Y)").unwrap();
+        assert!(form_mcds(&query, &views).is_empty());
+    }
+
+    #[test]
+    fn constants_restrict_mcds() {
+        let views = vec![
+            desc("va(M) :- play_in(ford, M)"),
+            desc("vb(A, M) :- play_in(A, M)"),
+        ];
+        let query = parse_query("q(M) :- play_in(ford, M)").unwrap();
+        let mcds = form_mcds(&query, &views);
+        let names: BTreeSet<&str> = mcds.iter().map(|m| m.view.as_ref()).collect();
+        assert!(names.contains("va") && names.contains("vb"));
+        let spaces = minicon_plan_spaces(&query, &views);
+        assert_eq!(assert_all_sound(&query, &views, &spaces), 2);
+    }
+
+    #[test]
+    fn matches_bucket_algorithm_plan_set_on_figure1() {
+        use crate::bucket::{create_buckets, enumerate_sound_plans};
+        let query = parse_query("q(M, R) :- play_in(ford, M), review_of(R, M)").unwrap();
+        let views = figure1_views();
+        let buckets = create_buckets(&query, &views);
+        let bucket_plans: BTreeSet<Vec<Arc<str>>> =
+            enumerate_sound_plans(&query, &views, &buckets)
+                .into_iter()
+                .map(|(_, p)| p.body.iter().map(|a| a.predicate.clone()).collect())
+                .collect();
+        let spaces = minicon_plan_spaces(&query, &views);
+        let mut minicon_plans: BTreeSet<Vec<Arc<str>>> = BTreeSet::new();
+        for space in &spaces {
+            let mut choice = vec![0usize; space.buckets.len()];
+            'outer: loop {
+                let plan = space.plan(&query, &choice);
+                minicon_plans.insert(plan.body.iter().map(|a| a.predicate.clone()).collect());
+                let mut b = space.buckets.len();
+                loop {
+                    if b == 0 {
+                        break 'outer;
+                    }
+                    b -= 1;
+                    choice[b] += 1;
+                    if choice[b] < space.buckets[b].entries.len() {
+                        break;
+                    }
+                    choice[b] = 0;
+                }
+            }
+        }
+        assert_eq!(bucket_plans, minicon_plans);
+    }
+}

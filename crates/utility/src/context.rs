@@ -1,0 +1,86 @@
+//! Execution context: the plans assumed already executed.
+//!
+//! The paper's utility is `u(p | p1, ..., pl, Q)` — the worth of `p` *given*
+//! that `p1..pl` ran first (§2). The context records those plans and, for
+//! caching-aware measures, the set of source operations whose results are
+//! cached (one operation per `(bucket, source)` pair; see DESIGN.md for the
+//! source-level caching approximation).
+
+use std::collections::BTreeSet;
+
+/// The ordered list of executed plans plus a cached-operation index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionContext {
+    executed: Vec<Vec<usize>>,
+    /// Per bucket, the set of source indices whose operation is cached.
+    cached: Vec<BTreeSet<usize>>,
+}
+
+impl ExecutionContext {
+    /// An empty context: nothing executed, nothing cached.
+    pub fn new() -> Self {
+        ExecutionContext::default()
+    }
+
+    /// Records a plan as executed (appended to the history; its source
+    /// operations become cached).
+    pub fn record(&mut self, plan: &[usize]) {
+        if self.cached.len() < plan.len() {
+            self.cached.resize_with(plan.len(), BTreeSet::new);
+        }
+        for (bucket, &index) in plan.iter().enumerate() {
+            self.cached[bucket].insert(index);
+        }
+        self.executed.push(plan.to_vec());
+    }
+
+    /// The executed plans, oldest first.
+    pub fn executed(&self) -> &[Vec<usize>] {
+        &self.executed
+    }
+
+    /// Number of executed plans.
+    pub fn len(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// True iff nothing has been executed.
+    pub fn is_empty(&self) -> bool {
+        self.executed.is_empty()
+    }
+
+    /// True iff the operation `(bucket, index)` has a cached result.
+    pub fn is_cached(&self, bucket: usize, index: usize) -> bool {
+        self.cached.get(bucket).is_some_and(|s| s.contains(&index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut ctx = ExecutionContext::new();
+        assert!(ctx.is_empty());
+        assert!(!ctx.is_cached(0, 0));
+
+        ctx.record(&[2, 5]);
+        ctx.record(&[2, 7]);
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(ctx.executed(), &[vec![2, 5], vec![2, 7]]);
+        assert!(ctx.is_cached(0, 2));
+        assert!(ctx.is_cached(1, 5) && ctx.is_cached(1, 7));
+        assert!(!ctx.is_cached(1, 2), "caching is per bucket");
+        assert!(!ctx.is_cached(9, 0), "out-of-range bucket is not cached");
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let mut ctx = ExecutionContext::new();
+        ctx.record(&[1]);
+        ctx.record(&[0]);
+        assert_eq!(ctx.executed()[0], vec![1]);
+        assert_eq!(ctx.executed()[1], vec![0]);
+    }
+}

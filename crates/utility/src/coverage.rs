@@ -1,0 +1,308 @@
+//! Plan coverage (§2, Example 2.1): the probability that a random answer
+//! tuple is returned by this plan and by no previously executed plan.
+//!
+//! Under the extent/box model (see [`crate::geometry`]): the coverage of
+//! plan `p` given executed plans `E` is
+//! `vol(box_p \ ∪_{e∈E} box_e) / Π_b N_b`. Coverage exhibits
+//! *utility-diminishing returns* (executing more plans can only shrink what
+//! is new) and plans with disjoint boxes are *independent* — both exactly
+//! the properties §3 of the paper derives for its coverage measure.
+
+use crate::context::ExecutionContext;
+use crate::geometry::{residual_volume, BoxN};
+use crate::measure::{as_concrete, UtilityMeasure};
+use qpo_catalog::{Extent, ProblemInstance};
+use qpo_interval::Interval;
+
+/// The plan-coverage utility measure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coverage;
+
+impl Coverage {
+    /// Creates the measure.
+    pub fn new() -> Self {
+        Coverage
+    }
+
+    fn extent(inst: &ProblemInstance, bucket: usize, index: usize) -> Extent {
+        inst.buckets[bucket][index].extent
+    }
+
+    /// The product box covered by a concrete plan.
+    pub fn plan_box(inst: &ProblemInstance, plan: &[usize]) -> BoxN {
+        BoxN::new(
+            plan.iter()
+                .enumerate()
+                .map(|(b, &i)| Self::extent(inst, b, i))
+                .collect(),
+        )
+    }
+
+    fn total_volume(inst: &ProblemInstance) -> f64 {
+        inst.universes.iter().map(|&u| u as f64).product()
+    }
+}
+
+impl UtilityMeasure for Coverage {
+    fn name(&self) -> &'static str {
+        "coverage"
+    }
+
+    fn utility(&self, inst: &ProblemInstance, plan: &[usize], ctx: &ExecutionContext) -> f64 {
+        let target = Self::plan_box(inst, plan);
+        let executed: Vec<BoxN> = ctx
+            .executed()
+            .iter()
+            .map(|e| Self::plan_box(inst, e))
+            .collect();
+        residual_volume(&target, &executed) as f64 / Self::total_volume(inst)
+    }
+
+    /// Sound interval via per-axis candidate ranges and Bonferroni bounds:
+    /// for any member plan `s`,
+    /// `max_e vol(s∩e) ≤ vol(s ∩ ∪E) ≤ Σ_e vol(s∩e)`, so
+    /// `coverage(s) ∈ [vol_lo(p) − Σ_e hi(p∩e),  vol_hi(p) − max_e lo(p∩e)]`
+    /// (clamped to non-negative, normalized by the universe volume).
+    fn utility_interval(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        ctx: &ExecutionContext,
+    ) -> Interval {
+        if let Some(plan) = as_concrete(candidates) {
+            return Interval::point(self.utility(inst, &plan, ctx));
+        }
+        // Normalized per-axis fractions keep products well-conditioned.
+        let mut vol = Interval::ONE;
+        for (b, cands) in candidates.iter().enumerate() {
+            let u = inst.universes[b] as f64;
+            let lens = cands.iter().map(|&i| Self::extent(inst, b, i).len as f64 / u);
+            let lo = lens.clone().fold(f64::MAX, f64::min);
+            let hi = lens.fold(f64::MIN, f64::max);
+            vol = vol * Interval::new(lo, hi);
+        }
+        let mut overlap_hi_sum = 0.0;
+        let mut overlap_lo_max = 0.0f64;
+        for e in ctx.executed() {
+            let mut ov = Interval::ONE;
+            for (b, cands) in candidates.iter().enumerate() {
+                let u = inst.universes[b] as f64;
+                let e_ext = Self::extent(inst, b, e[b]);
+                let fracs = cands
+                    .iter()
+                    .map(|&i| Self::extent(inst, b, i).intersect(e_ext).len as f64 / u);
+                let lo = fracs.clone().fold(f64::MAX, f64::min);
+                let hi = fracs.fold(f64::MIN, f64::max);
+                ov = ov * Interval::new(lo, hi);
+            }
+            overlap_hi_sum += ov.hi();
+            overlap_lo_max = overlap_lo_max.max(ov.lo());
+        }
+        let lo = (vol.lo() - overlap_hi_sum).max(0.0);
+        let hi = (vol.hi() - overlap_lo_max).max(lo);
+        Interval::new(lo, hi)
+    }
+
+    fn diminishing_returns(&self) -> bool {
+        true
+    }
+
+    fn monotone_subgoals(&self, inst: &ProblemInstance) -> Vec<bool> {
+        // Coverage depends on overlap structure, not a per-bucket total
+        // order: replacing a source can help in one plan and hurt in
+        // another. Conservatively: no subgoal is monotonic.
+        vec![false; inst.query_len()]
+    }
+
+    /// Exact under the box model: disjoint boxes cannot affect each other's
+    /// residual volume.
+    fn independent(&self, inst: &ProblemInstance, p: &[usize], q: &[usize]) -> bool {
+        p.iter()
+            .zip(q)
+            .enumerate()
+            .any(|(b, (&i, &j))| !Self::extent(inst, b, i).overlaps(Self::extent(inst, b, j)))
+    }
+
+    /// Every member of the abstract plan is independent of `d` if on some
+    /// axis *all* candidates are disjoint from `d`'s extent.
+    fn all_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        d: &[usize],
+    ) -> bool {
+        candidates.iter().enumerate().any(|(b, cands)| {
+            let d_ext = Self::extent(inst, b, d[b]);
+            cands
+                .iter()
+                .all(|&i| !Self::extent(inst, b, i).overlaps(d_ext))
+        })
+    }
+
+    /// Greedy per-axis witness construction: choose on each axis the
+    /// candidate disjoint from the most remaining executed plans; the
+    /// resulting member plan is independent of every executed plan it
+    /// "kills" on some axis. Sound and incomplete, as §3 allows.
+    fn exists_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        executed: &[Vec<usize>],
+    ) -> bool {
+        let mut remaining: Vec<&Vec<usize>> = executed.iter().collect();
+        if remaining.is_empty() {
+            return true;
+        }
+        for (b, cands) in candidates.iter().enumerate() {
+            let kills = |i: usize, e: &Vec<usize>| {
+                !Self::extent(inst, b, i).overlaps(Self::extent(inst, b, e[b]))
+            };
+            let best = cands
+                .iter()
+                .max_by_key(|&&i| remaining.iter().filter(|e| kills(i, e)).count());
+            if let Some(&i) = best {
+                remaining.retain(|e| !kills(i, e));
+                if remaining.is_empty() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_catalog::SourceStats;
+
+    /// 2 buckets over universes of 10; extents chosen for hand-computable
+    /// volumes.
+    fn inst() -> ProblemInstance {
+        let src = |s, l| SourceStats::new().with_extent(Extent::new(s, l));
+        ProblemInstance::new(
+            0.0,
+            vec![10, 10],
+            vec![
+                vec![src(0, 4), src(2, 4), src(8, 2)],
+                vec![src(0, 5), src(5, 5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_plan_coverage_is_box_volume() {
+        let inst = inst();
+        let ctx = ExecutionContext::new();
+        // box = [0,4) x [0,5): 20 cells of 100.
+        assert_eq!(Coverage.utility(&inst, &[0, 0], &ctx), 0.20);
+        assert_eq!(Coverage.utility(&inst, &[2, 1], &ctx), 0.10);
+    }
+
+    #[test]
+    fn coverage_shrinks_after_overlapping_execution() {
+        let inst = inst();
+        let mut ctx = ExecutionContext::new();
+        ctx.record(&[0, 0]);
+        // [2,6) x [0,5) minus [0,4) x [0,5): remaining [4,6) x [0,5) = 10.
+        assert_eq!(Coverage.utility(&inst, &[1, 0], &ctx), 0.10);
+        // A disjoint plan is unaffected.
+        assert_eq!(Coverage.utility(&inst, &[2, 1], &ctx), 0.10);
+        // Executing the same plan again yields zero new coverage.
+        assert_eq!(Coverage.utility(&inst, &[0, 0], &ctx), 0.0);
+    }
+
+    #[test]
+    fn diminishing_returns_holds_empirically() {
+        let inst = inst();
+        let plan = [1, 0];
+        let mut ctx = ExecutionContext::new();
+        let mut prev = Coverage.utility(&inst, &plan, &ctx);
+        for e in [[0, 0], [2, 1], [0, 1]] {
+            ctx.record(&e);
+            let now = Coverage.utility(&inst, &plan, &ctx);
+            assert!(now <= prev, "coverage increased after executing {e:?}");
+            prev = now;
+        }
+        assert!(Coverage.diminishing_returns());
+    }
+
+    #[test]
+    fn independence_is_exact_for_disjoint_boxes() {
+        let inst = inst();
+        // axis 0: [0,4) vs [8,10) disjoint → independent.
+        assert!(Coverage.independent(&inst, &[0, 0], &[2, 0]));
+        // overlapping on both axes → dependent.
+        assert!(!Coverage.independent(&inst, &[0, 0], &[1, 0]));
+        // disjoint on axis 1 → independent.
+        assert!(Coverage.independent(&inst, &[0, 0], &[1, 1]));
+    }
+
+    #[test]
+    fn interval_is_point_for_concrete() {
+        let inst = inst();
+        let mut ctx = ExecutionContext::new();
+        ctx.record(&[0, 0]);
+        ctx.record(&[2, 1]);
+        let iv = Coverage.utility_interval(&inst, &[vec![1], vec![0]], &ctx);
+        assert!(iv.is_point());
+        assert_eq!(iv.lo(), Coverage.utility(&inst, &[1, 0], &ctx));
+    }
+
+    #[test]
+    fn interval_contains_all_members_under_context() {
+        let inst = inst();
+        let mut ctx = ExecutionContext::new();
+        for e in [[0usize, 0usize], [1, 1]] {
+            ctx.record(&e);
+        }
+        let cands = vec![vec![0, 1, 2], vec![0, 1]];
+        let iv = Coverage.utility_interval(&inst, &cands, &ctx);
+        for &i in &cands[0] {
+            for &j in &cands[1] {
+                let u = Coverage.utility(&inst, &[i, j], &ctx);
+                assert!(
+                    iv.lo() <= u + 1e-12 && u <= iv.hi() + 1e-12,
+                    "utility {u} of [{i},{j}] outside {iv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_independent_needs_a_fully_disjoint_axis() {
+        let inst = inst();
+        // Candidates {0,1} on axis 0 both overlap d=[1,0]'s extent [2,6).
+        assert!(!Coverage.all_independent(&inst, &[vec![0, 1], vec![0]], &[1, 0]));
+        // But axis 1 candidate {0}=[0,5) is disjoint from d=[*,1]'s [5,10).
+        assert!(Coverage.all_independent(&inst, &[vec![0, 1], vec![0]], &[1, 1]));
+    }
+
+    #[test]
+    fn exists_independent_finds_witnesses_across_axes() {
+        let inst = inst();
+        // Executed: e1=[0,0] and e2=[0,1]. Candidate set: axis0 {2} kills
+        // both on axis 0 (extent [8,10) disjoint from [0,4)).
+        assert!(Coverage.exists_independent(
+            &inst,
+            &[vec![2], vec![0, 1]],
+            &[vec![0, 0], vec![0, 1]]
+        ));
+        // Candidates {0,1} on axis 0 overlap e=[1,*]; axis 1 {0} vs e_1=0
+        // also overlaps → no witness.
+        assert!(!Coverage.exists_independent(
+            &inst,
+            &[vec![0, 1], vec![0]],
+            &[vec![1, 0]]
+        ));
+        // Empty executed set: trivially true.
+        assert!(Coverage.exists_independent(&inst, &[vec![0, 1], vec![0]], &[]));
+    }
+
+    #[test]
+    fn not_monotonic() {
+        let inst = inst();
+        assert!(!Coverage.is_fully_monotonic(&inst));
+    }
+}

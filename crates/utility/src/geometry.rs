@@ -1,0 +1,258 @@
+//! Axis-aligned box geometry over source extents.
+//!
+//! A concrete plan covers the product box of its sources' extents; the
+//! coverage of a plan given executed plans `E` is the volume of its box
+//! minus the volume already covered: `vol(box_p \ ∪_{e∈E} box_e)`. We
+//! compute this exactly by maintaining a disjoint-fragment decomposition:
+//! subtracting a box from a box yields at most `2·d` disjoint fragments.
+//!
+//! Volumes use `u128`: with universes up to ~10⁴ and query lengths up to 7,
+//! products stay far below `2¹²⁷`.
+
+use qpo_catalog::Extent;
+
+/// An axis-aligned box: one extent per query subgoal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxN {
+    extents: Vec<Extent>,
+}
+
+impl BoxN {
+    /// Creates a box from per-axis extents.
+    pub fn new(extents: Vec<Extent>) -> Self {
+        BoxN { extents }
+    }
+
+    /// Number of axes.
+    pub fn dims(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Per-axis extents.
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Product of extent lengths. The empty product (zero axes) is 1.
+    pub fn volume(&self) -> u128 {
+        self.extents.iter().map(|e| e.len as u128).product()
+    }
+
+    /// True iff some axis is empty (volume zero).
+    pub fn is_empty(&self) -> bool {
+        self.extents.iter().any(|e| e.is_empty())
+    }
+
+    /// Axis-wise intersection; empty on any axis makes the box empty.
+    pub fn intersect(&self, other: &BoxN) -> BoxN {
+        debug_assert_eq!(self.dims(), other.dims());
+        BoxN::new(
+            self.extents
+                .iter()
+                .zip(&other.extents)
+                .map(|(a, b)| a.intersect(*b))
+                .collect(),
+        )
+    }
+
+    /// True iff the boxes share volume.
+    pub fn overlaps(&self, other: &BoxN) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Subtracts `other`, returning disjoint fragments that exactly cover
+    /// `self \ other`. Produces at most `2·dims` fragments.
+    pub fn subtract(&self, other: &BoxN) -> Vec<BoxN> {
+        let inter = self.intersect(other);
+        if inter.is_empty() {
+            return if self.is_empty() { vec![] } else { vec![self.clone()] };
+        }
+        let mut fragments = Vec::new();
+        // Peel the region outside the intersection one axis at a time:
+        // after axis i is processed, `core` matches the intersection on
+        // axes 0..=i and `self` on the rest.
+        let mut core = self.clone();
+        for axis in 0..self.dims() {
+            let [left, right] = core.extents[axis].subtract(inter.extents[axis]);
+            for piece in [left, right] {
+                if !piece.is_empty() {
+                    let mut frag = core.clone();
+                    frag.extents[axis] = piece;
+                    if !frag.is_empty() {
+                        fragments.push(frag);
+                    }
+                }
+            }
+            core.extents[axis] = inter.extents[axis];
+        }
+        fragments
+    }
+}
+
+/// Volume of `target \ ∪ others`, computed by iterated subtraction over a
+/// disjoint-fragment worklist.
+pub fn residual_volume(target: &BoxN, others: &[BoxN]) -> u128 {
+    if target.is_empty() {
+        return 0;
+    }
+    let mut fragments = vec![target.clone()];
+    for other in others {
+        if other.is_empty() || !target.overlaps(other) {
+            continue;
+        }
+        let mut next = Vec::with_capacity(fragments.len());
+        for frag in &fragments {
+            next.extend(frag.subtract(other));
+        }
+        fragments = next;
+        if fragments.is_empty() {
+            return 0;
+        }
+    }
+    fragments.iter().map(BoxN::volume).sum()
+}
+
+/// Volume of `∪ boxes` (inclusion-free: computed by summing residuals of
+/// each box against its predecessors).
+pub fn union_volume(boxes: &[BoxN]) -> u128 {
+    boxes
+        .iter()
+        .enumerate()
+        .map(|(i, b)| residual_volume(b, &boxes[..i]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bx(extents: &[(u64, u64)]) -> BoxN {
+        BoxN::new(extents.iter().map(|&(s, l)| Extent::new(s, l)).collect())
+    }
+
+    #[test]
+    fn volume_and_empty() {
+        assert_eq!(bx(&[(0, 3), (0, 4)]).volume(), 12);
+        assert_eq!(bx(&[(0, 3), (5, 0)]).volume(), 0);
+        assert!(bx(&[(0, 3), (5, 0)]).is_empty());
+        assert!(!bx(&[(0, 1)]).is_empty());
+        assert_eq!(BoxN::new(vec![]).volume(), 1, "zero-dim box has volume 1");
+    }
+
+    #[test]
+    fn intersect_and_overlap() {
+        let a = bx(&[(0, 10), (0, 10)]);
+        let b = bx(&[(5, 10), (8, 10)]);
+        let i = a.intersect(&b);
+        assert_eq!(i, bx(&[(5, 5), (8, 2)]));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&bx(&[(10, 2), (0, 10)])), "touching axes don't overlap");
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_self() {
+        let a = bx(&[(0, 5), (0, 5)]);
+        let frags = a.subtract(&bx(&[(9, 2), (0, 5)]));
+        assert_eq!(frags, vec![a]);
+    }
+
+    #[test]
+    fn subtract_covering_returns_nothing() {
+        let a = bx(&[(2, 3), (2, 3)]);
+        assert!(a.subtract(&bx(&[(0, 10), (0, 10)])).is_empty());
+    }
+
+    #[test]
+    fn subtract_fragments_are_disjoint_and_conserve_volume() {
+        let a = bx(&[(0, 10), (0, 10), (0, 10)]);
+        let b = bx(&[(3, 4), (5, 10), (0, 2)]);
+        let frags = a.subtract(&b);
+        let inter = a.intersect(&b);
+        let total: u128 = frags.iter().map(BoxN::volume).sum();
+        assert_eq!(total + inter.volume(), a.volume());
+        for (i, f) in frags.iter().enumerate() {
+            assert!(!f.overlaps(&inter), "fragment {i} overlaps removed region");
+            for g in &frags[i + 1..] {
+                assert!(!f.overlaps(g), "fragments overlap each other");
+            }
+        }
+    }
+
+    /// Brute-force volume on small grids for cross-checking.
+    fn grid_residual(target: &BoxN, others: &[BoxN]) -> u128 {
+        fn points(b: &BoxN) -> Vec<Vec<u64>> {
+            let mut pts = vec![vec![]];
+            for e in b.extents() {
+                let mut next = Vec::new();
+                for p in &pts {
+                    for v in e.start..e.end() {
+                        let mut q = p.clone();
+                        q.push(v);
+                        next.push(q);
+                    }
+                }
+                pts = next;
+            }
+            pts
+        }
+        let inside = |b: &BoxN, p: &[u64]| {
+            b.extents()
+                .iter()
+                .zip(p)
+                .all(|(e, &v)| e.contains(v))
+        };
+        points(target)
+            .iter()
+            .filter(|p| !others.iter().any(|o| inside(o, p)))
+            .count() as u128
+    }
+
+    #[test]
+    fn residual_matches_grid_bruteforce() {
+        let target = bx(&[(0, 6), (2, 5)]);
+        let others = [
+            bx(&[(1, 3), (0, 4)]),
+            bx(&[(4, 4), (3, 9)]),
+            bx(&[(0, 1), (0, 20)]),
+        ];
+        assert_eq!(
+            residual_volume(&target, &others),
+            grid_residual(&target, &others)
+        );
+    }
+
+    #[test]
+    fn residual_matches_grid_bruteforce_3d() {
+        let target = bx(&[(0, 4), (0, 4), (0, 4)]);
+        let others = [
+            bx(&[(0, 2), (0, 2), (0, 2)]),
+            bx(&[(1, 3), (1, 3), (1, 3)]),
+            bx(&[(3, 1), (0, 4), (2, 2)]),
+        ];
+        assert_eq!(
+            residual_volume(&target, &others),
+            grid_residual(&target, &others)
+        );
+    }
+
+    #[test]
+    fn residual_corner_cases() {
+        let t = bx(&[(0, 5)]);
+        assert_eq!(residual_volume(&t, &[]), 5);
+        assert_eq!(residual_volume(&t, std::slice::from_ref(&t)), 0);
+        assert_eq!(residual_volume(&bx(&[(0, 0)]), &[]), 0, "empty target");
+        // Duplicated subtrahends change nothing.
+        let o = bx(&[(0, 2)]);
+        assert_eq!(residual_volume(&t, &[o.clone(), o.clone(), o]), 3);
+    }
+
+    #[test]
+    fn union_volume_examples() {
+        assert_eq!(union_volume(&[]), 0);
+        assert_eq!(union_volume(&[bx(&[(0, 4)]), bx(&[(2, 4)])]), 6);
+        assert_eq!(
+            union_volume(&[bx(&[(0, 2), (0, 2)]), bx(&[(1, 2), (1, 2)]), bx(&[(0, 3), (0, 3)])]),
+            9
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! The utility-measure abstraction.
+//!
+//! A measure assigns each concrete plan a real utility — **higher is
+//! better**; cost-like measures return negated costs — that may depend on
+//! the execution context (§2's `u(p | p1..pl, Q)`). For the abstraction
+//! algorithms it must also evaluate *abstract* plans (one candidate set per
+//! bucket) to a sound interval, and answer the structural questions the
+//! algorithms key on: plan independence, utility-diminishing returns, and
+//! (full) monotonicity.
+
+use crate::context::ExecutionContext;
+use qpo_catalog::{ProblemInstance, SourceRef};
+use qpo_interval::Interval;
+use std::cell::Cell;
+
+/// A utility measure `u(p | executed, Q)` over a [`ProblemInstance`].
+///
+/// # Soundness contracts
+///
+/// Implementations must uphold:
+///
+/// - [`utility_interval`](UtilityMeasure::utility_interval) contains
+///   [`utility`](UtilityMeasure::utility) of **every** concrete plan in the
+///   candidate product, for the same context; for an all-singleton candidate
+///   list it must be the exact point.
+/// - [`independent`](UtilityMeasure::independent) may only return `true` if
+///   neither plan's utility changes when the other is executed (it may
+///   return `false` even for independent plans — sound, not complete).
+/// - [`all_independent`](UtilityMeasure::all_independent) may only return
+///   `true` if **every** concrete plan in the candidate product is
+///   independent of `d`.
+/// - [`exists_independent`](UtilityMeasure::exists_independent) may only
+///   return `true` if **some** concrete plan in the candidate product is
+///   independent of every plan in `executed`.
+/// - [`diminishing_returns`](UtilityMeasure::diminishing_returns) may only
+///   return `true` if no plan's utility can increase as more plans execute.
+/// - If [`monotone_subgoals`](UtilityMeasure::monotone_subgoals) is all
+///   `true`, then replacing a source by one with a higher
+///   [`source_preference`](UtilityMeasure::source_preference) in any plan,
+///   under any context, must not lower the plan's utility.
+pub trait UtilityMeasure {
+    /// Short identifier used in logs and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Exact utility of a concrete plan (one source index per bucket).
+    fn utility(&self, inst: &ProblemInstance, plan: &[usize], ctx: &ExecutionContext) -> f64;
+
+    /// Sound utility interval for an abstract plan (one non-empty candidate
+    /// index set per bucket).
+    fn utility_interval(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        ctx: &ExecutionContext,
+    ) -> Interval;
+
+    /// True iff utilities can never increase as more plans execute.
+    fn diminishing_returns(&self) -> bool;
+
+    /// True iff utilities do not depend on the execution context at all
+    /// (`u(p | E, Q) = u(p | ∅, Q)` for every `E`). Context-free measures
+    /// are fully plan-independent and trivially diminishing-returns; they
+    /// also permit merging orderings across disjoint plan spaces (§7).
+    /// Defaults to `false` (always sound).
+    fn context_free(&self) -> bool {
+        false
+    }
+
+    /// Per-subgoal monotonicity flags (see §3 of the paper). The measure is
+    /// *fully monotonic* iff all entries are `true`.
+    fn monotone_subgoals(&self, inst: &ProblemInstance) -> Vec<bool>;
+
+    /// True iff the measure is monotonic with respect to every subgoal.
+    fn is_fully_monotonic(&self, inst: &ProblemInstance) -> bool {
+        let flags = self.monotone_subgoals(inst);
+        !flags.is_empty() && flags.iter().all(|&b| b)
+    }
+
+    /// Ranking key for sources within their bucket: replacing a source by
+    /// one with a higher key never lowers plan utility. Only meaningful for
+    /// fully monotonic measures; the default panics.
+    fn source_preference(&self, _inst: &ProblemInstance, _source: SourceRef) -> f64 {
+        unimplemented!("{} is not fully monotonic", self.name())
+    }
+
+    /// Sound pairwise independence of two concrete plans.
+    fn independent(&self, inst: &ProblemInstance, p: &[usize], q: &[usize]) -> bool;
+
+    /// Sound test that *every* concrete plan in `candidates` is independent
+    /// of the concrete plan `d`. Default: decide exactly for concrete
+    /// candidates, otherwise answer conservatively (`false`).
+    fn all_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        d: &[usize],
+    ) -> bool {
+        match as_concrete(candidates) {
+            Some(p) => self.independent(inst, &p, d),
+            None => false,
+        }
+    }
+
+    /// Sound test that *some* concrete plan in `candidates` is independent
+    /// of every plan in `executed`. Default: decide exactly for concrete
+    /// candidates, otherwise answer conservatively (`false`).
+    fn exists_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        executed: &[Vec<usize>],
+    ) -> bool {
+        match as_concrete(candidates) {
+            Some(p) => executed.iter().all(|e| self.independent(inst, &p, e)),
+            None => false,
+        }
+    }
+}
+
+impl<M: UtilityMeasure + ?Sized> UtilityMeasure for &M {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn utility(&self, inst: &ProblemInstance, plan: &[usize], ctx: &ExecutionContext) -> f64 {
+        (**self).utility(inst, plan, ctx)
+    }
+    fn utility_interval(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        ctx: &ExecutionContext,
+    ) -> Interval {
+        (**self).utility_interval(inst, candidates, ctx)
+    }
+    fn diminishing_returns(&self) -> bool {
+        (**self).diminishing_returns()
+    }
+    fn context_free(&self) -> bool {
+        (**self).context_free()
+    }
+    fn monotone_subgoals(&self, inst: &ProblemInstance) -> Vec<bool> {
+        (**self).monotone_subgoals(inst)
+    }
+    fn source_preference(&self, inst: &ProblemInstance, source: SourceRef) -> f64 {
+        (**self).source_preference(inst, source)
+    }
+    fn independent(&self, inst: &ProblemInstance, p: &[usize], q: &[usize]) -> bool {
+        (**self).independent(inst, p, q)
+    }
+    fn all_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        d: &[usize],
+    ) -> bool {
+        (**self).all_independent(inst, candidates, d)
+    }
+    fn exists_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        executed: &[Vec<usize>],
+    ) -> bool {
+        (**self).exists_independent(inst, candidates, executed)
+    }
+}
+
+impl<M: UtilityMeasure + ?Sized> UtilityMeasure for Box<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn utility(&self, inst: &ProblemInstance, plan: &[usize], ctx: &ExecutionContext) -> f64 {
+        (**self).utility(inst, plan, ctx)
+    }
+    fn utility_interval(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        ctx: &ExecutionContext,
+    ) -> Interval {
+        (**self).utility_interval(inst, candidates, ctx)
+    }
+    fn diminishing_returns(&self) -> bool {
+        (**self).diminishing_returns()
+    }
+    fn context_free(&self) -> bool {
+        (**self).context_free()
+    }
+    fn monotone_subgoals(&self, inst: &ProblemInstance) -> Vec<bool> {
+        (**self).monotone_subgoals(inst)
+    }
+    fn source_preference(&self, inst: &ProblemInstance, source: SourceRef) -> f64 {
+        (**self).source_preference(inst, source)
+    }
+    fn independent(&self, inst: &ProblemInstance, p: &[usize], q: &[usize]) -> bool {
+        (**self).independent(inst, p, q)
+    }
+    fn all_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        d: &[usize],
+    ) -> bool {
+        (**self).all_independent(inst, candidates, d)
+    }
+    fn exists_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        executed: &[Vec<usize>],
+    ) -> bool {
+        (**self).exists_independent(inst, candidates, executed)
+    }
+}
+
+/// If every candidate set is a singleton, returns the concrete plan.
+pub fn as_concrete(candidates: &[Vec<usize>]) -> Option<Vec<usize>> {
+    candidates
+        .iter()
+        .map(|c| if c.len() == 1 { Some(c[0]) } else { None })
+        .collect()
+}
+
+/// Decorator counting evaluations — the "number of plans evaluated" metric
+/// the paper's discussion of Figure 6 relies on.
+pub struct CountingMeasure<M> {
+    inner: M,
+    concrete_evals: Cell<u64>,
+    interval_evals: Cell<u64>,
+}
+
+impl<M: UtilityMeasure> CountingMeasure<M> {
+    /// Wraps a measure with zeroed counters.
+    pub fn new(inner: M) -> Self {
+        CountingMeasure {
+            inner,
+            concrete_evals: Cell::new(0),
+            interval_evals: Cell::new(0),
+        }
+    }
+
+    /// Concrete-plan evaluations so far.
+    pub fn concrete_evals(&self) -> u64 {
+        self.concrete_evals.get()
+    }
+
+    /// Abstract-plan (interval) evaluations so far.
+    pub fn interval_evals(&self) -> u64 {
+        self.interval_evals.get()
+    }
+
+    /// Total evaluations (the paper counts both: "evaluating an abstract
+    /// plan is just slightly more expensive than evaluating a concrete
+    /// plan", §5.1).
+    pub fn total_evals(&self) -> u64 {
+        self.concrete_evals() + self.interval_evals()
+    }
+
+    /// Resets both counters.
+    pub fn reset(&self) {
+        self.concrete_evals.set(0);
+        self.interval_evals.set(0);
+    }
+
+    /// The wrapped measure.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: UtilityMeasure> UtilityMeasure for CountingMeasure<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn utility(&self, inst: &ProblemInstance, plan: &[usize], ctx: &ExecutionContext) -> f64 {
+        self.concrete_evals.set(self.concrete_evals.get() + 1);
+        self.inner.utility(inst, plan, ctx)
+    }
+
+    fn utility_interval(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        ctx: &ExecutionContext,
+    ) -> Interval {
+        self.interval_evals.set(self.interval_evals.get() + 1);
+        self.inner.utility_interval(inst, candidates, ctx)
+    }
+
+    fn diminishing_returns(&self) -> bool {
+        self.inner.diminishing_returns()
+    }
+
+    fn context_free(&self) -> bool {
+        self.inner.context_free()
+    }
+
+    fn monotone_subgoals(&self, inst: &ProblemInstance) -> Vec<bool> {
+        self.inner.monotone_subgoals(inst)
+    }
+
+    fn source_preference(&self, inst: &ProblemInstance, source: SourceRef) -> f64 {
+        self.inner.source_preference(inst, source)
+    }
+
+    fn independent(&self, inst: &ProblemInstance, p: &[usize], q: &[usize]) -> bool {
+        self.inner.independent(inst, p, q)
+    }
+
+    fn all_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        d: &[usize],
+    ) -> bool {
+        self.inner.all_independent(inst, candidates, d)
+    }
+
+    fn exists_independent(
+        &self,
+        inst: &ProblemInstance,
+        candidates: &[Vec<usize>],
+        executed: &[Vec<usize>],
+    ) -> bool {
+        self.inner.exists_independent(inst, candidates, executed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_catalog::{Extent, SourceStats};
+
+    /// A toy measure for exercising trait defaults: utility = −Σ access
+    /// cost, context-free.
+    struct Toy;
+
+    impl UtilityMeasure for Toy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn utility(&self, inst: &ProblemInstance, plan: &[usize], _ctx: &ExecutionContext) -> f64 {
+            -inst.plan_stats(plan).iter().map(|s| s.access_cost).sum::<f64>()
+        }
+        fn utility_interval(
+            &self,
+            inst: &ProblemInstance,
+            candidates: &[Vec<usize>],
+            _ctx: &ExecutionContext,
+        ) -> Interval {
+            let mut lo = 0.0;
+            let mut hi = 0.0;
+            for (b, cands) in candidates.iter().enumerate() {
+                let costs = cands.iter().map(|&i| inst.buckets[b][i].access_cost);
+                lo -= costs.clone().fold(f64::MIN, f64::max);
+                hi -= costs.fold(f64::MAX, f64::min);
+            }
+            Interval::new(lo, hi)
+        }
+        fn diminishing_returns(&self) -> bool {
+            true
+        }
+        fn monotone_subgoals(&self, inst: &ProblemInstance) -> Vec<bool> {
+            vec![true; inst.query_len()]
+        }
+        fn source_preference(&self, inst: &ProblemInstance, source: SourceRef) -> f64 {
+            -inst.stat(source).access_cost
+        }
+        fn independent(&self, _inst: &ProblemInstance, _p: &[usize], _q: &[usize]) -> bool {
+            true
+        }
+    }
+
+    fn inst() -> ProblemInstance {
+        let src = |c: f64| {
+            SourceStats::new()
+                .with_extent(Extent::new(0, 10))
+                .with_access_cost(c)
+        };
+        ProblemInstance::new(
+            0.0,
+            vec![100, 100],
+            vec![vec![src(1.0), src(2.0)], vec![src(3.0), src(4.0)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn as_concrete_detects_singletons() {
+        assert_eq!(as_concrete(&[vec![3], vec![1]]), Some(vec![3, 1]));
+        assert_eq!(as_concrete(&[vec![3], vec![1, 2]]), None);
+        assert_eq!(as_concrete(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn default_abstract_independence_is_conservative() {
+        let inst = inst();
+        let toy = Toy;
+        // Concrete candidates reduce to the pairwise test.
+        assert!(toy.all_independent(&inst, &[vec![0], vec![0]], &[1, 1]));
+        assert!(toy.exists_independent(&inst, &[vec![0], vec![0]], &[vec![1, 1]]));
+        // Genuinely abstract candidates: defaults answer false.
+        assert!(!toy.all_independent(&inst, &[vec![0, 1], vec![0]], &[1, 1]));
+        assert!(!toy.exists_independent(&inst, &[vec![0, 1], vec![0]], &[]));
+    }
+
+    #[test]
+    fn fully_monotonic_flag() {
+        let inst = inst();
+        assert!(Toy.is_fully_monotonic(&inst));
+        assert_eq!(Toy.source_preference(&inst, SourceRef::new(0, 1)), -2.0);
+    }
+
+    #[test]
+    fn counting_decorator_counts() {
+        let inst = inst();
+        let m = CountingMeasure::new(Toy);
+        let ctx = ExecutionContext::new();
+        assert_eq!(m.total_evals(), 0);
+        let u = m.utility(&inst, &[0, 0], &ctx);
+        assert_eq!(u, -4.0);
+        let iv = m.utility_interval(&inst, &[vec![0, 1], vec![0, 1]], &ctx);
+        assert!(iv.contains(u));
+        assert_eq!(m.concrete_evals(), 1);
+        assert_eq!(m.interval_evals(), 1);
+        assert_eq!(m.total_evals(), 2);
+        m.reset();
+        assert_eq!(m.total_evals(), 0);
+        assert_eq!(m.name(), "toy");
+        assert!(m.diminishing_returns());
+        assert!(m.is_fully_monotonic(&inst));
+        assert!(m.independent(&inst, &[0, 0], &[1, 1]));
+        assert_eq!(m.inner().name(), "toy");
+    }
+
+    #[test]
+    fn toy_interval_contains_all_members() {
+        let inst = inst();
+        let ctx = ExecutionContext::new();
+        let cands = vec![vec![0, 1], vec![0, 1]];
+        let iv = Toy.utility_interval(&inst, &cands, &ctx);
+        for p in inst.all_plans() {
+            assert!(iv.contains(Toy.utility(&inst, &p, &ctx)), "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the box-geometry engine that exact coverage rests on.
+
+use proptest::prelude::*;
+use qpo_catalog::Extent;
+use qpo_utility::{residual_volume, union_volume, BoxN};
+
+fn arb_box(dims: usize) -> impl Strategy<Value = BoxN> {
+    proptest::collection::vec((0u64..8, 0u64..6), dims)
+        .prop_map(|es| BoxN::new(es.into_iter().map(|(s, l)| Extent::new(s, l)).collect()))
+}
+
+/// Grid brute force over the (small) coordinate space.
+fn grid_residual(target: &BoxN, others: &[BoxN]) -> u128 {
+    fn inside(b: &BoxN, p: &[u64]) -> bool {
+        b.extents().iter().zip(p).all(|(e, &v)| e.contains(v))
+    }
+    let dims = target.dims();
+    let mut count = 0u128;
+    let mut point = vec![0u64; dims];
+    'outer: loop {
+        if inside(target, &point) && !others.iter().any(|o| inside(o, &point)) {
+            count += 1;
+        }
+        for coord in point.iter_mut() {
+            *coord += 1;
+            if *coord < 16 {
+                continue 'outer;
+            }
+            *coord = 0;
+        }
+        break;
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn residual_matches_grid_2d(target in arb_box(2),
+                                others in proptest::collection::vec(arb_box(2), 0..5)) {
+        prop_assert_eq!(residual_volume(&target, &others), grid_residual(&target, &others));
+    }
+
+    #[test]
+    fn residual_matches_grid_3d(target in arb_box(3),
+                                others in proptest::collection::vec(arb_box(3), 0..4)) {
+        prop_assert_eq!(residual_volume(&target, &others), grid_residual(&target, &others));
+    }
+
+    #[test]
+    fn residual_is_monotone_in_subtrahends(target in arb_box(2),
+                                           others in proptest::collection::vec(arb_box(2), 1..5)) {
+        let mut prev = residual_volume(&target, &[]);
+        prop_assert_eq!(prev, target.volume());
+        for i in 1..=others.len() {
+            let now = residual_volume(&target, &others[..i]);
+            prop_assert!(now <= prev, "residual grew when subtracting more");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn residual_is_order_insensitive(target in arb_box(2),
+                                     others in proptest::collection::vec(arb_box(2), 0..5)) {
+        let forward = residual_volume(&target, &others);
+        let mut reversed = others.clone();
+        reversed.reverse();
+        prop_assert_eq!(forward, residual_volume(&target, &reversed));
+    }
+
+    #[test]
+    fn union_bounds(boxes in proptest::collection::vec(arb_box(2), 0..5)) {
+        let u = union_volume(&boxes);
+        let sum: u128 = boxes.iter().map(BoxN::volume).sum();
+        let max = boxes.iter().map(BoxN::volume).max().unwrap_or(0);
+        prop_assert!(u <= sum, "union exceeds sum");
+        prop_assert!(u >= max, "union below largest member");
+    }
+
+    #[test]
+    fn union_is_permutation_invariant(boxes in proptest::collection::vec(arb_box(3), 0..5)) {
+        let u = union_volume(&boxes);
+        let mut shuffled = boxes.clone();
+        shuffled.rotate_left(boxes.len() / 2);
+        prop_assert_eq!(u, union_volume(&shuffled));
+    }
+
+    #[test]
+    fn subtract_partitions_volume(a in arb_box(3), b in arb_box(3)) {
+        let frags = a.subtract(&b);
+        let frag_total: u128 = frags.iter().map(BoxN::volume).sum();
+        prop_assert_eq!(frag_total + a.intersect(&b).volume(), a.volume());
+        for (i, f) in frags.iter().enumerate() {
+            prop_assert!(!f.is_empty(), "empty fragment emitted");
+            prop_assert!(!f.overlaps(&b), "fragment overlaps subtrahend");
+            for g in &frags[i + 1..] {
+                prop_assert!(!f.overlaps(g), "fragments overlap each other");
+            }
+        }
+    }
+}

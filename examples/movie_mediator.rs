@@ -1,0 +1,86 @@
+//! End-to-end mediation: why ordering plans matters for *time to first
+//! answers*.
+//!
+//! Materializes the Figure 1 movie sources as in-memory relations, then
+//! answers the sample query twice: once executing plans in coverage order
+//! (Streamer) and once in an arbitrary fixed order. The cumulative-answer
+//! curves show coverage ordering front-loading the tuples a user sees —
+//! the paper's motivating claim (§1).
+//!
+//! Run with: `cargo run --example movie_mediator`
+
+use query_plan_ordering::prelude::*;
+
+fn main() {
+    let catalog = movie_domain();
+    let query = movie_query();
+    let mediator = Mediator::new(catalog, MOVIE_UNIVERSE, &["ford"]);
+    println!(
+        "Materialized {} source tuples.",
+        mediator.database().total_facts()
+    );
+    println!("Query: {query}\n");
+
+    // Coverage-ordered execution.
+    let ordered = mediator
+        .answer(&query, &Coverage, Strategy::Streamer, 9)
+        .expect("mediation succeeds");
+
+    // "Unordered" baseline: plans in whatever order the reformulator
+    // produced them — simulated by a measure that considers all plans
+    // equal, so emission order is arbitrary-but-deterministic.
+    struct Indifferent;
+    impl UtilityMeasure for Indifferent {
+        fn name(&self) -> &'static str {
+            "indifferent"
+        }
+        fn utility(&self, _: &ProblemInstance, _: &[usize], _: &ExecutionContext) -> f64 {
+            0.0
+        }
+        fn utility_interval(
+            &self,
+            _: &ProblemInstance,
+            _: &[Vec<usize>],
+            _: &ExecutionContext,
+        ) -> Interval {
+            Interval::ZERO
+        }
+        fn diminishing_returns(&self) -> bool {
+            true
+        }
+        fn monotone_subgoals(&self, inst: &ProblemInstance) -> Vec<bool> {
+            vec![false; inst.query_len()]
+        }
+        fn independent(&self, _: &ProblemInstance, _: &[usize], _: &[usize]) -> bool {
+            true
+        }
+    }
+    let unordered = mediator
+        .answer(&query, &Indifferent, Strategy::Pi, 9)
+        .expect("mediation succeeds");
+
+    println!("plan#  coverage-ordered        arbitrary order");
+    println!("       plan        cum.answers plan        cum.answers");
+    for (i, (a, b)) in ordered.reports.iter().zip(&unordered.reports).enumerate() {
+        println!(
+            "{:>4}   {:<11} {:>6}      {:<11} {:>6}",
+            i + 1,
+            a.sources.join("⋈"),
+            a.cumulative,
+            b.sources.join("⋈"),
+            b.cumulative
+        );
+    }
+    let total = ordered.answers.len();
+    assert_eq!(total, unordered.answers.len(), "same final answers");
+    println!("\nBoth executions end at the same {total} answers (union semantics),");
+
+    // Where do the curves stand halfway?
+    let half_ordered = ordered.reports[3].cumulative;
+    let half_unordered = unordered.reports[3].cumulative;
+    println!(
+        "but after 4 plans the coverage ordering has {half_ordered} answers \
+         vs {half_unordered} for the arbitrary order."
+    );
+    assert!(half_ordered >= half_unordered);
+}

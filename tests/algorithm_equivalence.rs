@@ -1,0 +1,164 @@
+//! Cross-algorithm equivalence: every applicable algorithm must solve
+//! Definition 2.1 *exactly* on randomly generated instances, for every
+//! utility measure — the paper's central correctness claim ("Both iDrips
+//! and Streamer return the correct plan ordering", §6).
+
+use proptest::prelude::*;
+use query_plan_ordering::prelude::*;
+
+/// Builds a small random instance from proptest-chosen knobs.
+fn instance(seed: u64, query_len: usize, bucket_size: usize, overlap: f64) -> ProblemInstance {
+    GeneratorConfig::new(query_len, bucket_size)
+        .with_seed(seed)
+        .with_overlap_rate(overlap)
+        .build()
+}
+
+fn check_all<M: UtilityMeasure>(inst: &ProblemInstance, measure: &M, k: usize) {
+    let tol = 1e-9;
+    // iDrips: always applicable.
+    let ordering = IDrips::new(inst, measure, ByExpectedTuples).order_k(k);
+    verify_ordering(inst, measure, &ordering, tol)
+        .unwrap_or_else(|e| panic!("idrips/{}: {e}", measure.name()));
+    // PI and Naive: always applicable.
+    let ordering = Pi::new(inst, measure).order_k(k);
+    verify_ordering(inst, measure, &ordering, tol)
+        .unwrap_or_else(|e| panic!("pi/{}: {e}", measure.name()));
+    let ordering = Naive::new(inst, measure).order_k(k);
+    verify_ordering(inst, measure, &ordering, tol)
+        .unwrap_or_else(|e| panic!("naive/{}: {e}", measure.name()));
+    // Streamer: when diminishing returns holds.
+    if measure.diminishing_returns() {
+        let ordering = Streamer::new(inst, measure, &ByExpectedTuples)
+            .expect("diminishing returns checked")
+            .order_k(k);
+        verify_ordering(inst, measure, &ordering, tol)
+            .unwrap_or_else(|e| panic!("streamer/{}: {e}", measure.name()));
+    }
+    // Greedy: when fully monotonic.
+    if measure.is_fully_monotonic(inst) {
+        let ordering = Greedy::new(inst, measure)
+            .expect("monotonicity checked")
+            .order_k(k);
+        verify_ordering(inst, measure, &ordering, tol)
+            .unwrap_or_else(|e| panic!("greedy/{}: {e}", measure.name()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn coverage_orderings_are_exact(seed in 0u64..1000, m in 2usize..6, ov in 0.1f64..0.8) {
+        let inst = instance(seed, 2, m, ov);
+        check_all(&inst, &Coverage, 8);
+    }
+
+    #[test]
+    fn failure_cost_orderings_are_exact(seed in 0u64..1000, m in 2usize..5) {
+        let inst = instance(seed, 3, m, 0.3);
+        check_all(&inst, &FailureCost::without_caching(), 8);
+        check_all(&inst, &FailureCost::with_caching(), 8);
+    }
+
+    #[test]
+    fn monetary_orderings_are_exact(seed in 0u64..1000, m in 2usize..5) {
+        let inst = instance(seed, 3, m, 0.3);
+        check_all(&inst, &MonetaryCost::without_caching(), 6);
+        check_all(&inst, &MonetaryCost::with_caching(), 6);
+    }
+
+    #[test]
+    fn monotone_cost_orderings_are_exact(seed in 0u64..1000, m in 2usize..6) {
+        let inst = instance(seed, 3, m, 0.3);
+        check_all(&inst, &LinearCost, 10);
+        check_all(&inst, &FusionCost, 10);
+    }
+
+    /// Example 1.2's weighted combination orders exactly too (Streamer
+    /// applies: both components exhibit diminishing returns).
+    #[test]
+    fn combined_orderings_are_exact(seed in 0u64..1000, m in 2usize..5) {
+        let inst = instance(seed, 2, m, 0.4);
+        let measure = Combined::new(Coverage, 50.0, FailureCost::without_caching(), 1.0);
+        check_all(&inst, &measure, 8);
+    }
+
+    /// The emitted *utility sequences* coincide across algorithms (plans
+    /// may differ on exact ties, the utilities may not).
+    #[test]
+    fn utility_sequences_coincide(seed in 0u64..1000, m in 2usize..5) {
+        let inst = instance(seed, 3, m, 0.3);
+        let k = 10;
+        let pi: Vec<f64> = Pi::new(&inst, &Coverage).order_k(k)
+            .into_iter().map(|o| o.utility).collect();
+        let idrips: Vec<f64> = IDrips::new(&inst, &Coverage, ByExpectedTuples).order_k(k)
+            .into_iter().map(|o| o.utility).collect();
+        let streamer: Vec<f64> = Streamer::new(&inst, &Coverage, &ByExpectedTuples).unwrap()
+            .order_k(k).into_iter().map(|o| o.utility).collect();
+        prop_assert_eq!(pi.len(), idrips.len());
+        prop_assert_eq!(pi.len(), streamer.len());
+        for i in 0..pi.len() {
+            prop_assert!((pi[i] - idrips[i]).abs() < 1e-9, "pi {:?} vs idrips {:?}", pi, idrips);
+            prop_assert!((pi[i] - streamer[i]).abs() < 1e-9, "pi {:?} vs streamer {:?}", pi, streamer);
+        }
+    }
+}
+
+/// Exhausting the plan space emits every plan exactly once, whatever the
+/// algorithm.
+#[test]
+fn exhaustive_emission_is_a_permutation() {
+    let inst = instance(99, 2, 4, 0.4);
+    let total = inst.plan_count();
+    let orderings: Vec<Vec<OrderedPlan>> = vec![
+        IDrips::new(&inst, &Coverage, ByExpectedTuples).order_k(total + 5),
+        Streamer::new(&inst, &Coverage, &ByExpectedTuples)
+            .unwrap()
+            .order_k(total + 5),
+        Pi::new(&inst, &Coverage).order_k(total + 5),
+    ];
+    for ordering in orderings {
+        assert_eq!(ordering.len(), total);
+        let distinct: std::collections::BTreeSet<_> =
+            ordering.iter().map(|o| o.plan.clone()).collect();
+        assert_eq!(distinct.len(), total);
+    }
+}
+
+/// Heuristics change work done, never the utility sequence.
+#[test]
+fn heuristics_do_not_change_results() {
+    let inst = instance(5, 3, 4, 0.3);
+    let reference: Vec<f64> = Streamer::new(&inst, &Coverage, &ByExpectedTuples)
+        .unwrap()
+        .order_k(12)
+        .into_iter()
+        .map(|o| o.utility)
+        .collect();
+    let alternates: Vec<Vec<f64>> = vec![
+        Streamer::new(&inst, &Coverage, &ByExtentMidpoint)
+            .unwrap()
+            .order_k(12)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect(),
+        Streamer::new(&inst, &Coverage, &RandomKey { seed: 3 })
+            .unwrap()
+            .order_k(12)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect(),
+        IDrips::new(&inst, &Coverage, RandomKey { seed: 8 })
+            .order_k(12)
+            .into_iter()
+            .map(|o| o.utility)
+            .collect(),
+    ];
+    for alt in alternates {
+        assert_eq!(reference.len(), alt.len());
+        for (a, b) in reference.iter().zip(&alt) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}
