@@ -13,21 +13,21 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(600));
     for &m in &[4usize, 8, 12] {
         for measure in [MeasureKind::Cost2] {
-            for alg in [AlgorithmKind::Streamer, AlgorithmKind::IDrips, AlgorithmKind::Pi] {
+            for alg in [
+                AlgorithmKind::Streamer,
+                AlgorithmKind::IDrips,
+                AlgorithmKind::Pi,
+            ] {
                 for k in [1usize, 10] {
                     let cfg = RunConfig::new("cost2", measure, alg, m);
                     let inst = cfg.instance();
                     if order_k_on(&inst, measure, alg, HeuristicKind::ByTuples, 1).is_none() {
                         continue; // algorithm inapplicable to this measure
                     }
-                    let id = BenchmarkId::new(
-                        format!("{}/{}/k{}", measure.label(), alg.label(), k),
-                        m,
-                    );
+                    let id =
+                        BenchmarkId::new(format!("{}/{}/k{}", measure.label(), alg.label(), k), m);
                     g.bench_with_input(id, &inst, |b, inst| {
-                        b.iter(|| {
-                            order_k_on(inst, measure, alg, HeuristicKind::ByTuples, k)
-                        })
+                        b.iter(|| order_k_on(inst, measure, alg, HeuristicKind::ByTuples, k))
                     });
                 }
             }

@@ -20,14 +20,10 @@ fn bench(c: &mut Criterion) {
                     if order_k_on(&inst, measure, alg, HeuristicKind::ByTuples, 1).is_none() {
                         continue; // algorithm inapplicable to this measure
                     }
-                    let id = BenchmarkId::new(
-                        format!("{}/{}/k{}", measure.label(), alg.label(), k),
-                        m,
-                    );
+                    let id =
+                        BenchmarkId::new(format!("{}/{}/k{}", measure.label(), alg.label(), k), m);
                     g.bench_with_input(id, &inst, |b, inst| {
-                        b.iter(|| {
-                            order_k_on(inst, measure, alg, HeuristicKind::ByTuples, k)
-                        })
+                        b.iter(|| order_k_on(inst, measure, alg, HeuristicKind::ByTuples, k))
                     });
                 }
             }

@@ -18,7 +18,13 @@ fn bench(c: &mut Criterion) {
             let id = BenchmarkId::new(format!("{}/k10", alg.label()), format!("rho{overlap}"));
             g.bench_with_input(id, &inst, |b, inst| {
                 b.iter(|| {
-                    order_k_on(inst, MeasureKind::Coverage, alg, HeuristicKind::ByTuples, 10)
+                    order_k_on(
+                        inst,
+                        MeasureKind::Coverage,
+                        alg,
+                        HeuristicKind::ByTuples,
+                        10,
+                    )
                 })
             });
         }

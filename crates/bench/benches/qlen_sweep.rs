@@ -11,7 +11,11 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(600));
     for qlen in [1usize, 3, 5, 7] {
-        for alg in [AlgorithmKind::Streamer, AlgorithmKind::IDrips, AlgorithmKind::Pi] {
+        for alg in [
+            AlgorithmKind::Streamer,
+            AlgorithmKind::IDrips,
+            AlgorithmKind::Pi,
+        ] {
             let mut cfg = RunConfig::new("qlen-sweep", MeasureKind::FailureNoCache, alg, 4);
             cfg.query_len = qlen;
             let inst = cfg.instance();

@@ -50,9 +50,7 @@ pub fn synthetic_catalog(
     // Star query: every subgoal shares the key attribute K (bound to the
     // populator's single pool value), so a plan's answers are exactly the
     // product of its sources' item sets — the box model, literally.
-    let body: Vec<String> = (0..query_len)
-        .map(|b| format!("r{b}(K, X{b})"))
-        .collect();
+    let body: Vec<String> = (0..query_len).map(|b| format!("r{b}(K, X{b})")).collect();
     let head: Vec<String> = (0..query_len).map(|b| format!("X{b}")).collect();
     let query = parse_query(&format!("q({}) :- {}", head.join(", "), body.join(", ")))
         .expect("star query parses");

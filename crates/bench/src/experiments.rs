@@ -5,7 +5,7 @@
 //! expectation so EXPERIMENTS.md can record paper-vs-measured side by side.
 
 use crate::runner::{run_config, AlgorithmKind, HeuristicKind, MeasureKind, ResultRow, RunConfig};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One regenerable experiment.
 pub struct Experiment {
@@ -97,8 +97,7 @@ pub fn all_experiments() -> Vec<Experiment> {
                 let mut c = Vec::new();
                 for &overlap in &[0.1, 0.3, 0.5, 0.7] {
                     for &a in &[AlgorithmKind::Streamer, AlgorithmKind::Pi] {
-                        let mut cfg =
-                            RunConfig::new("overlap-sweep", MeasureKind::Coverage, a, 10);
+                        let mut cfg = RunConfig::new("overlap-sweep", MeasureKind::Coverage, a, 10);
                         cfg.overlap = overlap;
                         cfg.ks = vec![10];
                         c.push(cfg);
@@ -156,7 +155,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             configs: {
                 let mut c = Vec::new();
                 for &m in &[10usize, 20, 40, 80] {
-                    for &a in &[AlgorithmKind::Greedy, AlgorithmKind::Pi, AlgorithmKind::Naive] {
+                    for &a in &[
+                        AlgorithmKind::Greedy,
+                        AlgorithmKind::Pi,
+                        AlgorithmKind::Naive,
+                    ] {
                         c.push(RunConfig::new("greedy", MeasureKind::Linear, a, m));
                     }
                 }
@@ -227,19 +230,27 @@ pub fn run_experiment(exp: &Experiment, threads: usize) -> Vec<ResultRow> {
     crossbeam::thread::scope(|s| {
         for _ in 0..threads.max(1) {
             s.spawn(|_| loop {
-                let Some(cfg) = queue.lock().pop() else {
+                let Some(cfg) = queue.lock().expect("queue lock").pop() else {
                     break;
                 };
                 if let Some(mut r) = run_config(&cfg) {
-                    rows.lock().append(&mut r);
+                    rows.lock().expect("rows lock").append(&mut r);
                 }
             });
         }
     })
     .expect("worker threads never panic");
-    let mut rows = rows.into_inner();
+    let mut rows = rows.into_inner().expect("rows lock");
     rows.sort_by(|a, b| {
-        (a.measure, a.k, a.bucket_size, a.query_len, a.overlap, a.algorithm, a.heuristic)
+        (
+            a.measure,
+            a.k,
+            a.bucket_size,
+            a.query_len,
+            a.overlap,
+            a.algorithm,
+            a.heuristic,
+        )
             .partial_cmp(&(
                 b.measure,
                 b.k,
@@ -332,18 +343,13 @@ mod tests {
             expectation: "-",
             configs: vec![
                 {
-                    let mut c = RunConfig::new(
-                        "mini",
-                        MeasureKind::Coverage,
-                        AlgorithmKind::Streamer,
-                        4,
-                    );
+                    let mut c =
+                        RunConfig::new("mini", MeasureKind::Coverage, AlgorithmKind::Streamer, 4);
                     c.ks = vec![1, 5];
                     c
                 },
                 {
-                    let mut c =
-                        RunConfig::new("mini", MeasureKind::Coverage, AlgorithmKind::Pi, 4);
+                    let mut c = RunConfig::new("mini", MeasureKind::Coverage, AlgorithmKind::Pi, 4);
                     c.ks = vec![1, 5];
                     c
                 },

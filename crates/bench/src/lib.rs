@@ -18,4 +18,6 @@ pub mod runner;
 
 pub use curve::{answers_curve, format_curve, synthetic_catalog, CurvePoint};
 pub use experiments::{all_experiments, format_table, run_experiment, to_csv, Experiment};
-pub use runner::{order_k_on, run_config, AlgorithmKind, HeuristicKind, MeasureKind, ResultRow, RunConfig};
+pub use runner::{
+    order_k_on, run_config, AlgorithmKind, HeuristicKind, MeasureKind, ResultRow, RunConfig,
+};

@@ -8,12 +8,11 @@ use qpo_core::{
 use qpo_utility::{
     CountingMeasure, Coverage, FailureCost, FusionCost, LinearCost, MonetaryCost, UtilityMeasure,
 };
-use serde::Serialize;
 use std::time::Instant;
 
 /// Which utility measure a run uses (§6's four measures plus the monotone
 /// ones used by Greedy).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum MeasureKind {
     Coverage,
@@ -56,7 +55,7 @@ impl MeasureKind {
 
 /// Which abstraction heuristic the abstraction-based algorithms use
 /// (the §6 default plus the ablation alternatives).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum HeuristicKind {
     ByTuples,
@@ -88,7 +87,7 @@ impl HeuristicKind {
 }
 
 /// Which ordering algorithm a run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum AlgorithmKind {
     Streamer,
@@ -122,9 +121,7 @@ impl AlgorithmKind {
             AlgorithmKind::Streamer => Streamer::new(inst, measure, &heuristic.build())
                 .ok()
                 .map(|s| Box::new(s) as Box<dyn PlanOrderer + 'a>),
-            AlgorithmKind::IDrips => {
-                Some(Box::new(IDrips::new(inst, measure, heuristic.build())))
-            }
+            AlgorithmKind::IDrips => Some(Box::new(IDrips::new(inst, measure, heuristic.build()))),
             AlgorithmKind::Pi => Some(Box::new(Pi::new(inst, measure))),
             AlgorithmKind::Naive => Some(Box::new(Naive::new(inst, measure))),
             AlgorithmKind::Greedy => Greedy::new(inst, measure)
@@ -135,7 +132,7 @@ impl AlgorithmKind {
 }
 
 /// One experiment configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Experiment id (e.g. `fig6-a`).
     pub experiment: &'static str,
@@ -191,7 +188,7 @@ impl RunConfig {
 }
 
 /// Measured result at one `k` for one configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResultRow {
     /// Experiment id.
     pub experiment: &'static str,
@@ -327,7 +324,9 @@ mod tests {
         let mut s = AlgorithmKind::Streamer
             .build(&inst, &m, HeuristicKind::ByTuples)
             .unwrap();
-        let mut p = AlgorithmKind::Pi.build(&inst, &m, HeuristicKind::ByTuples).unwrap();
+        let mut p = AlgorithmKind::Pi
+            .build(&inst, &m, HeuristicKind::ByTuples)
+            .unwrap();
         for _ in 0..10 {
             let a = s.next_plan().unwrap();
             let b = p.next_plan().unwrap();

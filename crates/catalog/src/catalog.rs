@@ -2,7 +2,7 @@
 
 use crate::schema::{MediatedSchema, SchemaError};
 use crate::stats::SourceStats;
-use qpo_datalog::{SourceDescription, ConjunctiveQuery};
+use qpo_datalog::{ConjunctiveQuery, SourceDescription};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -72,7 +72,8 @@ impl Catalog {
         } else {
             stats
         };
-        self.sources.insert(name, SourceEntry { description, stats });
+        self.sources
+            .insert(name, SourceEntry { description, stats });
         Ok(())
     }
 

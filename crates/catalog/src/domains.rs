@@ -33,9 +33,24 @@ pub fn movie_domain() -> Catalog {
     // Extents live in a universe of 1000 movies; American and Russian
     // catalogs barely overlap, the general source spans both.
     let actor_sources = [
-        ("v1(A, M) :- play_in(A, M), american(M)", Extent::new(0, 450), 2.0, 0.02),
-        ("v2(A, M) :- play_in(A, M), russian(M)", Extent::new(430, 120), 5.0, 0.10),
-        ("v3(A, M) :- play_in(A, M)", Extent::new(150, 700), 1.0, 0.05),
+        (
+            "v1(A, M) :- play_in(A, M), american(M)",
+            Extent::new(0, 450),
+            2.0,
+            0.02,
+        ),
+        (
+            "v2(A, M) :- play_in(A, M), russian(M)",
+            Extent::new(430, 120),
+            5.0,
+            0.10,
+        ),
+        (
+            "v3(A, M) :- play_in(A, M)",
+            Extent::new(150, 700),
+            1.0,
+            0.05,
+        ),
     ];
     for (view, extent, alpha, fail) in actor_sources {
         catalog
@@ -53,9 +68,27 @@ pub fn movie_domain() -> Catalog {
 
     // Review sources: three overlapping review databases.
     let review_sources = [
-        ("v4(R, M) :- review_of(R, M)", Extent::new(0, 600), 1.5, 0.02, 0.00),
-        ("v5(R, M) :- review_of(R, M)", Extent::new(300, 500), 1.0, 0.05, 0.05),
-        ("v6(R, M) :- review_of(R, M)", Extent::new(550, 450), 3.0, 0.01, 0.25),
+        (
+            "v4(R, M) :- review_of(R, M)",
+            Extent::new(0, 600),
+            1.5,
+            0.02,
+            0.00,
+        ),
+        (
+            "v5(R, M) :- review_of(R, M)",
+            Extent::new(300, 500),
+            1.0,
+            0.05,
+            0.05,
+        ),
+        (
+            "v6(R, M) :- review_of(R, M)",
+            Extent::new(550, 450),
+            3.0,
+            0.01,
+            0.25,
+        ),
     ];
     for (view, extent, alpha, fail, fee) in review_sources {
         catalog
@@ -167,8 +200,16 @@ mod tests {
         for v in ["v1", "v2", "v3", "v4", "v5", "v6"] {
             assert!(c.source(v).is_some(), "{v} registered");
         }
-        assert!(c.source("v1").unwrap().description.covers_predicate("american"));
-        assert!(c.source("v3").unwrap().description.covers_predicate("play_in"));
+        assert!(c
+            .source("v1")
+            .unwrap()
+            .description
+            .covers_predicate("american"));
+        assert!(c
+            .source("v3")
+            .unwrap()
+            .description
+            .covers_predicate("play_in"));
         assert!(c.validate_query(&movie_query()).is_ok());
         // Extents stay within the movie universe.
         for e in c.iter() {

@@ -10,11 +10,10 @@
 //! overlap, context-dependent utility, diminishing returns, and an
 //! `∃`-disjoint-axis independence test.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open integer range `[start, start + len)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Extent {
     /// Inclusive start.
     pub start: u64,
@@ -129,7 +128,11 @@ mod tests {
     #[test]
     fn intersection() {
         assert_eq!(e(0, 5).intersect(e(3, 5)), e(3, 2));
-        assert_eq!(e(0, 5).intersect(e(5, 5)), Extent::EMPTY, "touching is empty");
+        assert_eq!(
+            e(0, 5).intersect(e(5, 5)),
+            Extent::EMPTY,
+            "touching is empty"
+        );
         assert_eq!(e(0, 10).intersect(e(2, 3)), e(2, 3), "nested");
         assert!(e(0, 5).overlaps(e(4, 1)));
         assert!(!e(0, 5).overlaps(e(5, 1)));

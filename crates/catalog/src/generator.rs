@@ -18,10 +18,9 @@ use crate::instance::ProblemInstance;
 use crate::stats::SourceStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A closed range statistics are drawn from, uniformly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatRange {
     /// Inclusive lower bound.
     pub min: f64,
@@ -55,7 +54,7 @@ impl StatRange {
 
 /// Configuration of the synthetic generator. Defaults mirror the knobs the
 /// paper's discussion turns on; every field is overridable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorConfig {
     /// Query length `n` (number of buckets). Paper default: 3.
     pub query_len: usize,
@@ -104,7 +103,10 @@ impl GeneratorConfig {
 
     /// Sets the overlap rate ρ.
     pub fn with_overlap_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "overlap rate {rate} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "overlap rate {rate} not in [0,1]"
+        );
         self.overlap_rate = rate;
         self
     }

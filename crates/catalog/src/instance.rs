@@ -1,11 +1,10 @@
 //! Problem instances: the numeric input of the ordering algorithms.
 
 use crate::stats::SourceStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a source by bucket position and index within the bucket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SourceRef {
     /// Which bucket (query subgoal position).
     pub bucket: usize,
@@ -32,7 +31,7 @@ impl fmt::Display for SourceRef {
 ///
 /// The *plan space* is the Cartesian product of the buckets; a concrete plan
 /// is one index per bucket.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProblemInstance {
     /// Per-access overhead `h`.
     pub overhead: f64,

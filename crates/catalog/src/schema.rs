@@ -182,7 +182,14 @@ mod tests {
     fn rejects_arity_mismatch() {
         let q = parse_query("q(M) :- american(M, Y)").unwrap();
         let err = movie_schema().validate_body(&q).unwrap_err();
-        assert!(matches!(err, SchemaError::ArityMismatch { expected: 1, found: 2, .. }));
+        assert!(matches!(
+            err,
+            SchemaError::ArityMismatch {
+                expected: 1,
+                found: 2,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("arity 1"));
     }
 }

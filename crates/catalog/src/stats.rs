@@ -1,7 +1,6 @@
 //! Per-source statistics consumed by the utility measures.
 
 use crate::extent::Extent;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Statistics of one data source with respect to one query subgoal.
@@ -20,7 +19,7 @@ use std::sync::Arc;
 ///   linear measure;
 /// - `extent` — the source's coverage extent over the subgoal universe (see
 ///   [`crate::extent`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SourceStats {
     /// Optional symbolic name (e.g. the LAV source relation `v1`).
     pub name: Option<Arc<str>>,
@@ -61,7 +60,10 @@ impl SourceStats {
 
     /// Sets the expected output tuples `n_i`.
     pub fn with_tuples(mut self, tuples: f64) -> Self {
-        assert!(tuples >= 0.0 && tuples.is_finite(), "invalid tuples {tuples}");
+        assert!(
+            tuples >= 0.0 && tuples.is_finite(),
+            "invalid tuples {tuples}"
+        );
         self.tuples = tuples;
         self
     }
@@ -83,14 +85,20 @@ impl SourceStats {
     /// Sets the failure probability (must lie in `[0, 1)` so the expected
     /// retry count is finite).
     pub fn with_failure_prob(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "failure probability {p} not in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "failure probability {p} not in [0, 1)"
+        );
         self.failure_prob = p;
         self
     }
 
     /// Sets the flat access cost `c_i`.
     pub fn with_access_cost(mut self, cost: f64) -> Self {
-        assert!(cost >= 0.0 && cost.is_finite(), "invalid access cost {cost}");
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "invalid access cost {cost}"
+        );
         self.access_cost = cost;
         self
     }
@@ -150,7 +158,9 @@ mod tests {
     fn expected_attempts() {
         assert_eq!(SourceStats::new().expected_attempts(), 1.0);
         assert_eq!(
-            SourceStats::new().with_failure_prob(0.5).expected_attempts(),
+            SourceStats::new()
+                .with_failure_prob(0.5)
+                .expected_attempts(),
             2.0
         );
     }

@@ -141,7 +141,9 @@ impl AbstractionTree {
         order.sort_by(|&a, &b| {
             let ka = heuristic.key(inst, SourceRef::new(bucket, a));
             let kb = heuristic.key(inst, SourceRef::new(bucket, b));
-            ka.partial_cmp(&kb).expect("heuristic keys are comparable").then(a.cmp(&b))
+            ka.partial_cmp(&kb)
+                .expect("heuristic keys are comparable")
+                .then(a.cmp(&b))
         });
 
         let mut nodes: Vec<Node> = order
@@ -229,10 +231,13 @@ mod tests {
         assert_eq!(t.indices(t.root()), &[0, 1, 2, 3]);
         let kids = t.children(t.root());
         assert_eq!(kids.len(), 2);
-        let mut groups: Vec<Vec<usize>> =
-            kids.iter().map(|&c| t.indices(c).to_vec()).collect();
+        let mut groups: Vec<Vec<usize>> = kids.iter().map(|&c| t.indices(c).to_vec()).collect();
         groups.sort();
-        assert_eq!(groups, vec![vec![0, 2], vec![1, 3]], "similar sizes grouped");
+        assert_eq!(
+            groups,
+            vec![vec![0, 2], vec![1, 3]],
+            "similar sizes grouped"
+        );
     }
 
     #[test]

@@ -63,10 +63,7 @@ impl fmt::Display for AlgorithmAdvice {
 }
 
 /// Evaluates §6's guidance for an instance and measure.
-pub fn advise<M: UtilityMeasure + ?Sized>(
-    inst: &ProblemInstance,
-    measure: &M,
-) -> AlgorithmAdvice {
+pub fn advise<M: UtilityMeasure + ?Sized>(inst: &ProblemInstance, measure: &M) -> AlgorithmAdvice {
     let greedy = if measure.is_fully_monotonic(inst) {
         Ok(())
     } else {

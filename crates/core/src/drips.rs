@@ -283,8 +283,14 @@ mod tests {
     fn finds_the_best_plan_for_coverage() {
         let inst = coverage_inst();
         let ctx = ExecutionContext::new();
-        let out = find_best(&inst, &Coverage, &ctx, &[full_space(&inst)], &ByExpectedTuples)
-            .unwrap();
+        let out = find_best(
+            &inst,
+            &Coverage,
+            &ctx,
+            &[full_space(&inst)],
+            &ByExpectedTuples,
+        )
+        .unwrap();
         assert_eq!(out.utility, brute_best(&inst, &Coverage));
         assert_eq!(out.space, 0);
     }
@@ -319,11 +325,23 @@ mod tests {
     fn respects_the_execution_context() {
         let inst = coverage_inst();
         let mut ctx = ExecutionContext::new();
-        let first = find_best(&inst, &Coverage, &ctx, &[full_space(&inst)], &ByExpectedTuples)
-            .unwrap();
+        let first = find_best(
+            &inst,
+            &Coverage,
+            &ctx,
+            &[full_space(&inst)],
+            &ByExpectedTuples,
+        )
+        .unwrap();
         ctx.record(&first.plan);
-        let second =
-            find_best(&inst, &Coverage, &ctx, &[full_space(&inst)], &ByExpectedTuples).unwrap();
+        let second = find_best(
+            &inst,
+            &Coverage,
+            &ctx,
+            &[full_space(&inst)],
+            &ByExpectedTuples,
+        )
+        .unwrap();
         // The best plan given the first was executed: brute-force check.
         let best2 = inst
             .all_plans()
@@ -386,8 +404,14 @@ mod tests {
         )
         .unwrap();
         let ctx = ExecutionContext::new();
-        let out = find_best(&inst, &Coverage, &ctx, &[full_space(&inst)], &ByExpectedTuples)
-            .unwrap();
+        let out = find_best(
+            &inst,
+            &Coverage,
+            &ctx,
+            &[full_space(&inst)],
+            &ByExpectedTuples,
+        )
+        .unwrap();
         assert_eq!(out.utility, 0.25);
     }
 }

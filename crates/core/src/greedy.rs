@@ -58,8 +58,12 @@ impl<'a, M: UtilityMeasure + ?Sized> Greedy<'a, M> {
                 *cands
                     .iter()
                     .max_by(|&&x, &&y| {
-                        let kx = self.measure.source_preference(self.inst, SourceRef::new(b, x));
-                        let ky = self.measure.source_preference(self.inst, SourceRef::new(b, y));
+                        let kx = self
+                            .measure
+                            .source_preference(self.inst, SourceRef::new(b, x));
+                        let ky = self
+                            .measure
+                            .source_preference(self.inst, SourceRef::new(b, y));
                         kx.partial_cmp(&ky)
                             .expect("preferences are comparable")
                             .then(y.cmp(&x)) // prefer the smaller index on ties
@@ -88,9 +92,7 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Greedy<'_, M> {
             let utility = self.measure.utility(self.inst, &plan, &self.ctx);
             let better = match &best {
                 None => true,
-                Some((_, bplan, bu)) => {
-                    utility > *bu || (utility == *bu && plan < *bplan)
-                }
+                Some((_, bplan, bu)) => utility > *bu || (utility == *bu && plan < *bplan),
             };
             if better {
                 best = Some((idx, plan, utility));
@@ -176,10 +178,7 @@ mod tests {
         let i = inst(&[&[1.0, 1.0], &[2.0, 2.0]]);
         let mut g = Greedy::new(&i, &LinearCost).unwrap();
         let plans: Vec<Vec<usize>> = g.order_k(4).into_iter().map(|o| o.plan).collect();
-        assert_eq!(
-            plans,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(plans, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

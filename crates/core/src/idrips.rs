@@ -9,7 +9,7 @@
 
 use crate::abstraction::AbstractionHeuristic;
 use crate::drips::find_best;
-use crate::orderer::{OrderedPlan, PlanOrderer};
+use crate::orderer::{OrderedPlan, PlanOrderer, PlanOutcome};
 use crate::planspace::{full_space, remove_plan, PlanSpace};
 use qpo_catalog::ProblemInstance;
 use qpo_utility::{ExecutionContext, UtilityMeasure};
@@ -78,6 +78,15 @@ impl<M: UtilityMeasure + ?Sized, H: AbstractionHeuristic> PlanOrderer for IDrips
             utility: outcome.utility,
         })
     }
+
+    /// iDrips re-runs Drips from the context on every emission, so
+    /// retracting a failed plan is exact: the next round's dominance work
+    /// simply no longer credits it.
+    fn observe(&mut self, outcome: &PlanOutcome) {
+        if outcome.is_failure() {
+            self.ctx.retract(&outcome.plan);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +143,10 @@ mod tests {
         let gu: Vec<f64> = good.iter().map(|o| o.utility).collect();
         let bu: Vec<f64> = bad.iter().map(|o| o.utility).collect();
         for (a, b) in gu.iter().zip(&bu) {
-            assert!((a - b).abs() < 1e-12, "utility sequences diverge: {gu:?} vs {bu:?}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "utility sequences diverge: {gu:?} vs {bu:?}"
+            );
         }
     }
 
@@ -150,9 +162,28 @@ mod tests {
         let inst = GeneratorConfig::new(2, 4).with_seed(2).build();
         let ordering = IDrips::new(&inst, &Coverage, ByExpectedTuples).order_k(usize::MAX);
         assert_eq!(ordering.len(), 16);
-        let set: std::collections::BTreeSet<_> =
-            ordering.iter().map(|o| o.plan.clone()).collect();
+        let set: std::collections::BTreeSet<_> = ordering.iter().map(|o| o.plan.clone()).collect();
         assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn observed_failures_match_the_bruteforce_orderer() {
+        use crate::orderer::PlanOutcome;
+        use crate::pi::Naive;
+        let inst = GeneratorConfig::new(2, 4).with_seed(11).build();
+        let m = FailureCost::with_caching();
+        let mut idrips = IDrips::new(&inst, &m, ByExpectedTuples);
+        let mut naive = Naive::new(&inst, &m);
+        for step in 0..inst.plan_count() {
+            let a = idrips.next_plan().unwrap();
+            let b = naive.next_plan().unwrap();
+            assert!((a.utility - b.utility).abs() < 1e-9, "step {step}");
+            if step % 3 == 0 {
+                let outcome = PlanOutcome::failed(&a.plan);
+                idrips.observe(&outcome);
+                naive.observe(&PlanOutcome::failed(&b.plan));
+            }
+        }
     }
 
     #[test]

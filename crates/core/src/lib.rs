@@ -55,15 +55,17 @@ pub mod planspace;
 pub mod streamer;
 
 pub use abstraction::{
-    AbstractionHeuristic, AbstractionTree, ByExpectedTuples, ByExtentMidpoint,
-    ByTransmissionCost, NodeId, RandomKey,
+    AbstractionHeuristic, AbstractionTree, ByExpectedTuples, ByExtentMidpoint, ByTransmissionCost,
+    NodeId, RandomKey,
 };
 pub use advice::{advise, AlgorithmAdvice, Recommended};
 pub use drips::{find_best, Drips, DripsOutcome};
 pub use greedy::Greedy;
 pub use idrips::IDrips;
 pub use merged::{merge_greedys, merge_streamers, MergedOrderer};
-pub use orderer::{verify_ordering, OrderedPlan, OrdererError, PlanOrderer};
+pub use orderer::{
+    verify_ordering, OrderedPlan, OrdererError, OutcomeStatus, PlanOrderer, PlanOutcome,
+};
 pub use pi::{Naive, Pi};
 pub use planspace::{full_space, remove_plan, space_contains, space_size, PlanSpace};
 pub use streamer::{Streamer, StreamerStats};

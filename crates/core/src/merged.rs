@@ -141,7 +141,9 @@ mod tests {
     fn rejects_context_dependent_measures() {
         let insts = instances();
         assert!(matches!(
-            merge_streamers(&insts, &Coverage, &ByExpectedTuples).err().unwrap(),
+            merge_streamers(&insts, &Coverage, &ByExpectedTuples)
+                .err()
+                .unwrap(),
             OrdererError::ContextDependent("coverage")
         ));
         assert!(merge_streamers(&insts, &MonetaryCost::with_caching(), &ByExpectedTuples).is_err());

@@ -48,7 +48,10 @@ impl fmt::Display for OrdererError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OrdererError::NotFullyMonotonic(m) => {
-                write!(f, "measure `{m}` is not fully monotonic; Greedy does not apply")
+                write!(
+                    f,
+                    "measure `{m}` is not fully monotonic; Greedy does not apply"
+                )
             }
             OrdererError::NoDiminishingReturns(m) => write!(
                 f,
@@ -64,6 +67,57 @@ impl fmt::Display for OrdererError {
 
 impl std::error::Error for OrdererError {}
 
+/// How an emitted plan actually turned out once the runtime executed it.
+///
+/// The utilities of Definition 2.1 condition on the plans *assumed*
+/// executed; emission optimistically records that assumption. When real
+/// execution disagrees — a source stayed down and the plan never ran — the
+/// runtime reports the outcome back through [`PlanOrderer::observe`] so
+/// later emissions condition on what actually happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutcomeStatus {
+    /// The plan executed; it produced this many answer tuples (new or not).
+    Succeeded {
+        /// Tuples the plan returned.
+        tuples: usize,
+    },
+    /// The plan never executed (a source was permanently down or retries
+    /// were exhausted); none of its source operations ran.
+    Failed,
+}
+
+/// The observed outcome of one emitted plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOutcome {
+    /// The plan, in bucket-index form (as emitted).
+    pub plan: Vec<usize>,
+    /// What execution observed.
+    pub status: OutcomeStatus,
+}
+
+impl PlanOutcome {
+    /// A successful execution returning `tuples` answers.
+    pub fn succeeded(plan: &[usize], tuples: usize) -> Self {
+        PlanOutcome {
+            plan: plan.to_vec(),
+            status: OutcomeStatus::Succeeded { tuples },
+        }
+    }
+
+    /// A failed execution: the plan's source operations never ran.
+    pub fn failed(plan: &[usize]) -> Self {
+        PlanOutcome {
+            plan: plan.to_vec(),
+            status: OutcomeStatus::Failed,
+        }
+    }
+
+    /// True iff the plan failed to execute.
+    pub fn is_failure(&self) -> bool {
+        matches!(self.status, OutcomeStatus::Failed)
+    }
+}
+
 /// An incremental plan-ordering algorithm.
 pub trait PlanOrderer {
     /// Algorithm name, as used in the paper's figures.
@@ -72,6 +126,17 @@ pub trait PlanOrderer {
     /// Emits the next best plan (given everything emitted so far), or
     /// `None` when the plan space is exhausted.
     fn next_plan(&mut self) -> Option<OrderedPlan>;
+
+    /// Reports the observed outcome of a previously emitted plan.
+    ///
+    /// Orderers that condition on the execution context implement this to
+    /// *retract* failed plans — the plan's source operations never ran, so
+    /// subsequent utilities must not credit them (e.g. as cached). The
+    /// default is a no-op, which is exact for context-free measures and a
+    /// documented approximation otherwise (Streamer keeps it: its dominance
+    /// graph is built under monotone context growth and cannot soundly
+    /// un-execute a plan).
+    fn observe(&mut self, _outcome: &PlanOutcome) {}
 
     /// Emits up to `k` plans.
     fn order_k(&mut self, k: usize) -> Vec<OrderedPlan> {
@@ -106,7 +171,12 @@ pub fn verify_ordering<M: UtilityMeasure + ?Sized>(
         let pos = remaining
             .iter()
             .position(|p| p == &out.plan)
-            .ok_or_else(|| format!("step {step}: plan {:?} already emitted or invalid", out.plan))?;
+            .ok_or_else(|| {
+                format!(
+                    "step {step}: plan {:?} already emitted or invalid",
+                    out.plan
+                )
+            })?;
         let actual = measure.utility(inst, &out.plan, &ctx);
         if (actual - out.utility).abs() > tolerance {
             return Err(format!(

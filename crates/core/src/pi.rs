@@ -7,7 +7,7 @@
 //! therefore evaluates the whole plan space — exactly the cost the
 //! abstraction algorithms avoid.
 
-use crate::orderer::{OrderedPlan, PlanOrderer};
+use crate::orderer::{OrderedPlan, PlanOrderer, PlanOutcome};
 use qpo_catalog::ProblemInstance;
 use qpo_utility::{ExecutionContext, UtilityMeasure};
 
@@ -76,6 +76,18 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Pi<'_, M> {
         self.ctx.record(&plan);
         Some(OrderedPlan { plan, utility })
     }
+
+    fn observe(&mut self, outcome: &PlanOutcome) {
+        if outcome.is_failure() && self.ctx.retract(&outcome.plan) {
+            // The retracted plan's operations are no longer in the context;
+            // utilities that conditioned on them are stale.
+            for (p, u) in &mut self.plans {
+                if !self.measure.independent(self.inst, p, &outcome.plan) {
+                    *u = None;
+                }
+            }
+        }
+    }
 }
 
 /// Naive brute force: recomputes *every* remaining utility each round.
@@ -123,6 +135,12 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Naive<'_, M> {
         let plan = self.plans.swap_remove(best);
         self.ctx.record(&plan);
         Some(OrderedPlan { plan, utility })
+    }
+
+    fn observe(&mut self, outcome: &PlanOutcome) {
+        if outcome.is_failure() {
+            self.ctx.retract(&outcome.plan);
+        }
     }
 }
 
@@ -198,7 +216,11 @@ mod tests {
         let inst = coverage_inst();
         let m = CountingMeasure::new(LinearCost);
         Pi::new(&inst, &m).order_k(9);
-        assert_eq!(m.concrete_evals(), 9, "full independence → no recomputation");
+        assert_eq!(
+            m.concrete_evals(),
+            9,
+            "full independence → no recomputation"
+        );
     }
 
     #[test]
@@ -215,6 +237,70 @@ mod tests {
         let m = FailureCost::with_caching();
         let ordering = Naive::new(&inst, &m).order_k(9);
         verify_ordering(&inst, &m, &ordering, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn observing_a_failure_reconditions_later_pops() {
+        // Under the caching measure a failed plan must stop contributing
+        // cached operations: after the retract, the next pop's utility is
+        // the argmax over the remaining plans in an *empty* context.
+        let inst = coverage_inst();
+        let m = FailureCost::with_caching();
+        let mut pi = Pi::new(&inst, &m);
+        let first = pi.next_plan().unwrap();
+        pi.observe(&crate::orderer::PlanOutcome::failed(&first.plan));
+        let second = pi.next_plan().unwrap();
+        let empty = ExecutionContext::new();
+        let best_in_empty = inst
+            .all_plans()
+            .into_iter()
+            .filter(|p| *p != first.plan)
+            .map(|p| m.utility(&inst, &p, &empty))
+            .fold(f64::MIN, f64::max);
+        assert!(
+            (second.utility - best_in_empty).abs() < 1e-12,
+            "post-retract pop {} vs empty-context argmax {}",
+            second.utility,
+            best_in_empty
+        );
+    }
+
+    #[test]
+    fn pi_and_naive_agree_under_injected_failures() {
+        let inst = coverage_inst();
+        let m = FailureCost::with_caching();
+        let mut pi = Pi::new(&inst, &m);
+        let mut naive = Naive::new(&inst, &m);
+        for step in 0..9 {
+            let a = pi.next_plan().unwrap();
+            let b = naive.next_plan().unwrap();
+            assert_eq!(a.plan, b.plan, "step {step}");
+            assert!((a.utility - b.utility).abs() < 1e-12, "step {step}");
+            // Fail every other plan and tell both orderers.
+            if step % 2 == 0 {
+                let outcome = crate::orderer::PlanOutcome::failed(&a.plan);
+                pi.observe(&outcome);
+                naive.observe(&outcome);
+            } else {
+                let outcome = crate::orderer::PlanOutcome::succeeded(&a.plan, 3);
+                pi.observe(&outcome);
+                naive.observe(&outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn observing_success_changes_nothing() {
+        let inst = coverage_inst();
+        let m = FailureCost::with_caching();
+        let mut with_feedback = Pi::new(&inst, &m);
+        let mut without = Pi::new(&inst, &m);
+        for _ in 0..9 {
+            let a = with_feedback.next_plan().unwrap();
+            with_feedback.observe(&crate::orderer::PlanOutcome::succeeded(&a.plan, 1));
+            let b = without.next_plan().unwrap();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@ pub type PlanSpace = Vec<Vec<usize>>;
 
 /// The space containing every plan of the instance.
 pub fn full_space(inst: &ProblemInstance) -> PlanSpace {
-    inst.buckets.iter().map(|b| (0..b.len()).collect()).collect()
+    inst.buckets
+        .iter()
+        .map(|b| (0..b.len()).collect())
+        .collect()
 }
 
 /// Number of plans in the space.

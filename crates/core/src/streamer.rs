@@ -236,8 +236,11 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
             for &id in &nd {
                 let node = self.nodes.get_mut(&id).expect("nondominated node exists");
                 if node.utility.is_none() {
-                    node.utility =
-                        Some(self.measure.utility_interval(self.inst, &node.cands, &self.ctx));
+                    node.utility = Some(self.measure.utility_interval(
+                        self.inst,
+                        &node.cands,
+                        &self.ctx,
+                    ));
                     self.stats.utility_recomputations += 1;
                 }
             }
@@ -250,8 +253,7 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
                 .iter()
                 .map(|&id| (id, self.nodes[&id].utility.expect("computed in 2.a")))
                 .collect();
-            let mut dominated_now: BTreeSet<usize> =
-                self.links.iter().map(|l| l.to).collect();
+            let mut dominated_now: BTreeSet<usize> = self.links.iter().map(|l| l.to).collect();
             for &(b, ub) in &utilities {
                 if dominated_now.contains(&b) {
                     continue; // a dominated plan need not dominate others
@@ -346,7 +348,10 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
             self.links = kept;
             // Invalidate utilities of plans that may depend on d.
             for node in self.nodes.values_mut() {
-                if !self.measure.all_independent(self.inst, &node.cands, &d_plan) {
+                if !self
+                    .measure
+                    .all_independent(self.inst, &node.cands, &d_plan)
+                {
                     node.utility = None;
                 }
             }
@@ -448,8 +453,12 @@ mod tests {
             .map(|o| o.utility)
             .collect();
         for ordering in [
-            Streamer::new(&inst, &Coverage, &ByExtentMidpoint).unwrap().order_k(10),
-            Streamer::new(&inst, &Coverage, &RandomKey { seed: 5 }).unwrap().order_k(10),
+            Streamer::new(&inst, &Coverage, &ByExtentMidpoint)
+                .unwrap()
+                .order_k(10),
+            Streamer::new(&inst, &Coverage, &RandomKey { seed: 5 })
+                .unwrap()
+                .order_k(10),
         ] {
             verify_ordering(&inst, &Coverage, &ordering, 1e-12).unwrap();
             for (a, o) in base.iter().zip(&ordering) {

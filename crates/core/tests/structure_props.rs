@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use qpo_catalog::{Extent, GeneratorConfig, ProblemInstance, SourceStats};
 use qpo_core::{
-    full_space, remove_plan, space_contains, space_size, AbstractionTree, ByExpectedTuples,
-    Greedy, Pi, PlanOrderer, RandomKey,
+    full_space, remove_plan, space_contains, space_size, AbstractionTree, ByExpectedTuples, Greedy,
+    Pi, PlanOrderer, RandomKey,
 };
 use qpo_utility::LinearCost;
 use std::collections::BTreeSet;

@@ -22,7 +22,10 @@ const FROZEN_PREFIX: &str = "\u{0}frozen#";
 fn freeze(q: &ConjunctiveQuery) -> ConjunctiveQuery {
     let mut subst = Substitution::new();
     for (i, v) in q.all_variables().into_iter().enumerate() {
-        subst.bind(v.as_ref(), Term::Const(Constant::str(format!("{FROZEN_PREFIX}{i}"))));
+        subst.bind(
+            v.as_ref(),
+            Term::Const(Constant::str(format!("{FROZEN_PREFIX}{i}"))),
+        );
     }
     q.apply(&subst)
 }

@@ -220,7 +220,11 @@ mod tests {
 
     fn movie_db() -> Database {
         let mut db = Database::new();
-        for (a, m) in [("ford", "blade_runner"), ("ford", "witness"), ("hanks", "big")] {
+        for (a, m) in [
+            ("ford", "blade_runner"),
+            ("ford", "witness"),
+            ("hanks", "big"),
+        ] {
             db.insert("play_in", vec![Constant::str(a), Constant::str(m)]);
         }
         for (r, m) in [("rev1", "blade_runner"), ("rev2", "big")] {

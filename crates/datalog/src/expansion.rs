@@ -240,6 +240,8 @@ mod tests {
     fn error_display() {
         let e = ExpansionError::UnknownSource(Arc::from("v9"));
         assert_eq!(e.to_string(), "unknown source relation `v9`");
-        assert!(ExpansionError::Unsatisfiable.to_string().contains("unsatisfiable"));
+        assert!(ExpansionError::Unsatisfiable
+            .to_string()
+            .contains("unsatisfiable"));
     }
 }

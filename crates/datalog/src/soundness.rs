@@ -60,8 +60,7 @@ mod tests {
         let views = views();
         let query = query();
         for actor_src in ["v1", "v2", "v3"] {
-            let plan =
-                parse_query(&format!("p(M, R) :- {actor_src}(ford, M), v4(R, M)")).unwrap();
+            let plan = parse_query(&format!("p(M, R) :- {actor_src}(ford, M), v4(R, M)")).unwrap();
             assert!(
                 is_sound_plan(&plan, &views, &query).unwrap(),
                 "{actor_src} x v4 should be sound"

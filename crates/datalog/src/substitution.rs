@@ -44,7 +44,11 @@ impl Substitution {
     /// ground atoms or by renaming).
     pub fn apply(&self, term: &Term) -> Term {
         match term {
-            Term::Var(v) => self.map.get(v.as_ref()).cloned().unwrap_or_else(|| term.clone()),
+            Term::Var(v) => self
+                .map
+                .get(v.as_ref())
+                .cloned()
+                .unwrap_or_else(|| term.clone()),
             Term::Const(_) => term.clone(),
         }
     }
@@ -113,8 +117,14 @@ mod tests {
     fn match_variable_binds_and_stays_consistent() {
         let mut s = Substitution::new();
         assert!(s.match_term(&Term::var("X"), &Term::int(1)));
-        assert!(s.match_term(&Term::var("X"), &Term::int(1)), "same binding ok");
-        assert!(!s.match_term(&Term::var("X"), &Term::int(2)), "conflict fails");
+        assert!(
+            s.match_term(&Term::var("X"), &Term::int(1)),
+            "same binding ok"
+        );
+        assert!(
+            !s.match_term(&Term::var("X"), &Term::int(2)),
+            "conflict fails"
+        );
         assert_eq!(s.get("X"), Some(&Term::int(1)));
     }
 

@@ -1,0 +1,197 @@
+//! Concurrent mediation: the serial mediator loop re-run on top of the
+//! `qpo-runtime` executor.
+//!
+//! [`Mediator::run_concurrent`] orders plans exactly like
+//! [`Mediator::answer_until`] but executes them on a bounded pool of
+//! worker threads against *simulated remote sources* — with latency,
+//! retries, and injected failures — instead of directly against the
+//! in-memory extensions. Two properties tie the paths together:
+//!
+//! - **Equivalence**: with faults disabled, any worker count and any
+//!   speculation depth yields the serial plan-emission order and answer
+//!   set (the integration tests pin this down bit for bit);
+//! - **Graceful degradation**: with faults on, failed plans are reported
+//!   back to the orderer ([`qpo_core::PlanOrderer::observe`]) and the run
+//!   carries on, so a permanently-down source costs exactly the answers
+//!   only it could deliver.
+
+use crate::mediator::{build_orderer, Mediator, MediatorError, StopCondition, Strategy};
+use qpo_datalog::{is_sound_plan, ConjunctiveQuery, Database, SourceDescription, Tuple};
+use qpo_reformulation::Reformulation;
+use qpo_runtime::{
+    Executor, PlanEvaluator, RunBudget, RuntimePolicy, RuntimeRun, SourceGrid, SourceHealth,
+};
+use qpo_utility::UtilityMeasure;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Evaluates plans for the runtime by reformulating them into conjunctive
+/// queries over the mediator's materialized extensions — the same
+/// evaluation path the serial loop uses.
+struct MediatorEvaluator<'a> {
+    reform: &'a Reformulation,
+    db: &'a Database,
+    view_map: BTreeMap<Arc<str>, SourceDescription>,
+}
+
+impl PlanEvaluator for MediatorEvaluator<'_> {
+    fn is_sound(&self, plan: &[usize]) -> bool {
+        let plan_query = self.reform.plan_query(plan);
+        is_sound_plan(&plan_query, &self.view_map, &self.reform.query).unwrap_or(false)
+    }
+
+    fn evaluate(&self, plan: &[usize]) -> Vec<Tuple> {
+        self.db
+            .evaluate(&self.reform.plan_query(plan))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// A concurrent mediation run: the runtime's records plus the per-source
+/// health observed along the way.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRun {
+    /// Per-plan execution records, answers, and aggregate counters.
+    pub runtime: RuntimeRun,
+    /// Observed per-source reliability, aggregated over the run.
+    pub health: SourceHealth,
+}
+
+impl ConcurrentRun {
+    /// Plans that executed successfully.
+    pub fn executed(&self) -> usize {
+        self.runtime.executed()
+    }
+
+    /// Plans marked failed.
+    pub fn failed(&self) -> usize {
+        self.runtime.failed()
+    }
+
+    /// The emitted plans, in order — directly comparable with the serial
+    /// run's report sequence.
+    pub fn emitted_plans(&self) -> Vec<Vec<usize>> {
+        self.runtime
+            .reports
+            .iter()
+            .map(|r| r.ordered.plan.clone())
+            .collect()
+    }
+}
+
+impl From<StopCondition> for RunBudget {
+    fn from(stop: StopCondition) -> RunBudget {
+        RunBudget {
+            enough_answers: stop.enough_answers,
+            max_plans: stop.max_plans,
+            max_cost: stop.max_cost,
+        }
+    }
+}
+
+impl Mediator {
+    /// The concurrent, failure-aware variant of [`Mediator::answer_until`]:
+    /// same reformulation, same ordering algorithm, but plans execute on
+    /// `policy.workers` threads against simulated flaky sources under
+    /// `policy.faults`, with `policy.retry` governing per-source retries.
+    ///
+    /// Plan outcomes feed back into the orderer, so with faults enabled a
+    /// failed plan stops being credited (e.g. as cached) by later
+    /// emissions — for Pi, Naive, and iDrips exactly; Streamer keeps the
+    /// optimistic assumption (see `PlanOrderer::observe`).
+    pub fn run_concurrent<M: UtilityMeasure>(
+        &self,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        stop: StopCondition,
+        policy: RuntimePolicy,
+    ) -> Result<ConcurrentRun, MediatorError> {
+        let (reform, inst) = self.reformulation(query)?;
+        let mut orderer = build_orderer(&inst, measure, strategy)?;
+        let grid = SourceGrid::from_instance(&inst);
+        let eval = MediatorEvaluator {
+            reform: &reform,
+            db: self.database(),
+            view_map: self.catalog().view_map(),
+        };
+        let runtime = Executor::new(&grid, &eval, policy).run(orderer.as_mut(), stop.into());
+        let mut health = SourceHealth::new();
+        health.record_run(&runtime.reports);
+        Ok(ConcurrentRun { runtime, health })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+    use qpo_runtime::{FaultConfig, PlanStatus};
+    use qpo_utility::{Coverage, LinearCost};
+
+    fn mediator() -> Mediator {
+        Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"])
+    }
+
+    #[test]
+    fn strategy_errors_surface_like_the_serial_path() {
+        let m = mediator();
+        let err = m
+            .run_concurrent(
+                &movie_query(),
+                &Coverage,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::serial(),
+            )
+            .err()
+            .unwrap();
+        assert!(matches!(err, MediatorError::Orderer(_)), "{err}");
+    }
+
+    #[test]
+    fn concurrent_run_reports_health_and_fees() {
+        let m = mediator();
+        let run = m
+            .run_concurrent(
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::parallel(2)
+                    .with_faults(FaultConfig::with_seed(11).with_extra_transient_rate(0.3)),
+            )
+            .unwrap();
+        assert_eq!(run.runtime.reports.len(), 9);
+        assert!(run.runtime.stats.attempts >= 9 * 2, "2 sources per plan");
+        assert!(run.health.iter().count() > 0);
+        for ((b, i), rec) in run.health.iter() {
+            assert!(rec.attempts > 0, "source ({b}, {i}) was accessed");
+        }
+    }
+
+    #[test]
+    fn permanently_down_source_costs_only_its_plans() {
+        let m = mediator();
+        // v1 is one of three sources in the first bucket of Figure 1.
+        let faults = FaultConfig::with_seed(1).with_source_down("v1");
+        let run = m
+            .run_concurrent(
+                &movie_query(),
+                &Coverage,
+                Strategy::Pi,
+                StopCondition::unbounded(),
+                RuntimePolicy::parallel(3).with_faults(faults),
+            )
+            .unwrap();
+        assert_eq!(run.runtime.reports.len(), 9, "run completes");
+        assert!(run.failed() > 0, "plans through v1 fail");
+        assert!(run.executed() > 0, "other plans still answer");
+        for r in &run.runtime.reports {
+            if let PlanStatus::Failed(reason) = &r.status {
+                assert!(format!("{reason:?}").contains("v1"));
+            }
+        }
+    }
+}

@@ -13,25 +13,89 @@
 //! pool, so selections like `play_in(ford, M)` keep a predictable subset.
 
 use qpo_catalog::Catalog;
-use qpo_datalog::{Constant, Database};
+use qpo_datalog::{Constant, Database, Tuple};
+use std::fmt;
 
-/// Fills a database with one relation per catalog source.
+/// Why a catalog could not be materialized, or a materialized tuple could
+/// not be decoded. Typed so a mediator run degrades gracefully instead of
+/// aborting on malformed extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtensionError {
+    /// The value pool has no entries to fill non-join attributes from.
+    EmptyPool,
+    /// A source declares arity 0, leaving no attribute for the item id.
+    NullarySource {
+        /// The offending source relation.
+        source: String,
+    },
+    /// A source's extent end overflows the universe representation.
+    ExtentOverflow {
+        /// The offending source relation.
+        source: String,
+        /// The extent start.
+        start: u64,
+        /// The extent length that overflowed `start + len`.
+        len: u64,
+    },
+    /// A tuple's item-id attribute holds a non-integer constant.
+    MalformedItemId {
+        /// The constant found where an item id was expected.
+        found: String,
+    },
+}
+
+impl fmt::Display for ExtensionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtensionError::EmptyPool => write!(f, "value pool must be non-empty"),
+            ExtensionError::NullarySource { source } => {
+                write!(f, "source `{source}` has arity 0; no item-id attribute")
+            }
+            ExtensionError::ExtentOverflow { source, start, len } => write!(
+                f,
+                "source `{source}` extent [{start}, {start}+{len}) overflows u64"
+            ),
+            ExtensionError::MalformedItemId { found } => {
+                write!(f, "expected an integer item id, got {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtensionError {}
+
+/// Fills a database with one relation per catalog source, reporting
+/// malformed catalogs as typed errors.
 ///
 /// For source `v` with extent `[s, e)` and arity `a`, every item
 /// `x ∈ [s, e)` yields the tuple
 /// `(pool[(x + |v|) mod |pool|], ..., item_x)` — `a − 1` pool values
 /// followed by the item id. Deterministic: equal inputs give equal data.
-pub fn populate_sources(catalog: &Catalog, pool: &[&str]) -> Database {
-    assert!(!pool.is_empty(), "value pool must be non-empty");
+pub fn try_populate_sources(catalog: &Catalog, pool: &[&str]) -> Result<Database, ExtensionError> {
+    if pool.is_empty() {
+        return Err(ExtensionError::EmptyPool);
+    }
     let mut db = Database::new();
     for entry in catalog.iter() {
         let name = entry.description.name().clone();
         let arity = entry.description.arity();
+        if arity == 0 {
+            return Err(ExtensionError::NullarySource {
+                source: name.to_string(),
+            });
+        }
         let salt = name.len() as u64 + name.bytes().map(u64::from).sum::<u64>();
         let extent = entry.stats.extent;
+        if extent.start.checked_add(extent.len).is_none() {
+            return Err(ExtensionError::ExtentOverflow {
+                source: name.to_string(),
+                start: extent.start,
+                len: extent.len,
+            });
+        }
         for x in extent.start..extent.end() {
             let mut tuple = Vec::with_capacity(arity);
-            for pos in 0..arity.saturating_sub(1) {
+            for pos in 0..arity - 1 {
                 let idx = ((x + salt + pos as u64) % pool.len() as u64) as usize;
                 tuple.push(Constant::str(pool[idx]));
             }
@@ -39,7 +103,35 @@ pub fn populate_sources(catalog: &Catalog, pool: &[&str]) -> Database {
             db.insert(name.as_ref(), tuple);
         }
     }
-    db
+    Ok(db)
+}
+
+/// Infallible wrapper over [`try_populate_sources`] for callers that build
+/// catalogs from the bundled domains (which are well-formed by
+/// construction).
+///
+/// # Panics
+///
+/// On the same malformed inputs [`try_populate_sources`] reports as errors.
+pub fn populate_sources(catalog: &Catalog, pool: &[&str]) -> Database {
+    match try_populate_sources(catalog, pool) {
+        Ok(db) => db,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Decodes the item id (the last attribute) of a materialized tuple. The
+/// typed-error counterpart of matching on [`Constant::Int`] directly.
+pub fn item_id(tuple: &Tuple) -> Result<u64, ExtensionError> {
+    match tuple.last() {
+        Some(Constant::Int(v)) => Ok(*v as u64),
+        Some(other) => Err(ExtensionError::MalformedItemId {
+            found: other.to_string(),
+        }),
+        None => Err(ExtensionError::MalformedItemId {
+            found: "an empty tuple".to_string(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -75,13 +167,18 @@ mod tests {
         let db = populate_sources(&catalog, &["ford"]);
         let extent = catalog.source("v1").unwrap().stats.extent;
         for t in db.tuples("v1") {
-            match &t[1] {
-                Constant::Int(v) => {
-                    assert!((*v as u64) >= extent.start && (*v as u64) < extent.end())
-                }
-                other => panic!("expected item id, got {other}"),
-            }
+            let id = item_id(t).expect("materialized tuples carry item ids");
+            assert!(id >= extent.start && id < extent.end());
         }
+    }
+
+    #[test]
+    fn item_id_reports_malformed_tuples_as_typed_errors() {
+        let err = item_id(&vec![Constant::str("not-an-id")]).unwrap_err();
+        assert!(matches!(err, ExtensionError::MalformedItemId { .. }));
+        assert!(err.to_string().contains("not-an-id"), "{err}");
+        let err = item_id(&Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("empty tuple"), "{err}");
     }
 
     #[test]
@@ -94,8 +191,15 @@ mod tests {
     }
 
     #[test]
+    fn empty_pool_is_a_typed_error() {
+        let err = try_populate_sources(&movie_domain(), &[]).unwrap_err();
+        assert_eq!(err, ExtensionError::EmptyPool);
+        assert!(err.to_string().contains("non-empty"));
+    }
+
+    #[test]
     #[should_panic(expected = "pool must be non-empty")]
-    fn rejects_empty_pool() {
+    fn infallible_wrapper_still_panics_for_legacy_callers() {
         populate_sources(&movie_domain(), &[]);
     }
 }

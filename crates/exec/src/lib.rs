@@ -10,11 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod extensions;
 pub mod mediator;
 pub mod pipeline;
 pub mod profile;
 
-pub use extensions::populate_sources;
-pub use profile::{estimate_extent, estimate_tuples, profile_catalog};
+pub use concurrent::ConcurrentRun;
+pub use extensions::{populate_sources, try_populate_sources, ExtensionError};
 pub use mediator::{Mediator, MediatorError, MediatorRun, PlanReport, StopCondition, Strategy};
+pub use profile::{estimate_extent, estimate_tuples, profile_catalog};

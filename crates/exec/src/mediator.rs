@@ -147,6 +147,23 @@ impl fmt::Display for MediatorError {
 
 impl std::error::Error for MediatorError {}
 
+/// Builds the orderer a strategy prescribes, surfacing applicability
+/// errors. Shared by the serial and concurrent execution paths.
+pub(crate) fn build_orderer<'a, M: UtilityMeasure>(
+    inst: &'a qpo_catalog::ProblemInstance,
+    measure: &'a M,
+    strategy: Strategy,
+) -> Result<Box<dyn PlanOrderer + 'a>, MediatorError> {
+    Ok(match strategy {
+        Strategy::Greedy => Box::new(Greedy::new(inst, measure).map_err(MediatorError::Orderer)?),
+        Strategy::IDrips => Box::new(IDrips::new(inst, measure, ByExpectedTuples)),
+        Strategy::Streamer => Box::new(
+            Streamer::new(inst, measure, &ByExpectedTuples).map_err(MediatorError::Orderer)?,
+        ),
+        Strategy::Pi => Box::new(Pi::new(inst, measure)),
+    })
+}
+
 /// A data integration mediator over a catalog with materialized source
 /// extensions.
 pub struct Mediator {
@@ -226,17 +243,19 @@ impl Mediator {
         let inst = reform
             .problem_instance(&self.catalog, self.universe, self.overhead)
             .map_err(MediatorError::Reformulation)?;
-        let mut orderer: Box<dyn PlanOrderer> = match strategy {
-            Strategy::Greedy => {
-                Box::new(Greedy::new(&inst, measure).map_err(MediatorError::Orderer)?)
-            }
-            Strategy::IDrips => Box::new(IDrips::new(&inst, measure, ByExpectedTuples)),
-            Strategy::Streamer => Box::new(
-                Streamer::new(&inst, measure, &ByExpectedTuples).map_err(MediatorError::Orderer)?,
-            ),
-            Strategy::Pi => Box::new(Pi::new(&inst, measure)),
-        };
+        let mut orderer = build_orderer(&inst, measure, strategy)?;
         Ok(self.run(&reform, orderer.as_mut(), stop))
+    }
+
+    pub(crate) fn reformulation(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<(Reformulation, qpo_catalog::ProblemInstance), MediatorError> {
+        let reform = reformulate(&self.catalog, query).map_err(MediatorError::Reformulation)?;
+        let inst = reform
+            .problem_instance(&self.catalog, self.universe, self.overhead)
+            .map_err(MediatorError::Reformulation)?;
+        Ok((reform, inst))
     }
 
     fn run(
@@ -335,7 +354,9 @@ mod tests {
         let a = m
             .answer(&movie_query(), &Coverage, Strategy::Streamer, 9)
             .unwrap();
-        let b = m.answer(&movie_query(), &Coverage, Strategy::Pi, 9).unwrap();
+        let b = m
+            .answer(&movie_query(), &Coverage, Strategy::Pi, 9)
+            .unwrap();
         assert_eq!(a.answers, b.answers);
         let ua: Vec<f64> = a.reports.iter().map(|r| r.ordered.utility).collect();
         let ub: Vec<f64> = b.reports.iter().map(|r| r.ordered.utility).collect();
@@ -382,7 +403,10 @@ mod tests {
     fn unanswerable_query_reports_reformulation_error() {
         let m = mediator();
         let q = qpo_datalog::parse_query("q(D) :- directs(D, M)").unwrap();
-        let err = m.answer(&q, &LinearCost, Strategy::Greedy, 1).err().unwrap();
+        let err = m
+            .answer(&q, &LinearCost, Strategy::Greedy, 1)
+            .err()
+            .unwrap();
         assert!(matches!(err, MediatorError::Reformulation(_)));
     }
 

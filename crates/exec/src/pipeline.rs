@@ -71,8 +71,7 @@ impl Mediator {
             while let Ok(ordered) = rx.recv() {
                 let plan_query = reform.plan_query(&ordered.plan);
                 let sources = reform.plan_sources(&ordered.plan);
-                let sound =
-                    is_sound_plan(&plan_query, &view_map, &reform.query).unwrap_or(false);
+                let sound = is_sound_plan(&plan_query, &view_map, &reform.query).unwrap_or(false);
                 let mut new_tuples = 0;
                 if sound {
                     for t in self.database().evaluate(&plan_query) {

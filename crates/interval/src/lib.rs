@@ -355,7 +355,10 @@ mod tests {
         assert!(iv(3.0, 4.0).dominates(iv(1.0, 3.0)), "l_p == h_q dominates");
         assert!(!iv(3.0, 4.0).strictly_dominates(iv(1.0, 3.0)));
         assert!(iv(3.1, 4.0).strictly_dominates(iv(1.0, 3.0)));
-        assert!(!iv(2.0, 4.0).dominates(iv(1.0, 3.0)), "overlap: no dominance");
+        assert!(
+            !iv(2.0, 4.0).dominates(iv(1.0, 3.0)),
+            "overlap: no dominance"
+        );
         // A point dominates itself (ties are dominance, not strict dominance).
         assert!(Interval::point(1.0).dominates(Interval::point(1.0)));
     }

@@ -85,9 +85,9 @@ impl Reformulation {
             let mut stats = Vec::with_capacity(bucket.len());
             let mut max_end = universe;
             for entry in bucket {
-                let e = catalog.source(&entry.source).ok_or_else(|| {
-                    ReformulationError::UnknownSource(entry.source.to_string())
-                })?;
+                let e = catalog
+                    .source(&entry.source)
+                    .ok_or_else(|| ReformulationError::UnknownSource(entry.source.to_string()))?;
                 max_end = max_end.max(e.stats.extent.end());
                 stats.push(e.stats.clone());
             }
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn minicon_instances_align_with_spaces() {
         use crate::minicon::minicon_plan_spaces;
-        use qpo_catalog::{MediatedSchema, SchemaRelation, SourceStats, Extent};
+        use qpo_catalog::{Extent, MediatedSchema, SchemaRelation, SourceStats};
         use qpo_datalog::SourceDescription;
 
         let schema = MediatedSchema::with_relations([
@@ -255,10 +255,7 @@ mod tests {
             for (gb, ib) in space.buckets.iter().zip(&inst.buckets) {
                 assert_eq!(gb.entries.len(), ib.len());
                 for (mcd, stat) in gb.entries.iter().zip(ib) {
-                    assert_eq!(
-                        catalog.source(&mcd.view).unwrap().stats.tuples,
-                        stat.tuples
-                    );
+                    assert_eq!(catalog.source(&mcd.view).unwrap().stats.tuples, stat.tuples);
                 }
             }
         }

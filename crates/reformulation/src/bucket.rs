@@ -205,9 +205,8 @@ mod tests {
     fn figure1_buckets() {
         let buckets = create_buckets(&figure1_query(), &figure1_views());
         assert_eq!(buckets.len(), 2);
-        let names = |b: &[BucketEntry]| -> Vec<String> {
-            b.iter().map(|e| e.source.to_string()).collect()
-        };
+        let names =
+            |b: &[BucketEntry]| -> Vec<String> { b.iter().map(|e| e.source.to_string()).collect() };
         assert_eq!(names(&buckets[0]), vec!["v1", "v2", "v3"]);
         assert_eq!(names(&buckets[1]), vec!["v4", "v5", "v6"]);
         // The bucket-0 atoms carry the constant binding.

@@ -190,10 +190,7 @@ pub fn answer_with_inverse_rules(
                                     .to_string(),
                             })
                             .collect();
-                        Constant::str(format!(
-                            "{SKOLEM_PREFIX}{view}:{index}:{}",
-                            vals.join(",")
-                        ))
+                        Constant::str(format!("{SKOLEM_PREFIX}{view}:{index}:{}", vals.join(",")))
                     }
                 })
                 .collect();
@@ -204,9 +201,9 @@ pub fn answer_with_inverse_rules(
         .evaluate(query)
         .into_iter()
         .filter(|answer| {
-            !answer.iter().any(|c| {
-                matches!(c, Constant::Str(s) if s.starts_with(SKOLEM_PREFIX))
-            })
+            !answer
+                .iter()
+                .any(|c| matches!(c, Constant::Str(s) if s.starts_with(SKOLEM_PREFIX)))
         })
         .collect()
 }
@@ -230,12 +227,16 @@ pub fn buckets_from_inverse_rules<'r>(
                 .filter(|r| {
                     r.relation == goal.predicate
                         && r.terms.len() == goal.arity()
-                        && goal.terms.iter().zip(&r.terms).all(|(qt, rt)| match (qt, rt) {
-                            (Term::Var(_), _) => true,
-                            (Term::Const(c), RuleTerm::Plain(Term::Const(d))) => c == d,
-                            (Term::Const(_), RuleTerm::Plain(Term::Var(_))) => true,
-                            (Term::Const(_), RuleTerm::Skolem { .. }) => false,
-                        })
+                        && goal
+                            .terms
+                            .iter()
+                            .zip(&r.terms)
+                            .all(|(qt, rt)| match (qt, rt) {
+                                (Term::Var(_), _) => true,
+                                (Term::Const(c), RuleTerm::Plain(Term::Const(d))) => c == d,
+                                (Term::Const(_), RuleTerm::Plain(Term::Var(_))) => true,
+                                (Term::Const(_), RuleTerm::Skolem { .. }) => false,
+                            })
                 })
                 .collect()
         })

@@ -22,5 +22,7 @@ pub mod minicon;
 
 pub use assemble::{minicon_instances, reformulate, Reformulation, ReformulationError};
 pub use bucket::{candidate_plan, create_buckets, enumerate_sound_plans, BucketEntry, Buckets};
-pub use inverse::{answer_with_inverse_rules, buckets_from_inverse_rules, invert, InverseRule, RuleTerm};
+pub use inverse::{
+    answer_with_inverse_rules, buckets_from_inverse_rules, invert, InverseRule, RuleTerm,
+};
 pub use minicon::{form_mcds, minicon_plan_spaces, GeneralizedBucket, Mcd, McdPlanSpace};

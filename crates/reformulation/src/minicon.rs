@@ -234,7 +234,14 @@ pub fn form_mcds(query: &ConjunctiveQuery, views: &[SourceDescription]) -> Vec<M
                 covered: BTreeSet::new(),
             };
             let mut done = Vec::new();
-            close(state, vec![start], query, &view, &query_head_vars, &mut done);
+            close(
+                state,
+                vec![start],
+                query,
+                &view,
+                &query_head_vars,
+                &mut done,
+            );
             for (k, s) in done.into_iter().enumerate() {
                 // Keep only MCDs whose smallest covered goal is the start:
                 // closures discovered from a later start are duplicates.
@@ -446,11 +453,10 @@ mod tests {
         let query = parse_query("q(M, R) :- play_in(ford, M), review_of(R, M)").unwrap();
         let views = figure1_views();
         let buckets = create_buckets(&query, &views);
-        let bucket_plans: BTreeSet<Vec<Arc<str>>> =
-            enumerate_sound_plans(&query, &views, &buckets)
-                .into_iter()
-                .map(|(_, p)| p.body.iter().map(|a| a.predicate.clone()).collect())
-                .collect();
+        let bucket_plans: BTreeSet<Vec<Arc<str>>> = enumerate_sound_plans(&query, &views, &buckets)
+            .into_iter()
+            .map(|(_, p)| p.body.iter().map(|a| a.predicate.clone()).collect())
+            .collect();
         let spaces = minicon_plan_spaces(&query, &views);
         let mut minicon_plans: BTreeSet<Vec<Arc<str>>> = BTreeSet::new();
         for space in &spaces {

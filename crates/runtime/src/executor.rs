@@ -1,0 +1,753 @@
+//! The bounded-parallelism plan executor.
+//!
+//! ## Execution model
+//!
+//! A coordinator pops plans from the [`PlanOrderer`] *serially* — utilities
+//! are conditioned on emission order, so pops cannot be parallelized — but
+//! **speculatively**: up to `lookahead` plans are in flight before any
+//! outcome is known. Each pop optimistically assumes its predecessors
+//! execute (the same assumption the serial mediator makes), which is why,
+//! with faults disabled, any lookahead reproduces the serial ordering
+//! exactly. Worker threads simulate the source accesses (retries, backoff,
+//! timeouts) and evaluate the plan; the coordinator merges completions in
+//! emission order, so answers and per-plan novelty counts are
+//! deterministic. When a plan fails, the coordinator reports it back via
+//! [`PlanOrderer::observe`] so later pops are conditioned on what actually
+//! ran.
+//!
+//! ## Determinism
+//!
+//! Faults and latencies are pure functions of `(seed, source, plan
+//! sequence, attempt)` ([`crate::source`]), pops happen at fixed points
+//! (wave boundaries), and merging is by sequence number — so a run is a
+//! deterministic function of its inputs, independent of worker count and
+//! thread scheduling. Worker count changes wall time, nothing else.
+//!
+//! ## Budget caveat under speculation
+//!
+//! `max_plans` and `max_cost` are known at pop time and honored exactly.
+//! `enough_answers` is only re-checked at wave boundaries (answers of
+//! in-flight plans are unknown), so a speculative run may execute up to
+//! `lookahead − 1` plans past the serial stopping point — the usual price
+//! of speculation. Use `lookahead = 1` for exact answer-budget parity.
+
+use crate::policy::{RetryPolicy, RuntimePolicy};
+use crate::source::{AccessOutcome, SourceGrid, SourceService};
+use crossbeam::channel;
+use qpo_core::{OrderedPlan, PlanOrderer, PlanOutcome};
+use qpo_datalog::Tuple;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Evaluates concrete plans against the integration system's data; the
+/// runtime is generic over this so it does not depend on any particular
+/// mediator. Implementations must be cheap to call from worker threads.
+pub trait PlanEvaluator: Sync {
+    /// Whether the plan passes the soundness test (unsound plans are
+    /// reported but never executed, mirroring the serial mediator).
+    fn is_sound(&self, plan: &[usize]) -> bool;
+
+    /// Evaluates the plan's conjunctive query, returning its answers.
+    fn evaluate(&self, plan: &[usize]) -> Vec<Tuple>;
+}
+
+/// When the executor stops popping further plans. Mirrors the serial
+/// mediator's stop condition; see the module docs for speculation caveats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunBudget {
+    /// Stop once at least this many distinct answers have been merged.
+    pub enough_answers: Option<usize>,
+    /// Stop after popping this many plans (sound or not).
+    pub max_plans: Option<usize>,
+    /// Stop once cumulative negated utility of popped plans exceeds this.
+    pub max_cost: Option<f64>,
+}
+
+impl RunBudget {
+    /// Never stops early.
+    pub fn unbounded() -> Self {
+        RunBudget::default()
+    }
+
+    /// Stop after popping `n` plans.
+    pub fn plans(n: usize) -> Self {
+        RunBudget {
+            max_plans: Some(n),
+            ..RunBudget::default()
+        }
+    }
+
+    /// Stop after `n` distinct answers.
+    pub fn answers(n: usize) -> Self {
+        RunBudget {
+            enough_answers: Some(n),
+            ..RunBudget::default()
+        }
+    }
+
+    fn satisfied(&self, answers: usize, plans: usize, spent: f64) -> bool {
+        self.enough_answers.is_some_and(|n| answers >= n)
+            || self.max_plans.is_some_and(|n| plans >= n)
+            || self.max_cost.is_some_and(|c| spent > c)
+    }
+}
+
+/// One source access within a plan execution: total attempts, charged
+/// virtual latency (backoffs included), fee, and whether it succeeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceAccess {
+    /// Bucket of the accessed source.
+    pub bucket: usize,
+    /// Index within the bucket.
+    pub index: usize,
+    /// Source name.
+    pub name: String,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Attempts that failed transiently (timeouts included).
+    pub transient_failures: u32,
+    /// Virtual time spent on this source: attempt latencies plus backoffs.
+    pub latency: f64,
+    /// Fee charged (0 unless the access succeeded).
+    pub fee: f64,
+    /// Whether the access ultimately succeeded.
+    pub ok: bool,
+    /// Whether the source was permanently down.
+    pub permanently_down: bool,
+}
+
+/// Why a plan failed to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// A source was permanently down.
+    PermanentlyDown {
+        /// The offending source.
+        source: String,
+    },
+    /// A source kept failing transiently until the retry budget ran out.
+    RetriesExhausted {
+        /// The offending source.
+        source: String,
+    },
+}
+
+/// What happened to one popped plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanStatus {
+    /// Executed successfully.
+    Executed {
+        /// Answers this plan returned (new or not).
+        tuples: usize,
+        /// Answers no earlier (by emission order) plan had produced.
+        new_tuples: usize,
+        /// Distinct answers after merging this plan.
+        cumulative: usize,
+    },
+    /// Discarded by the soundness test; never executed.
+    Unsound,
+    /// Marked failed after retries/permanent failure; never produced
+    /// answers. The run continues — this is the graceful-degradation path.
+    Failed(FailureReason),
+}
+
+/// Full record of one popped plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExecution {
+    /// Emission sequence number (0-based pop order).
+    pub seq: u64,
+    /// The plan as emitted, with its utility at emission time.
+    pub ordered: OrderedPlan,
+    /// Outcome.
+    pub status: PlanStatus,
+    /// Per-source access records (empty for unsound plans).
+    pub accesses: Vec<SourceAccess>,
+    /// Virtual latency of the plan: max over its sources (accessed in
+    /// parallel).
+    pub latency: f64,
+    /// Total fees charged for the plan's successful accesses.
+    pub fees: f64,
+}
+
+impl PlanExecution {
+    /// True iff the plan executed and returned answers.
+    pub fn executed(&self) -> bool {
+        matches!(self.status, PlanStatus::Executed { .. })
+    }
+
+    /// True iff the plan was marked failed.
+    pub fn failed(&self) -> bool {
+        matches!(self.status, PlanStatus::Failed(_))
+    }
+}
+
+/// Aggregate counters over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Source access attempts across all plans.
+    pub attempts: u64,
+    /// Attempts that failed transiently.
+    pub transient_failures: u64,
+    /// Plans marked failed.
+    pub failed_plans: usize,
+    /// Simulated makespan: per wave, the plans' latencies scheduled onto
+    /// `workers` lanes, summed over waves.
+    pub virtual_time: f64,
+    /// Total fees charged.
+    pub fees: f64,
+}
+
+/// The result of a concurrent run.
+#[derive(Debug, Clone)]
+pub struct RuntimeRun {
+    /// Per-plan records, in emission order.
+    pub reports: Vec<PlanExecution>,
+    /// Union of all executed plans' answers.
+    pub answers: BTreeSet<Tuple>,
+    /// Aggregate counters.
+    pub stats: RunStats,
+}
+
+impl RuntimeRun {
+    /// Plans that executed successfully.
+    pub fn executed(&self) -> usize {
+        self.reports.iter().filter(|r| r.executed()).count()
+    }
+
+    /// Plans marked failed.
+    pub fn failed(&self) -> usize {
+        self.reports.iter().filter(|r| r.failed()).count()
+    }
+}
+
+struct Job {
+    seq: u64,
+    ordered: OrderedPlan,
+}
+
+struct Completion {
+    seq: u64,
+    ordered: OrderedPlan,
+    sound: bool,
+    tuples: Vec<Tuple>,
+    accesses: Vec<SourceAccess>,
+    failure: Option<FailureReason>,
+}
+
+/// The bounded-parallelism speculative executor. Borrows the source grid
+/// and evaluator; one executor can run many orderers.
+pub struct Executor<'a, E: PlanEvaluator> {
+    grid: &'a SourceGrid,
+    eval: &'a E,
+    policy: RuntimePolicy,
+}
+
+impl<'a, E: PlanEvaluator> Executor<'a, E> {
+    /// Creates an executor.
+    pub fn new(grid: &'a SourceGrid, eval: &'a E, policy: RuntimePolicy) -> Self {
+        Executor { grid, eval, policy }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &RuntimePolicy {
+        &self.policy
+    }
+
+    /// Runs the orderer to completion of `budget` (or plan-space
+    /// exhaustion), executing plans on `policy.workers` threads.
+    pub fn run(&self, orderer: &mut dyn PlanOrderer, budget: RunBudget) -> RuntimeRun {
+        let workers = self.policy.workers.max(1);
+        let lookahead = self.policy.lookahead.max(1);
+        crossbeam::thread::scope(|s| {
+            let (job_tx, job_rx) = channel::unbounded::<Job>();
+            let (done_tx, done_rx) = channel::unbounded::<Completion>();
+            for _ in 0..workers {
+                let rx = job_rx.clone();
+                let tx = done_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(job) = rx.recv() {
+                        if tx.send(self.execute_job(job)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(job_rx);
+            drop(done_tx);
+
+            let mut answers: BTreeSet<Tuple> = BTreeSet::new();
+            let mut reports: Vec<PlanExecution> = Vec::new();
+            let mut stats = RunStats::default();
+            let mut spent = 0.0;
+            let mut seq: u64 = 0;
+            loop {
+                // Pop the next speculation window. `spent` and the pop
+                // count are exact here; `answers` lags by the in-flight
+                // window (see module docs).
+                let mut in_flight = 0usize;
+                while in_flight < lookahead
+                    && !budget.satisfied(answers.len(), reports.len() + in_flight, spent)
+                {
+                    let Some(ordered) = orderer.next_plan() else {
+                        break;
+                    };
+                    spent += -ordered.utility;
+                    assert!(
+                        job_tx.send(Job { seq, ordered }).is_ok(),
+                        "workers outlive the coordinator loop"
+                    );
+                    seq += 1;
+                    in_flight += 1;
+                }
+                if in_flight == 0 {
+                    break;
+                }
+                let mut wave: Vec<Completion> = (0..in_flight)
+                    .map(|_| done_rx.recv().expect("workers send one completion per job"))
+                    .collect();
+                wave.sort_by_key(|c| c.seq);
+                stats.virtual_time +=
+                    makespan(wave.iter().map(|c| plan_latency(&c.accesses)), workers);
+                for completion in wave {
+                    reports.push(self.merge(completion, orderer, &mut answers, &mut stats));
+                }
+            }
+            drop(job_tx);
+            RuntimeRun {
+                reports,
+                answers,
+                stats,
+            }
+        })
+        .expect("executor threads do not panic")
+    }
+
+    /// Folds one completion into the run, reporting the outcome back to
+    /// the orderer.
+    fn merge(
+        &self,
+        completion: Completion,
+        orderer: &mut dyn PlanOrderer,
+        answers: &mut BTreeSet<Tuple>,
+        stats: &mut RunStats,
+    ) -> PlanExecution {
+        let Completion {
+            seq,
+            ordered,
+            sound,
+            tuples,
+            accesses,
+            failure,
+        } = completion;
+        let latency = plan_latency(&accesses);
+        let fees: f64 = accesses.iter().map(|a| a.fee).sum();
+        for a in &accesses {
+            stats.attempts += u64::from(a.attempts);
+            stats.transient_failures += u64::from(a.transient_failures);
+        }
+        stats.fees += fees;
+        let status = if !sound {
+            PlanStatus::Unsound
+        } else if let Some(reason) = failure {
+            stats.failed_plans += 1;
+            orderer.observe(&PlanOutcome::failed(&ordered.plan));
+            PlanStatus::Failed(reason)
+        } else {
+            let total = tuples.len();
+            let mut new_tuples = 0;
+            for t in tuples {
+                if answers.insert(t) {
+                    new_tuples += 1;
+                }
+            }
+            orderer.observe(&PlanOutcome::succeeded(&ordered.plan, total));
+            PlanStatus::Executed {
+                tuples: total,
+                new_tuples,
+                cumulative: answers.len(),
+            }
+        };
+        PlanExecution {
+            seq,
+            ordered,
+            status,
+            accesses,
+            latency,
+            fees,
+        }
+    }
+
+    /// Runs on a worker thread: simulate the plan's source accesses, then
+    /// evaluate it if everything succeeded.
+    fn execute_job(&self, job: Job) -> Completion {
+        let Job { seq, ordered } = job;
+        let sound = self.eval.is_sound(&ordered.plan);
+        if !sound {
+            return Completion {
+                seq,
+                ordered,
+                sound,
+                tuples: Vec::new(),
+                accesses: Vec::new(),
+                failure: None,
+            };
+        }
+        let accesses: Vec<SourceAccess> = self
+            .grid
+            .plan_services(&ordered.plan)
+            .into_iter()
+            .map(|svc| access_with_retries(svc, &self.policy, seq))
+            .collect();
+        if self.policy.latency_scale > 0.0 {
+            let secs = plan_latency(&accesses) * self.policy.latency_scale;
+            std::thread::sleep(Duration::from_secs_f64(secs));
+        }
+        let failure = accesses.iter().find(|a| !a.ok).map(|a| {
+            if a.permanently_down {
+                FailureReason::PermanentlyDown {
+                    source: a.name.clone(),
+                }
+            } else {
+                FailureReason::RetriesExhausted {
+                    source: a.name.clone(),
+                }
+            }
+        });
+        let tuples = if failure.is_none() {
+            self.eval.evaluate(&ordered.plan)
+        } else {
+            Vec::new()
+        };
+        Completion {
+            seq,
+            ordered,
+            sound,
+            tuples,
+            accesses,
+            failure,
+        }
+    }
+}
+
+/// Plan latency: its sources are accessed in parallel, so the slowest one
+/// bounds the plan.
+fn plan_latency(accesses: &[SourceAccess]) -> f64 {
+    accesses.iter().map(|a| a.latency).fold(0.0, f64::max)
+}
+
+/// Simulated makespan of `latencies` greedily list-scheduled (in emission
+/// order) onto `workers` lanes.
+fn makespan(latencies: impl Iterator<Item = f64>, workers: usize) -> f64 {
+    let mut lanes = vec![0.0f64; workers.max(1)];
+    for lat in latencies {
+        let lane = lanes
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite latencies"))
+            .expect("at least one lane");
+        *lane += lat;
+    }
+    lanes.into_iter().fold(0.0, f64::max)
+}
+
+/// Accesses one source with the policy's retry discipline, accumulating
+/// backoffs and attempt latencies into one virtual-time charge.
+fn access_with_retries(svc: &SourceService, policy: &RuntimePolicy, seq: u64) -> SourceAccess {
+    let retry: &RetryPolicy = &policy.retry;
+    let mut latency = 0.0;
+    let mut transient_failures = 0u32;
+    let report = |attempts, ok, permanently_down, latency, transient_failures| SourceAccess {
+        bucket: svc.bucket,
+        index: svc.index,
+        name: svc.name.to_string(),
+        attempts,
+        transient_failures,
+        latency,
+        fee: if ok { svc.behavior.fee_per_access } else { 0.0 },
+        ok,
+        permanently_down,
+    };
+    for attempt in 0..retry.max_attempts.max(1) {
+        latency += retry.backoff_before(attempt);
+        let access = svc.simulate_access(&policy.faults, seq, attempt);
+        match access.outcome {
+            AccessOutcome::PermanentFailure => {
+                return report(attempt + 1, false, true, latency, transient_failures);
+            }
+            AccessOutcome::Success if access.latency <= retry.access_timeout => {
+                latency += access.latency;
+                return report(attempt + 1, true, false, latency, transient_failures);
+            }
+            // A success slower than the timeout is indistinguishable from
+            // a transient failure to the caller: charge the timeout, retry.
+            AccessOutcome::Success | AccessOutcome::TransientFailure => {
+                latency += access.latency.min(retry.access_timeout);
+                transient_failures += 1;
+            }
+        }
+    }
+    report(
+        retry.max_attempts.max(1),
+        false,
+        false,
+        latency,
+        transient_failures,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FaultConfig;
+    use qpo_catalog::{Extent, ProblemInstance, SourceStats};
+    use qpo_core::Pi;
+    use qpo_datalog::Constant;
+    use qpo_utility::Coverage;
+
+    /// A toy integration system: a plan's answers are the items in the
+    /// intersection of its sources' extents (the join of the coverage
+    /// model), one tuple per item.
+    struct ToyEval {
+        inst: ProblemInstance,
+    }
+
+    impl PlanEvaluator for ToyEval {
+        fn is_sound(&self, _plan: &[usize]) -> bool {
+            true
+        }
+
+        fn evaluate(&self, plan: &[usize]) -> Vec<Tuple> {
+            let stats = self.inst.plan_stats(plan);
+            let start = stats.iter().map(|s| s.extent.start).max().unwrap_or(0);
+            let end = stats.iter().map(|s| s.extent.end()).min().unwrap_or(0);
+            (start..end)
+                .map(|x| vec![Constant::Int(x as i64)])
+                .collect()
+        }
+    }
+
+    fn inst() -> ProblemInstance {
+        let src = |name: &str, s, l, f| {
+            SourceStats::new()
+                .with_name(name)
+                .with_extent(Extent::new(s, l))
+                .with_access_cost(3.0)
+                .with_transmission_cost(0.05)
+                .with_failure_prob(f)
+                .with_fee(0.01)
+        };
+        ProblemInstance::new(
+            1.0,
+            vec![30, 30],
+            vec![
+                vec![
+                    src("v1", 0, 20, 0.1),
+                    src("v2", 5, 20, 0.3),
+                    src("v3", 15, 10, 0.0),
+                ],
+                vec![src("w1", 0, 25, 0.2), src("w2", 10, 15, 0.4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn run_with(policy: RuntimePolicy, budget: RunBudget) -> RuntimeRun {
+        let inst = inst();
+        let grid = SourceGrid::from_instance(&inst);
+        let eval = ToyEval { inst: inst.clone() };
+        let mut orderer = Pi::new(&inst, &Coverage);
+        Executor::new(&grid, &eval, policy).run(&mut orderer, budget)
+    }
+
+    fn plan_sequence(run: &RuntimeRun) -> Vec<Vec<usize>> {
+        run.reports.iter().map(|r| r.ordered.plan.clone()).collect()
+    }
+
+    #[test]
+    fn no_faults_matches_across_workers_and_lookahead() {
+        let baseline = run_with(RuntimePolicy::serial(), RunBudget::unbounded());
+        assert_eq!(baseline.reports.len(), 6);
+        assert_eq!(baseline.failed(), 0);
+        for (workers, lookahead) in [(2, 2), (4, 4), (3, 6), (8, 1)] {
+            let policy = RuntimePolicy::parallel(workers).with_lookahead(lookahead);
+            let run = run_with(policy, RunBudget::unbounded());
+            assert_eq!(plan_sequence(&run), plan_sequence(&baseline));
+            assert_eq!(run.answers, baseline.answers);
+            // Per-plan records are bit-identical too (latency draws are
+            // deterministic and independent of scheduling).
+            assert_eq!(run.reports, baseline.reports);
+        }
+    }
+
+    #[test]
+    fn fixed_seed_reproduces_failures_bit_for_bit() {
+        let faults = FaultConfig::with_seed(99).with_extra_transient_rate(0.3);
+        // Lookahead is held fixed: it changes *when* outcomes feed back
+        // into the orderer, which is part of the run's semantics. Worker
+        // count is the thing that must not matter.
+        let policy = |w: usize| {
+            RuntimePolicy::parallel(w)
+                .with_lookahead(2)
+                .with_faults(faults.clone())
+                .with_retry(RetryPolicy {
+                    max_attempts: 2,
+                    ..RetryPolicy::standard()
+                })
+        };
+        let a = run_with(policy(1), RunBudget::unbounded());
+        let b = run_with(policy(4), RunBudget::unbounded());
+        assert!(a.stats.transient_failures > 0, "faults actually fired");
+        assert_eq!(a.reports, b.reports, "independent of worker count");
+        assert_eq!(a.answers, b.answers);
+        // virtual_time models the makespan *with that worker count*, so it
+        // is the one statistic that legitimately differs between a and b.
+        assert_eq!(a.stats.attempts, b.stats.attempts);
+        assert_eq!(a.stats.transient_failures, b.stats.transient_failures);
+        assert_eq!(a.stats.failed_plans, b.stats.failed_plans);
+        assert_eq!(a.stats.fees, b.stats.fees);
+        assert!(
+            a.stats.virtual_time >= b.stats.virtual_time,
+            "fewer lanes, longer makespan"
+        );
+        let c = run_with(policy(4), RunBudget::unbounded());
+        assert_eq!(b.reports, c.reports, "reruns replay exactly");
+        assert_eq!(b.stats, c.stats);
+    }
+
+    #[test]
+    fn permanently_down_source_degrades_gracefully() {
+        let faults = FaultConfig::with_seed(1).with_source_down("v2");
+        let run = run_with(
+            RuntimePolicy::parallel(3).with_faults(faults),
+            RunBudget::unbounded(),
+        );
+        assert_eq!(run.reports.len(), 6, "the run still covers the plan space");
+        let failed: Vec<_> = run.reports.iter().filter(|r| r.failed()).collect();
+        assert_eq!(failed.len(), 2, "both plans through v2 fail");
+        for r in &failed {
+            assert_eq!(r.ordered.plan[0], 1, "v2 is bucket 0 index 1");
+            assert!(matches!(
+                r.status,
+                PlanStatus::Failed(FailureReason::PermanentlyDown { ref source }) if source == "v2"
+            ));
+        }
+        assert_eq!(run.executed(), 4);
+        assert!(!run.answers.is_empty());
+        assert_eq!(run.stats.failed_plans, 2);
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        let faults = FaultConfig::with_seed(5).with_extra_transient_rate(0.2);
+        let run = run_with(
+            RuntimePolicy::parallel(2)
+                .with_faults(faults.clone())
+                .with_retry(RetryPolicy {
+                    max_attempts: 8,
+                    ..RetryPolicy::standard()
+                }),
+            RunBudget::unbounded(),
+        );
+        assert!(run.stats.transient_failures > 0);
+        assert!(
+            run.stats.attempts > run.reports.len() as u64,
+            "some accesses retried"
+        );
+        // With 4 attempts at ~35–40% failure, every plan should make it.
+        assert_eq!(run.failed(), 0, "retries absorb transient faults");
+        let baseline = run_with(RuntimePolicy::serial(), RunBudget::unbounded());
+        assert_eq!(
+            run.answers, baseline.answers,
+            "full answer set despite faults"
+        );
+    }
+
+    #[test]
+    fn max_plans_budget_is_exact_under_speculation() {
+        for lookahead in [1, 2, 5] {
+            let run = run_with(
+                RuntimePolicy::parallel(4).with_lookahead(lookahead),
+                RunBudget::plans(3),
+            );
+            assert_eq!(run.reports.len(), 3, "lookahead {lookahead}");
+        }
+    }
+
+    #[test]
+    fn answers_budget_is_exact_without_speculation() {
+        let run = run_with(RuntimePolicy::serial(), RunBudget::answers(1));
+        assert_eq!(run.reports.len(), 1, "first plan already yields answers");
+        assert!(!run.answers.is_empty());
+    }
+
+    #[test]
+    fn failed_plans_are_reported_back_to_the_orderer() {
+        use std::cell::Cell;
+
+        /// Scripted orderer that counts failure observations.
+        struct Probe {
+            plans: Vec<Vec<usize>>,
+            failures_seen: Cell<usize>,
+        }
+        impl PlanOrderer for Probe {
+            fn algorithm_name(&self) -> &'static str {
+                "probe"
+            }
+            fn next_plan(&mut self) -> Option<OrderedPlan> {
+                self.plans.pop().map(|plan| OrderedPlan {
+                    plan,
+                    utility: -1.0,
+                })
+            }
+            fn observe(&mut self, outcome: &PlanOutcome) {
+                if outcome.is_failure() {
+                    self.failures_seen.set(self.failures_seen.get() + 1);
+                }
+            }
+        }
+
+        let inst = inst();
+        let grid = SourceGrid::from_instance(&inst);
+        let eval = ToyEval { inst: inst.clone() };
+        let policy = RuntimePolicy::parallel(2)
+            .with_faults(FaultConfig::with_seed(2).with_source_down("w1"));
+        let mut probe = Probe {
+            plans: vec![vec![0, 0], vec![1, 1], vec![2, 0]],
+            failures_seen: Cell::new(0),
+        };
+        let run = Executor::new(&grid, &eval, policy).run(&mut probe, RunBudget::unbounded());
+        assert_eq!(run.failed(), 2, "plans through w1 fail");
+        assert_eq!(probe.failures_seen.get(), 2, "each failure observed once");
+    }
+
+    #[test]
+    fn makespan_schedules_onto_lanes() {
+        assert_eq!(makespan([4.0, 3.0, 2.0, 1.0].into_iter(), 1), 10.0);
+        assert_eq!(makespan([4.0, 3.0, 2.0, 1.0].into_iter(), 2), 5.0);
+        assert_eq!(makespan([4.0, 3.0, 2.0, 1.0].into_iter(), 4), 4.0);
+        assert_eq!(makespan(std::iter::empty(), 3), 0.0);
+    }
+
+    #[test]
+    fn timeout_turns_slow_successes_into_retries() {
+        let inst = inst();
+        let grid = SourceGrid::from_instance(&inst);
+        let svc = grid.service(0, 0);
+        let policy = RuntimePolicy::serial()
+            .with_faults(FaultConfig::with_seed(4))
+            .with_retry(RetryPolicy {
+                access_timeout: svc.behavior.expected_latency() * 0.9,
+                ..RetryPolicy::standard()
+            });
+        // With the timeout below the expected latency, roughly half of the
+        // jittered draws exceed it; over many sequences some access must
+        // record a timeout-induced retry.
+        let timed_out = (0..50).any(|seq| {
+            let a = access_with_retries(svc, &policy, seq);
+            a.transient_failures > 0
+        });
+        assert!(timed_out);
+        // And an infinite timeout on a reliable source never retries.
+        let policy = RuntimePolicy::serial().with_faults(FaultConfig::with_seed(4));
+        let a = access_with_retries(grid.service(0, 2), &policy, 0);
+        assert_eq!((a.attempts, a.ok), (1, true));
+    }
+}

@@ -1,0 +1,45 @@
+//! Concurrent, failure-aware source-access runtime.
+//!
+//! The paper's setting is a mediator querying *remote, autonomous, flaky*
+//! web sources (§1) — yet its experiments, and this repo's serial
+//! [`Mediator`](../qpo_exec/mediator/index.html), execute plans against
+//! perfectly reliable in-memory extensions. This crate supplies the
+//! missing runtime layer:
+//!
+//! - [`source`] — every catalog source wrapped as a [`SourceService`] with
+//!   a deterministic, seed-driven behavior model (latency distribution,
+//!   transient/permanent failure injection, per-access fees) derived from
+//!   the same statistics that parameterize the utility measures;
+//! - [`policy`] — bounded parallelism, speculation depth, capped
+//!   exponential backoff retries, per-access timeouts, fault injection;
+//! - [`executor`] — a speculative bounded-parallel executor over any
+//!   [`PlanOrderer`](qpo_core::PlanOrderer): pops stay serial (utilities
+//!   are conditioned on emission order), execution fans out to worker
+//!   threads, completions merge back in emission order, and failures
+//!   degrade the run gracefully instead of aborting it;
+//! - [`feedback`] — observed tuples and failures flow back into the
+//!   orderer's utility context ([`PlanOrderer::observe`]
+//!   (qpo_core::PlanOrderer::observe)), so subsequent emissions are
+//!   conditioned on what actually executed, not on what was assumed.
+//!
+//! Everything is deterministic: a run is a pure function of its inputs
+//! and the fault seed, bit-for-bit reproducible under any worker count.
+//! With faults disabled the executor is *equivalent* to the serial
+//! mediator — same plan emission order, same answer set — which is the
+//! property the integration tests in `qpo-exec` pin down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod feedback;
+pub mod policy;
+pub mod source;
+
+pub use executor::{
+    Executor, FailureReason, PlanEvaluator, PlanExecution, PlanStatus, RunBudget, RunStats,
+    RuntimeRun, SourceAccess,
+};
+pub use feedback::{outcome_of, SourceHealth, SourceRecord};
+pub use policy::{FaultConfig, RetryPolicy, RuntimePolicy};
+pub use source::{Access, AccessOutcome, SourceGrid, SourceService};

@@ -34,6 +34,28 @@ impl ExecutionContext {
         self.executed.push(plan.to_vec());
     }
 
+    /// Retracts the most recent occurrence of `plan` from the history — the
+    /// runtime's correction when a plan assumed executed turned out to fail
+    /// (its source operations never ran, so nothing of it is cached).
+    /// Rebuilds the cached-operation index from the surviving plans.
+    /// Returns `false` (and changes nothing) if the plan is not in the
+    /// history.
+    pub fn retract(&mut self, plan: &[usize]) -> bool {
+        let Some(pos) = self.executed.iter().rposition(|p| p == plan) else {
+            return false;
+        };
+        self.executed.remove(pos);
+        for set in &mut self.cached {
+            set.clear();
+        }
+        for executed in &self.executed {
+            for (bucket, &index) in executed.iter().enumerate() {
+                self.cached[bucket].insert(index);
+            }
+        }
+        true
+    }
+
     /// The executed plans, oldest first.
     pub fn executed(&self) -> &[Vec<usize>] {
         &self.executed
@@ -73,6 +95,41 @@ mod tests {
         assert!(ctx.is_cached(1, 5) && ctx.is_cached(1, 7));
         assert!(!ctx.is_cached(1, 2), "caching is per bucket");
         assert!(!ctx.is_cached(9, 0), "out-of-range bucket is not cached");
+    }
+
+    #[test]
+    fn retract_removes_plan_and_rebuilds_cache() {
+        let mut ctx = ExecutionContext::new();
+        ctx.record(&[2, 5]);
+        ctx.record(&[2, 7]);
+        assert!(ctx.retract(&[2, 5]));
+        assert_eq!(ctx.executed(), &[vec![2, 7]]);
+        assert!(ctx.is_cached(0, 2), "still cached via the surviving plan");
+        assert!(ctx.is_cached(1, 7));
+        assert!(!ctx.is_cached(1, 5), "uniquely-owned operation uncached");
+        assert!(!ctx.retract(&[9, 9]), "unknown plan is a no-op");
+        assert_eq!(ctx.len(), 1);
+    }
+
+    #[test]
+    fn retract_takes_the_most_recent_duplicate() {
+        let mut ctx = ExecutionContext::new();
+        ctx.record(&[0]);
+        ctx.record(&[1]);
+        ctx.record(&[0]);
+        assert!(ctx.retract(&[0]));
+        assert_eq!(ctx.executed(), &[vec![0], vec![1]]);
+        assert!(ctx.is_cached(0, 0), "earlier duplicate keeps the cache");
+    }
+
+    #[test]
+    fn retract_then_record_round_trips() {
+        let mut ctx = ExecutionContext::new();
+        ctx.record(&[3, 1]);
+        let snapshot = ctx.clone();
+        ctx.record(&[4, 2]);
+        assert!(ctx.retract(&[4, 2]));
+        assert_eq!(ctx, snapshot);
     }
 
     #[test]

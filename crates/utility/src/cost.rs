@@ -291,7 +291,10 @@ impl FailureCost {
                 let s = &inst.buckets[b][i];
                 let attempts = s.expected_attempts();
                 match r_prev {
-                    None => (attempts * (inst.overhead + s.transmission_cost * s.tuples), 0.0),
+                    None => (
+                        attempts * (inst.overhead + s.transmission_cost * s.tuples),
+                        0.0,
+                    ),
                     Some(_) => (
                         attempts * inst.overhead,
                         attempts * s.transmission_cost * s.tuples / universe,
@@ -379,11 +382,10 @@ impl UtilityMeasure for FailureCost {
         }
         // Exact: pick per bucket any candidate unused by every executed
         // plan at that bucket.
-        candidates.iter().enumerate().all(|(b, cands)| {
-            cands
-                .iter()
-                .any(|&i| executed.iter().all(|e| e[b] != i))
-        })
+        candidates
+            .iter()
+            .enumerate()
+            .all(|(b, cands)| cands.iter().any(|&i| executed.iter().all(|e| e[b] != i)))
     }
 }
 
@@ -513,7 +515,10 @@ mod tests {
         let inst = inst();
         let m = FailureCost::with_caching();
         assert!(m.independent(&inst, &[0, 0], &[1, 1]));
-        assert!(!m.independent(&inst, &[0, 0], &[0, 1]), "shares bucket-0 source");
+        assert!(
+            !m.independent(&inst, &[0, 0], &[0, 1]),
+            "shares bucket-0 source"
+        );
         // Abstract: all candidates differ from d per bucket.
         assert!(!m.all_independent(&inst, &[vec![0], vec![0, 1]], &[1, 0]));
         assert!(m.all_independent(&inst, &[vec![0], vec![0]], &[1, 1]));

@@ -76,7 +76,9 @@ impl UtilityMeasure for Coverage {
         let mut vol = Interval::ONE;
         for (b, cands) in candidates.iter().enumerate() {
             let u = inst.universes[b] as f64;
-            let lens = cands.iter().map(|&i| Self::extent(inst, b, i).len as f64 / u);
+            let lens = cands
+                .iter()
+                .map(|&i| Self::extent(inst, b, i).len as f64 / u);
             let lo = lens.clone().fold(f64::MAX, f64::min);
             let hi = lens.fold(f64::MIN, f64::max);
             vol = vol * Interval::new(lo, hi);
@@ -291,11 +293,7 @@ mod tests {
         ));
         // Candidates {0,1} on axis 0 overlap e=[1,*]; axis 1 {0} vs e_1=0
         // also overlaps → no witness.
-        assert!(!Coverage.exists_independent(
-            &inst,
-            &[vec![0, 1], vec![0]],
-            &[vec![1, 0]]
-        ));
+        assert!(!Coverage.exists_independent(&inst, &[vec![0, 1], vec![0]], &[vec![1, 0]]));
         // Empty executed set: trivially true.
         assert!(Coverage.exists_independent(&inst, &[vec![0, 1], vec![0]], &[]));
     }

@@ -65,7 +65,11 @@ impl BoxN {
     pub fn subtract(&self, other: &BoxN) -> Vec<BoxN> {
         let inter = self.intersect(other);
         if inter.is_empty() {
-            return if self.is_empty() { vec![] } else { vec![self.clone()] };
+            return if self.is_empty() {
+                vec![]
+            } else {
+                vec![self.clone()]
+            };
         }
         let mut fragments = Vec::new();
         // Peel the region outside the intersection one axis at a time:
@@ -146,7 +150,10 @@ mod tests {
         let i = a.intersect(&b);
         assert_eq!(i, bx(&[(5, 5), (8, 2)]));
         assert!(a.overlaps(&b));
-        assert!(!a.overlaps(&bx(&[(10, 2), (0, 10)])), "touching axes don't overlap");
+        assert!(
+            !a.overlaps(&bx(&[(10, 2), (0, 10)])),
+            "touching axes don't overlap"
+        );
     }
 
     #[test]
@@ -195,12 +202,7 @@ mod tests {
             }
             pts
         }
-        let inside = |b: &BoxN, p: &[u64]| {
-            b.extents()
-                .iter()
-                .zip(p)
-                .all(|(e, &v)| e.contains(v))
-        };
+        let inside = |b: &BoxN, p: &[u64]| b.extents().iter().zip(p).all(|(e, &v)| e.contains(v));
         points(target)
             .iter()
             .filter(|p| !others.iter().any(|o| inside(o, p)))
@@ -251,7 +253,11 @@ mod tests {
         assert_eq!(union_volume(&[]), 0);
         assert_eq!(union_volume(&[bx(&[(0, 4)]), bx(&[(2, 4)])]), 6);
         assert_eq!(
-            union_volume(&[bx(&[(0, 2), (0, 2)]), bx(&[(1, 2), (1, 2)]), bx(&[(0, 3), (0, 3)])]),
+            union_volume(&[
+                bx(&[(0, 2), (0, 2)]),
+                bx(&[(1, 2), (1, 2)]),
+                bx(&[(0, 3), (0, 3)])
+            ]),
             9
         );
     }

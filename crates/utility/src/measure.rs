@@ -341,7 +341,11 @@ mod tests {
             "toy"
         }
         fn utility(&self, inst: &ProblemInstance, plan: &[usize], _ctx: &ExecutionContext) -> f64 {
-            -inst.plan_stats(plan).iter().map(|s| s.access_cost).sum::<f64>()
+            -inst
+                .plan_stats(plan)
+                .iter()
+                .map(|s| s.access_cost)
+                .sum::<f64>()
         }
         fn utility_interval(
             &self,

@@ -58,7 +58,11 @@ impl MonetaryCost {
                 let waived = self.caching && ctx.is_cached(b, i);
                 let (t_lo, t_hi) = match r_prev {
                     None => {
-                        let t = if waived { 0.0 } else { s.fee_per_tuple * s.tuples };
+                        let t = if waived {
+                            0.0
+                        } else {
+                            s.fee_per_tuple * s.tuples
+                        };
                         (t, t)
                     }
                     Some(r) => {
@@ -99,7 +103,10 @@ impl UtilityMeasure for MonetaryCost {
         let singles: Vec<Vec<usize>> = plan.iter().map(|&i| vec![i]).collect();
         let (fee, out) = self.fee_and_output(inst, &singles, ctx);
         debug_assert!(fee.is_point() && out.is_point());
-        assert!(out.lo() > 0.0, "plan produces no tuples; fee/tuple undefined");
+        assert!(
+            out.lo() > 0.0,
+            "plan produces no tuples; fee/tuple undefined"
+        );
         -fee.lo() / out.lo()
     }
 
@@ -163,11 +170,10 @@ impl UtilityMeasure for MonetaryCost {
         if !self.caching {
             return true;
         }
-        candidates.iter().enumerate().all(|(b, cands)| {
-            cands
-                .iter()
-                .any(|&i| executed.iter().all(|e| e[b] != i))
-        })
+        candidates
+            .iter()
+            .enumerate()
+            .all(|(b, cands)| cands.iter().any(|&i| executed.iter().all(|e| e[b] != i)))
     }
 }
 
@@ -199,9 +205,15 @@ mod tests {
         let inst = inst();
         let ctx = ExecutionContext::new();
         // plan [0,0]: fee = 0.5·10 + 0.2·(10·50/100) = 5 + 1 = 6; out = 5.
-        assert_eq!(MonetaryCost::without_caching().utility(&inst, &[0, 0], &ctx), -1.2);
+        assert_eq!(
+            MonetaryCost::without_caching().utility(&inst, &[0, 0], &ctx),
+            -1.2
+        );
         // plan [1,0]: fee = 0.1·40 + 0.2·(40·50/100) = 4 + 4 = 8; out = 20.
-        assert_eq!(MonetaryCost::without_caching().utility(&inst, &[1, 0], &ctx), -0.4);
+        assert_eq!(
+            MonetaryCost::without_caching().utility(&inst, &[1, 0], &ctx),
+            -0.4
+        );
     }
 
     #[test]
@@ -218,7 +230,9 @@ mod tests {
                 "utility {u} of {p:?} outside {iv}"
             );
         }
-        assert!(m.utility_interval(&inst, &[vec![1], vec![1]], &ctx).is_point());
+        assert!(m
+            .utility_interval(&inst, &[vec![1], vec![1]], &ctx)
+            .is_point());
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn run_case<M: UtilityMeasure>(
     streamer_applies: bool,
 ) {
     println!("\n== {label} (plan space: {} plans) ==", inst.plan_count());
-    println!("{:<10} {:>10} {:>10} {:>10} {:>12}", "algorithm", "k=1", "k=10", "k=100", "evals@100");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12}",
+        "algorithm", "k=1", "k=10", "k=100", "evals@100"
+    );
     let ks = [1usize, 10, 100];
 
     let mut rows: Vec<(&str, Vec<f64>, u64)> = Vec::new();

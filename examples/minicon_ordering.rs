@@ -15,10 +15,8 @@ use query_plan_ordering::reformulation::minicon_instances;
 
 fn main() {
     // Schema: r(X, Y), s(Y, Z). Query: the r–s chain.
-    let schema = MediatedSchema::with_relations([
-        SchemaRelation::new("r", 2),
-        SchemaRelation::new("s", 2),
-    ]);
+    let schema =
+        MediatedSchema::with_relations([SchemaRelation::new("r", 2), SchemaRelation::new("s", 2)]);
     let mut catalog = Catalog::new(schema);
     // Pre-joined warehouse views hide the join variable — each covers both
     // subgoals at once. Fragment views export it.
@@ -58,13 +56,16 @@ fn main() {
             .iter()
             .map(|b| format!("{} MCDs over subgoals {:?}", b.entries.len(), b.covered))
             .collect();
-        println!("  space {i}: {} plans ({})", space.plan_count(), shape.join(" × "));
+        println!(
+            "  space {i}: {} plans ({})",
+            space.plan_count(),
+            shape.join(" × ")
+        );
     }
 
     // One ProblemInstance per space; merge per-space Streamers. The cost
     // measure is context-free, so the merge is globally exact.
-    let instances =
-        minicon_instances(&catalog, &spaces, 1000, 5.0).expect("instances assemble");
+    let instances = minicon_instances(&catalog, &spaces, 1000, 5.0).expect("instances assemble");
     let measure = FailureCost::without_caching();
     let mut merged =
         merge_streamers(&instances, &measure, &ByExpectedTuples).expect("context-free measure");

@@ -18,6 +18,8 @@
 //! - [`ordering`] — the paper's algorithms: Greedy, Drips, iDrips,
 //!   Streamer, plus the PI and Naive baselines;
 //! - [`exec`] — an in-memory execution engine and the mediator loop;
+//! - [`runtime`] — simulated flaky remote sources and the bounded-parallel
+//!   speculative executor with retry, timeout, and outcome feedback;
 //! - [`interval`] — the interval arithmetic underneath it all.
 //!
 //! ## Quickstart
@@ -54,6 +56,7 @@ pub use qpo_datalog as datalog;
 pub use qpo_exec as exec;
 pub use qpo_interval as interval;
 pub use qpo_reformulation as reformulation;
+pub use qpo_runtime as runtime;
 pub use qpo_utility as utility;
 
 /// One-stop imports for the common workflow: build or load a catalog,
@@ -67,21 +70,24 @@ pub mod prelude {
         SourceRef, SourceStats, StatRange,
     };
     pub use qpo_core::{
-        advise, find_best, verify_ordering, AbstractionHeuristic, ByExpectedTuples, ByExtentMidpoint,
-        ByTransmissionCost, Drips, Greedy, IDrips, Naive, OrderedPlan, OrdererError, Pi,
-        PlanOrderer, RandomKey, Streamer,
+        advise, find_best, verify_ordering, AbstractionHeuristic, ByExpectedTuples,
+        ByExtentMidpoint, ByTransmissionCost, Drips, Greedy, IDrips, Naive, OrderedPlan,
+        OrdererError, Pi, PlanOrderer, RandomKey, Streamer,
     };
     pub use qpo_datalog::{
         parse_atom, parse_query, Atom, ConjunctiveQuery, Constant, Database, SourceDescription,
         Term,
     };
-    pub use qpo_exec::{Mediator, MediatorRun, StopCondition, Strategy};
+    pub use qpo_exec::{ConcurrentRun, Mediator, MediatorRun, StopCondition, Strategy};
     pub use qpo_interval::Interval;
     pub use qpo_reformulation::{
         create_buckets, enumerate_sound_plans, minicon_plan_spaces, reformulate, Reformulation,
     };
+    pub use qpo_runtime::{
+        FaultConfig, PlanStatus, RetryPolicy, RunBudget, RuntimePolicy, SourceHealth,
+    };
     pub use qpo_utility::{
-        Combined, Coverage, CountingMeasure, ExecutionContext, FailureCost, FusionCost,
-        LinearCost, MonetaryCost, UtilityMeasure,
+        Combined, CountingMeasure, Coverage, ExecutionContext, FailureCost, FusionCost, LinearCost,
+        MonetaryCost, UtilityMeasure,
     };
 }

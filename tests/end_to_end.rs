@@ -49,7 +49,12 @@ fn camera_domain_end_to_end() {
     let mediator = Mediator::new(camera_domain(), CAMERA_UNIVERSE, &["store"]);
     let query = camera_query();
     let run = mediator
-        .answer(&query, &MonetaryCost::without_caching(), Strategy::Streamer, 12)
+        .answer(
+            &query,
+            &MonetaryCost::without_caching(),
+            Strategy::Streamer,
+            12,
+        )
         .unwrap();
     assert_eq!(run.reports.len(), 12);
     assert_eq!(run.discarded(), 0, "all camera plans are sound");

@@ -12,7 +12,11 @@ use std::collections::BTreeSet;
 /// Builds a randomized LAV setting over schema relations `r0..r2` (binary):
 /// a chain query of length `qlen` and `nviews` random single-atom or
 /// chain-pair views.
-fn random_setting(seed: u64, qlen: usize, nviews: usize) -> (ConjunctiveQuery, Vec<SourceDescription>) {
+fn random_setting(
+    seed: u64,
+    qlen: usize,
+    nviews: usize,
+) -> (ConjunctiveQuery, Vec<SourceDescription>) {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut next = move || {
         state ^= state << 13;
@@ -38,11 +42,7 @@ fn random_setting(seed: u64, qlen: usize, nviews: usize) -> (ConjunctiveQuery, V
             // Projection view: hides the second attribute.
             1 => format!("v{v}(A) :- r{}(A, B)", next() % 3),
             // Chain-pair view: hides the join variable.
-            _ => format!(
-                "v{v}(A, C) :- r{}(A, B), r{}(B, C)",
-                next() % 3,
-                next() % 3
-            ),
+            _ => format!("v{v}(A, C) :- r{}(A, B), r{}(B, C)", next() % 3, next() % 3),
         };
         views.push(SourceDescription::new(parse_query(&text).unwrap()));
     }

@@ -33,7 +33,12 @@ fn mediator_matches_inverse_rules_on_the_camera_domain() {
     let query = camera_query();
     let mediator = Mediator::new(catalog.clone(), CAMERA_UNIVERSE, &["shop"]);
     let run = mediator
-        .answer(&query, &FailureCost::without_caching(), Strategy::IDrips, usize::MAX)
+        .answer(
+            &query,
+            &FailureCost::without_caching(),
+            Strategy::IDrips,
+            usize::MAX,
+        )
         .unwrap();
     let inverse = answer_with_inverse_rules(&query, &catalog.descriptions(), mediator.database());
     assert_eq!(run.answers, inverse);
@@ -44,10 +49,8 @@ fn mediator_matches_inverse_rules_on_the_camera_domain() {
 /// inverse rules both recover them.
 #[test]
 fn hidden_joins_separate_bucket_from_minicon_and_inverse() {
-    let schema = MediatedSchema::with_relations([
-        SchemaRelation::new("r", 2),
-        SchemaRelation::new("s", 2),
-    ]);
+    let schema =
+        MediatedSchema::with_relations([SchemaRelation::new("r", 2), SchemaRelation::new("s", 2)]);
     let mut catalog = Catalog::new(schema);
     // One pre-joined view (hides Y) plus fragments over disjoint extents,
     // so the pre-joined view contributes answers nobody else has.
@@ -70,7 +73,12 @@ fn hidden_joins_separate_bucket_from_minicon_and_inverse() {
 
     // (1) bucket mediator.
     let bucket_answers = mediator
-        .answer(&query, &FailureCost::without_caching(), Strategy::Pi, usize::MAX)
+        .answer(
+            &query,
+            &FailureCost::without_caching(),
+            Strategy::Pi,
+            usize::MAX,
+        )
         .unwrap()
         .answers;
 
@@ -117,10 +125,8 @@ fn hidden_joins_separate_bucket_from_minicon_and_inverse() {
 /// On single-atom views all three semantics coincide exactly.
 #[test]
 fn all_three_semantics_agree_without_hidden_joins() {
-    let schema = MediatedSchema::with_relations([
-        SchemaRelation::new("r", 2),
-        SchemaRelation::new("s", 2),
-    ]);
+    let schema =
+        MediatedSchema::with_relations([SchemaRelation::new("r", 2), SchemaRelation::new("s", 2)]);
     let mut catalog = Catalog::new(schema);
     for (i, (rel, prefix)) in [("r", "fr"), ("s", "gs")].iter().enumerate() {
         for j in 0..3u64 {
@@ -139,7 +145,12 @@ fn all_three_semantics_agree_without_hidden_joins() {
     let views = catalog.descriptions();
 
     let bucket_answers = mediator
-        .answer(&query, &FailureCost::without_caching(), Strategy::Streamer, usize::MAX)
+        .answer(
+            &query,
+            &FailureCost::without_caching(),
+            Strategy::Streamer,
+            usize::MAX,
+        )
         .unwrap()
         .answers;
     let inverse_answers = answer_with_inverse_rules(&query, &views, mediator.database());

@@ -16,10 +16,8 @@ use query_plan_ordering::prelude::*;
 /// (sound combinations) and `pairs` pre-joined views (which enter *both*
 /// buckets but lose the join when mixed).
 fn poisoned_catalog(full: usize, pairs: usize) -> Catalog {
-    let schema = MediatedSchema::with_relations([
-        SchemaRelation::new("r", 2),
-        SchemaRelation::new("s", 2),
-    ]);
+    let schema =
+        MediatedSchema::with_relations([SchemaRelation::new("r", 2), SchemaRelation::new("s", 2)]);
     let mut catalog = Catalog::new(schema);
     for i in 0..full {
         for (rel, name) in [("r", "f"), ("s", "g")] {
@@ -77,7 +75,12 @@ fn mediator_discards_unsound_candidates_and_still_answers() {
     let query = chain_query();
     let mediator = Mediator::new(catalog.clone(), 100, &["k"]);
     let run = mediator
-        .answer(&query, &FailureCost::without_caching(), Strategy::IDrips, 25)
+        .answer(
+            &query,
+            &FailureCost::without_caching(),
+            Strategy::IDrips,
+            25,
+        )
         .unwrap();
     assert_eq!(run.reports.len(), 25, "entire Cartesian product emitted");
     assert_eq!(run.executed(), 4, "only the four sound plans execute");
