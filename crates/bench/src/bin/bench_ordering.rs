@@ -1,0 +1,429 @@
+//! Ordering-kernel benchmark: incremental kernel vs the reference loop.
+//!
+//! Runs iDrips twice per workload — once on the incremental
+//! [`OrderingKernel`] and once on the preserved pre-optimization kernel
+//! (`with_reference_kernel`) — over fig6-style instances plus the
+//! query-length and overlap sweeps, with a [`CountingMeasure`] wrapped
+//! around the utility measure so `utility_interval` calls are counted
+//! exactly. Both runs must emit bit-for-bit identical sequences (checked
+//! here, not assumed), so any difference in evals or wall-clock is pure
+//! kernel overhead-vs-reuse.
+//!
+//! Output is `BENCH_ordering.json` (hand-rolled JSON; the workspace is
+//! offline and has no serde), committed so future PRs can diff against
+//! this PR's baseline. Usage:
+//!
+//! ```text
+//! bench-ordering [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs a reduced workload set and exits non-zero unless every
+//! context-free fig6-style workload shows the required ≥2× reduction in
+//! interval evaluations (timing is reported but never gated — CI boxes
+//! are noisy; eval counts are deterministic).
+
+use qpo_bench::{AlgorithmKind, HeuristicKind, MeasureKind, RunConfig};
+use qpo_core::{IDrips, KernelStats, PlanOrderer};
+use qpo_exec::format_kernel_stats;
+use qpo_utility::CountingMeasure;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let workloads = if smoke {
+        smoke_workloads()
+    } else {
+        full_workloads()
+    };
+    let mut results = Vec::with_capacity(workloads.len());
+    for w in &workloads {
+        let r = run_workload(w);
+        println!(
+            "{:<28} k={:<4} evals {:>7} -> {:>6}  ({:.2}x fewer)  wall {:>8.2}ms -> {:>7.2}ms ({:.2}x)",
+            w.name, w.k, r.reference_evals, r.kernel_evals, r.eval_reduction(), r.reference_millis,
+            r.kernel_millis, r.speedup()
+        );
+        results.push(r);
+    }
+
+    // The acceptance gate: every context-free fig6-style workload must
+    // show ≥2× fewer interval evaluations.
+    let gated: Vec<&WorkloadResult> = results
+        .iter()
+        .filter(|r| r.experiment == "fig6" && r.context_free)
+        .collect();
+    let min_reduction = gated
+        .iter()
+        .map(|r| r.eval_reduction())
+        .fold(f64::INFINITY, f64::min);
+    let sweeps_faster = results
+        .iter()
+        .filter(|r| r.experiment != "fig6")
+        .all(|r| r.kernel_millis < r.reference_millis);
+    println!(
+        "\nmin eval reduction over context-free fig6 workloads: {min_reduction:.2}x \
+         (gate: >= 2.00x)\nsweep workloads all faster on the incremental kernel: {sweeps_faster}"
+    );
+    if let Some(r) = results
+        .iter()
+        .max_by_key(|r| r.kernel_evals + r.kernel_cache_hits)
+    {
+        println!(
+            "\nlargest workload ({}):\n{}",
+            r.name,
+            format_kernel_stats(&r.stats)
+        );
+    }
+
+    if let Some(path) = out_path {
+        let json = render_json(&results, min_reduction, sweeps_faster);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+    if min_reduction < 2.0 {
+        eprintln!("FAIL: eval reduction below the 2x acceptance bar");
+        std::process::exit(1);
+    }
+}
+
+/// One benchmark configuration.
+struct Workload {
+    name: &'static str,
+    /// Which experiment family the summary gates on.
+    experiment: &'static str,
+    measure: MeasureKind,
+    query_len: usize,
+    bucket_size: usize,
+    overlap: f64,
+    k: usize,
+}
+
+impl Workload {
+    const fn new(
+        name: &'static str,
+        experiment: &'static str,
+        measure: MeasureKind,
+        query_len: usize,
+        bucket_size: usize,
+        overlap: f64,
+        k: usize,
+    ) -> Self {
+        Workload {
+            name,
+            experiment,
+            measure,
+            query_len,
+            bucket_size,
+            overlap,
+            k,
+        }
+    }
+}
+
+fn full_workloads() -> Vec<Workload> {
+    vec![
+        // Fig. 6-style: the four §6 measures at paper scale, k = 100.
+        Workload::new(
+            "fig6-coverage-m12",
+            "fig6",
+            MeasureKind::Coverage,
+            3,
+            12,
+            0.3,
+            100,
+        ),
+        Workload::new(
+            "fig6-failure-m12",
+            "fig6",
+            MeasureKind::FailureNoCache,
+            3,
+            12,
+            0.3,
+            100,
+        ),
+        Workload::new(
+            "fig6-failure-cache-m8",
+            "fig6",
+            MeasureKind::FailureCache,
+            3,
+            8,
+            0.3,
+            100,
+        ),
+        Workload::new(
+            "fig6-monetary-m12",
+            "fig6",
+            MeasureKind::MonetaryNoCache,
+            3,
+            12,
+            0.3,
+            100,
+        ),
+        Workload::new(
+            "fig6-cost2-m12",
+            "fig6",
+            MeasureKind::Cost2,
+            3,
+            12,
+            0.3,
+            100,
+        ),
+        // Query-length sweep at its largest sizes (§6: trends persist 1–7).
+        Workload::new(
+            "qlen-sweep-n5",
+            "qlen-sweep",
+            MeasureKind::FailureNoCache,
+            5,
+            4,
+            0.3,
+            100,
+        ),
+        Workload::new(
+            "qlen-sweep-n7",
+            "qlen-sweep",
+            MeasureKind::FailureNoCache,
+            7,
+            4,
+            0.3,
+            100,
+        ),
+        // Overlap sweep at its largest bucket size.
+        Workload::new(
+            "overlap-sweep-r0.1",
+            "overlap-sweep",
+            MeasureKind::Cost2,
+            3,
+            10,
+            0.1,
+            100,
+        ),
+        Workload::new(
+            "overlap-sweep-r0.9",
+            "overlap-sweep",
+            MeasureKind::Cost2,
+            3,
+            10,
+            0.9,
+            100,
+        ),
+    ]
+}
+
+fn smoke_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "fig6-coverage-m6",
+            "fig6",
+            MeasureKind::Coverage,
+            3,
+            6,
+            0.3,
+            20,
+        ),
+        Workload::new(
+            "fig6-failure-m8",
+            "fig6",
+            MeasureKind::FailureNoCache,
+            3,
+            8,
+            0.3,
+            60,
+        ),
+        Workload::new("fig6-cost2-m8", "fig6", MeasureKind::Cost2, 3, 8, 0.3, 60),
+        Workload::new(
+            "qlen-sweep-n4",
+            "qlen-sweep",
+            MeasureKind::FailureNoCache,
+            4,
+            4,
+            0.3,
+            30,
+        ),
+        Workload::new(
+            "overlap-sweep-r0.5",
+            "overlap-sweep",
+            MeasureKind::Cost2,
+            3,
+            8,
+            0.5,
+            40,
+        ),
+    ]
+}
+
+/// Measured outcome of one workload, both kernels.
+struct WorkloadResult {
+    name: &'static str,
+    experiment: &'static str,
+    measure: &'static str,
+    context_free: bool,
+    query_len: usize,
+    bucket_size: usize,
+    overlap: f64,
+    k: usize,
+    emitted: usize,
+    kernel_millis: f64,
+    reference_millis: f64,
+    kernel_evals: u64,
+    reference_evals: u64,
+    kernel_cache_hits: u64,
+    stats: KernelStats,
+}
+
+impl WorkloadResult {
+    fn eval_reduction(&self) -> f64 {
+        if self.kernel_evals == 0 {
+            f64::INFINITY
+        } else {
+            self.reference_evals as f64 / self.kernel_evals as f64
+        }
+    }
+
+    fn speedup(&self) -> f64 {
+        if self.kernel_millis == 0.0 {
+            f64::INFINITY
+        } else {
+            self.reference_millis / self.kernel_millis
+        }
+    }
+}
+
+fn run_workload(w: &Workload) -> WorkloadResult {
+    let mut cfg = RunConfig::new(
+        "bench-ordering",
+        w.measure,
+        AlgorithmKind::IDrips,
+        w.bucket_size,
+    );
+    cfg.query_len = w.query_len;
+    cfg.overlap = w.overlap;
+    let inst = cfg.instance();
+    let heuristic = HeuristicKind::ByTuples;
+
+    // Warm-up-free timing: take the best of three runs per kernel (eval
+    // counts are deterministic, so only one run's counters are kept).
+    let mut kernel_millis = f64::INFINITY;
+    let mut reference_millis = f64::INFINITY;
+    let mut fast_seq = Vec::new();
+    let mut slow_seq = Vec::new();
+    let mut kernel_evals = 0;
+    let mut reference_evals = 0;
+    let mut kernel_cache_hits = 0;
+    let mut stats = KernelStats::default();
+    for _ in 0..3 {
+        let m = CountingMeasure::new(w.measure.build());
+        let mut alg = IDrips::new(&inst, &m, heuristic.build());
+        let t = Instant::now();
+        fast_seq = alg.order_k(w.k);
+        kernel_millis = kernel_millis.min(t.elapsed().as_secs_f64() * 1e3);
+        kernel_evals = m.interval_evals();
+        stats = alg.kernel_stats();
+        kernel_cache_hits = stats.interval_cache_hits;
+
+        let m = CountingMeasure::new(w.measure.build());
+        let mut alg = IDrips::new(&inst, &m, heuristic.build()).with_reference_kernel();
+        let t = Instant::now();
+        slow_seq = alg.order_k(w.k);
+        reference_millis = reference_millis.min(t.elapsed().as_secs_f64() * 1e3);
+        reference_evals = m.interval_evals();
+    }
+
+    // Equivalence is the bench's precondition: refuse to report numbers
+    // for kernels that disagree.
+    assert_eq!(
+        fast_seq.len(),
+        slow_seq.len(),
+        "{}: emission counts diverge",
+        w.name
+    );
+    for (step, (a, b)) in fast_seq.iter().zip(&slow_seq).enumerate() {
+        assert_eq!(a.plan, b.plan, "{}: plans diverge at step {step}", w.name);
+        assert_eq!(
+            a.utility.to_bits(),
+            b.utility.to_bits(),
+            "{}: utilities diverge at step {step}",
+            w.name
+        );
+    }
+
+    WorkloadResult {
+        name: w.name,
+        experiment: w.experiment,
+        measure: w.measure.label(),
+        context_free: w.measure.build().context_free(),
+        query_len: w.query_len,
+        bucket_size: w.bucket_size,
+        overlap: w.overlap,
+        k: w.k,
+        emitted: fast_seq.len(),
+        kernel_millis,
+        reference_millis,
+        kernel_evals,
+        reference_evals,
+        kernel_cache_hits,
+        stats,
+    }
+}
+
+fn render_json(results: &[WorkloadResult], min_reduction: f64, sweeps_faster: bool) -> String {
+    let mut s = String::from("{\n  \"benchmark\": \"ordering-kernel\",\n");
+    let _ = writeln!(
+        s,
+        "  \"source\": \"scripts/bench.sh (crates/bench/src/bin/bench_ordering.rs)\","
+    );
+    let _ = writeln!(s, "  \"workloads\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"experiment\": \"{}\",", r.experiment);
+        let _ = writeln!(s, "      \"measure\": \"{}\",", r.measure);
+        let _ = writeln!(s, "      \"context_free\": {},", r.context_free);
+        let _ = writeln!(s, "      \"query_len\": {},", r.query_len);
+        let _ = writeln!(s, "      \"bucket_size\": {},", r.bucket_size);
+        let _ = writeln!(s, "      \"overlap\": {},", r.overlap);
+        let _ = writeln!(s, "      \"k\": {},", r.k);
+        let _ = writeln!(s, "      \"plans_emitted\": {},", r.emitted);
+        let _ = writeln!(
+            s,
+            "      \"reference\": {{ \"millis\": {:.3}, \"interval_evals\": {} }},",
+            r.reference_millis, r.reference_evals
+        );
+        let _ = writeln!(
+            s,
+            "      \"kernel\": {{ \"millis\": {:.3}, \"interval_evals\": {}, \
+             \"interval_cache_hits\": {}, \"tree_builds\": {}, \"tree_cache_hits\": {}, \
+             \"dominance_checks\": {}, \"refinements\": {}, \"parallel_batches\": {} }},",
+            r.kernel_millis,
+            r.kernel_evals,
+            r.kernel_cache_hits,
+            r.stats.tree_builds,
+            r.stats.tree_cache_hits,
+            r.stats.dominance_checks,
+            r.stats.refinements,
+            r.stats.parallel_batches
+        );
+        let _ = writeln!(s, "      \"eval_reduction\": {:.3},", r.eval_reduction());
+        let _ = writeln!(s, "      \"wall_clock_speedup\": {:.3}", r.speedup());
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"summary\": {{");
+    let _ = writeln!(
+        s,
+        "    \"min_eval_reduction_context_free_fig6\": {min_reduction:.3},"
+    );
+    let _ = writeln!(s, "    \"eval_reduction_gate\": 2.0,");
+    let _ = writeln!(s, "    \"sweep_workloads_all_faster\": {sweeps_faster}");
+    let _ = writeln!(s, "  }}");
+    s.push_str("}\n");
+    s
+}

@@ -10,36 +10,19 @@
 //!
 //! This module is the engine; [`crate::idrips`] iterates it over shrinking
 //! plan spaces, and a standalone [`Drips`] orderer exposes the classic
-//! find-the-first-plan behaviour.
+//! find-the-first-plan behaviour. The search itself lives in
+//! [`crate::kernel`]: [`find_best`] drives a fresh [`OrderingKernel`]
+//! (incremental dominance, heap frontier, memoized evaluation), while the
+//! original textbook loop survives as
+//! [`reference_find_best`](crate::kernel::reference_find_best), the
+//! differential-testing oracle.
 
-use crate::abstraction::{AbstractionHeuristic, AbstractionTree, NodeId};
+use crate::abstraction::AbstractionHeuristic;
+use crate::kernel::OrderingKernel;
 use crate::orderer::{OrderedPlan, PlanOrderer};
 use crate::planspace::{full_space, PlanSpace};
 use qpo_catalog::ProblemInstance;
-use qpo_interval::Interval;
-use qpo_utility::{as_concrete, ExecutionContext, UtilityMeasure};
-
-/// A plan in the refinement pool: one abstraction-tree node per bucket.
-#[derive(Debug, Clone)]
-struct PoolPlan {
-    /// Which plan space this plan belongs to (iDrips runs Drips over
-    /// several spaces at once).
-    space: usize,
-    /// Node per bucket, into that space's trees.
-    nodes: Vec<NodeId>,
-    /// Candidate indices per bucket (materialized from the nodes).
-    cands: Vec<Vec<usize>>,
-    utility: Option<Interval>,
-    alive: bool,
-    /// Creation order; used for deterministic tie-breaking.
-    id: usize,
-}
-
-impl PoolPlan {
-    fn is_concrete(&self) -> bool {
-        self.cands.iter().all(|c| c.len() == 1)
-    }
-}
+use qpo_utility::{ExecutionContext, UtilityMeasure};
 
 /// Outcome of a Drips search.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,20 +37,14 @@ pub struct DripsOutcome {
     pub refinements: usize,
 }
 
-/// Decides whether `p` eliminates `q` (Drips' dominance with a
-/// deterministic tie-break so two equal point-utilities eliminate exactly
-/// one of the pair).
-fn eliminates(p: (Interval, usize), q: (Interval, usize)) -> bool {
-    let (up, idp) = p;
-    let (uq, idq) = q;
-    up.lo() > uq.hi() || (up.lo() == uq.hi() && idp < idq)
-}
-
 /// Runs Drips over the given plan spaces under `ctx`, returning the best
 /// concrete plan across all of them (or `None` when there are no spaces).
 ///
-/// The abstraction hierarchies are built fresh per call ("reabstracts the
-/// sources in the new plan spaces", §5.2) with the supplied heuristic.
+/// This convenience entry point drives a *fresh* [`OrderingKernel`], so the
+/// abstraction hierarchies are built per call ("reabstracts the sources in
+/// the new plan spaces", §5.2). Orderers that call Drips repeatedly —
+/// [`crate::IDrips`] — hold a long-lived kernel instead, whose tree and
+/// interval caches carry across emissions.
 pub fn find_best<M, H>(
     inst: &ProblemInstance,
     measure: &M,
@@ -79,125 +56,7 @@ where
     M: UtilityMeasure + ?Sized,
     H: AbstractionHeuristic + ?Sized,
 {
-    if spaces.is_empty() {
-        return None;
-    }
-    // One tree per (space, bucket).
-    let trees: Vec<Vec<AbstractionTree>> = spaces
-        .iter()
-        .map(|space| {
-            space
-                .iter()
-                .enumerate()
-                .map(|(b, cands)| AbstractionTree::build(inst, b, cands, heuristic))
-                .collect()
-        })
-        .collect();
-
-    let mut pool: Vec<PoolPlan> = Vec::new();
-    for (s, space_trees) in trees.iter().enumerate() {
-        let nodes: Vec<NodeId> = space_trees.iter().map(AbstractionTree::root).collect();
-        let cands: Vec<Vec<usize>> = space_trees
-            .iter()
-            .zip(&nodes)
-            .map(|(t, &n)| t.indices(n).to_vec())
-            .collect();
-        pool.push(PoolPlan {
-            space: s,
-            nodes,
-            cands,
-            utility: None,
-            alive: true,
-            id: pool.len(),
-        });
-    }
-
-    let mut next_id = pool.len();
-    let mut refinements = 0usize;
-    loop {
-        // Drop eliminated plans from previous rounds.
-        pool.retain(|p| p.alive);
-        // (a) evaluate pending utilities.
-        for p in pool.iter_mut().filter(|p| p.alive && p.utility.is_none()) {
-            p.utility = Some(measure.utility_interval(inst, &p.cands, ctx));
-        }
-        // (b) eliminate dominated plans.
-        let snapshot: Vec<(usize, Interval, usize)> = pool
-            .iter()
-            .filter(|p| p.alive)
-            .map(|p| (p.id, p.utility.expect("evaluated above"), p.space))
-            .collect();
-        for p in pool.iter_mut().filter(|p| p.alive) {
-            let uq = p.utility.expect("evaluated above");
-            if snapshot
-                .iter()
-                .any(|&(id, up, _)| id != p.id && eliminates((up, id), (uq, p.id)))
-            {
-                p.alive = false;
-            }
-        }
-        // (c) refine the most promising abstract survivor, if any.
-        let target = pool
-            .iter()
-            .filter(|p| p.alive && !p.is_concrete())
-            .max_by(|a, b| {
-                let ua = a.utility.expect("evaluated above").hi();
-                let ub = b.utility.expect("evaluated above").hi();
-                ua.partial_cmp(&ub)
-                    .expect("utilities are comparable")
-                    .then(b.id.cmp(&a.id))
-            })
-            .map(|p| p.id);
-        let Some(target_id) = target else {
-            // All survivors concrete: return the best one.
-            let winner = pool
-                .iter()
-                .filter(|p| p.alive)
-                .max_by(|a, b| {
-                    let ua = a.utility.expect("evaluated above").lo();
-                    let ub = b.utility.expect("evaluated above").lo();
-                    ua.partial_cmp(&ub)
-                        .expect("utilities are comparable")
-                        .then(b.id.cmp(&a.id))
-                })
-                .expect("pool never empties: elimination spares a maximum");
-            let plan = as_concrete(&winner.cands).expect("winner is concrete");
-            return Some(DripsOutcome {
-                space: winner.space,
-                plan,
-                utility: winner.utility.expect("evaluated above").lo(),
-                refinements,
-            });
-        };
-        refinements += 1;
-        let pos = pool
-            .iter()
-            .position(|p| p.id == target_id)
-            .expect("target is in the pool");
-        let parent = pool.swap_remove(pos);
-        // Split the widest abstract bucket: replace its node by the
-        // children, one child plan each.
-        let bucket = (0..parent.nodes.len())
-            .filter(|&b| parent.cands[b].len() > 1)
-            .max_by_key(|&b| parent.cands[b].len())
-            .expect("abstract plan has a non-singleton bucket");
-        let tree = &trees[parent.space][bucket];
-        for &child in tree.children(parent.nodes[bucket]) {
-            let mut nodes = parent.nodes.clone();
-            nodes[bucket] = child;
-            let mut cands = parent.cands.clone();
-            cands[bucket] = tree.indices(child).to_vec();
-            pool.push(PoolPlan {
-                space: parent.space,
-                nodes,
-                cands,
-                utility: None,
-                alive: true,
-                id: next_id,
-            });
-            next_id += 1;
-        }
-    }
+    OrderingKernel::new().find_best(inst, measure, ctx, spaces, heuristic)
 }
 
 /// Standalone Drips orderer: yields exactly one plan — the best — then

@@ -8,19 +8,30 @@
 //! all: it works for *every* utility measure, caching included.
 
 use crate::abstraction::AbstractionHeuristic;
-use crate::drips::find_best;
+use crate::kernel::{reference_find_best, KernelStats, OrderingKernel};
 use crate::orderer::{OrderedPlan, PlanOrderer, PlanOutcome};
 use crate::planspace::{full_space, remove_plan, PlanSpace};
 use qpo_catalog::ProblemInstance;
 use qpo_utility::{ExecutionContext, UtilityMeasure};
 
 /// The iDrips plan orderer.
+///
+/// Owns a long-lived [`OrderingKernel`], so the per-emission Drips runs
+/// share hash-consed abstraction trees and (epoch-guarded) memoized
+/// utility intervals — the cross-round reuse §5.2's "redoes dominance
+/// work" remark invites. [`with_reference_kernel`] switches to the
+/// pre-optimization textbook loop for differential testing and
+/// benchmarking; both produce bit-for-bit identical emissions.
+///
+/// [`with_reference_kernel`]: IDrips::with_reference_kernel
 pub struct IDrips<'a, M: UtilityMeasure + ?Sized, H> {
     inst: &'a ProblemInstance,
     measure: &'a M,
     heuristic: H,
     ctx: ExecutionContext,
     spaces: Vec<PlanSpace>,
+    kernel: OrderingKernel,
+    use_reference: bool,
     total_refinements: usize,
     emitted: usize,
 }
@@ -34,9 +45,25 @@ impl<'a, M: UtilityMeasure + ?Sized, H: AbstractionHeuristic> IDrips<'a, M, H> {
             heuristic,
             ctx: ExecutionContext::new(),
             spaces: vec![full_space(inst)],
+            kernel: OrderingKernel::new(),
+            use_reference: false,
             total_refinements: 0,
             emitted: 0,
         }
+    }
+
+    /// Switches to the pre-optimization O(n²) reference kernel (fresh
+    /// trees every round, no caches, serial evaluation). Used by the
+    /// differential tests and the `bench_ordering` baseline runs.
+    pub fn with_reference_kernel(mut self) -> Self {
+        self.use_reference = true;
+        self
+    }
+
+    /// Counter snapshot from the incremental kernel (all zeros when the
+    /// reference kernel drives this orderer).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.stats()
     }
 
     /// Plan spaces currently alive.
@@ -61,13 +88,23 @@ impl<M: UtilityMeasure + ?Sized, H: AbstractionHeuristic> PlanOrderer for IDrips
     }
 
     fn next_plan(&mut self) -> Option<OrderedPlan> {
-        let outcome = find_best(
-            self.inst,
-            self.measure,
-            &self.ctx,
-            &self.spaces,
-            &self.heuristic,
-        )?;
+        let outcome = if self.use_reference {
+            reference_find_best(
+                self.inst,
+                self.measure,
+                &self.ctx,
+                &self.spaces,
+                &self.heuristic,
+            )
+        } else {
+            self.kernel.find_best(
+                self.inst,
+                self.measure,
+                &self.ctx,
+                &self.spaces,
+                &self.heuristic,
+            )
+        }?;
         self.total_refinements += outcome.refinements;
         let space = self.spaces.swap_remove(outcome.space);
         self.spaces.extend(remove_plan(&space, &outcome.plan));

@@ -1,0 +1,782 @@
+//! The incremental ordering kernel behind Drips and iDrips.
+//!
+//! The textbook Drips loop (kept verbatim as [`reference_find_best`], the
+//! differential-testing oracle) redoes three kinds of work every round:
+//!
+//! 1. **O(n²) dominance sweeps** — every alive plan is compared against
+//!    every other, although the only plan that can eliminate anything is
+//!    the *champion* (the alive plan with the maximum utility lower bound,
+//!    smallest id on ties). The kernel tracks the champion incrementally:
+//!    freshly evaluated plans are checked against it, and a full sweep
+//!    happens only in the rounds where the champion itself changes.
+//! 2. **Linear refinement-target scans** — the most promising abstract
+//!    plan (maximum upper bound, smallest id on ties) was found by
+//!    rescanning the pool. The kernel keeps a lazy max-heap keyed on the
+//!    upper bound, so target selection is `O(log n)` and the all-concrete
+//!    termination test falls out of the heap running dry.
+//! 3. **Cross-round recomputation** — iDrips re-runs Drips per emission
+//!    over plan spaces that mostly did not change (§5.2 calls this out as
+//!    deliberate redundancy). The kernel hash-conses abstraction trees
+//!    keyed on `(bucket, candidate set)` and memoizes `utility_interval`
+//!    results keyed on the candidate sets, with the interval cache pinned
+//!    to the [`ExecutionContext::epoch`]: context-sensitive measures are
+//!    invalidated on every `record`/`retract`, while
+//!    [`context_free`](UtilityMeasure::context_free) measures cache across
+//!    emissions.
+//!
+//! Wide evaluation rounds (many pending intervals, as in iDrips' first
+//! round over a large space frontier) are fanned out over a bounded
+//! scoped-thread pool with a deterministic merge, so the emitted order is
+//! bit-for-bit identical to the serial kernel — and, by construction, to
+//! [`reference_find_best`]: the champion rule eliminates *exactly* the
+//! plans the pairwise sweep eliminates (see `eliminates`' invariants),
+//! and caching only short-circuits recomputation of pure functions.
+
+use crate::abstraction::{AbstractionHeuristic, AbstractionTree, NodeId};
+use crate::drips::DripsOutcome;
+use crate::planspace::PlanSpace;
+use qpo_catalog::ProblemInstance;
+use qpo_interval::Interval;
+use qpo_utility::{as_concrete, ExecutionContext, UtilityMeasure};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Counters the kernel accumulates across [`OrderingKernel::find_best`]
+/// calls. All counters are monotone; snapshot via [`OrderingKernel::stats`]
+/// and diff to meter a single call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Search rounds executed (evaluate → eliminate → refine).
+    pub rounds: u64,
+    /// Refinement steps (abstract plan replaced by its children).
+    pub refinements: u64,
+    /// Dominance checks actually performed (`eliminates` invocations).
+    pub dominance_checks: u64,
+    /// Plans eliminated by dominance.
+    pub eliminations: u64,
+    /// Rounds in which the champion changed and a full sweep ran.
+    pub champion_sweeps: u64,
+    /// `utility_interval` calls forwarded to the measure.
+    pub interval_evals: u64,
+    /// `utility_interval` calls answered from the memo table.
+    pub interval_cache_hits: u64,
+    /// Abstraction trees built from scratch.
+    pub tree_builds: u64,
+    /// Abstraction trees reused from the hash-cons table.
+    pub tree_cache_hits: u64,
+    /// Evaluation rounds that ran on the scoped-thread pool.
+    pub parallel_batches: u64,
+}
+
+impl KernelStats {
+    /// Interval evaluations avoided outright — the paper's "plans
+    /// evaluated" metric is `interval_evals`; this is how much lower it is
+    /// than it would have been without the memo table.
+    pub fn evals_saved(&self) -> u64 {
+        self.interval_cache_hits
+    }
+}
+
+/// A plan in the refinement pool: one abstraction-tree node per bucket.
+#[derive(Debug, Clone)]
+struct PoolPlan {
+    /// Which plan space this plan belongs to (iDrips runs Drips over
+    /// several spaces at once).
+    space: usize,
+    /// Node per bucket, into that space's trees.
+    nodes: Vec<NodeId>,
+    /// Candidate indices per bucket (materialized from the nodes).
+    cands: Vec<Vec<usize>>,
+    utility: Option<Interval>,
+    alive: bool,
+}
+
+impl PoolPlan {
+    fn is_concrete(&self) -> bool {
+        self.cands.iter().all(|c| c.len() == 1)
+    }
+}
+
+/// Decides whether `p` eliminates `q` (Drips' dominance with a
+/// deterministic tie-break so two equal point-utilities eliminate exactly
+/// one of the pair).
+///
+/// Champion-based elimination is exact, not approximate, because this
+/// predicate is monotone in `(p.lo, -p.id)`: if *any* alive plan
+/// eliminates `q`, then so does the champion — the alive plan maximizing
+/// `lo` with the smallest id among ties. And the champion itself can never
+/// be eliminated: an eliminator would need `lo > champion.hi ≥
+/// champion.lo` (contradicting maximality) or an equal `lo` with a
+/// smaller id (contradicting the tie-break).
+fn eliminates(p: (Interval, usize), q: (Interval, usize)) -> bool {
+    let (up, idp) = p;
+    let (uq, idq) = q;
+    up.lo() > uq.hi() || (up.lo() == uq.hi() && idp < idq)
+}
+
+/// `(lo, -id)` champion order: higher lower bound wins, smaller id on
+/// ties. Uses IEEE comparison (so `-0.0 == 0.0` ties break on id, exactly
+/// like the reference kernel); interval bounds are always finite.
+fn champion_beats(a: (Interval, usize), b: (Interval, usize)) -> bool {
+    let (ua, ida) = a;
+    let (ub, idb) = b;
+    ua.lo() > ub.lo() || (ua.lo() == ub.lo() && ida < idb)
+}
+
+/// Max-heap entry for refinement-target selection: maximum upper bound
+/// first, smallest id on ties. The `hi` key is normalized (`-0.0 → +0.0`)
+/// so `total_cmp` agrees with the IEEE comparisons of the reference
+/// kernel; `total_cmp` keeps the order total (no panic) even if a
+/// degenerate measure ever smuggled a NaN past [`Interval`]'s constructor.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    hi: f64,
+    id: usize,
+}
+
+impl HeapEntry {
+    fn new(hi: f64, id: usize) -> Self {
+        // +0.0 normalizes -0.0 and leaves every other value unchanged.
+        HeapEntry { hi: hi + 0.0, id }
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.hi
+            .total_cmp(&other.hi)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// The reusable state of the incremental kernel: hash-consed abstraction
+/// trees, the interval memo table with its context epoch, the worker
+/// budget, and the accumulated [`KernelStats`].
+///
+/// A kernel instance must be driven with a fixed `(instance, measure,
+/// heuristic)` triple and a single [`ExecutionContext`] lineage (the one
+/// an orderer owns and mutates) — the caches key on candidate sets and the
+/// context epoch only. [`IDrips`](crate::IDrips) owns one kernel per
+/// orderer, which satisfies both conditions by construction.
+#[derive(Debug)]
+pub struct OrderingKernel {
+    trees: HashMap<(usize, Vec<usize>), Arc<AbstractionTree>>,
+    intervals: HashMap<Vec<Vec<usize>>, Interval>,
+    /// Epoch the interval memo table is valid for (context-dependent
+    /// measures only; `None` until the first call).
+    cache_epoch: Option<u64>,
+    stats: KernelStats,
+    max_workers: usize,
+    parallel_threshold: usize,
+}
+
+impl Default for OrderingKernel {
+    fn default() -> Self {
+        OrderingKernel::new()
+    }
+}
+
+impl OrderingKernel {
+    /// A fresh kernel with empty caches and a hardware-sized worker cap.
+    pub fn new() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        OrderingKernel {
+            trees: HashMap::new(),
+            intervals: HashMap::new(),
+            cache_epoch: None,
+            stats: KernelStats::default(),
+            max_workers: cores.min(8),
+            parallel_threshold: 32,
+        }
+    }
+
+    /// Caps the evaluation worker pool (1 disables parallel evaluation).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.max_workers = workers.max(1);
+        self
+    }
+
+    /// Pending-evaluation count at which a round fans out to the pool.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold.max(2);
+        self
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Drops both caches (keeps the stats). Callers never *need* this for
+    /// correctness — the epoch mechanism handles invalidation — but it
+    /// bounds memory for very long runs.
+    pub fn clear_caches(&mut self) {
+        self.trees.clear();
+        self.intervals.clear();
+        self.cache_epoch = None;
+    }
+
+    /// Entries currently held by the (tree, interval) caches.
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        (self.trees.len(), self.intervals.len())
+    }
+
+    fn tree<H: AbstractionHeuristic + ?Sized>(
+        &mut self,
+        inst: &ProblemInstance,
+        bucket: usize,
+        cands: &[usize],
+        heuristic: &H,
+    ) -> Arc<AbstractionTree> {
+        if let Some(t) = self.trees.get(&(bucket, cands.to_vec())) {
+            self.stats.tree_cache_hits += 1;
+            return Arc::clone(t);
+        }
+        self.stats.tree_builds += 1;
+        let t = Arc::new(AbstractionTree::build(inst, bucket, cands, heuristic));
+        self.trees.insert((bucket, cands.to_vec()), Arc::clone(&t));
+        t
+    }
+
+    /// Runs Drips over the given plan spaces under `ctx`, returning the
+    /// best concrete plan across all of them (or `None` when there are no
+    /// spaces). Emits exactly the `(space, plan, utility)` the reference
+    /// kernel emits; only the work done to find it differs.
+    pub fn find_best<M, H>(
+        &mut self,
+        inst: &ProblemInstance,
+        measure: &M,
+        ctx: &ExecutionContext,
+        spaces: &[PlanSpace],
+        heuristic: &H,
+    ) -> Option<DripsOutcome>
+    where
+        M: UtilityMeasure + ?Sized,
+        H: AbstractionHeuristic + ?Sized,
+    {
+        if spaces.is_empty() {
+            return None;
+        }
+        // Interval memo validity: context-free measures cache forever;
+        // context-sensitive ones only within one context epoch.
+        if !measure.context_free() && self.cache_epoch != Some(ctx.epoch()) {
+            self.intervals.clear();
+            self.cache_epoch = Some(ctx.epoch());
+        }
+
+        // One (hash-consed) tree per (space, bucket).
+        let trees: Vec<Vec<Arc<AbstractionTree>>> = spaces
+            .iter()
+            .map(|space| {
+                space
+                    .iter()
+                    .enumerate()
+                    .map(|(b, cands)| self.tree(inst, b, cands, heuristic))
+                    .collect()
+            })
+            .collect();
+
+        let mut plans: Vec<PoolPlan> = Vec::with_capacity(spaces.len());
+        for (s, space_trees) in trees.iter().enumerate() {
+            let nodes: Vec<NodeId> = space_trees.iter().map(|t| t.root()).collect();
+            let cands: Vec<Vec<usize>> = space_trees
+                .iter()
+                .zip(&nodes)
+                .map(|(t, &n)| t.indices(n).to_vec())
+                .collect();
+            plans.push(PoolPlan {
+                space: s,
+                nodes,
+                cands,
+                utility: None,
+                alive: true,
+            });
+        }
+
+        let mut pending: Vec<usize> = (0..plans.len()).collect();
+        let mut frontier: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(plans.len());
+        let mut champion: Option<usize> = None;
+        let mut refinements = 0usize;
+
+        loop {
+            self.stats.rounds += 1;
+            // (a) evaluate pending utilities (memoized, possibly parallel).
+            self.evaluate(inst, measure, ctx, &mut plans, &pending);
+            for &id in &pending {
+                if !plans[id].is_concrete() {
+                    frontier.push(HeapEntry::new(
+                        plans[id].utility.expect("evaluated above").hi(),
+                        id,
+                    ));
+                }
+            }
+
+            // (b) update the champion, then eliminate against it.
+            let prev = champion;
+            if !champion.is_some_and(|c| plans[c].alive) {
+                // The previous champion was refined away (or this is the
+                // first round): recompute from scratch.
+                champion = (0..plans.len())
+                    .filter(|&id| plans[id].alive)
+                    .max_by(|&a, &b| {
+                        let ua = plans[a].utility.expect("evaluated above");
+                        let ub = plans[b].utility.expect("evaluated above");
+                        if champion_beats((ua, a), (ub, b)) {
+                            Ordering::Greater
+                        } else {
+                            Ordering::Less
+                        }
+                    });
+            } else {
+                // Alive plans never change, so the champion can only be
+                // dethroned by one of the freshly evaluated plans.
+                for &id in &pending {
+                    let c = champion.expect("set above");
+                    let uc = plans[c].utility.expect("champion is evaluated");
+                    let uq = plans[id].utility.expect("evaluated above");
+                    if champion_beats((uq, id), (uc, c)) {
+                        champion = Some(id);
+                    }
+                }
+            }
+            let champ = champion.expect("non-empty pool has a champion");
+            let champ_u = plans[champ].utility.expect("champion is evaluated");
+            if prev != champion {
+                // New champion: its reach is unknown, sweep everything.
+                self.stats.champion_sweeps += 1;
+                for id in 0..plans.len() {
+                    if id == champ || !plans[id].alive {
+                        continue;
+                    }
+                    self.stats.dominance_checks += 1;
+                    let uq = plans[id].utility.expect("alive plans are evaluated");
+                    if eliminates((champ_u, champ), (uq, id)) {
+                        self.kill(&mut plans, id);
+                    }
+                }
+            } else {
+                // Same champion: every surviving plan already withstood
+                // it; only the fresh plans need checking.
+                for &id in &pending {
+                    if id == champ || !plans[id].alive {
+                        continue;
+                    }
+                    self.stats.dominance_checks += 1;
+                    let uq = plans[id].utility.expect("evaluated above");
+                    if eliminates((champ_u, champ), (uq, id)) {
+                        self.kill(&mut plans, id);
+                    }
+                }
+            }
+            pending.clear();
+
+            // (c) refine the most promising abstract survivor; when the
+            // frontier runs dry every survivor is concrete and the
+            // champion — max lower bound, smallest id — is the winner.
+            let target = loop {
+                match frontier.pop() {
+                    Some(e) if plans[e.id].alive => break Some(e.id),
+                    Some(_) => continue, // stale: eliminated or refined
+                    None => break None,
+                }
+            };
+            let Some(target_id) = target else {
+                let winner = &plans[champ];
+                let plan = as_concrete(&winner.cands).expect("survivors are concrete");
+                return Some(DripsOutcome {
+                    space: winner.space,
+                    plan,
+                    utility: winner.utility.expect("champion is evaluated").lo(),
+                    refinements,
+                });
+            };
+            refinements += 1;
+            self.stats.refinements += 1;
+            // Split the widest abstract bucket: replace its node by the
+            // children, one child plan each.
+            let parent = std::mem::replace(
+                &mut plans[target_id],
+                PoolPlan {
+                    space: 0,
+                    nodes: Vec::new(),
+                    cands: Vec::new(),
+                    utility: None,
+                    alive: false,
+                },
+            );
+            if champion == Some(target_id) {
+                champion = None; // force a recompute next round
+            }
+            let bucket = (0..parent.nodes.len())
+                .filter(|&b| parent.cands[b].len() > 1)
+                .max_by_key(|&b| parent.cands[b].len())
+                .expect("abstract plan has a non-singleton bucket");
+            let tree = &trees[parent.space][bucket];
+            for &child in tree.children(parent.nodes[bucket]) {
+                let mut nodes = parent.nodes.clone();
+                nodes[bucket] = child;
+                let mut cands = parent.cands.clone();
+                cands[bucket] = tree.indices(child).to_vec();
+                pending.push(plans.len());
+                plans.push(PoolPlan {
+                    space: parent.space,
+                    nodes,
+                    cands,
+                    utility: None,
+                    alive: true,
+                });
+            }
+        }
+    }
+
+    fn kill(&mut self, plans: &mut [PoolPlan], id: usize) {
+        self.stats.eliminations += 1;
+        let p = &mut plans[id];
+        p.alive = false;
+        // Dead plans are only ever read for their (utility, id) pair;
+        // free the candidate storage eagerly.
+        p.nodes = Vec::new();
+        p.cands = Vec::new();
+    }
+
+    /// Resolves the pending plans' utility intervals: memo-table lookups
+    /// first, then the misses — serially, or over a bounded scoped-thread
+    /// pool when the batch is wide. Results merge in ascending id order,
+    /// so the outcome is deterministic regardless of scheduling.
+    fn evaluate<M: UtilityMeasure + ?Sized>(
+        &mut self,
+        inst: &ProblemInstance,
+        measure: &M,
+        ctx: &ExecutionContext,
+        plans: &mut [PoolPlan],
+        pending: &[usize],
+    ) {
+        let mut misses: Vec<usize> = Vec::with_capacity(pending.len());
+        for &id in pending {
+            if let Some(&iv) = self.intervals.get(&plans[id].cands) {
+                self.stats.interval_cache_hits += 1;
+                plans[id].utility = Some(iv);
+            } else {
+                misses.push(id);
+            }
+        }
+        self.stats.interval_evals += misses.len() as u64;
+
+        // Fan out only for wide batches on a multi-worker budget; aim for
+        // ≥8 evaluations per worker so thread setup amortizes, but never
+        // fall back to a single worker once the batch crossed the
+        // threshold (tests pin small thresholds to exercise this path).
+        let results: Vec<(usize, Interval)> =
+            if misses.len() >= self.parallel_threshold && self.max_workers > 1 {
+                let workers = self.max_workers.min(misses.len().div_ceil(8)).max(2);
+                self.stats.parallel_batches += 1;
+                let chunk = misses.len().div_ceil(workers);
+                let shared: &[PoolPlan] = plans;
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = misses
+                        .chunks(chunk)
+                        .map(|ids| {
+                            s.spawn(move |_| {
+                                ids.iter()
+                                    .map(|&id| {
+                                        (id, measure.utility_interval(inst, &shared[id].cands, ctx))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("evaluation workers never panic"))
+                        .collect()
+                })
+                .expect("evaluation scope never panics")
+            } else {
+                misses
+                    .iter()
+                    .map(|&id| (id, measure.utility_interval(inst, &plans[id].cands, ctx)))
+                    .collect()
+            };
+
+        for (id, iv) in results {
+            plans[id].utility = Some(iv);
+            self.intervals.insert(plans[id].cands.clone(), iv);
+        }
+    }
+}
+
+/// The pre-optimization kernel, kept as the differential-testing oracle:
+/// a full O(n²) pairwise dominance sweep per round, fresh abstraction
+/// trees per call, serial evaluation, no memoization. Its only change
+/// from the original is `total_cmp` in the max-scans, so a degenerate
+/// measure cannot panic the orderer mid-stream (the incremental kernel
+/// uses the same total order in its heap).
+pub fn reference_find_best<M, H>(
+    inst: &ProblemInstance,
+    measure: &M,
+    ctx: &ExecutionContext,
+    spaces: &[PlanSpace],
+    heuristic: &H,
+) -> Option<DripsOutcome>
+where
+    M: UtilityMeasure + ?Sized,
+    H: AbstractionHeuristic + ?Sized,
+{
+    if spaces.is_empty() {
+        return None;
+    }
+    struct RefPlan {
+        space: usize,
+        nodes: Vec<NodeId>,
+        cands: Vec<Vec<usize>>,
+        utility: Option<Interval>,
+        alive: bool,
+        id: usize,
+    }
+    impl RefPlan {
+        fn is_concrete(&self) -> bool {
+            self.cands.iter().all(|c| c.len() == 1)
+        }
+    }
+    // One tree per (space, bucket), rebuilt fresh per call ("reabstracts
+    // the sources in the new plan spaces", §5.2).
+    let trees: Vec<Vec<AbstractionTree>> = spaces
+        .iter()
+        .map(|space| {
+            space
+                .iter()
+                .enumerate()
+                .map(|(b, cands)| AbstractionTree::build(inst, b, cands, heuristic))
+                .collect()
+        })
+        .collect();
+
+    let mut pool: Vec<RefPlan> = Vec::new();
+    for (s, space_trees) in trees.iter().enumerate() {
+        let nodes: Vec<NodeId> = space_trees.iter().map(AbstractionTree::root).collect();
+        let cands: Vec<Vec<usize>> = space_trees
+            .iter()
+            .zip(&nodes)
+            .map(|(t, &n)| t.indices(n).to_vec())
+            .collect();
+        pool.push(RefPlan {
+            space: s,
+            nodes,
+            cands,
+            utility: None,
+            alive: true,
+            id: pool.len(),
+        });
+    }
+
+    let mut next_id = pool.len();
+    let mut refinements = 0usize;
+    loop {
+        pool.retain(|p| p.alive);
+        for p in pool.iter_mut().filter(|p| p.alive && p.utility.is_none()) {
+            p.utility = Some(measure.utility_interval(inst, &p.cands, ctx));
+        }
+        let snapshot: Vec<(usize, Interval)> = pool
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| (p.id, p.utility.expect("evaluated above")))
+            .collect();
+        for p in pool.iter_mut().filter(|p| p.alive) {
+            let uq = p.utility.expect("evaluated above");
+            if snapshot
+                .iter()
+                .any(|&(id, up)| id != p.id && eliminates((up, id), (uq, p.id)))
+            {
+                p.alive = false;
+            }
+        }
+        let target = pool
+            .iter()
+            .filter(|p| p.alive && !p.is_concrete())
+            .max_by(|a, b| {
+                let ua = a.utility.expect("evaluated above").hi();
+                let ub = b.utility.expect("evaluated above").hi();
+                ua.total_cmp(&ub).then(b.id.cmp(&a.id))
+            })
+            .map(|p| p.id);
+        let Some(target_id) = target else {
+            let winner = pool
+                .iter()
+                .filter(|p| p.alive)
+                .max_by(|a, b| {
+                    let ua = a.utility.expect("evaluated above").lo();
+                    let ub = b.utility.expect("evaluated above").lo();
+                    ua.total_cmp(&ub).then(b.id.cmp(&a.id))
+                })
+                .expect("pool never empties: elimination spares a maximum");
+            let plan = as_concrete(&winner.cands).expect("winner is concrete");
+            return Some(DripsOutcome {
+                space: winner.space,
+                plan,
+                utility: winner.utility.expect("evaluated above").lo(),
+                refinements,
+            });
+        };
+        refinements += 1;
+        let pos = pool
+            .iter()
+            .position(|p| p.id == target_id)
+            .expect("target is in the pool");
+        let parent = pool.swap_remove(pos);
+        let bucket = (0..parent.nodes.len())
+            .filter(|&b| parent.cands[b].len() > 1)
+            .max_by_key(|&b| parent.cands[b].len())
+            .expect("abstract plan has a non-singleton bucket");
+        let tree = &trees[parent.space][bucket];
+        for &child in tree.children(parent.nodes[bucket]) {
+            let mut nodes = parent.nodes.clone();
+            nodes[bucket] = child;
+            let mut cands = parent.cands.clone();
+            cands[bucket] = tree.indices(child).to_vec();
+            pool.push(RefPlan {
+                space: parent.space,
+                nodes,
+                cands,
+                utility: None,
+                alive: true,
+                id: next_id,
+            });
+            next_id += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::ByExpectedTuples;
+    use crate::planspace::full_space;
+    use qpo_catalog::GeneratorConfig;
+    use qpo_utility::{CountingMeasure, Coverage, FailureCost};
+
+    #[test]
+    fn heap_entry_order_matches_ieee_with_id_tiebreak() {
+        let a = HeapEntry::new(1.0, 3);
+        let b = HeapEntry::new(1.0, 5);
+        assert!(a > b, "equal hi: smaller id wins");
+        assert!(HeapEntry::new(2.0, 9) > HeapEntry::new(1.0, 0));
+        // -0.0 normalizes to +0.0, so ties still break on id.
+        assert!(HeapEntry::new(-0.0, 1) > HeapEntry::new(0.0, 2));
+        assert!(HeapEntry::new(0.0, 1) > HeapEntry::new(-0.0, 2));
+    }
+
+    #[test]
+    fn kernel_and_reference_agree_on_a_single_space() {
+        for seed in 0..8u64 {
+            let inst = GeneratorConfig::new(3, 6).with_seed(seed).build();
+            let ctx = ExecutionContext::new();
+            let spaces = [full_space(&inst)];
+            let mut kernel = OrderingKernel::new();
+            let fast = kernel.find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples);
+            let slow = reference_find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cache_reuse_across_identical_calls_is_total() {
+        let inst = GeneratorConfig::new(3, 6).with_seed(5).build();
+        let ctx = ExecutionContext::new();
+        let spaces = [full_space(&inst)];
+        let m = CountingMeasure::new(FailureCost::without_caching());
+        let mut kernel = OrderingKernel::new();
+        let first = kernel.find_best(&inst, &m, &ctx, &spaces, &ByExpectedTuples);
+        let evals_after_first = m.interval_evals();
+        assert!(evals_after_first > 0);
+        let second = kernel.find_best(&inst, &m, &ctx, &spaces, &ByExpectedTuples);
+        assert_eq!(first, second);
+        assert_eq!(
+            m.interval_evals(),
+            evals_after_first,
+            "context-free rerun is answered entirely from the memo table"
+        );
+        let stats = kernel.stats();
+        assert!(stats.interval_cache_hits >= evals_after_first);
+        assert!(stats.tree_cache_hits > 0);
+        let (t, i) = kernel.cache_sizes();
+        assert!(t > 0 && i > 0);
+    }
+
+    #[test]
+    fn context_epoch_invalidates_the_interval_cache() {
+        let inst = GeneratorConfig::new(2, 4).with_seed(3).build();
+        let spaces = [full_space(&inst)];
+        let m = CountingMeasure::new(FailureCost::with_caching());
+        let mut ctx = ExecutionContext::new();
+        let mut kernel = OrderingKernel::new();
+        let first = kernel
+            .find_best(&inst, &m, &ctx, &spaces, &ByExpectedTuples)
+            .unwrap();
+        let before = m.interval_evals();
+        ctx.record(&first.plan);
+        kernel.find_best(&inst, &m, &ctx, &spaces, &ByExpectedTuples);
+        assert!(
+            m.interval_evals() > before,
+            "context-sensitive measure re-evaluates after record"
+        );
+        // And the re-evaluated result matches the reference kernel.
+        let slow = reference_find_best(&inst, &m, &ctx, &spaces, &ByExpectedTuples);
+        let fast = kernel.find_best(&inst, &m, &ctx, &spaces, &ByExpectedTuples);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_deterministic() {
+        let inst = GeneratorConfig::new(3, 8).with_seed(11).build();
+        let ctx = ExecutionContext::new();
+        let spaces = [full_space(&inst)];
+        // Force the parallel path for every round with ≥ 2 pending evals.
+        let mut wide = OrderingKernel::new()
+            .with_parallel_threshold(2)
+            .with_workers(4);
+        let mut serial = OrderingKernel::new().with_workers(1);
+        let a = wide.find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples);
+        let b = serial.find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples);
+        assert_eq!(a, b);
+        assert!(
+            wide.stats().parallel_batches > 0,
+            "the threaded path must actually run under a forced threshold"
+        );
+        assert_eq!(serial.stats().parallel_batches, 0);
+    }
+
+    #[test]
+    fn clear_caches_resets_tables_but_keeps_stats() {
+        let inst = GeneratorConfig::new(2, 4).with_seed(1).build();
+        let ctx = ExecutionContext::new();
+        let mut kernel = OrderingKernel::new();
+        kernel
+            .find_best(
+                &inst,
+                &Coverage,
+                &ctx,
+                &[full_space(&inst)],
+                &ByExpectedTuples,
+            )
+            .unwrap();
+        assert!(kernel.cache_sizes().0 > 0);
+        let stats = kernel.stats();
+        kernel.clear_caches();
+        assert_eq!(kernel.cache_sizes(), (0, 0));
+        assert_eq!(kernel.stats(), stats);
+        assert!(stats.rounds > 0 && stats.interval_evals > 0);
+        assert_eq!(stats.evals_saved(), stats.interval_cache_hits);
+    }
+}

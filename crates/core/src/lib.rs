@@ -48,6 +48,7 @@ pub mod advice;
 pub mod drips;
 pub mod greedy;
 pub mod idrips;
+pub mod kernel;
 pub mod merged;
 pub mod orderer;
 pub mod pi;
@@ -62,6 +63,7 @@ pub use advice::{advise, AlgorithmAdvice, Recommended};
 pub use drips::{find_best, Drips, DripsOutcome};
 pub use greedy::Greedy;
 pub use idrips::IDrips;
+pub use kernel::{reference_find_best, KernelStats, OrderingKernel};
 pub use merged::{merge_greedys, merge_streamers, MergedOrderer};
 pub use orderer::{
     verify_ordering, OrderedPlan, OrdererError, OutcomeStatus, PlanOrderer, PlanOutcome,

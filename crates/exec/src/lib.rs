@@ -19,4 +19,4 @@ pub mod profile;
 pub use concurrent::ConcurrentRun;
 pub use extensions::{populate_sources, try_populate_sources, ExtensionError};
 pub use mediator::{Mediator, MediatorError, MediatorRun, PlanReport, StopCondition, Strategy};
-pub use profile::{estimate_extent, estimate_tuples, profile_catalog};
+pub use profile::{estimate_extent, estimate_tuples, format_kernel_stats, profile_catalog};

@@ -1,13 +1,59 @@
-//! Statistics estimation from materialized extensions.
+//! Statistics estimation and kernel-profile reporting.
 //!
-//! The paper assumes source statistics (`n_i`, coverage extents) are known
-//! to the mediator. In practice they are *profiled*: this module derives
-//! [`SourceStats`] fields from the actual source contents, so a catalog's
-//! guesses can be replaced by measurements — and so tests can verify that
-//! the synthetic populator and the statistics model agree.
+//! Two kinds of measurement live here. First, *source statistics*: the
+//! paper assumes `n_i` and coverage extents are known to the mediator; in
+//! practice they are profiled from the actual source contents
+//! ([`profile_catalog`]). Second, *ordering-kernel counters*: the
+//! incremental kernel behind iDrips tallies its work
+//! ([`KernelStats`]) — refinements, dominance checks, cache traffic,
+//! interval evaluations saved — and [`format_kernel_stats`] renders that
+//! tally for the examples and the bench runner.
 
 use qpo_catalog::{Catalog, Extent};
+use qpo_core::KernelStats;
 use qpo_datalog::{Constant, Database};
+use std::fmt::Write as _;
+
+/// Renders the ordering kernel's counters as an aligned multi-line block
+/// (no trailing newline), ready for `println!`.
+///
+/// The "evals saved" line is the headline: how many `utility_interval`
+/// computations the memo table answered instead of the measure, as a
+/// count and as a share of the demand (evals + hits).
+pub fn format_kernel_stats(stats: &KernelStats) -> String {
+    let demand = stats.interval_evals + stats.interval_cache_hits;
+    let saved_pct = if demand == 0 {
+        0.0
+    } else {
+        100.0 * stats.interval_cache_hits as f64 / demand as f64
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "ordering kernel:");
+    let _ = writeln!(out, "  search rounds      {:>8}", stats.rounds);
+    let _ = writeln!(out, "  refinements        {:>8}", stats.refinements);
+    let _ = writeln!(
+        out,
+        "  dominance checks   {:>8}  ({} eliminations, {} champion sweeps)",
+        stats.dominance_checks, stats.eliminations, stats.champion_sweeps
+    );
+    let _ = writeln!(
+        out,
+        "  interval evals     {:>8}  ({} cache hits)",
+        stats.interval_evals, stats.interval_cache_hits
+    );
+    let _ = writeln!(
+        out,
+        "  evals saved        {:>8}  ({saved_pct:.1}% of demand)",
+        stats.evals_saved()
+    );
+    let _ = writeln!(
+        out,
+        "  trees built        {:>8}  ({} cache hits)",
+        stats.tree_builds, stats.tree_cache_hits
+    );
+    let _ = write!(out, "  parallel batches   {:>8}", stats.parallel_batches);
+    out
+}
 
 /// Measured cardinality of a source relation.
 pub fn estimate_tuples(db: &Database, source: &str) -> f64 {
@@ -106,6 +152,45 @@ mod tests {
         db.insert("v", vec![Constant::str("a"), Constant::str("b")]);
         assert!(estimate_extent(&db, "v").is_empty());
         assert_eq!(estimate_tuples(&db, "v"), 1.0);
+    }
+
+    #[test]
+    fn kernel_stats_format_includes_every_counter() {
+        let stats = KernelStats {
+            rounds: 12,
+            refinements: 9,
+            dominance_checks: 40,
+            eliminations: 7,
+            champion_sweeps: 3,
+            interval_evals: 25,
+            interval_cache_hits: 75,
+            tree_builds: 4,
+            tree_cache_hits: 16,
+            parallel_batches: 2,
+        };
+        let text = format_kernel_stats(&stats);
+        for needle in [
+            "search rounds",
+            "12",
+            "refinements",
+            "dominance checks",
+            "40",
+            "7 eliminations",
+            "3 champion sweeps",
+            "interval evals",
+            "75 cache hits",
+            "evals saved",
+            "75.0% of demand",
+            "trees built",
+            "16 cache hits",
+            "parallel batches",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(!text.ends_with('\n'), "no trailing newline");
+        // Zero demand must not divide by zero.
+        let empty = format_kernel_stats(&KernelStats::default());
+        assert!(empty.contains("0.0% of demand"));
     }
 
     #[test]

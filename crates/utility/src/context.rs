@@ -9,12 +9,31 @@
 use std::collections::BTreeSet;
 
 /// The ordered list of executed plans plus a cached-operation index.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecutionContext {
     executed: Vec<Vec<usize>>,
     /// Per bucket, the set of source indices whose operation is cached.
     cached: Vec<BTreeSet<usize>>,
+    /// Monotone modification counter: bumped on every [`record`] and every
+    /// successful [`retract`]. Memoization layers key cached utilities on
+    /// this value so context-sensitive results are invalidated the instant
+    /// the context changes.
+    ///
+    /// [`record`]: ExecutionContext::record
+    /// [`retract`]: ExecutionContext::retract
+    epoch: u64,
 }
+
+/// Equality compares the executed history and cache index only; the epoch
+/// is a modification counter, not part of the context's meaning (a context
+/// that records and then retracts a plan equals its former self).
+impl PartialEq for ExecutionContext {
+    fn eq(&self, other: &Self) -> bool {
+        self.executed == other.executed && self.cached == other.cached
+    }
+}
+
+impl Eq for ExecutionContext {}
 
 impl ExecutionContext {
     /// An empty context: nothing executed, nothing cached.
@@ -32,6 +51,7 @@ impl ExecutionContext {
             self.cached[bucket].insert(index);
         }
         self.executed.push(plan.to_vec());
+        self.epoch += 1;
     }
 
     /// Retracts the most recent occurrence of `plan` from the history — the
@@ -53,7 +73,19 @@ impl ExecutionContext {
                 self.cached[bucket].insert(index);
             }
         }
+        self.epoch += 1;
         true
+    }
+
+    /// The modification epoch: strictly increases on every [`record`] and
+    /// every successful [`retract`]. Two reads returning the same epoch
+    /// bracket a window in which the context did not change, so any
+    /// context-dependent value computed inside the window is still valid.
+    ///
+    /// [`record`]: ExecutionContext::record
+    /// [`retract`]: ExecutionContext::retract
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The executed plans, oldest first.
@@ -130,6 +162,25 @@ mod tests {
         ctx.record(&[4, 2]);
         assert!(ctx.retract(&[4, 2]));
         assert_eq!(ctx, snapshot);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation_but_not_on_noops() {
+        let mut ctx = ExecutionContext::new();
+        assert_eq!(ctx.epoch(), 0);
+        ctx.record(&[1, 2]);
+        assert_eq!(ctx.epoch(), 1);
+        ctx.record(&[3, 4]);
+        assert_eq!(ctx.epoch(), 2);
+        assert!(ctx.retract(&[1, 2]));
+        assert_eq!(ctx.epoch(), 3, "successful retract bumps");
+        assert!(!ctx.retract(&[9, 9]));
+        assert_eq!(ctx.epoch(), 3, "failed retract is a no-op");
+        // Equality ignores the epoch: same content, different history.
+        let mut other = ExecutionContext::new();
+        other.record(&[3, 4]);
+        assert_eq!(ctx, other);
+        assert_ne!(ctx.epoch(), other.epoch());
     }
 
     #[test]

@@ -11,9 +11,14 @@
 use crate::context::ExecutionContext;
 use qpo_catalog::{ProblemInstance, SourceRef};
 use qpo_interval::Interval;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A utility measure `u(p | executed, Q)` over a [`ProblemInstance`].
+///
+/// Measures are `Sync`: the ordering kernel fans pending interval
+/// evaluations out over a scoped thread pool, sharing one `&M` across
+/// workers, so any internal state must be thread-safe (plain data or
+/// atomics — see [`CountingMeasure`]).
 ///
 /// # Soundness contracts
 ///
@@ -38,7 +43,7 @@ use std::cell::Cell;
 ///   `true`, then replacing a source by one with a higher
 ///   [`source_preference`](UtilityMeasure::source_preference) in any plan,
 ///   under any context, must not lower the plan's utility.
-pub trait UtilityMeasure {
+pub trait UtilityMeasure: Sync {
     /// Short identifier used in logs and experiment tables.
     fn name(&self) -> &'static str;
 
@@ -223,10 +228,13 @@ pub fn as_concrete(candidates: &[Vec<usize>]) -> Option<Vec<usize>> {
 
 /// Decorator counting evaluations — the "number of plans evaluated" metric
 /// the paper's discussion of Figure 6 relies on.
+///
+/// Counters are atomic so the decorator stays [`Sync`] and counts remain
+/// exact when the ordering kernel evaluates intervals on worker threads.
 pub struct CountingMeasure<M> {
     inner: M,
-    concrete_evals: Cell<u64>,
-    interval_evals: Cell<u64>,
+    concrete_evals: AtomicU64,
+    interval_evals: AtomicU64,
 }
 
 impl<M: UtilityMeasure> CountingMeasure<M> {
@@ -234,19 +242,19 @@ impl<M: UtilityMeasure> CountingMeasure<M> {
     pub fn new(inner: M) -> Self {
         CountingMeasure {
             inner,
-            concrete_evals: Cell::new(0),
-            interval_evals: Cell::new(0),
+            concrete_evals: AtomicU64::new(0),
+            interval_evals: AtomicU64::new(0),
         }
     }
 
     /// Concrete-plan evaluations so far.
     pub fn concrete_evals(&self) -> u64 {
-        self.concrete_evals.get()
+        self.concrete_evals.load(Ordering::Relaxed)
     }
 
     /// Abstract-plan (interval) evaluations so far.
     pub fn interval_evals(&self) -> u64 {
-        self.interval_evals.get()
+        self.interval_evals.load(Ordering::Relaxed)
     }
 
     /// Total evaluations (the paper counts both: "evaluating an abstract
@@ -258,8 +266,8 @@ impl<M: UtilityMeasure> CountingMeasure<M> {
 
     /// Resets both counters.
     pub fn reset(&self) {
-        self.concrete_evals.set(0);
-        self.interval_evals.set(0);
+        self.concrete_evals.store(0, Ordering::Relaxed);
+        self.interval_evals.store(0, Ordering::Relaxed);
     }
 
     /// The wrapped measure.
@@ -274,7 +282,7 @@ impl<M: UtilityMeasure> UtilityMeasure for CountingMeasure<M> {
     }
 
     fn utility(&self, inst: &ProblemInstance, plan: &[usize], ctx: &ExecutionContext) -> f64 {
-        self.concrete_evals.set(self.concrete_evals.get() + 1);
+        self.concrete_evals.fetch_add(1, Ordering::Relaxed);
         self.inner.utility(inst, plan, ctx)
     }
 
@@ -284,7 +292,7 @@ impl<M: UtilityMeasure> UtilityMeasure for CountingMeasure<M> {
         candidates: &[Vec<usize>],
         ctx: &ExecutionContext,
     ) -> Interval {
-        self.interval_evals.set(self.interval_evals.get() + 1);
+        self.interval_evals.fetch_add(1, Ordering::Relaxed);
         self.inner.utility_interval(inst, candidates, ctx)
     }
 

@@ -104,4 +104,19 @@ fn main() {
     assert!(degraded.failed() > 0 && degraded.executed() > 0);
     assert!(degraded.runtime.answers.len() < full);
     assert!(!degraded.runtime.answers.is_empty());
+
+    // 4. What the ordering itself costs: run iDrips over the same query
+    // and dump the incremental kernel's work counters.
+    let catalog = movie_domain();
+    let reform = reformulate(&catalog, &query).expect("query reformulates");
+    let inst = reform
+        .problem_instance(&catalog, MOVIE_UNIVERSE, 5.0)
+        .expect("instance builds");
+    let mut idrips = IDrips::new(&inst, &Coverage, ByExpectedTuples);
+    let ordered = idrips.order_k(usize::MAX);
+    println!(
+        "\n[4] iDrips ordered all {} plans of the movie query;",
+        ordered.len()
+    );
+    println!("{}", format_kernel_stats(&idrips.kernel_stats()));
 }

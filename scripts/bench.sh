@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Ordering-kernel benchmark: incremental kernel vs the preserved reference
+# loop, with CountingMeasure eval counters and wall-clock per workload.
+# Writes BENCH_ordering.json at the repo root (committed, so future PRs
+# can diff their numbers against this baseline).
+#
+# Usage:
+#   scripts/bench.sh            # full workloads, rewrite BENCH_ordering.json
+#   scripts/bench.sh --smoke    # reduced workloads, no file write; exits
+#                               # non-zero if the >=2x eval-reduction gate
+#                               # fails (CI regression check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p qpo-bench --bin bench-ordering"
+cargo build --release -p qpo-bench --bin bench-ordering
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  echo "==> bench-ordering --smoke"
+  ./target/release/bench-ordering --smoke
+else
+  echo "==> bench-ordering --out BENCH_ordering.json"
+  ./target/release/bench-ordering --out BENCH_ordering.json
+fi

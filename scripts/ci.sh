@@ -15,4 +15,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> ordering-kernel equivalence tests"
+cargo test -q -p qpo-core --test kernel_equivalence
+
+echo "==> ordering-kernel bench smoke (release)"
+bash scripts/bench.sh --smoke
+
 echo "CI gate passed."

@@ -70,15 +70,18 @@ pub mod prelude {
         SourceRef, SourceStats, StatRange,
     };
     pub use qpo_core::{
-        advise, find_best, verify_ordering, AbstractionHeuristic, ByExpectedTuples,
-        ByExtentMidpoint, ByTransmissionCost, Drips, Greedy, IDrips, Naive, OrderedPlan,
-        OrdererError, Pi, PlanOrderer, RandomKey, Streamer,
+        advise, find_best, full_space, reference_find_best, remove_plan, verify_ordering,
+        AbstractionHeuristic, ByExpectedTuples, ByExtentMidpoint, ByTransmissionCost, Drips,
+        Greedy, IDrips, KernelStats, Naive, OrderedPlan, OrdererError, OrderingKernel, Pi,
+        PlanOrderer, PlanSpace, RandomKey, Streamer,
     };
     pub use qpo_datalog::{
         parse_atom, parse_query, Atom, ConjunctiveQuery, Constant, Database, SourceDescription,
         Term,
     };
-    pub use qpo_exec::{ConcurrentRun, Mediator, MediatorRun, StopCondition, Strategy};
+    pub use qpo_exec::{
+        format_kernel_stats, ConcurrentRun, Mediator, MediatorRun, StopCondition, Strategy,
+    };
     pub use qpo_interval::Interval;
     pub use qpo_reformulation::{
         create_buckets, enumerate_sound_plans, minicon_plan_spaces, reformulate, Reformulation,
