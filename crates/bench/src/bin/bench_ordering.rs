@@ -25,6 +25,7 @@
 use qpo_bench::{AlgorithmKind, HeuristicKind, MeasureKind, RunConfig};
 use qpo_core::{IDrips, KernelStats, PlanOrderer};
 use qpo_exec::format_kernel_stats;
+use qpo_obs::{Histogram, HistogramSnapshot};
 use qpo_utility::CountingMeasure;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -276,6 +277,9 @@ struct WorkloadResult {
     reference_evals: u64,
     kernel_cache_hits: u64,
     stats: KernelStats,
+    /// Time-to-k-th-plan profile of the fastest incremental-kernel run:
+    /// one sample per emission, milliseconds since the run started.
+    delay_profile: HistogramSnapshot,
 }
 
 impl WorkloadResult {
@@ -318,12 +322,24 @@ fn run_workload(w: &Workload) -> WorkloadResult {
     let mut reference_evals = 0;
     let mut kernel_cache_hits = 0;
     let mut stats = KernelStats::default();
+    let mut delay_profile = Histogram::detached().snapshot();
     for _ in 0..3 {
         let m = CountingMeasure::new(w.measure.build());
         let mut alg = IDrips::new(&inst, &m, heuristic.build());
+        let per_emission = Histogram::detached();
         let t = Instant::now();
-        fast_seq = alg.order_k(w.k);
-        kernel_millis = kernel_millis.min(t.elapsed().as_secs_f64() * 1e3);
+        let mut seq = Vec::with_capacity(w.k);
+        while seq.len() < w.k {
+            let Some(p) = alg.next_plan() else { break };
+            per_emission.record(t.elapsed().as_secs_f64() * 1e3);
+            seq.push(p);
+        }
+        let elapsed = t.elapsed().as_secs_f64() * 1e3;
+        if elapsed < kernel_millis {
+            kernel_millis = elapsed;
+            delay_profile = per_emission.snapshot();
+        }
+        fast_seq = seq;
         kernel_evals = m.interval_evals();
         stats = alg.kernel_stats();
         kernel_cache_hits = stats.interval_cache_hits;
@@ -370,6 +386,7 @@ fn run_workload(w: &Workload) -> WorkloadResult {
         reference_evals,
         kernel_cache_hits,
         stats,
+        delay_profile,
     }
 }
 
@@ -412,7 +429,22 @@ fn render_json(results: &[WorkloadResult], min_reduction: f64, sweeps_faster: bo
             r.stats.parallel_batches
         );
         let _ = writeln!(s, "      \"eval_reduction\": {:.3},", r.eval_reduction());
-        let _ = writeln!(s, "      \"wall_clock_speedup\": {:.3}", r.speedup());
+        let _ = writeln!(s, "      \"wall_clock_speedup\": {:.3},", r.speedup());
+        // p50/p95 are log2-bucket upper bounds on the time (ms since run
+        // start) at which the k-th plan of the fastest run was emitted.
+        let quantile = |q: f64| {
+            r.delay_profile
+                .quantile(q)
+                .map_or_else(|| "null".into(), |v| format!("{v:.6}"))
+        };
+        let _ = writeln!(
+            s,
+            "      \"delay_profile\": {{ \"unit\": \"ms\", \"samples\": {}, \
+             \"p50_time_to_kth_plan\": {}, \"p95_time_to_kth_plan\": {} }}",
+            r.delay_profile.count,
+            quantile(0.5),
+            quantile(0.95)
+        );
         let _ = writeln!(s, "    }}{comma}");
     }
     let _ = writeln!(s, "  ],");

@@ -1,0 +1,41 @@
+//! CI gate for trace journals: parse a JSONL trace and check its spans.
+//!
+//! Usage: `trace-validate <trace.jsonl>`
+//!
+//! Runs [`qpo_obs::validate_trace`] over the file — every line must parse
+//! as a JSON object with contiguous `seq`, a numeric (or null) `clock`,
+//! and a string `kind`; plan-lifecycle spans must open and close exactly
+//! once. Exits non-zero (with the validator's message) on any violation,
+//! including unbalanced spans. On success prints the event total and the
+//! per-kind counts, so the CI log doubles as a trace digest.
+
+use qpo_obs::validate_trace;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: trace-validate <trace.jsonl>");
+        std::process::exit(2);
+    });
+    let jsonl = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace-validate: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    let report = validate_trace(&jsonl).unwrap_or_else(|e| {
+        eprintln!("trace-validate: {path}: {e}");
+        std::process::exit(1);
+    });
+    if report.spans_opened != report.spans_closed {
+        eprintln!(
+            "trace-validate: {path}: {} plan spans opened but {} closed",
+            report.spans_opened, report.spans_closed
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "{path}: {} events, {} plan spans (all closed)",
+        report.events, report.spans_opened
+    );
+    for (kind, n) in &report.counts {
+        println!("  {kind:<24} {n}");
+    }
+}

@@ -60,6 +60,14 @@ impl<'a, M: UtilityMeasure + ?Sized, H: AbstractionHeuristic> IDrips<'a, M, H> {
         self
     }
 
+    /// Wires the underlying kernel to a shared observability bundle: its
+    /// `qpo_kernel_*` counters land on `obs.registry` and its refinement /
+    /// elimination / champion / cache events go to `obs.journal`.
+    pub fn with_obs(mut self, obs: &qpo_obs::Obs) -> Self {
+        self.kernel = std::mem::take(&mut self.kernel).with_obs(obs);
+        self
+    }
+
     /// Counter snapshot from the incremental kernel (all zeros when the
     /// reference kernel drives this orderer).
     pub fn kernel_stats(&self) -> KernelStats {

@@ -37,6 +37,7 @@ use crate::drips::DripsOutcome;
 use crate::planspace::PlanSpace;
 use qpo_catalog::ProblemInstance;
 use qpo_interval::Interval;
+use qpo_obs::{Counter, Histogram, Obs, TraceJournal, Value};
 use qpo_utility::{as_concrete, ExecutionContext, UtilityMeasure};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -45,6 +46,11 @@ use std::sync::Arc;
 /// Counters the kernel accumulates across [`OrderingKernel::find_best`]
 /// calls. All counters are monotone; snapshot via [`OrderingKernel::stats`]
 /// and diff to meter a single call.
+///
+/// Since the telemetry layer landed this is a *view*: the live cells are
+/// `qpo_kernel_*_total` counters (on the kernel's own registry, or a
+/// shared one after [`OrderingKernel::with_obs`]), and this struct is
+/// materialized from them on demand.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Search rounds executed (evaluate → eliminate → refine).
@@ -75,6 +81,61 @@ impl KernelStats {
     /// than it would have been without the memo table.
     pub fn evals_saved(&self) -> u64 {
         self.interval_cache_hits
+    }
+}
+
+/// Live metric handles behind [`KernelStats`], plus the interval-width
+/// histogram. Registered on a private registry by default so a bare
+/// kernel still counts; [`OrderingKernel::with_obs`] re-homes them onto a
+/// shared registry.
+#[derive(Debug, Clone)]
+struct KernelMetrics {
+    rounds: Counter,
+    refinements: Counter,
+    dominance_checks: Counter,
+    eliminations: Counter,
+    champion_sweeps: Counter,
+    interval_evals: Counter,
+    interval_cache_hits: Counter,
+    tree_builds: Counter,
+    tree_cache_hits: Counter,
+    parallel_batches: Counter,
+    /// Width (`hi − lo`) of every freshly evaluated utility interval — how
+    /// abstract the plans the kernel actually touches are.
+    interval_width: Histogram,
+}
+
+impl KernelMetrics {
+    fn registered(obs: &Obs) -> Self {
+        let c = |name| obs.registry.counter(name, &[]);
+        KernelMetrics {
+            rounds: c("qpo_kernel_rounds_total"),
+            refinements: c("qpo_kernel_refinements_total"),
+            dominance_checks: c("qpo_kernel_dominance_checks_total"),
+            eliminations: c("qpo_kernel_eliminations_total"),
+            champion_sweeps: c("qpo_kernel_champion_sweeps_total"),
+            interval_evals: c("qpo_kernel_interval_evals_total"),
+            interval_cache_hits: c("qpo_kernel_interval_cache_hits_total"),
+            tree_builds: c("qpo_kernel_tree_builds_total"),
+            tree_cache_hits: c("qpo_kernel_tree_cache_hits_total"),
+            parallel_batches: c("qpo_kernel_parallel_batches_total"),
+            interval_width: obs.registry.histogram("qpo_kernel_interval_width", &[]),
+        }
+    }
+
+    fn stats(&self) -> KernelStats {
+        KernelStats {
+            rounds: self.rounds.get(),
+            refinements: self.refinements.get(),
+            dominance_checks: self.dominance_checks.get(),
+            eliminations: self.eliminations.get(),
+            champion_sweeps: self.champion_sweeps.get(),
+            interval_evals: self.interval_evals.get(),
+            interval_cache_hits: self.interval_cache_hits.get(),
+            tree_builds: self.tree_builds.get(),
+            tree_cache_hits: self.tree_cache_hits.get(),
+            parallel_batches: self.parallel_batches.get(),
+        }
     }
 }
 
@@ -177,7 +238,8 @@ pub struct OrderingKernel {
     /// Epoch the interval memo table is valid for (context-dependent
     /// measures only; `None` until the first call).
     cache_epoch: Option<u64>,
-    stats: KernelStats,
+    metrics: KernelMetrics,
+    journal: TraceJournal,
     max_workers: usize,
     parallel_threshold: usize,
 }
@@ -196,10 +258,20 @@ impl OrderingKernel {
             trees: HashMap::new(),
             intervals: HashMap::new(),
             cache_epoch: None,
-            stats: KernelStats::default(),
+            metrics: KernelMetrics::registered(&Obs::new()),
+            journal: TraceJournal::default(),
             max_workers: cores.min(8),
             parallel_threshold: 32,
         }
+    }
+
+    /// Re-homes the kernel's counters onto a shared registry and adopts
+    /// its trace journal. Call right after construction — previously
+    /// accumulated counts stay behind on the private cells.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.metrics = KernelMetrics::registered(obs);
+        self.journal = obs.journal.clone();
+        self
     }
 
     /// Caps the evaluation worker pool (1 disables parallel evaluation).
@@ -216,7 +288,7 @@ impl OrderingKernel {
 
     /// Snapshot of the accumulated counters.
     pub fn stats(&self) -> KernelStats {
-        self.stats
+        self.metrics.stats()
     }
 
     /// Drops both caches (keeps the stats). Callers never *need* this for
@@ -241,10 +313,19 @@ impl OrderingKernel {
         heuristic: &H,
     ) -> Arc<AbstractionTree> {
         if let Some(t) = self.trees.get(&(bucket, cands.to_vec())) {
-            self.stats.tree_cache_hits += 1;
+            self.metrics.tree_cache_hits.inc();
+            if self.journal.is_enabled() {
+                self.journal.record(
+                    "kernel_cache_hit",
+                    vec![
+                        ("cache", Value::Str("tree".into())),
+                        ("bucket", Value::U64(bucket as u64)),
+                    ],
+                );
+            }
             return Arc::clone(t);
         }
-        self.stats.tree_builds += 1;
+        self.metrics.tree_builds.inc();
         let t = Arc::new(AbstractionTree::build(inst, bucket, cands, heuristic));
         self.trees.insert((bucket, cands.to_vec()), Arc::clone(&t));
         t
@@ -311,7 +392,7 @@ impl OrderingKernel {
         let mut refinements = 0usize;
 
         loop {
-            self.stats.rounds += 1;
+            self.metrics.rounds.inc();
             // (a) evaluate pending utilities (memoized, possibly parallel).
             self.evaluate(inst, measure, ctx, &mut plans, &pending);
             for &id in &pending {
@@ -355,12 +436,21 @@ impl OrderingKernel {
             let champ_u = plans[champ].utility.expect("champion is evaluated");
             if prev != champion {
                 // New champion: its reach is unknown, sweep everything.
-                self.stats.champion_sweeps += 1;
+                self.metrics.champion_sweeps.inc();
+                if self.journal.is_enabled() {
+                    self.journal.record(
+                        "kernel_champion_change",
+                        vec![
+                            ("plan_id", Value::U64(champ as u64)),
+                            ("lower_bound", Value::F64(champ_u.lo())),
+                        ],
+                    );
+                }
                 for id in 0..plans.len() {
                     if id == champ || !plans[id].alive {
                         continue;
                     }
-                    self.stats.dominance_checks += 1;
+                    self.metrics.dominance_checks.inc();
                     let uq = plans[id].utility.expect("alive plans are evaluated");
                     if eliminates((champ_u, champ), (uq, id)) {
                         self.kill(&mut plans, id);
@@ -373,7 +463,7 @@ impl OrderingKernel {
                     if id == champ || !plans[id].alive {
                         continue;
                     }
-                    self.stats.dominance_checks += 1;
+                    self.metrics.dominance_checks.inc();
                     let uq = plans[id].utility.expect("evaluated above");
                     if eliminates((champ_u, champ), (uq, id)) {
                         self.kill(&mut plans, id);
@@ -403,7 +493,16 @@ impl OrderingKernel {
                 });
             };
             refinements += 1;
-            self.stats.refinements += 1;
+            self.metrics.refinements.inc();
+            if self.journal.is_enabled() {
+                self.journal.record(
+                    "kernel_refinement",
+                    vec![
+                        ("plan_id", Value::U64(target_id as u64)),
+                        ("space", Value::U64(plans[target_id].space as u64)),
+                    ],
+                );
+            }
             // Split the widest abstract bucket: replace its node by the
             // children, one child plan each.
             let parent = std::mem::replace(
@@ -442,7 +541,13 @@ impl OrderingKernel {
     }
 
     fn kill(&mut self, plans: &mut [PoolPlan], id: usize) {
-        self.stats.eliminations += 1;
+        self.metrics.eliminations.inc();
+        if self.journal.is_enabled() {
+            self.journal.record(
+                "kernel_elimination",
+                vec![("plan_id", Value::U64(id as u64))],
+            );
+        }
         let p = &mut plans[id];
         p.alive = false;
         // Dead plans are only ever read for their (utility, id) pair;
@@ -466,13 +571,22 @@ impl OrderingKernel {
         let mut misses: Vec<usize> = Vec::with_capacity(pending.len());
         for &id in pending {
             if let Some(&iv) = self.intervals.get(&plans[id].cands) {
-                self.stats.interval_cache_hits += 1;
+                self.metrics.interval_cache_hits.inc();
+                if self.journal.is_enabled() {
+                    self.journal.record(
+                        "kernel_cache_hit",
+                        vec![
+                            ("cache", Value::Str("interval".into())),
+                            ("plan_id", Value::U64(id as u64)),
+                        ],
+                    );
+                }
                 plans[id].utility = Some(iv);
             } else {
                 misses.push(id);
             }
         }
-        self.stats.interval_evals += misses.len() as u64;
+        self.metrics.interval_evals.add(misses.len() as u64);
 
         // Fan out only for wide batches on a multi-worker budget; aim for
         // ≥8 evaluations per worker so thread setup amortizes, but never
@@ -481,7 +595,7 @@ impl OrderingKernel {
         let results: Vec<(usize, Interval)> =
             if misses.len() >= self.parallel_threshold && self.max_workers > 1 {
                 let workers = self.max_workers.min(misses.len().div_ceil(8)).max(2);
-                self.stats.parallel_batches += 1;
+                self.metrics.parallel_batches.inc();
                 let chunk = misses.len().div_ceil(workers);
                 let shared: &[PoolPlan] = plans;
                 crossbeam::thread::scope(|s| {
@@ -511,6 +625,7 @@ impl OrderingKernel {
             };
 
         for (id, iv) in results {
+            self.metrics.interval_width.record(iv.hi() - iv.lo());
             plans[id].utility = Some(iv);
             self.intervals.insert(plans[id].cands.clone(), iv);
         }

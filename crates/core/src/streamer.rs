@@ -17,10 +17,15 @@ use crate::abstraction::{AbstractionHeuristic, AbstractionTree, NodeId};
 use crate::orderer::{OrderedPlan, OrdererError, PlanOrderer};
 use qpo_catalog::ProblemInstance;
 use qpo_interval::Interval;
+use qpo_obs::{Counter, Obs};
 use qpo_utility::{as_concrete, ExecutionContext, UtilityMeasure};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Work counters exposed for the experiments.
+///
+/// A view over the live `qpo_streamer_*_total` counters — on the
+/// orderer's own registry by default, on a shared one after
+/// [`Streamer::with_obs`] — materialized by [`Streamer::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamerStats {
     /// Refinements of abstract plans (Step 2.c).
@@ -33,6 +38,39 @@ pub struct StreamerStats {
     pub links_invalidated: usize,
     /// Utility (re)computations (Step 2.a).
     pub utility_recomputations: usize,
+}
+
+/// Live metric handles behind [`StreamerStats`].
+#[derive(Debug, Clone)]
+struct StreamerMetrics {
+    refinements: Counter,
+    links_created: Counter,
+    links_recycled: Counter,
+    links_invalidated: Counter,
+    utility_recomputations: Counter,
+}
+
+impl StreamerMetrics {
+    fn registered(obs: &Obs) -> Self {
+        let c = |name| obs.registry.counter(name, &[]);
+        StreamerMetrics {
+            refinements: c("qpo_streamer_refinements_total"),
+            links_created: c("qpo_streamer_links_created_total"),
+            links_recycled: c("qpo_streamer_links_recycled_total"),
+            links_invalidated: c("qpo_streamer_links_invalidated_total"),
+            utility_recomputations: c("qpo_streamer_utility_recomputations_total"),
+        }
+    }
+
+    fn stats(&self) -> StreamerStats {
+        StreamerStats {
+            refinements: self.refinements.get() as usize,
+            links_created: self.links_created.get() as usize,
+            links_recycled: self.links_recycled.get() as usize,
+            links_invalidated: self.links_invalidated.get() as usize,
+            utility_recomputations: self.utility_recomputations.get() as usize,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -70,7 +108,7 @@ pub struct Streamer<'a, M: UtilityMeasure + ?Sized> {
     /// `(from, to)` index over `links`, for O(log L) duplicate checks.
     link_set: BTreeSet<(usize, usize)>,
     next_id: usize,
-    stats: StreamerStats,
+    metrics: StreamerMetrics,
 }
 
 impl<'a, M: UtilityMeasure + ?Sized> Streamer<'a, M> {
@@ -117,13 +155,20 @@ impl<'a, M: UtilityMeasure + ?Sized> Streamer<'a, M> {
             links: Vec::new(),
             link_set: BTreeSet::new(),
             next_id: 1,
-            stats: StreamerStats::default(),
+            metrics: StreamerMetrics::registered(&Obs::new()),
         })
+    }
+
+    /// Re-homes the orderer's counters onto a shared registry. Call right
+    /// after construction — previously accumulated counts stay behind.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.metrics = StreamerMetrics::registered(obs);
+        self
     }
 
     /// Work counters.
     pub fn stats(&self) -> StreamerStats {
-        self.stats
+        self.metrics.stats()
     }
 
     /// Current dominance-graph size (nodes, links).
@@ -217,7 +262,7 @@ impl<'a, M: UtilityMeasure + ?Sized> Streamer<'a, M> {
             );
             self.next_id += 1;
         }
-        self.stats.refinements += 1;
+        self.metrics.refinements.inc();
     }
 }
 
@@ -241,7 +286,7 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
                         &node.cands,
                         &self.ctx,
                     ));
-                    self.stats.utility_recomputations += 1;
+                    self.metrics.utility_recomputations.inc();
                 }
             }
             // Step 2.b: create dominance links among nondominated pairs.
@@ -277,7 +322,7 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
                     });
                     self.link_set.insert((b, c));
                     dominated_now.insert(c);
-                    self.stats.links_created += 1;
+                    self.metrics.links_created.inc();
                 }
             }
             // Step 2.c: refine an abstract nondominated plan, if any (the
@@ -338,10 +383,10 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
                         .exists_independent(self.inst, &q.cands, &link.removed)
                 };
                 if valid {
-                    self.stats.links_recycled += 1;
+                    self.metrics.links_recycled.inc();
                     kept.push(link);
                 } else {
-                    self.stats.links_invalidated += 1;
+                    self.metrics.links_invalidated.inc();
                     self.link_set.remove(&(link.from, link.to));
                 }
             }

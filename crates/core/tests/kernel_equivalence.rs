@@ -174,6 +174,33 @@ fn caches_save_evaluations_without_changing_results() {
 }
 
 #[test]
+fn instrumentation_does_not_change_emissions() {
+    // Full qpo-obs instrumentation — shared registry *and* an enabled
+    // trace journal — must be observationally invisible: bit-for-bit the
+    // same emissions as an uninstrumented run, for every measure.
+    let obs = qpo_obs::Obs::with_trace();
+    for seed in [0u64, 23] {
+        let inst = GeneratorConfig::new(3, 4).with_seed(seed).build();
+        for (name, m) in all_measures() {
+            let plain = IDrips::new(&inst, m.as_ref(), ByExpectedTuples).order_k(usize::MAX);
+            let traced = IDrips::new(&inst, m.as_ref(), ByExpectedTuples)
+                .with_obs(&obs)
+                .order_k(usize::MAX);
+            assert_same_sequence(
+                &format!("seed {seed}, instrumented {name}"),
+                &traced,
+                &plain,
+            );
+        }
+    }
+    assert!(!obs.journal.is_empty(), "kernel events were journalled");
+    assert!(
+        obs.registry.counter_total("qpo_kernel_rounds_total") > 0,
+        "kernel counters landed on the shared registry"
+    );
+}
+
+#[test]
 fn context_sensitive_measures_reevaluate_on_every_epoch() {
     // The caching FailureCost's intervals depend on the executed history;
     // after each emission records a plan, the memo table must be cold.

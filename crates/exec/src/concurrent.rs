@@ -15,8 +15,9 @@
 //!   carries on, so a permanently-down source costs exactly the answers
 //!   only it could deliver.
 
-use crate::mediator::{build_orderer, Mediator, MediatorError, StopCondition, Strategy};
+use crate::mediator::{build_orderer_observed, Mediator, MediatorError, StopCondition, Strategy};
 use qpo_datalog::{is_sound_plan, ConjunctiveQuery, Database, SourceDescription, Tuple};
+use qpo_obs::Obs;
 use qpo_reformulation::Reformulation;
 use qpo_runtime::{
     Executor, PlanEvaluator, RunBudget, RuntimePolicy, RuntimeRun, SourceGrid, SourceHealth,
@@ -108,15 +109,40 @@ impl Mediator {
         stop: StopCondition,
         policy: RuntimePolicy,
     ) -> Result<ConcurrentRun, MediatorError> {
+        self.run_concurrent_observed(query, measure, strategy, stop, policy, &Obs::new())
+    }
+
+    /// [`Mediator::run_concurrent`] with a shared observability bundle:
+    /// the ordering kernel's counters and the runtime's metrics land on
+    /// `obs.registry`, and — when `obs.journal` is enabled — the run
+    /// appends a deterministic plan-lifecycle trace (see
+    /// [`qpo_runtime::Executor::run`] for the clock contract).
+    pub fn run_concurrent_observed<M: UtilityMeasure>(
+        &self,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        stop: StopCondition,
+        policy: RuntimePolicy,
+        obs: &Obs,
+    ) -> Result<ConcurrentRun, MediatorError> {
         let (reform, inst) = self.reformulation(query)?;
-        let mut orderer = build_orderer(&inst, measure, strategy)?;
+        let mut orderer = build_orderer_observed(&inst, measure, strategy, obs)?;
+        obs.registry
+            .counter(
+                "qpo_mediator_runs_total",
+                &[("orderer", orderer.algorithm_name())],
+            )
+            .inc();
         let grid = SourceGrid::from_instance(&inst);
         let eval = MediatorEvaluator {
             reform: &reform,
             db: self.database(),
             view_map: self.catalog().view_map(),
         };
-        let runtime = Executor::new(&grid, &eval, policy).run(orderer.as_mut(), stop.into());
+        let runtime = Executor::new(&grid, &eval, policy)
+            .with_obs(obs)
+            .run(orderer.as_mut(), stop.into());
         let mut health = SourceHealth::new();
         health.record_run(&runtime.reports);
         Ok(ConcurrentRun { runtime, health })

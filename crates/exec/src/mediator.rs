@@ -154,11 +154,25 @@ pub(crate) fn build_orderer<'a, M: UtilityMeasure>(
     measure: &'a M,
     strategy: Strategy,
 ) -> Result<Box<dyn PlanOrderer + 'a>, MediatorError> {
+    build_orderer_observed(inst, measure, strategy, &qpo_obs::Obs::new())
+}
+
+/// [`build_orderer`] with a shared observability bundle: the orderers that
+/// carry telemetry (iDrips' kernel, Streamer's link counters) register on
+/// `obs` instead of their private cells.
+pub(crate) fn build_orderer_observed<'a, M: UtilityMeasure>(
+    inst: &'a qpo_catalog::ProblemInstance,
+    measure: &'a M,
+    strategy: Strategy,
+    obs: &qpo_obs::Obs,
+) -> Result<Box<dyn PlanOrderer + 'a>, MediatorError> {
     Ok(match strategy {
         Strategy::Greedy => Box::new(Greedy::new(inst, measure).map_err(MediatorError::Orderer)?),
-        Strategy::IDrips => Box::new(IDrips::new(inst, measure, ByExpectedTuples)),
+        Strategy::IDrips => Box::new(IDrips::new(inst, measure, ByExpectedTuples).with_obs(obs)),
         Strategy::Streamer => Box::new(
-            Streamer::new(inst, measure, &ByExpectedTuples).map_err(MediatorError::Orderer)?,
+            Streamer::new(inst, measure, &ByExpectedTuples)
+                .map_err(MediatorError::Orderer)?
+                .with_obs(obs),
         ),
         Strategy::Pi => Box::new(Pi::new(inst, measure)),
     })

@@ -1,0 +1,156 @@
+//! Contracts of the qpo-obs trace journal on the concurrent runtime:
+//!
+//! 1. **Determinism** — the journal runs on the executor's *serial*
+//!    virtual clock (plan latencies summed in emission order), so with a
+//!    fixed fault seed and a pinned lookahead the JSONL trace is
+//!    byte-for-byte identical under any worker count. (Lookahead must be
+//!    pinned because it changes *which* plans are emitted — run
+//!    semantics, not scheduling.)
+//! 2. **Reconciliation** — per-kind event counts in the validated trace
+//!    equal the metrics registry's counters for the same run: attempts,
+//!    executed/failed/unsound plans, retractions.
+//! 3. **Balance** — every plan span opened by `plan_emitted` is closed by
+//!    exactly one of `plan_completed|plan_failed|plan_unsound`.
+
+use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+use qpo_exec::{Mediator, StopCondition, Strategy};
+use qpo_obs::{validate_trace, Obs};
+use qpo_runtime::{FaultConfig, RetryPolicy, RuntimePolicy};
+use qpo_utility::Coverage;
+
+fn mediator() -> Mediator {
+    Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"])
+}
+
+/// A flaky run (transient failures + retries + one permanent failure) on
+/// `workers` threads, traced on a fresh bundle.
+fn traced_run(workers: usize) -> Obs {
+    let obs = Obs::with_trace();
+    let policy = RuntimePolicy::parallel(workers)
+        .with_lookahead(3)
+        .with_faults(
+            FaultConfig::with_seed(2002)
+                .with_extra_transient_rate(0.35)
+                .with_source_down("v1"),
+        )
+        .with_retry(RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::standard()
+        });
+    mediator()
+        .run_concurrent_observed(
+            &movie_query(),
+            &Coverage,
+            Strategy::Pi,
+            StopCondition::unbounded(),
+            policy,
+            &obs,
+        )
+        .unwrap();
+    obs
+}
+
+#[test]
+fn jsonl_trace_is_byte_identical_across_worker_counts() {
+    let traces: Vec<String> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| traced_run(w).journal.to_jsonl())
+        .collect();
+    assert!(!traces[0].is_empty(), "the journal actually recorded");
+    assert!(
+        traces[0].contains("plan_failed"),
+        "the scenario exercises failures"
+    );
+    assert_eq!(traces[0], traces[1], "1 worker vs 4");
+    assert_eq!(traces[1], traces[2], "4 workers vs 8");
+}
+
+#[test]
+fn trace_validates_and_spans_balance() {
+    let obs = traced_run(4);
+    let jsonl = obs.journal.to_jsonl();
+    let report = validate_trace(&jsonl).expect("structurally sound trace");
+    assert_eq!(report.events as usize, jsonl.lines().count());
+    assert_eq!(
+        report.spans_opened, report.spans_closed,
+        "every emitted plan reaches a terminal event"
+    );
+    assert_eq!(
+        report.spans_opened,
+        report.count("plan_emitted"),
+        "one span per emission"
+    );
+    assert_eq!(
+        report.spans_closed,
+        report.count("plan_completed") + report.count("plan_failed") + report.count("plan_unsound")
+    );
+    // Retraction is an annotation on failed plans, never a span closer.
+    assert_eq!(report.count("plan_retracted"), report.count("plan_failed"));
+}
+
+#[test]
+fn trace_counts_reconcile_with_registry_counters() {
+    let obs = traced_run(4);
+    let report = validate_trace(&obs.journal.to_jsonl()).unwrap();
+    let reg = &obs.registry;
+    assert_eq!(
+        report.count("source_attempt"),
+        reg.counter_value("qpo_runtime_attempts_total", &[]),
+        "every attempt is journalled exactly once"
+    );
+    assert_eq!(
+        report.count("plan_completed"),
+        reg.counter_value("qpo_runtime_plans_total", &[("status", "executed")])
+    );
+    assert_eq!(
+        report.count("plan_failed"),
+        reg.counter_value("qpo_runtime_plans_total", &[("status", "failed")])
+    );
+    assert_eq!(
+        report.count("plan_unsound"),
+        reg.counter_value("qpo_runtime_plans_total", &[("status", "unsound")])
+    );
+    assert_eq!(
+        report.count("plan_emitted"),
+        reg.counter_total("qpo_runtime_plans_total"),
+        "emissions equal terminal outcomes, summed over statuses"
+    );
+    // Transient failures are attempts whose outcome was not ok/permanent.
+    assert!(reg.counter_value("qpo_runtime_transient_failures_total", &[]) > 0);
+}
+
+#[test]
+fn disabled_journal_changes_nothing_and_records_nothing() {
+    let obs = Obs::new();
+    let traced = traced_run(4);
+    mediator()
+        .run_concurrent_observed(
+            &movie_query(),
+            &Coverage,
+            Strategy::Pi,
+            StopCondition::unbounded(),
+            RuntimePolicy::parallel(4)
+                .with_lookahead(3)
+                .with_faults(
+                    FaultConfig::with_seed(2002)
+                        .with_extra_transient_rate(0.35)
+                        .with_source_down("v1"),
+                )
+                .with_retry(RetryPolicy {
+                    max_attempts: 2,
+                    ..RetryPolicy::standard()
+                }),
+            &obs,
+        )
+        .unwrap();
+    assert!(obs.journal.is_empty(), "journal off records nothing");
+    // Metrics still land, and agree with the traced run's.
+    assert_eq!(
+        obs.registry
+            .counter_value("qpo_runtime_attempts_total", &[]),
+        traced
+            .registry
+            .counter_value("qpo_runtime_attempts_total", &[]),
+        "tracing does not perturb the run"
+    );
+}

@@ -1,0 +1,479 @@
+//! The structured event journal: plan-lifecycle spans and kernel events,
+//! timestamped by the executor's *virtual clock*.
+//!
+//! Every event carries the virtual time at which it logically happened,
+//! not the wall time at which some worker thread got around to reporting
+//! it. Because the runtime's virtual clock is a pure function of
+//! `(seed, sources, plan order)`, the serialized journal is bit-for-bit
+//! identical under any worker count — the fixed-seed-replay guarantee,
+//! extended to the trace itself.
+//!
+//! A disabled journal (the default) makes [`TraceJournal::record`] a
+//! no-op guarded by one immutable bool, so instrumented hot paths cost
+//! nothing when tracing is off.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::json::{parse_json, Json};
+
+/// A field value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (sequence numbers, counts).
+    U64(u64),
+    /// Floating point (latencies, utilities, clock offsets).
+    F64(f64),
+    /// Short string (source names, outcomes).
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+/// One journal entry: a kind, the virtual time it happened at, and a
+/// small set of fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Position in the journal (contiguous from 0).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub clock: f64,
+    /// Event kind (`plan_emitted`, `source_attempt`, `kernel_refinement`, …).
+    pub kind: &'static str,
+    /// Event fields, serialized in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Event kinds that open a plan-lifecycle span.
+pub const SPAN_OPEN_KINDS: &[&str] = &["plan_emitted"];
+/// Event kinds that close a plan-lifecycle span. `plan_retracted` is an
+/// annotation *after* a failure, not a closer.
+pub const SPAN_CLOSE_KINDS: &[&str] = &["plan_completed", "plan_failed", "plan_unsound"];
+
+#[derive(Debug, Default)]
+struct JournalInner {
+    clock: f64,
+    events: Vec<TraceEvent>,
+}
+
+/// An append-only, virtually-clocked event journal. Cloning shares the
+/// buffer; whether the journal records at all is fixed at construction.
+#[derive(Debug, Clone, Default)]
+pub struct TraceJournal {
+    recording: bool,
+    inner: Arc<Mutex<JournalInner>>,
+}
+
+impl TraceJournal {
+    /// A journal that records. (`TraceJournal::default()` is disabled and
+    /// drops everything.)
+    pub fn enabled() -> Self {
+        TraceJournal {
+            recording: true,
+            inner: Arc::default(),
+        }
+    }
+
+    /// Whether [`record`](Self::record) stores anything. Checking this is
+    /// free — callers use it to skip building field vectors entirely.
+    pub fn is_enabled(&self) -> bool {
+        self.recording
+    }
+
+    /// Sets the virtual clock used by subsequent [`record`](Self::record)
+    /// calls.
+    pub fn set_clock(&self, t: f64) {
+        if !self.recording {
+            return;
+        }
+        self.inner
+            .lock()
+            .expect("journal lock never poisoned")
+            .clock = t;
+    }
+
+    /// Current virtual clock (0 when disabled).
+    pub fn clock(&self) -> f64 {
+        if !self.recording {
+            return 0.0;
+        }
+        self.inner
+            .lock()
+            .expect("journal lock never poisoned")
+            .clock
+    }
+
+    /// Appends an event at the current virtual clock.
+    pub fn record(&self, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        if !self.recording {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("journal lock never poisoned");
+        let clock = inner.clock;
+        let seq = inner.events.len() as u64;
+        inner.events.push(TraceEvent {
+            seq,
+            clock,
+            kind,
+            fields,
+        });
+    }
+
+    /// Appends an event at an explicit virtual time (does not move the
+    /// clock).
+    pub fn record_at(&self, clock: f64, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        if !self.recording {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("journal lock never poisoned");
+        let seq = inner.events.len() as u64;
+        inner.events.push(TraceEvent {
+            seq,
+            clock,
+            kind,
+            fields,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        if !self.recording {
+            return 0;
+        }
+        self.inner
+            .lock()
+            .expect("journal lock never poisoned")
+            .events
+            .len()
+    }
+
+    /// True when nothing has been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies of all events, in order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        if !self.recording {
+            return Vec::new();
+        }
+        self.inner
+            .lock()
+            .expect("journal lock never poisoned")
+            .events
+            .clone()
+    }
+
+    /// Serializes the journal as JSON Lines: one object per event with
+    /// reserved keys `seq`, `clock`, `kind`, then the event's own fields.
+    /// Non-finite numbers render as `null`. The rendering is a pure
+    /// function of the event list, so deterministic journals serialize to
+    /// byte-identical text.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push('{');
+            let _ = write!(out, "\"seq\":{}", ev.seq);
+            out.push_str(",\"clock\":");
+            push_f64(&mut out, ev.clock);
+            let _ = write!(out, ",\"kind\":");
+            push_str(&mut out, ev.kind);
+            for (k, v) in &ev.fields {
+                out.push(',');
+                push_str(&mut out, k);
+                out.push(':');
+                match v {
+                    Value::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    Value::F64(x) => push_f64(&mut out, *x),
+                    Value::Str(s) => push_str(&mut out, s),
+                    Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// What [`validate_trace`] found in a structurally sound trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Total event lines.
+    pub events: u64,
+    /// Events per kind, sorted by kind.
+    pub counts: BTreeMap<String, u64>,
+    /// Plan-lifecycle spans opened (`plan_emitted`).
+    pub spans_opened: u64,
+    /// Plan-lifecycle spans closed (`plan_completed|plan_failed|plan_unsound`).
+    pub spans_closed: u64,
+}
+
+impl TraceReport {
+    /// Count for one event kind (0 when absent).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpanState {
+    Open,
+    Closed,
+}
+
+/// Checks a JSONL trace for structural soundness: every line parses as an
+/// object carrying `seq`/`clock`/`kind`, `seq` is contiguous from 0, and
+/// plan-lifecycle spans open before they close (no double-open, no
+/// double-close, no close without open). `plan_seq` restarts at 0 on each
+/// `run_started` marker, so spans are keyed by (run, plan); a journal may
+/// accumulate any number of runs. Returns per-kind counts and the
+/// open/close tally; callers asserting balance compare
+/// [`TraceReport::spans_opened`] with [`TraceReport::spans_closed`].
+pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
+    let mut report = TraceReport::default();
+    let mut spans: BTreeMap<(u64, u64), SpanState> = BTreeMap::new();
+    let mut run: u64 = 0;
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let obj = match parse_json(line) {
+            Ok(Json::Object(pairs)) => pairs,
+            Ok(other) => {
+                return Err(format!(
+                    "line {}: expected object, got {other:?}",
+                    lineno + 1
+                ))
+            }
+            Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+        };
+        let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let seq = match get("seq") {
+            Some(Json::Number(n)) => *n as u64,
+            _ => return Err(format!("line {}: missing numeric \"seq\"", lineno + 1)),
+        };
+        if seq != report.events {
+            return Err(format!(
+                "line {}: seq {} breaks contiguity (expected {})",
+                lineno + 1,
+                seq,
+                report.events
+            ));
+        }
+        if !matches!(get("clock"), Some(Json::Number(_)) | Some(Json::Null)) {
+            return Err(format!("line {}: missing numeric \"clock\"", lineno + 1));
+        }
+        let kind = match get("kind") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(format!("line {}: missing string \"kind\"", lineno + 1)),
+        };
+        report.events += 1;
+        *report.counts.entry(kind.clone()).or_insert(0) += 1;
+        if kind == "run_started" {
+            run += 1;
+        }
+
+        let is_open = SPAN_OPEN_KINDS.contains(&kind.as_str());
+        let is_close = SPAN_CLOSE_KINDS.contains(&kind.as_str());
+        if is_open || is_close {
+            let plan = match get("plan_seq") {
+                Some(Json::Number(n)) => *n as u64,
+                _ => {
+                    return Err(format!(
+                        "line {}: lifecycle event \"{kind}\" missing \"plan_seq\"",
+                        lineno + 1
+                    ))
+                }
+            };
+            if is_open {
+                match spans.entry((run, plan)) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(SpanState::Open);
+                        report.spans_opened += 1;
+                    }
+                    Entry::Occupied(_) => {
+                        return Err(format!("line {}: plan {plan} emitted twice", lineno + 1))
+                    }
+                }
+            } else {
+                match spans.get_mut(&(run, plan)) {
+                    Some(state @ SpanState::Open) => {
+                        *state = SpanState::Closed;
+                        report.spans_closed += 1;
+                    }
+                    Some(SpanState::Closed) => {
+                        return Err(format!(
+                            "line {}: plan {plan} closed twice (\"{kind}\")",
+                            lineno + 1
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {}: \"{kind}\" for plan {plan} with no prior emission",
+                            lineno + 1
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_drops_everything_for_free() {
+        let j = TraceJournal::default();
+        assert!(!j.is_enabled());
+        j.set_clock(5.0);
+        j.record("plan_emitted", vec![("plan_seq", Value::U64(0))]);
+        assert!(j.is_empty());
+        assert_eq!(j.to_jsonl(), "");
+        assert_eq!(j.clock(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_the_buffer_and_the_clock() {
+        let a = TraceJournal::enabled();
+        let b = a.clone();
+        a.set_clock(2.0);
+        b.record("kernel_refinement", vec![]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.events()[0].clock, 2.0);
+        assert_eq!(b.clock(), 2.0);
+    }
+
+    #[test]
+    fn jsonl_rendering_is_exact() {
+        let j = TraceJournal::enabled();
+        j.set_clock(0.5);
+        j.record(
+            "source_attempt",
+            vec![
+                ("plan_seq", Value::U64(3)),
+                ("source", Value::Str("review\"db".into())),
+                ("latency", Value::F64(1.25)),
+                ("ok", Value::Bool(true)),
+                ("timeout", Value::F64(f64::INFINITY)),
+            ],
+        );
+        j.record_at(0.75, "kernel_champion_change", vec![]);
+        assert_eq!(
+            j.to_jsonl(),
+            concat!(
+                "{\"seq\":0,\"clock\":0.5,\"kind\":\"source_attempt\",",
+                "\"plan_seq\":3,\"source\":\"review\\\"db\",\"latency\":1.25,",
+                "\"ok\":true,\"timeout\":null}\n",
+                "{\"seq\":1,\"clock\":0.75,\"kind\":\"kernel_champion_change\"}\n",
+            )
+        );
+        // record_at must not move the shared clock.
+        assert_eq!(j.clock(), 0.5);
+    }
+
+    fn lifecycle_trace() -> String {
+        let j = TraceJournal::enabled();
+        for (kind, plan) in [
+            ("plan_emitted", 0),
+            ("plan_scheduled", 0),
+            ("plan_emitted", 1),
+            ("source_attempt", 1),
+            ("plan_failed", 1),
+            ("plan_retracted", 1),
+            ("plan_completed", 0),
+        ] {
+            j.record(kind, vec![("plan_seq", Value::U64(plan))]);
+        }
+        j.to_jsonl()
+    }
+
+    #[test]
+    fn validate_accepts_balanced_lifecycles() {
+        let report = validate_trace(&lifecycle_trace()).expect("trace is sound");
+        assert_eq!(report.events, 7);
+        assert_eq!(report.spans_opened, 2);
+        assert_eq!(report.spans_closed, 2);
+        assert_eq!(report.count("plan_retracted"), 1);
+        assert_eq!(report.count("no_such_kind"), 0);
+    }
+
+    #[test]
+    fn validate_rejects_structural_violations() {
+        let close_only = "{\"seq\":0,\"clock\":0,\"kind\":\"plan_completed\",\"plan_seq\":4}\n";
+        assert!(validate_trace(close_only)
+            .unwrap_err()
+            .contains("no prior emission"));
+
+        let double_open = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":4}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":4}\n",
+        );
+        assert!(validate_trace(double_open)
+            .unwrap_err()
+            .contains("emitted twice"));
+
+        let gap = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"a\"}\n",
+            "{\"seq\":2,\"clock\":0,\"kind\":\"b\"}\n",
+        );
+        assert!(validate_trace(gap).unwrap_err().contains("contiguity"));
+
+        assert!(validate_trace("not json\n").is_err());
+        assert!(validate_trace("{\"seq\":0,\"clock\":0}\n")
+            .unwrap_err()
+            .contains("kind"));
+    }
+
+    #[test]
+    fn validate_round_trips_an_enabled_journal() {
+        let j = TraceJournal::enabled();
+        j.set_clock(1.0);
+        j.record(
+            "plan_emitted",
+            vec![("plan_seq", Value::U64(0)), ("utility", Value::F64(0.75))],
+        );
+        j.record(
+            "plan_unsound",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("source", Value::Str("s".into())),
+            ],
+        );
+        let report = validate_trace(&j.to_jsonl()).expect("round trip");
+        assert_eq!(report.events, j.len() as u64);
+        assert_eq!(report.spans_opened, report.spans_closed);
+    }
+}

@@ -1,0 +1,83 @@
+//! First-party telemetry for the plan-ordering stack.
+//!
+//! The paper's contribution is *measured* — its Figure 6 counts interval
+//! evaluations and times the arrival of the k-th best plan — so the
+//! reproduction needs instrumentation that is always on, cheap, and
+//! deterministic. This crate supplies it without any external dependency
+//! (the workspace builds fully offline):
+//!
+//! - [`registry`] — a [`Registry`] of atomic [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket log₂ [`Histogram`]s, labelled by source / plan / orderer
+//!   and cheap enough to leave enabled in benchmarks;
+//! - [`journal`] — a [`TraceJournal`] of structured plan-lifecycle and
+//!   kernel events, timestamped by the executor's **virtual clock** so a
+//!   trace is bit-for-bit identical under any worker count (the
+//!   fixed-seed-replay guarantee of the runtime, extended to the trace
+//!   itself);
+//! - [`export`] — a JSONL rendering of the journal, a Prometheus-style
+//!   text exposition of the registry, and a human summary;
+//! - [`json`] — a minimal JSON reader used to validate traces
+//!   ([`validate_trace`]) without pulling in serde.
+//!
+//! The [`Obs`] bundle ties a registry and a journal together; every
+//! instrumented layer (`OrderingKernel`, the `qpo-runtime` executor,
+//! `Mediator::run_concurrent_observed`) accepts one.
+//!
+//! ```
+//! use qpo_obs::{Obs, Value};
+//!
+//! let obs = Obs::with_trace();
+//! let pops = obs.registry.counter("qpo_demo_pops_total", &[("orderer", "demo")]);
+//! pops.inc();
+//! obs.journal.set_clock(1.5);
+//! obs.journal.record("plan_emitted", vec![("plan_seq", Value::U64(0))]);
+//! obs.journal.record("plan_completed", vec![("plan_seq", Value::U64(0))]);
+//! let trace = obs.journal.to_jsonl();
+//! let report = qpo_obs::validate_trace(&trace).unwrap();
+//! assert_eq!(report.spans_opened, report.spans_closed);
+//! assert_eq!(pops.get(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod journal;
+pub mod json;
+pub mod registry;
+
+pub use export::{prometheus_text, summary_text};
+pub use journal::{validate_trace, TraceEvent, TraceJournal, TraceReport, Value};
+pub use json::{parse_json, Json, JsonError};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+
+/// The observability bundle handed to instrumented layers: one shared
+/// metrics registry plus one (possibly disabled) trace journal.
+///
+/// Cloning is cheap and shares the underlying storage, so a single `Obs`
+/// can be threaded through the mediator, the executor, and the ordering
+/// kernel of one run and read back afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Metric storage: counters accumulate, gauges hold the latest value,
+    /// histograms bucket distributions.
+    pub registry: Registry,
+    /// The structured event journal. Disabled by default (recording is a
+    /// no-op); see [`Obs::with_trace`].
+    pub journal: TraceJournal,
+}
+
+impl Obs {
+    /// Registry on, journal off — the always-on metrics configuration.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// Registry on, journal on — the `--trace` configuration.
+    pub fn with_trace() -> Self {
+        Obs {
+            registry: Registry::new(),
+            journal: TraceJournal::enabled(),
+        }
+    }
+}

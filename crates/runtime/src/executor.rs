@@ -36,6 +36,7 @@ use crate::source::{AccessOutcome, SourceGrid, SourceService};
 use crossbeam::channel;
 use qpo_core::{OrderedPlan, PlanOrderer, PlanOutcome};
 use qpo_datalog::Tuple;
+use qpo_obs::{Counter, Gauge, Histogram, Obs, Value};
 use std::collections::BTreeSet;
 use std::time::Duration;
 
@@ -224,6 +225,17 @@ struct Job {
     ordered: OrderedPlan,
 }
 
+/// One resolved source-access attempt, captured on the worker for the
+/// trace journal. `offset` is virtual time *relative to the plan's start*
+/// (each source is accessed in parallel, so offsets restart per source);
+/// the coordinator anchors it to the journal's serial clock at merge.
+struct AttemptEvent {
+    source: String,
+    attempt: u32,
+    offset: f64,
+    outcome: &'static str,
+}
+
 struct Completion {
     seq: u64,
     ordered: OrderedPlan,
@@ -231,6 +243,46 @@ struct Completion {
     tuples: Vec<Tuple>,
     accesses: Vec<SourceAccess>,
     failure: Option<FailureReason>,
+    /// Per-attempt records, populated only when the journal is enabled.
+    trace: Vec<AttemptEvent>,
+}
+
+/// Registry handles the executor updates as it merges completions. The
+/// counters accumulate across runs sharing one registry; the gauges
+/// reflect the most recent run.
+struct RunMetrics {
+    attempts: Counter,
+    transient_failures: Counter,
+    plans_executed: Counter,
+    plans_failed: Counter,
+    plans_unsound: Counter,
+    retries_per_access: Histogram,
+    emission_delay: Histogram,
+    virtual_time: Gauge,
+    fees: Gauge,
+}
+
+impl RunMetrics {
+    fn registered(obs: &Obs) -> Self {
+        let c = |name| obs.registry.counter(name, &[]);
+        let status = |s| {
+            obs.registry
+                .counter("qpo_runtime_plans_total", &[("status", s)])
+        };
+        RunMetrics {
+            attempts: c("qpo_runtime_attempts_total"),
+            transient_failures: c("qpo_runtime_transient_failures_total"),
+            plans_executed: status("executed"),
+            plans_failed: status("failed"),
+            plans_unsound: status("unsound"),
+            retries_per_access: obs
+                .registry
+                .histogram("qpo_runtime_retries_per_access", &[]),
+            emission_delay: obs.registry.histogram("qpo_runtime_emission_delay", &[]),
+            virtual_time: obs.registry.gauge("qpo_runtime_virtual_time", &[]),
+            fees: obs.registry.gauge("qpo_runtime_fees", &[]),
+        }
+    }
 }
 
 /// The bounded-parallelism speculative executor. Borrows the source grid
@@ -239,12 +291,32 @@ pub struct Executor<'a, E: PlanEvaluator> {
     grid: &'a SourceGrid,
     eval: &'a E,
     policy: RuntimePolicy,
+    obs: Obs,
 }
 
 impl<'a, E: PlanEvaluator> Executor<'a, E> {
-    /// Creates an executor.
+    /// Creates an executor with a private observability bundle (metrics
+    /// still accumulate and can be read back via [`Executor::obs`]).
     pub fn new(grid: &'a SourceGrid, eval: &'a E, policy: RuntimePolicy) -> Self {
-        Executor { grid, eval, policy }
+        Executor {
+            grid,
+            eval,
+            policy,
+            obs: Obs::new(),
+        }
+    }
+
+    /// Shares an observability bundle: run metrics land on its registry
+    /// and, when its journal is enabled, every run appends plan-lifecycle
+    /// events timestamped by the serial virtual clock.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// The executor's observability bundle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The policy in effect.
@@ -254,9 +326,31 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
 
     /// Runs the orderer to completion of `budget` (or plan-space
     /// exhaustion), executing plans on `policy.workers` threads.
+    ///
+    /// ## The two clocks
+    ///
+    /// `stats.virtual_time` models the *makespan* with this worker count
+    /// and legitimately changes with it. The trace journal instead runs on
+    /// a **serial virtual clock** — plan latencies summed in emission
+    /// order — which is a pure function of `(seed, sources, plan order)`:
+    /// that is what makes the JSONL trace byte-identical across worker
+    /// counts (with the lookahead held fixed; lookahead changes *which*
+    /// plans are emitted, which is run semantics, not scheduling).
     pub fn run(&self, orderer: &mut dyn PlanOrderer, budget: RunBudget) -> RuntimeRun {
         let workers = self.policy.workers.max(1);
         let lookahead = self.policy.lookahead.max(1);
+        let metrics = RunMetrics::registered(&self.obs);
+        let journal = &self.obs.journal;
+        if journal.is_enabled() {
+            // Scope marker: `plan_seq` restarts per run, so the validator
+            // keys spans by (runs seen, plan_seq). Workers stay out of the
+            // fields — they must not change the trace bytes.
+            journal.set_clock(0.0);
+            journal.record(
+                "run_started",
+                vec![("lookahead", Value::U64(lookahead as u64))],
+            );
+        }
         crossbeam::thread::scope(|s| {
             let (job_tx, job_rx) = channel::unbounded::<Job>();
             let (done_tx, done_rx) = channel::unbounded::<Completion>();
@@ -279,6 +373,9 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             let mut stats = RunStats::default();
             let mut spent = 0.0;
             let mut seq: u64 = 0;
+            // The serial virtual clock the journal (and the emission-delay
+            // histogram) runs on; see the method docs.
+            let mut vclock = 0.0f64;
             loop {
                 // Pop the next speculation window. `spent` and the pop
                 // count are exact here; `answers` lags by the in-flight
@@ -291,6 +388,21 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                         break;
                     };
                     spent += -ordered.utility;
+                    if journal.is_enabled() {
+                        journal.record_at(
+                            vclock,
+                            "plan_emitted",
+                            vec![
+                                ("plan_seq", Value::U64(seq)),
+                                ("utility", Value::F64(ordered.utility)),
+                            ],
+                        );
+                        journal.record_at(
+                            vclock,
+                            "plan_scheduled",
+                            vec![("plan_seq", Value::U64(seq))],
+                        );
+                    }
                     assert!(
                         job_tx.send(Job { seq, ordered }).is_ok(),
                         "workers outlive the coordinator loop"
@@ -308,10 +420,19 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 stats.virtual_time +=
                     makespan(wave.iter().map(|c| plan_latency(&c.accesses)), workers);
                 for completion in wave {
-                    reports.push(self.merge(completion, orderer, &mut answers, &mut stats));
+                    reports.push(self.merge(
+                        completion,
+                        orderer,
+                        &mut answers,
+                        &mut stats,
+                        &metrics,
+                        &mut vclock,
+                    ));
                 }
             }
             drop(job_tx);
+            metrics.virtual_time.set(stats.virtual_time);
+            metrics.fees.set(stats.fees);
             RuntimeRun {
                 reports,
                 answers,
@@ -322,13 +443,16 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
     }
 
     /// Folds one completion into the run, reporting the outcome back to
-    /// the orderer.
+    /// the orderer, mirroring counters onto the registry, journalling the
+    /// plan's lifecycle, and advancing the serial virtual clock.
     fn merge(
         &self,
         completion: Completion,
         orderer: &mut dyn PlanOrderer,
         answers: &mut BTreeSet<Tuple>,
         stats: &mut RunStats,
+        metrics: &RunMetrics,
+        vclock: &mut f64,
     ) -> PlanExecution {
         let Completion {
             seq,
@@ -337,19 +461,68 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             tuples,
             accesses,
             failure,
+            trace,
         } = completion;
+        let journal = &self.obs.journal;
         let latency = plan_latency(&accesses);
         let fees: f64 = accesses.iter().map(|a| a.fee).sum();
         for a in &accesses {
             stats.attempts += u64::from(a.attempts);
             stats.transient_failures += u64::from(a.transient_failures);
+            metrics.attempts.add(u64::from(a.attempts));
+            metrics
+                .transient_failures
+                .add(u64::from(a.transient_failures));
+            metrics
+                .retries_per_access
+                .record(f64::from(a.attempts) - 1.0);
+            self.obs
+                .registry
+                .histogram("qpo_runtime_access_latency", &[("source", &a.name)])
+                .record(a.latency);
         }
         stats.fees += fees;
+        for ev in trace {
+            journal.record_at(
+                *vclock + ev.offset,
+                "source_attempt",
+                vec![
+                    ("plan_seq", Value::U64(seq)),
+                    ("source", Value::Str(ev.source)),
+                    ("attempt", Value::U64(u64::from(ev.attempt))),
+                    ("outcome", Value::Str(ev.outcome.to_string())),
+                ],
+            );
+        }
+        let done = *vclock + latency;
         let status = if !sound {
+            metrics.plans_unsound.inc();
+            if journal.is_enabled() {
+                journal.record_at(done, "plan_unsound", vec![("plan_seq", Value::U64(seq))]);
+            }
             PlanStatus::Unsound
         } else if let Some(reason) = failure {
             stats.failed_plans += 1;
+            metrics.plans_failed.inc();
+            if journal.is_enabled() {
+                let (kind, source) = match &reason {
+                    FailureReason::PermanentlyDown { source } => ("permanently_down", source),
+                    FailureReason::RetriesExhausted { source } => ("retries_exhausted", source),
+                };
+                journal.record_at(
+                    done,
+                    "plan_failed",
+                    vec![
+                        ("plan_seq", Value::U64(seq)),
+                        ("reason", Value::Str(kind.to_string())),
+                        ("source", Value::Str(source.clone())),
+                    ],
+                );
+            }
             orderer.observe(&PlanOutcome::failed(&ordered.plan));
+            if journal.is_enabled() {
+                journal.record_at(done, "plan_retracted", vec![("plan_seq", Value::U64(seq))]);
+            }
             PlanStatus::Failed(reason)
         } else {
             let total = tuples.len();
@@ -359,6 +532,20 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                     new_tuples += 1;
                 }
             }
+            metrics.plans_executed.inc();
+            metrics.emission_delay.record(done);
+            if journal.is_enabled() {
+                journal.record_at(
+                    done,
+                    "plan_completed",
+                    vec![
+                        ("plan_seq", Value::U64(seq)),
+                        ("tuples", Value::U64(total as u64)),
+                        ("new_tuples", Value::U64(new_tuples as u64)),
+                        ("cumulative", Value::U64(answers.len() as u64)),
+                    ],
+                );
+            }
             orderer.observe(&PlanOutcome::succeeded(&ordered.plan, total));
             PlanStatus::Executed {
                 tuples: total,
@@ -366,6 +553,8 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 cumulative: answers.len(),
             }
         };
+        *vclock += latency;
+        journal.set_clock(*vclock);
         PlanExecution {
             seq,
             ordered,
@@ -377,9 +566,13 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
     }
 
     /// Runs on a worker thread: simulate the plan's source accesses, then
-    /// evaluate it if everything succeeded.
+    /// evaluate it if everything succeeded. Attempt-level trace events are
+    /// collected here (relative to the plan's start) and carried back to
+    /// the coordinator, which is the only thread that writes the journal.
     fn execute_job(&self, job: Job) -> Completion {
         let Job { seq, ordered } = job;
+        let tracing = self.obs.journal.is_enabled();
+        let mut trace: Vec<AttemptEvent> = Vec::new();
         let sound = self.eval.is_sound(&ordered.plan);
         if !sound {
             return Completion {
@@ -389,14 +582,15 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 tuples: Vec::new(),
                 accesses: Vec::new(),
                 failure: None,
+                trace,
             };
         }
-        let accesses: Vec<SourceAccess> = self
-            .grid
-            .plan_services(&ordered.plan)
-            .into_iter()
-            .map(|svc| access_with_retries(svc, &self.policy, seq))
-            .collect();
+        let services = self.grid.plan_services(&ordered.plan);
+        let mut accesses: Vec<SourceAccess> = Vec::with_capacity(services.len());
+        for svc in services {
+            let events = tracing.then_some(&mut trace);
+            accesses.push(access_with_retries(svc, &self.policy, seq, events));
+        }
         if self.policy.latency_scale > 0.0 {
             let secs = plan_latency(&accesses) * self.policy.latency_scale;
             std::thread::sleep(Duration::from_secs_f64(secs));
@@ -424,6 +618,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             tuples,
             accesses,
             failure,
+            trace,
         }
     }
 }
@@ -441,7 +636,7 @@ fn makespan(latencies: impl Iterator<Item = f64>, workers: usize) -> f64 {
     for lat in latencies {
         let lane = lanes
             .iter_mut()
-            .min_by(|a, b| a.partial_cmp(b).expect("finite latencies"))
+            .min_by(|a, b| a.total_cmp(b))
             .expect("at least one lane");
         *lane += lat;
     }
@@ -449,8 +644,16 @@ fn makespan(latencies: impl Iterator<Item = f64>, workers: usize) -> f64 {
 }
 
 /// Accesses one source with the policy's retry discipline, accumulating
-/// backoffs and attempt latencies into one virtual-time charge.
-fn access_with_retries(svc: &SourceService, policy: &RuntimePolicy, seq: u64) -> SourceAccess {
+/// backoffs and attempt latencies into one virtual-time charge. When
+/// `events` is given, every resolved attempt is appended with its
+/// plan-relative virtual-time offset and outcome
+/// (`ok`/`timeout`/`transient`/`permanent`).
+fn access_with_retries(
+    svc: &SourceService,
+    policy: &RuntimePolicy,
+    seq: u64,
+    mut events: Option<&mut Vec<AttemptEvent>>,
+) -> SourceAccess {
     let retry: &RetryPolicy = &policy.retry;
     let mut latency = 0.0;
     let mut transient_failures = 0u32;
@@ -465,21 +668,39 @@ fn access_with_retries(svc: &SourceService, policy: &RuntimePolicy, seq: u64) ->
         ok,
         permanently_down,
     };
+    let mut record = |attempt: u32, offset: f64, outcome: &'static str| {
+        if let Some(events) = events.as_deref_mut() {
+            events.push(AttemptEvent {
+                source: svc.name.to_string(),
+                attempt,
+                offset,
+                outcome,
+            });
+        }
+    };
     for attempt in 0..retry.max_attempts.max(1) {
         latency += retry.backoff_before(attempt);
         let access = svc.simulate_access(&policy.faults, seq, attempt);
         match access.outcome {
             AccessOutcome::PermanentFailure => {
+                record(attempt + 1, latency, "permanent");
                 return report(attempt + 1, false, true, latency, transient_failures);
             }
             AccessOutcome::Success if access.latency <= retry.access_timeout => {
                 latency += access.latency;
+                record(attempt + 1, latency, "ok");
                 return report(attempt + 1, true, false, latency, transient_failures);
             }
             // A success slower than the timeout is indistinguishable from
             // a transient failure to the caller: charge the timeout, retry.
             AccessOutcome::Success | AccessOutcome::TransientFailure => {
+                let timed_out = matches!(access.outcome, AccessOutcome::Success);
                 latency += access.latency.min(retry.access_timeout);
+                record(
+                    attempt + 1,
+                    latency,
+                    if timed_out { "timeout" } else { "transient" },
+                );
                 transient_failures += 1;
             }
         }
@@ -741,13 +962,13 @@ mod tests {
         // jittered draws exceed it; over many sequences some access must
         // record a timeout-induced retry.
         let timed_out = (0..50).any(|seq| {
-            let a = access_with_retries(svc, &policy, seq);
+            let a = access_with_retries(svc, &policy, seq, None);
             a.transient_failures > 0
         });
         assert!(timed_out);
         // And an infinite timeout on a reliable source never retries.
         let policy = RuntimePolicy::serial().with_faults(FaultConfig::with_seed(4));
-        let a = access_with_retries(grid.service(0, 2), &policy, 0);
+        let a = access_with_retries(grid.service(0, 2), &policy, 0, None);
         assert_eq!((a.attempts, a.ok), (1, true));
     }
 }

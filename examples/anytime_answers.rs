@@ -24,6 +24,7 @@ fn run_case<M: UtilityMeasure>(
     let ks = [1usize, 10, 100];
 
     let mut rows: Vec<(&str, Vec<f64>, u64)> = Vec::new();
+    let mut streamer_work: Option<StreamerStats> = None;
 
     // Streamer (single instance reused across k — it is incremental).
     if streamer_applies {
@@ -38,6 +39,7 @@ fn run_case<M: UtilityMeasure>(
             }
             times.push(start.elapsed().as_secs_f64() * 1e3);
         }
+        streamer_work = Some(alg.stats());
         rows.push(("streamer", times, counting.total_evals()));
     }
 
@@ -77,6 +79,17 @@ fn run_case<M: UtilityMeasure>(
         println!(
             "{:<10} {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>12}",
             name, times[0], times[1], times[2], evals
+        );
+    }
+    if let Some(s) = streamer_work {
+        println!(
+            "streamer work: {} refinements, {} links created / {} recycled / {} invalidated, \
+             {} utility recomputations",
+            s.refinements,
+            s.links_created,
+            s.links_recycled,
+            s.links_invalidated,
+            s.utility_recomputations
         );
     }
 }

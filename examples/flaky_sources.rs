@@ -12,11 +12,34 @@
 //!    carries on, and the answers degrade to exactly what the surviving
 //!    sources support.
 //!
-//! Run with: `cargo run --example flaky_sources`
+//! Run with: `cargo run --example flaky_sources [--trace out.jsonl] [--metrics out.prom]`
+//!
+//! `--trace <path>` records every run on a shared [`Obs`] bundle and
+//! writes the deterministic plan-lifecycle trace journal as JSONL;
+//! `--metrics <path>` writes a Prometheus-style snapshot of the metrics
+//! registry. Either flag also prints the human-readable telemetry
+//! summary at the end.
 
 use query_plan_ordering::prelude::*;
 
+/// Pulls `--flag <value>` out of the argument list, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = flag_value(&args, "--trace");
+    let metrics_path = flag_value(&args, "--metrics");
+    let obs = if trace_path.is_some() {
+        Obs::with_trace()
+    } else {
+        Obs::new()
+    };
+
     let mediator = Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"]);
     let query = movie_query();
     println!("Query: {query}\n");
@@ -30,12 +53,13 @@ fn main() {
 
     // 1. Concurrent, faults off: the equivalence case.
     let calm = mediator
-        .run_concurrent(
+        .run_concurrent_observed(
             &query,
             &Coverage,
             Strategy::Pi,
             StopCondition::unbounded(),
             RuntimePolicy::parallel(4),
+            &obs,
         )
         .expect("mediation succeeds");
     assert_eq!(calm.runtime.answers, serial.answers);
@@ -47,7 +71,7 @@ fn main() {
 
     // 2. Transient chaos: ≥ 25% of attempts fail, retries absorb it all.
     let flaky = mediator
-        .run_concurrent(
+        .run_concurrent_observed(
             &query,
             &Coverage,
             Strategy::Pi,
@@ -58,6 +82,7 @@ fn main() {
                     max_attempts: 10,
                     ..RetryPolicy::standard()
                 }),
+            &obs,
         )
         .expect("mediation succeeds");
     let s = &flaky.runtime.stats;
@@ -85,13 +110,14 @@ fn main() {
 
     // 3. v1 goes down for good: plans through it fail, the rest deliver.
     let degraded = mediator
-        .run_concurrent(
+        .run_concurrent_observed(
             &query,
             &Coverage,
             Strategy::Pi,
             StopCondition::unbounded(),
             RuntimePolicy::parallel(4)
                 .with_faults(FaultConfig::with_seed(7).with_source_down("v1")),
+            &obs,
         )
         .expect("mediation succeeds");
     println!(
@@ -112,11 +138,29 @@ fn main() {
     let inst = reform
         .problem_instance(&catalog, MOVIE_UNIVERSE, 5.0)
         .expect("instance builds");
-    let mut idrips = IDrips::new(&inst, &Coverage, ByExpectedTuples);
+    let mut idrips = IDrips::new(&inst, &Coverage, ByExpectedTuples).with_obs(&obs);
     let ordered = idrips.order_k(usize::MAX);
     println!(
         "\n[4] iDrips ordered all {} plans of the movie query;",
         ordered.len()
     );
     println!("{}", format_kernel_stats(&idrips.kernel_stats()));
+
+    // 5. Telemetry exports, when asked for.
+    if let Some(path) = &trace_path {
+        let jsonl = obs.journal.to_jsonl();
+        std::fs::write(path, &jsonl).expect("trace file is writable");
+        let report = validate_trace(&jsonl).expect("journal validates");
+        println!(
+            "\n[5] trace: {} events ({} plan spans opened, {} closed) -> {path}",
+            report.events, report.spans_opened, report.spans_closed
+        );
+    }
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, prometheus_text(&obs.registry)).expect("metrics file is writable");
+        println!("    metrics snapshot -> {path}");
+    }
+    if trace_path.is_some() || metrics_path.is_some() {
+        println!("\n{}", summary_text(&obs.registry));
+    }
 }

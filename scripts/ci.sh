@@ -18,6 +18,14 @@ cargo test -q --workspace
 echo "==> ordering-kernel equivalence tests"
 cargo test -q -p qpo-core --test kernel_equivalence
 
+echo "==> trace journal validation gate"
+cargo build --release --example flaky_sources -p query-plan-ordering
+cargo build --release -p qpo-bench --bin trace-validate
+trace_file="$(mktemp /tmp/qpo-trace.XXXXXX.jsonl)"
+./target/release/examples/flaky_sources --trace "$trace_file" > /dev/null
+./target/release/trace-validate "$trace_file"
+rm -f "$trace_file"
+
 echo "==> ordering-kernel bench smoke (release)"
 bash scripts/bench.sh --smoke
 

@@ -20,6 +20,9 @@
 //! - [`exec`] — an in-memory execution engine and the mediator loop;
 //! - [`runtime`] — simulated flaky remote sources and the bounded-parallel
 //!   speculative executor with retry, timeout, and outcome feedback;
+//! - [`obs`] — first-party telemetry: a metrics registry, a deterministic
+//!   virtual-clock trace journal, and JSONL / Prometheus / human
+//!   exporters;
 //! - [`interval`] — the interval arithmetic underneath it all.
 //!
 //! ## Quickstart
@@ -55,6 +58,7 @@ pub use qpo_core as ordering;
 pub use qpo_datalog as datalog;
 pub use qpo_exec as exec;
 pub use qpo_interval as interval;
+pub use qpo_obs as obs;
 pub use qpo_reformulation as reformulation;
 pub use qpo_runtime as runtime;
 pub use qpo_utility as utility;
@@ -73,7 +77,7 @@ pub mod prelude {
         advise, find_best, full_space, reference_find_best, remove_plan, verify_ordering,
         AbstractionHeuristic, ByExpectedTuples, ByExtentMidpoint, ByTransmissionCost, Drips,
         Greedy, IDrips, KernelStats, Naive, OrderedPlan, OrdererError, OrderingKernel, Pi,
-        PlanOrderer, PlanSpace, RandomKey, Streamer,
+        PlanOrderer, PlanSpace, RandomKey, Streamer, StreamerStats,
     };
     pub use qpo_datalog::{
         parse_atom, parse_query, Atom, ConjunctiveQuery, Constant, Database, SourceDescription,
@@ -83,6 +87,7 @@ pub mod prelude {
         format_kernel_stats, ConcurrentRun, Mediator, MediatorRun, StopCondition, Strategy,
     };
     pub use qpo_interval::Interval;
+    pub use qpo_obs::{prometheus_text, summary_text, validate_trace, Obs, TraceJournal};
     pub use qpo_reformulation::{
         create_buckets, enumerate_sound_plans, minicon_plan_spaces, reformulate, Reformulation,
     };
