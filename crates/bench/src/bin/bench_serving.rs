@@ -1,0 +1,336 @@
+//! Serving-layer benchmark: the canonicalized reformulation cache under a
+//! mixed query workload.
+//!
+//! Builds one shared [`Mediator`] over a synthetic chain-join catalog and
+//! replays three phases against it:
+//!
+//! - **cold** — `F` structurally distinct queries (each carries a fresh
+//!   constant, so canonical keys differ): every one misses the cache and
+//!   runs the full reformulate + assemble pipeline;
+//! - **repeated** — each cold query replayed verbatim;
+//! - **renamed** — each cold query replayed under a bijective variable
+//!   renaming (the case the canonicalizer exists for).
+//!
+//! Every query is served end to end (prepare + session + plan execution).
+//! Wall-clock queries/sec and per-phase prepare latencies are reported,
+//! but the acceptance gate rides only on *deterministic* counters: the
+//! warm phases must hit the cache on every query, and the generation
+//! counter must equal the number of distinct shapes — proving the warm
+//! phases skipped plan generation rather than merely running faster.
+//!
+//! Output is `BENCH_serving.json` (hand-rolled JSON; the workspace is
+//! offline and has no serde). Usage:
+//!
+//! ```text
+//! bench-serving [--smoke] [--out PATH]
+//! ```
+
+use qpo_catalog::{Catalog, Extent, MediatedSchema, SchemaRelation, SourceStats};
+use qpo_datalog::{parse_query, ConjunctiveQuery, SourceDescription, Substitution, Term};
+use qpo_exec::{Mediator, Strategy};
+use qpo_obs::Histogram;
+use qpo_utility::LinearCost;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Chain length (subgoals per query) and sources per relation.
+const CHAIN_LEN: usize = 3;
+const SOURCES_PER_RELATION: usize = 5;
+const UNIVERSE: u64 = 1000;
+/// Plans each session executes before its stop condition triggers.
+const PLANS_PER_QUERY: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let fresh_shapes = if smoke { 8 } else { 32 };
+    let replays = if smoke { 2 } else { 4 };
+
+    let mediator = Mediator::new(chain_catalog(), UNIVERSE, &["a", "b", "c", "d"])
+        .with_cache_capacity(fresh_shapes + 8);
+    let queries: Vec<ConjunctiveQuery> = (0..fresh_shapes).map(chain_query).collect();
+
+    // Phase 1: cold — every shape is new.
+    let cold = run_phase("cold", &mediator, &queries, 1);
+    let after_cold = mediator.cache_stats();
+
+    // Phase 2: repeated — identical texts replayed.
+    let repeated = run_phase("repeated", &mediator, &queries, replays);
+
+    // Phase 3: renamed — bijectively renamed variants replayed.
+    let renamed_queries: Vec<ConjunctiveQuery> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| rename_shuffled(q, i as u64 + 1))
+        .collect();
+    let renamed = run_phase("renamed", &mediator, &renamed_queries, replays);
+
+    let stats = mediator.cache_stats();
+    let warm_queries = (repeated.queries + renamed.queries) as u64;
+    // Each served query performs two lookups (the timed explicit prepare
+    // plus the one inside `answer`); only the cold phase's first lookup
+    // per shape may miss.
+    let total_lookups = 2 * (cold.queries + repeated.queries + renamed.queries) as u64;
+    let expected_hits = total_lookups - fresh_shapes as u64;
+    let hit_rate = stats.hit_rate();
+    let prepare_speedup = if repeated.prepare_p50() > 0.0 {
+        cold.prepare_p50() / repeated.prepare_p50()
+    } else {
+        f64::INFINITY
+    };
+
+    println!(
+        "\ncache: {} generations over {} shapes, {} hits over {} lookups \
+         ({} warm queries, hit rate {:.3})",
+        stats.generations, fresh_shapes, stats.hits, total_lookups, warm_queries, hit_rate
+    );
+    println!(
+        "prepare p50: cold {:.4}ms vs repeated {:.4}ms ({prepare_speedup:.1}x, reported \
+         only — the gate is the generation counter)",
+        cold.prepare_p50(),
+        repeated.prepare_p50()
+    );
+
+    if let Some(path) = out_path {
+        let json = render_json(
+            fresh_shapes,
+            replays,
+            &[&cold, &repeated, &renamed],
+            &stats,
+            after_cold.generations,
+            prepare_speedup,
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    // Deterministic acceptance gates (never timing):
+    // every warm query must hit, and plan generation must have run exactly
+    // once per distinct shape.
+    let mut failed = false;
+    if stats.hits != expected_hits {
+        eprintln!(
+            "FAIL: {} cache hits over {} lookups (expected {}: every lookup past each \
+             shape's first must hit)",
+            stats.hits, total_lookups, expected_hits
+        );
+        failed = true;
+    }
+    if stats.generations != fresh_shapes as u64 {
+        eprintln!(
+            "FAIL: {} plan generations for {} distinct shapes",
+            stats.generations, fresh_shapes
+        );
+        failed = true;
+    }
+    if hit_rate <= 0.0 {
+        eprintln!("FAIL: zero cache hit rate on the repeated portion");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// A chain-join domain: relations `rel0..relN` (binary), each covered by
+/// several overlapping sources with varied statistics, so reformulation
+/// has real bucket work to do and sessions have a plan space to order.
+fn chain_catalog() -> Catalog {
+    let schema = MediatedSchema::with_relations(
+        (0..CHAIN_LEN).map(|j| SchemaRelation::new(format!("rel{j}"), 2)),
+    );
+    let mut catalog = Catalog::new(schema);
+    for j in 0..CHAIN_LEN {
+        for i in 0..SOURCES_PER_RELATION {
+            let view = format!("s{j}_{i}(X, Y) :- rel{j}(X, Y)");
+            let desc = SourceDescription::new(parse_query(&view).expect("view parses"));
+            let start = (i as u64 * 150) % UNIVERSE;
+            let len = 120 + 40 * (i as u64 % 3);
+            catalog
+                .add_source(
+                    desc,
+                    SourceStats::new()
+                        .with_extent(Extent::new(start, len))
+                        .with_transmission_cost(1.0 + i as f64)
+                        .with_access_cost(2.0 + j as f64)
+                        .with_failure_prob(0.02 * i as f64),
+                )
+                .unwrap();
+        }
+    }
+    catalog
+}
+
+/// The `i`-th distinct query shape: a chain join whose first subgoal is
+/// anchored on a per-shape constant, so canonical keys differ across `i`.
+fn chain_query(i: usize) -> ConjunctiveQuery {
+    let mut body = Vec::new();
+    body.push(format!("rel0(k{i}, X1)"));
+    for j in 1..CHAIN_LEN {
+        body.push(format!("rel{j}(X{j}, X{})", j + 1));
+    }
+    let text = format!("q(X1, X{}) :- {}", CHAIN_LEN, body.join(", "));
+    parse_query(&text).expect("chain query parses")
+}
+
+/// A bijective variable renaming driven by a splitmix walk over `seed` —
+/// the structural identity the canonicalized cache is meant to recognize.
+fn rename_shuffled(q: &ConjunctiveQuery, seed: u64) -> ConjunctiveQuery {
+    let vars = q.all_variables();
+    let n = vars.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    for i in (1..n).rev() {
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s ^= s >> 27;
+        let j = (s % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut subst = Substitution::new();
+    for (i, v) in vars.iter().enumerate() {
+        subst.bind(v.as_ref(), Term::var(format!("Y{}", order[i])));
+    }
+    q.apply(&subst)
+}
+
+struct PhaseResult {
+    name: &'static str,
+    queries: usize,
+    wall_millis: f64,
+    answers: usize,
+    prepare_latency: Histogram,
+    serve_latency: Histogram,
+}
+
+impl PhaseResult {
+    fn queries_per_sec(&self) -> f64 {
+        if self.wall_millis == 0.0 {
+            f64::INFINITY
+        } else {
+            self.queries as f64 / (self.wall_millis / 1e3)
+        }
+    }
+
+    fn prepare_p50(&self) -> f64 {
+        self.prepare_latency.quantile(0.5).unwrap_or(0.0)
+    }
+}
+
+/// Serves every query `rounds` times end to end, timing the prepare step
+/// and the full serve separately.
+fn run_phase(
+    name: &'static str,
+    mediator: &Mediator,
+    queries: &[ConjunctiveQuery],
+    rounds: usize,
+) -> PhaseResult {
+    let prepare_latency = Histogram::detached();
+    let serve_latency = Histogram::detached();
+    let mut answers = 0;
+    let wall = Instant::now();
+    for _ in 0..rounds {
+        for q in queries {
+            let t = Instant::now();
+            let prepared = mediator.prepare(q).expect("query prepares");
+            prepare_latency.record(t.elapsed().as_secs_f64() * 1e3);
+            drop(prepared);
+            let run = mediator
+                .answer(q, &LinearCost, Strategy::Greedy, PLANS_PER_QUERY)
+                .expect("query serves");
+            answers += run.answers.len();
+            serve_latency.record(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let wall_millis = wall.elapsed().as_secs_f64() * 1e3;
+    let result = PhaseResult {
+        name,
+        queries: queries.len() * rounds,
+        wall_millis,
+        answers,
+        prepare_latency,
+        serve_latency,
+    };
+    println!(
+        "{:<9} {:>4} queries in {:>8.2}ms ({:>8.1} q/s), prepare p50 {:.4}ms",
+        result.name,
+        result.queries,
+        result.wall_millis,
+        result.queries_per_sec(),
+        result.prepare_p50()
+    );
+    result
+}
+
+fn render_json(
+    fresh_shapes: usize,
+    replays: usize,
+    phases: &[&PhaseResult],
+    stats: &qpo_exec::CacheStats,
+    generations_after_cold: u64,
+    prepare_speedup: f64,
+) -> String {
+    let mut s = String::from("{\n  \"benchmark\": \"serving-cache\",\n");
+    let _ = writeln!(
+        s,
+        "  \"source\": \"scripts/bench.sh (crates/bench/src/bin/bench_serving.rs)\","
+    );
+    let _ = writeln!(
+        s,
+        "  \"workload\": {{ \"chain_len\": {CHAIN_LEN}, \"sources_per_relation\": \
+         {SOURCES_PER_RELATION}, \"distinct_shapes\": {fresh_shapes}, \"replays\": {replays}, \
+         \"plans_per_query\": {PLANS_PER_QUERY} }},"
+    );
+    let _ = writeln!(s, "  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 == phases.len() { "" } else { "," };
+        let q = |h: &Histogram, q: f64| {
+            h.quantile(q)
+                .map_or_else(|| "null".into(), |v| format!("{v:.6}"))
+        };
+        let _ = writeln!(
+            s,
+            "    {{ \"name\": \"{}\", \"queries\": {}, \"wall_millis\": {:.3}, \
+             \"queries_per_sec\": {:.1}, \"answers\": {}, \
+             \"prepare_ms\": {{ \"p50\": {}, \"p95\": {} }}, \
+             \"serve_ms\": {{ \"p50\": {}, \"p95\": {} }} }}{comma}",
+            p.name,
+            p.queries,
+            p.wall_millis,
+            p.queries_per_sec(),
+            p.answers,
+            q(&p.prepare_latency, 0.5),
+            q(&p.prepare_latency, 0.95),
+            q(&p.serve_latency, 0.5),
+            q(&p.serve_latency, 0.95),
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"cache\": {{");
+    let _ = writeln!(s, "    \"hits\": {},", stats.hits);
+    let _ = writeln!(s, "    \"misses\": {},", stats.misses);
+    let _ = writeln!(s, "    \"evictions\": {},", stats.evictions);
+    let _ = writeln!(s, "    \"generations\": {},", stats.generations);
+    let _ = writeln!(
+        s,
+        "    \"generations_after_cold_phase\": {generations_after_cold},"
+    );
+    let _ = writeln!(s, "    \"hit_rate\": {:.4},", stats.hit_rate());
+    let _ = writeln!(s, "    \"resident_entries\": {}", stats.len);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"summary\": {{");
+    let _ = writeln!(s, "    \"warm_prepare_speedup_p50\": {prepare_speedup:.1},");
+    let _ = writeln!(
+        s,
+        "    \"gate\": \"hits == lookups - distinct_shapes && generations == distinct_shapes\""
+    );
+    let _ = writeln!(s, "  }}");
+    s.push_str("}\n");
+    s
+}

@@ -1,0 +1,430 @@
+//! Query canonicalization: a hashable key identifying conjunctive queries
+//! up to variable renaming (and body-atom reordering).
+//!
+//! A mediator serving interactive traffic sees the same query shapes over
+//! and over — often written by different clients with different variable
+//! names. Reformulation (bucket creation, instance assembly) depends only
+//! on the query's *structure*, so a cache keyed on that structure can skip
+//! plan generation entirely. [`CanonicalQuery`] is that key: two queries
+//! map to the same key iff one can be turned into the other by a bijective
+//! variable renaming plus a permutation of body atoms. Constants,
+//! predicate names, arities, the head, and atom *multiplicity* all stay
+//! significant — `q(X) :- r(X), r(Y)` and `q(X) :- r(X)` do not collide.
+//!
+//! The construction renames variables to `V0..Vn` in first-occurrence
+//! order under a canonical atom order. Atoms are first sorted by a
+//! name-free structural shape (predicate, arity, constant positions,
+//! intra-atom variable-repetition pattern); atoms whose shapes tie are
+//! then permuted and the lexicographically least renamed query wins, which
+//! makes the result independent of the input's atom order and variable
+//! names. The permutation search is capped ([`PERMUTATION_CAP`]); past the
+//! cap we keep the stable structural order, which is still deterministic —
+//! a pathological query may then miss a cache hit it was owed, never the
+//! reverse. Verification of candidate keys reuses the same
+//! [`Substitution`] matching machinery the containment test is built on
+//! (see [`is_variable_renaming`]).
+
+use crate::atom::Atom;
+use crate::query::ConjunctiveQuery;
+use crate::substitution::Substitution;
+use crate::term::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Upper bound on the number of tie-group permutations tried while
+/// searching for the lexicographically least canonical form. 7! = 5040
+/// covers every query the paper's experiments use (lengths 1–7) even if
+/// *all* subgoals tie structurally.
+pub const PERMUTATION_CAP: usize = 5040;
+
+/// The canonical form of a conjunctive query: body atoms in canonical
+/// order, variables renamed `V0..Vn` by first occurrence (head first).
+///
+/// Equality, ordering, and hashing are structural over the canonical
+/// query, so this type is directly usable as a cache key. Construction is
+/// deterministic: the same input always yields the same key, and inputs
+/// that differ only by a bijective variable renaming (or a body
+/// permutation, within [`PERMUTATION_CAP`]) yield *equal* keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalQuery {
+    query: ConjunctiveQuery,
+}
+
+impl CanonicalQuery {
+    /// Canonicalizes `query`.
+    pub fn of(query: &ConjunctiveQuery) -> CanonicalQuery {
+        CanonicalQuery {
+            query: canonicalize(query),
+        }
+    }
+
+    /// The canonical query itself (canonical atom order, `V0..Vn` names).
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+}
+
+impl fmt::Display for CanonicalQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.query)
+    }
+}
+
+/// A name-free structural key for one atom: predicate, arity, and the
+/// term pattern with constants kept and variables replaced by their
+/// first-occurrence index *within the atom* (so `r(X, X)` and `r(X, Y)`
+/// differ, while `r(A, B)` and `r(X, Y)` agree).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum TermShape {
+    Const(crate::term::Constant),
+    Var(usize),
+}
+
+fn atom_shape(atom: &Atom) -> (Arc<str>, usize, Vec<TermShape>) {
+    let mut first_seen: Vec<&Arc<str>> = Vec::new();
+    let shape = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => TermShape::Const(c.clone()),
+            Term::Var(v) => {
+                let idx = first_seen.iter().position(|s| *s == v).unwrap_or_else(|| {
+                    first_seen.push(v);
+                    first_seen.len() - 1
+                });
+                TermShape::Var(idx)
+            }
+        })
+        .collect();
+    (atom.predicate.clone(), atom.arity(), shape)
+}
+
+/// Renames every variable of `(head, body-in-this-order)` to `V0..Vn` by
+/// first occurrence.
+fn rename_first_occurrence(head: &Atom, body: &[Atom]) -> ConjunctiveQuery {
+    let mut names: BTreeMap<Arc<str>, Term> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut rename_atom = |atom: &Atom, names: &mut BTreeMap<Arc<str>, Term>| {
+        let terms = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(_) => t.clone(),
+                Term::Var(v) => names
+                    .entry(v.clone())
+                    .or_insert_with(|| {
+                        let t = Term::var(format!("V{next}"));
+                        next += 1;
+                        t
+                    })
+                    .clone(),
+            })
+            .collect();
+        Atom {
+            predicate: atom.predicate.clone(),
+            terms,
+        }
+    };
+    let head = rename_atom(head, &mut names);
+    let body = body.iter().map(|a| rename_atom(a, &mut names)).collect();
+    ConjunctiveQuery::new(head, body)
+}
+
+/// Computes the canonical form of `query` (used by [`CanonicalQuery::of`]).
+pub fn canonicalize(query: &ConjunctiveQuery) -> ConjunctiveQuery {
+    // 1. Stable-sort the body by structural shape. Ties — atoms whose
+    //    shapes are identical — form contiguous groups.
+    let mut body: Vec<&Atom> = query.body.iter().collect();
+    body.sort_by_cached_key(|a| atom_shape(a));
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // [start, end)
+    let mut start = 0;
+    for i in 1..=body.len() {
+        if i == body.len() || atom_shape(body[i]) != atom_shape(body[start]) {
+            groups.push((start, i));
+            start = i;
+        }
+    }
+
+    // 2. Count the tie permutations; past the cap, keep the stable order.
+    let mut perms: usize = 1;
+    for &(s, e) in &groups {
+        perms = perms.saturating_mul(factorial_capped(e - s));
+        if perms > PERMUTATION_CAP {
+            return rename_first_occurrence(&query.head, &cloned(&body));
+        }
+    }
+
+    // 3. Try every within-group permutation; keep the lexicographically
+    //    least renamed query. `ConjunctiveQuery: Ord` makes "least" exact.
+    let mut best: Option<ConjunctiveQuery> = None;
+    let mut order: Vec<usize> = (0..body.len()).collect();
+    permute_groups(&groups, &mut order, 0, &mut |order| {
+        let permuted: Vec<Atom> = order.iter().map(|&i| body[i].clone()).collect();
+        let candidate = rename_first_occurrence(&query.head, &permuted);
+        match &best {
+            Some(b) if *b <= candidate => {}
+            _ => best = Some(candidate),
+        }
+    });
+    best.unwrap_or_else(|| rename_first_occurrence(&query.head, &[]))
+}
+
+fn cloned(body: &[&Atom]) -> Vec<Atom> {
+    body.iter().map(|a| (*a).clone()).collect()
+}
+
+fn factorial_capped(n: usize) -> usize {
+    (1..=n).fold(1usize, |acc, k| acc.saturating_mul(k))
+}
+
+/// Enumerates every permutation that only reorders indices *within* each
+/// tie group, invoking `visit` with the full index order each time.
+fn permute_groups(
+    groups: &[(usize, usize)],
+    order: &mut Vec<usize>,
+    g: usize,
+    visit: &mut dyn FnMut(&[usize]),
+) {
+    let Some(&(s, e)) = groups.get(g) else {
+        visit(order);
+        return;
+    };
+    // Heap's algorithm over order[s..e], recursing into the next group at
+    // each complete arrangement.
+    fn heap(
+        order: &mut Vec<usize>,
+        s: usize,
+        k: usize,
+        groups: &[(usize, usize)],
+        g: usize,
+        visit: &mut dyn FnMut(&[usize]),
+    ) {
+        if k <= 1 {
+            permute_groups(groups, order, g + 1, visit);
+            return;
+        }
+        for i in 0..k {
+            heap(order, s, k - 1, groups, g, visit);
+            // `u64::is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.75.
+            #[allow(clippy::manual_is_multiple_of)]
+            if k % 2 == 0 {
+                order.swap(s + i, s + k - 1);
+            } else {
+                order.swap(s, s + k - 1);
+            }
+        }
+    }
+    let k = e - s;
+    heap(order, s, k, groups, g, visit);
+}
+
+/// True iff `b` is `a` under a bijective variable renaming, position by
+/// position (same head predicate, same body order, same constants). This
+/// is the exact relation [`CanonicalQuery`] must respect for queries whose
+/// atom order already agrees; it reuses the [`Substitution`] term-matching
+/// plumbing underneath the containment test, then checks the resulting
+/// map is a variable-to-variable bijection.
+pub fn is_variable_renaming(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    if a.head.predicate != b.head.predicate || a.len() != b.len() {
+        return false;
+    }
+    let mut forward = Substitution::new();
+    let mut pairs = vec![(&a.head, &b.head)];
+    pairs.extend(a.body.iter().zip(&b.body));
+    for (pa, pb) in pairs {
+        if pa.predicate != pb.predicate || pa.arity() != pb.arity() {
+            return false;
+        }
+        for (ta, tb) in pa.terms.iter().zip(&pb.terms) {
+            match (ta, tb) {
+                // Constants must agree exactly; a renaming never touches
+                // them. Mixed var/const positions are not renamings.
+                (Term::Const(_), _) | (_, Term::Const(_)) => {
+                    if ta != tb {
+                        return false;
+                    }
+                }
+                (Term::Var(_), Term::Var(_)) => {
+                    if !forward.match_term(ta, tb) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    // `match_term` guarantees functionality; a renaming also needs
+    // injectivity (no two of a's variables collapsing onto one of b's).
+    let mut images: Vec<&Term> = forward.iter().map(|(_, t)| t).collect();
+    images.sort();
+    images.windows(2).all(|w| w[0] != w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        parse_query(text).unwrap()
+    }
+
+    fn key(text: &str) -> CanonicalQuery {
+        CanonicalQuery::of(&q(text))
+    }
+
+    #[test]
+    fn renamed_queries_collide() {
+        assert_eq!(
+            key("q(M, R) :- play_in(ford, M), review_of(R, M)"),
+            key("q(Movie, Rev) :- play_in(ford, Movie), review_of(Rev, Movie)"),
+        );
+    }
+
+    #[test]
+    fn swapped_variable_names_collide() {
+        // X↔Y is a bijection; the occurrence pattern is unchanged.
+        assert_eq!(key("q(X) :- r(X, Y), s(Y)"), key("q(Y) :- r(Y, X), s(X)"),);
+    }
+
+    #[test]
+    fn reordered_atoms_collide() {
+        assert_eq!(key("q(X) :- a(X, Y), b(Y)"), key("q(X) :- b(Y), a(X, Y)"),);
+    }
+
+    #[test]
+    fn reordered_and_renamed_collide() {
+        assert_eq!(
+            key("q(U, V) :- r(U, W), s(W, V)"),
+            key("q(X, Y) :- s(Z, Y), r(X, Z)"),
+        );
+    }
+
+    #[test]
+    fn different_constants_do_not_collide() {
+        assert_ne!(
+            key("q(M) :- play_in(ford, M)"),
+            key("q(M) :- play_in(hanks, M)")
+        );
+        assert_ne!(key("q(X) :- r(X, 1)"), key("q(X) :- r(X, 2)"));
+    }
+
+    #[test]
+    fn different_predicates_do_not_collide() {
+        assert_ne!(key("q(X) :- r(X)"), key("q(X) :- s(X)"));
+        assert_ne!(key("q(X) :- r(X)"), key("p(X) :- r(X)"), "head name counts");
+    }
+
+    #[test]
+    fn atom_multiplicity_does_not_collide() {
+        assert_ne!(key("q(X) :- r(X), r(Y)"), key("q(X) :- r(X)"));
+        assert_ne!(key("q(X) :- r(X), r(X)"), key("q(X) :- r(X)"));
+    }
+
+    #[test]
+    fn repetition_pattern_is_significant() {
+        assert_ne!(key("q(X) :- r(X, X)"), key("q(X) :- r(X, Y)"));
+    }
+
+    #[test]
+    fn variable_vs_constant_is_significant() {
+        assert_ne!(key("q(X) :- r(X, c)"), key("q(X) :- r(X, Y)"));
+    }
+
+    #[test]
+    fn canonical_form_uses_v_names_in_order() {
+        let c = key("q(Movie, Rev) :- review_of(Rev, Movie)");
+        assert_eq!(c.query().to_string(), "q(V0, V1) :- review_of(V1, V0)");
+    }
+
+    #[test]
+    fn canonical_form_is_a_fixpoint() {
+        for text in [
+            "q(X) :- r(X, Y), s(Y)",
+            "q(X) :- b(Y), a(X, Y)",
+            "q(X, Y) :- r(X, Z), r(Z, Y)",
+            "q(X) :- r(X), r(Y), r(Z)",
+        ] {
+            let once = CanonicalQuery::of(&q(text));
+            let twice = CanonicalQuery::of(once.query());
+            assert_eq!(once, twice, "{text}");
+        }
+    }
+
+    #[test]
+    fn tied_self_join_atoms_canonicalize_order_independently() {
+        // Both atoms share the shape r(v0, v1); the canonical form must not
+        // depend on which comes first in the input.
+        assert_eq!(
+            key("q(X, Y) :- r(X, Z), r(Z, Y)"),
+            key("q(X, Y) :- r(Z, Y), r(X, Z)"),
+        );
+    }
+
+    #[test]
+    fn is_variable_renaming_accepts_bijections() {
+        assert!(is_variable_renaming(
+            &q("q(X) :- r(X, Y), s(Y)"),
+            &q("q(A) :- r(A, B), s(B)"),
+        ));
+        assert!(is_variable_renaming(
+            &q("q(X) :- r(X, Y)"),
+            &q("q(Y) :- r(Y, X)"),
+        ));
+    }
+
+    #[test]
+    fn is_variable_renaming_rejects_non_bijections() {
+        // Collapsing two variables onto one is not injective.
+        assert!(!is_variable_renaming(
+            &q("q(X) :- r(X, Y)"),
+            &q("q(X) :- r(X, X)"),
+        ));
+        // And the reverse direction is not functional.
+        assert!(!is_variable_renaming(
+            &q("q(X) :- r(X, X)"),
+            &q("q(X) :- r(X, Y)"),
+        ));
+        // Constants must match exactly.
+        assert!(!is_variable_renaming(
+            &q("q(X) :- r(X, c)"),
+            &q("q(X) :- r(X, d)")
+        ));
+        assert!(!is_variable_renaming(
+            &q("q(X) :- r(X, c)"),
+            &q("q(X) :- r(X, Y)")
+        ));
+        // Different atom order is not a positional renaming (the canonical
+        // key still identifies these — via sorting, not via this check).
+        assert!(!is_variable_renaming(
+            &q("q(X) :- a(X), b(X)"),
+            &q("q(X) :- b(X), a(X)"),
+        ));
+    }
+
+    #[test]
+    fn canonicalization_agrees_with_is_variable_renaming() {
+        // Same atom order: key equality must coincide with the positional
+        // renaming check.
+        let pairs = [
+            ("q(X) :- r(X, Y), s(Y)", "q(B) :- r(B, A), s(A)", true),
+            ("q(X) :- r(X, Y), s(Y)", "q(B) :- r(B, A), s(B)", false),
+            (
+                "q(X, Y) :- r(X, Z), r(Z, Y)",
+                "q(A, B) :- r(A, C), r(C, B)",
+                true,
+            ),
+        ];
+        for (a, b, expect) in pairs {
+            assert_eq!(is_variable_renaming(&q(a), &q(b)), expect, "{a} vs {b}");
+            assert_eq!(key(a) == key(b), expect, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_body_canonicalizes() {
+        let c = key("q(c) :- true");
+        assert!(c.query().body.is_empty());
+        assert_eq!(key("q(c) :- true"), c);
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod atom;
+pub mod canonical;
 pub mod containment;
 pub mod eval;
 pub mod expansion;
@@ -35,9 +36,10 @@ pub mod term;
 pub mod view;
 
 pub use atom::Atom;
+pub use canonical::{canonicalize, is_variable_renaming, CanonicalQuery};
 pub use containment::{contains, equivalent, find_containment_mapping};
 pub use eval::{Database, Tuple};
-pub use expansion::expand_plan;
+pub use expansion::{expand_plan, ExpansionError};
 pub use parse::{parse_atom, parse_query, ParseError};
 pub use query::ConjunctiveQuery;
 pub use soundness::is_sound_plan;

@@ -9,7 +9,11 @@ use std::sync::Arc;
 
 /// A conjunctive query: a head atom over distinguished terms and a body of
 /// subgoal atoms over mediated-schema (or source) relations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash`/`Ord` are structural (head, then body, position by position), so
+/// a query can key maps directly; see [`crate::canonical::CanonicalQuery`]
+/// for a key that identifies queries up to variable renaming.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConjunctiveQuery {
     /// Head atom; its predicate names the query and its terms are the
     /// distinguished (output) terms.

@@ -1,0 +1,138 @@
+//! Property tests for query canonicalization: variable-renamed (and
+//! body-permuted) queries collide on [`CanonicalQuery`]; queries differing
+//! in constants, predicate names, or atom multiplicity do not.
+
+use proptest::prelude::*;
+use qpo_datalog::{
+    is_variable_renaming, Atom, CanonicalQuery, ConjunctiveQuery, Substitution, Term,
+};
+
+/// Strategy: a random small conjunctive query over relations `r0..r2`
+/// (binary) with variables `X0..X3` and occasional integer constants.
+fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    let term = prop_oneof![
+        (0usize..4).prop_map(|i| Term::var(format!("X{i}"))),
+        (0i64..3).prop_map(Term::int),
+    ];
+    let atom = (0usize..3, proptest::collection::vec(term, 2))
+        .prop_map(|(r, ts)| Atom::new(format!("r{r}"), ts));
+    proptest::collection::vec(atom, 1..4).prop_map(|body| {
+        let mut vars = Vec::new();
+        for a in &body {
+            for v in a.variables() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let head = Atom::new("q", vars.into_iter().map(Term::Var).collect());
+        ConjunctiveQuery::new(head, body)
+    })
+}
+
+/// Applies a bijective variable renaming chosen by `perm_seed`: the
+/// query's variables (in first-occurrence order) are mapped onto fresh
+/// names `Z{σ(i)}` for a permutation σ derived from the seed.
+fn rename_bijectively(q: &ConjunctiveQuery, perm_seed: u64) -> ConjunctiveQuery {
+    let vars = q.all_variables();
+    let n = vars.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher–Yates driven by a splitmix-style walk over the seed.
+    let mut s = perm_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    for i in (1..n).rev() {
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s ^= s >> 27;
+        let j = (s % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut subst = Substitution::new();
+    for (i, v) in vars.iter().enumerate() {
+        subst.bind(v.as_ref(), Term::var(format!("Z{}", order[i])));
+    }
+    q.apply(&subst)
+}
+
+/// Rotates the body by `k` positions (a permutation of atoms).
+fn rotate_body(q: &ConjunctiveQuery, k: usize) -> ConjunctiveQuery {
+    if q.body.is_empty() {
+        return q.clone();
+    }
+    let k = k % q.body.len();
+    let mut body = q.body[k..].to_vec();
+    body.extend_from_slice(&q.body[..k]);
+    ConjunctiveQuery::new(q.head.clone(), body)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn renamed_queries_share_a_key(q in arb_query(), seed in 0u64..1000) {
+        let renamed = rename_bijectively(&q, seed);
+        prop_assert!(is_variable_renaming(&q, &renamed),
+            "bijective rename not recognized: {q} vs {renamed}");
+        prop_assert_eq!(CanonicalQuery::of(&q), CanonicalQuery::of(&renamed),
+            "keys diverge for {} vs {}", q, renamed);
+    }
+
+    #[test]
+    fn renamed_and_permuted_queries_share_a_key(
+        q in arb_query(), seed in 0u64..1000, rot in 0usize..4
+    ) {
+        let mutated = rotate_body(&rename_bijectively(&q, seed), rot);
+        prop_assert_eq!(CanonicalQuery::of(&q), CanonicalQuery::of(&mutated),
+            "keys diverge for {} vs {}", q, mutated);
+    }
+
+    #[test]
+    fn prefix_renaming_shares_a_key(q in arb_query()) {
+        // `rename_with_prefix` is the bijection the expansion machinery
+        // itself uses; it must never change the key.
+        let renamed = q.rename_with_prefix("zz_");
+        prop_assert_eq!(CanonicalQuery::of(&q), CanonicalQuery::of(&renamed));
+    }
+
+    #[test]
+    fn constant_change_changes_the_key(q in arb_query(), delta in 10i64..20) {
+        // Shift every integer constant out of its original range: the
+        // query differs in constants only, and must not collide.
+        let had_const = q.body.iter().any(|a| a.terms.iter().any(|t| !t.is_var()));
+        if had_const {
+            let body = q.body.iter().map(|a| Atom::new(
+                a.predicate.as_ref(),
+                a.terms.iter().map(|t| match t {
+                    Term::Const(qpo_datalog::Constant::Int(v)) => Term::int(v + delta),
+                    other => other.clone(),
+                }).collect(),
+            )).collect();
+            let shifted = ConjunctiveQuery::new(q.head.clone(), body);
+            prop_assert_ne!(CanonicalQuery::of(&q), CanonicalQuery::of(&shifted),
+                "constant shift collided: {} vs {}", q, shifted);
+        }
+    }
+
+    #[test]
+    fn predicate_rename_changes_the_key(q in arb_query()) {
+        let body: Vec<Atom> = q.body.iter().map(|a| Atom::new(
+            format!("{}x", a.predicate), a.terms.clone(),
+        )).collect();
+        let renamed = ConjunctiveQuery::new(q.head.clone(), body);
+        prop_assert_ne!(CanonicalQuery::of(&q), CanonicalQuery::of(&renamed));
+    }
+
+    #[test]
+    fn duplicating_an_atom_changes_the_key(q in arb_query()) {
+        let mut body = q.body.clone();
+        body.push(q.body[0].clone());
+        let dup = ConjunctiveQuery::new(q.head.clone(), body);
+        prop_assert_ne!(CanonicalQuery::of(&q), CanonicalQuery::of(&dup),
+            "multiplicity collided: {} vs {}", q, dup);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent(q in arb_query()) {
+        let once = CanonicalQuery::of(&q);
+        prop_assert_eq!(once.clone(), CanonicalQuery::of(once.query()));
+    }
+}

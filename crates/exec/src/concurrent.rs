@@ -17,7 +17,7 @@
 
 use crate::mediator::{build_orderer_observed, Mediator, MediatorError, StopCondition, Strategy};
 use qpo_datalog::{is_sound_plan, ConjunctiveQuery, Database, SourceDescription, Tuple};
-use qpo_obs::Obs;
+use qpo_obs::{Counter, Obs};
 use qpo_reformulation::Reformulation;
 use qpo_runtime::{
     Executor, PlanEvaluator, RunBudget, RuntimePolicy, RuntimeRun, SourceGrid, SourceHealth,
@@ -33,12 +33,21 @@ struct MediatorEvaluator<'a> {
     reform: &'a Reformulation,
     db: &'a Database,
     view_map: BTreeMap<Arc<str>, SourceDescription>,
+    soundness_errors: Counter,
 }
 
 impl PlanEvaluator for MediatorEvaluator<'_> {
     fn is_sound(&self, plan: &[usize]) -> bool {
         let plan_query = self.reform.plan_query(plan);
-        is_sound_plan(&plan_query, &self.view_map, &self.reform.query).unwrap_or(false)
+        match is_sound_plan(&plan_query, &self.view_map, &self.reform.query) {
+            Ok(verdict) => verdict,
+            Err(_) => {
+                // The test errored rather than returning a verdict; treat
+                // the plan as unsound but count it instead of swallowing.
+                self.soundness_errors.inc();
+                false
+            }
+        }
     }
 
     fn evaluate(&self, plan: &[usize]) -> Vec<Tuple> {
@@ -126,19 +135,20 @@ impl Mediator {
         policy: RuntimePolicy,
         obs: &Obs,
     ) -> Result<ConcurrentRun, MediatorError> {
-        let (reform, inst) = self.reformulation(query)?;
-        let mut orderer = build_orderer_observed(&inst, measure, strategy, obs)?;
+        let prepared = self.prepare(query)?;
+        let mut orderer = build_orderer_observed(&prepared.instance, measure, strategy, obs)?;
         obs.registry
             .counter(
                 "qpo_mediator_runs_total",
                 &[("orderer", orderer.algorithm_name())],
             )
             .inc();
-        let grid = SourceGrid::from_instance(&inst);
+        let grid = SourceGrid::from_instance(&prepared.instance);
         let eval = MediatorEvaluator {
-            reform: &reform,
+            reform: &prepared.reformulation,
             db: self.database(),
             view_map: self.catalog().view_map(),
+            soundness_errors: obs.registry.counter("qpo_soundness_test_errors_total", &[]),
         };
         let runtime = Executor::new(&grid, &eval, policy)
             .with_obs(obs)

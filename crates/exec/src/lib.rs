@@ -15,8 +15,14 @@ pub mod extensions;
 pub mod mediator;
 pub mod pipeline;
 pub mod profile;
+pub mod session;
 
 pub use concurrent::ConcurrentRun;
 pub use extensions::{populate_sources, try_populate_sources, ExtensionError};
-pub use mediator::{Mediator, MediatorError, MediatorRun, PlanReport, StopCondition, Strategy};
+pub use mediator::{
+    Mediator, MediatorError, MediatorRun, PlanReport, StopCondition, Strategy,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use profile::{estimate_extent, estimate_tuples, format_kernel_stats, profile_catalog};
+pub use qpo_reformulation::{CacheStats, PreparedQuery, ReformulationCache};
+pub use session::QuerySession;

@@ -1,23 +1,40 @@
-//! The end-to-end mediator loop: reformulate → order → test soundness →
-//! execute → union (the architecture of §1–2 of the paper).
+//! The end-to-end mediator: reformulate → order → test soundness →
+//! execute → union (the architecture of §1–2 of the paper), packaged as a
+//! shared query-serving layer.
 //!
-//! Plans come out of a [`PlanOrderer`] in decreasing-utility order; each is
-//! tested for soundness as it pops out (unsound candidates are discarded,
-//! exactly the strategy of §2), executed against the source extensions, and
-//! its answers unioned into the result. The run report records how many
-//! *new* tuples each plan contributed — the empirical counterpart of plan
-//! coverage, and the quantity an "anytime" client cares about.
+//! The mediator is cheap to clone ([`Arc`] internals) and serves many
+//! queries over its lifetime. Plan generation — reformulation plus
+//! instance assembly, the expensive pure prefix of every run — is cached
+//! in a bounded LRU keyed on the query's
+//! [`qpo_datalog::CanonicalQuery`], so structurally-identical queries
+//! (equal up to variable renaming and body order) prepare once and serve
+//! many times. Execution happens in a [`QuerySession`]: plans come out of
+//! a [`PlanOrderer`] in decreasing-utility order, each is tested for
+//! soundness as it pops out (unsound candidates are discarded, exactly the
+//! strategy of §2), executed against the source extensions, and its
+//! answers unioned into the result. [`Mediator::answer`] and
+//! [`Mediator::answer_until`] are thin wrappers over one-shot sessions.
 
 use crate::extensions::populate_sources;
+use crate::session::QuerySession;
 use qpo_catalog::Catalog;
 use qpo_core::{
     ByExpectedTuples, Greedy, IDrips, OrderedPlan, OrdererError, Pi, PlanOrderer, Streamer,
 };
-use qpo_datalog::{is_sound_plan, ConjunctiveQuery, Database, Tuple};
-use qpo_reformulation::{reformulate, Reformulation, ReformulationError};
+use qpo_datalog::{
+    is_sound_plan, ConjunctiveQuery, Database, ExpansionError, SourceDescription, Tuple,
+};
+use qpo_obs::Obs;
+use qpo_reformulation::{
+    reformulate, CacheStats, PreparedQuery, Reformulation, ReformulationCache, ReformulationError,
+};
 use qpo_utility::UtilityMeasure;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
+
+/// Default bound on the reformulation cache (entries, not bytes).
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 
 /// Which ordering algorithm the mediator uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,15 +49,21 @@ pub enum Strategy {
     Pi,
 }
 
-impl fmt::Display for Strategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+impl Strategy {
+    /// Stable label, used for metric labels and display.
+    pub fn label(&self) -> &'static str {
+        match self {
             Strategy::Greedy => "greedy",
             Strategy::IDrips => "idrips",
             Strategy::Streamer => "streamer",
             Strategy::Pi => "pi",
-        };
-        write!(f, "{name}")
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
     }
 }
 
@@ -55,6 +78,12 @@ pub struct PlanReport {
     pub query: ConjunctiveQuery,
     /// Whether the soundness test admitted the plan.
     pub sound: bool,
+    /// Set when the soundness test itself *failed* (the plan could not be
+    /// expanded against the view definitions) rather than returning a
+    /// verdict. Such plans are treated as unsound but the error is
+    /// surfaced here — and counted on `qpo_soundness_test_errors_total` —
+    /// instead of being silently swallowed.
+    pub soundness_error: Option<ExpansionError>,
     /// Tuples this plan produced that no earlier plan had (0 if unsound —
     /// unsound plans are not executed).
     pub new_tuples: usize,
@@ -73,7 +102,9 @@ pub struct StopCondition {
     /// Stop after emitting this many plans (sound or not).
     pub max_plans: Option<usize>,
     /// Stop once cumulative *negated utility* (i.e. cost, for cost-like
-    /// measures) of executed plans exceeds this budget.
+    /// measures) of executed plans exceeds this budget. Only sound plans
+    /// are executed, so only they spend budget — a discarded candidate
+    /// costs nothing.
     pub max_cost: Option<f64>,
 }
 
@@ -99,7 +130,7 @@ impl StopCondition {
         }
     }
 
-    fn satisfied(&self, answers: usize, plans: usize, spent: f64) -> bool {
+    pub(crate) fn satisfied(&self, answers: usize, plans: usize, spent: f64) -> bool {
         self.enough_answers.is_some_and(|n| answers >= n)
             || self.max_plans.is_some_and(|n| plans >= n)
             || self.max_cost.is_some_and(|c| spent > c)
@@ -178,15 +209,57 @@ pub(crate) fn build_orderer_observed<'a, M: UtilityMeasure>(
     })
 }
 
+/// Soundness-tests `ordered` against the view definitions and, if sound,
+/// executes it against `db`, unioning into `answers`. The single
+/// report-building step shared by [`QuerySession`], the pipelined path,
+/// and the reference loop — so every path classifies and accounts plans
+/// identically.
+pub(crate) fn execute_plan(
+    reform: &Reformulation,
+    view_map: &BTreeMap<Arc<str>, SourceDescription>,
+    db: &Database,
+    answers: &mut BTreeSet<Tuple>,
+    ordered: OrderedPlan,
+) -> PlanReport {
+    let plan_query = reform.plan_query(&ordered.plan);
+    let sources = reform.plan_sources(&ordered.plan);
+    let (sound, soundness_error) = match is_sound_plan(&plan_query, view_map, &reform.query) {
+        Ok(verdict) => (verdict, None),
+        Err(e) => (false, Some(e)),
+    };
+    let mut new_tuples = 0;
+    if sound {
+        for t in db.evaluate(&plan_query) {
+            if answers.insert(t) {
+                new_tuples += 1;
+            }
+        }
+    }
+    PlanReport {
+        ordered,
+        sources,
+        query: plan_query,
+        sound,
+        soundness_error,
+        new_tuples,
+        cumulative: answers.len(),
+    }
+}
+
 /// A data integration mediator over a catalog with materialized source
 /// extensions.
+///
+/// All internals sit behind [`Arc`]s: cloning a `Mediator` is cheap, and
+/// every clone shares the catalog, the source extensions, the
+/// reformulation cache, and the observability bundle — the intended shape
+/// for a query-serving process where many threads each hold a handle and
+/// open [`QuerySession`]s independently.
+#[derive(Clone)]
 pub struct Mediator {
-    catalog: Catalog,
-    db: Database,
-    /// Per-subgoal universe used when assembling problem instances.
-    universe: u64,
-    /// Access overhead `h` for the cost measures.
-    overhead: f64,
+    catalog: Arc<Catalog>,
+    db: Arc<Database>,
+    cache: Arc<ReformulationCache>,
+    obs: Obs,
 }
 
 impl Mediator {
@@ -194,12 +267,38 @@ impl Mediator {
     /// catalog's extents with the given value pool.
     pub fn new(catalog: Catalog, universe: u64, pool: &[&str]) -> Self {
         let db = populate_sources(&catalog, pool);
+        let obs = Obs::new();
+        let cache = ReformulationCache::new(DEFAULT_CACHE_CAPACITY, universe, 5.0).with_obs(&obs);
         Mediator {
-            catalog,
-            db,
-            universe,
-            overhead: 5.0,
+            catalog: Arc::new(catalog),
+            db: Arc::new(db),
+            cache: Arc::new(cache),
+            obs,
         }
+    }
+
+    /// Rebinds the mediator's telemetry to `obs`: session metrics, cache
+    /// counters, and the ordering kernels' instruments all land on
+    /// `obs.registry`. Rebuilds the (empty) cache so its counters re-home;
+    /// call during setup, before serving.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self.rebuild_cache(self.cache.capacity());
+        self
+    }
+
+    /// Replaces the reformulation cache with an empty one bounded at
+    /// `capacity` entries (minimum 1).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.rebuild_cache(capacity);
+        self
+    }
+
+    fn rebuild_cache(&mut self, capacity: usize) {
+        self.cache = Arc::new(
+            ReformulationCache::new(capacity, self.cache.universe(), self.cache.overhead())
+                .with_obs(&self.obs),
+        );
     }
 
     /// The source database (for inspection).
@@ -212,12 +311,33 @@ impl Mediator {
         &self.catalog
     }
 
+    /// The observability bundle sessions and the cache report into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Hit/miss/eviction/generation counters of the reformulation cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     pub(crate) fn universe(&self) -> u64 {
-        self.universe
+        self.cache.universe()
     }
 
     pub(crate) fn overhead(&self) -> f64 {
-        self.overhead
+        self.cache.overhead()
+    }
+
+    /// Reformulates `query` and assembles its problem instance, served
+    /// from the canonicalized cache when a structurally-identical query
+    /// (equal up to variable renaming and body order) was prepared before.
+    /// On a hit, bucket generation and instance assembly are skipped
+    /// entirely and the shared [`PreparedQuery`] is returned.
+    pub fn prepare(&self, query: &ConjunctiveQuery) -> Result<Arc<PreparedQuery>, MediatorError> {
+        self.cache
+            .get_or_prepare(&self.catalog, query)
+            .map_err(MediatorError::Reformulation)
     }
 
     /// Answers `query`: orders plans under `measure` with `strategy`,
@@ -246,7 +366,28 @@ impl Mediator {
     /// exhausted. This is the execution model the paper motivates in §1 —
     /// because the plans arrive best first, stopping early still leaves the
     /// user with the most valuable answers per unit of work.
+    ///
+    /// Implemented as a one-shot [`QuerySession`] drained against `stop`;
+    /// open a session directly to pull plans one at a time.
     pub fn answer_until<M: UtilityMeasure>(
+        &self,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        stop: StopCondition,
+    ) -> Result<MediatorRun, MediatorError> {
+        let prepared = self.prepare(query)?;
+        let mut session = QuerySession::new(self, &prepared, measure, strategy)?;
+        Ok(session.drain(stop))
+    }
+
+    /// The pre-session mediator loop, kept verbatim (modulo the shared
+    /// [`execute_plan`] step) as a differential reference: it reformulates
+    /// directly — bypassing the canonicalized cache — and drives the
+    /// orderer inline, with no session machinery and no `observe`
+    /// feedback. The `session_equivalence` integration tests pin
+    /// [`Mediator::answer_until`] to this path bit for bit.
+    pub fn reference_answer_until<M: UtilityMeasure>(
         &self,
         query: &ConjunctiveQuery,
         measure: &M,
@@ -255,59 +396,24 @@ impl Mediator {
     ) -> Result<MediatorRun, MediatorError> {
         let reform = reformulate(&self.catalog, query).map_err(MediatorError::Reformulation)?;
         let inst = reform
-            .problem_instance(&self.catalog, self.universe, self.overhead)
+            .problem_instance(&self.catalog, self.universe(), self.overhead())
             .map_err(MediatorError::Reformulation)?;
         let mut orderer = build_orderer(&inst, measure, strategy)?;
-        Ok(self.run(&reform, orderer.as_mut(), stop))
-    }
-
-    pub(crate) fn reformulation(
-        &self,
-        query: &ConjunctiveQuery,
-    ) -> Result<(Reformulation, qpo_catalog::ProblemInstance), MediatorError> {
-        let reform = reformulate(&self.catalog, query).map_err(MediatorError::Reformulation)?;
-        let inst = reform
-            .problem_instance(&self.catalog, self.universe, self.overhead)
-            .map_err(MediatorError::Reformulation)?;
-        Ok((reform, inst))
-    }
-
-    fn run(
-        &self,
-        reform: &Reformulation,
-        orderer: &mut dyn PlanOrderer,
-        stop: StopCondition,
-    ) -> MediatorRun {
         let view_map = self.catalog.view_map();
         let mut answers: BTreeSet<Tuple> = BTreeSet::new();
-        let mut reports = Vec::new();
+        let mut reports: Vec<PlanReport> = Vec::new();
         let mut spent = 0.0;
         while !stop.satisfied(answers.len(), reports.len(), spent) {
             let Some(ordered) = orderer.next_plan() else {
                 break;
             };
-            spent += -ordered.utility;
-            let plan_query = reform.plan_query(&ordered.plan);
-            let sources = reform.plan_sources(&ordered.plan);
-            let sound = is_sound_plan(&plan_query, &view_map, &reform.query).unwrap_or(false);
-            let mut new_tuples = 0;
-            if sound {
-                for t in self.db.evaluate(&plan_query) {
-                    if answers.insert(t) {
-                        new_tuples += 1;
-                    }
-                }
+            let report = execute_plan(&reform, &view_map, &self.db, &mut answers, ordered);
+            if report.sound {
+                spent += -report.ordered.utility;
             }
-            reports.push(PlanReport {
-                ordered,
-                sources,
-                query: plan_query,
-                sound,
-                new_tuples,
-                cumulative: answers.len(),
-            });
+            reports.push(report);
         }
-        MediatorRun { reports, answers }
+        Ok(MediatorRun { reports, answers })
     }
 }
 
@@ -468,6 +574,37 @@ mod tests {
         let spent: f64 = bounded.reports.iter().map(|r| -r.ordered.utility).sum();
         let last = -bounded.reports.last().unwrap().ordered.utility;
         assert!(spent - last <= budget && spent > budget);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_reformulation_cache() {
+        let m = mediator();
+        m.answer(&movie_query(), &LinearCost, Strategy::Greedy, 3)
+            .unwrap();
+        m.answer(&movie_query(), &LinearCost, Strategy::Greedy, 3)
+            .unwrap();
+        let renamed = qpo_datalog::parse_query(
+            "q(Movie, Rev) :- play_in(ford, Movie), review_of(Rev, Movie)",
+        )
+        .unwrap();
+        m.answer(&renamed, &LinearCost, Strategy::Greedy, 3)
+            .unwrap();
+        let stats = m.cache_stats();
+        assert_eq!(stats.generations, 1, "one shape, prepared once");
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn clones_share_the_cache_and_database() {
+        let m = mediator();
+        let clone = m.clone();
+        m.answer(&movie_query(), &LinearCost, Strategy::Greedy, 3)
+            .unwrap();
+        let run = clone
+            .answer(&movie_query(), &LinearCost, Strategy::Greedy, 3)
+            .unwrap();
+        assert!(!run.answers.is_empty());
+        assert_eq!(clone.cache_stats().hits, 1, "clone hits the shared cache");
     }
 
     #[test]

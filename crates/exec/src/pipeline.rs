@@ -7,10 +7,9 @@
 //! consumer side, connected by a bounded channel — the k-th best plan is
 //! being computed while the (k−1)-th is executing.
 
-use crate::mediator::{Mediator, MediatorError, MediatorRun, PlanReport, Strategy};
+use crate::mediator::{execute_plan, Mediator, MediatorError, MediatorRun, PlanReport, Strategy};
 use qpo_core::{ByExpectedTuples, Greedy, IDrips, OrderedPlan, Pi, PlanOrderer, Streamer};
-use qpo_datalog::{is_sound_plan, Tuple};
-use qpo_reformulation::reformulate;
+use qpo_datalog::Tuple;
 use qpo_utility::UtilityMeasure;
 use std::collections::BTreeSet;
 
@@ -28,22 +27,21 @@ impl Mediator {
         strategy: Strategy,
         k: usize,
     ) -> Result<MediatorRun, MediatorError> {
-        let reform = reformulate(self.catalog(), query).map_err(MediatorError::Reformulation)?;
-        let inst = reform
-            .problem_instance(self.catalog(), self.universe(), self.overhead())
-            .map_err(MediatorError::Reformulation)?;
+        let prepared = self.prepare(query)?;
+        let inst = &prepared.instance;
+        let reform = &prepared.reformulation;
 
         // Validate applicability on this thread so errors surface before
         // any thread is spawned.
         let mut orderer: Box<dyn PlanOrderer + Send + '_> = match strategy {
             Strategy::Greedy => {
-                Box::new(Greedy::new(&inst, measure).map_err(MediatorError::Orderer)?)
+                Box::new(Greedy::new(inst, measure).map_err(MediatorError::Orderer)?)
             }
-            Strategy::IDrips => Box::new(IDrips::new(&inst, measure, ByExpectedTuples)),
+            Strategy::IDrips => Box::new(IDrips::new(inst, measure, ByExpectedTuples)),
             Strategy::Streamer => Box::new(
-                Streamer::new(&inst, measure, &ByExpectedTuples).map_err(MediatorError::Orderer)?,
+                Streamer::new(inst, measure, &ByExpectedTuples).map_err(MediatorError::Orderer)?,
             ),
-            Strategy::Pi => Box::new(Pi::new(&inst, measure)),
+            Strategy::Pi => Box::new(Pi::new(inst, measure)),
         };
 
         let view_map = self.catalog().view_map();
@@ -67,27 +65,15 @@ impl Mediator {
             // Consumer: soundness-test, execute, union — while the
             // producer works on the next plan.
             let mut answers: BTreeSet<Tuple> = BTreeSet::new();
-            let mut reports = Vec::new();
+            let mut reports: Vec<PlanReport> = Vec::new();
             while let Ok(ordered) = rx.recv() {
-                let plan_query = reform.plan_query(&ordered.plan);
-                let sources = reform.plan_sources(&ordered.plan);
-                let sound = is_sound_plan(&plan_query, &view_map, &reform.query).unwrap_or(false);
-                let mut new_tuples = 0;
-                if sound {
-                    for t in self.database().evaluate(&plan_query) {
-                        if answers.insert(t) {
-                            new_tuples += 1;
-                        }
-                    }
-                }
-                reports.push(PlanReport {
+                reports.push(execute_plan(
+                    reform,
+                    &view_map,
+                    self.database(),
+                    &mut answers,
                     ordered,
-                    sources,
-                    query: plan_query,
-                    sound,
-                    new_tuples,
-                    cumulative: answers.len(),
-                });
+                ));
             }
             MediatorRun { reports, answers }
         });

@@ -1,0 +1,279 @@
+//! Pull-based query sessions: the serving layer's unit of execution.
+//!
+//! A [`QuerySession`] binds one [`PreparedQuery`] (possibly shared via the
+//! mediator's reformulation cache) to one freshly-built [`PlanOrderer`]
+//! and lets the caller *pull* executed plans one at a time with
+//! [`QuerySession::next_report`], or drain them against a
+//! [`StopCondition`] with [`QuerySession::drain`]. This is the anytime
+//! interaction model of §1 of the paper made explicit: the client decides
+//! after every plan whether the answers so far are satisfactory.
+//!
+//! Sessions report into the mediator's observability bundle:
+//! `qpo_sessions_total{strategy}` counts openings,
+//! `qpo_session_time_to_first_plan_ms{strategy}` and
+//! `qpo_session_time_to_plan_ms{strategy}` histogram the latency from
+//! session open to the first / every plan report, and
+//! `qpo_soundness_test_errors_total` counts soundness tests that errored
+//! rather than returning a verdict (surfaced per plan on
+//! [`PlanReport::soundness_error`]).
+
+use crate::mediator::{
+    build_orderer_observed, execute_plan, Mediator, MediatorError, MediatorRun, PlanReport,
+    StopCondition, Strategy,
+};
+use qpo_core::{PlanOrderer, PlanOutcome};
+use qpo_datalog::{Database, SourceDescription, Tuple};
+use qpo_obs::{Counter, Histogram};
+use qpo_reformulation::PreparedQuery;
+use qpo_utility::UtilityMeasure;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An open query-serving session: one prepared query, one orderer, and
+/// the accumulated answer set.
+///
+/// The session borrows the mediator and the prepared query for its
+/// lifetime `'s`; the usual shape is
+///
+/// ```ignore
+/// let prepared = mediator.prepare(&query)?;
+/// let mut session = QuerySession::new(&mediator, &prepared, &measure, strategy)?;
+/// while let Some(report) = session.next_report() {
+///     /* inspect report, stop whenever satisfied */
+/// }
+/// ```
+///
+/// Sound plans spend budget and are fed back to the orderer as
+/// [`PlanOutcome::succeeded`] (a no-op for every built-in orderer — their
+/// emission already assumes execution — but it keeps the feedback channel
+/// uniform with the concurrent runtime). Unsound plans spend nothing; with
+/// [`QuerySession::with_retract_unsound`] they are additionally reported
+/// as failures so context-sensitive orderers stop crediting them.
+pub struct QuerySession<'s> {
+    prepared: &'s PreparedQuery,
+    db: &'s Database,
+    view_map: BTreeMap<Arc<str>, SourceDescription>,
+    orderer: Box<dyn PlanOrderer + 's>,
+    strategy: Strategy,
+    retract_unsound: bool,
+    answers: BTreeSet<Tuple>,
+    plans_emitted: usize,
+    spent: f64,
+    opened: Instant,
+    time_to_first_plan: Histogram,
+    time_to_plan: Histogram,
+    soundness_errors: Counter,
+}
+
+impl<'s> QuerySession<'s> {
+    /// Opens a session for `prepared` on `mediator`, building the orderer
+    /// `strategy` prescribes under `measure`. Fails fast (before any plan
+    /// work) when the strategy does not apply to the measure.
+    pub fn new<M: UtilityMeasure>(
+        mediator: &'s Mediator,
+        prepared: &'s PreparedQuery,
+        measure: &'s M,
+        strategy: Strategy,
+    ) -> Result<QuerySession<'s>, MediatorError> {
+        let obs = mediator.obs();
+        let orderer = build_orderer_observed(&prepared.instance, measure, strategy, obs)?;
+        let labels = [("strategy", strategy.label())];
+        obs.registry.counter("qpo_sessions_total", &labels).inc();
+        Ok(QuerySession {
+            prepared,
+            db: mediator.database(),
+            view_map: mediator.catalog().view_map(),
+            orderer,
+            strategy,
+            retract_unsound: false,
+            answers: BTreeSet::new(),
+            plans_emitted: 0,
+            spent: 0.0,
+            opened: Instant::now(),
+            time_to_first_plan: obs
+                .registry
+                .histogram("qpo_session_time_to_first_plan_ms", &labels),
+            time_to_plan: obs
+                .registry
+                .histogram("qpo_session_time_to_plan_ms", &labels),
+            soundness_errors: obs.registry.counter("qpo_soundness_test_errors_total", &[]),
+        })
+    }
+
+    /// Also report unsound plans to the orderer as [`PlanOutcome::failed`]
+    /// so context-sensitive orderers retract them. Off by default: the
+    /// reference mediator loop never fed outcomes back, and retraction
+    /// changes later utilities for context-dependent measures.
+    pub fn with_retract_unsound(mut self, retract: bool) -> Self {
+        self.retract_unsound = retract;
+        self
+    }
+
+    /// The strategy this session orders plans with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The prepared query this session serves.
+    pub fn prepared(&self) -> &PreparedQuery {
+        self.prepared
+    }
+
+    /// Distinct answers accumulated so far.
+    pub fn answers(&self) -> &BTreeSet<Tuple> {
+        &self.answers
+    }
+
+    /// Plans emitted so far (sound or not).
+    pub fn plans_emitted(&self) -> usize {
+        self.plans_emitted
+    }
+
+    /// Cost spent so far — negated utility, summed over *sound* plans
+    /// only (unsound candidates are discarded without execution and spend
+    /// nothing).
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Pulls, soundness-tests, and (if sound) executes the next best
+    /// plan. Returns `None` when the plan space is exhausted.
+    pub fn next_report(&mut self) -> Option<PlanReport> {
+        let ordered = self.orderer.next_plan()?;
+        let report = execute_plan(
+            &self.prepared.reformulation,
+            &self.view_map,
+            self.db,
+            &mut self.answers,
+            ordered,
+        );
+        self.plans_emitted += 1;
+        let elapsed_ms = self.opened.elapsed().as_secs_f64() * 1e3;
+        if self.plans_emitted == 1 {
+            self.time_to_first_plan.record(elapsed_ms);
+        }
+        self.time_to_plan.record(elapsed_ms);
+        if report.soundness_error.is_some() {
+            self.soundness_errors.inc();
+        }
+        if report.sound {
+            self.spent += -report.ordered.utility;
+            self.orderer.observe(&PlanOutcome::succeeded(
+                &report.ordered.plan,
+                report.new_tuples,
+            ));
+        } else if self.retract_unsound {
+            self.orderer
+                .observe(&PlanOutcome::failed(&report.ordered.plan));
+        }
+        Some(report)
+    }
+
+    /// Pulls plans until `stop` is satisfied or the plan space is
+    /// exhausted, mirroring the classic mediator loop: the condition is
+    /// checked *before* each pull against the session-cumulative answer
+    /// count, emission count, and spent cost. Returns the reports emitted
+    /// by this call and a snapshot of the cumulative answer set.
+    pub fn drain(&mut self, stop: StopCondition) -> MediatorRun {
+        let mut reports = Vec::new();
+        while !stop.satisfied(self.answers.len(), self.plans_emitted, self.spent) {
+            match self.next_report() {
+                Some(report) => reports.push(report),
+                None => break,
+            }
+        }
+        MediatorRun {
+            reports,
+            answers: self.answers.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+    use qpo_utility::{Coverage, LinearCost};
+
+    fn mediator() -> Mediator {
+        Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"])
+    }
+
+    #[test]
+    fn session_pulls_plans_best_first() {
+        let m = mediator();
+        let prepared = m.prepare(&movie_query()).unwrap();
+        let mut s = QuerySession::new(&m, &prepared, &LinearCost, Strategy::Greedy).unwrap();
+        let mut utilities = Vec::new();
+        while let Some(r) = s.next_report() {
+            utilities.push(r.ordered.utility);
+        }
+        assert_eq!(utilities.len(), 9);
+        assert_eq!(s.plans_emitted(), 9);
+        for w in utilities.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(!s.answers().is_empty());
+    }
+
+    #[test]
+    fn drain_respects_stop_between_calls() {
+        let m = mediator();
+        let prepared = m.prepare(&movie_query()).unwrap();
+        let mut s = QuerySession::new(&m, &prepared, &Coverage, Strategy::Pi).unwrap();
+        let first = s.drain(StopCondition {
+            max_plans: Some(3),
+            ..StopCondition::default()
+        });
+        assert_eq!(first.reports.len(), 3);
+        // max_plans counts session-cumulative emissions: the same stop
+        // condition is already satisfied, so a second drain is empty.
+        let again = s.drain(StopCondition {
+            max_plans: Some(3),
+            ..StopCondition::default()
+        });
+        assert!(again.reports.is_empty());
+        let rest = s.drain(StopCondition::unbounded());
+        assert_eq!(rest.reports.len(), 6, "the remaining plan space");
+        assert_eq!(s.plans_emitted(), 9);
+    }
+
+    #[test]
+    fn session_metrics_land_on_the_mediator_registry() {
+        let obs = qpo_obs::Obs::new();
+        let m = mediator().with_obs(&obs);
+        let prepared = m.prepare(&movie_query()).unwrap();
+        let mut s = QuerySession::new(&m, &prepared, &LinearCost, Strategy::Greedy).unwrap();
+        s.next_report().unwrap();
+        s.next_report().unwrap();
+        let labels = [("strategy", "greedy")];
+        assert_eq!(obs.registry.counter_value("qpo_sessions_total", &labels), 1);
+        assert_eq!(
+            obs.registry
+                .histogram("qpo_session_time_to_first_plan_ms", &labels)
+                .count(),
+            1
+        );
+        assert_eq!(
+            obs.registry
+                .histogram("qpo_session_time_to_plan_ms", &labels)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn spent_counts_only_sound_plans() {
+        let m = mediator();
+        let prepared = m.prepare(&movie_query()).unwrap();
+        let mut s = QuerySession::new(&m, &prepared, &LinearCost, Strategy::Greedy).unwrap();
+        let mut expected = 0.0;
+        while let Some(r) = s.next_report() {
+            if r.sound {
+                expected += -r.ordered.utility;
+            }
+        }
+        assert!((s.spent() - expected).abs() < 1e-12);
+    }
+}

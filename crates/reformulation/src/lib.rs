@@ -10,7 +10,10 @@
 //! - [`minicon`] — MiniCon: generalized buckets covering *sets* of
 //!   subgoals, combined into plan spaces that contain only sound plans;
 //! - [`assemble`] — binds reformulated buckets to catalog statistics,
-//!   producing the [`qpo_catalog::ProblemInstance`] the orderers consume.
+//!   producing the [`qpo_catalog::ProblemInstance`] the orderers consume;
+//! - [`prepared`] — the serving layer's cacheable unit: a pure
+//!   [`PreparedQuery`] (reformulation + instance) behind a bounded LRU
+//!   [`ReformulationCache`] keyed on [`qpo_datalog::CanonicalQuery`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +22,7 @@ pub mod assemble;
 pub mod bucket;
 pub mod inverse;
 pub mod minicon;
+pub mod prepared;
 
 pub use assemble::{minicon_instances, reformulate, Reformulation, ReformulationError};
 pub use bucket::{candidate_plan, create_buckets, enumerate_sound_plans, BucketEntry, Buckets};
@@ -26,3 +30,4 @@ pub use inverse::{
     answer_with_inverse_rules, buckets_from_inverse_rules, invert, InverseRule, RuleTerm,
 };
 pub use minicon::{form_mcds, minicon_plan_spaces, GeneralizedBucket, Mcd, McdPlanSpace};
+pub use prepared::{prepare, CacheStats, PreparedQuery, ReformulationCache};

@@ -1,0 +1,73 @@
+//! Property tests for the canonicalized reformulation cache: any
+//! variable-renamed (and body-rotated) variant of a query must hit the
+//! entry its original created, without re-running plan generation; queries
+//! with different constants must not collide.
+
+use proptest::prelude::*;
+use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+use qpo_datalog::{parse_query, ConjunctiveQuery, Substitution, Term};
+use qpo_reformulation::ReformulationCache;
+use std::sync::Arc;
+
+/// Bijectively renames the query's variables to `W{σ(i)}` under a
+/// permutation σ drawn from `seed` (Fisher–Yates over a splitmix walk).
+fn rename_bijectively(q: &ConjunctiveQuery, seed: u64) -> ConjunctiveQuery {
+    let vars = q.all_variables();
+    let n = vars.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    for i in (1..n).rev() {
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s ^= s >> 27;
+        let j = (s % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut subst = Substitution::new();
+    for (i, v) in vars.iter().enumerate() {
+        subst.bind(v.as_ref(), Term::var(format!("W{}", order[i])));
+    }
+    q.apply(&subst)
+}
+
+fn rotate_body(q: &ConjunctiveQuery, k: usize) -> ConjunctiveQuery {
+    if q.body.is_empty() {
+        return q.clone();
+    }
+    let k = k % q.body.len();
+    let mut body = q.body[k..].to_vec();
+    body.extend_from_slice(&q.body[..k]);
+    ConjunctiveQuery::new(q.head.clone(), body)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn renamed_variants_hit_the_original_entry(seed in 0u64..10_000, rot in 0usize..3) {
+        let catalog = movie_domain();
+        let cache = ReformulationCache::new(8, MOVIE_UNIVERSE, 5.0);
+        let original = cache.get_or_prepare(&catalog, &movie_query()).unwrap();
+        let variant = rotate_body(&rename_bijectively(&movie_query(), seed), rot);
+        let served = cache.get_or_prepare(&catalog, &variant).unwrap();
+        prop_assert!(Arc::ptr_eq(&original, &served),
+            "renamed variant missed the cache: {}", variant);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.generations, 1, "hit must skip plan generation");
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The shared entry serves the representative's plan space.
+        prop_assert_eq!(served.plan_count(), 9);
+    }
+
+    #[test]
+    fn different_constants_stay_separate(seed in 0u64..10_000) {
+        let catalog = movie_domain();
+        let cache = ReformulationCache::new(8, MOVIE_UNIVERSE, 5.0);
+        let q1 = movie_query();
+        let q2 = parse_query("q(M, R) :- play_in(hanks, M), review_of(R, M)").unwrap();
+        let a = cache.get_or_prepare(&catalog, &q1).unwrap();
+        let b = cache.get_or_prepare(&catalog, &rename_bijectively(&q2, seed)).unwrap();
+        prop_assert!(!Arc::ptr_eq(&a, &b), "distinct constants collided");
+        prop_assert_eq!(cache.stats().generations, 2);
+    }
+}

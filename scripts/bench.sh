@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Ordering-kernel benchmark: incremental kernel vs the preserved reference
-# loop, with CountingMeasure eval counters and wall-clock per workload.
-# Writes BENCH_ordering.json at the repo root (committed, so future PRs
-# can diff their numbers against this baseline).
+# Benchmark drivers, committed-baseline style: each bench writes a JSON
+# file at the repo root so future PRs can diff their numbers against this
+# PR's baseline.
+#
+# - bench-ordering: incremental kernel vs the preserved reference loop,
+#   with CountingMeasure eval counters (BENCH_ordering.json).
+# - bench-serving: the canonicalized reformulation cache under a mixed
+#   cold/repeated/renamed workload (BENCH_serving.json).
 #
 # Usage:
-#   scripts/bench.sh            # full workloads, rewrite BENCH_ordering.json
-#   scripts/bench.sh --smoke    # reduced workloads, no file write; exits
-#                               # non-zero if the >=2x eval-reduction gate
-#                               # fails (CI regression check)
+#   scripts/bench.sh            # full workloads, rewrite both JSON files
+#   scripts/bench.sh --smoke    # reduced ordering workloads, no file
+#                               # writes; exits non-zero if the >=2x
+#                               # eval-reduction gate fails (CI check;
+#                               # the serving smoke runs separately in
+#                               # scripts/ci.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,4 +27,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
 else
   echo "==> bench-ordering --out BENCH_ordering.json"
   ./target/release/bench-ordering --out BENCH_ordering.json
+  echo "==> cargo build --release -p qpo-bench --bin bench-serving"
+  cargo build --release -p qpo-bench --bin bench-serving
+  echo "==> bench-serving --out BENCH_serving.json"
+  ./target/release/bench-serving --out BENCH_serving.json
 fi

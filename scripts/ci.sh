@@ -18,6 +18,9 @@ cargo test -q --workspace
 echo "==> ordering-kernel equivalence tests"
 cargo test -q -p qpo-core --test kernel_equivalence
 
+echo "==> serving-layer session equivalence tests"
+cargo test -q -p qpo-exec --test session_equivalence
+
 echo "==> trace journal validation gate"
 cargo build --release --example flaky_sources -p query-plan-ordering
 cargo build --release -p qpo-bench --bin trace-validate
@@ -28,5 +31,9 @@ rm -f "$trace_file"
 
 echo "==> ordering-kernel bench smoke (release)"
 bash scripts/bench.sh --smoke
+
+echo "==> serving-cache bench smoke (release)"
+cargo build --release -p qpo-bench --bin bench-serving
+./target/release/bench-serving --smoke
 
 echo "CI gate passed."

@@ -17,7 +17,8 @@
 //!   plans;
 //! - [`ordering`] — the paper's algorithms: Greedy, Drips, iDrips,
 //!   Streamer, plus the PI and Naive baselines;
-//! - [`exec`] — an in-memory execution engine and the mediator loop;
+//! - [`exec`] — an in-memory execution engine and the session-based
+//!   query-serving mediator with a canonicalized reformulation cache;
 //! - [`runtime`] — simulated flaky remote sources and the bounded-parallel
 //!   speculative executor with retry, timeout, and outcome feedback;
 //! - [`obs`] — first-party telemetry: a metrics registry, a deterministic
@@ -80,11 +81,12 @@ pub mod prelude {
         PlanOrderer, PlanSpace, RandomKey, Streamer, StreamerStats,
     };
     pub use qpo_datalog::{
-        parse_atom, parse_query, Atom, ConjunctiveQuery, Constant, Database, SourceDescription,
-        Term,
+        parse_atom, parse_query, Atom, CanonicalQuery, ConjunctiveQuery, Constant, Database,
+        SourceDescription, Term,
     };
     pub use qpo_exec::{
-        format_kernel_stats, ConcurrentRun, Mediator, MediatorRun, StopCondition, Strategy,
+        format_kernel_stats, CacheStats, ConcurrentRun, Mediator, MediatorRun, PlanReport,
+        PreparedQuery, QuerySession, ReformulationCache, StopCondition, Strategy,
     };
     pub use qpo_interval::Interval;
     pub use qpo_obs::{prometheus_text, summary_text, validate_trace, Obs, TraceJournal};
