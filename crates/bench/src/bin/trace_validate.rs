@@ -5,7 +5,9 @@
 //! Runs [`qpo_obs::validate_trace`] over the file — every line must parse
 //! as a JSON object with contiguous `seq`, a numeric (or null) `clock`,
 //! and a string `kind`; plan-lifecycle spans must open and close exactly
-//! once. Exits non-zero (with the validator's message) on any violation,
+//! once; and the virtual clock must be non-decreasing in seq order within
+//! each run (`run_started` markers restart it). Exits non-zero (with the
+//! validator's message, which names the violating seq) on any violation,
 //! including unbalanced spans. On success prints the event total and the
 //! per-kind counts, so the CI log doubles as a trace digest.
 
@@ -32,7 +34,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "{path}: {} events, {} plan spans (all closed)",
+        "{path}: {} events, {} plan spans (all closed), clocks monotone within each run",
         report.events, report.spans_opened
     );
     for (kind, n) in &report.counts {

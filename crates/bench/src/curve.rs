@@ -5,12 +5,12 @@
 //! on: "executing query plans in the decreasing order of their coverage
 //! returns as many answers as possible as soon as possible" (Example 1.2).
 
-use qpo_catalog::{Catalog, GeneratorConfig, MediatedSchema, SchemaRelation};
-use qpo_core::{ByExpectedTuples, PlanOrderer, Streamer};
+use qpo_catalog::{Catalog, GeneratorConfig, MediatedSchema, ProblemInstance, SchemaRelation};
+use qpo_core::{ByExpectedTuples, Naive, PlanOrderer, Streamer};
 use qpo_datalog::{parse_query, ConjunctiveQuery, SourceDescription};
 use qpo_exec::populate_sources;
 use qpo_reformulation::reformulate;
-use qpo_utility::Coverage;
+use qpo_utility::{Coverage, UtilityMeasure};
 use std::collections::BTreeSet;
 
 /// A synthetic LAV catalog mirroring a generated [`ProblemInstance`]: for
@@ -105,6 +105,31 @@ pub fn answers_curve(query_len: usize, bucket_size: usize, seed: u64) -> Vec<Cur
     curve
 }
 
+/// The regret of an emitted utility sequence against the exact
+/// Definition 2.1 oracle over the same instance: oracle prefix mass minus
+/// emitted mass after `utilities.len()` emissions.
+///
+/// This is the *offline recomputation* of the live
+/// `qpo_session_regret{strategy}` gauge: both sides accumulate `mass +=
+/// utility` and `oracle_mass += oracle_utility` strictly left-to-right
+/// from `0.0`, with the same blind [`Naive`] oracle, so on a fixed-seed
+/// workload the two agree to f64 *bit equality* — the cross-check the
+/// `regret_crosscheck` test pins down.
+pub fn ordering_regret<M: UtilityMeasure + ?Sized>(
+    inst: &ProblemInstance,
+    measure: &M,
+    utilities: &[f64],
+) -> f64 {
+    let mut mass = 0.0;
+    let mut oracle_mass = 0.0;
+    let mut oracle = Naive::new(inst, measure);
+    for &u in utilities {
+        mass += u;
+        oracle_mass += oracle.next_plan().map_or(0.0, |o| o.utility);
+    }
+    oracle_mass - mass
+}
+
 /// Formats the curve as a table (sampled rows for readability).
 pub fn format_curve(points: &[CurvePoint]) -> String {
     let mut out = String::from("plans  ordered  arbitrary  lead\n");
@@ -135,6 +160,33 @@ mod tests {
         let reform = reformulate(&catalog, &query).unwrap();
         assert_eq!(reform.buckets.len(), 2);
         assert!(reform.buckets.iter().all(|b| b.len() == 3));
+    }
+
+    #[test]
+    fn ordering_regret_vanishes_for_the_oracle_and_penalizes_shuffles() {
+        let inst = GeneratorConfig::new(2, 4).with_seed(9).build();
+        let exact: Vec<f64> = Naive::new(&inst, &Coverage)
+            .order_k(usize::MAX)
+            .iter()
+            .map(|o| o.utility)
+            .collect();
+        assert_eq!(exact.len(), 16);
+        let r = ordering_regret(&inst, &Coverage, &exact);
+        assert_eq!(r.to_bits(), 0.0f64.to_bits(), "the oracle has zero regret");
+        // A complete run always ends at ~0 regret (same total mass in a
+        // different order); the penalty lives in the *prefixes*, so judge
+        // the worst-first order on one.
+        let mut reversed = exact.clone();
+        reversed.reverse();
+        assert!(
+            ordering_regret(&inst, &Coverage, &reversed[..5]) > 0.0,
+            "a worst-first prefix must trail the oracle"
+        );
+        // An exact prefix still has zero regret.
+        assert_eq!(
+            ordering_regret(&inst, &Coverage, &exact[..5]).to_bits(),
+            0.0f64.to_bits()
+        );
     }
 
     #[test]

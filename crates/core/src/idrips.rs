@@ -68,6 +68,27 @@ impl<'a, M: UtilityMeasure + ?Sized, H: AbstractionHeuristic> IDrips<'a, M, H> {
         self
     }
 
+    /// Keeps an [`qpo_obs::EliminationCertificate`] for every dominance
+    /// elimination the kernel performs (no effect under the reference
+    /// kernel, which predates provenance). Recording never changes what
+    /// is emitted.
+    pub fn with_certificates(mut self, record: bool) -> Self {
+        self.kernel = std::mem::take(&mut self.kernel).with_certificates(record);
+        self
+    }
+
+    /// Certificates accumulated so far, in elimination order.
+    pub fn certificates(&self) -> &[qpo_obs::EliminationCertificate] {
+        self.kernel.certificates()
+    }
+
+    /// Drains the accumulated certificates — pair with
+    /// [`crate::verify_certificates`] and the emitted plans to replay
+    /// every dominance decision.
+    pub fn take_certificates(&mut self) -> Vec<qpo_obs::EliminationCertificate> {
+        self.kernel.take_certificates()
+    }
+
     /// Counter snapshot from the incremental kernel (all zeros when the
     /// reference kernel drives this orderer).
     pub fn kernel_stats(&self) -> KernelStats {

@@ -37,7 +37,9 @@ use crate::drips::DripsOutcome;
 use crate::planspace::PlanSpace;
 use qpo_catalog::ProblemInstance;
 use qpo_interval::Interval;
-use qpo_obs::{Counter, Histogram, Obs, TraceJournal, Value};
+use qpo_obs::{
+    encode_candidates, Counter, EliminationCertificate, Histogram, Obs, TraceJournal, Value,
+};
 use qpo_utility::{as_concrete, ExecutionContext, UtilityMeasure};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -242,6 +244,8 @@ pub struct OrderingKernel {
     journal: TraceJournal,
     max_workers: usize,
     parallel_threshold: usize,
+    record_certificates: bool,
+    certificates: Vec<EliminationCertificate>,
 }
 
 impl Default for OrderingKernel {
@@ -262,6 +266,8 @@ impl OrderingKernel {
             journal: TraceJournal::default(),
             max_workers: cores.min(8),
             parallel_threshold: 32,
+            record_certificates: false,
+            certificates: Vec::new(),
         }
     }
 
@@ -284,6 +290,29 @@ impl OrderingKernel {
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = threshold.max(2);
         self
+    }
+
+    /// Record an [`EliminationCertificate`] for every dominance
+    /// elimination (off by default — the recording itself never changes
+    /// what is emitted, only whether provenance is kept). Retrieve with
+    /// [`certificates`](Self::certificates) /
+    /// [`take_certificates`](Self::take_certificates), check with
+    /// [`verify_certificates`].
+    pub fn with_certificates(mut self, record: bool) -> Self {
+        self.record_certificates = record;
+        self
+    }
+
+    /// Certificates accumulated so far (empty unless
+    /// [`with_certificates`](Self::with_certificates) was enabled), in
+    /// elimination order.
+    pub fn certificates(&self) -> &[EliminationCertificate] {
+        &self.certificates
+    }
+
+    /// Drains the accumulated certificates.
+    pub fn take_certificates(&mut self) -> Vec<EliminationCertificate> {
+        std::mem::take(&mut self.certificates)
     }
 
     /// Snapshot of the accumulated counters.
@@ -356,6 +385,9 @@ impl OrderingKernel {
             self.intervals.clear();
             self.cache_epoch = Some(ctx.epoch());
         }
+        // The context is fixed for the whole call; every certificate
+        // recorded below replays against this epoch.
+        let epoch = ctx.epoch();
 
         // One (hash-consed) tree per (space, bucket).
         let trees: Vec<Vec<Arc<AbstractionTree>>> = spaces
@@ -453,7 +485,7 @@ impl OrderingKernel {
                     self.metrics.dominance_checks.inc();
                     let uq = plans[id].utility.expect("alive plans are evaluated");
                     if eliminates((champ_u, champ), (uq, id)) {
-                        self.kill(&mut plans, id);
+                        self.kill(&mut plans, id, champ, epoch);
                     }
                 }
             } else {
@@ -466,7 +498,7 @@ impl OrderingKernel {
                     self.metrics.dominance_checks.inc();
                     let uq = plans[id].utility.expect("evaluated above");
                     if eliminates((champ_u, champ), (uq, id)) {
-                        self.kill(&mut plans, id);
+                        self.kill(&mut plans, id, champ, epoch);
                     }
                 }
             }
@@ -540,13 +572,44 @@ impl OrderingKernel {
         }
     }
 
-    fn kill(&mut self, plans: &mut [PoolPlan], id: usize) {
+    /// Eliminates plan `id`, dominated by `champ` at context `epoch`.
+    /// Before the victim's candidate storage is freed, its provenance is
+    /// captured: a full [`EliminationCertificate`] when certificate
+    /// recording is on, and a journal event carrying the same fields when
+    /// tracing is on — either is enough to replay the comparison.
+    fn kill(&mut self, plans: &mut [PoolPlan], id: usize, champ: usize, epoch: u64) {
         self.metrics.eliminations.inc();
+        let champ_u = plans[champ].utility.expect("champion is evaluated");
+        let victim_u = plans[id].utility.expect("victims are evaluated");
         if self.journal.is_enabled() {
             self.journal.record(
                 "kernel_elimination",
-                vec![("plan_id", Value::U64(id as u64))],
+                vec![
+                    ("plan_id", Value::U64(id as u64)),
+                    ("champion_id", Value::U64(champ as u64)),
+                    ("victim", Value::Str(encode_candidates(&plans[id].cands))),
+                    (
+                        "champion",
+                        Value::Str(encode_candidates(&plans[champ].cands)),
+                    ),
+                    ("victim_lo", Value::F64(victim_u.lo())),
+                    ("victim_hi", Value::F64(victim_u.hi())),
+                    ("champion_lo", Value::F64(champ_u.lo())),
+                    ("champion_hi", Value::F64(champ_u.hi())),
+                    ("epoch", Value::U64(epoch)),
+                ],
             );
+        }
+        if self.record_certificates {
+            self.certificates.push(EliminationCertificate {
+                victim_id: id as u64,
+                champion_id: champ as u64,
+                victim: plans[id].cands.clone(),
+                champion: plans[champ].cands.clone(),
+                victim_interval: (victim_u.lo(), victim_u.hi()),
+                champion_interval: (champ_u.lo(), champ_u.hi()),
+                epoch,
+            });
         }
         let p = &mut plans[id];
         p.alive = false;
@@ -773,6 +836,120 @@ where
     }
 }
 
+/// A certificate that failed verification: its position in the checked
+/// slice and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateError {
+    /// Index into the certificate slice handed to [`verify_certificates`].
+    pub index: usize,
+    /// Human-readable mismatch description.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "certificate {}: {}", self.index, self.reason)
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Independently re-checks every elimination certificate against the
+/// problem instance: (1) the recorded dominance comparison holds under
+/// the kernel's own `eliminates` predicate *and* under the certificate's
+/// dependency-free replay ([`EliminationCertificate::comparison_holds`]),
+/// and (2) both utility intervals re-derive bit-for-bit from `measure`.
+///
+/// `emissions` is the sequence of plans recorded as executed, in order —
+/// an iDrips run's emitted plans. Certificates carry the context epoch
+/// they were decided at; the verifier replays the execution context by
+/// recording emissions until it reaches each certificate's epoch, so
+/// context-sensitive measures verify exactly. (Runs that *retracted*
+/// plans move the epoch without a corresponding emission and cannot be
+/// replayed this way; such certificates report an unreachable epoch.)
+///
+/// Returns the number of certificates verified (all of them) or the
+/// first mismatch.
+pub fn verify_certificates<M: UtilityMeasure + ?Sized>(
+    inst: &ProblemInstance,
+    measure: &M,
+    emissions: &[Vec<usize>],
+    certs: &[EliminationCertificate],
+) -> Result<usize, CertificateError> {
+    let mut ctx = ExecutionContext::new();
+    let mut next = 0usize;
+    for (index, cert) in certs.iter().enumerate() {
+        let fail = |reason: String| CertificateError { index, reason };
+        // A verifier must reject malformed input, not panic on it.
+        for (what, (lo, hi)) in [
+            ("victim", cert.victim_interval),
+            ("champion", cert.champion_interval),
+        ] {
+            if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+                return Err(fail(format!("{what} interval [{lo}, {hi}] is malformed")));
+            }
+        }
+        // (1) the comparison itself, via both implementations.
+        let champ_u = Interval::new(cert.champion_interval.0, cert.champion_interval.1);
+        let victim_u = Interval::new(cert.victim_interval.0, cert.victim_interval.1);
+        let by_kernel = eliminates(
+            (champ_u, cert.champion_id as usize),
+            (victim_u, cert.victim_id as usize),
+        );
+        if !by_kernel {
+            return Err(fail(format!(
+                "recorded intervals do not dominate: champion [{}, {}] (id {}) vs victim [{}, {}] (id {})",
+                champ_u.lo(), champ_u.hi(), cert.champion_id,
+                victim_u.lo(), victim_u.hi(), cert.victim_id,
+            )));
+        }
+        if !cert.comparison_holds() {
+            return Err(fail(
+                "certificate replay disagrees with the kernel's eliminates predicate".into(),
+            ));
+        }
+        // (2) the intervals re-derive from the measure at the recorded
+        // epoch.
+        while ctx.epoch() < cert.epoch {
+            let Some(plan) = emissions.get(next) else {
+                return Err(fail(format!(
+                    "epoch {} unreachable from {} emissions",
+                    cert.epoch,
+                    emissions.len()
+                )));
+            };
+            ctx.record(plan);
+            next += 1;
+        }
+        if ctx.epoch() != cert.epoch {
+            return Err(fail(format!(
+                "epoch {} behind the replayed context ({})",
+                cert.epoch,
+                ctx.epoch()
+            )));
+        }
+        for (what, cands, recorded) in [
+            ("victim", &cert.victim, victim_u),
+            ("champion", &cert.champion, champ_u),
+        ] {
+            let redone = measure.utility_interval(inst, cands, &ctx);
+            if redone.lo().to_bits() != recorded.lo().to_bits()
+                || redone.hi().to_bits() != recorded.hi().to_bits()
+            {
+                return Err(fail(format!(
+                    "{what} interval mismatch at epoch {}: recorded [{}, {}], re-derived [{}, {}]",
+                    cert.epoch,
+                    recorded.lo(),
+                    recorded.hi(),
+                    redone.lo(),
+                    redone.hi(),
+                )));
+            }
+        }
+    }
+    Ok(certs.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -870,6 +1047,90 @@ mod tests {
             "the threaded path must actually run under a forced threshold"
         );
         assert_eq!(serial.stats().parallel_batches, 0);
+    }
+
+    #[test]
+    fn certificates_record_every_elimination_and_verify() {
+        let inst = GeneratorConfig::new(3, 6).with_seed(2).build();
+        let ctx = ExecutionContext::new();
+        let spaces = [full_space(&inst)];
+        let mut plain = OrderingKernel::new();
+        let mut certified = OrderingKernel::new().with_certificates(true);
+        let expected = plain.find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples);
+        let got = certified.find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples);
+        assert_eq!(got, expected, "recording provenance never changes emission");
+        let certs = certified.take_certificates();
+        assert_eq!(
+            certs.len() as u64,
+            certified.stats().eliminations,
+            "one certificate per elimination"
+        );
+        assert!(!certs.is_empty(), "dominance prunes something at 3×6");
+        for cert in &certs {
+            assert!(cert.comparison_holds());
+            assert!(!cert.victim.is_empty() && !cert.champion.is_empty());
+        }
+        let verified = verify_certificates(&inst, &Coverage, &[], &certs).expect("all replay");
+        assert_eq!(verified, certs.len());
+        assert!(certified.certificates().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn verify_rejects_tampered_certificates() {
+        let inst = GeneratorConfig::new(3, 6).with_seed(2).build();
+        let ctx = ExecutionContext::new();
+        let spaces = [full_space(&inst)];
+        let mut kernel = OrderingKernel::new().with_certificates(true);
+        kernel.find_best(&inst, &Coverage, &ctx, &spaces, &ByExpectedTuples);
+        let certs = kernel.take_certificates();
+
+        // Inflate the victim's upper bound past the champion's lower
+        // bound: the dominance comparison no longer holds.
+        let mut broken = certs.clone();
+        broken[0].victim_interval.1 = broken[0].champion_interval.0 + 1.0;
+        broken[0].victim_interval.0 = broken[0].victim_interval.1.min(broken[0].victim_interval.0);
+        let err = verify_certificates(&inst, &Coverage, &[], &broken).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert!(err.reason.contains("do not dominate"), "{err}");
+
+        // Nudge a recorded bound slightly downward: the comparison still
+        // holds, but the bit-for-bit re-derivation catches it.
+        let mut nudged = certs;
+        nudged[0].victim_interval.0 -= 1e-9;
+        let err = verify_certificates(&inst, &Coverage, &[], &nudged).unwrap_err();
+        assert!(err.reason.contains("interval mismatch"), "{err}");
+
+        // And malformed intervals are rejected, not panicked on.
+        let mut malformed = nudged;
+        malformed[0].champion_interval = (1.0, 0.0);
+        let err = verify_certificates(&inst, &Coverage, &[], &malformed).unwrap_err();
+        assert!(err.reason.contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn verify_replays_context_sensitive_epochs_from_emissions() {
+        let inst = GeneratorConfig::new(2, 4).with_seed(3).build();
+        let spaces = [full_space(&inst)];
+        let measure = FailureCost::with_caching();
+        let mut ctx = ExecutionContext::new();
+        let mut kernel = OrderingKernel::new().with_certificates(true);
+        let mut emissions: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..3 {
+            let out = kernel
+                .find_best(&inst, &measure, &ctx, &spaces, &ByExpectedTuples)
+                .expect("space is non-empty");
+            ctx.record(&out.plan);
+            emissions.push(out.plan);
+        }
+        let certs = kernel.take_certificates();
+        assert!(
+            certs.iter().any(|c| c.epoch > 0),
+            "later rounds eliminate at non-zero epochs"
+        );
+        verify_certificates(&inst, &measure, &emissions, &certs).expect("epoch replay verifies");
+        // Without the emissions the later epochs are unreachable.
+        let err = verify_certificates(&inst, &measure, &[], &certs).unwrap_err();
+        assert!(err.reason.contains("unreachable"), "{err}");
     }
 
     #[test]

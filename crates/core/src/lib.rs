@@ -63,7 +63,9 @@ pub use advice::{advise, AlgorithmAdvice, Recommended};
 pub use drips::{find_best, Drips, DripsOutcome};
 pub use greedy::Greedy;
 pub use idrips::IDrips;
-pub use kernel::{reference_find_best, KernelStats, OrderingKernel};
+pub use kernel::{
+    reference_find_best, verify_certificates, CertificateError, KernelStats, OrderingKernel,
+};
 pub use merged::{merge_greedys, merge_streamers, MergedOrderer};
 pub use orderer::{
     verify_ordering, OrderedPlan, OrdererError, OutcomeStatus, PlanOrderer, PlanOutcome,

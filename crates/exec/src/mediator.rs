@@ -321,6 +321,16 @@ impl Mediator {
         self.cache.stats()
     }
 
+    /// Starts the dependency-free introspection server over this
+    /// mediator's observability bundle on `127.0.0.1:port` (`0` picks a
+    /// free port). Serves `/metrics`, `/traces`, `/sessions`,
+    /// `/explain?run=..&plan=..`, and `/healthz` — live, read-only views
+    /// of exactly what the offline exporters produce. The server stops
+    /// when the returned handle is dropped.
+    pub fn spawn_introspection(&self, port: u16) -> std::io::Result<qpo_obs::IntrospectionServer> {
+        qpo_obs::serve::serve(&self.obs, port)
+    }
+
     pub(crate) fn universe(&self) -> u64 {
         self.cache.universe()
     }

@@ -16,14 +16,24 @@
 //! `qpo_soundness_test_errors_total` counts soundness tests that errored
 //! rather than returning a verdict (surfaced per plan on
 //! [`PlanReport::soundness_error`]).
+//!
+//! Each session also registers itself on the bundle's
+//! [`SessionBoard`](qpo_obs::SessionBoard) (the `/sessions` endpoint of
+//! the introspection server) and, when the journal is enabled, traces its
+//! plan lifecycle — `run_started`, `plan_emitted` (carrying the encoded
+//! plan), `plan_completed` / `plan_unsound` — on a deterministic virtual
+//! clock that ticks once per emission. With
+//! [`QuerySession::with_quality`] the session additionally maintains a
+//! live anytime curve and a regret gauge against the brute-force
+//! Definition 2.1 oracle, evaluated lazily over the same plan space.
 
 use crate::mediator::{
     build_orderer_observed, execute_plan, Mediator, MediatorError, MediatorRun, PlanReport,
     StopCondition, Strategy,
 };
-use qpo_core::{PlanOrderer, PlanOutcome};
+use qpo_core::{Naive, PlanOrderer, PlanOutcome};
 use qpo_datalog::{Database, SourceDescription, Tuple};
-use qpo_obs::{Counter, Histogram};
+use qpo_obs::{encode_plan, Counter, Histogram, Obs, QualitySnapshot, QualityTracker, Value};
 use qpo_reformulation::PreparedQuery;
 use qpo_utility::UtilityMeasure;
 use std::collections::{BTreeMap, BTreeSet};
@@ -61,6 +71,14 @@ pub struct QuerySession<'s> {
     plans_emitted: usize,
     spent: f64,
     opened: Instant,
+    obs: Obs,
+    board_id: u64,
+    quality: Option<QualityTracker>,
+    // The Def. 2.1 oracle for regret is expensive (full argmax per round),
+    // so it is built lazily from this factory on the first quality
+    // observation and never consulted unless quality tracking is on.
+    oracle_factory: Option<Box<dyn FnOnce() -> Box<dyn PlanOrderer + 's> + 's>>,
+    oracle: Option<Box<dyn PlanOrderer + 's>>,
     time_to_first_plan: Histogram,
     time_to_plan: Histogram,
     soundness_errors: Counter,
@@ -80,6 +98,19 @@ impl<'s> QuerySession<'s> {
         let orderer = build_orderer_observed(&prepared.instance, measure, strategy, obs)?;
         let labels = [("strategy", strategy.label())];
         obs.registry.counter("qpo_sessions_total", &labels).inc();
+        let board_id = obs
+            .sessions
+            .open(strategy.label(), prepared.instance.plan_count() as u64);
+        if obs.journal.is_enabled() {
+            obs.journal.set_clock(0.0);
+            obs.journal.record(
+                "run_started",
+                vec![("strategy", Value::Str(strategy.label().into()))],
+            );
+        }
+        let inst = &prepared.instance;
+        let oracle_factory: Box<dyn FnOnce() -> Box<dyn PlanOrderer + 's> + 's> =
+            Box::new(move || Box::new(Naive::new(inst, measure)));
         Ok(QuerySession {
             prepared,
             db: mediator.database(),
@@ -91,6 +122,11 @@ impl<'s> QuerySession<'s> {
             plans_emitted: 0,
             spent: 0.0,
             opened: Instant::now(),
+            obs: obs.clone(),
+            board_id,
+            quality: None,
+            oracle_factory: Some(oracle_factory),
+            oracle: None,
             time_to_first_plan: obs
                 .registry
                 .histogram("qpo_session_time_to_first_plan_ms", &labels),
@@ -108,6 +144,30 @@ impl<'s> QuerySession<'s> {
     pub fn with_retract_unsound(mut self, retract: bool) -> Self {
         self.retract_unsound = retract;
         self
+    }
+
+    /// Enables live ordering-quality telemetry: an anytime curve (one
+    /// [`qpo_obs::QualityPoint`] per emission) plus
+    /// `qpo_session_utility_mass{strategy}` and
+    /// `qpo_session_regret{strategy}` gauges against the exact
+    /// Definition 2.1 oracle over the same plan space. The oracle is
+    /// brute-force and instantiated lazily on the first emission, so an
+    /// unused quality session costs nothing; with it on, each emission
+    /// additionally pays one oracle argmax over the remaining plans.
+    pub fn with_quality(mut self, enabled: bool) -> Self {
+        self.quality = if enabled {
+            let labels = [("strategy", self.strategy.label())];
+            Some(QualityTracker::registered(&self.obs.registry, &labels))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Snapshot of the quality state, or `None` unless
+    /// [`with_quality`](Self::with_quality) enabled tracking.
+    pub fn quality(&self) -> Option<QualitySnapshot> {
+        self.quality.as_ref().map(|q| q.snapshot())
     }
 
     /// The strategy this session orders plans with.
@@ -141,6 +201,17 @@ impl<'s> QuerySession<'s> {
     /// plan. Returns `None` when the plan space is exhausted.
     pub fn next_report(&mut self) -> Option<PlanReport> {
         let ordered = self.orderer.next_plan()?;
+        let plan_seq = self.plans_emitted as u64;
+        if self.obs.journal.is_enabled() {
+            self.obs.journal.record(
+                "plan_emitted",
+                vec![
+                    ("plan_seq", Value::U64(plan_seq)),
+                    ("plan", Value::Str(encode_plan(&ordered.plan))),
+                    ("utility", Value::F64(ordered.utility)),
+                ],
+            );
+        }
         let report = execute_plan(
             &self.prepared.reformulation,
             &self.view_map,
@@ -167,6 +238,68 @@ impl<'s> QuerySession<'s> {
             self.orderer
                 .observe(&PlanOutcome::failed(&report.ordered.plan));
         }
+        if self.obs.journal.is_enabled() {
+            if report.sound {
+                self.obs.journal.record(
+                    "plan_completed",
+                    vec![
+                        ("plan_seq", Value::U64(plan_seq)),
+                        ("new_tuples", Value::U64(report.new_tuples as u64)),
+                        ("cumulative", Value::U64(report.cumulative as u64)),
+                    ],
+                );
+            } else {
+                self.obs
+                    .journal
+                    .record("plan_unsound", vec![("plan_seq", Value::U64(plan_seq))]);
+            }
+        }
+        if let Some(tracker) = &mut self.quality {
+            if self.oracle.is_none() {
+                let factory = self.oracle_factory.take().expect("oracle built only once");
+                self.oracle = Some(factory());
+            }
+            // The oracle runs blind — it never sees execution outcomes —
+            // so its prefix is the exact Def. 2.1 ordering of the plan
+            // space, the same reference `qpo-bench`'s `ordering_regret`
+            // recomputes offline.
+            let oracle_u = self
+                .oracle
+                .as_mut()
+                .and_then(|o| o.next_plan())
+                .map_or(0.0, |o| o.utility);
+            let regret = tracker.observe(report.ordered.utility, self.spent, oracle_u);
+            if self.obs.journal.is_enabled() {
+                self.obs.journal.record(
+                    "quality_sample",
+                    vec![
+                        ("plan_seq", Value::U64(plan_seq)),
+                        ("utility", Value::F64(report.ordered.utility)),
+                        ("mass", Value::F64(tracker.mass())),
+                        ("regret", Value::F64(regret)),
+                    ],
+                );
+            }
+        }
+        // One emission, one tick: the next round's kernel and lifecycle
+        // events land at clock `plan_seq + 1`.
+        self.obs.journal.set_clock((plan_seq + 1) as f64);
+        let (emitted, answers, spent) = (plan_seq + 1, self.answers.len() as u64, self.spent);
+        let ttfp = (emitted == 1).then_some(elapsed_ms);
+        let (mass, regret) = match &self.quality {
+            Some(q) => (Some(q.mass()), Some(q.regret())),
+            None => (None, None),
+        };
+        self.obs.sessions.update(self.board_id, |e| {
+            e.plans_emitted = emitted;
+            e.answers = answers;
+            e.spent = spent;
+            if e.time_to_first_plan_ms.is_none() {
+                e.time_to_first_plan_ms = ttfp;
+            }
+            e.utility_mass = mass;
+            e.regret = regret;
+        });
         Some(report)
     }
 
@@ -187,6 +320,14 @@ impl<'s> QuerySession<'s> {
             reports,
             answers: self.answers.clone(),
         }
+    }
+}
+
+impl Drop for QuerySession<'_> {
+    /// Marks the session closed on the board (retained there for
+    /// post-mortem inspection until the closed-entry cap evicts it).
+    fn drop(&mut self) {
+        self.obs.sessions.close(self.board_id);
     }
 }
 
@@ -261,6 +402,85 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn quality_tracking_matches_the_oracle_on_an_exact_orderer() {
+        let obs = qpo_obs::Obs::new();
+        let m = mediator().with_obs(&obs);
+        let prepared = m.prepare(&movie_query()).unwrap();
+        let mut s = QuerySession::new(&m, &prepared, &Coverage, Strategy::IDrips)
+            .unwrap()
+            .with_quality(true);
+        let mut utilities = Vec::new();
+        while let Some(r) = s.next_report() {
+            utilities.push(r.ordered.utility);
+        }
+        let snap = s.quality().expect("quality tracking enabled");
+        assert_eq!(snap.points.len(), 9);
+        let mass: f64 = utilities.iter().copied().fold(0.0, |a, u| a + u);
+        assert_eq!(snap.mass.to_bits(), mass.to_bits(), "left-to-right sum");
+        // iDrips is itself exact, so it trails the Def. 2.1 oracle by
+        // nothing (modulo per-position evaluation noise).
+        assert!(snap.regret.abs() < 1e-9, "regret {}", snap.regret);
+        // The gauge mirrors the snapshot bit for bit.
+        let g = obs
+            .registry
+            .gauge("qpo_session_regret", &[("strategy", "idrips")]);
+        assert_eq!(g.get().to_bits(), snap.regret.to_bits());
+        // The curve's cost column tracks the session's spent().
+        assert_eq!(snap.points.last().unwrap().cost, s.spent());
+    }
+
+    #[test]
+    fn sessions_register_on_the_board_and_close_on_drop() {
+        let obs = qpo_obs::Obs::new();
+        let m = mediator().with_obs(&obs);
+        let prepared = m.prepare(&movie_query()).unwrap();
+        {
+            let mut s = QuerySession::new(&m, &prepared, &LinearCost, Strategy::Greedy).unwrap();
+            s.next_report().unwrap();
+            s.next_report().unwrap();
+            let entries = obs.sessions.entries();
+            assert_eq!(entries.len(), 1);
+            let e = &entries[0];
+            assert_eq!(e.strategy, "greedy");
+            assert_eq!(e.plan_space, 9);
+            assert_eq!(e.plans_emitted, 2);
+            assert!(e.time_to_first_plan_ms.is_some());
+            assert!(!e.closed);
+            assert_eq!(e.utility_mass, None, "quality off by default");
+        }
+        let entries = obs.sessions.entries();
+        assert!(entries[0].closed, "drop closes the board entry");
+    }
+
+    #[test]
+    fn session_traces_validate_and_carry_encoded_plans() {
+        let obs = qpo_obs::Obs::with_trace();
+        let m = mediator().with_obs(&obs);
+        let prepared = m.prepare(&movie_query()).unwrap();
+        let mut s = QuerySession::new(&m, &prepared, &Coverage, Strategy::IDrips)
+            .unwrap()
+            .with_quality(true);
+        while s.next_report().is_some() {}
+        drop(s);
+        let jsonl = obs.journal.to_jsonl();
+        let report = qpo_obs::validate_trace(&jsonl).expect("session trace is well-formed");
+        assert_eq!(report.spans_opened, 9);
+        assert_eq!(report.spans_closed, 9);
+        assert_eq!(report.counts["run_started"], 1);
+        assert_eq!(report.counts["quality_sample"], 9);
+        assert!(
+            jsonl.contains("\"plan\":\""),
+            "plan_emitted carries the plan"
+        );
+        // A second session on the same journal restarts the virtual clock
+        // legally (the run_started marker resets the baseline).
+        let mut s2 = QuerySession::new(&m, &prepared, &Coverage, Strategy::Pi).unwrap();
+        s2.next_report().unwrap();
+        drop(s2);
+        qpo_obs::validate_trace(&obs.journal.to_jsonl()).expect("multi-run trace still validates");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! End-to-end contract of the introspection server: every endpoint is a
+//! *pure view* of the mediator's observability bundle, served over real
+//! TCP with nothing but the standard library on either side.
+//!
+//! `/metrics` and `/traces` must be byte-identical to the offline
+//! exporters (`prometheus_text`, `TraceJournal::to_jsonl`) — the server
+//! adds transport, never interpretation.
+
+use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+use qpo_exec::{Mediator, QuerySession, Strategy};
+use qpo_obs::{prometheus_text, Obs};
+use qpo_utility::Coverage;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Issues one `GET` over a plain std `TcpStream` and returns
+/// `(status_line, body)`. No HTTP client crate — the server must be
+/// usable from `curl`-equivalent raw sockets.
+fn http_get(addr: &std::net::SocketAddr, target: &str) -> (String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .expect("server closes after responding");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body separator");
+    let head = String::from_utf8(raw[..split].to_vec()).unwrap();
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, raw[split + 4..].to_vec())
+}
+
+/// A traced mediator that has actually served a session, so every
+/// endpoint has real content behind it.
+fn served_mediator() -> (Obs, Mediator) {
+    let obs = Obs::with_trace();
+    let mediator = Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"]).with_obs(&obs);
+    let prepared = mediator.prepare(&movie_query()).unwrap();
+    let mut session = QuerySession::new(&mediator, &prepared, &Coverage, Strategy::IDrips)
+        .unwrap()
+        .with_quality(true);
+    while session.next_report().is_some() {}
+    drop(session);
+    (obs, mediator)
+}
+
+#[test]
+fn endpoints_are_byte_identical_to_the_offline_exporters() {
+    let (obs, mediator) = served_mediator();
+    let server = mediator
+        .spawn_introspection(0)
+        .expect("bind on a free port");
+    let addr = server.addr();
+
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, b"ok\n");
+
+    let (status, body) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    let offline = prometheus_text(&obs.registry);
+    assert_eq!(
+        body,
+        offline.as_bytes(),
+        "/metrics drifted from the exporter"
+    );
+    let text = String::from_utf8(body).unwrap();
+    for family in [
+        "qpo_sessions_total",
+        "qpo_session_utility_mass",
+        "qpo_session_regret",
+        "qpo_kernel_rounds_total",
+        "qpo_reformulation_cache_misses_total",
+    ] {
+        assert!(text.contains(family), "missing family {family}");
+    }
+
+    let (status, body) = http_get(&addr, "/traces");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(
+        body,
+        obs.journal.to_jsonl().as_bytes(),
+        "/traces drifted from the journal"
+    );
+
+    let (status, body) = http_get(&addr, "/sessions");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, obs.sessions.to_json().as_bytes());
+    let sessions = String::from_utf8(body).unwrap();
+    assert!(sessions.contains("\"strategy\":\"idrips\""));
+    assert!(sessions.contains("\"closed\":true"));
+    assert!(sessions.contains("\"regret\":"));
+
+    let (status, _) = http_get(&addr, "/no-such-endpoint");
+    assert!(status.contains("404"), "{status}");
+}
+
+#[test]
+fn explain_answers_for_emitted_and_unknown_plans() {
+    let (obs, mediator) = served_mediator();
+    // The first emitted plan, straight from the journal.
+    let jsonl = obs.journal.to_jsonl();
+    let emitted_line = jsonl
+        .lines()
+        .find(|l| l.contains("\"kind\":\"plan_emitted\""))
+        .expect("the session journalled emissions");
+    let plan = emitted_line
+        .split("\"plan\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("plan_emitted carries the encoded plan");
+
+    let server = mediator.spawn_introspection(0).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = http_get(&addr, &format!("/explain?plan={plan}"));
+    assert!(status.contains("200"), "{status}");
+    let body = String::from_utf8(body).unwrap();
+    assert!(body.contains("\"status\":\"emitted\""), "{body}");
+    assert!(body.contains(&format!("\"plan\":\"{plan}\"")), "{body}");
+
+    // A syntactically valid plan outside the journal's emissions.
+    let (status, body) = http_get(&addr, "/explain?plan=7,7,7");
+    assert!(status.contains("200"), "{status}");
+    assert!(String::from_utf8(body).unwrap().contains("\"status\":"));
+
+    // Malformed plan → 400, not a panic.
+    let (status, _) = http_get(&addr, "/explain?plan=not-a-plan");
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = http_get(&addr, "/explain");
+    assert!(status.contains("400"), "{status}");
+}
+
+#[test]
+fn server_stops_cleanly_and_frees_the_port() {
+    let (_obs, mediator) = served_mediator();
+    let mut server = mediator.spawn_introspection(0).unwrap();
+    let addr = server.addr();
+    let (status, _) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"));
+    server.stop();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "stopped server must not accept connections"
+    );
+    // The port is reusable immediately.
+    let port = addr.port();
+    let again = mediator
+        .spawn_introspection(port)
+        .expect("rebind same port");
+    let (status, _) = http_get(&again.addr(), "/healthz");
+    assert!(status.contains("200"));
+}

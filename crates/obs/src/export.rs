@@ -9,11 +9,27 @@ use std::fmt::Write as _;
 
 use crate::registry::{bucket_edge, MetricId, Registry, RegistrySnapshot, FINITE_BUCKETS};
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash → `\\`, double quote → `\"`, newline → `\n`. Everything else
+/// passes through unchanged (label *values* may contain any UTF-8).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn render_with_le(id: &MetricId, suffix: &str, le: &str) -> String {
     let mut pairs: Vec<String> = id
         .labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     pairs.push(format!("le=\"{le}\""));
     format!("{}{}{{{}}}", id.name, suffix, pairs.join(","))
@@ -26,7 +42,7 @@ fn render_suffixed(id: &MetricId, suffix: &str) -> String {
         let pairs: Vec<String> = id
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
             .collect();
         let _ = write!(out, "{{{}}}", pairs.join(","));
     }

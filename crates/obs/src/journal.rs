@@ -88,10 +88,7 @@ impl TraceJournal {
         if !self.recording {
             return;
         }
-        self.inner
-            .lock()
-            .expect("journal lock never poisoned")
-            .clock = t;
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clock = t;
     }
 
     /// Current virtual clock (0 when disabled).
@@ -99,10 +96,7 @@ impl TraceJournal {
         if !self.recording {
             return 0.0;
         }
-        self.inner
-            .lock()
-            .expect("journal lock never poisoned")
-            .clock
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clock
     }
 
     /// Appends an event at the current virtual clock.
@@ -110,7 +104,7 @@ impl TraceJournal {
         if !self.recording {
             return;
         }
-        let mut inner = self.inner.lock().expect("journal lock never poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let clock = inner.clock;
         let seq = inner.events.len() as u64;
         inner.events.push(TraceEvent {
@@ -127,7 +121,7 @@ impl TraceJournal {
         if !self.recording {
             return;
         }
-        let mut inner = self.inner.lock().expect("journal lock never poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let seq = inner.events.len() as u64;
         inner.events.push(TraceEvent {
             seq,
@@ -144,7 +138,7 @@ impl TraceJournal {
         }
         self.inner
             .lock()
-            .expect("journal lock never poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .events
             .len()
     }
@@ -161,7 +155,7 @@ impl TraceJournal {
         }
         self.inner
             .lock()
-            .expect("journal lock never poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .events
             .clone()
     }
@@ -199,7 +193,7 @@ impl TraceJournal {
     }
 }
 
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -207,7 +201,7 @@ fn push_f64(out: &mut String, v: f64) {
     }
 }
 
-fn push_str(out: &mut String, s: &str) {
+pub(crate) fn push_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -252,17 +246,21 @@ enum SpanState {
 }
 
 /// Checks a JSONL trace for structural soundness: every line parses as an
-/// object carrying `seq`/`clock`/`kind`, `seq` is contiguous from 0, and
-/// plan-lifecycle spans open before they close (no double-open, no
-/// double-close, no close without open). `plan_seq` restarts at 0 on each
-/// `run_started` marker, so spans are keyed by (run, plan); a journal may
-/// accumulate any number of runs. Returns per-kind counts and the
-/// open/close tally; callers asserting balance compare
-/// [`TraceReport::spans_opened`] with [`TraceReport::spans_closed`].
+/// object carrying `seq`/`clock`/`kind`, `seq` is contiguous from 0, the
+/// virtual clock is non-decreasing in seq order *within each run* (each
+/// `run_started` marker restarts the virtual clock; `null` clocks are
+/// skipped), and plan-lifecycle spans open before they close (no
+/// double-open, no double-close, no close without open). `plan_seq`
+/// restarts at 0 on each `run_started` marker, so spans are keyed by
+/// (run, plan); a journal may accumulate any number of runs. Returns
+/// per-kind counts and the open/close tally; callers asserting balance
+/// compare [`TraceReport::spans_opened`] with
+/// [`TraceReport::spans_closed`].
 pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
     let mut report = TraceReport::default();
     let mut spans: BTreeMap<(u64, u64), SpanState> = BTreeMap::new();
     let mut run: u64 = 0;
+    let mut last_clock = f64::NEG_INFINITY;
     for (lineno, line) in jsonl.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -290,9 +288,11 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
                 report.events
             ));
         }
-        if !matches!(get("clock"), Some(Json::Number(_)) | Some(Json::Null)) {
-            return Err(format!("line {}: missing numeric \"clock\"", lineno + 1));
-        }
+        let clock = match get("clock") {
+            Some(Json::Number(n)) => Some(*n),
+            Some(Json::Null) => None,
+            _ => return Err(format!("line {}: missing numeric \"clock\"", lineno + 1)),
+        };
         let kind = match get("kind") {
             Some(Json::String(s)) => s.clone(),
             _ => return Err(format!("line {}: missing string \"kind\"", lineno + 1)),
@@ -301,6 +301,18 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
         *report.counts.entry(kind.clone()).or_insert(0) += 1;
         if kind == "run_started" {
             run += 1;
+            // A new run restarts the virtual clock; its own timestamp
+            // opens the new monotone window.
+            last_clock = f64::NEG_INFINITY;
+        }
+        if let Some(t) = clock {
+            if t < last_clock {
+                return Err(format!(
+                    "seq {}: clock {t} decreases within run {run} (previous clock {last_clock})",
+                    seq
+                ));
+            }
+            last_clock = t;
         }
 
         let is_open = SPAN_OPEN_KINDS.contains(&kind.as_str());
@@ -455,6 +467,57 @@ mod tests {
         assert!(validate_trace("{\"seq\":0,\"clock\":0}\n")
             .unwrap_err()
             .contains("kind"));
+    }
+
+    #[test]
+    fn validate_enforces_per_run_clock_monotonicity() {
+        // Clocks may restart at each run_started marker, stall, or be
+        // null — all fine as long as they never decrease within a run.
+        let ok = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":1,\"clock\":1.5,\"kind\":\"a\"}\n",
+            "{\"seq\":2,\"clock\":null,\"kind\":\"b\"}\n",
+            "{\"seq\":3,\"clock\":1.5,\"kind\":\"c\"}\n",
+            "{\"seq\":4,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":5,\"clock\":0.25,\"kind\":\"d\"}\n",
+        );
+        assert!(validate_trace(ok).is_ok());
+
+        let backwards = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":1,\"clock\":2,\"kind\":\"a\"}\n",
+            "{\"seq\":2,\"clock\":1,\"kind\":\"b\"}\n",
+        );
+        let err = validate_trace(backwards).unwrap_err();
+        assert!(err.contains("seq 2"), "names the violating seq: {err}");
+        assert!(err.contains("decreases within run 1"), "{err}");
+
+        // Without an intervening run_started, a clock reset is an error.
+        let reset_without_marker = concat!(
+            "{\"seq\":0,\"clock\":3,\"kind\":\"a\"}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"b\"}\n",
+        );
+        assert!(validate_trace(reset_without_marker).is_err());
+    }
+
+    #[test]
+    fn poisoned_lock_still_records_and_exports() {
+        let j = TraceJournal::enabled();
+        j.set_clock(1.0);
+        j.record("plan_emitted", vec![("plan_seq", Value::U64(0))]);
+        let poisoner = j.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker dies mid-record");
+        })
+        .join();
+        assert!(j.inner.is_poisoned(), "the panic must poison the lock");
+        j.record("plan_completed", vec![("plan_seq", Value::U64(0))]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.clock(), 1.0);
+        let report = validate_trace(&j.to_jsonl()).expect("export survives poison");
+        assert_eq!(report.events, 2);
+        assert_eq!(report.spans_opened, report.spans_closed);
     }
 
     #[test]

@@ -17,11 +17,21 @@
 //! - [`export`] — a JSONL rendering of the journal, a Prometheus-style
 //!   text exposition of the registry, and a human summary;
 //! - [`json`] — a minimal JSON reader used to validate traces
-//!   ([`validate_trace`]) without pulling in serde.
+//!   ([`validate_trace`]) without pulling in serde;
+//! - [`quality`] — per-session ordering-quality telemetry: the online
+//!   anytime curve ([`QualityTracker`]) and the live session directory
+//!   ([`SessionBoard`]);
+//! - [`explain`] — dominance provenance: [`EliminationCertificate`]s
+//!   recorded by the ordering kernel and the [`ExplainIndex`] answering
+//!   "why did plan p rank i / why was q never emitted";
+//! - [`serve`] — a dependency-free introspection server
+//!   ([`serve::serve`]) exposing `/metrics`, `/traces`, `/sessions`,
+//!   `/explain`, and `/healthz` over `std::net::TcpListener`.
 //!
-//! The [`Obs`] bundle ties a registry and a journal together; every
-//! instrumented layer (`OrderingKernel`, the `qpo-runtime` executor,
-//! `Mediator::run_concurrent_observed`) accepts one.
+//! The [`Obs`] bundle ties a registry, a journal, and a session board
+//! together; every instrumented layer (`OrderingKernel`, the
+//! `qpo-runtime` executor, `Mediator::run_concurrent_observed`) accepts
+//! one.
 //!
 //! ```
 //! use qpo_obs::{Obs, Value};
@@ -41,15 +51,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explain;
 pub mod export;
 pub mod journal;
 pub mod json;
+pub mod quality;
 pub mod registry;
+pub mod serve;
 
-pub use export::{prometheus_text, summary_text};
+pub use explain::{
+    encode_candidates, encode_plan, parse_candidates, parse_plan, EliminationCertificate,
+    ExplainIndex, Explanation,
+};
+pub use export::{escape_label_value, prometheus_text, summary_text};
 pub use journal::{validate_trace, TraceEvent, TraceJournal, TraceReport, Value};
 pub use json::{parse_json, Json, JsonError};
+pub use quality::{QualityPoint, QualitySnapshot, QualityTracker, SessionBoard, SessionEntry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use serve::IntrospectionServer;
 
 /// The observability bundle handed to instrumented layers: one shared
 /// metrics registry plus one (possibly disabled) trace journal.
@@ -65,6 +84,10 @@ pub struct Obs {
     /// The structured event journal. Disabled by default (recording is a
     /// no-op); see [`Obs::with_trace`].
     pub journal: TraceJournal,
+    /// The live session directory behind the introspection server's
+    /// `/sessions` endpoint. Always on (registration is a few map
+    /// operations per session, not per plan).
+    pub sessions: SessionBoard,
 }
 
 impl Obs {
@@ -78,6 +101,7 @@ impl Obs {
         Obs {
             registry: Registry::new(),
             journal: TraceJournal::enabled(),
+            sessions: SessionBoard::new(),
         }
     }
 }

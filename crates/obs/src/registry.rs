@@ -247,7 +247,7 @@ impl MetricId {
         let pairs: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .map(|(k, v)| format!("{k}=\"{}\"", crate::export::escape_label_value(v)))
             .collect();
         format!("{}{{{}}}", self.name, pairs.join(","))
     }
@@ -276,14 +276,14 @@ impl Registry {
     /// Returns the counter for `(name, labels)`, creating it on first use.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let id = MetricId::new(name, labels);
-        let mut inner = self.inner.lock().expect("registry lock never poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.counters.entry(id).or_default().clone()
     }
 
     /// Returns the gauge for `(name, labels)`, creating it on first use.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let id = MetricId::new(name, labels);
-        let mut inner = self.inner.lock().expect("registry lock never poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.gauges.entry(id).or_default().clone()
     }
 
@@ -291,20 +291,20 @@ impl Registry {
     /// use.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let id = MetricId::new(name, labels);
-        let mut inner = self.inner.lock().expect("registry lock never poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.histograms.entry(id).or_default().clone()
     }
 
     /// Current value of one counter (0 when absent).
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         let id = MetricId::new(name, labels);
-        let inner = self.inner.lock().expect("registry lock never poisoned");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.counters.get(&id).map_or(0, Counter::get)
     }
 
     /// Sum of a counter family over all label sets.
     pub fn counter_total(&self, name: &str) -> u64 {
-        let inner = self.inner.lock().expect("registry lock never poisoned");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner
             .counters
             .iter()
@@ -315,7 +315,7 @@ impl Registry {
 
     /// Deterministically ordered copies of every metric, for exporters.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let inner = self.inner.lock().expect("registry lock never poisoned");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         RegistrySnapshot {
             counters: inner
                 .counters
@@ -448,5 +448,35 @@ mod tests {
         let id = MetricId::new("m", &[("b", "2"), ("a", "1")]);
         assert_eq!(id.render(), "m{a=\"1\",b=\"2\"}");
         assert_eq!(MetricId::new("bare", &[]).render(), "bare");
+    }
+
+    #[test]
+    fn metric_id_escapes_label_values() {
+        let id = MetricId::new("m", &[("q", "a\"b\\c\nd")]);
+        assert_eq!(id.render(), "m{q=\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn poisoned_lock_still_registers_and_exports() {
+        let reg = Registry::new();
+        reg.counter("qpo_survivors_total", &[]).add(2);
+        // Poison the registry mutex: a thread panics while holding it.
+        let poisoner = reg.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker dies mid-registration");
+        })
+        .join();
+        assert!(reg.inner.is_poisoned(), "the panic must poison the lock");
+        // Telemetry keeps working: registration, reads, and export all
+        // recover the inner state instead of cascading the panic.
+        reg.counter("qpo_survivors_total", &[]).inc();
+        assert_eq!(reg.counter_value("qpo_survivors_total", &[]), 3);
+        assert_eq!(reg.counter_total("qpo_survivors_total"), 3);
+        reg.gauge("qpo_after_poison", &[]).set(1.5);
+        reg.histogram("qpo_after_poison_hist", &[]).record(0.5);
+        let text = crate::export::prometheus_text(&reg);
+        assert!(text.contains("qpo_survivors_total 3\n"));
+        assert!(text.contains("qpo_after_poison 1.5\n"));
     }
 }

@@ -1,0 +1,247 @@
+//! The live introspection server: five read-only HTTP endpoints over an
+//! [`Obs`] bundle, built on `std::net::TcpListener` alone (the workspace
+//! builds fully offline, so no HTTP framework).
+//!
+//! Endpoints:
+//!
+//! - `/healthz` — liveness probe, `ok`;
+//! - `/metrics` — the Prometheus text exposition, byte-identical to
+//!   [`prometheus_text`] over the same registry;
+//! - `/traces` — the JSONL journal, byte-identical to
+//!   [`TraceJournal::to_jsonl`](crate::TraceJournal::to_jsonl);
+//! - `/sessions` — the live session board as JSON;
+//! - `/explain?run=N&plan=i,j,k` — the dominance-provenance query of
+//!   [`crate::explain`] (`run` defaults to the journal's latest run).
+//!
+//! The server runs one accept-loop thread and handles connections
+//! serially — introspection traffic is a human with a browser or a
+//! scraper on a schedule, not the query path — and every response is a
+//! pure function of the observed state at request time.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::explain::{parse_plan, ExplainIndex};
+use crate::export::prometheus_text;
+use crate::Obs;
+
+/// A running introspection server. Dropping (or calling
+/// [`IntrospectionServer::stop`]) shuts the accept loop down.
+#[derive(Debug)]
+pub struct IntrospectionServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IntrospectionServer {
+    /// The bound address (the OS-assigned port when started on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept call with one throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for IntrospectionServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts the introspection server on `127.0.0.1:port` (0 asks the OS
+/// for an ephemeral port) serving the given observability bundle.
+pub fn serve(obs: &Obs, port: u16) -> io::Result<IntrospectionServer> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let obs = obs.clone();
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::Builder::new()
+        .name("qpo-introspection".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    handle_connection(stream, &obs);
+                }
+            }
+        })?;
+    Ok(IntrospectionServer {
+        addr,
+        shutdown,
+        handle: Some(handle),
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, obs: &Obs) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head; introspection requests
+    // carry no body.
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (status, reason, content_type, body) = if method != "GET" {
+        (
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        respond(target, obs)
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Routes one request target to `(status, reason, content-type, body)`.
+/// Split out (and crate-public) so tests can exercise routing without a
+/// socket.
+pub(crate) fn respond(target: &str, obs: &Obs) -> (u16, &'static str, &'static str, String) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => (200, "OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/metrics" => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(&obs.registry),
+        ),
+        "/traces" => (
+            200,
+            "OK",
+            "application/jsonl; charset=utf-8",
+            obs.journal.to_jsonl(),
+        ),
+        "/sessions" => (
+            200,
+            "OK",
+            "application/json; charset=utf-8",
+            obs.sessions.to_json(),
+        ),
+        "/explain" => explain_response(query, obs),
+        _ => (
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "unknown path; try /healthz /metrics /traces /sessions /explain\n".to_string(),
+        ),
+    }
+}
+
+fn explain_response(query: &str, obs: &Obs) -> (u16, &'static str, &'static str, String) {
+    let mut run: Option<u64> = None;
+    let mut plan: Option<Vec<usize>> = None;
+    for pair in query.split('&') {
+        match pair.split_once('=') {
+            Some(("run", v)) => run = v.parse().ok(),
+            Some(("plan", v)) => plan = parse_plan(v),
+            _ => {}
+        }
+    }
+    let Some(plan) = plan else {
+        return (
+            400,
+            "Bad Request",
+            "text/plain; charset=utf-8",
+            "usage: /explain?run=N&plan=i,j,k (run defaults to the latest)\n".to_string(),
+        );
+    };
+    let index = ExplainIndex::from_journal(&obs.journal);
+    let run = run.unwrap_or_else(|| index.runs());
+    let body = index.explain(run, &plan).to_json(run, &plan);
+    (200, "OK", "application/json; charset=utf-8", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn sample_obs() -> Obs {
+        let obs = Obs::with_trace();
+        obs.registry.counter("qpo_demo_total", &[]).add(3);
+        obs.journal.record("run_started", vec![]);
+        obs.journal.record(
+            "plan_emitted",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("plan", Value::Str("0,1".into())),
+                ("utility", Value::F64(0.5)),
+            ],
+        );
+        obs.sessions.open("pi", 9);
+        obs
+    }
+
+    #[test]
+    fn routes_are_pure_views_of_the_bundle() {
+        let obs = sample_obs();
+        let (status, _, _, body) = respond("/healthz", &obs);
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (_, _, _, metrics) = respond("/metrics", &obs);
+        assert_eq!(metrics, prometheus_text(&obs.registry));
+        let (_, _, _, traces) = respond("/traces", &obs);
+        assert_eq!(traces, obs.journal.to_jsonl());
+        let (_, _, _, sessions) = respond("/sessions", &obs);
+        assert_eq!(sessions, obs.sessions.to_json());
+        let (status, _, _, body) = respond("/explain?plan=0,1", &obs);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"emitted\""), "{body}");
+        let (status, _, _, _) = respond("/explain?plan=", &obs);
+        assert_eq!(status, 400);
+        let (status, _, _, _) = respond("/nope", &obs);
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn server_binds_stops_and_rebinds() {
+        let obs = sample_obs();
+        let mut server = serve(&obs, 0).expect("bind ephemeral");
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0);
+        server.stop();
+        server.stop(); // idempotent
+                       // The port is released: a second server can start.
+        let _again = serve(&obs, 0).expect("rebind");
+    }
+}

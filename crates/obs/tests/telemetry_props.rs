@@ -1,0 +1,152 @@
+//! Property tests for the telemetry primitives: histogram bucket/quantile
+//! semantics and Prometheus label-value escaping.
+
+use proptest::prelude::*;
+use qpo_obs::registry::{bucket_edge, FINITE_BUCKETS};
+use qpo_obs::{escape_label_value, Histogram, Registry};
+
+/// Smallest bucket edge whose cumulative count reaches `rank = max(1,
+/// ceil(q·n))` — the specification `HistogramSnapshot::quantile` must
+/// satisfy, written directly against the recorded values instead of the
+/// bucket array.
+fn spec_quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len() as f64;
+    let rank = ((q.clamp(0.0, 1.0) * n).ceil() as usize).max(1);
+    for i in 0..FINITE_BUCKETS {
+        let edge = bucket_edge(i);
+        // le-semantics: a value equal to an edge belongs to that bucket,
+        // and everything at or below the smallest edge underflows into
+        // bucket 0.
+        let cdf = values
+            .iter()
+            .filter(|v| if v.is_nan() { false } else { **v <= edge })
+            .count();
+        if cdf >= rank {
+            return Some(edge);
+        }
+    }
+    Some(f64::INFINITY)
+}
+
+/// Arbitrary label values with the escape-relevant characters (quote,
+/// backslash, newline) heavily over-represented. (The proptest shim has
+/// no regex string strategy, so build strings from a char soup.)
+fn label_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('"'),
+            Just('\\'),
+            Just('\n'),
+            Just('é'),
+            (0u32..26).prop_map(|i| char::from(b'a' + i as u8)),
+        ],
+        0..24,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn finite_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Spread across the bucket range, including sub-edge and
+            // overflow magnitudes, zero, and negatives.
+            (-12.0..22.0f64).prop_map(|e| 2f64.powf(e)),
+            -4.0..4.0f64,
+            Just(0.0),
+            Just(2f64.powi(20) * 4.0),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_is_smallest_edge_with_cdf_at_least_q(values in finite_values(), q in 0.0..1.0f64) {
+        let h = Histogram::detached();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.quantile(q), spec_quantile(&values, q));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(values in finite_values(), a in 0.0..1.0f64, b in 0.0..1.0f64) {
+        let h = Histogram::detached();
+        for &v in &values {
+            h.record(v);
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap());
+    }
+
+    #[test]
+    fn every_observation_lands_in_exactly_one_bucket(values in finite_values()) {
+        let h = Histogram::detached();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(snap.count, values.len() as u64);
+    }
+
+    #[test]
+    fn values_beyond_the_last_edge_overflow(scale in 1.0..1e6f64) {
+        let h = Histogram::detached();
+        h.record(2f64.powi(20) * (1.0 + scale));
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets[FINITE_BUCKETS], 3);
+        prop_assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn escaping_is_reversible_and_prometheus_safe(s in label_value()) {
+        let escaped = escape_label_value(&s);
+        // No raw specials survive: every quote/backslash is part of an
+        // escape sequence, and newlines are gone entirely.
+        prop_assert!(!escaped.contains('\n'));
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                let next = chars.next();
+                prop_assert!(matches!(next, Some('\\') | Some('"') | Some('n')));
+            } else {
+                prop_assert_ne!(c, '"');
+            }
+        }
+        // Unescaping restores the original string exactly.
+        let mut unescaped = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => unescaped.push('\\'),
+                    Some('"') => unescaped.push('"'),
+                    Some('n') => unescaped.push('\n'),
+                    other => prop_assert!(false, "dangling escape {other:?}"),
+                }
+            } else {
+                unescaped.push(c);
+            }
+        }
+        prop_assert_eq!(unescaped, s);
+    }
+
+    #[test]
+    fn exported_sample_lines_stay_single_line(v in label_value()) {
+        let reg = Registry::new();
+        reg.counter("qpo_prop_total", &[("q", v.as_str())]).inc();
+        let text = qpo_obs::prometheus_text(&reg);
+        // One TYPE line + one sample line, regardless of what the label
+        // value contained.
+        prop_assert_eq!(text.lines().count(), 2, "got:\n{}", text);
+        prop_assert!(text.lines().nth(1).unwrap().starts_with("qpo_prop_total{q=\""));
+    }
+}

@@ -394,6 +394,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                             "plan_emitted",
                             vec![
                                 ("plan_seq", Value::U64(seq)),
+                                ("plan", Value::Str(qpo_obs::encode_plan(&ordered.plan))),
                                 ("utility", Value::F64(ordered.utility)),
                             ],
                         );
@@ -482,6 +483,13 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 .record(a.latency);
         }
         stats.fees += fees;
+        // A plan's source accesses run concurrently, so the per-source
+        // attempt chains interleave in time; journal them in virtual-time
+        // order (stable, so equal-offset events keep their per-source
+        // order) to keep the trace clock monotone in seq order — the
+        // invariant `validate_trace` enforces per run.
+        let mut trace = trace;
+        trace.sort_by(|a, b| a.offset.total_cmp(&b.offset));
         for ev in trace {
             journal.record_at(
                 *vclock + ev.offset,

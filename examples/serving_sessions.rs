@@ -6,11 +6,29 @@
 //! under a variable renaming — then pulls plans interactively from a
 //! session and prints the cache and session telemetry the mediator
 //! collected along the way.
+//!
+//! With `--serve <port>` (use port `0` for an ephemeral one) it
+//! additionally enables trace journaling, mounts the introspection
+//! server on the mediator's observability bundle after the demo, prints
+//! the endpoint URLs, and blocks until Enter is pressed — so you can
+//! `curl` the live `/metrics`, `/traces`, `/sessions`, and `/explain`
+//! views while the process is up.
 
 use query_plan_ordering::prelude::*;
 
 fn main() {
-    let obs = Obs::new();
+    let args: Vec<String> = std::env::args().collect();
+    let serve_port: Option<u16> = args
+        .iter()
+        .position(|a| a == "--serve")
+        .map(|i| args.get(i + 1).and_then(|p| p.parse().ok()).unwrap_or(0));
+
+    // Journaling on when serving, so /traces and /explain have content.
+    let obs = if serve_port.is_some() {
+        Obs::with_trace()
+    } else {
+        Obs::new()
+    };
     let mediator = Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"]).with_obs(&obs);
     let query = movie_query();
 
@@ -54,7 +72,9 @@ fn main() {
         prepared.plan_count(),
         prepared.canonical.query()
     );
-    let mut session = QuerySession::new(&mediator, &prepared, &Coverage, Strategy::Pi).unwrap();
+    let mut session = QuerySession::new(&mediator, &prepared, &Coverage, Strategy::Pi)
+        .unwrap()
+        .with_quality(true);
     while let Some(report) = session.next_report() {
         println!(
             "  plan {:?} via {:?}: {} new tuples ({} total)",
@@ -82,8 +102,33 @@ fn main() {
         "sessions opened: {}",
         obs.registry.counter_total("qpo_sessions_total")
     );
+    if let Some(snap) = session.quality() {
+        println!(
+            "session quality: utility mass {:.4}, oracle regret {:.6} over {} emissions",
+            snap.mass,
+            snap.regret,
+            snap.points.len()
+        );
+    }
     assert_eq!(
         stats.generations, 1,
         "one query shape: plan generation ran exactly once"
     );
+
+    // ---- Live introspection (opt-in) ------------------------------------
+    if let Some(port) = serve_port {
+        drop(session); // close the board entry so /sessions shows the lifecycle
+        let server = mediator
+            .spawn_introspection(port)
+            .expect("introspection server binds");
+        let addr = server.addr();
+        println!("\n== introspection server listening on http://{addr}");
+        for endpoint in ["healthz", "metrics", "traces", "sessions"] {
+            println!("   curl http://{addr}/{endpoint}");
+        }
+        println!("   curl 'http://{addr}/explain?plan=0,0'");
+        println!("press Enter to stop the server");
+        let mut line = String::new();
+        let _ = std::io::stdin().read_line(&mut line);
+    }
 }

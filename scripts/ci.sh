@@ -21,6 +21,9 @@ cargo test -q -p qpo-core --test kernel_equivalence
 echo "==> serving-layer session equivalence tests"
 cargo test -q -p qpo-exec --test session_equivalence
 
+echo "==> live introspection server smoke (std TcpStream client, byte-identity vs offline exporters)"
+cargo test -q -p qpo-exec --test introspection_server
+
 echo "==> trace journal validation gate"
 cargo build --release --example flaky_sources -p query-plan-ordering
 cargo build --release -p qpo-bench --bin trace-validate

@@ -22,8 +22,10 @@
 //! - [`runtime`] — simulated flaky remote sources and the bounded-parallel
 //!   speculative executor with retry, timeout, and outcome feedback;
 //! - [`obs`] — first-party telemetry: a metrics registry, a deterministic
-//!   virtual-clock trace journal, and JSONL / Prometheus / human
-//!   exporters;
+//!   virtual-clock trace journal, JSONL / Prometheus / human exporters,
+//!   ordering-quality (anytime curve + oracle regret) tracking,
+//!   dominance-elimination certificates with an `explain` index, and a
+//!   dependency-free live introspection server;
 //! - [`interval`] — the interval arithmetic underneath it all.
 //!
 //! ## Quickstart
@@ -75,10 +77,11 @@ pub mod prelude {
         SourceRef, SourceStats, StatRange,
     };
     pub use qpo_core::{
-        advise, find_best, full_space, reference_find_best, remove_plan, verify_ordering,
-        AbstractionHeuristic, ByExpectedTuples, ByExtentMidpoint, ByTransmissionCost, Drips,
-        Greedy, IDrips, KernelStats, Naive, OrderedPlan, OrdererError, OrderingKernel, Pi,
-        PlanOrderer, PlanSpace, RandomKey, Streamer, StreamerStats,
+        advise, find_best, full_space, reference_find_best, remove_plan, verify_certificates,
+        verify_ordering, AbstractionHeuristic, ByExpectedTuples, ByExtentMidpoint,
+        ByTransmissionCost, CertificateError, Drips, Greedy, IDrips, KernelStats, Naive,
+        OrderedPlan, OrdererError, OrderingKernel, Pi, PlanOrderer, PlanSpace, RandomKey, Streamer,
+        StreamerStats,
     };
     pub use qpo_datalog::{
         parse_atom, parse_query, Atom, CanonicalQuery, ConjunctiveQuery, Constant, Database,
@@ -89,7 +92,11 @@ pub mod prelude {
         PreparedQuery, QuerySession, ReformulationCache, StopCondition, Strategy,
     };
     pub use qpo_interval::Interval;
-    pub use qpo_obs::{prometheus_text, summary_text, validate_trace, Obs, TraceJournal};
+    pub use qpo_obs::{
+        encode_plan, parse_plan, prometheus_text, summary_text, validate_trace,
+        EliminationCertificate, ExplainIndex, Explanation, IntrospectionServer, Obs, QualityPoint,
+        QualitySnapshot, QualityTracker, SessionBoard, SessionEntry, TraceJournal,
+    };
     pub use qpo_reformulation::{
         create_buckets, enumerate_sound_plans, minicon_plan_spaces, reformulate, Reformulation,
     };
