@@ -1,0 +1,30 @@
+//! # qpo-anyk — tuple-level ranked (any-k) answer streaming
+//!
+//! The paper orders *plans*; users consume *answers*. This crate pushes
+//! the ranking down one level: it enumerates each plan's answer tuples in
+//! non-increasing score order without materializing the join
+//! ([`RankedJoin`], the Tziavelis-style any-k frontier), and lazily
+//! merges the per-plan streams into one globally ranked anytime stream
+//! ([`AnyKMerge`]) that plans join speculatively and leave again when
+//! retracted as unsound. Scores come from a pluggable [`TupleScorer`];
+//! the default [`CatalogScorer`] derives per-source weights from the same
+//! catalog statistics the plan orderers consume.
+//!
+//! The serving integration — `QuerySession::next_tuple`, the concurrent
+//! executor hook, tuple-quality telemetry, and journal events — lives in
+//! `qpo-exec` and `qpo-obs`; this crate is the dependency-light kernel
+//! (datalog + catalog + the core comparison helper) those layers build
+//! on. Everything here is deterministic by construction: all float
+//! comparisons run through [`qpo_core::utility_cmp`] and all ties break
+//! on encodings, never on attach order, wall-clock, or worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod enumerate;
+mod merge;
+mod scorer;
+
+pub use enumerate::RankedJoin;
+pub use merge::{encode_tuple, AnyKMerge, RankedTuple, TupleStream, VecStream};
+pub use scorer::{plan_bound, CatalogScorer, TupleScorer};

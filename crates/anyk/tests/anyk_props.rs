@@ -1,0 +1,132 @@
+//! Property tests for the cross-plan any-k merge: global order, attach
+//! permutation invariance, and eviction surgical precision under
+//! arbitrary per-stream score sequences.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use qpo_anyk::{AnyKMerge, RankedTuple, TupleStream, VecStream};
+use qpo_core::utility_cmp;
+use qpo_datalog::{Constant, Tuple};
+use std::cmp::Ordering;
+
+/// Builds one plan's stream from raw scores; the tuple payload encodes
+/// (plan id, item index) so every stream contributes distinct answers.
+fn stream(plan_id: usize, scores: &[f64]) -> Box<dyn TupleStream> {
+    let items: Vec<(f64, Tuple)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            (
+                s,
+                vec![Constant::int(plan_id as i64), Constant::int(i as i64)],
+            )
+        })
+        .collect();
+    Box::new(VecStream::ranked(items))
+}
+
+/// Attaches `streams[i]` under plan_seq `i` / plan `[i]` in the order
+/// `order` prescribes, then drains without a bound.
+fn drain_in_order(streams: &[Vec<f64>], order: &[usize]) -> Vec<RankedTuple> {
+    let mut merge = AnyKMerge::new();
+    for &i in order {
+        merge.attach(i as u64, vec![i], stream(i, &streams[i]));
+    }
+    std::iter::from_fn(|| merge.next_within(None)).collect()
+}
+
+fn scores() -> impl Strategy<Value = Vec<f64>> {
+    pvec(-100.0f64..100.0, 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The merged output is globally non-increasing for arbitrary
+    /// per-stream score multisets.
+    #[test]
+    fn merge_output_is_non_increasing(streams in pvec(scores(), 1..5)) {
+        let order: Vec<usize> = (0..streams.len()).collect();
+        let out = drain_in_order(&streams, &order);
+        let total: usize = streams.iter().map(Vec::len).sum();
+        prop_assert_eq!(out.len(), total, "distinct payloads all surface");
+        for w in out.windows(2) {
+            prop_assert_ne!(
+                utility_cmp(w[1].score, w[0].score),
+                Ordering::Greater,
+                "scores must not increase: {} then {}", w[0].score, w[1].score
+            );
+        }
+    }
+
+    /// Permuting attach order never changes the emitted sequence — ties
+    /// break on encodings, not on arrival.
+    #[test]
+    fn attach_order_never_changes_the_stream(
+        streams in pvec(scores(), 2..5),
+        seed in 0u64..1000,
+    ) {
+        let n = streams.len();
+        let forward: Vec<usize> = (0..n).collect();
+        // A deterministic permutation derived from the seed.
+        let mut permuted = forward.clone();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            permuted.swap(i, (state as usize) % (i + 1));
+        }
+        let a = drain_in_order(&streams, &forward);
+        let b = drain_in_order(&streams, &permuted);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Evicting one stream removes exactly its pending tuples: the other
+    /// streams' deliveries are untouched and the eviction returns exactly
+    /// what the victim had already contributed.
+    #[test]
+    fn eviction_removes_exactly_the_victims_pending(
+        streams in pvec(scores(), 2..5),
+        victim_pick in 0usize..64,
+        pulls in 0usize..12,
+    ) {
+        let victim = victim_pick % streams.len();
+        let mut merge = AnyKMerge::new();
+        for (i, s) in streams.iter().enumerate() {
+            merge.attach(i as u64, vec![i], stream(i, s));
+        }
+        let mut before: Vec<RankedTuple> = Vec::new();
+        for _ in 0..pulls {
+            match merge.next_within(None) {
+                Some(rt) => before.push(rt),
+                None => break,
+            }
+        }
+        let contributed = merge.evict(victim as u64);
+        // The eviction reports exactly the victim's deliveries so far.
+        let victims_delivered: Vec<RankedTuple> = before
+            .iter()
+            .filter(|rt| rt.plan_seq == victim as u64)
+            .cloned()
+            .collect();
+        prop_assert_eq!(contributed, victims_delivered);
+        // The rest of the stream carries no victim tuples and matches the
+        // victim-free run's tail exactly.
+        let after: Vec<RankedTuple> = std::iter::from_fn(|| merge.next_within(None)).collect();
+        prop_assert!(after.iter().all(|rt| rt.plan_seq != victim as u64));
+        let mut reference = AnyKMerge::new();
+        for (i, s) in streams.iter().enumerate() {
+            if i != victim {
+                reference.attach(i as u64, vec![i], stream(i, s));
+            }
+        }
+        let reference_all: Vec<RankedTuple> =
+            std::iter::from_fn(|| reference.next_within(None)).collect();
+        let expected_tail: Vec<RankedTuple> = reference_all
+            .into_iter()
+            .filter(|rt| !before.contains(rt))
+            .collect();
+        prop_assert_eq!(after, expected_tail);
+    }
+}

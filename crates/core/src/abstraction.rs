@@ -141,9 +141,7 @@ impl AbstractionTree {
         order.sort_by(|&a, &b| {
             let ka = heuristic.key(inst, SourceRef::new(bucket, a));
             let kb = heuristic.key(inst, SourceRef::new(bucket, b));
-            ka.partial_cmp(&kb)
-                .expect("heuristic keys are comparable")
-                .then(a.cmp(&b))
+            crate::utility_cmp(ka, kb).then(a.cmp(&b))
         });
 
         let mut nodes: Vec<Node> = order

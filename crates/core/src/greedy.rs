@@ -64,9 +64,7 @@ impl<'a, M: UtilityMeasure + ?Sized> Greedy<'a, M> {
                         let ky = self
                             .measure
                             .source_preference(self.inst, SourceRef::new(b, y));
-                        kx.partial_cmp(&ky)
-                            .expect("preferences are comparable")
-                            .then(y.cmp(&x)) // prefer the smaller index on ties
+                        crate::utility_cmp(kx, ky).then(y.cmp(&x)) // prefer the smaller index on ties
                     })
                     .expect("plan-space buckets are non-empty")
             })

@@ -68,7 +68,8 @@ pub use kernel::{
 };
 pub use merged::{merge_greedys, merge_streamers, MergedOrderer};
 pub use orderer::{
-    verify_ordering, OrderedPlan, OrdererError, OutcomeStatus, PlanOrderer, PlanOutcome,
+    utility_cmp, verify_ordering, OrderedPlan, OrdererError, OutcomeStatus, PlanOrderer,
+    PlanOutcome,
 };
 pub use pi::{Naive, Pi};
 pub use planspace::{full_space, remove_plan, space_contains, space_size, PlanSpace};

@@ -53,9 +53,7 @@ impl<'a> MergedOrderer<'a> {
             .enumerate()
             .filter_map(|(i, h)| h.as_ref().map(|p| (i, p.utility)))
             .max_by(|(ia, ua), (ib, ub)| {
-                ua.partial_cmp(ub)
-                    .expect("utilities are comparable")
-                    .then(ib.cmp(ia)) // ties → lower space index
+                crate::utility_cmp(*ua, *ub).then(ib.cmp(ia)) // ties → lower space index
             })
             .map(|(i, _)| i)?;
         let plan = self.heads[best].take().expect("head buffered");
@@ -170,7 +168,7 @@ mod tests {
                 brute.push(m.utility(inst, &p, &ctx));
             }
         }
-        brute.sort_by(|a, b| b.partial_cmp(a).expect("comparable"));
+        brute.sort_by(|a, b| crate::utility_cmp(*b, *a));
         for (o, b) in out.iter().zip(&brute) {
             assert!((o.1.utility - b).abs() < 1e-12);
         }

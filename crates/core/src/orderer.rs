@@ -67,6 +67,18 @@ impl fmt::Display for OrdererError {
 
 impl std::error::Error for OrdererError {}
 
+/// Total order on utilities: `total_cmp` over `-0.0`-normalized values.
+///
+/// Adding `0.0` maps `-0.0` to `+0.0`, after which [`f64::total_cmp`]
+/// agrees with the IEEE partial order on every non-NaN pair — so swapping
+/// this in for a `partial_cmp(..).expect(..)` chain preserves bit-stable
+/// orderings while turning the NaN panic path into a deterministic total
+/// order (NaN sorts above every number, negative NaN below).
+#[inline]
+pub fn utility_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    (a + 0.0).total_cmp(&(b + 0.0))
+}
+
 /// How an emitted plan actually turned out once the runtime executed it.
 ///
 /// The utilities of Definition 2.1 condition on the plans *assumed*

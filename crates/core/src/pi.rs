@@ -59,9 +59,7 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Pi<'_, M> {
             .max_by(|(_, (pa, ua)), (_, (pb, ub))| {
                 let ua = ua.expect("computed above");
                 let ub = ub.expect("computed above");
-                ua.partial_cmp(&ub)
-                    .expect("utilities are comparable")
-                    .then_with(|| pb.cmp(pa)) // ties → smaller plan wins
+                crate::utility_cmp(ua, ub).then_with(|| pb.cmp(pa)) // ties → smaller plan wins
             })
             .map(|(i, _)| i)
             .expect("non-empty plan list");
@@ -127,9 +125,7 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Naive<'_, M> {
             .enumerate()
             .map(|(i, p)| (i, self.measure.utility(self.inst, p, &self.ctx)))
             .max_by(|(ia, ua), (ib, ub)| {
-                ua.partial_cmp(ub)
-                    .expect("utilities are comparable")
-                    .then_with(|| self.plans[*ib].cmp(&self.plans[*ia]))
+                crate::utility_cmp(*ua, *ub).then_with(|| self.plans[*ib].cmp(&self.plans[*ia]))
             })
             .expect("non-empty plan list");
         let plan = self.plans.swap_remove(best);

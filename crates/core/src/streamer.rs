@@ -335,9 +335,7 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
                 .max_by(|&a, &b| {
                     let ua = self.nodes[&a].utility.expect("computed in 2.a").hi();
                     let ub = self.nodes[&b].utility.expect("computed in 2.a").hi();
-                    ua.partial_cmp(&ub)
-                        .expect("utilities are comparable")
-                        .then(b.cmp(&a))
+                    crate::utility_cmp(ua, ub).then(b.cmp(&a))
                 });
             if let Some(id) = to_refine {
                 self.refine(id);
@@ -351,9 +349,7 @@ impl<M: UtilityMeasure + ?Sized> PlanOrderer for Streamer<'_, M> {
                 .max_by(|&a, &b| {
                     let ua = self.nodes[&a].utility.expect("computed in 2.a").lo();
                     let ub = self.nodes[&b].utility.expect("computed in 2.a").lo();
-                    ua.partial_cmp(&ub)
-                        .expect("utilities are comparable")
-                        .then(b.cmp(&a))
+                    crate::utility_cmp(ua, ub).then(b.cmp(&a))
                 })
                 .expect("graph is non-empty, so some plan is nondominated");
             let d = self.remove_node_and_links(d_id);

@@ -29,11 +29,11 @@ use std::sync::Arc;
 /// Evaluates plans for the runtime by reformulating them into conjunctive
 /// queries over the mediator's materialized extensions — the same
 /// evaluation path the serial loop uses.
-struct MediatorEvaluator<'a> {
-    reform: &'a Reformulation,
-    db: &'a Database,
-    view_map: BTreeMap<Arc<str>, SourceDescription>,
-    soundness_errors: Counter,
+pub(crate) struct MediatorEvaluator<'a> {
+    pub(crate) reform: &'a Reformulation,
+    pub(crate) db: &'a Database,
+    pub(crate) view_map: BTreeMap<Arc<str>, SourceDescription>,
+    pub(crate) soundness_errors: Counter,
 }
 
 impl PlanEvaluator for MediatorEvaluator<'_> {

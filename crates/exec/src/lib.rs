@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anyk;
 pub mod concurrent;
 pub mod extensions;
 pub mod mediator;
@@ -17,6 +18,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod session;
 
+pub use anyk::{offline_ranked_answers, ranked_join_for_plan, AnyKRun};
 pub use concurrent::ConcurrentRun;
 pub use extensions::{populate_sources, try_populate_sources, ExtensionError};
 pub use mediator::{
@@ -24,5 +26,6 @@ pub use mediator::{
     DEFAULT_CACHE_CAPACITY,
 };
 pub use profile::{estimate_extent, estimate_tuples, format_kernel_stats, profile_catalog};
+pub use qpo_anyk::{CatalogScorer, RankedJoin, RankedTuple, TupleScorer};
 pub use qpo_reformulation::{CacheStats, PreparedQuery, ReformulationCache};
 pub use session::QuerySession;

@@ -27,18 +27,44 @@
 //! live anytime curve and a regret gauge against the brute-force
 //! Definition 2.1 oracle, evaluated lazily over the same plan space.
 
+use crate::anyk::{offline_ranked_answers, ranked_join_for_plan};
 use crate::mediator::{
     build_orderer_observed, execute_plan, Mediator, MediatorError, MediatorRun, PlanReport,
     StopCondition, Strategy,
 };
-use qpo_core::{Naive, PlanOrderer, PlanOutcome};
+use qpo_anyk::{encode_tuple, plan_bound, AnyKMerge, CatalogScorer, RankedTuple, TupleScorer};
+use qpo_core::{utility_cmp, Naive, OrderedPlan, PlanOrderer, PlanOutcome};
 use qpo_datalog::{Database, SourceDescription, Tuple};
 use qpo_obs::{encode_plan, Counter, Histogram, Obs, QualitySnapshot, QualityTracker, Value};
 use qpo_reformulation::PreparedQuery;
 use qpo_utility::UtilityMeasure;
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The per-session state of the tuple-level any-k stream, created lazily
+/// on the first [`QuerySession::next_tuple`] pull.
+struct SessionAnyK<'s> {
+    scorer: Box<dyn TupleScorer + 's>,
+    merge: AnyKMerge,
+    /// Score bounds of the plans the orderer has not emitted yet — the
+    /// release gate for [`AnyKMerge::next_within`].
+    remaining: BTreeMap<Vec<usize>, f64>,
+    tuples_emitted: u64,
+}
+
+impl SessionAnyK<'_> {
+    fn bound(&self) -> Option<f64> {
+        self.remaining.values().copied().reduce(|a, b| {
+            if utility_cmp(b, a) == Ordering::Greater {
+                b
+            } else {
+                a
+            }
+        })
+    }
+}
 
 /// An open query-serving session: one prepared query, one orderer, and
 /// the accumulated answer set.
@@ -60,9 +86,14 @@ use std::time::Instant;
 /// uniform with the concurrent runtime). Unsound plans spend nothing; with
 /// [`QuerySession::with_retract_unsound`] they are additionally reported
 /// as failures so context-sensitive orderers stop crediting them.
+///
+/// Beyond plan-at-a-time pulls, [`QuerySession::next_tuple`] serves the
+/// same session as a tuple-level any-k stream: globally ranked answers,
+/// delivered as soon as no unexecuted plan can beat them.
 pub struct QuerySession<'s> {
     prepared: &'s PreparedQuery,
     db: &'s Database,
+    universe: u64,
     view_map: BTreeMap<Arc<str>, SourceDescription>,
     orderer: Box<dyn PlanOrderer + 's>,
     strategy: Strategy,
@@ -79,6 +110,14 @@ pub struct QuerySession<'s> {
     // observation and never consulted unless quality tracking is on.
     oracle_factory: Option<Box<dyn FnOnce() -> Box<dyn PlanOrderer + 's> + 's>>,
     oracle: Option<Box<dyn PlanOrderer + 's>>,
+    // Tuple-level any-k streaming state, built on the first `next_tuple`
+    // pull from the scorer pending below (or the catalog default).
+    anyk: Option<SessionAnyK<'s>>,
+    pending_scorer: Option<Box<dyn TupleScorer + 's>>,
+    tuple_quality: Option<QualityTracker>,
+    // The offline exact ranked answer list (scores only), built lazily on
+    // the first tuple-quality observation.
+    tuple_oracle: Option<Vec<f64>>,
     time_to_first_plan: Histogram,
     time_to_plan: Histogram,
     soundness_errors: Counter,
@@ -114,6 +153,7 @@ impl<'s> QuerySession<'s> {
         Ok(QuerySession {
             prepared,
             db: mediator.database(),
+            universe: mediator.universe(),
             view_map: mediator.catalog().view_map(),
             orderer,
             strategy,
@@ -127,6 +167,10 @@ impl<'s> QuerySession<'s> {
             quality: None,
             oracle_factory: Some(oracle_factory),
             oracle: None,
+            anyk: None,
+            pending_scorer: None,
+            tuple_quality: None,
+            tuple_oracle: None,
             time_to_first_plan: obs
                 .registry
                 .histogram("qpo_session_time_to_first_plan_ms", &labels),
@@ -170,6 +214,47 @@ impl<'s> QuerySession<'s> {
         self.quality.as_ref().map(|q| q.snapshot())
     }
 
+    /// Replaces the tuple scorer the any-k stream ranks answers with
+    /// (default: [`CatalogScorer`] over the mediator's universe). Must be
+    /// called before the first [`QuerySession::next_tuple`] pull — the
+    /// scorer is fixed once streaming starts.
+    pub fn with_tuple_scorer(mut self, scorer: impl TupleScorer + 's) -> Self {
+        debug_assert!(self.anyk.is_none(), "scorer fixed once streaming starts");
+        self.pending_scorer = Some(Box::new(scorer));
+        self
+    }
+
+    /// Enables tuple-level quality telemetry: an anytime curve (one point
+    /// per delivered tuple) plus `qpo_session_tuple_mass{strategy}` and
+    /// `qpo_session_tuple_regret{strategy}` gauges against the offline
+    /// exact ranked answer list ([`offline_ranked_answers`]). The oracle
+    /// drains every sound plan once, lazily, on the first delivery.
+    pub fn with_tuple_quality(mut self, enabled: bool) -> Self {
+        self.tuple_quality = if enabled {
+            let labels = [("strategy", self.strategy.label())];
+            Some(QualityTracker::registered_as(
+                &self.obs.registry,
+                &labels,
+                "qpo_session_tuple_mass",
+                "qpo_session_tuple_regret",
+            ))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Snapshot of the tuple-level quality state, or `None` unless
+    /// [`with_tuple_quality`](Self::with_tuple_quality) enabled tracking.
+    pub fn tuple_quality(&self) -> Option<QualitySnapshot> {
+        self.tuple_quality.as_ref().map(|q| q.snapshot())
+    }
+
+    /// Tuples delivered by [`QuerySession::next_tuple`] so far.
+    pub fn tuples_emitted(&self) -> u64 {
+        self.anyk.as_ref().map_or(0, |a| a.tuples_emitted)
+    }
+
     /// The strategy this session orders plans with.
     pub fn strategy(&self) -> Strategy {
         self.strategy
@@ -199,8 +284,30 @@ impl<'s> QuerySession<'s> {
 
     /// Pulls, soundness-tests, and (if sound) executes the next best
     /// plan. Returns `None` when the plan space is exhausted.
+    ///
+    /// Once tuple streaming has started (see
+    /// [`QuerySession::next_tuple`]), plans pulled here also attach their
+    /// ranked tuple stream to the session's any-k merge.
     pub fn next_report(&mut self) -> Option<PlanReport> {
         let ordered = self.orderer.next_plan()?;
+        let mut anyk = self.anyk.take();
+        let report = self.process_plan(ordered, anyk.as_mut());
+        self.anyk = anyk;
+        Some(report)
+    }
+
+    /// The emit → soundness-test → execute → journal → feedback step
+    /// shared by [`QuerySession::next_report`] and the tuple-streaming
+    /// pull loop. When `anyk` is live, the plan's ranked stream attaches
+    /// to the merge between its `plan_emitted` and terminal journal
+    /// events (unsound plans attach and evict immediately, journalling
+    /// both) — so the trace's stream events always land inside an open
+    /// plan span, mirroring the concurrent executor's speculative attach.
+    fn process_plan(
+        &mut self,
+        ordered: OrderedPlan,
+        anyk: Option<&mut SessionAnyK<'s>>,
+    ) -> PlanReport {
         let plan_seq = self.plans_emitted as u64;
         if self.obs.journal.is_enabled() {
             self.obs.journal.record(
@@ -219,6 +326,39 @@ impl<'s> QuerySession<'s> {
             &mut self.answers,
             ordered,
         );
+        if let Some(anyk) = anyk {
+            anyk.remaining.remove(&report.ordered.plan);
+            let stream = ranked_join_for_plan(
+                self.db,
+                &self.prepared.reformulation,
+                &self.prepared.instance,
+                anyk.scorer.as_ref(),
+                &report.ordered.plan,
+            );
+            anyk.merge
+                .attach(plan_seq, report.ordered.plan.clone(), Box::new(stream));
+            if self.obs.journal.is_enabled() {
+                self.obs.journal.record(
+                    "stream_attached",
+                    vec![
+                        ("plan_seq", Value::U64(plan_seq)),
+                        ("plan", Value::Str(encode_plan(&report.ordered.plan))),
+                    ],
+                );
+            }
+            if !report.sound {
+                let contributed = anyk.merge.evict(plan_seq);
+                if self.obs.journal.is_enabled() {
+                    self.obs.journal.record(
+                        "stream_evicted",
+                        vec![
+                            ("plan_seq", Value::U64(plan_seq)),
+                            ("retracted", Value::U64(contributed.len() as u64)),
+                        ],
+                    );
+                }
+            }
+        }
         self.plans_emitted += 1;
         let elapsed_ms = self.opened.elapsed().as_secs_f64() * 1e3;
         if self.plans_emitted == 1 {
@@ -300,7 +440,148 @@ impl<'s> QuerySession<'s> {
             e.utility_mass = mass;
             e.regret = regret;
         });
-        Some(report)
+        report
+    }
+
+    /// Pulls the next answer of the globally ranked any-k stream: the
+    /// best undelivered tuple across every executed plan, delivered only
+    /// once its score strictly clears the best bound of every plan the
+    /// orderer has not emitted yet (so the stream is non-increasing even
+    /// though most of the plan space is still pending). Pulls — and fully
+    /// accounts, exactly like [`QuerySession::next_report`] — as many
+    /// plans as the gate requires; returns `None` when every plan is in
+    /// and the merge is drained.
+    ///
+    /// Unsound plans attach and immediately evict their stream, so they
+    /// contribute nothing; answers already delivered stay delivered.
+    pub fn next_tuple(&mut self) -> Option<RankedTuple> {
+        self.ensure_anyk();
+        loop {
+            let anyk = self.anyk.as_mut().expect("ensured above");
+            let bound = anyk.bound();
+            if let Some(rt) = anyk.merge.next_within(bound) {
+                anyk.tuples_emitted += 1;
+                let k = anyk.tuples_emitted;
+                if self.obs.journal.is_enabled() {
+                    self.obs.journal.record(
+                        "tuple_emitted",
+                        vec![
+                            ("plan_seq", Value::U64(rt.plan_seq)),
+                            ("k", Value::U64(k)),
+                            ("score", Value::F64(rt.score)),
+                            ("tuple", Value::Str(encode_tuple(&rt.tuple))),
+                        ],
+                    );
+                }
+                self.observe_tuple_quality(k, &rt);
+                let (mass, regret, point) = match &self.tuple_quality {
+                    Some(q) => {
+                        let snap = q.snapshot();
+                        (
+                            Some(snap.mass),
+                            Some(snap.regret),
+                            snap.points.last().copied(),
+                        )
+                    }
+                    None => (None, None, None),
+                };
+                self.obs.sessions.update(self.board_id, |e| {
+                    e.tuples_emitted = k;
+                    e.tuple_mass = mass;
+                    e.tuple_regret = regret;
+                    if let Some(p) = point {
+                        e.tuple_curve.push(p);
+                    }
+                });
+                return Some(rt);
+            }
+            bound?; // every plan attached, merge drained
+            match self.orderer.next_plan() {
+                Some(ordered) => {
+                    let mut anyk = self.anyk.take();
+                    self.process_plan(ordered, anyk.as_mut());
+                    self.anyk = anyk;
+                }
+                None => {
+                    // Defensive: the orderer is exhausted while bounds for
+                    // unseen plans remain (plans pulled before streaming
+                    // started, or an orderer that undercovers the space).
+                    // Nothing further can attach, so lift the gate.
+                    self.anyk.as_mut().expect("ensured above").remaining.clear();
+                }
+            }
+        }
+    }
+
+    /// The iterator form of [`QuerySession::next_tuple`]: the globally
+    /// ranked anytime answer stream.
+    pub fn stream_tuples(&mut self) -> Box<dyn Iterator<Item = RankedTuple> + '_> {
+        Box::new(std::iter::from_fn(move || self.next_tuple()))
+    }
+
+    fn ensure_anyk(&mut self) {
+        if self.anyk.is_some() {
+            return;
+        }
+        let scorer = self
+            .pending_scorer
+            .take()
+            .unwrap_or_else(|| Box::new(CatalogScorer::new(self.universe)));
+        let inst = &self.prepared.instance;
+        let remaining = inst
+            .all_plans()
+            .into_iter()
+            .map(|p| {
+                let b = plan_bound(scorer.as_ref(), inst, &p);
+                (p, b)
+            })
+            .collect();
+        self.anyk = Some(SessionAnyK {
+            scorer,
+            merge: AnyKMerge::new(),
+            remaining,
+            tuples_emitted: 0,
+        });
+    }
+
+    /// Feeds one delivered tuple into the tuple-level quality tracker
+    /// (no-op unless [`QuerySession::with_tuple_quality`] enabled it),
+    /// journalling a `tuple_quality_sample` against the offline exact
+    /// ranked list.
+    fn observe_tuple_quality(&mut self, k: u64, rt: &RankedTuple) {
+        if self.tuple_quality.is_none() {
+            return;
+        }
+        if self.tuple_oracle.is_none() {
+            let anyk = self.anyk.as_ref().expect("streaming started");
+            let ranked = offline_ranked_answers(
+                self.db,
+                &self.prepared.reformulation,
+                &self.view_map,
+                &self.prepared.instance,
+                anyk.scorer.as_ref(),
+            );
+            self.tuple_oracle = Some(ranked.into_iter().map(|(s, _)| s).collect());
+        }
+        let oracle_score = self
+            .tuple_oracle
+            .as_ref()
+            .and_then(|scores| scores.get((k - 1) as usize))
+            .copied()
+            .unwrap_or(0.0);
+        let tracker = self.tuple_quality.as_mut().expect("checked above");
+        let regret = tracker.observe(rt.score, self.spent, oracle_score);
+        if self.obs.journal.is_enabled() {
+            self.obs.journal.record(
+                "tuple_quality_sample",
+                vec![
+                    ("k", Value::U64(k)),
+                    ("score", Value::F64(rt.score)),
+                    ("mass", Value::F64(tracker.mass())),
+                    ("regret", Value::F64(regret)),
+                ],
+            );
+        }
     }
 
     /// Pulls plans until `stop` is satisfied or the plan space is

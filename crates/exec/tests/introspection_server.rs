@@ -99,6 +99,50 @@ fn endpoints_are_byte_identical_to_the_offline_exporters() {
 }
 
 #[test]
+fn sessions_endpoint_carries_the_tuple_stream_telemetry() {
+    // A session served through the any-k tuple stream: /sessions must
+    // expose the tuple counters and quality curve, byte-identical to the
+    // offline board exporter.
+    let obs = Obs::with_trace();
+    let mediator = Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"]).with_obs(&obs);
+    let prepared = mediator.prepare(&movie_query()).unwrap();
+    let mut session = QuerySession::new(&mediator, &prepared, &Coverage, Strategy::IDrips)
+        .unwrap()
+        .with_tuple_scorer(qpo_exec::CatalogScorer::new(MOVIE_UNIVERSE).with_jitter(0.25))
+        .with_tuple_quality(true);
+    let delivered = session.stream_tuples().count();
+    assert!(delivered > 0);
+    drop(session);
+
+    let server = mediator.spawn_introspection(0).unwrap();
+    let addr = server.addr();
+    let (status, body) = http_get(&addr, "/sessions");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(
+        body,
+        obs.sessions.to_json().as_bytes(),
+        "/sessions drifted from the board exporter"
+    );
+    let sessions = String::from_utf8(body).unwrap();
+    assert!(sessions.contains(&format!("\"tuples_emitted\":{delivered}")));
+    assert!(sessions.contains("\"tuple_mass\":"));
+    assert!(sessions.contains("\"tuple_regret\":"));
+    assert!(
+        sessions.contains("\"tuple_curve\":[["),
+        "tuple curve must be populated"
+    );
+
+    // The served trace carries the tuple lifecycle and still validates.
+    let (status, body) = http_get(&addr, "/traces");
+    assert!(status.contains("200"), "{status}");
+    let jsonl = String::from_utf8(body).unwrap();
+    assert_eq!(jsonl, obs.journal.to_jsonl());
+    let report = qpo_obs::validate_trace(&jsonl).expect("served tuple trace validates");
+    assert_eq!(report.counts["tuple_emitted"] as usize, delivered);
+    assert!(report.counts["stream_attached"] > 0);
+}
+
+#[test]
 fn explain_answers_for_emitted_and_unknown_plans() {
     let (obs, mediator) = served_mediator();
     // The first emitted plan, straight from the journal.

@@ -256,11 +256,20 @@ enum SpanState {
 /// per-kind counts and the open/close tally; callers asserting balance
 /// compare [`TraceReport::spans_opened`] with
 /// [`TraceReport::spans_closed`].
+///
+/// Tuple-stream events are checked too: `stream_attached` must land
+/// while its plan's span is open, `tuple_emitted` and `stream_evicted`
+/// after the plan's `plan_emitted` in the same run (the cross-plan merge
+/// may legitimately hold a plan's tuples back past its terminal event,
+/// so "span exists" rather than "span open" is the sound requirement),
+/// and `tuple_emitted` scores must be non-increasing within each run —
+/// the global any-k ranking guarantee, checked on the wire format.
 pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
     let mut report = TraceReport::default();
     let mut spans: BTreeMap<(u64, u64), SpanState> = BTreeMap::new();
     let mut run: u64 = 0;
     let mut last_clock = f64::NEG_INFINITY;
+    let mut last_tuple_score: Option<f64> = None;
     for (lineno, line) in jsonl.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -302,8 +311,10 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
         if kind == "run_started" {
             run += 1;
             // A new run restarts the virtual clock; its own timestamp
-            // opens the new monotone window.
+            // opens the new monotone window, and the ranked tuple stream
+            // starts over.
             last_clock = f64::NEG_INFINITY;
+            last_tuple_score = None;
         }
         if let Some(t) = clock {
             if t < last_clock {
@@ -356,6 +367,57 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
                         ))
                     }
                 }
+            }
+        }
+
+        if matches!(
+            kind.as_str(),
+            "tuple_emitted" | "stream_attached" | "stream_evicted"
+        ) {
+            let plan = match get("plan_seq") {
+                Some(Json::Number(n)) => *n as u64,
+                _ => {
+                    return Err(format!(
+                        "line {}: stream event \"{kind}\" missing \"plan_seq\"",
+                        lineno + 1
+                    ))
+                }
+            };
+            match spans.get(&(run, plan)) {
+                Some(SpanState::Open) => {}
+                Some(SpanState::Closed) if kind != "stream_attached" => {}
+                Some(SpanState::Closed) => {
+                    return Err(format!(
+                        "line {}: \"stream_attached\" for plan {plan} after its terminal event",
+                        lineno + 1
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "line {}: \"{kind}\" for plan {plan} with no prior emission",
+                        lineno + 1
+                    ))
+                }
+            }
+            if kind == "tuple_emitted" {
+                let score = match get("score") {
+                    Some(Json::Number(n)) => *n + 0.0,
+                    _ => {
+                        return Err(format!(
+                            "line {}: \"tuple_emitted\" missing numeric \"score\"",
+                            lineno + 1
+                        ))
+                    }
+                };
+                if let Some(prev) = last_tuple_score {
+                    if score.total_cmp(&prev) == std::cmp::Ordering::Greater {
+                        return Err(format!(
+                            "seq {seq}: tuple score {score} increases within run {run} \
+                             (previous score {prev})"
+                        ));
+                    }
+                }
+                last_tuple_score = Some(score);
             }
         }
     }
@@ -498,6 +560,64 @@ mod tests {
             "{\"seq\":1,\"clock\":0,\"kind\":\"b\"}\n",
         );
         assert!(validate_trace(reset_without_marker).is_err());
+    }
+
+    #[test]
+    fn validate_checks_tuple_stream_events() {
+        // A plan attaches while open, completes, and its held-back tuple
+        // emits after the terminal event — legal under cross-plan gating.
+        let ok = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":0,\"kind\":\"stream_attached\",\"plan_seq\":0}\n",
+            "{\"seq\":3,\"clock\":1,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":2.5}\n",
+            "{\"seq\":4,\"clock\":1,\"kind\":\"plan_completed\",\"plan_seq\":0}\n",
+            "{\"seq\":5,\"clock\":2,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":2.5}\n",
+            "{\"seq\":6,\"clock\":3,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":1}\n",
+            "{\"seq\":7,\"clock\":3,\"kind\":\"stream_evicted\",\"plan_seq\":0}\n",
+        );
+        let report = validate_trace(ok).expect("tuple lifecycle is sound");
+        assert_eq!(report.count("tuple_emitted"), 3);
+
+        let no_plan =
+            "{\"seq\":0,\"clock\":0,\"kind\":\"tuple_emitted\",\"plan_seq\":1,\"score\":1}\n";
+        assert!(validate_trace(no_plan)
+            .unwrap_err()
+            .contains("no prior emission"));
+
+        let late_attach = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_completed\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":1,\"kind\":\"stream_attached\",\"plan_seq\":0}\n",
+        );
+        assert!(validate_trace(late_attach)
+            .unwrap_err()
+            .contains("after its terminal event"));
+
+        let increasing = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":1}\n",
+            "{\"seq\":2,\"clock\":0,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":2}\n",
+        );
+        let err = validate_trace(increasing).unwrap_err();
+        assert!(err.contains("increases within run"), "{err}");
+
+        let no_score = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"tuple_emitted\",\"plan_seq\":0}\n",
+        );
+        assert!(validate_trace(no_score).unwrap_err().contains("score"));
+
+        // run_started resets the tuple-score window like the clock's.
+        let two_runs = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":0,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":1}\n",
+            "{\"seq\":3,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":4,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":5,\"clock\":0,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":9}\n",
+        );
+        assert!(validate_trace(two_runs).is_ok());
     }
 
     #[test]

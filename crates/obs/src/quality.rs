@@ -72,9 +72,27 @@ impl QualityTracker {
 
     /// A tracker whose gauges live in `registry` under `labels`.
     pub fn registered(registry: &Registry, labels: &[(&str, &str)]) -> Self {
+        QualityTracker::registered_as(
+            registry,
+            labels,
+            "qpo_session_utility_mass",
+            "qpo_session_regret",
+        )
+    }
+
+    /// A tracker with caller-chosen gauge names — the same curve/regret
+    /// mechanics at a different granularity (sessions use this for the
+    /// tuple-level stream: `qpo_session_tuple_mass` /
+    /// `qpo_session_tuple_regret` against the offline exact sort).
+    pub fn registered_as(
+        registry: &Registry,
+        labels: &[(&str, &str)],
+        mass_metric: &'static str,
+        regret_metric: &'static str,
+    ) -> Self {
         QualityTracker {
-            mass_gauge: registry.gauge("qpo_session_utility_mass", labels),
-            regret_gauge: registry.gauge("qpo_session_regret", labels),
+            mass_gauge: registry.gauge(mass_metric, labels),
+            regret_gauge: registry.gauge(regret_metric, labels),
             ..QualityTracker::default()
         }
     }
@@ -140,6 +158,16 @@ pub struct SessionEntry {
     pub utility_mass: Option<f64>,
     /// Oracle regret (quality tracking enabled only).
     pub regret: Option<f64>,
+    /// Ranked answer tuples delivered by the any-k stream (0 unless the
+    /// session serves tuples).
+    pub tuples_emitted: u64,
+    /// Cumulative delivered tuple-score mass (tuple quality enabled only).
+    pub tuple_mass: Option<f64>,
+    /// Tuple-level regret against the offline exact sort of the full
+    /// answer set (tuple quality enabled only).
+    pub tuple_regret: Option<f64>,
+    /// The live tuple-quality curve, one point per delivered tuple.
+    pub tuple_curve: Vec<QualityPoint>,
     /// Whether the session has been dropped.
     pub closed: bool,
 }
@@ -186,6 +214,10 @@ impl SessionBoard {
                 time_to_first_plan_ms: None,
                 utility_mass: None,
                 regret: None,
+                tuples_emitted: 0,
+                tuple_mass: None,
+                tuple_regret: None,
+                tuple_curve: Vec::new(),
                 closed: false,
             },
         );
@@ -247,6 +279,25 @@ impl SessionBoard {
             push_opt(&mut out, "time_to_first_plan_ms", e.time_to_first_plan_ms);
             push_opt(&mut out, "utility_mass", e.utility_mass);
             push_opt(&mut out, "regret", e.regret);
+            let _ = write!(out, ",\"tuples_emitted\":{}", e.tuples_emitted);
+            push_opt(&mut out, "tuple_mass", e.tuple_mass);
+            push_opt(&mut out, "tuple_regret", e.tuple_regret);
+            // The curve renders compactly as [k, utility, mass, cost]
+            // rows — identical bytes from the live server and the offline
+            // exporter, both funneling through this function.
+            out.push_str(",\"tuple_curve\":[");
+            for (i, p) in e.tuple_curve.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{}", p.k);
+                for v in [p.utility, p.mass, p.cost] {
+                    out.push(',');
+                    push_f64(&mut out, v);
+                }
+                out.push(']');
+            }
+            out.push(']');
             let _ = write!(out, ",\"closed\":{}}}", e.closed);
         }
         out.push_str("]}");
@@ -320,7 +371,53 @@ mod tests {
         assert!(json.contains("\"strategy\":\"pi\""));
         assert!(json.contains("\"time_to_first_plan_ms\":0.25"));
         assert!(json.contains("\"regret\":null"));
+        assert!(json.contains("\"tuples_emitted\":0"));
+        assert!(json.contains("\"tuple_curve\":[]"));
         assert!(json.contains("\"closed\":true"));
+    }
+
+    #[test]
+    fn board_renders_the_tuple_quality_curve() {
+        let board = SessionBoard::new();
+        let id = board.open("idrips", 4);
+        board.update(id, |e| {
+            e.tuples_emitted = 2;
+            e.tuple_mass = Some(3.5);
+            e.tuple_regret = Some(0.0);
+            e.tuple_curve = vec![
+                QualityPoint {
+                    k: 1,
+                    utility: 2.0,
+                    mass: 2.0,
+                    cost: 0.5,
+                },
+                QualityPoint {
+                    k: 2,
+                    utility: 1.5,
+                    mass: 3.5,
+                    cost: 0.5,
+                },
+            ];
+        });
+        let json = board.to_json();
+        assert!(json.contains("\"tuples_emitted\":2"));
+        assert!(json.contains("\"tuple_mass\":3.5"));
+        assert!(json.contains("\"tuple_curve\":[[1,2,2,0.5],[2,1.5,3.5,0.5]]"));
+    }
+
+    #[test]
+    fn registered_as_names_the_gauges() {
+        let reg = Registry::new();
+        let labels = [("strategy", "pi")];
+        let mut t = QualityTracker::registered_as(
+            &reg,
+            &labels,
+            "qpo_session_tuple_mass",
+            "qpo_session_tuple_regret",
+        );
+        t.observe(2.0, 0.0, 2.5);
+        assert_eq!(reg.gauge("qpo_session_tuple_mass", &labels).get(), 2.0);
+        assert_eq!(reg.gauge("qpo_session_tuple_regret", &labels).get(), 0.5);
     }
 
     #[test]

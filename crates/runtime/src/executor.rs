@@ -52,6 +52,31 @@ pub trait PlanEvaluator: Sync {
     fn evaluate(&self, plan: &[usize]) -> Vec<Tuple>;
 }
 
+/// A hook into the coordinator's deterministic wave loop, called only
+/// from the coordinator thread (never from workers): once when a plan is
+/// popped and scheduled (speculatively — no outcome known yet) and once
+/// when its completion merges (outcome and answers final). Both calls
+/// carry the serial virtual clock, so anything the observer derives —
+/// attached tuple streams, journal events, progress gauges — stays a
+/// pure function of `(seed, sources, plan order)` and is byte-identical
+/// across worker counts. `qpo-exec`'s any-k streaming attaches per-plan
+/// ranked tuple streams here.
+pub trait WaveObserver {
+    /// A plan was popped from the orderer and handed to the workers.
+    /// `vclock` is the serial virtual time of its `plan_scheduled` event.
+    fn plan_scheduled(&mut self, _seq: u64, _ordered: &OrderedPlan, _vclock: f64) {}
+
+    /// A plan's completion merged into the run. `vclock` is the serial
+    /// virtual time *after* the plan's latency (its terminal event's
+    /// timestamp).
+    fn plan_merged(&mut self, _report: &PlanExecution, _vclock: f64) {}
+}
+
+/// The do-nothing observer [`Executor::run`] uses.
+struct NoopObserver;
+
+impl WaveObserver for NoopObserver {}
+
 /// When the executor stops popping further plans. Mirrors the serial
 /// mediator's stop condition; see the module docs for speculation caveats.
 #[derive(Debug, Clone, Copy, Default)]
@@ -337,6 +362,17 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
     /// counts (with the lookahead held fixed; lookahead changes *which*
     /// plans are emitted, which is run semantics, not scheduling).
     pub fn run(&self, orderer: &mut dyn PlanOrderer, budget: RunBudget) -> RuntimeRun {
+        self.run_observed(orderer, budget, &mut NoopObserver)
+    }
+
+    /// [`Executor::run`] with a [`WaveObserver`] hooked into the
+    /// coordinator loop (see the trait docs for the callback contract).
+    pub fn run_observed(
+        &self,
+        orderer: &mut dyn PlanOrderer,
+        budget: RunBudget,
+        observer: &mut dyn WaveObserver,
+    ) -> RuntimeRun {
         let workers = self.policy.workers.max(1);
         let lookahead = self.policy.lookahead.max(1);
         let metrics = RunMetrics::registered(&self.obs);
@@ -404,6 +440,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                             vec![("plan_seq", Value::U64(seq))],
                         );
                     }
+                    observer.plan_scheduled(seq, &ordered, vclock);
                     assert!(
                         job_tx.send(Job { seq, ordered }).is_ok(),
                         "workers outlive the coordinator loop"
@@ -421,14 +458,16 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 stats.virtual_time +=
                     makespan(wave.iter().map(|c| plan_latency(&c.accesses)), workers);
                 for completion in wave {
-                    reports.push(self.merge(
+                    let report = self.merge(
                         completion,
                         orderer,
                         &mut answers,
                         &mut stats,
                         &metrics,
                         &mut vclock,
-                    ));
+                    );
+                    observer.plan_merged(&report, vclock);
+                    reports.push(report);
                 }
             }
             drop(job_tx);

@@ -38,7 +38,7 @@ pub mod source;
 
 pub use executor::{
     Executor, FailureReason, PlanEvaluator, PlanExecution, PlanStatus, RunBudget, RunStats,
-    RuntimeRun, SourceAccess,
+    RuntimeRun, SourceAccess, WaveObserver,
 };
 pub use feedback::{outcome_of, SourceHealth, SourceRecord};
 pub use policy::{FaultConfig, RetryPolicy, RuntimePolicy};

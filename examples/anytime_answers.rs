@@ -1,9 +1,12 @@
-//! A miniature of the paper's Figure 6: time to the first k best plans.
+//! A miniature of the paper's Figure 6: time to the first k best plans —
+//! and, one level deeper, time to the first k best *tuples*.
 //!
 //! Generates a synthetic instance (query length 3, configurable bucket
 //! size) and measures, for each algorithm, the wall-clock time and the
 //! number of plan evaluations needed to emit the 1st, 10th and 100th best
-//! plan under plan coverage and under cost-with-source-failure.
+//! plan under plan coverage and under cost-with-source-failure. Then
+//! switches to the movie domain and streams the globally ranked any-k
+//! tuple stream with its live quality curve.
 //!
 //! Run with: `cargo run --release --example anytime_answers [bucket_size]`
 
@@ -94,6 +97,45 @@ fn run_case<M: UtilityMeasure>(
     }
 }
 
+/// Streams the globally ranked tuple stream of the movie mediator: the
+/// any-k layer delivers the best answers first, pulling plans lazily
+/// only when the next tuple needs them, and the tuple-quality tracker
+/// reports cumulative score mass and regret against the offline exact
+/// ranked list as the stream advances.
+fn stream_ranked_tuples() {
+    println!("\n== any-k: globally ranked tuple stream (movie domain) ==");
+    let mediator = Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"]);
+    let prepared = mediator.prepare(&movie_query()).unwrap();
+    let mut session = QuerySession::new(&mediator, &prepared, &Coverage, Strategy::IDrips)
+        .unwrap()
+        .with_tuple_scorer(CatalogScorer::new(MOVIE_UNIVERSE).with_jitter(0.25))
+        .with_tuple_quality(true);
+    println!(
+        "{:<4} {:>8} {:>7} {:>10} {:>10}  tuple",
+        "k", "score", "plans", "mass", "regret"
+    );
+    let mut shown = 0usize;
+    while let Some(rt) = session.next_tuple() {
+        shown += 1;
+        let plans = session.plans_emitted();
+        let quality = session.tuple_quality().expect("tuple quality enabled");
+        if shown <= 8 {
+            println!(
+                "{:<4} {:>8.3} {:>7} {:>10.3} {:>10.6}  {:?}",
+                shown, rt.score, plans, quality.mass, quality.regret, rt.tuple
+            );
+        }
+    }
+    let quality = session.tuple_quality().expect("tuple quality enabled");
+    println!(
+        "... {shown} tuples total over {} plans; final mass {:.3}, regret vs offline \
+         exact sort {:.6} (an exact stream trails the oracle by nothing)",
+        session.plans_emitted(),
+        quality.mass,
+        quality.regret
+    );
+}
+
 fn main() {
     let bucket_size: usize = std::env::args()
         .nth(1)
@@ -130,4 +172,6 @@ fn main() {
          coverage and no-caching failure-cost; iDrips ≪ PI under caching; \
          gains shrink for the monetary measure."
     );
+
+    stream_ranked_tuples();
 }

@@ -7,6 +7,9 @@
 #   with CountingMeasure eval counters (BENCH_ordering.json).
 # - bench-serving: the canonicalized reformulation cache under a mixed
 #   cold/repeated/renamed workload (BENCH_serving.json).
+# - bench-anyk: time-to-k-th-tuple of the any-k stream vs the
+#   plan-at-a-time ranked baseline, merged into BENCH_ordering.json as
+#   the "anyk" section (after bench-ordering rewrites the base file).
 #
 # Usage:
 #   scripts/bench.sh            # full workloads, rewrite both JSON files
@@ -27,6 +30,10 @@ if [[ "${1:-}" == "--smoke" ]]; then
 else
   echo "==> bench-ordering --out BENCH_ordering.json"
   ./target/release/bench-ordering --out BENCH_ordering.json
+  echo "==> cargo build --release -p qpo-bench --bin bench-anyk"
+  cargo build --release -p qpo-bench --bin bench-anyk
+  echo "==> bench-anyk --merge BENCH_ordering.json"
+  ./target/release/bench-anyk --merge BENCH_ordering.json
   echo "==> cargo build --release -p qpo-bench --bin bench-serving"
   cargo build --release -p qpo-bench --bin bench-serving
   echo "==> bench-serving --out BENCH_serving.json"

@@ -39,4 +39,8 @@ echo "==> serving-cache bench smoke (release)"
 cargo build --release -p qpo-bench --bin bench-serving
 ./target/release/bench-serving --smoke
 
+echo "==> any-k streaming bench smoke (release)"
+cargo build --release -p qpo-bench --bin bench-anyk
+./target/release/bench-anyk --smoke
+
 echo "CI gate passed."

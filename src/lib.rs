@@ -19,6 +19,9 @@
 //!   Streamer, plus the PI and Naive baselines;
 //! - [`exec`] — an in-memory execution engine and the session-based
 //!   query-serving mediator with a canonicalized reformulation cache;
+//! - [`anyk`] — tuple-level ranked (any-k) answer streaming: rank-aware
+//!   join enumeration per plan and a lazy cross-plan merge delivering one
+//!   globally ranked anytime answer stream;
 //! - [`runtime`] — simulated flaky remote sources and the bounded-parallel
 //!   speculative executor with retry, timeout, and outcome feedback;
 //! - [`obs`] — first-party telemetry: a metrics registry, a deterministic
@@ -56,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use qpo_anyk as anyk;
 pub use qpo_catalog as catalog;
 pub use qpo_core as ordering;
 pub use qpo_datalog as datalog;
@@ -69,6 +73,9 @@ pub use qpo_utility as utility;
 /// One-stop imports for the common workflow: build or load a catalog,
 /// reformulate, pick a measure, order plans, execute.
 pub mod prelude {
+    pub use qpo_anyk::{
+        encode_tuple, plan_bound, AnyKMerge, CatalogScorer, RankedJoin, RankedTuple, TupleScorer,
+    };
     pub use qpo_catalog::domains::{
         camera_domain, camera_query, movie_domain, movie_query, CAMERA_UNIVERSE, MOVIE_UNIVERSE,
     };
@@ -88,8 +95,9 @@ pub mod prelude {
         SourceDescription, Term,
     };
     pub use qpo_exec::{
-        format_kernel_stats, CacheStats, ConcurrentRun, Mediator, MediatorRun, PlanReport,
-        PreparedQuery, QuerySession, ReformulationCache, StopCondition, Strategy,
+        format_kernel_stats, offline_ranked_answers, ranked_join_for_plan, AnyKRun, CacheStats,
+        ConcurrentRun, Mediator, MediatorRun, PlanReport, PreparedQuery, QuerySession,
+        ReformulationCache, StopCondition, Strategy,
     };
     pub use qpo_interval::Interval;
     pub use qpo_obs::{
