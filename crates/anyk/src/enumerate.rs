@@ -20,10 +20,10 @@
 //! scorer — bit-stable across runs and worker counts.
 
 use qpo_core::utility_cmp;
-use qpo_datalog::{ConjunctiveQuery, Constant, Database, Term, Tuple};
+use qpo_datalog::{Atom, ConjunctiveQuery, Constant, Database, Term, Tuple};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 type Row = BTreeMap<Arc<str>, Constant>;
 
@@ -46,6 +46,187 @@ struct Level {
     /// Best candidate score across every group (admissible completion
     /// bound ingredient).
     max_score: f64,
+}
+
+impl Level {
+    /// Approximate resident bytes (candidates dominate).
+    fn approx_bytes(&self) -> usize {
+        let cands: usize = self
+            .groups
+            .iter()
+            .flatten()
+            .map(|c| {
+                std::mem::size_of::<Cand>()
+                    + c.binding
+                        .iter()
+                        .map(|(k, v)| k.len() + std::mem::size_of_val(v) + 16)
+                        .sum::<usize>()
+            })
+            .sum();
+        cands + self.index.len() * 32 + std::mem::size_of::<Self>()
+    }
+}
+
+/// Scans, scores, groups, and sorts one atom's binding lists — the
+/// expensive part of [`RankedJoin`] construction, and a pure function of
+/// `(database, atom, shared variables, that atom's scorer)`: exactly what
+/// [`LevelCache`] shares across plans.
+fn build_level(
+    db: &Database,
+    atom: &Atom,
+    ai: usize,
+    shared: &[Arc<str>],
+    atom_score: &mut dyn FnMut(usize, &Tuple) -> f64,
+) -> Level {
+    let mut cands: Vec<Cand> = Vec::new();
+    'tuples: for tuple in db.tuples(&atom.predicate) {
+        if tuple.len() != atom.arity() {
+            continue;
+        }
+        let mut binding = Row::new();
+        for (term, value) in atom.terms.iter().zip(tuple) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => match binding.get(v.as_ref()) {
+                    Some(prev) if prev != value => continue 'tuples,
+                    Some(_) => {}
+                    None => {
+                        binding.insert(v.clone(), value.clone());
+                    }
+                },
+            }
+        }
+        let score = atom_score(ai, tuple) + 0.0;
+        cands.push(Cand { score, binding });
+    }
+    let max_score = cands
+        .iter()
+        .map(|c| c.score)
+        .fold(f64::NEG_INFINITY, |a, s| {
+            if utility_cmp(s, a) == Ordering::Greater {
+                s
+            } else {
+                a
+            }
+        });
+    let mut index: BTreeMap<Vec<Constant>, usize> = BTreeMap::new();
+    let mut groups: Vec<Vec<Cand>> = Vec::new();
+    for cand in cands {
+        let key: Vec<Constant> = shared
+            .iter()
+            .map(|v| cand.binding[v.as_ref()].clone())
+            .collect();
+        let next_id = groups.len();
+        let gid = *index.entry(key).or_insert(next_id);
+        if gid == groups.len() {
+            groups.push(Vec::new());
+        }
+        groups[gid].push(cand);
+    }
+    for group in &mut groups {
+        group.sort_by(|a, b| utility_cmp(b.score, a.score).then_with(|| a.binding.cmp(&b.binding)));
+    }
+    Level {
+        shared: shared.to_vec(),
+        groups,
+        index,
+        max_score,
+    }
+}
+
+#[derive(Debug, Default)]
+struct LevelCacheInner {
+    levels: BTreeMap<String, Arc<Level>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cross-plan cache of constructed [`RankedJoin`] levels, cheaply
+/// cloneable (shared interior).
+///
+/// Overlapping plans of one reformulation repeat atoms (with the same
+/// chosen source) at the same body positions; their scored, grouped,
+/// sorted binding lists are identical, and building them is the dominant
+/// cost of `RankedJoin::new`. The cache shares them as [`Arc`]s.
+///
+/// ## Key contract
+///
+/// The caller's per-level key must determine the atom *and* its scoring
+/// function (for plan enumeration: the atom's rendered form plus the
+/// chosen source); the cache appends the shared-variable join key itself.
+/// One cache must only ever be used with a single `(database, scorer)`
+/// pairing — scope it to a session, as `qpo-exec`'s execution memo does.
+#[derive(Debug, Clone, Default)]
+pub struct LevelCache {
+    inner: Arc<Mutex<LevelCacheInner>>,
+}
+
+impl LevelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        LevelCache::default()
+    }
+
+    /// Levels served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.lock().hits
+    }
+
+    /// Levels built fresh so far.
+    pub fn misses(&self) -> u64 {
+        self.lock().misses
+    }
+
+    /// Number of cached levels.
+    pub fn len(&self) -> usize {
+        self.lock().levels.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().levels.is_empty()
+    }
+
+    /// Approximate resident bytes of every cached level.
+    pub fn approx_bytes(&self) -> usize {
+        self.lock()
+            .levels
+            .iter()
+            .map(|(k, l)| k.len() + l.approx_bytes())
+            .sum()
+    }
+
+    fn get_or_build(&self, key: String, build: impl FnOnce() -> Level) -> Arc<Level> {
+        if let Some(level) = {
+            let mut inner = self.lock();
+            let found = inner.levels.get(&key).cloned();
+            if found.is_some() {
+                inner.hits += 1;
+            }
+            found
+        } {
+            return level;
+        }
+        // Built outside the lock: construction scans the database.
+        let level = Arc::new(build());
+        let mut inner = self.lock();
+        inner.misses += 1;
+        inner
+            .levels
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&level));
+        level
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LevelCacheInner> {
+        self.inner
+            .lock()
+            .expect("level cache lock is never poisoned")
+    }
 }
 
 /// A frontier entry: the choice of candidate `idx` (within `group`) at
@@ -93,7 +274,7 @@ impl Eq for Entry {}
 /// distinct projected head tuple exactly once (at its maximum score).
 pub struct RankedJoin {
     head: Vec<Term>,
-    levels: Vec<Level>,
+    levels: Vec<Arc<Level>>,
     /// `rest_bound[i]` = sum of `levels[i+1..]` best scores.
     rest_bound: Vec<f64>,
     heap: BinaryHeap<Entry>,
@@ -118,73 +299,64 @@ impl RankedJoin {
         let mut levels = Vec::with_capacity(query.body.len());
         let mut bound_vars: BTreeSet<Arc<str>> = BTreeSet::new();
         for (ai, atom) in query.body.iter().enumerate() {
-            let mut cands: Vec<Cand> = Vec::new();
-            'tuples: for tuple in db.tuples(&atom.predicate) {
-                if tuple.len() != atom.arity() {
-                    continue;
-                }
-                let mut binding = Row::new();
-                for (term, value) in atom.terms.iter().zip(tuple) {
-                    match term {
-                        Term::Const(c) => {
-                            if c != value {
-                                continue 'tuples;
-                            }
-                        }
-                        Term::Var(v) => match binding.get(v.as_ref()) {
-                            Some(prev) if prev != value => continue 'tuples,
-                            Some(_) => {}
-                            None => {
-                                binding.insert(v.clone(), value.clone());
-                            }
-                        },
-                    }
-                }
-                let score = atom_score(ai, tuple) + 0.0;
-                cands.push(Cand { score, binding });
-            }
             let shared: Vec<Arc<str>> = atom
                 .variables()
                 .into_iter()
                 .filter(|v| bound_vars.contains(v))
                 .collect();
-            let max_score = cands
-                .iter()
-                .map(|c| c.score)
-                .fold(f64::NEG_INFINITY, |a, s| {
-                    if utility_cmp(s, a) == Ordering::Greater {
-                        s
-                    } else {
-                        a
-                    }
-                });
-            let mut index: BTreeMap<Vec<Constant>, usize> = BTreeMap::new();
-            let mut groups: Vec<Vec<Cand>> = Vec::new();
-            for cand in cands {
-                let key: Vec<Constant> = shared
-                    .iter()
-                    .map(|v| cand.binding[v.as_ref()].clone())
-                    .collect();
-                let next_id = groups.len();
-                let gid = *index.entry(key).or_insert(next_id);
-                if gid == groups.len() {
-                    groups.push(Vec::new());
-                }
-                groups[gid].push(cand);
-            }
-            for group in &mut groups {
-                group.sort_by(|a, b| {
-                    utility_cmp(b.score, a.score).then_with(|| a.binding.cmp(&b.binding))
-                });
-            }
-            levels.push(Level {
-                shared,
-                groups,
-                index,
-                max_score,
-            });
+            levels.push(Arc::new(build_level(
+                db,
+                atom,
+                ai,
+                &shared,
+                &mut atom_score,
+            )));
             bound_vars.extend(atom.variables());
         }
+        Self::assemble(query, levels)
+    }
+
+    /// [`RankedJoin::new`] with level construction shared through a
+    /// [`LevelCache`]: each level is fetched by `level_key(atom_index)`
+    /// (see the cache's key contract) and built only on a miss. The
+    /// emitted stream is bit-identical to the uncached constructor —
+    /// levels are pure functions of their key.
+    ///
+    /// # Panics
+    /// Panics if the query is unsafe.
+    pub fn with_cache(
+        db: &Database,
+        query: &ConjunctiveQuery,
+        mut atom_score: impl FnMut(usize, &Tuple) -> f64,
+        cache: &LevelCache,
+        mut level_key: impl FnMut(usize) -> String,
+    ) -> Self {
+        assert!(query.is_safe(), "cannot enumerate unsafe query {query}");
+        let mut levels = Vec::with_capacity(query.body.len());
+        let mut bound_vars: BTreeSet<Arc<str>> = BTreeSet::new();
+        for (ai, atom) in query.body.iter().enumerate() {
+            let shared: Vec<Arc<str>> = atom
+                .variables()
+                .into_iter()
+                .filter(|v| bound_vars.contains(v))
+                .collect();
+            let mut key = level_key(ai);
+            key.push('|');
+            for v in &shared {
+                key.push_str(v);
+                key.push(',');
+            }
+            levels.push(
+                cache.get_or_build(key, || build_level(db, atom, ai, &shared, &mut atom_score)),
+            );
+            bound_vars.extend(atom.variables());
+        }
+        Self::assemble(query, levels)
+    }
+
+    /// Shared tail of the constructors: completion bounds, the trivial
+    /// empty-body answer, and the root frontier entry.
+    fn assemble(query: &ConjunctiveQuery, levels: Vec<Arc<Level>>) -> Self {
         let mut rest_bound = vec![0.0; levels.len()];
         for i in (0..levels.len().saturating_sub(1)).rev() {
             rest_bound[i] = levels[i + 1].max_score + rest_bound[i + 1] + 0.0;
@@ -417,6 +589,52 @@ mod tests {
         let all = join.drain();
         assert_eq!(all.len(), 1, "projection dedup");
         assert_eq!(all[0].0, 20.0, "kept at its best score");
+    }
+
+    #[test]
+    fn cached_levels_reproduce_the_stream_bit_for_bit() {
+        let db = movie_db();
+        let cache = LevelCache::new();
+        let score = |ai: usize, t: &Tuple| ai as f64 + t.len() as f64;
+        for text in [
+            "q(M, R) :- play_in(ford, M), review_of(R, M)",
+            "q(A, M, R) :- play_in(A, M), review_of(R, M)",
+        ] {
+            let q = parse_query(text).unwrap();
+            let reference = RankedJoin::new(&db, &q, score).drain();
+            // Two cached constructions: the second hits every level.
+            for _ in 0..2 {
+                let cached =
+                    RankedJoin::with_cache(&db, &q, score, &cache, |ai| format!("{text}#{ai}"))
+                        .drain();
+                assert_eq!(cached.len(), reference.len(), "{text}");
+                for ((s1, t1), (s2, t2)) in cached.iter().zip(&reference) {
+                    assert_eq!(s1.to_bits(), s2.to_bits(), "{text}");
+                    assert_eq!(t1, t2, "{text}");
+                }
+            }
+        }
+        assert_eq!(cache.hits(), 4, "second runs hit every level");
+        assert_eq!(cache.misses(), 4, "2 + 2 distinct levels built once");
+        assert!(cache.approx_bytes() > 0);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn cache_keys_isolate_different_scorers() {
+        // Same atoms, different per-position scoring: distinct keys must
+        // keep the streams honest.
+        let db = movie_db();
+        let cache = LevelCache::new();
+        let q = parse_query("q(M) :- play_in(ford, M)").unwrap();
+        let low =
+            RankedJoin::with_cache(&db, &q, |_, _| 1.0, &cache, |ai| format!("low#{ai}")).drain();
+        let high =
+            RankedJoin::with_cache(&db, &q, |_, _| 9.0, &cache, |ai| format!("high#{ai}")).drain();
+        assert_eq!(low.len(), high.len());
+        assert!(low.iter().all(|(s, _)| *s == 1.0));
+        assert!(high.iter().all(|(s, _)| *s == 9.0));
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

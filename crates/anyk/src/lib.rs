@@ -25,6 +25,6 @@ mod enumerate;
 mod merge;
 mod scorer;
 
-pub use enumerate::RankedJoin;
+pub use enumerate::{LevelCache, RankedJoin};
 pub use merge::{encode_tuple, AnyKMerge, RankedTuple, TupleStream, VecStream};
 pub use scorer::{plan_bound, CatalogScorer, TupleScorer};

@@ -16,7 +16,10 @@ pub mod curve;
 pub mod experiments;
 pub mod runner;
 
-pub use curve::{answers_curve, format_curve, ordering_regret, synthetic_catalog, CurvePoint};
+pub use curve::{
+    answers_curve, format_curve, ordering_regret, synthetic_catalog,
+    synthetic_catalog_with_universe, CurvePoint,
+};
 pub use experiments::{all_experiments, format_table, run_experiment, to_csv, Experiment};
 pub use runner::{
     order_k_on, run_config, AlgorithmKind, HeuristicKind, MeasureKind, ResultRow, RunConfig,

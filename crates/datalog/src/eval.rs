@@ -14,6 +14,49 @@ use std::sync::Arc;
 /// A ground tuple.
 pub type Tuple = Vec<Constant>;
 
+/// One intermediate row of the hash-join pipeline: the variables bound by
+/// the processed body prefix, with their values.
+pub type Binding = BTreeMap<Arc<str>, Constant>;
+
+/// Materialized state of the hash-join pipeline after folding in a prefix
+/// of a query's body atoms. Captured by [`Database::evaluate_seeded`] and
+/// reusable as the seed of any later query sharing the same atom prefix
+/// (same atoms, same order, same database): seeding is bit-identical to
+/// recomputing the prefix, because the pipeline is a deterministic
+/// function of `(database, atom prefix)`.
+///
+/// Rows are behind an [`Arc`], so cloning a prefix — and keeping many of
+/// them in a memo — is cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPrefix {
+    /// Number of body atoms folded into `rows`.
+    pub len: usize,
+    /// The intermediate rows after those atoms.
+    pub rows: Arc<Vec<Binding>>,
+}
+
+impl JoinPrefix {
+    /// Approximate resident bytes of the materialized rows, for memo
+    /// byte accounting. Every row binds the same variable set (the
+    /// variables of the folded atoms), so sampling the first row and
+    /// scaling by the row count is O(1) instead of a full walk —
+    /// prefixes can hold millions of rows and are measured at store
+    /// time under the memo lock.
+    pub fn approx_bytes(&self) -> usize {
+        let per_row = self
+            .rows
+            .first()
+            .map(|row| {
+                row.iter()
+                    .map(|(k, v)| k.len() + std::mem::size_of_val(v) + 16)
+                    .sum::<usize>()
+                    + std::mem::size_of::<Binding>()
+            })
+            .unwrap_or(0);
+        per_row * self.rows.len() + std::mem::size_of::<Self>()
+    }
+}
+
 /// An in-memory database: a set of ground facts per predicate.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Database {
@@ -67,19 +110,59 @@ impl Database {
     /// Panics if the query is unsafe (an unbound head variable would make an
     /// answer non-ground).
     pub fn evaluate(&self, query: &ConjunctiveQuery) -> BTreeSet<Tuple> {
+        self.evaluate_seeded(query, None).0
+    }
+
+    /// [`Database::evaluate`], optionally seeded with the materialized
+    /// state of a body-atom prefix, and returning the [`JoinPrefix`]
+    /// captured after each processed atom (so callers can memoize them
+    /// for later plans sharing the prefix).
+    ///
+    /// A seed is only sound when it was captured — by this method, on
+    /// this database — for a query whose first `seed.len` body atoms are
+    /// identical to this query's. Under that contract the result is
+    /// bit-identical to the unseeded evaluation: the pipeline below is a
+    /// deterministic function of `(database, atom prefix)`, so starting
+    /// from the materialized rows is indistinguishable from recomputing
+    /// them. Seeds longer than the body are truncated.
+    ///
+    /// The captured prefixes cover atoms `seed.len+1 ..= body.len` (the
+    /// pipeline short-circuits once the intermediate row set is empty, so
+    /// capture stops there too).
+    ///
+    /// # Panics
+    /// Panics if the query is unsafe (an unbound head variable would make
+    /// an answer non-ground).
+    pub fn evaluate_seeded(
+        &self,
+        query: &ConjunctiveQuery,
+        seed: Option<&JoinPrefix>,
+    ) -> (BTreeSet<Tuple>, Vec<JoinPrefix>) {
         use crate::term::Term;
-        use std::collections::BTreeMap;
-        use std::sync::Arc;
 
         assert!(query.is_safe(), "cannot evaluate unsafe query {query}");
+        let start = seed.map_or(0, |s| s.len.min(query.body.len()));
         // Each row binds exactly the variables seen in processed atoms.
-        let mut rows: Vec<BTreeMap<Arc<str>, Constant>> = vec![BTreeMap::new()];
+        let mut rows: Arc<Vec<Binding>> = match seed {
+            Some(s) if start > 0 => Arc::clone(&s.rows),
+            _ => Arc::new(vec![Binding::new()]),
+        };
         let mut bound: BTreeSet<Arc<str>> = BTreeSet::new();
-        for atom in &query.body {
+        for atom in &query.body[..start] {
+            bound.extend(atom.variables());
+        }
+        let mut captured: Vec<JoinPrefix> = Vec::new();
+        for (offset, atom) in query.body[start..].iter().enumerate() {
+            // Short-circuit: an empty intermediate set stays empty, and
+            // stopping *before* the atom keeps the captured-prefix list
+            // identical whether or not this evaluation was seeded.
+            if rows.is_empty() {
+                break;
+            }
             // Bindings each stored tuple induces on the atom's variables
             // (None when the tuple violates the atom's constants or
             // repeated variables).
-            let mut tuple_bindings: Vec<BTreeMap<Arc<str>, Constant>> = Vec::new();
+            let mut tuple_bindings: Vec<Binding> = Vec::new();
             'tuples: for tuple in self.tuples(&atom.predicate) {
                 if tuple.len() != atom.arity() {
                     continue;
@@ -109,8 +192,7 @@ impl Database {
                 .into_iter()
                 .filter(|v| bound.contains(v))
                 .collect();
-            let mut index: BTreeMap<Vec<&Constant>, Vec<&BTreeMap<Arc<str>, Constant>>> =
-                BTreeMap::new();
+            let mut index: BTreeMap<Vec<&Constant>, Vec<&Binding>> = BTreeMap::new();
             for b in &tuple_bindings {
                 let key: Vec<&Constant> = shared
                     .iter()
@@ -119,7 +201,7 @@ impl Database {
                 index.entry(key).or_default().push(b);
             }
             let mut next = Vec::new();
-            for row in &rows {
+            for row in rows.iter() {
                 let key: Vec<&Constant> = shared
                     .iter()
                     .map(|v| row.get(v.as_ref()).expect("shared var bound by row"))
@@ -134,13 +216,15 @@ impl Database {
                     }
                 }
             }
-            rows = next;
+            rows = Arc::new(next);
             bound.extend(atom.variables());
-            if rows.is_empty() {
-                break;
-            }
+            captured.push(JoinPrefix {
+                len: start + offset + 1,
+                rows: Arc::clone(&rows),
+            });
         }
-        rows.into_iter()
+        let answers = rows
+            .iter()
             .map(|row| {
                 query
                     .head
@@ -155,7 +239,8 @@ impl Database {
                     })
                     .collect()
             })
-            .collect()
+            .collect();
+        (answers, captured)
     }
 
     /// Reference implementation: backtracking join over the body atoms.
@@ -342,6 +427,59 @@ mod tests {
         let ans = db.evaluate(&q);
         assert!(ans.contains(&vec![Constant::Int(1), Constant::str("tag")]));
         assert_eq!(ans, db.evaluate_naive(&q));
+    }
+
+    #[test]
+    fn seeded_evaluation_is_bit_identical_at_every_prefix_length() {
+        let db = movie_db();
+        for text in [
+            "q(M) :- play_in(ford, M)",
+            "q(M, R) :- play_in(ford, M), review_of(R, M)",
+            "q(A, M, R) :- play_in(A, M), review_of(R, M), american(M)",
+            "q(M) :- play_in(nobody, M), review_of(R, M)",
+        ] {
+            let q = parse_query(text).unwrap();
+            let (reference, captured) = db.evaluate_seeded(&q, None);
+            assert_eq!(reference, db.evaluate(&q), "{text}");
+            for prefix in &captured {
+                let (seeded, rest) = db.evaluate_seeded(&q, Some(prefix));
+                assert_eq!(seeded, reference, "{text} seeded at {}", prefix.len);
+                // The re-captured suffix matches the original's tail.
+                let tail: Vec<_> = captured.iter().filter(|p| p.len > prefix.len).collect();
+                assert_eq!(rest.len(), tail.len());
+                for (a, b) in rest.iter().zip(tail) {
+                    assert_eq!((a.len, &a.rows), (b.len, &b.rows), "{text}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capture_covers_each_atom_and_prefixes_share_rows_cheaply() {
+        let db = movie_db();
+        let q = parse_query("q(A, M, R) :- play_in(A, M), review_of(R, M), american(M)").unwrap();
+        let (_, captured) = db.evaluate_seeded(&q, None);
+        assert_eq!(captured.len(), 3);
+        assert_eq!(
+            captured.iter().map(|p| p.len).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(captured[0].approx_bytes() > 0);
+        // Cloning shares the Arc'd rows instead of copying them.
+        let clone = captured[1].clone();
+        assert!(Arc::ptr_eq(&clone.rows, &captured[1].rows));
+    }
+
+    #[test]
+    fn oversized_seed_is_truncated_to_the_body() {
+        let db = movie_db();
+        let q = parse_query("q(M) :- play_in(ford, M)").unwrap();
+        let (reference, captured) = db.evaluate_seeded(&q, None);
+        let mut seed = captured.last().unwrap().clone();
+        seed.len = 10;
+        let (seeded, rest) = db.evaluate_seeded(&q, Some(&seed));
+        assert_eq!(seeded, reference);
+        assert!(rest.is_empty());
     }
 
     /// Containment must agree with evaluation: if q1 ⊑ q2 then on every

@@ -24,7 +24,10 @@
 
 use crate::concurrent::MediatorEvaluator;
 use crate::mediator::{build_orderer_observed, Mediator, MediatorError, StopCondition, Strategy};
-use qpo_anyk::{plan_bound, AnyKMerge, RankedJoin, RankedTuple, TupleScorer};
+use crate::sharing::{
+    ExecutionMemo, PairedObserver, SharedEvaluator, SharingObserver, SharingState,
+};
+use qpo_anyk::{plan_bound, AnyKMerge, LevelCache, RankedJoin, RankedTuple, TupleScorer};
 use qpo_catalog::{ProblemInstance, SourceRef};
 use qpo_core::{utility_cmp, OrderedPlan};
 use qpo_datalog::{is_sound_plan, ConjunctiveQuery, Database, SourceDescription, Tuple};
@@ -53,6 +56,32 @@ pub fn ranked_join_for_plan(
     RankedJoin::new(db, &plan_query, |atom, fact| {
         scorer.atom_score(atom, inst.stat(SourceRef::new(atom, plan[atom])), fact)
     })
+}
+
+/// [`ranked_join_for_plan`] through a shared [`LevelCache`]: plans that
+/// chose the same source for a bucket share that bucket's scored level
+/// ([`Arc`]), instead of re-scanning, re-scoring, and re-sorting it. The
+/// key carries `(bucket, entry)` plus the rendered atom, so distinct
+/// choices never alias; the cache assumes one scorer per cache (see
+/// [`ExecutionMemo`]). The produced stream is bit-identical to the
+/// uncached enumerator's.
+pub(crate) fn ranked_join_for_plan_cached(
+    db: &Database,
+    reform: &Reformulation,
+    inst: &ProblemInstance,
+    scorer: &dyn TupleScorer,
+    plan: &[usize],
+    cache: &LevelCache,
+) -> RankedJoin {
+    let plan_query = reform.plan_query(plan);
+    let body = plan_query.body.clone();
+    RankedJoin::with_cache(
+        db,
+        &plan_query,
+        |atom, fact| scorer.atom_score(atom, inst.stat(SourceRef::new(atom, plan[atom])), fact),
+        cache,
+        |ai| format!("b{ai}e{}|{}", plan[ai], body[ai]),
+    )
 }
 
 /// The exact offline reference the anytime stream trails: drain every
@@ -122,6 +151,9 @@ struct AnyKObserver<'a> {
     /// release gate: a head is delivered only when it strictly clears the
     /// best of these.
     remaining: BTreeMap<Vec<usize>, f64>,
+    /// When set, per-plan enumerators build through the shared level
+    /// cache (coordinator-side, so hit counts stay deterministic).
+    levels: Option<&'a LevelCache>,
     tuples: Vec<RankedTuple>,
     retracted: Vec<RankedTuple>,
 }
@@ -150,9 +182,17 @@ impl<'a> AnyKObserver<'a> {
             obs,
             merge: AnyKMerge::new(),
             remaining,
+            levels: None,
             tuples: Vec::new(),
             retracted: Vec::new(),
         }
+    }
+
+    /// Builds per-plan enumerators through `cache` (see
+    /// [`ranked_join_for_plan_cached`]).
+    fn with_levels(mut self, cache: &'a LevelCache) -> Self {
+        self.levels = Some(cache);
+        self
     }
 
     /// Best bound over the not-yet-emitted plans, or `None` when every
@@ -200,8 +240,19 @@ impl<'a> AnyKObserver<'a> {
 impl WaveObserver for AnyKObserver<'_> {
     fn plan_scheduled(&mut self, seq: u64, ordered: &OrderedPlan, vclock: f64) {
         self.remaining.remove(&ordered.plan);
-        let stream =
-            ranked_join_for_plan(self.db, self.reform, self.inst, self.scorer, &ordered.plan);
+        let stream = match self.levels {
+            Some(cache) => ranked_join_for_plan_cached(
+                self.db,
+                self.reform,
+                self.inst,
+                self.scorer,
+                &ordered.plan,
+                cache,
+            ),
+            None => {
+                ranked_join_for_plan(self.db, self.reform, self.inst, self.scorer, &ordered.plan)
+            }
+        };
         self.merge
             .attach(seq, ordered.plan.clone(), Box::new(stream));
         if self.obs.journal.is_enabled() {
@@ -285,6 +336,76 @@ impl Mediator {
             .with_obs(obs)
             .run_observed(orderer.as_mut(), stop.into(), &mut observer);
         let (tuples, retracted) = observer.finish(obs.journal.clock());
+        let mut health = SourceHealth::new();
+        health.record_run(&runtime.reports);
+        Ok(AnyKRun {
+            runtime,
+            health,
+            tuples,
+            retracted,
+        })
+    }
+
+    /// The shared-execution variant of [`Mediator::run_concurrent_anyk`]:
+    /// source accesses replay from `memo.sources`, sound plans seed their
+    /// joins from `memo.subplans`, and per-plan enumerators share scored
+    /// levels through `memo.levels`. The delivered tuple stream — order,
+    /// scores, and retractions — is bit-identical to the unmemoized run's
+    /// and across worker counts; only the work (and, warm, the simulated
+    /// access attempts) shrinks. The memo must be scoped to one scorer
+    /// (see [`ExecutionMemo`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_concurrent_anyk_memoized<M: UtilityMeasure>(
+        &self,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        stop: StopCondition,
+        policy: RuntimePolicy,
+        scorer: &dyn TupleScorer,
+        memo: &ExecutionMemo,
+        obs: &Obs,
+    ) -> Result<AnyKRun, MediatorError> {
+        let prepared = self.prepare(query)?;
+        let mut orderer = build_orderer_observed(&prepared.instance, measure, strategy, obs)?;
+        obs.registry
+            .counter(
+                "qpo_mediator_runs_total",
+                &[("orderer", orderer.algorithm_name())],
+            )
+            .inc();
+        let grid = SourceGrid::from_instance(&prepared.instance);
+        let state = Arc::new(SharingState::default());
+        let eval = SharedEvaluator {
+            inner: MediatorEvaluator {
+                reform: &prepared.reformulation,
+                db: self.database(),
+                view_map: self.catalog().view_map(),
+                soundness_errors: obs.registry.counter("qpo_soundness_test_errors_total", &[]),
+            },
+            state: Arc::clone(&state),
+        };
+        let mut sharing =
+            SharingObserver::new(&prepared.reformulation, memo, Arc::clone(&state), obs);
+        let mut anyk = AnyKObserver::new(
+            self.database(),
+            &prepared.reformulation,
+            &prepared.instance,
+            scorer,
+            obs,
+        )
+        .with_levels(&memo.levels);
+        let runtime = {
+            let mut paired = PairedObserver {
+                first: &mut sharing,
+                second: &mut anyk,
+            };
+            Executor::new(&grid, &eval, policy)
+                .with_obs(obs)
+                .with_source_memo(&memo.sources)
+                .run_observed(orderer.as_mut(), stop.into(), &mut paired)
+        };
+        let (tuples, retracted) = anyk.finish(obs.journal.clock());
         let mut health = SourceHealth::new();
         health.record_run(&runtime.reports);
         Ok(AnyKRun {

@@ -17,6 +17,7 @@ pub mod mediator;
 pub mod pipeline;
 pub mod profile;
 pub mod session;
+pub mod sharing;
 
 pub use anyk::{offline_ranked_answers, ranked_join_for_plan, AnyKRun};
 pub use concurrent::ConcurrentRun;
@@ -26,6 +27,8 @@ pub use mediator::{
     DEFAULT_CACHE_CAPACITY,
 };
 pub use profile::{estimate_extent, estimate_tuples, format_kernel_stats, profile_catalog};
-pub use qpo_anyk::{CatalogScorer, RankedJoin, RankedTuple, TupleScorer};
+pub use qpo_anyk::{CatalogScorer, LevelCache, RankedJoin, RankedTuple, TupleScorer};
 pub use qpo_reformulation::{CacheStats, PreparedQuery, ReformulationCache};
+pub use qpo_runtime::SourceMemo;
 pub use session::QuerySession;
+pub use sharing::{ExecutionMemo, SubplanMemo};

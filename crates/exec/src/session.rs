@@ -27,11 +27,12 @@
 //! live anytime curve and a regret gauge against the brute-force
 //! Definition 2.1 oracle, evaluated lazily over the same plan space.
 
-use crate::anyk::{offline_ranked_answers, ranked_join_for_plan};
+use crate::anyk::{offline_ranked_answers, ranked_join_for_plan, ranked_join_for_plan_cached};
 use crate::mediator::{
     build_orderer_observed, execute_plan, Mediator, MediatorError, MediatorRun, PlanReport,
     StopCondition, Strategy,
 };
+use crate::sharing::{execute_plan_memoized, ExecutionMemo};
 use qpo_anyk::{encode_tuple, plan_bound, AnyKMerge, CatalogScorer, RankedTuple, TupleScorer};
 use qpo_core::{utility_cmp, Naive, OrderedPlan, PlanOrderer, PlanOutcome};
 use qpo_datalog::{Database, SourceDescription, Tuple};
@@ -118,6 +119,11 @@ pub struct QuerySession<'s> {
     // The offline exact ranked answer list (scores only), built lazily on
     // the first tuple-quality observation.
     tuple_oracle: Option<Vec<f64>>,
+    // Shared-execution memo (None = every plan evaluates from scratch)
+    // plus the session-cumulative reuse counters surfaced on the board.
+    memo: Option<ExecutionMemo>,
+    memo_hits: u64,
+    subplans_reused: u64,
     time_to_first_plan: Histogram,
     time_to_plan: Histogram,
     soundness_errors: Counter,
@@ -171,6 +177,9 @@ impl<'s> QuerySession<'s> {
             pending_scorer: None,
             tuple_quality: None,
             tuple_oracle: None,
+            memo: None,
+            memo_hits: 0,
+            subplans_reused: 0,
             time_to_first_plan: obs
                 .registry
                 .histogram("qpo_session_time_to_first_plan_ms", &labels),
@@ -212,6 +221,33 @@ impl<'s> QuerySession<'s> {
     /// [`with_quality`](Self::with_quality) enabled tracking.
     pub fn quality(&self) -> Option<QualitySnapshot> {
         self.quality.as_ref().map(|q| q.snapshot())
+    }
+
+    /// Attaches a shared-execution memo: sound plans seed their joins
+    /// from the longest memoized atom-prefix (and promote what they
+    /// compute), and the any-k stream builds its per-plan enumerators
+    /// through the shared level cache. Reports and answers are
+    /// bit-identical to an unmemoized session; only the work shrinks.
+    /// Clone one [`ExecutionMemo`] across the sessions of a serving
+    /// process to share partial joins between queries. Memo hits and
+    /// seeded plans are surfaced on the session board
+    /// (`memo_hits` / `subplans_reused` on `/sessions`) and journalled
+    /// as `subplan_reused` events.
+    pub fn with_memo(mut self, memo: &ExecutionMemo) -> Self {
+        self.memo = Some(memo.clone());
+        self
+    }
+
+    /// Memoized lookups that hit (subplan prefixes plus shared any-k
+    /// levels) in this session. 0 unless [`QuerySession::with_memo`]
+    /// attached a memo.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Plans whose join was seeded from a memoized prefix.
+    pub fn subplans_reused(&self) -> u64 {
+        self.subplans_reused
     }
 
     /// Replaces the tuple scorer the any-k stream ranks answers with
@@ -319,22 +355,63 @@ impl<'s> QuerySession<'s> {
                 ],
             );
         }
-        let report = execute_plan(
-            &self.prepared.reformulation,
-            &self.view_map,
-            self.db,
-            &mut self.answers,
-            ordered,
-        );
+        let (report, reused) = match &self.memo {
+            Some(memo) => execute_plan_memoized(
+                &self.prepared.reformulation,
+                &self.view_map,
+                self.db,
+                &mut self.answers,
+                ordered,
+                memo,
+            ),
+            None => (
+                execute_plan(
+                    &self.prepared.reformulation,
+                    &self.view_map,
+                    self.db,
+                    &mut self.answers,
+                    ordered,
+                ),
+                None,
+            ),
+        };
+        if let Some(prefix_len) = reused {
+            self.memo_hits += 1;
+            self.subplans_reused += 1;
+            if self.obs.journal.is_enabled() {
+                self.obs.journal.record(
+                    "subplan_reused",
+                    vec![
+                        ("plan_seq", Value::U64(plan_seq)),
+                        ("prefix_len", Value::U64(prefix_len as u64)),
+                    ],
+                );
+            }
+        }
         if let Some(anyk) = anyk {
             anyk.remaining.remove(&report.ordered.plan);
-            let stream = ranked_join_for_plan(
-                self.db,
-                &self.prepared.reformulation,
-                &self.prepared.instance,
-                anyk.scorer.as_ref(),
-                &report.ordered.plan,
-            );
+            let stream = match &self.memo {
+                Some(memo) => {
+                    let before = memo.levels.hits();
+                    let stream = ranked_join_for_plan_cached(
+                        self.db,
+                        &self.prepared.reformulation,
+                        &self.prepared.instance,
+                        anyk.scorer.as_ref(),
+                        &report.ordered.plan,
+                        &memo.levels,
+                    );
+                    self.memo_hits += memo.levels.hits() - before;
+                    stream
+                }
+                None => ranked_join_for_plan(
+                    self.db,
+                    &self.prepared.reformulation,
+                    &self.prepared.instance,
+                    anyk.scorer.as_ref(),
+                    &report.ordered.plan,
+                ),
+            };
             anyk.merge
                 .attach(plan_seq, report.ordered.plan.clone(), Box::new(stream));
             if self.obs.journal.is_enabled() {
@@ -430,6 +507,7 @@ impl<'s> QuerySession<'s> {
             Some(q) => (Some(q.mass()), Some(q.regret())),
             None => (None, None),
         };
+        let (memo_hits, subplans_reused) = (self.memo_hits, self.subplans_reused);
         self.obs.sessions.update(self.board_id, |e| {
             e.plans_emitted = emitted;
             e.answers = answers;
@@ -439,6 +517,8 @@ impl<'s> QuerySession<'s> {
             }
             e.utility_mass = mass;
             e.regret = regret;
+            e.memo_hits = memo_hits;
+            e.subplans_reused = subplans_reused;
         });
         report
     }

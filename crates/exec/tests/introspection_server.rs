@@ -143,6 +143,52 @@ fn sessions_endpoint_carries_the_tuple_stream_telemetry() {
 }
 
 #[test]
+fn sessions_endpoint_carries_the_memo_telemetry() {
+    // Two sessions over one shared ExecutionMemo: the first populates the
+    // subplan memo, the second seeds every sound plan from it. /sessions
+    // must surface the per-session reuse counters.
+    let obs = Obs::with_trace();
+    let mediator = Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"]).with_obs(&obs);
+    let prepared = mediator.prepare(&movie_query()).unwrap();
+    let memo = qpo_exec::ExecutionMemo::new();
+    let mut first = QuerySession::new(&mediator, &prepared, &Coverage, Strategy::IDrips)
+        .unwrap()
+        .with_memo(&memo);
+    while first.next_report().is_some() {}
+    let warmed_hits = first.memo_hits();
+    drop(first);
+    let mut second = QuerySession::new(&mediator, &prepared, &Coverage, Strategy::IDrips)
+        .unwrap()
+        .with_memo(&memo);
+    while second.next_report().is_some() {}
+    let (hits, reused) = (second.memo_hits(), second.subplans_reused());
+    assert!(
+        hits > warmed_hits,
+        "the warm session reuses what the first stored ({hits} vs {warmed_hits})"
+    );
+    assert!(reused > 0, "sound plans seed from memoized prefixes");
+    drop(second);
+
+    let server = mediator.spawn_introspection(0).unwrap();
+    let (status, body) = http_get(&server.addr(), "/sessions");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, obs.sessions.to_json().as_bytes());
+    let sessions = String::from_utf8(body).unwrap();
+    assert!(
+        sessions.contains(&format!("\"memo_hits\":{hits}")),
+        "memo_hits missing: {sessions}"
+    );
+    assert!(
+        sessions.contains(&format!("\"subplans_reused\":{reused}")),
+        "subplans_reused missing: {sessions}"
+    );
+
+    // The memoized session trace journals subplan reuse and validates.
+    let report = qpo_obs::validate_trace(&obs.journal.to_jsonl()).expect("memoized trace");
+    assert!(report.count("subplan_reused") > 0);
+}
+
+#[test]
 fn explain_answers_for_emitted_and_unknown_plans() {
     let (obs, mediator) = served_mediator();
     // The first emitted plan, straight from the journal.

@@ -264,12 +264,20 @@ enum SpanState {
 /// so "span exists" rather than "span open" is the sound requirement),
 /// and `tuple_emitted` scores must be non-increasing within each run —
 /// the global any-k ranking guarantee, checked on the wire format.
+///
+/// Shared-execution memo events (`memo_hit`, `memo_store`,
+/// `subplan_reused`) must fall inside an *open* plan span — the
+/// coordinator journals them between a plan's emission and its terminal
+/// event. A `memo_hit` must additionally follow a `memo_store` for the
+/// same `source` earlier in the same run, unless it carries
+/// `"warm":true` (the entry survives from a prior run sharing the memo).
 pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
     let mut report = TraceReport::default();
     let mut spans: BTreeMap<(u64, u64), SpanState> = BTreeMap::new();
     let mut run: u64 = 0;
     let mut last_clock = f64::NEG_INFINITY;
     let mut last_tuple_score: Option<f64> = None;
+    let mut stored_sources: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for (lineno, line) in jsonl.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -312,9 +320,10 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
             run += 1;
             // A new run restarts the virtual clock; its own timestamp
             // opens the new monotone window, and the ranked tuple stream
-            // starts over.
+            // starts over, and memo stores no longer vouch for hits.
             last_clock = f64::NEG_INFINITY;
             last_tuple_score = None;
+            stored_sources.clear();
         }
         if let Some(t) = clock {
             if t < last_clock {
@@ -418,6 +427,56 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
                     }
                 }
                 last_tuple_score = Some(score);
+            }
+        }
+
+        if matches!(kind.as_str(), "memo_hit" | "memo_store" | "subplan_reused") {
+            let plan = match get("plan_seq") {
+                Some(Json::Number(n)) => *n as u64,
+                _ => {
+                    return Err(format!(
+                        "line {}: memo event \"{kind}\" missing \"plan_seq\"",
+                        lineno + 1
+                    ))
+                }
+            };
+            match spans.get(&(run, plan)) {
+                Some(SpanState::Open) => {}
+                Some(SpanState::Closed) => {
+                    return Err(format!(
+                        "line {}: \"{kind}\" for plan {plan} after its terminal event",
+                        lineno + 1
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "line {}: \"{kind}\" for plan {plan} with no prior emission",
+                        lineno + 1
+                    ))
+                }
+            }
+            if kind == "memo_hit" || kind == "memo_store" {
+                let source = match get("source") {
+                    Some(Json::String(s)) => s.clone(),
+                    _ => {
+                        return Err(format!(
+                            "line {}: memo event \"{kind}\" missing string \"source\"",
+                            lineno + 1
+                        ))
+                    }
+                };
+                if kind == "memo_store" {
+                    stored_sources.insert(source);
+                } else {
+                    let warm = matches!(get("warm"), Some(Json::Bool(true)));
+                    if !warm && !stored_sources.contains(&source) {
+                        return Err(format!(
+                            "line {}: cold \"memo_hit\" on \"{source}\" without a prior \
+                             \"memo_store\" in run {run}",
+                            lineno + 1
+                        ));
+                    }
+                }
             }
         }
     }
@@ -618,6 +677,78 @@ mod tests {
             "{\"seq\":5,\"clock\":0,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":9}\n",
         );
         assert!(validate_trace(two_runs).is_ok());
+    }
+
+    #[test]
+    fn validate_checks_memo_events() {
+        // A store inside one plan's span vouches for a later cold hit in
+        // another plan of the same run; subplan reuse rides inside spans.
+        let ok = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":1,\"kind\":\"memo_store\",\"plan_seq\":0,\"source\":\"s0\"}\n",
+            "{\"seq\":3,\"clock\":1,\"kind\":\"plan_completed\",\"plan_seq\":0}\n",
+            "{\"seq\":4,\"clock\":1,\"kind\":\"plan_emitted\",\"plan_seq\":1}\n",
+            "{\"seq\":5,\"clock\":1,\"kind\":\"memo_hit\",\"plan_seq\":1,\"source\":\"s0\"}\n",
+            "{\"seq\":6,\"clock\":1,\"kind\":\"subplan_reused\",\"plan_seq\":1,\"prefix_len\":2}\n",
+            "{\"seq\":7,\"clock\":2,\"kind\":\"plan_completed\",\"plan_seq\":1}\n",
+        );
+        let report = validate_trace(ok).expect("memo lifecycle is sound");
+        assert_eq!(report.count("memo_hit"), 1);
+        assert_eq!(report.count("memo_store"), 1);
+        assert_eq!(report.count("subplan_reused"), 1);
+
+        // A cold hit with no prior store in this run is a lie.
+        let unvouched = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":0,\"kind\":\"memo_hit\",\"plan_seq\":0,\"source\":\"s0\"}\n",
+        );
+        let err = validate_trace(unvouched).unwrap_err();
+        assert!(err.contains("without a prior \"memo_store\""), "{err}");
+
+        // ...unless the hit is warm: the entry came from an earlier run.
+        let warm = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":0,\"kind\":\"memo_hit\",\"plan_seq\":0,",
+            "\"source\":\"s0\",\"warm\":true}\n",
+        );
+        assert!(validate_trace(warm).is_ok());
+
+        // run_started clears the vouching set.
+        let stale_store = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":0,\"kind\":\"memo_store\",\"plan_seq\":0,\"source\":\"s0\"}\n",
+            "{\"seq\":3,\"clock\":0,\"kind\":\"plan_completed\",\"plan_seq\":0}\n",
+            "{\"seq\":4,\"clock\":0,\"kind\":\"run_started\"}\n",
+            "{\"seq\":5,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":6,\"clock\":0,\"kind\":\"memo_hit\",\"plan_seq\":0,\"source\":\"s0\"}\n",
+        );
+        assert!(validate_trace(stale_store).is_err());
+
+        // Memo events must land inside an open span.
+        let orphan =
+            "{\"seq\":0,\"clock\":0,\"kind\":\"memo_store\",\"plan_seq\":0,\"source\":\"s\"}\n";
+        assert!(validate_trace(orphan)
+            .unwrap_err()
+            .contains("no prior emission"));
+
+        let after_close = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_completed\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":0,\"kind\":\"subplan_reused\",\"plan_seq\":0,\"prefix_len\":1}\n",
+        );
+        assert!(validate_trace(after_close)
+            .unwrap_err()
+            .contains("after its terminal event"));
+
+        let no_source = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"memo_store\",\"plan_seq\":0}\n",
+        );
+        assert!(validate_trace(no_source).unwrap_err().contains("source"));
     }
 
     #[test]

@@ -168,6 +168,11 @@ pub struct SessionEntry {
     pub tuple_regret: Option<f64>,
     /// The live tuple-quality curve, one point per delivered tuple.
     pub tuple_curve: Vec<QualityPoint>,
+    /// Execution-memo lookups served from cache for this session (source
+    /// accesses and subplan prefixes; 0 unless a memo is attached).
+    pub memo_hits: u64,
+    /// Plans whose join was seeded from a memoized subplan prefix.
+    pub subplans_reused: u64,
     /// Whether the session has been dropped.
     pub closed: bool,
 }
@@ -218,6 +223,8 @@ impl SessionBoard {
                 tuple_mass: None,
                 tuple_regret: None,
                 tuple_curve: Vec::new(),
+                memo_hits: 0,
+                subplans_reused: 0,
                 closed: false,
             },
         );
@@ -298,6 +305,11 @@ impl SessionBoard {
                 out.push(']');
             }
             out.push(']');
+            let _ = write!(
+                out,
+                ",\"memo_hits\":{},\"subplans_reused\":{}",
+                e.memo_hits, e.subplans_reused
+            );
             let _ = write!(out, ",\"closed\":{}}}", e.closed);
         }
         out.push_str("]}");
@@ -373,6 +385,8 @@ mod tests {
         assert!(json.contains("\"regret\":null"));
         assert!(json.contains("\"tuples_emitted\":0"));
         assert!(json.contains("\"tuple_curve\":[]"));
+        assert!(json.contains("\"memo_hits\":0"));
+        assert!(json.contains("\"subplans_reused\":0"));
         assert!(json.contains("\"closed\":true"));
     }
 

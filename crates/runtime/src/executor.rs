@@ -31,6 +31,7 @@
 //! `lookahead − 1` plans past the serial stopping point — the usual price
 //! of speculation. Use `lookahead = 1` for exact answer-budget parity.
 
+use crate::memo::{MemoHit, MemoOutcome, SourceMemo, SCAN_PATTERN};
 use crate::policy::{RetryPolicy, RuntimePolicy};
 use crate::source::{AccessOutcome, SourceGrid, SourceService};
 use crossbeam::channel;
@@ -220,6 +221,9 @@ pub struct RunStats {
     pub virtual_time: f64,
     /// Total fees charged.
     pub fees: f64,
+    /// Source accesses served from the memo instead of live (0 unless a
+    /// [`SourceMemo`] is attached).
+    pub memo_hits: u64,
 }
 
 /// The result of a concurrent run.
@@ -248,6 +252,10 @@ impl RuntimeRun {
 struct Job {
     seq: u64,
     ordered: OrderedPlan,
+    /// Per-bucket accesses already resolved by the coordinator's memo
+    /// lookup (aligned with the plan; empty when no memo is attached).
+    /// Workers only perform the live accesses for the `None` slots.
+    resolved: Vec<Option<SourceAccess>>,
 }
 
 /// One resolved source-access attempt, captured on the worker for the
@@ -285,6 +293,9 @@ struct RunMetrics {
     emission_delay: Histogram,
     virtual_time: Gauge,
     fees: Gauge,
+    memo_hits: Counter,
+    memo_misses: Counter,
+    memo_bytes: Gauge,
 }
 
 impl RunMetrics {
@@ -294,6 +305,7 @@ impl RunMetrics {
             obs.registry
                 .counter("qpo_runtime_plans_total", &[("status", s)])
         };
+        let memo = |name| obs.registry.counter(name, &[("layer", "source")]);
         RunMetrics {
             attempts: c("qpo_runtime_attempts_total"),
             transient_failures: c("qpo_runtime_transient_failures_total"),
@@ -306,6 +318,9 @@ impl RunMetrics {
             emission_delay: obs.registry.histogram("qpo_runtime_emission_delay", &[]),
             virtual_time: obs.registry.gauge("qpo_runtime_virtual_time", &[]),
             fees: obs.registry.gauge("qpo_runtime_fees", &[]),
+            memo_hits: memo("qpo_memo_hits_total"),
+            memo_misses: memo("qpo_memo_misses_total"),
+            memo_bytes: obs.registry.gauge("qpo_memo_bytes", &[("layer", "source")]),
         }
     }
 }
@@ -317,6 +332,7 @@ pub struct Executor<'a, E: PlanEvaluator> {
     eval: &'a E,
     policy: RuntimePolicy,
     obs: Obs,
+    memo: Option<SourceMemo>,
 }
 
 impl<'a, E: PlanEvaluator> Executor<'a, E> {
@@ -328,6 +344,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             eval,
             policy,
             obs: Obs::new(),
+            memo: None,
         }
     }
 
@@ -336,6 +353,16 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
     /// events timestamped by the serial virtual clock.
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.obs = obs.clone();
+        self
+    }
+
+    /// Attaches a session-scoped [`SourceMemo`]: repeated source accesses
+    /// are served from the memo (see the module docs of [`crate::memo`])
+    /// instead of re-paying latency, retries, and fees. All memo traffic
+    /// stays on the coordinator thread, so runs remain bit-identical
+    /// across worker counts.
+    pub fn with_source_memo(mut self, memo: &SourceMemo) -> Self {
+        self.memo = Some(memo.clone());
         self
     }
 
@@ -377,6 +404,9 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
         let lookahead = self.policy.lookahead.max(1);
         let metrics = RunMetrics::registered(&self.obs);
         let journal = &self.obs.journal;
+        if let Some(memo) = &self.memo {
+            memo.begin_run();
+        }
         if journal.is_enabled() {
             // Scope marker: `plan_seq` restarts per run, so the validator
             // keys spans by (runs seen, plan_seq). Workers stay out of the
@@ -416,14 +446,27 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 // Pop the next speculation window. `spent` and the pop
                 // count are exact here; `answers` lags by the in-flight
                 // window (see module docs).
-                let mut in_flight = 0usize;
-                while in_flight < lookahead
-                    && !budget.satisfied(answers.len(), reports.len() + in_flight, spent)
+                let mut window: Vec<OrderedPlan> = Vec::new();
+                while window.len() < lookahead
+                    && !budget.satisfied(answers.len(), reports.len() + window.len(), spent)
                 {
                     let Some(ordered) = orderer.next_plan() else {
                         break;
                     };
                     spent += -ordered.utility;
+                    window.push(ordered);
+                }
+                if window.is_empty() {
+                    break;
+                }
+                // Reuse-aware scheduling: within ε-tie groups of the
+                // window, favor plans overlapping the memo. Opt-in, and
+                // never across a strict dominance (gap > ε).
+                if let (Some(memo), Some(eps)) = (&self.memo, self.policy.reuse_epsilon) {
+                    reorder_for_reuse(&mut window, memo, eps);
+                }
+                let in_flight = window.len();
+                for ordered in window {
                     if journal.is_enabled() {
                         journal.record_at(
                             vclock,
@@ -440,16 +483,20 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                             vec![("plan_seq", Value::U64(seq))],
                         );
                     }
+                    let resolved =
+                        self.resolve_from_memo(seq, &ordered, vclock, &mut stats, &metrics);
                     observer.plan_scheduled(seq, &ordered, vclock);
                     assert!(
-                        job_tx.send(Job { seq, ordered }).is_ok(),
+                        job_tx
+                            .send(Job {
+                                seq,
+                                ordered,
+                                resolved,
+                            })
+                            .is_ok(),
                         "workers outlive the coordinator loop"
                     );
                     seq += 1;
-                    in_flight += 1;
-                }
-                if in_flight == 0 {
-                    break;
                 }
                 let mut wave: Vec<Completion> = (0..in_flight)
                     .map(|_| done_rx.recv().expect("workers send one completion per job"))
@@ -480,6 +527,55 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             }
         })
         .expect("executor threads do not panic")
+    }
+
+    /// Coordinator-side memo consult at dispatch time: resolves each of
+    /// the plan's source accesses from the memo where possible, counting
+    /// hits/misses and journalling `memo_hit` events on the serial clock.
+    /// Deterministic: runs in emission order, and only outcomes merged in
+    /// previous waves (or previous runs, for a warm memo) are visible.
+    fn resolve_from_memo(
+        &self,
+        seq: u64,
+        ordered: &OrderedPlan,
+        vclock: f64,
+        stats: &mut RunStats,
+        metrics: &RunMetrics,
+    ) -> Vec<Option<SourceAccess>> {
+        let Some(memo) = &self.memo else {
+            return Vec::new();
+        };
+        let journal = &self.obs.journal;
+        ordered
+            .plan
+            .iter()
+            .enumerate()
+            .map(|(bucket, &index)| {
+                let Some(hit) = memo.lookup(bucket, index, SCAN_PATTERN) else {
+                    metrics.memo_misses.inc();
+                    return None;
+                };
+                stats.memo_hits += 1;
+                metrics.memo_hits.inc();
+                let svc = self.grid.service(bucket, index);
+                if journal.is_enabled() {
+                    journal.record_at(
+                        vclock,
+                        "memo_hit",
+                        vec![
+                            ("plan_seq", Value::U64(seq)),
+                            ("source", Value::Str(svc.name.to_string())),
+                            (
+                                "outcome",
+                                Value::Str(memo_outcome_label(hit.outcome).to_string()),
+                            ),
+                            ("warm", Value::Bool(hit.warm)),
+                        ],
+                    );
+                }
+                Some(replay_access(svc, hit))
+            })
+            .collect()
     }
 
     /// Folds one completion into the run, reporting the outcome back to
@@ -542,6 +638,43 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             );
         }
         let done = *vclock + latency;
+        // Memo maintenance, in emission order on the coordinator thread. A
+        // plan failing from a *live* access invalidates the memo first
+        // (mirroring the ExecutionContext retract feedback), then this
+        // plan's own terminal outcomes are stored into the fresh epoch —
+        // so a permanently-down source costs exactly one real access.
+        // Retries-exhausted transient failures are never stored: the
+        // catalog says those sources should be retried by later plans.
+        if let Some(memo) = &self.memo {
+            if accesses.iter().any(|a| a.attempts > 0 && !a.ok) {
+                memo.invalidate();
+            }
+            for a in accesses.iter().filter(|a| a.attempts > 0) {
+                let outcome = if a.ok {
+                    MemoOutcome::Success
+                } else if a.permanently_down {
+                    MemoOutcome::PermanentFailure
+                } else {
+                    continue;
+                };
+                memo.store(a.bucket, a.index, SCAN_PATTERN, outcome);
+                if journal.is_enabled() {
+                    journal.record_at(
+                        done,
+                        "memo_store",
+                        vec![
+                            ("plan_seq", Value::U64(seq)),
+                            ("source", Value::Str(a.name.clone())),
+                            (
+                                "outcome",
+                                Value::Str(memo_outcome_label(outcome).to_string()),
+                            ),
+                        ],
+                    );
+                }
+            }
+            metrics.memo_bytes.set(memo.approx_bytes() as f64);
+        }
         let status = if !sound {
             metrics.plans_unsound.inc();
             if journal.is_enabled() {
@@ -617,7 +750,11 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
     /// collected here (relative to the plan's start) and carried back to
     /// the coordinator, which is the only thread that writes the journal.
     fn execute_job(&self, job: Job) -> Completion {
-        let Job { seq, ordered } = job;
+        let Job {
+            seq,
+            ordered,
+            resolved,
+        } = job;
         let tracing = self.obs.journal.is_enabled();
         let mut trace: Vec<AttemptEvent> = Vec::new();
         let sound = self.eval.is_sound(&ordered.plan);
@@ -634,7 +771,13 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
         }
         let services = self.grid.plan_services(&ordered.plan);
         let mut accesses: Vec<SourceAccess> = Vec::with_capacity(services.len());
-        for svc in services {
+        for (bucket, svc) in services.enumerate() {
+            // Slots the coordinator resolved from the memo are replayed
+            // as-is: zero attempts, zero latency, zero fee.
+            if let Some(Some(access)) = resolved.get(bucket) {
+                accesses.push(access.clone());
+                continue;
+            }
             let events = tracing.then_some(&mut trace);
             accesses.push(access_with_retries(svc, &self.policy, seq, events));
         }
@@ -667,6 +810,57 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             failure,
             trace,
         }
+    }
+}
+
+/// Journal label for a memoized outcome.
+fn memo_outcome_label(outcome: MemoOutcome) -> &'static str {
+    match outcome {
+        MemoOutcome::Success => "success",
+        MemoOutcome::PermanentFailure => "permanent_failure",
+    }
+}
+
+/// The access record a memo hit replays: the terminal outcome with zero
+/// attempts, zero latency, and zero fee — the whole point of the memo.
+fn replay_access(svc: &SourceService, hit: MemoHit) -> SourceAccess {
+    SourceAccess {
+        bucket: svc.bucket,
+        index: svc.index,
+        name: svc.name.to_string(),
+        attempts: 0,
+        transient_failures: 0,
+        latency: 0.0,
+        fee: 0.0,
+        ok: hit.outcome == MemoOutcome::Success,
+        permanently_down: hit.outcome == MemoOutcome::PermanentFailure,
+    }
+}
+
+/// Reorders one speculation window for memo overlap. Groups are maximal
+/// descending-utility prefixes whose members lie within `eps` of the
+/// group's best utility; inside a group, plans touching more memoized
+/// sources come first (stable, so exact ties keep the orderer's
+/// emission order). Group boundaries — strict dominances — are never
+/// crossed.
+fn reorder_for_reuse(window: &mut [OrderedPlan], memo: &SourceMemo, eps: f64) {
+    let overlap = |plan: &[usize]| {
+        plan.iter()
+            .enumerate()
+            .filter(|&(b, &i)| memo.contains(b, i, SCAN_PATTERN))
+            .count()
+    };
+    let mut start = 0;
+    while start < window.len() {
+        let best = window[start].utility;
+        let mut end = start + 1;
+        while end < window.len() && (best - window[end].utility).abs() <= eps {
+            end += 1;
+        }
+        if end - start > 1 {
+            window[start..end].sort_by_key(|p| std::cmp::Reverse(overlap(&p.plan)));
+        }
+        start = end;
     }
 }
 
@@ -984,6 +1178,159 @@ mod tests {
         let run = Executor::new(&grid, &eval, policy).run(&mut probe, RunBudget::unbounded());
         assert_eq!(run.failed(), 2, "plans through w1 fail");
         assert_eq!(probe.failures_seen.get(), 2, "each failure observed once");
+    }
+
+    fn run_memoized(policy: RuntimePolicy, budget: RunBudget, memo: &SourceMemo) -> RuntimeRun {
+        let inst = inst();
+        let grid = SourceGrid::from_instance(&inst);
+        let eval = ToyEval { inst: inst.clone() };
+        let mut orderer = Pi::new(&inst, &Coverage);
+        Executor::new(&grid, &eval, policy)
+            .with_source_memo(memo)
+            .run(&mut orderer, budget)
+    }
+
+    #[test]
+    fn memo_serves_repeated_accesses_without_attempts() {
+        let baseline = run_with(RuntimePolicy::serial(), RunBudget::unbounded());
+        let memo = SourceMemo::new();
+        let run = run_memoized(RuntimePolicy::serial(), RunBudget::unbounded(), &memo);
+        assert_eq!(plan_sequence(&run), plan_sequence(&baseline));
+        assert_eq!(run.answers, baseline.answers, "answers are untouched");
+        // 6 plans over a 3×2 grid touch 12 source slots but only 5 distinct
+        // sources: everything after the first access of each is a hit.
+        assert_eq!(run.stats.memo_hits, 12 - 5);
+        assert_eq!(run.stats.attempts, 5, "one live attempt per source");
+        assert!(run.stats.attempts < baseline.stats.attempts);
+        assert!(run.stats.fees < baseline.stats.fees, "hits charge no fee");
+        assert_eq!(memo.hits(), 7);
+        assert_eq!(memo.len(), 5);
+    }
+
+    #[test]
+    fn memoized_runs_match_across_worker_counts() {
+        for workers in [1, 4, 8] {
+            let memo = SourceMemo::new();
+            let policy = RuntimePolicy::parallel(workers).with_lookahead(2);
+            let run = run_memoized(policy, RunBudget::unbounded(), &memo);
+            let reference = {
+                let memo = SourceMemo::new();
+                run_memoized(
+                    RuntimePolicy::serial().with_lookahead(2),
+                    RunBudget::unbounded(),
+                    &memo,
+                )
+            };
+            assert_eq!(run.reports, reference.reports, "workers = {workers}");
+            assert_eq!(run.answers, reference.answers);
+            assert_eq!(run.stats.memo_hits, reference.stats.memo_hits);
+        }
+    }
+
+    #[test]
+    fn warm_memo_serves_a_second_run_entirely_from_cache() {
+        let memo = SourceMemo::new();
+        let cold = run_memoized(RuntimePolicy::serial(), RunBudget::unbounded(), &memo);
+        let warm = run_memoized(RuntimePolicy::serial(), RunBudget::unbounded(), &memo);
+        assert_eq!(plan_sequence(&warm), plan_sequence(&cold));
+        assert_eq!(warm.answers, cold.answers);
+        assert_eq!(warm.stats.attempts, 0, "every access memoized");
+        assert_eq!(warm.stats.memo_hits, 12);
+    }
+
+    #[test]
+    fn permanently_down_source_costs_one_live_access() {
+        let faults = FaultConfig::with_seed(1).with_source_down("v2");
+        let memo = SourceMemo::new();
+        let run = run_memoized(
+            RuntimePolicy::serial().with_faults(faults.clone()),
+            RunBudget::unbounded(),
+            &memo,
+        );
+        let baseline = run_with(
+            RuntimePolicy::serial().with_faults(faults),
+            RunBudget::unbounded(),
+        );
+        // Identical semantics: same plans, same failures, same answers.
+        assert_eq!(plan_sequence(&run), plan_sequence(&baseline));
+        assert_eq!(run.failed(), baseline.failed());
+        assert_eq!(run.answers, baseline.answers);
+        // But only the first plan through v2 pays the real access.
+        let v2_attempts: u32 = run
+            .reports
+            .iter()
+            .flat_map(|r| &r.accesses)
+            .filter(|a| a.name == "v2")
+            .map(|a| a.attempts)
+            .sum();
+        assert_eq!(v2_attempts, 1);
+        // The live failure bumped the epoch, so earlier successes were
+        // re-verified at least once afterwards.
+        assert!(memo.epoch() >= 1);
+    }
+
+    #[test]
+    fn exhausted_retries_are_not_memoized() {
+        // A transient retries-exhausted failure must not be served from
+        // the memo: later plans through the same source retry fresh.
+        let faults = FaultConfig::with_seed(99).with_extra_transient_rate(0.3);
+        let policy = RuntimePolicy::serial()
+            .with_faults(faults)
+            .with_retry(RetryPolicy::none());
+        let baseline = run_with(policy.clone(), RunBudget::unbounded());
+        let exhausted: Vec<&PlanExecution> = baseline
+            .reports
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.status,
+                    PlanStatus::Failed(FailureReason::RetriesExhausted { .. })
+                )
+            })
+            .collect();
+        assert!(
+            !exhausted.is_empty(),
+            "seed must produce an exhausted-retries failure"
+        );
+        let memo = SourceMemo::new();
+        let run = run_memoized(policy, RunBudget::unbounded(), &memo);
+        // Every plan the baseline executed also executes under the memo:
+        // the memo can only save work, never mask a retryable source.
+        for (m, b) in run.reports.iter().zip(&baseline.reports) {
+            assert_eq!(m.ordered.plan, b.ordered.plan);
+            if b.executed() {
+                assert!(
+                    m.executed(),
+                    "memo masked plan {:?} that the baseline executed",
+                    b.ordered.plan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_reordering_stays_within_epsilon_groups() {
+        let mk = |plan: Vec<usize>, utility: f64| OrderedPlan { plan, utility };
+        let memo = SourceMemo::new();
+        memo.store(0, 2, SCAN_PATTERN, MemoOutcome::Success);
+        memo.store(1, 1, SCAN_PATTERN, MemoOutcome::Success);
+        let mut window = vec![
+            mk(vec![0, 0], -1.0),
+            mk(vec![2, 1], -1.05), // full overlap, near-tied with the head
+            mk(vec![2, 0], -1.08), // half overlap, near-tied with the head
+            mk(vec![1, 1], -5.0),  // strictly dominated: must stay last
+        ];
+        reorder_for_reuse(&mut window, &memo, 0.1);
+        let plans: Vec<_> = window.iter().map(|p| p.plan.clone()).collect();
+        assert_eq!(
+            plans,
+            vec![vec![2, 1], vec![2, 0], vec![0, 0], vec![1, 1]],
+            "overlap decides within the ε group; dominance is never crossed"
+        );
+        // Without a tie, order is untouched.
+        let mut window = vec![mk(vec![0, 0], -1.0), mk(vec![2, 1], -2.0)];
+        reorder_for_reuse(&mut window, &memo, 0.1);
+        assert_eq!(window[0].plan, vec![0, 0]);
     }
 
     #[test]

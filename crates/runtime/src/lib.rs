@@ -33,6 +33,7 @@
 
 pub mod executor;
 pub mod feedback;
+pub mod memo;
 pub mod policy;
 pub mod source;
 
@@ -41,5 +42,6 @@ pub use executor::{
     RuntimeRun, SourceAccess, WaveObserver,
 };
 pub use feedback::{outcome_of, SourceHealth, SourceRecord};
+pub use memo::{MemoHit, MemoOutcome, SourceMemo, SCAN_PATTERN};
 pub use policy::{FaultConfig, RetryPolicy, RuntimePolicy};
 pub use source::{Access, AccessOutcome, SourceGrid, SourceService};

@@ -1,0 +1,295 @@
+//! Session-scoped source-access memo: cross-plan reuse of resolved
+//! access outcomes.
+//!
+//! The paper's failure+cache utility measure already *believes* repeated
+//! accesses are near-free (§cache measure); this module makes that true
+//! at the physical layer. A [`SourceMemo`] caches the *terminal* outcome
+//! of each source access — success, or permanent failure — keyed on
+//! `(bucket, source index, binding pattern)`. When a later plan touches
+//! the same source, the wave executor serves the access from the memo
+//! without re-paying latency, retries, backoff, or fees.
+//!
+//! ## What is (and is not) memoized
+//!
+//! Only *terminal* outcomes are cached:
+//!
+//! - **Success** — the source answered; later plans reuse it for free.
+//! - **Permanent failure** — the source is down; later plans fail the
+//!   access instantly instead of re-discovering the outage.
+//!
+//! A retries-exhausted *transient* failure is deliberately never cached:
+//! the catalog says such a source should be retried, and a memoized
+//! transient failure would mask plans that could have succeeded. Later
+//! plans through that source roll fresh attempts.
+//!
+//! ## Epoch invalidation
+//!
+//! The memo carries an epoch counter mirroring the feedback discipline of
+//! `ExecutionContext` (qpo-core), whose epoch bumps whenever observed
+//! outcomes retract assumed state. When a plan fails from *live* (non-
+//! memoized) accesses the executor calls [`SourceMemo::invalidate`]: the
+//! epoch bumps and every cached entry from older epochs is dropped, so
+//! post-failure plans re-verify sources instead of trusting stale
+//! successes. Outcomes of the failing plan itself are stored *after* the
+//! bump, which is why a permanently-down source costs exactly one real
+//! access per epoch. Plans that fail purely from memoized outcomes do not
+//! bump the epoch — nothing new was observed.
+//!
+//! ## Determinism
+//!
+//! All lookups and stores happen on the executor's coordinator thread at
+//! fixed points of the wave loop (lookup at dispatch, store at merge, in
+//! emission order), so hit/miss counts, journal events, and replayed
+//! outcomes are pure functions of `(seed, sources, plan order)` —
+//! byte-identical traces under any worker count.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The binding pattern of a full extension scan — the only access mode
+/// the wave executor performs today. The key slot exists so bound-access
+/// memoization (per the paper's binding-pattern source descriptions) can
+/// share the same memo.
+pub const SCAN_PATTERN: &str = "scan";
+
+/// A terminal access outcome worth remembering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoOutcome {
+    /// The access succeeded; repeats are free.
+    Success,
+    /// The source is permanently down; repeats fail instantly.
+    PermanentFailure,
+}
+
+/// A memo lookup that hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoHit {
+    /// The cached terminal outcome.
+    pub outcome: MemoOutcome,
+    /// True when the entry was stored by an *earlier* run sharing this
+    /// memo (a warm session). Journal consumers use this to distinguish
+    /// hits that cannot be paired with a `memo_store` in the same trace
+    /// run.
+    pub warm: bool,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    outcome: MemoOutcome,
+    epoch: u64,
+    run_token: u64,
+}
+
+#[derive(Debug, Default)]
+struct MemoInner {
+    entries: BTreeMap<(usize, usize, Arc<str>), MemoEntry>,
+    epoch: u64,
+    run_token: u64,
+    hits: u64,
+    misses: u64,
+    stores: u64,
+}
+
+/// Cross-plan source-access memo, cheaply cloneable (shared interior).
+///
+/// One memo is scoped to one *session* — a sequence of runs over the same
+/// source grid and fault seed. Sharing it across unrelated grids would
+/// alias `(bucket, index)` coordinates.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMemo {
+    inner: Arc<Mutex<MemoInner>>,
+}
+
+impl SourceMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        SourceMemo::default()
+    }
+
+    /// Marks the start of a new executor run. Entries stored by earlier
+    /// runs remain valid but report as *warm* on hit.
+    pub fn begin_run(&self) {
+        self.lock().run_token += 1;
+    }
+
+    /// Looks up the cached outcome for `(bucket, index, pattern)`,
+    /// counting a hit or miss.
+    pub fn lookup(&self, bucket: usize, index: usize, pattern: &str) -> Option<MemoHit> {
+        let mut inner = self.lock();
+        let epoch = inner.epoch;
+        let token = inner.run_token;
+        match inner.entries.get(&(bucket, index, Arc::from(pattern))) {
+            Some(e) if e.epoch == epoch => {
+                let hit = MemoHit {
+                    outcome: e.outcome,
+                    warm: e.run_token != token,
+                };
+                inner.hits += 1;
+                Some(hit)
+            }
+            _ => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a live entry exists, without counting a hit or miss. Used
+    /// by reuse-aware scheduling to score overlap without skewing the
+    /// hit-rate statistics.
+    pub fn contains(&self, bucket: usize, index: usize, pattern: &str) -> bool {
+        let inner = self.lock();
+        inner
+            .entries
+            .get(&(bucket, index, Arc::from(pattern)))
+            .is_some_and(|e| e.epoch == inner.epoch)
+    }
+
+    /// Stores a terminal outcome in the current epoch.
+    pub fn store(&self, bucket: usize, index: usize, pattern: &str, outcome: MemoOutcome) {
+        let mut inner = self.lock();
+        let epoch = inner.epoch;
+        let token = inner.run_token;
+        inner.entries.insert(
+            (bucket, index, Arc::from(pattern)),
+            MemoEntry {
+                outcome,
+                epoch,
+                run_token: token,
+            },
+        );
+        inner.stores += 1;
+    }
+
+    /// Bumps the epoch and drops every entry from older epochs. Called by
+    /// the executor when a plan fails from live accesses, mirroring the
+    /// `ExecutionContext` retract feedback.
+    pub fn invalidate(&self) {
+        let mut inner = self.lock();
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        inner.entries.retain(|_, e| e.epoch == epoch);
+    }
+
+    /// The current invalidation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Lookups served from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.lock().hits
+    }
+
+    /// Lookups that found nothing so far.
+    pub fn misses(&self) -> u64 {
+        self.lock().misses
+    }
+
+    /// Outcomes stored so far (including overwrites).
+    pub fn stores(&self) -> u64 {
+        self.lock().stores
+    }
+
+    /// Number of live cached entries.
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        let epoch = inner.epoch;
+        inner.entries.values().filter(|e| e.epoch == epoch).count()
+    }
+
+    /// Whether the memo holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes of the memo (keys plus entries), for
+    /// the `qpo_memo_bytes` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let inner = self.lock();
+        inner
+            .entries
+            .iter()
+            .map(|((_, _, pattern), _)| {
+                std::mem::size_of::<(usize, usize, Arc<str>)>()
+                    + pattern.len()
+                    + std::mem::size_of::<MemoEntry>()
+            })
+            .sum()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemoInner> {
+        self.inner
+            .lock()
+            .expect("source memo lock is never poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_store_then_hit() {
+        let memo = SourceMemo::new();
+        memo.begin_run();
+        assert!(memo.lookup(0, 1, SCAN_PATTERN).is_none());
+        memo.store(0, 1, SCAN_PATTERN, MemoOutcome::Success);
+        let hit = memo.lookup(0, 1, SCAN_PATTERN).expect("stored");
+        assert_eq!(hit.outcome, MemoOutcome::Success);
+        assert!(!hit.warm, "same-run entry is cold");
+        assert_eq!((memo.hits(), memo.misses(), memo.stores()), (1, 1, 1));
+        assert_eq!(memo.len(), 1);
+        assert!(memo.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn entries_from_earlier_runs_are_warm() {
+        let memo = SourceMemo::new();
+        memo.begin_run();
+        memo.store(2, 0, SCAN_PATTERN, MemoOutcome::PermanentFailure);
+        memo.begin_run();
+        let hit = memo
+            .lookup(2, 0, SCAN_PATTERN)
+            .expect("persists across runs");
+        assert_eq!(hit.outcome, MemoOutcome::PermanentFailure);
+        assert!(hit.warm);
+    }
+
+    #[test]
+    fn invalidate_drops_older_epochs() {
+        let memo = SourceMemo::new();
+        memo.store(0, 0, SCAN_PATTERN, MemoOutcome::Success);
+        assert!(memo.contains(0, 0, SCAN_PATTERN));
+        memo.invalidate();
+        assert_eq!(memo.epoch(), 1);
+        assert!(!memo.contains(0, 0, SCAN_PATTERN));
+        assert!(memo.lookup(0, 0, SCAN_PATTERN).is_none());
+        assert!(memo.is_empty());
+        // Post-bump stores land in the new epoch and survive.
+        memo.store(0, 0, SCAN_PATTERN, MemoOutcome::PermanentFailure);
+        assert!(memo.contains(0, 0, SCAN_PATTERN));
+    }
+
+    #[test]
+    fn contains_does_not_count_hits() {
+        let memo = SourceMemo::new();
+        memo.store(1, 1, SCAN_PATTERN, MemoOutcome::Success);
+        assert!(memo.contains(1, 1, SCAN_PATTERN));
+        assert!(!memo.contains(1, 2, SCAN_PATTERN));
+        assert_eq!((memo.hits(), memo.misses()), (0, 0));
+    }
+
+    #[test]
+    fn patterns_key_distinct_entries() {
+        let memo = SourceMemo::new();
+        memo.store(0, 0, SCAN_PATTERN, MemoOutcome::Success);
+        assert!(memo.lookup(0, 0, "bound:bf").is_none());
+        memo.store(0, 0, "bound:bf", MemoOutcome::PermanentFailure);
+        assert_eq!(
+            memo.lookup(0, 0, SCAN_PATTERN).map(|h| h.outcome),
+            Some(MemoOutcome::Success)
+        );
+        assert_eq!(memo.len(), 2);
+    }
+}

@@ -142,6 +142,15 @@ pub struct RuntimePolicy {
     /// (0.0 = pure simulation; benches use a small positive scale to make
     /// parallel speedup observable).
     pub latency_scale: f64,
+    /// Reuse-aware scheduling tolerance. When set (and a source memo is
+    /// attached), plans inside one speculation window whose utilities lie
+    /// within `ε` of the window group's best are re-sequenced to maximize
+    /// memo overlap with already-executed plans. `None` (the default)
+    /// disables reordering entirely, preserving the orderer's emission
+    /// order bit-for-bit. Reordering never crosses a strict utility
+    /// dominance (a gap larger than `ε`), so the paper's ordering
+    /// guarantees are untouched.
+    pub reuse_epsilon: Option<f64>,
 }
 
 impl RuntimePolicy {
@@ -154,6 +163,7 @@ impl RuntimePolicy {
             retry: RetryPolicy::standard(),
             faults: FaultConfig::disabled(),
             latency_scale: 0.0,
+            reuse_epsilon: None,
         }
     }
 
@@ -189,6 +199,13 @@ impl RuntimePolicy {
     /// are treated as 0, i.e. pure simulation).
     pub fn with_latency_scale(mut self, scale: f64) -> Self {
         self.latency_scale = scale.max(0.0);
+        self
+    }
+
+    /// Enables reuse-aware scheduling with tolerance `ε` (negative values
+    /// are treated as 0, i.e. exact ties only).
+    pub fn with_reuse_epsilon(mut self, epsilon: f64) -> Self {
+        self.reuse_epsilon = Some(epsilon.max(0.0));
         self
     }
 }

@@ -156,12 +156,13 @@ impl SourceGrid {
         &self.buckets[bucket][index]
     }
 
-    /// Services of one concrete plan, bucket by bucket.
-    pub fn plan_services<'a>(&'a self, plan: &[usize]) -> Vec<&'a SourceService> {
-        plan.iter()
-            .enumerate()
-            .map(|(b, &i)| self.service(b, i))
-            .collect()
+    /// Services of one concrete plan, bucket by bucket. Lazy: no per-plan
+    /// allocation — the executor walks this once per plan on the hot path.
+    pub fn plan_services<'a>(
+        &'a self,
+        plan: &'a [usize],
+    ) -> impl ExactSizeIterator<Item = &'a SourceService> + 'a {
+        plan.iter().enumerate().map(|(b, &i)| self.service(b, i))
     }
 
     /// Number of buckets.
@@ -210,9 +211,12 @@ mod tests {
         assert_eq!(grid.iter().count(), 4);
         assert_eq!(grid.service(0, 1).name.as_ref(), "v2");
         assert_eq!(grid.service(1, 1).name.as_ref(), "b1s1", "unnamed fallback");
-        let plan = grid.plan_services(&[1, 0]);
-        assert_eq!(plan[0].name.as_ref(), "v2");
-        assert_eq!(plan[1].name.as_ref(), "v3");
+        let choice = [1, 0];
+        let mut services = grid.plan_services(&choice);
+        assert_eq!(services.len(), 2, "lazy but exact-size");
+        assert_eq!(services.next().unwrap().name.as_ref(), "v2");
+        assert_eq!(services.next().unwrap().name.as_ref(), "v3");
+        assert!(services.next().is_none());
     }
 
     #[test]

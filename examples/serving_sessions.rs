@@ -13,6 +13,12 @@
 //! the endpoint URLs, and blocks until Enter is pressed — so you can
 //! `curl` the live `/metrics`, `/traces`, `/sessions`, and `/explain`
 //! views while the process is up.
+//!
+//! With `--memo` the pull-based session runs twice over one shared
+//! [`ExecutionMemo`]: the first session populates the source-access and
+//! partial-join memos, the second replays and seeds from them, and the
+//! example prints the reuse counters (the same `memo_hits` /
+//! `subplans_reused` the `/sessions` endpoint exposes).
 
 use query_plan_ordering::prelude::*;
 
@@ -22,6 +28,7 @@ fn main() {
         .iter()
         .position(|a| a == "--serve")
         .map(|i| args.get(i + 1).and_then(|p| p.parse().ok()).unwrap_or(0));
+    let with_memo = args.iter().any(|a| a == "--memo");
 
     // Journaling on when serving, so /traces and /explain have content.
     let obs = if serve_port.is_some() {
@@ -87,6 +94,29 @@ fn main() {
             );
             break;
         }
+    }
+
+    // ---- Shared-execution memo across sessions (opt-in) ----------------
+    if with_memo {
+        println!("\n== shared execution memo across two sessions (--memo)\n");
+        let memo = ExecutionMemo::new();
+        for label in ["first ", "second"] {
+            let mut s = QuerySession::new(&mediator, &prepared, &Coverage, Strategy::Pi)
+                .unwrap()
+                .with_memo(&memo);
+            while s.next_report().is_some() {}
+            println!(
+                "{label} session: {} plans, memo hits {}, subplans reused {}",
+                s.plans_emitted(),
+                s.memo_hits(),
+                s.subplans_reused()
+            );
+        }
+        println!(
+            "memo now holds {} subplan prefixes (~{} bytes across all layers)",
+            memo.subplans.len(),
+            memo.approx_bytes()
+        );
     }
 
     // ---- What the mediator observed ------------------------------------

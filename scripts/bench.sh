@@ -10,6 +10,9 @@
 # - bench-anyk: time-to-k-th-tuple of the any-k stream vs the
 #   plan-at-a-time ranked baseline, merged into BENCH_ordering.json as
 #   the "anyk" section (after bench-ordering rewrites the base file).
+# - bench-sharing: cross-plan shared-execution memo on/off (live source
+#   accesses, tuple throughput, time-to-k-th-plan), merged into
+#   BENCH_ordering.json as the "sharing" section.
 #
 # Usage:
 #   scripts/bench.sh            # full workloads, rewrite both JSON files
@@ -34,6 +37,10 @@ else
   cargo build --release -p qpo-bench --bin bench-anyk
   echo "==> bench-anyk --merge BENCH_ordering.json"
   ./target/release/bench-anyk --merge BENCH_ordering.json
+  echo "==> cargo build --release -p qpo-bench --bin bench-sharing"
+  cargo build --release -p qpo-bench --bin bench-sharing
+  echo "==> bench-sharing --merge BENCH_ordering.json"
+  ./target/release/bench-sharing --merge BENCH_ordering.json
   echo "==> cargo build --release -p qpo-bench --bin bench-serving"
   cargo build --release -p qpo-bench --bin bench-serving
   echo "==> bench-serving --out BENCH_serving.json"

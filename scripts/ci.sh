@@ -43,4 +43,8 @@ echo "==> any-k streaming bench smoke (release)"
 cargo build --release -p qpo-bench --bin bench-anyk
 ./target/release/bench-anyk --smoke
 
+echo "==> shared-execution memo bench smoke (release)"
+cargo build --release -p qpo-bench --bin bench-sharing
+./target/release/bench-sharing --smoke
+
 echo "CI gate passed."

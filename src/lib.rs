@@ -96,8 +96,8 @@ pub mod prelude {
     };
     pub use qpo_exec::{
         format_kernel_stats, offline_ranked_answers, ranked_join_for_plan, AnyKRun, CacheStats,
-        ConcurrentRun, Mediator, MediatorRun, PlanReport, PreparedQuery, QuerySession,
-        ReformulationCache, StopCondition, Strategy,
+        ConcurrentRun, ExecutionMemo, Mediator, MediatorRun, PlanReport, PreparedQuery,
+        QuerySession, ReformulationCache, StopCondition, Strategy, SubplanMemo,
     };
     pub use qpo_interval::Interval;
     pub use qpo_obs::{
