@@ -20,12 +20,26 @@
 //! `--smoke` runs a reduced workload set and exits non-zero unless every
 //! context-free fig6-style workload shows the required ≥2× reduction in
 //! interval evaluations (timing is reported but never gated — CI boxes
-//! are noisy; eval counts are deterministic).
+//! are noisy; eval counts are deterministic). The smoke run additionally
+//! gates profiling overhead: a traced mediation run (journal on, span
+//! tree reconstructed afterwards) must be at most 5% slower than the
+//! identical untraced run, best-of-N on both sides.
+//!
+//! The full run appends a `profile` section: each fig6 workload is
+//! executed end-to-end (bounded plan budget, deterministic faultless
+//! grid) with the trace journal on, and the reconstructed span tree is
+//! reduced to a critical-path breakdown — how much of the run's virtual
+//! time was schedule wait (ordering), source access, join residue, and
+//! self time — plus the bounding plan and dominant source.
 
-use qpo_bench::{ordering_regret, AlgorithmKind, HeuristicKind, MeasureKind, RunConfig};
+use qpo_bench::{
+    ordering_regret, synthetic_catalog_with_universe, AlgorithmKind, HeuristicKind, MeasureKind,
+    RunConfig,
+};
 use qpo_core::{Greedy, IDrips, KernelStats, PlanOrderer};
-use qpo_exec::format_kernel_stats;
-use qpo_obs::{Histogram, HistogramSnapshot};
+use qpo_exec::{format_kernel_stats, Mediator, StopCondition, Strategy};
+use qpo_obs::{Histogram, HistogramSnapshot, Obs, ProfileIndex};
+use qpo_runtime::RuntimePolicy;
 use qpo_utility::CountingMeasure;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -95,8 +109,43 @@ fn main() {
         );
     }
 
+    // Executed-trace profiles for the fig6 family (full runs only: the
+    // smoke set gates, it doesn't regenerate the committed baseline).
+    let profiles: Vec<ProfiledWorkload> = if smoke {
+        Vec::new()
+    } else {
+        println!();
+        workloads
+            .iter()
+            .filter(|w| w.experiment == "fig6")
+            .map(|w| {
+                let p = profile_workload(w);
+                println!(
+                    "{:<28} profile: {} plans, critical path {:.3} \
+                     (wait {:.0}% / source {:.0}% / join {:.0}% / self {:.0}%), \
+                     dominated by {}",
+                    w.name,
+                    p.plans,
+                    p.critical_path,
+                    p.ordering_wait_share * 100.0,
+                    p.source_share * 100.0,
+                    p.join_share * 100.0,
+                    p.self_share * 100.0,
+                    p.dominant_source.as_deref().unwrap_or("-")
+                );
+                p
+            })
+            .collect()
+    };
+
     if let Some(path) = out_path {
-        let json = render_json(&results, min_reduction, sweeps_faster, regret_ordered);
+        let json = render_json(
+            &results,
+            &profiles,
+            min_reduction,
+            sweeps_faster,
+            regret_ordered,
+        );
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("\nwrote {path}");
     }
@@ -107,6 +156,164 @@ fn main() {
     if !regret_ordered {
         eprintln!("FAIL: Greedy beat the exact iDrips prefix on oracle regret");
         std::process::exit(1);
+    }
+    if smoke {
+        let (untraced, traced) = profiling_overhead();
+        let bound = untraced * 1.05 + OVERHEAD_EPSILON_MS;
+        println!(
+            "\nprofiling overhead (best of {OVERHEAD_RUNS}): untraced {untraced:.2}ms, \
+             traced {traced:.2}ms (gate: <= {bound:.2}ms)"
+        );
+        if traced > bound {
+            eprintln!("FAIL: tracing overhead above the 5% profiling budget");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Timing runs per side of the profiling-overhead gate. Best-of-N is the
+/// workspace's standard defense against CI timer noise; the epsilon
+/// absorbs scheduler jitter that 5% of a tens-of-milliseconds run can't.
+const OVERHEAD_RUNS: usize = 7;
+const OVERHEAD_EPSILON_MS: f64 = 2.0;
+
+/// Best-of-N wall time of one bounded mediation run, untraced (journal
+/// disabled — recording is a no-op) and traced (journal on). Only the
+/// mediation itself is timed: span-tree reconstruction happens offline
+/// from the journal, so it is verified here but not charged against the
+/// instrumentation budget.
+fn profiling_overhead() -> (f64, f64) {
+    let (catalog, query) = synthetic_catalog_with_universe(3, 6, 0.3, PROFILE_SEED, 40);
+    let mediator = Mediator::new(catalog, 40, &["k"]);
+    let measure = MeasureKind::Coverage.build();
+    let stop = StopCondition {
+        max_plans: Some(60),
+        ..StopCondition::unbounded()
+    };
+    let run_once = |traced: bool| {
+        let obs = if traced {
+            Obs::with_trace()
+        } else {
+            Obs::new()
+        };
+        let t = Instant::now();
+        mediator
+            .run_concurrent_observed(
+                &query,
+                &measure,
+                Strategy::IDrips,
+                stop,
+                RuntimePolicy::parallel(4).with_lookahead(4),
+                &obs,
+            )
+            .expect("overhead run");
+        let elapsed = t.elapsed().as_secs_f64() * 1e3;
+        if traced {
+            let index = ProfileIndex::from_journal(&obs.journal);
+            let run = index.latest().expect("traced run profiles");
+            run.check().expect("well-formed span tree");
+        }
+        elapsed
+    };
+    // Warm caches and the thread pool before timing, then interleave the
+    // two sides round by round so a sustained CPU-noise episode hits both
+    // equally instead of biasing whichever side runs second.
+    run_once(false);
+    run_once(true);
+    let (mut untraced, mut traced) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..OVERHEAD_RUNS {
+        untraced = untraced.min(run_once(false));
+        traced = traced.min(run_once(true));
+    }
+    (untraced, traced)
+}
+
+/// Where one executed fig6 workload's virtual time went (the `profile`
+/// section of BENCH_ordering.json).
+struct ProfiledWorkload {
+    name: &'static str,
+    measure: &'static str,
+    plans: usize,
+    answers: u64,
+    critical_path: f64,
+    /// Reconstructed critical path bit-equals the executor's reported
+    /// makespan (the PR 8 acceptance invariant, re-checked on every
+    /// regeneration).
+    makespan_bit_equal: bool,
+    /// Shares of total span time (schedule wait + charged latency).
+    ordering_wait_share: f64,
+    source_share: f64,
+    join_share: f64,
+    self_share: f64,
+    bounding_plan: Option<String>,
+    dominant_source: Option<String>,
+}
+
+const PROFILE_SEED: u64 = 7;
+const PROFILE_UNIVERSE: u64 = 40;
+/// Plan budget for the executed profile runs: enough to exercise every
+/// span kind, small enough that regenerating six workloads stays cheap.
+const PROFILE_MAX_PLANS: usize = 60;
+
+fn profile_workload(w: &Workload) -> ProfiledWorkload {
+    let (catalog, query) = synthetic_catalog_with_universe(
+        w.query_len,
+        w.bucket_size,
+        w.overlap,
+        PROFILE_SEED,
+        PROFILE_UNIVERSE,
+    );
+    let mediator = Mediator::new(catalog, PROFILE_UNIVERSE, &["k"]);
+    let obs = Obs::with_trace();
+    let measure = w.measure.build();
+    let stop = StopCondition {
+        max_plans: Some(PROFILE_MAX_PLANS),
+        ..StopCondition::unbounded()
+    };
+    let run = mediator
+        .run_concurrent_observed(
+            &query,
+            &measure,
+            Strategy::IDrips,
+            stop,
+            RuntimePolicy::parallel(4).with_lookahead(4),
+            &obs,
+        )
+        .unwrap_or_else(|e| panic!("{}: profile run: {e}", w.name));
+    let index = ProfileIndex::from_journal(&obs.journal);
+    let profile = index
+        .latest()
+        .unwrap_or_else(|| panic!("{}: traced run yielded no profile", w.name));
+    profile
+        .check()
+        .unwrap_or_else(|e| panic!("{}: span-tree invariant: {e}", w.name));
+    let makespan_bit_equal = profile
+        .makespan
+        .is_some_and(|m| m.to_bits() == profile.critical_path.to_bits());
+    let (mut wait, mut source, mut join, mut self_time) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for p in &profile.plans {
+        wait += p.wait;
+        if let Some(ci) = p.critical_source {
+            source += p.sources[ci].total;
+        }
+        join += p.join;
+        self_time += p.self_time;
+    }
+    let total = wait + source + join + self_time;
+    let share = |v: f64| if total > 0.0 { v / total } else { 0.0 };
+    ProfiledWorkload {
+        name: w.name,
+        measure: w.measure.label(),
+        plans: run.runtime.reports.len(),
+        answers: run.runtime.answers.len() as u64,
+        critical_path: profile.critical_path,
+        makespan_bit_equal,
+        ordering_wait_share: share(wait),
+        source_share: share(source),
+        join_share: share(join),
+        self_share: share(self_time),
+        bounding_plan: profile.critical_plan().map(|p| p.plan.clone()),
+        dominant_source: profile.dominant_source().map(|(name, _)| name),
     }
 }
 
@@ -449,6 +656,7 @@ fn run_workload(w: &Workload) -> WorkloadResult {
 
 fn render_json(
     results: &[WorkloadResult],
+    profiles: &[ProfiledWorkload],
     min_reduction: f64,
     sweeps_faster: bool,
     regret_ordered: bool,
@@ -517,6 +725,51 @@ fn render_json(
         let _ = writeln!(s, "    }}{comma}");
     }
     let _ = writeln!(s, "  ],");
+    if !profiles.is_empty() {
+        // Executed-trace critical-path breakdown per fig6 workload: the
+        // span-tree profiler's attribution of where virtual time went
+        // (shares of schedule wait + charged latency, which sum to 1).
+        let _ = writeln!(s, "  \"profile\": {{");
+        let _ = writeln!(
+            s,
+            "    \"config\": {{ \"seed\": {PROFILE_SEED}, \"universe\": {PROFILE_UNIVERSE}, \
+             \"max_plans\": {PROFILE_MAX_PLANS}, \"strategy\": \"idrips\", \"workers\": 4 }},"
+        );
+        let _ = writeln!(s, "    \"workloads\": [");
+        for (i, p) in profiles.iter().enumerate() {
+            let comma = if i + 1 == profiles.len() { "" } else { "," };
+            let opt = |v: &Option<String>| {
+                v.as_deref()
+                    .map_or_else(|| "null".into(), |x| format!("\"{x}\""))
+            };
+            let _ = writeln!(s, "      {{");
+            let _ = writeln!(s, "        \"name\": \"{}\",", p.name);
+            let _ = writeln!(s, "        \"measure\": \"{}\",", p.measure);
+            let _ = writeln!(s, "        \"plans\": {},", p.plans);
+            let _ = writeln!(s, "        \"answers\": {},", p.answers);
+            let _ = writeln!(s, "        \"critical_path\": {:.6},", p.critical_path);
+            let _ = writeln!(
+                s,
+                "        \"critical_path_bit_equals_makespan\": {},",
+                p.makespan_bit_equal
+            );
+            let _ = writeln!(
+                s,
+                "        \"shares\": {{ \"ordering_wait\": {:.4}, \"source\": {:.4}, \
+                 \"join\": {:.4}, \"self\": {:.4} }},",
+                p.ordering_wait_share, p.source_share, p.join_share, p.self_share
+            );
+            let _ = writeln!(s, "        \"bounding_plan\": {},", opt(&p.bounding_plan));
+            let _ = writeln!(
+                s,
+                "        \"dominant_source\": {}",
+                opt(&p.dominant_source)
+            );
+            let _ = writeln!(s, "      }}{comma}");
+        }
+        let _ = writeln!(s, "    ]");
+        let _ = writeln!(s, "  }},");
+    }
     let _ = writeln!(s, "  \"summary\": {{");
     let _ = writeln!(
         s,

@@ -6,12 +6,18 @@
 //! as a JSON object with contiguous `seq`, a numeric (or null) `clock`,
 //! and a string `kind`; plan-lifecycle spans must open and close exactly
 //! once; and the virtual clock must be non-decreasing in seq order within
-//! each run (`run_started` markers restart it). Exits non-zero (with the
-//! validator's message, which names the violating seq) on any violation,
-//! including unbalanced spans. On success prints the event total and the
-//! per-kind counts, so the CI log doubles as a trace digest.
+//! each run (`run_started` markers restart it). The trace must also
+//! reconstruct into well-formed span-tree profiles: every run's
+//! [`qpo_obs::RunProfile`] passes its structural `check` (children nest,
+//! attribution sums exactly, critical path bounded by the reported
+//! makespan), and on runs that journalled a `run_finished` the
+//! reconstructed critical path bit-equals that makespan. Exits non-zero
+//! (with the validator's message, which names the violating seq) on any
+//! violation, including unbalanced spans. On success prints the event
+//! total, the per-kind counts, and a one-line profile digest per run, so
+//! the CI log doubles as a trace digest.
 
-use qpo_obs::validate_trace;
+use qpo_obs::{validate_trace, ProfileIndex};
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
@@ -33,11 +39,43 @@ fn main() {
         );
         std::process::exit(1);
     }
+    let index = ProfileIndex::from_jsonl(&jsonl).unwrap_or_else(|e| {
+        eprintln!("trace-validate: {path}: profile reconstruction: {e}");
+        std::process::exit(1);
+    });
+    for run in index.runs() {
+        if let Err(e) = run.check() {
+            eprintln!("trace-validate: {path}: span-tree invariant: {e}");
+            std::process::exit(1);
+        }
+        if let Some(makespan) = run.makespan {
+            if run.critical_path.to_bits() != makespan.to_bits() {
+                eprintln!(
+                    "trace-validate: {path}: run {}: critical path {} is not bit-equal \
+                     to the reported makespan {makespan}",
+                    run.run, run.critical_path
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     println!(
         "{path}: {} events, {} plan spans (all closed), clocks monotone within each run",
         report.events, report.spans_opened
     );
     for (kind, n) in &report.counts {
         println!("  {kind:<24} {n}");
+    }
+    for run in index.runs() {
+        print!(
+            "  profile run {}: {} plans, critical path {}",
+            run.run,
+            run.plans.len(),
+            run.critical_path
+        );
+        match run.makespan {
+            Some(m) => println!(" (bit-equals makespan {m})"),
+            None => println!(" (no run_finished — truncated trace)"),
+        }
     }
 }

@@ -478,6 +478,13 @@ impl OrderingKernel {
                         ],
                     );
                 }
+                // The champion is fixed across the sweep: encode its
+                // candidate sets once and let every elimination event
+                // copy the bytes instead of re-formatting them.
+                let champ_enc = self
+                    .journal
+                    .is_enabled()
+                    .then(|| encode_candidates(&plans[champ].cands));
                 for id in 0..plans.len() {
                     if id == champ || !plans[id].alive {
                         continue;
@@ -485,12 +492,16 @@ impl OrderingKernel {
                     self.metrics.dominance_checks.inc();
                     let uq = plans[id].utility.expect("alive plans are evaluated");
                     if eliminates((champ_u, champ), (uq, id)) {
-                        self.kill(&mut plans, id, champ, epoch);
+                        self.kill(&mut plans, id, champ, epoch, champ_enc.as_deref());
                     }
                 }
             } else {
                 // Same champion: every surviving plan already withstood
                 // it; only the fresh plans need checking.
+                let champ_enc = self
+                    .journal
+                    .is_enabled()
+                    .then(|| encode_candidates(&plans[champ].cands));
                 for &id in &pending {
                     if id == champ || !plans[id].alive {
                         continue;
@@ -498,7 +509,7 @@ impl OrderingKernel {
                     self.metrics.dominance_checks.inc();
                     let uq = plans[id].utility.expect("evaluated above");
                     if eliminates((champ_u, champ), (uq, id)) {
-                        self.kill(&mut plans, id, champ, epoch);
+                        self.kill(&mut plans, id, champ, epoch, champ_enc.as_deref());
                     }
                 }
             }
@@ -577,21 +588,32 @@ impl OrderingKernel {
     /// captured: a full [`EliminationCertificate`] when certificate
     /// recording is on, and a journal event carrying the same fields when
     /// tracing is on — either is enough to replay the comparison.
-    fn kill(&mut self, plans: &mut [PoolPlan], id: usize, champ: usize, epoch: u64) {
+    fn kill(
+        &mut self,
+        plans: &mut [PoolPlan],
+        id: usize,
+        champ: usize,
+        epoch: u64,
+        champ_enc: Option<&str>,
+    ) {
         self.metrics.eliminations.inc();
         let champ_u = plans[champ].utility.expect("champion is evaluated");
         let victim_u = plans[id].utility.expect("victims are evaluated");
         if self.journal.is_enabled() {
+            let champion_enc = match champ_enc {
+                Some(s) => s.to_owned(),
+                None => encode_candidates(&plans[champ].cands),
+            };
             self.journal.record(
                 "kernel_elimination",
                 vec![
                     ("plan_id", Value::U64(id as u64)),
                     ("champion_id", Value::U64(champ as u64)),
-                    ("victim", Value::Str(encode_candidates(&plans[id].cands))),
                     (
-                        "champion",
-                        Value::Str(encode_candidates(&plans[champ].cands)),
+                        "victim",
+                        Value::Str(encode_candidates(&plans[id].cands).into()),
                     ),
+                    ("champion", Value::Str(champion_enc.into())),
                     ("victim_lo", Value::F64(victim_u.lo())),
                     ("victim_hi", Value::F64(victim_u.hi())),
                     ("champion_lo", Value::F64(champ_u.lo())),

@@ -220,7 +220,10 @@ impl<'a> AnyKObserver<'a> {
                         ("plan_seq", Value::U64(rt.plan_seq)),
                         ("k", Value::U64(self.merge.delivered())),
                         ("score", Value::F64(rt.score)),
-                        ("tuple", Value::Str(qpo_anyk::encode_tuple(&rt.tuple))),
+                        (
+                            "tuple",
+                            Value::Str(qpo_anyk::encode_tuple(&rt.tuple).into()),
+                        ),
                     ],
                 );
             }
@@ -261,7 +264,7 @@ impl WaveObserver for AnyKObserver<'_> {
                 "stream_attached",
                 vec![
                     ("plan_seq", Value::U64(seq)),
-                    ("plan", Value::Str(encode_plan(&ordered.plan))),
+                    ("plan", Value::Str(encode_plan(&ordered.plan).into())),
                 ],
             );
         }

@@ -17,10 +17,11 @@
 
 use crate::mediator::{build_orderer_observed, Mediator, MediatorError, StopCondition, Strategy};
 use qpo_datalog::{is_sound_plan, ConjunctiveQuery, Database, SourceDescription, Tuple};
-use qpo_obs::{Counter, Obs};
+use qpo_obs::{Counter, DivergenceMonitor, Obs};
 use qpo_reformulation::Reformulation;
 use qpo_runtime::{
-    Executor, PlanEvaluator, RunBudget, RuntimePolicy, RuntimeRun, SourceGrid, SourceHealth,
+    declare_sources, observe_divergence, Executor, PlanEvaluator, RunBudget, RuntimePolicy,
+    RuntimeRun, SourceGrid, SourceHealth,
 };
 use qpo_utility::UtilityMeasure;
 use std::collections::BTreeMap;
@@ -66,6 +67,12 @@ pub struct ConcurrentRun {
     pub runtime: RuntimeRun,
     /// Observed per-source reliability, aggregated over the run.
     pub health: SourceHealth,
+    /// The source-drift monitor fed from this run's access chains: EWMA
+    /// latency, failure rates, and answer counts confronted with the
+    /// catalog's declared behavior. Its `qpo_source_divergence` gauges
+    /// land on the run's [`Obs`] registry, bit-equal to
+    /// [`DivergenceMonitor::from_events`] over the run's trace.
+    pub divergence: DivergenceMonitor,
 }
 
 impl ConcurrentRun {
@@ -155,7 +162,20 @@ impl Mediator {
             .run(orderer.as_mut(), stop.into());
         let mut health = SourceHealth::new();
         health.record_run(&runtime.reports);
-        Ok(ConcurrentRun { runtime, health })
+        // The drift monitor replays the reports in emission order — the
+        // same sequence the trace records — so its estimators (and the
+        // gauges they export onto `obs.registry`) are recomputable
+        // bit-for-bit from the journal alone.
+        let mut divergence = DivergenceMonitor::new(obs);
+        declare_sources(&mut divergence, &grid);
+        for report in &runtime.reports {
+            observe_divergence(&mut divergence, report);
+        }
+        Ok(ConcurrentRun {
+            runtime,
+            health,
+            divergence,
+        })
     }
 }
 

@@ -321,12 +321,32 @@ impl Mediator {
         self.cache.stats()
     }
 
+    /// The span-tree profiles of every traced run on this mediator's
+    /// journal — the offline reconstruction behind the `/profile`
+    /// endpoint (empty when the journal is disabled).
+    pub fn profiles(&self) -> qpo_obs::ProfileIndex {
+        qpo_obs::ProfileIndex::from_journal(&self.obs.journal)
+    }
+
+    /// The source-drift state recomputed from this mediator's journal
+    /// with the default config — the state of the *latest* traced
+    /// concurrent run, exactly what `/divergence` serves (empty when the
+    /// journal is disabled; serial sessions access no simulated sources,
+    /// so only concurrent runs contribute).
+    pub fn divergence(&self) -> qpo_obs::DivergenceMonitor {
+        qpo_obs::DivergenceMonitor::from_events(
+            &self.obs.journal.events(),
+            qpo_obs::DivergenceConfig::default(),
+        )
+    }
+
     /// Starts the dependency-free introspection server over this
     /// mediator's observability bundle on `127.0.0.1:port` (`0` picks a
     /// free port). Serves `/metrics`, `/traces`, `/sessions`,
-    /// `/explain?run=..&plan=..`, and `/healthz` — live, read-only views
-    /// of exactly what the offline exporters produce. The server stops
-    /// when the returned handle is dropped.
+    /// `/explain?run=..&plan=..`, `/profile`, `/divergence`, and
+    /// `/healthz` — live, read-only views of exactly what the offline
+    /// exporters produce. The server stops when the returned handle is
+    /// dropped.
     pub fn spawn_introspection(&self, port: u16) -> std::io::Result<qpo_obs::IntrospectionServer> {
         qpo_obs::serve::serve(&self.obs, port)
     }

@@ -124,6 +124,12 @@ pub struct QuerySession<'s> {
     memo: Option<ExecutionMemo>,
     memo_hits: u64,
     subplans_reused: u64,
+    // The running critical-path fold over the journalled per-plan costs
+    // (a session "executes" plans serially, so the critical path is the
+    // plain sum) and the costliest plan seen so far — the profile
+    // snapshot surfaced on the session board.
+    critical_path: f64,
+    bounding_plan: Option<(f64, String)>,
     time_to_first_plan: Histogram,
     time_to_plan: Histogram,
     soundness_errors: Counter,
@@ -180,6 +186,8 @@ impl<'s> QuerySession<'s> {
             memo: None,
             memo_hits: 0,
             subplans_reused: 0,
+            critical_path: 0.0,
+            bounding_plan: None,
             time_to_first_plan: obs
                 .registry
                 .histogram("qpo_session_time_to_first_plan_ms", &labels),
@@ -350,7 +358,7 @@ impl<'s> QuerySession<'s> {
                 "plan_emitted",
                 vec![
                     ("plan_seq", Value::U64(plan_seq)),
-                    ("plan", Value::Str(encode_plan(&ordered.plan))),
+                    ("plan", Value::Str(encode_plan(&ordered.plan).into())),
                     ("utility", Value::F64(ordered.utility)),
                 ],
             );
@@ -419,7 +427,7 @@ impl<'s> QuerySession<'s> {
                     "stream_attached",
                     vec![
                         ("plan_seq", Value::U64(plan_seq)),
-                        ("plan", Value::Str(encode_plan(&report.ordered.plan))),
+                        ("plan", Value::Str(encode_plan(&report.ordered.plan).into())),
                     ],
                 );
             }
@@ -455,6 +463,25 @@ impl<'s> QuerySession<'s> {
             self.orderer
                 .observe(&PlanOutcome::failed(&report.ordered.plan));
         }
+        // The profile's per-plan "latency" in a session is the executed
+        // cost: negated utility for sound plans (clamped at zero for
+        // gain-like measures), nothing for discarded candidates. The
+        // value is journalled explicitly so the profile reconstruction
+        // re-sums the exact f64s this fold sums (never differences of
+        // clock readings).
+        let plan_cost = if report.sound {
+            (-report.ordered.utility).max(0.0)
+        } else {
+            0.0
+        };
+        self.critical_path += plan_cost;
+        let bounds = match &self.bounding_plan {
+            Some((best, _)) => plan_cost > *best,
+            None => report.sound,
+        };
+        if bounds {
+            self.bounding_plan = Some((plan_cost, encode_plan(&report.ordered.plan)));
+        }
         if self.obs.journal.is_enabled() {
             if report.sound {
                 self.obs.journal.record(
@@ -463,12 +490,17 @@ impl<'s> QuerySession<'s> {
                         ("plan_seq", Value::U64(plan_seq)),
                         ("new_tuples", Value::U64(report.new_tuples as u64)),
                         ("cumulative", Value::U64(report.cumulative as u64)),
+                        ("latency", Value::F64(plan_cost)),
                     ],
                 );
             } else {
-                self.obs
-                    .journal
-                    .record("plan_unsound", vec![("plan_seq", Value::U64(plan_seq))]);
+                self.obs.journal.record(
+                    "plan_unsound",
+                    vec![
+                        ("plan_seq", Value::U64(plan_seq)),
+                        ("latency", Value::F64(0.0)),
+                    ],
+                );
             }
         }
         if let Some(tracker) = &mut self.quality {
@@ -508,6 +540,8 @@ impl<'s> QuerySession<'s> {
             None => (None, None),
         };
         let (memo_hits, subplans_reused) = (self.memo_hits, self.subplans_reused);
+        let critical_path = self.critical_path;
+        let bounding_plan = self.bounding_plan.as_ref().map(|(_, p)| p.clone());
         self.obs.sessions.update(self.board_id, |e| {
             e.plans_emitted = emitted;
             e.answers = answers;
@@ -519,6 +553,8 @@ impl<'s> QuerySession<'s> {
             e.regret = regret;
             e.memo_hits = memo_hits;
             e.subplans_reused = subplans_reused;
+            e.critical_path = critical_path;
+            e.bounding_plan = bounding_plan;
         });
         report
     }
@@ -549,7 +585,7 @@ impl<'s> QuerySession<'s> {
                             ("plan_seq", Value::U64(rt.plan_seq)),
                             ("k", Value::U64(k)),
                             ("score", Value::F64(rt.score)),
-                            ("tuple", Value::Str(encode_tuple(&rt.tuple))),
+                            ("tuple", Value::Str(encode_tuple(&rt.tuple).into())),
                         ],
                     );
                 }
@@ -686,8 +722,21 @@ impl<'s> QuerySession<'s> {
 
 impl Drop for QuerySession<'_> {
     /// Marks the session closed on the board (retained there for
-    /// post-mortem inspection until the closed-entry cap evicts it).
+    /// post-mortem inspection until the closed-entry cap evicts it) and
+    /// seals the trace with a `run_finished` event whose `makespan` is
+    /// the session's critical-path fold — the same left-to-right sum the
+    /// profile reconstruction performs, hence bit-equal by construction.
     fn drop(&mut self) {
+        if self.obs.journal.is_enabled() {
+            self.obs.journal.record(
+                "run_finished",
+                vec![
+                    ("plans", Value::U64(self.plans_emitted as u64)),
+                    ("answers", Value::U64(self.answers.len() as u64)),
+                    ("makespan", Value::F64(self.critical_path)),
+                ],
+            );
+        }
         self.obs.sessions.close(self.board_id);
     }
 }

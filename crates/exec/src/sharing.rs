@@ -460,6 +460,18 @@ impl Mediator {
             .run_observed(orderer.as_mut(), stop.into(), &mut observer);
         let mut health = SourceHealth::new();
         health.record_run(&runtime.reports);
-        Ok(ConcurrentRun { runtime, health })
+        // Drift estimation sees only fresh access chains: memo replays
+        // carry `attempts == 0` and are skipped by `observe_divergence`,
+        // mirroring the trace (replays journal no `source_attempt`s).
+        let mut divergence = qpo_obs::DivergenceMonitor::new(obs);
+        qpo_runtime::declare_sources(&mut divergence, &grid);
+        for report in &runtime.reports {
+            qpo_runtime::observe_divergence(&mut divergence, report);
+        }
+        Ok(ConcurrentRun {
+            runtime,
+            health,
+            divergence,
+        })
     }
 }

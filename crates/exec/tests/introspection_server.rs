@@ -225,6 +225,95 @@ fn explain_answers_for_emitted_and_unknown_plans() {
 }
 
 #[test]
+fn profile_endpoint_is_byte_identical_to_the_offline_renderers() {
+    let (obs, mediator) = served_mediator();
+    let index = qpo_obs::ProfileIndex::from_journal(&obs.journal);
+    let profile = index.latest().expect("the session traced a run");
+    profile.check().expect("well-formed span tree");
+
+    let server = mediator.spawn_introspection(0).unwrap();
+    let addr = server.addr();
+
+    // The run index, one run, and the text rendering all serve exactly
+    // the offline bytes.
+    let (status, body) = http_get(&addr, "/profile");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, index.to_json().as_bytes(), "/profile index drifted");
+
+    let (status, body) = http_get(&addr, &format!("/profile?run={}", profile.run));
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, profile.to_json().as_bytes());
+
+    let (status, body) = http_get(&addr, "/profile?format=text");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, profile.render_text().as_bytes());
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("critical-path"), "{text}");
+    assert!(text.contains("bounded by"), "{text}");
+
+    // Unknown runs are 404, malformed queries 400 — never a fallthrough.
+    let (status, _) = http_get(&addr, "/profile?run=999");
+    assert!(status.contains("404"), "{status}");
+    for bad in ["/profile?run=x", "/profile?nope=1", "/profile?format=xml"] {
+        let (status, _) = http_get(&addr, bad);
+        assert!(status.contains("400"), "{bad}: {status}");
+    }
+}
+
+#[test]
+fn divergence_endpoint_matches_the_offline_recomputation() {
+    let (obs, mediator) = served_mediator();
+    let offline = qpo_obs::DivergenceMonitor::from_events(
+        &obs.journal.events(),
+        qpo_obs::DivergenceConfig::default(),
+    );
+    let server = mediator.spawn_introspection(0).unwrap();
+    let (status, body) = http_get(&server.addr(), "/divergence");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, offline.to_json().as_bytes());
+    assert_eq!(body, mediator.divergence().to_json().as_bytes());
+}
+
+#[test]
+fn garbage_requests_get_clean_errors_not_hangs() {
+    let (_obs, mediator) = served_mediator();
+    let server = mediator.spawn_introspection(0).unwrap();
+    let addr = server.addr();
+
+    // Raw garbage with a terminated head: 405 (not GET).
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"\x00\xffnot http at all\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+    // A GET with a non-path target: 400.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET garbage HTTP/1.1\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    // An unterminated head larger than the read bound: 400, and the
+    // connection still gets a response rather than hanging.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let huge = vec![b'A'; 20 * 1024];
+    stream.write_all(b"GET /healthz").unwrap();
+    stream.write_all(&huge).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("request head too large"), "{response}");
+
+    // The server survives all of the above and keeps serving.
+    let (status, _) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+}
+
+#[test]
 fn server_stops_cleanly_and_frees_the_port() {
     let (_obs, mediator) = served_mediator();
     let mut server = mediator.spawn_introspection(0).unwrap();

@@ -1,0 +1,716 @@
+//! Source drift detection: online per-source estimators confronted with
+//! the catalog's declared behavior.
+//!
+//! The paper's utility model trusts the catalog — extents, latencies,
+//! failure probabilities are taken as ground truth at ordering time.
+//! This module watches what the runtime *actually observes* per source
+//! (EWMA latency, transient/permanent failure rates, answer counts) and
+//! exports the divergence from the declared [`SourceExpectation`] as
+//! `qpo_source_divergence{source,stat}` gauges, journalling a
+//! `drift_detected` event whenever a stat first crosses the configured
+//! threshold. ROADMAP item 5's re-planning triggers consume exactly
+//! these signals.
+//!
+//! ## Determinism discipline
+//!
+//! Like PR 5's regret gauge, every gauge value must be *recomputable
+//! from the trace alone, bit for bit*. Two properties make that hold:
+//!
+//! 1. the executor journals each run's catalog expectations
+//!    (`source_declared`) and each access chain's exact charges
+//!    (`source_attempt` with `backoff`/`latency` fields), so
+//!    [`DivergenceMonitor::from_jsonl`] / [`from_events`] can replay the
+//!    identical observation sequence offline with no catalog in hand;
+//! 2. estimators accumulate strictly left-to-right in observation order
+//!    — same fold live and offline, hence `to_bits`-equal gauges.
+//!
+//! [`from_events`]: DivergenceMonitor::from_events
+
+use crate::journal::{push_f64, push_str, TraceEvent, Value};
+use crate::json::{parse_json, Json};
+use crate::Obs;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Catalog-declared behavior of one source, reduced to the three stats
+/// the monitor checks (the runtime derives these from `SourceBehavior`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SourceExpectation {
+    /// Expected access latency (base plus per-tuple transmission).
+    pub latency: f64,
+    /// Declared per-attempt transient failure rate.
+    pub transient_rate: f64,
+    /// Declared extent size (expected tuples behind the source).
+    pub tuples: f64,
+}
+
+/// Tuning knobs of the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceConfig {
+    /// EWMA weight of the newest observation (0 < alpha ≤ 1).
+    pub alpha: f64,
+    /// Absolute divergence at which `drift_detected` fires per
+    /// `(source, stat)` (each pair fires once per crossing episode).
+    pub threshold: f64,
+}
+
+impl Default for DivergenceConfig {
+    fn default() -> Self {
+        DivergenceConfig {
+            alpha: 0.2,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// One completed access chain, as observed by the runtime (or replayed
+/// from its `source_attempt` events — the two are constructed from the
+/// same charges, in the same order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessObservation {
+    /// Attempts made.
+    pub attempts: u64,
+    /// Attempts that failed transiently (timeouts included).
+    pub transient_failures: u64,
+    /// Whether the chain ultimately succeeded.
+    pub ok: bool,
+    /// Whether the source answered permanently down.
+    pub permanently_down: bool,
+    /// Total virtual latency charged (backoffs included).
+    pub latency: f64,
+    /// Answers of the enclosing plan, when it completed (a coarse
+    /// per-source extent signal: each participating source's extent
+    /// bounds the join from above).
+    pub tuples: Option<f64>,
+}
+
+/// Running estimator state for one source.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceDrift {
+    /// Declared expectations this source is measured against.
+    pub expected: SourceExpectation,
+    /// Completed access chains observed (memo replays excluded).
+    pub accesses: u64,
+    /// Attempts across all chains.
+    pub attempts: u64,
+    /// Transient failures across all chains.
+    pub transient_failures: u64,
+    /// Chains that succeeded.
+    pub successes: u64,
+    /// Chains that found the source permanently down.
+    pub permanent_failures: u64,
+    /// EWMA of chain latency, `None` before the first observation.
+    pub ewma_latency: Option<f64>,
+    /// EWMA of observed plan answers behind this source.
+    pub ewma_tuples: Option<f64>,
+}
+
+/// The stats a [`SourceDrift`] exports, in gauge-label order.
+pub const DIVERGENCE_STATS: &[&str] = &["latency", "permanent_rate", "transient_rate", "tuples"];
+
+impl SourceDrift {
+    /// Relative latency divergence: `(ewma − expected) / expected`
+    /// (absolute when the expectation is zero).
+    pub fn latency_divergence(&self) -> Option<f64> {
+        let ewma = self.ewma_latency?;
+        Some(relative(ewma, self.expected.latency))
+    }
+
+    /// Observed minus declared per-attempt transient failure rate.
+    pub fn transient_divergence(&self) -> Option<f64> {
+        (self.attempts > 0).then(|| {
+            self.transient_failures as f64 / self.attempts as f64 - self.expected.transient_rate
+        })
+    }
+
+    /// Observed permanent-failure rate per chain (the catalog declares
+    /// none, so the observation is the divergence).
+    pub fn permanent_divergence(&self) -> Option<f64> {
+        (self.accesses > 0).then(|| self.permanent_failures as f64 / self.accesses as f64)
+    }
+
+    /// Relative divergence of observed answer counts from the declared
+    /// extent size.
+    pub fn tuples_divergence(&self) -> Option<f64> {
+        let ewma = self.ewma_tuples?;
+        Some(relative(ewma, self.expected.tuples))
+    }
+
+    /// `(stat, divergence)` for every stat with an observation, in
+    /// [`DIVERGENCE_STATS`] order.
+    pub fn divergences(&self) -> Vec<(&'static str, f64)> {
+        [
+            ("latency", self.latency_divergence()),
+            ("permanent_rate", self.permanent_divergence()),
+            ("transient_rate", self.transient_divergence()),
+            ("tuples", self.tuples_divergence()),
+        ]
+        .into_iter()
+        .filter_map(|(stat, v)| v.map(|v| (stat, v)))
+        .collect()
+    }
+}
+
+fn relative(observed: f64, expected: f64) -> f64 {
+    if expected > 0.0 {
+        (observed - expected) / expected
+    } else {
+        observed - expected
+    }
+}
+
+/// The drift monitor: per-source estimators, divergence gauges, and the
+/// `drift_detected` journal hook. Feed it live from the runtime's
+/// feedback path, or replay a trace through [`DivergenceMonitor::from_events`] /
+/// [`DivergenceMonitor::from_jsonl`] — both produce bit-equal state.
+#[derive(Debug, Clone)]
+pub struct DivergenceMonitor {
+    config: DivergenceConfig,
+    obs: Obs,
+    sources: BTreeMap<String, SourceDrift>,
+    /// `(source, stat)` pairs currently beyond the threshold; an event
+    /// fires only on the below→beyond transition.
+    flagged: BTreeSet<(String, &'static str)>,
+}
+
+impl DivergenceMonitor {
+    /// A monitor exporting gauges (and drift events, when the journal
+    /// records) onto `obs`.
+    pub fn new(obs: &Obs) -> Self {
+        DivergenceMonitor::with_config(obs, DivergenceConfig::default())
+    }
+
+    /// [`DivergenceMonitor::new`] with explicit tuning.
+    pub fn with_config(obs: &Obs, config: DivergenceConfig) -> Self {
+        DivergenceMonitor {
+            config,
+            obs: obs.clone(),
+            sources: BTreeMap::new(),
+            flagged: BTreeSet::new(),
+        }
+    }
+
+    /// A monitor on a private bundle (offline recomputation).
+    pub fn detached() -> Self {
+        DivergenceMonitor::new(&Obs::new())
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> DivergenceConfig {
+        self.config
+    }
+
+    /// Declares (or re-declares) a source's catalog expectations.
+    /// Estimator state survives re-declaration: drift is measured
+    /// against the *latest* declaration.
+    pub fn declare(&mut self, source: &str, expected: SourceExpectation) {
+        self.sources.entry(source.to_string()).or_default().expected = expected;
+    }
+
+    /// Folds one completed access chain in, updating the estimators
+    /// left-to-right, refreshing the `qpo_source_divergence` gauges, and
+    /// journalling `drift_detected` on threshold crossings.
+    pub fn observe(&mut self, source: &str, obs: AccessObservation) {
+        let alpha = self.config.alpha;
+        let drift = self.sources.entry(source.to_string()).or_default();
+        drift.accesses += 1;
+        drift.attempts += obs.attempts;
+        drift.transient_failures += obs.transient_failures;
+        drift.successes += u64::from(obs.ok);
+        drift.permanent_failures += u64::from(obs.permanently_down);
+        drift.ewma_latency = Some(match drift.ewma_latency {
+            None => obs.latency,
+            Some(prev) => prev + alpha * (obs.latency - prev),
+        });
+        if let Some(tuples) = obs.tuples {
+            drift.ewma_tuples = Some(match drift.ewma_tuples {
+                None => tuples,
+                Some(prev) => prev + alpha * (tuples - prev),
+            });
+        }
+        let divergences = drift.divergences();
+        for (stat, value) in divergences {
+            self.obs
+                .registry
+                .gauge(
+                    "qpo_source_divergence",
+                    &[("source", source), ("stat", stat)],
+                )
+                .set(value);
+            let key = (source.to_string(), stat);
+            if value.abs() > self.config.threshold {
+                if self.flagged.insert(key) && self.obs.journal.is_enabled() {
+                    self.obs.journal.record(
+                        "drift_detected",
+                        vec![
+                            ("source", Value::Str(source.to_string().into())),
+                            ("stat", Value::Str(stat.into())),
+                            ("value", Value::F64(value)),
+                            ("threshold", Value::F64(self.config.threshold)),
+                        ],
+                    );
+                }
+            } else {
+                self.flagged.remove(&key);
+            }
+        }
+    }
+
+    /// The estimator of one source, if it was ever declared or observed.
+    pub fn source(&self, name: &str) -> Option<&SourceDrift> {
+        self.sources.get(name)
+    }
+
+    /// Iterates `(source, estimator)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &SourceDrift)> {
+        self.sources.iter()
+    }
+
+    /// `(source, stat, divergence)` for every pair currently beyond the
+    /// threshold, in name then stat order.
+    pub fn drifting(&self) -> Vec<(String, &'static str, f64)> {
+        let mut out = Vec::new();
+        for (name, drift) in &self.sources {
+            for (stat, value) in drift.divergences() {
+                if value.abs() > self.config.threshold {
+                    out.push((name.clone(), stat, value));
+                }
+            }
+        }
+        out
+    }
+
+    /// Replays a trace's observation sequence through a fresh detached
+    /// monitor: `source_declared` events re-declare expectations, and
+    /// each plan terminal replays its access chains (reconstructed from
+    /// the `source_attempt` charges, which re-sum bit-exactly to the
+    /// runtime's own accumulation). The resulting estimator state — and
+    /// therefore every divergence value — bit-equals the live monitor
+    /// fed from the same run sequence with the same config.
+    pub fn from_events(events: &[TraceEvent], config: DivergenceConfig) -> Self {
+        let mut replay = Replay::new(config);
+        for ev in events {
+            replay.observe(ev.kind, &EventFields(ev));
+        }
+        replay.monitor
+    }
+
+    /// [`DivergenceMonitor::from_events`] over a JSONL trace file.
+    pub fn from_jsonl(jsonl: &str, config: DivergenceConfig) -> Result<Self, String> {
+        let mut replay = Replay::new(config);
+        for (i, line) in jsonl.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let obj = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let kind = obj
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: missing kind", i + 1))?
+                .to_string();
+            replay.observe(&kind, &LineFields(&obj));
+        }
+        Ok(replay.monitor)
+    }
+
+    /// The monitor state as one JSON document (the `/divergence`
+    /// endpoint serves these bytes): per-source estimators with their
+    /// expectations and current divergences, plus the drifting set.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"sources\":[");
+        for (i, (name, d)) in self.sources.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"source\":");
+            push_str(&mut out, name);
+            out.push_str(",\"expected\":{\"latency\":");
+            push_f64(&mut out, d.expected.latency);
+            out.push_str(",\"transient_rate\":");
+            push_f64(&mut out, d.expected.transient_rate);
+            out.push_str(",\"tuples\":");
+            push_f64(&mut out, d.expected.tuples);
+            let _ = write!(
+                out,
+                "}},\"accesses\":{},\"attempts\":{},\"transient_failures\":{},\"successes\":{},\"permanent_failures\":{}",
+                d.accesses, d.attempts, d.transient_failures, d.successes, d.permanent_failures
+            );
+            out.push_str(",\"ewma_latency\":");
+            push_opt_f64(&mut out, d.ewma_latency);
+            out.push_str(",\"ewma_tuples\":");
+            push_opt_f64(&mut out, d.ewma_tuples);
+            out.push_str(",\"divergence\":{");
+            for (j, (stat, value)) in d.divergences().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_str(&mut out, stat);
+                out.push(':');
+                push_f64(&mut out, value);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"drifting\":[");
+        for (i, (name, stat, value)) in self.drifting().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"source\":");
+            push_str(&mut out, &name);
+            out.push_str(",\"stat\":");
+            push_str(&mut out, stat);
+            out.push_str(",\"value\":");
+            push_f64(&mut out, value);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+/// Field access for the two replay inputs.
+trait ReplayFields {
+    fn u64(&self, name: &str) -> Option<u64>;
+    fn f64(&self, name: &str) -> Option<f64>;
+    fn str(&self, name: &str) -> Option<&str>;
+}
+
+struct EventFields<'a>(&'a TraceEvent);
+
+impl ReplayFields for EventFields<'_> {
+    fn u64(&self, name: &str) -> Option<u64> {
+        match self.0.fields.iter().find(|(k, _)| *k == name)? {
+            (_, Value::U64(n)) => Some(*n),
+            _ => None,
+        }
+    }
+    fn f64(&self, name: &str) -> Option<f64> {
+        match self.0.fields.iter().find(|(k, _)| *k == name)? {
+            (_, Value::F64(x)) => Some(*x),
+            _ => None,
+        }
+    }
+    fn str(&self, name: &str) -> Option<&str> {
+        match self.0.fields.iter().find(|(k, _)| *k == name)? {
+            (_, Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct LineFields<'a>(&'a Json);
+
+impl ReplayFields for LineFields<'_> {
+    fn u64(&self, name: &str) -> Option<u64> {
+        self.0.get(name)?.as_f64().map(|v| v as u64)
+    }
+    fn f64(&self, name: &str) -> Option<f64> {
+        self.0.get(name)?.as_f64()
+    }
+    fn str(&self, name: &str) -> Option<&str> {
+        self.0.get(name)?.as_str()
+    }
+}
+
+/// Reconstructed per-source chain state for the plan currently being
+/// replayed.
+#[derive(Default)]
+struct ChainState {
+    attempts: u64,
+    transient: u64,
+    latency: f64,
+    last_outcome: String,
+}
+
+/// Offline replay: rebuilds the exact observation sequence the live
+/// feedback path produced.
+struct Replay {
+    monitor: DivergenceMonitor,
+    /// Source chains of the plan under replay, keyed by `plan_seq`,
+    /// preserving first-attempt order within a plan.
+    pending: BTreeMap<u64, Vec<(String, ChainState)>>,
+}
+
+impl Replay {
+    fn new(config: DivergenceConfig) -> Self {
+        Replay {
+            monitor: DivergenceMonitor::with_config(&Obs::new(), config),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn observe(&mut self, kind: &str, fields: &dyn ReplayFields) {
+        match kind {
+            "run_started" => {
+                // Estimators are per-run: the live feedback path binds a
+                // fresh monitor to each run, so a multi-run journal
+                // replays to the state (and gauge values) of its last
+                // run — exactly what the shared registry holds live,
+                // since later runs overwrite the gauges.
+                self.pending.clear();
+                self.monitor.sources.clear();
+                self.monitor.flagged.clear();
+            }
+            "source_declared" => {
+                if let Some(source) = fields.str("source") {
+                    self.monitor.declare(
+                        source,
+                        SourceExpectation {
+                            latency: fields.f64("latency").unwrap_or(0.0),
+                            transient_rate: fields.f64("transient_rate").unwrap_or(0.0),
+                            tuples: fields.f64("tuples").unwrap_or(0.0),
+                        },
+                    );
+                }
+            }
+            "source_attempt" => {
+                let (Some(seq), Some(source)) = (fields.u64("plan_seq"), fields.str("source"))
+                else {
+                    return;
+                };
+                let chains = self.pending.entry(seq).or_default();
+                let chain = match chains.iter_mut().find(|(n, _)| n == source) {
+                    Some((_, c)) => c,
+                    None => {
+                        chains.push((source.to_string(), ChainState::default()));
+                        &mut chains.last_mut().expect("just pushed").1
+                    }
+                };
+                let outcome = fields.str("outcome").unwrap_or("");
+                chain.attempts = chain.attempts.max(fields.u64("attempt").unwrap_or(0));
+                chain.transient += u64::from(outcome == "timeout" || outcome == "transient");
+                // Same charge order as the runtime's accumulation.
+                chain.latency += fields.f64("backoff").unwrap_or(0.0);
+                chain.latency += fields.f64("latency").unwrap_or(0.0);
+                chain.last_outcome = outcome.to_string();
+            }
+            "plan_completed" | "plan_failed" | "plan_unsound" => {
+                let Some(seq) = fields.u64("plan_seq") else {
+                    return;
+                };
+                let tuples = (kind == "plan_completed")
+                    .then(|| fields.u64("tuples").map(|t| t as f64))
+                    .flatten();
+                for (source, chain) in self.pending.remove(&seq).unwrap_or_default() {
+                    self.monitor.observe(
+                        &source,
+                        AccessObservation {
+                            attempts: chain.attempts,
+                            transient_failures: chain.transient,
+                            ok: chain.last_outcome == "ok",
+                            permanently_down: chain.last_outcome == "permanent",
+                            latency: chain.latency,
+                            tuples,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, Json};
+
+    fn chain_ok(latency: f64) -> AccessObservation {
+        AccessObservation {
+            attempts: 1,
+            transient_failures: 0,
+            ok: true,
+            permanently_down: false,
+            latency,
+            tuples: None,
+        }
+    }
+
+    #[test]
+    fn estimators_fold_left_to_right() {
+        let mut m = DivergenceMonitor::detached();
+        m.declare(
+            "s",
+            SourceExpectation {
+                latency: 2.0,
+                transient_rate: 0.1,
+                tuples: 10.0,
+            },
+        );
+        m.observe(
+            "s",
+            AccessObservation {
+                attempts: 2,
+                transient_failures: 1,
+                ok: true,
+                permanently_down: false,
+                latency: 4.0,
+                tuples: Some(6.0),
+            },
+        );
+        m.observe(
+            "s",
+            AccessObservation {
+                attempts: 1,
+                transient_failures: 0,
+                ok: false,
+                permanently_down: true,
+                latency: 0.0,
+                tuples: None,
+            },
+        );
+        let d = m.source("s").unwrap();
+        assert_eq!((d.accesses, d.attempts, d.transient_failures), (2, 3, 1));
+        assert_eq!((d.successes, d.permanent_failures), (1, 1));
+        // First observation seeds the EWMA; the second folds with α=0.2.
+        assert_eq!(d.ewma_latency, Some(4.0 + 0.2 * (0.0 - 4.0)));
+        assert_eq!(d.ewma_tuples, Some(6.0));
+        assert_eq!(d.latency_divergence(), Some((3.2 - 2.0) / 2.0));
+        assert_eq!(d.transient_divergence(), Some(1.0 / 3.0 - 0.1));
+        assert_eq!(d.permanent_divergence(), Some(0.5));
+        assert_eq!(d.tuples_divergence(), Some((6.0 - 10.0) / 10.0));
+        assert_eq!(d.divergences().len(), DIVERGENCE_STATS.len());
+    }
+
+    #[test]
+    fn zero_expectations_fall_back_to_absolute_divergence() {
+        let mut m = DivergenceMonitor::detached();
+        m.declare("s", SourceExpectation::default());
+        m.observe("s", chain_ok(0.7));
+        let d = m.source("s").unwrap();
+        assert_eq!(d.latency_divergence(), Some(0.7));
+    }
+
+    #[test]
+    fn declared_but_never_observed_sources_export_nothing() {
+        let mut m = DivergenceMonitor::detached();
+        m.declare(
+            "quiet",
+            SourceExpectation {
+                latency: 1.0,
+                ..SourceExpectation::default()
+            },
+        );
+        let d = m.source("quiet").unwrap();
+        assert!(d.divergences().is_empty());
+        assert!(m.drifting().is_empty());
+    }
+
+    #[test]
+    fn drift_events_fire_once_per_crossing_episode() {
+        let obs = crate::Obs::with_trace();
+        let mut m = DivergenceMonitor::new(&obs);
+        m.declare(
+            "s",
+            SourceExpectation {
+                latency: 1.0,
+                ..SourceExpectation::default()
+            },
+        );
+        let events_named = |kind: &str| {
+            obs.journal
+                .events()
+                .iter()
+                .filter(|e| e.kind == kind)
+                .count()
+        };
+        m.observe("s", chain_ok(10.0)); // divergence 9 — crosses
+        assert_eq!(events_named("drift_detected"), 1);
+        assert_eq!(m.drifting().len(), 1);
+        // Decay below the threshold: no new events, flag clears.
+        for _ in 0..16 {
+            m.observe("s", chain_ok(1.0));
+        }
+        assert!(m.drifting().is_empty());
+        assert_eq!(events_named("drift_detected"), 1);
+        // A second crossing is a new episode.
+        m.observe("s", chain_ok(10.0));
+        assert_eq!(events_named("drift_detected"), 2);
+        // And the gauge tracks the latest divergence, bit for bit.
+        let d = m.source("s").unwrap();
+        let gauge = obs.registry.gauge(
+            "qpo_source_divergence",
+            &[("source", "s"), ("stat", "latency")],
+        );
+        assert_eq!(
+            gauge.get().to_bits(),
+            d.latency_divergence().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn json_export_is_parseable_and_lists_drifting_pairs() {
+        let mut m = DivergenceMonitor::detached();
+        m.declare(
+            "s",
+            SourceExpectation {
+                latency: 1.0,
+                ..SourceExpectation::default()
+            },
+        );
+        m.observe("s", chain_ok(10.0));
+        let json = m.to_json();
+        let doc = parse_json(&json).expect("well-formed");
+        let drifting = doc.get("drifting").expect("drifting array");
+        assert!(matches!(drifting, Json::Array(items) if !items.is_empty()));
+        assert!(json.contains("\"stat\":\"latency\""));
+    }
+
+    #[test]
+    fn replay_resets_at_run_boundaries() {
+        // Two runs in one journal: the replayed state is the second
+        // run's, because live gauges are overwritten by the later run.
+        let obs = crate::Obs::with_trace();
+        for latency in [7.0f64, 3.0] {
+            obs.journal.record("run_started", vec![]);
+            obs.journal.record(
+                "source_declared",
+                vec![
+                    ("source", Value::Str("s".into())),
+                    ("latency", Value::F64(1.0)),
+                    ("transient_rate", Value::F64(0.0)),
+                    ("tuples", Value::F64(5.0)),
+                ],
+            );
+            obs.journal.record(
+                "source_attempt",
+                vec![
+                    ("plan_seq", Value::U64(0)),
+                    ("source", Value::Str("s".into())),
+                    ("attempt", Value::U64(1)),
+                    ("backoff", Value::F64(0.0)),
+                    ("latency", Value::F64(latency)),
+                    ("outcome", Value::Str("ok".into())),
+                ],
+            );
+            obs.journal.record(
+                "plan_completed",
+                vec![
+                    ("plan_seq", Value::U64(0)),
+                    ("latency", Value::F64(latency)),
+                    ("tuples", Value::U64(4)),
+                ],
+            );
+        }
+        let replayed =
+            DivergenceMonitor::from_events(&obs.journal.events(), DivergenceConfig::default());
+        let d = replayed.source("s").unwrap();
+        assert_eq!(d.accesses, 1, "first run's estimators were reset");
+        assert_eq!(d.ewma_latency, Some(3.0));
+        let from_jsonl =
+            DivergenceMonitor::from_jsonl(&obs.journal.to_jsonl(), DivergenceConfig::default())
+                .unwrap();
+        assert_eq!(
+            d,
+            from_jsonl.source("s").unwrap(),
+            "both replay paths agree"
+        );
+    }
+}

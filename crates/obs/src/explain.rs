@@ -48,13 +48,21 @@ pub fn parse_plan(s: &str) -> Option<Vec<usize>> {
 
 /// Renders an abstract plan (a candidate *set* per bucket) as
 /// `"0,1|2|0,3"` — buckets joined by `|`, indices within a bucket by `,`.
+/// Writes into one pre-sized buffer: the kernel journals two of these per
+/// elimination, so this sits on the tracing hot path.
 pub fn encode_candidates(cands: &[Vec<usize>]) -> String {
-    let mut out = String::new();
+    let indices: usize = cands.iter().map(Vec::len).sum();
+    let mut out = String::with_capacity(3 * indices + cands.len());
     for (b, bucket) in cands.iter().enumerate() {
         if b > 0 {
             out.push('|');
         }
-        out.push_str(&encode_plan(bucket));
+        for (i, &s) in bucket.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{s}");
+        }
     }
     out
 }

@@ -12,6 +12,7 @@
 //! no-op guarded by one immutable bool, so instrumented hot paths cost
 //! nothing when tracing is off.
 
+use std::borrow::Cow;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -20,6 +21,11 @@ use std::sync::{Arc, Mutex};
 use crate::json::{parse_json, Json};
 
 /// A field value attached to a trace event.
+///
+/// Strings are `Cow<'static, str>` so the instrumented hot paths can
+/// attach static labels (outcomes, cache names) without a heap
+/// allocation per event — `Value::Str("ok".into())` borrows; dynamic
+/// names still pass an owned `String` through the same constructor.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Unsigned integer (sequence numbers, counts).
@@ -27,7 +33,7 @@ pub enum Value {
     /// Floating point (latencies, utilities, clock offsets).
     F64(f64),
     /// Short string (source names, outcomes).
-    Str(String),
+    Str(Cow<'static, str>),
     /// Flag.
     Bool(bool),
 }
@@ -278,6 +284,7 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
     let mut last_clock = f64::NEG_INFINITY;
     let mut last_tuple_score: Option<f64> = None;
     let mut stored_sources: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut run_finished_seen = false;
     for (lineno, line) in jsonl.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -324,6 +331,7 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
             last_clock = f64::NEG_INFINITY;
             last_tuple_score = None;
             stored_sources.clear();
+            run_finished_seen = false;
         }
         if let Some(t) = clock {
             if t < last_clock {
@@ -476,6 +484,66 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
                             lineno + 1
                         ));
                     }
+                }
+            }
+        }
+
+        // Profiling and drift events (PR 8): `run_finished` carries the
+        // serial-clock makespan the profile's critical path must equal,
+        // at most once per run; `source_declared` and `drift_detected`
+        // carry the fields the offline divergence recomputation needs.
+        if kind == "run_finished" {
+            if run_finished_seen {
+                return Err(format!(
+                    "line {}: second \"run_finished\" in run {run}",
+                    lineno + 1
+                ));
+            }
+            run_finished_seen = true;
+            if !matches!(get("makespan"), Some(Json::Number(_))) {
+                return Err(format!(
+                    "line {}: \"run_finished\" missing numeric \"makespan\"",
+                    lineno + 1
+                ));
+            }
+            if !matches!(get("plans"), Some(Json::Number(_))) {
+                return Err(format!(
+                    "line {}: \"run_finished\" missing numeric \"plans\"",
+                    lineno + 1
+                ));
+            }
+        }
+        if kind == "source_declared" {
+            if !matches!(get("source"), Some(Json::String(_))) {
+                return Err(format!(
+                    "line {}: \"source_declared\" missing string \"source\"",
+                    lineno + 1
+                ));
+            }
+            for field in ["latency", "transient_rate", "tuples"] {
+                if !matches!(get(field), Some(Json::Number(_))) {
+                    return Err(format!(
+                        "line {}: \"source_declared\" missing numeric \"{field}\"",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+        if kind == "drift_detected" {
+            for field in ["source", "stat"] {
+                if !matches!(get(field), Some(Json::String(_))) {
+                    return Err(format!(
+                        "line {}: \"drift_detected\" missing string \"{field}\"",
+                        lineno + 1
+                    ));
+                }
+            }
+            for field in ["value", "threshold"] {
+                if !matches!(get(field), Some(Json::Number(_))) {
+                    return Err(format!(
+                        "line {}: \"drift_detected\" missing numeric \"{field}\"",
+                        lineno + 1
+                    ));
                 }
             }
         }

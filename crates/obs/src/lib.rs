@@ -24,9 +24,20 @@
 //! - [`explain`] — dominance provenance: [`EliminationCertificate`]s
 //!   recorded by the ordering kernel and the [`ExplainIndex`] answering
 //!   "why did plan p rank i / why was q never emitted";
+//! - [`profile`] — post-hoc profiling: the [`ProfileIndex`] rebuilds a
+//!   hierarchical span tree per run from the journal alone (prepare /
+//!   ordering / per-plan wait / per-source attempt+backoff / join), with
+//!   a critical path whose length bit-equals the executor's reported
+//!   makespan and an `EXPLAIN ANALYZE`-style renderer;
+//! - [`divergence`] — source drift detection: per-source online
+//!   estimators ([`DivergenceMonitor`]) compared against the
+//!   catalog-declared behavior, exported as `qpo_source_divergence`
+//!   gauges and `drift_detected` journal events, recomputable bit-exact
+//!   from the trace;
 //! - [`serve`] — a dependency-free introspection server
 //!   ([`serve::serve`]) exposing `/metrics`, `/traces`, `/sessions`,
-//!   `/explain`, and `/healthz` over `std::net::TcpListener`.
+//!   `/explain`, `/profile`, `/divergence`, and `/healthz` over
+//!   `std::net::TcpListener`.
 //!
 //! The [`Obs`] bundle ties a registry, a journal, and a session board
 //! together; every instrumented layer (`OrderingKernel`, the
@@ -51,14 +62,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod divergence;
 pub mod explain;
 pub mod export;
 pub mod journal;
 pub mod json;
+pub mod profile;
 pub mod quality;
 pub mod registry;
 pub mod serve;
 
+pub use divergence::{
+    AccessObservation, DivergenceConfig, DivergenceMonitor, SourceDrift, SourceExpectation,
+};
 pub use explain::{
     encode_candidates, encode_plan, parse_candidates, parse_plan, EliminationCertificate,
     ExplainIndex, Explanation,
@@ -66,6 +82,7 @@ pub use explain::{
 pub use export::{escape_label_value, prometheus_text, summary_text};
 pub use journal::{validate_trace, TraceEvent, TraceJournal, TraceReport, Value};
 pub use json::{parse_json, Json, JsonError};
+pub use profile::{PlanSpan, ProfileIndex, RunProfile, SourceSpan, SpanStatus};
 pub use quality::{QualityPoint, QualitySnapshot, QualityTracker, SessionBoard, SessionEntry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use serve::IntrospectionServer;

@@ -1,0 +1,1039 @@
+//! Post-hoc query profiling: a hierarchical span tree reconstructed from
+//! the trace journal alone.
+//!
+//! The executor journals every run on a **serial virtual clock** (plan
+//! latencies summed in emission order), so the JSONL trace — and
+//! therefore everything this module derives from it — is byte-identical
+//! across worker counts. [`ProfileIndex`] replays a journal (live
+//! [`TraceEvent`]s or a JSONL file) into one [`RunProfile`] per
+//! `run_started` scope:
+//!
+//! ```text
+//! run
+//! ├── prepare   (kernel events before the first emission)
+//! ├── ordering  (kernel events interleaved with emissions)
+//! └── plan* — schedule wait · per-source {backoff, attempt}* · join · self
+//! ```
+//!
+//! Per-plan attribution is **exact, not differenced**: the runtime
+//! journals each attempt's `backoff` and `latency` charges and each
+//! terminal event's plan `latency` explicitly, and this module re-sums
+//! them in the same left-to-right order the executor used. The run's
+//! critical path (the sum of plan latencies in emission order) therefore
+//! bit-equals the serial makespan the executor reports in its
+//! `run_finished` event — [`RunProfile::check`] and the differential
+//! tests pin that down to `f64::to_bits`.
+//!
+//! Session traces (emission-count clock) profile through the same code:
+//! their terminal events carry the plan's *cost* as the latency analog,
+//! so a session's critical path equals its cumulative spent cost.
+//!
+//! Renderers: [`RunProfile::render_text`] is the `EXPLAIN ANALYZE`-style
+//! aligned view answering "which plan chain bounded the run and which
+//! source dominated it"; [`RunProfile::to_json`] and
+//! [`ProfileIndex::to_json`] are the machine form the introspection
+//! server's `/profile` endpoint serves byte-identically.
+
+use crate::journal::{push_f64, push_str, TraceEvent, TraceJournal, Value};
+use crate::json::{parse_json, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One source's sub-span within a plan: the retry chain with its two
+/// charge kinds (backoff wait, attempt latency) re-summed in the order
+/// the runtime charged them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSpan {
+    /// Source name.
+    pub name: String,
+    /// Attempts observed (highest `attempt` field).
+    pub attempts: u64,
+    /// Attempts that failed transiently (timeouts included).
+    pub transient: u64,
+    /// Total backoff wait before attempts.
+    pub backoff: f64,
+    /// Total attempt latency charged.
+    pub attempt_time: f64,
+    /// Total time on this source, accumulated in charge order
+    /// (backoff, attempt, backoff, attempt, …) so it bit-equals the
+    /// runtime's own accumulation for the access.
+    pub total: f64,
+    /// Outcome of the final attempt (`ok`/`timeout`/`transient`/`permanent`).
+    pub outcome: String,
+}
+
+/// Terminal status of a profiled plan span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// Executed and merged (`plan_completed`).
+    Completed,
+    /// Marked failed (`plan_failed`).
+    Failed,
+    /// Rejected by the soundness test (`plan_unsound`).
+    Unsound,
+    /// No terminal event in the trace (truncated journal).
+    Open,
+}
+
+impl SpanStatus {
+    /// Stable lowercase label used by both renderers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanStatus::Completed => "completed",
+            SpanStatus::Failed => "failed",
+            SpanStatus::Unsound => "unsound",
+            SpanStatus::Open => "open",
+        }
+    }
+}
+
+/// One plan's span: schedule wait, per-source sub-spans, join and self
+/// time, with the exact latency the executor charged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSpan {
+    /// Emission sequence number within the run.
+    pub seq: u64,
+    /// The plan, encoded as by [`crate::encode_plan`].
+    pub plan: String,
+    /// Utility at emission time.
+    pub utility: f64,
+    /// Serial clock of the `plan_emitted` event.
+    pub start: f64,
+    /// Serial clock of the terminal event (equals `start` while open).
+    pub end: f64,
+    /// The plan's charged latency (terminal event's `latency` field;
+    /// session traces carry the plan's cost here).
+    pub latency: f64,
+    /// Schedule wait: time between emission and execution start, i.e.
+    /// `(end - start) - latency`, clamped at zero.
+    pub wait: f64,
+    /// Join time: latency not attributable to the critical source.
+    pub join: f64,
+    /// Self time: latency with no child span to carry it (plans without
+    /// source sub-spans keep their whole latency here).
+    pub self_time: f64,
+    /// Terminal status.
+    pub status: SpanStatus,
+    /// Source accesses served from the memo (zero-duration shortcuts).
+    pub memo_hits: u64,
+    /// Prefix length seeded from the subplan memo, if journalled.
+    pub reused_prefix: Option<u64>,
+    /// Tuples the plan returned (`plan_completed` only).
+    pub tuples: Option<u64>,
+    /// Per-source sub-spans, in first-attempt order.
+    pub sources: Vec<SourceSpan>,
+    /// Index into `sources` of the critical (slowest) source.
+    pub critical_source: Option<usize>,
+}
+
+impl PlanSpan {
+    /// Total span time: schedule wait plus charged latency.
+    pub fn total(&self) -> f64 {
+        self.wait + self.latency
+    }
+}
+
+/// The reconstructed profile of one `run_started` scope.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunProfile {
+    /// Zero-based run index within the journal.
+    pub run: u64,
+    /// The session strategy, when the run was a serving session.
+    pub strategy: Option<String>,
+    /// The executor lookahead, when the run was a concurrent run.
+    pub lookahead: Option<u64>,
+    /// Kernel events before the first plan emission (orderer build).
+    pub prepare_events: u64,
+    /// Kernel events interleaved with emissions (incremental ordering).
+    pub ordering_events: u64,
+    /// Plan spans in emission order.
+    pub plans: Vec<PlanSpan>,
+    /// The serial makespan the run reported in `run_finished`, if any.
+    pub makespan: Option<f64>,
+    /// Distinct answers reported in `run_finished`, if any.
+    pub answers: Option<u64>,
+    /// Critical-path length: plan latencies summed in emission order —
+    /// the same fold the executor's serial clock performs, so it
+    /// bit-equals `makespan` on executor traces.
+    pub critical_path: f64,
+}
+
+impl RunProfile {
+    /// The plan that bounded the run: largest latency, earliest on ties.
+    pub fn critical_plan(&self) -> Option<&PlanSpan> {
+        self.plans
+            .iter()
+            .filter(|p| p.latency > 0.0)
+            .max_by(|a, b| match a.latency.total_cmp(&b.latency) {
+                std::cmp::Ordering::Equal => b.seq.cmp(&a.seq),
+                other => other,
+            })
+    }
+
+    /// The source that dominated the run: largest summed span time
+    /// across all plans, alphabetically first on ties.
+    pub fn dominant_source(&self) -> Option<(String, f64)> {
+        let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+        for p in &self.plans {
+            for s in &p.sources {
+                *totals.entry(&s.name).or_insert(0.0) += s.total;
+            }
+        }
+        let mut best: Option<(&str, f64)> = None;
+        for (name, total) in &totals {
+            if best.is_none_or(|(_, t)| *total > t) {
+                best = Some((name, *total));
+            }
+        }
+        best.map(|(n, t)| (n.to_string(), t))
+    }
+
+    /// Structural invariants of the span tree, used by the CI
+    /// `trace-validate` gate and the property tests:
+    ///
+    /// 1. children nest within their parent (plan spans are ordered and
+    ///    non-negative; every source total is bounded by the plan
+    ///    latency);
+    /// 2. self times are non-negative and the critical decomposition
+    ///    (critical source + join + self) sums exactly to the latency;
+    /// 3. the critical path never exceeds the reported makespan.
+    pub fn check(&self) -> Result<(), String> {
+        let fail = |msg: String| Err(format!("run {}: {msg}", self.run));
+        let mut cursor = f64::NEG_INFINITY;
+        for p in &self.plans {
+            if p.end < p.start {
+                return fail(format!(
+                    "plan {} span inverted ({}..{})",
+                    p.seq, p.start, p.end
+                ));
+            }
+            if p.start < cursor {
+                return fail(format!("plan {} emitted before its predecessor's", p.seq));
+            }
+            cursor = p.start;
+            if !(p.wait >= 0.0 && p.join >= 0.0 && p.self_time >= 0.0 && p.latency >= 0.0) {
+                return fail(format!("plan {} has a negative time", p.seq));
+            }
+            let mut critical = 0.0f64;
+            for s in &p.sources {
+                if s.total < 0.0 || s.backoff < 0.0 || s.attempt_time < 0.0 {
+                    return fail(format!("plan {} source {} negative time", p.seq, s.name));
+                }
+                if p.status != SpanStatus::Open && s.total > p.latency {
+                    return fail(format!(
+                        "plan {} source {} escapes its parent span ({} > {})",
+                        p.seq, s.name, s.total, p.latency
+                    ));
+                }
+                critical = critical.max(s.total);
+            }
+            if !p.sources.is_empty() && p.status != SpanStatus::Open {
+                let sum = critical + p.join + p.self_time;
+                if sum != p.latency {
+                    return fail(format!(
+                        "plan {} attribution leaks: {} + {} + {} != {}",
+                        p.seq, critical, p.join, p.self_time, p.latency
+                    ));
+                }
+            }
+        }
+        if let Some(makespan) = self.makespan {
+            if self.critical_path > makespan {
+                return fail(format!(
+                    "critical path {} exceeds makespan {makespan}",
+                    self.critical_path
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The machine-readable profile, hand-rolled like every exporter in
+    /// this crate (the `/profile?run=…` endpoint serves these bytes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"run\":{}", self.run);
+        out.push_str(",\"strategy\":");
+        match &self.strategy {
+            Some(s) => push_str(&mut out, s),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"lookahead\":");
+        match self.lookahead {
+            Some(n) => {
+                let _ = write!(out, "{n}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"prepare_events\":{},\"ordering_events\":{}",
+            self.prepare_events, self.ordering_events
+        );
+        out.push_str(",\"makespan\":");
+        match self.makespan {
+            Some(m) => push_f64(&mut out, m),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"answers\":");
+        match self.answers {
+            Some(a) => {
+                let _ = write!(out, "{a}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"critical_path\":");
+        push_f64(&mut out, self.critical_path);
+        out.push_str(",\"bounding_plan\":");
+        match self.critical_plan() {
+            Some(p) => push_str(&mut out, &p.plan),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"dominant_source\":");
+        match self.dominant_source() {
+            Some((name, total)) => {
+                out.push_str("{\"source\":");
+                push_str(&mut out, &name);
+                out.push_str(",\"total\":");
+                push_f64(&mut out, total);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"plans\":[");
+        for (i, p) in self.plans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"seq\":{},\"plan\":", p.seq);
+            push_str(&mut out, &p.plan);
+            out.push_str(",\"utility\":");
+            push_f64(&mut out, p.utility);
+            let _ = write!(out, ",\"status\":\"{}\"", p.status.label());
+            out.push_str(",\"start\":");
+            push_f64(&mut out, p.start);
+            out.push_str(",\"end\":");
+            push_f64(&mut out, p.end);
+            out.push_str(",\"wait\":");
+            push_f64(&mut out, p.wait);
+            out.push_str(",\"latency\":");
+            push_f64(&mut out, p.latency);
+            out.push_str(",\"join\":");
+            push_f64(&mut out, p.join);
+            out.push_str(",\"self\":");
+            push_f64(&mut out, p.self_time);
+            let _ = write!(out, ",\"memo_hits\":{}", p.memo_hits);
+            out.push_str(",\"reused_prefix\":");
+            match p.reused_prefix {
+                Some(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"tuples\":");
+            match p.tuples {
+                Some(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"sources\":[");
+            for (j, s) in p.sources.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"source\":");
+                push_str(&mut out, &s.name);
+                let _ = write!(
+                    out,
+                    ",\"attempts\":{},\"transient\":{}",
+                    s.attempts, s.transient
+                );
+                out.push_str(",\"backoff\":");
+                push_f64(&mut out, s.backoff);
+                out.push_str(",\"attempt_time\":");
+                push_f64(&mut out, s.attempt_time);
+                out.push_str(",\"total\":");
+                push_f64(&mut out, s.total);
+                out.push_str(",\"outcome\":");
+                push_str(&mut out, &s.outcome);
+                let _ = write!(out, ",\"critical\":{}}}", p.critical_source == Some(j));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The `EXPLAIN ANALYZE`-style aligned text view: run header, the
+    /// plan chain that bounded the run, the source that dominated it,
+    /// then one aligned row per plan with its source sub-spans.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "run {}", self.run);
+        if let Some(s) = &self.strategy {
+            let _ = write!(out, " · strategy={s}");
+        }
+        if let Some(n) = self.lookahead {
+            let _ = write!(out, " · lookahead={n}");
+        }
+        let _ = write!(out, " · plans={}", self.plans.len());
+        if let Some(a) = self.answers {
+            let _ = write!(out, " · answers={a}");
+        }
+        out.push_str(" · critical-path=");
+        push_num(&mut out, self.critical_path);
+        if let Some(m) = self.makespan {
+            out.push_str(" · makespan=");
+            push_num(&mut out, m);
+        }
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "prepare: {} kernel events · ordering: {} kernel events",
+            self.prepare_events, self.ordering_events
+        );
+        match self.critical_plan() {
+            Some(p) => {
+                let _ = write!(out, "bounded by plan {} [{}] (latency ", p.seq, p.plan);
+                push_num(&mut out, p.latency);
+                out.push(')');
+            }
+            None => out.push_str("bounded by no plan (zero-latency run)"),
+        }
+        match self.dominant_source() {
+            Some((name, total)) => {
+                let _ = write!(out, " · dominated by source {name} (total ");
+                push_num(&mut out, total);
+                out.push_str(")\n");
+            }
+            None => out.push_str(" · no source accesses\n"),
+        }
+        // Aligned plan table: compute column widths over shortest-form
+        // numbers so the layout is deterministic for byte-identity tests.
+        let rows: Vec<[String; 8]> = self
+            .plans
+            .iter()
+            .map(|p| {
+                [
+                    p.seq.to_string(),
+                    p.plan.clone(),
+                    p.status.label().to_string(),
+                    num(p.wait),
+                    num(p.latency),
+                    num(p.join),
+                    num(p.self_time),
+                    match p.critical_source {
+                        Some(i) => p.sources[i].name.clone(),
+                        None => "-".to_string(),
+                    },
+                ]
+            })
+            .collect();
+        let header = [
+            "seq",
+            "plan",
+            "status",
+            "wait",
+            "latency",
+            "join",
+            "self",
+            "crit-source",
+        ];
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        out.push_str("  ");
+        for (i, h) in header.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", h, width = widths[i]);
+        }
+        out.push('\n');
+        for (p, row) in self.plans.iter().zip(rows.iter()) {
+            out.push_str("  ");
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+            for (j, s) in p.sources.iter().enumerate() {
+                let _ = write!(out, "      └ {}: attempts={} backoff=", s.name, s.attempts);
+                push_num(&mut out, s.backoff);
+                out.push_str(" attempt=");
+                push_num(&mut out, s.attempt_time);
+                out.push_str(" total=");
+                push_num(&mut out, s.total);
+                let _ = write!(out, " outcome={}", s.outcome);
+                if p.critical_source == Some(j) {
+                    out.push_str(" «critical»");
+                }
+                out.push('\n');
+            }
+            if p.memo_hits > 0 {
+                let _ = writeln!(
+                    out,
+                    "      └ memo: {} shortcut(s) at plan start",
+                    p.memo_hits
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Shortest-roundtrip number rendering shared by the text renderer (the
+/// JSON side uses the journal's `push_f64`, which renders identically
+/// for finite values).
+fn num(v: f64) -> String {
+    let mut s = String::new();
+    push_num(&mut s, v);
+    s
+}
+
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("nan");
+    }
+}
+
+/// All run profiles reconstructed from one journal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileIndex {
+    runs: Vec<RunProfile>,
+}
+
+/// Field access shared by the two replay paths: live [`TraceEvent`]s and
+/// JSONL lines parsed back through [`parse_json`]. F64 fields round-trip
+/// bit-exactly (the exporter writes shortest-roundtrip forms), which is
+/// what keeps the offline reconstruction equal to the live one.
+enum Fields<'a> {
+    Event(&'a TraceEvent),
+    Line(&'a Json),
+}
+
+impl Fields<'_> {
+    fn u64(&self, name: &str) -> Option<u64> {
+        match self {
+            Fields::Event(ev) => match ev.fields.iter().find(|(k, _)| *k == name)? {
+                (_, Value::U64(n)) => Some(*n),
+                _ => None,
+            },
+            Fields::Line(obj) => obj.get(name)?.as_f64().map(|v| v as u64),
+        }
+    }
+
+    fn f64(&self, name: &str) -> Option<f64> {
+        match self {
+            Fields::Event(ev) => match ev.fields.iter().find(|(k, _)| *k == name)? {
+                (_, Value::F64(x)) => Some(*x),
+                _ => None,
+            },
+            Fields::Line(obj) => obj.get(name)?.as_f64(),
+        }
+    }
+
+    fn str(&self, name: &str) -> Option<&str> {
+        match self {
+            Fields::Event(ev) => match ev.fields.iter().find(|(k, _)| *k == name)? {
+                (_, Value::Str(s)) => Some(s),
+                _ => None,
+            },
+            Fields::Line(obj) => obj.get(name)?.as_str(),
+        }
+    }
+}
+
+impl ProfileIndex {
+    /// Replays recorded events (in journal order) into run profiles.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut b = Builder::default();
+        for ev in events {
+            b.observe(ev.kind, ev.clock, &Fields::Event(ev));
+        }
+        b.finish()
+    }
+
+    /// Replays a live journal.
+    pub fn from_journal(journal: &TraceJournal) -> Self {
+        ProfileIndex::from_events(&journal.events())
+    }
+
+    /// Replays a JSONL trace file (the `/traces` format). Malformed
+    /// lines or missing reserved keys are errors — run `validate_trace`
+    /// first for the full structural diagnosis.
+    pub fn from_jsonl(jsonl: &str) -> Result<Self, String> {
+        let mut b = Builder::default();
+        for (i, line) in jsonl.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let obj = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let kind = obj
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: missing kind", i + 1))?
+                .to_string();
+            let clock = obj
+                .get("clock")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: missing clock", i + 1))?;
+            b.observe(&kind, clock, &Fields::Line(&obj));
+        }
+        Ok(b.finish())
+    }
+
+    /// The reconstructed runs, in journal order.
+    pub fn runs(&self) -> &[RunProfile] {
+        &self.runs
+    }
+
+    /// One run by its zero-based index.
+    pub fn run(&self, run: u64) -> Option<&RunProfile> {
+        self.runs.get(run as usize)
+    }
+
+    /// The most recent run.
+    pub fn latest(&self) -> Option<&RunProfile> {
+        self.runs.last()
+    }
+
+    /// All runs as one JSON document: `{"runs":[…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"runs\":[");
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Incremental profile reconstruction over one journal.
+#[derive(Default)]
+struct Builder {
+    runs: Vec<RunProfile>,
+    current: Option<RunProfile>,
+    /// plan_seq → index into the current run's `plans`.
+    index: BTreeMap<u64, usize>,
+    /// Kernel events seen before any `run_started` (orderer build work
+    /// journalled ahead of the run scope); absorbed by the next run.
+    pending_prepare: u64,
+}
+
+impl Builder {
+    fn observe(&mut self, kind: &str, clock: f64, fields: &Fields<'_>) {
+        if kind == "run_started" {
+            self.flush();
+            let mut run = RunProfile {
+                run: self.runs.len() as u64,
+                strategy: fields.str("strategy").map(str::to_string),
+                lookahead: fields.u64("lookahead"),
+                ..RunProfile::default()
+            };
+            run.prepare_events = self.pending_prepare;
+            self.pending_prepare = 0;
+            self.current = Some(run);
+            return;
+        }
+        if kind.starts_with("kernel_") {
+            match &mut self.current {
+                Some(run) if run.plans.is_empty() => run.prepare_events += 1,
+                Some(run) => run.ordering_events += 1,
+                None => self.pending_prepare += 1,
+            }
+            return;
+        }
+        let Some(run) = &mut self.current else {
+            return;
+        };
+        match kind {
+            "plan_emitted" => {
+                let seq = fields.u64("plan_seq").unwrap_or(run.plans.len() as u64);
+                self.index.insert(seq, run.plans.len());
+                run.plans.push(PlanSpan {
+                    seq,
+                    plan: fields.str("plan").unwrap_or_default().to_string(),
+                    utility: fields.f64("utility").unwrap_or(0.0),
+                    start: clock,
+                    end: clock,
+                    latency: 0.0,
+                    wait: 0.0,
+                    join: 0.0,
+                    self_time: 0.0,
+                    status: SpanStatus::Open,
+                    memo_hits: 0,
+                    reused_prefix: None,
+                    tuples: None,
+                    sources: Vec::new(),
+                    critical_source: None,
+                });
+            }
+            "memo_hit" => {
+                if let Some(p) = self.plan_mut(fields) {
+                    p.memo_hits += 1;
+                }
+            }
+            "subplan_reused" => {
+                let prefix = fields.u64("prefix_len");
+                if let Some(p) = self.plan_mut(fields) {
+                    p.reused_prefix = prefix.or(Some(0));
+                }
+            }
+            "source_attempt" => {
+                let attempt = fields.u64("attempt").unwrap_or(0);
+                let backoff = fields.f64("backoff").unwrap_or(0.0);
+                let charge = fields.f64("latency").unwrap_or(0.0);
+                let outcome = fields.str("outcome").unwrap_or("").to_string();
+                let name = fields.str("source").unwrap_or("").to_string();
+                if let Some(p) = self.plan_mut(fields) {
+                    let s = match p.sources.iter_mut().find(|s| s.name == name) {
+                        Some(s) => s,
+                        None => {
+                            p.sources.push(SourceSpan {
+                                name,
+                                attempts: 0,
+                                transient: 0,
+                                backoff: 0.0,
+                                attempt_time: 0.0,
+                                total: 0.0,
+                                outcome: String::new(),
+                            });
+                            p.sources.last_mut().expect("just pushed")
+                        }
+                    };
+                    s.attempts = s.attempts.max(attempt);
+                    s.transient += u64::from(outcome == "timeout" || outcome == "transient");
+                    s.backoff += backoff;
+                    s.attempt_time += charge;
+                    // Charge order matters for bit-equality with the
+                    // runtime's own per-access accumulation.
+                    s.total += backoff;
+                    s.total += charge;
+                    s.outcome = outcome;
+                }
+            }
+            "plan_completed" | "plan_failed" | "plan_unsound" => {
+                let latency = fields.f64("latency").unwrap_or(0.0);
+                let tuples = fields.u64("tuples");
+                let status = match kind {
+                    "plan_completed" => SpanStatus::Completed,
+                    "plan_failed" => SpanStatus::Failed,
+                    _ => SpanStatus::Unsound,
+                };
+                if let Some(p) = self.plan_mut(fields) {
+                    p.end = clock;
+                    p.latency = latency;
+                    p.status = status;
+                    p.tuples = tuples;
+                    close_plan(p);
+                }
+            }
+            // First seal wins. A session abandoned mid-stream seals its
+            // trace on drop, which can land *after* a newer run already
+            // started and sealed (e.g. `drop(session)` late in an
+            // example); that stray event must not overwrite the current
+            // run's own makespan and answer count.
+            "run_finished" if run.makespan.is_none() && run.answers.is_none() => {
+                run.makespan = fields.f64("makespan");
+                run.answers = fields.u64("answers");
+            }
+            _ => {}
+        }
+    }
+
+    fn plan_mut(&mut self, fields: &Fields<'_>) -> Option<&mut PlanSpan> {
+        let run = self.current.as_mut()?;
+        let seq = fields.u64("plan_seq")?;
+        run.plans.get_mut(*self.index.get(&seq)?)
+    }
+
+    fn flush(&mut self) {
+        if let Some(mut run) = self.current.take() {
+            // The same left-to-right fold the executor's serial clock
+            // performs, hence bit-equal to its reported makespan.
+            let mut cp = 0.0f64;
+            for p in &run.plans {
+                cp += p.latency;
+            }
+            run.critical_path = cp;
+            self.runs.push(run);
+        }
+        self.index.clear();
+    }
+
+    fn finish(mut self) -> ProfileIndex {
+        self.flush();
+        // run_finished fields were parked on the builder via plan-less
+        // events; nothing further to do here.
+        ProfileIndex { runs: self.runs }
+    }
+}
+
+/// Final attribution for a closed plan span: schedule wait from the
+/// clock delta, then the critical decomposition of the charged latency
+/// into critical source, join, and self. Plans without source sub-spans
+/// keep their whole latency as self time (session traces: the plan's
+/// cost).
+fn close_plan(p: &mut PlanSpan) {
+    p.wait = ((p.end - p.start) - p.latency).max(0.0);
+    if p.sources.is_empty() {
+        p.critical_source = None;
+        p.join = 0.0;
+        p.self_time = p.latency;
+        return;
+    }
+    let mut best = 0usize;
+    for (i, s) in p.sources.iter().enumerate() {
+        if s.total > p.sources[best].total {
+            best = i;
+        }
+    }
+    p.critical_source = Some(best);
+    let critical = p.sources[best].total;
+    p.join = (p.latency - critical).max(0.0);
+    p.self_time = (p.latency - critical - p.join).max(0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-plan run journalled the way the executor does: plan 0 has a
+    /// retried source and a fast one, plan 1 hits the memo and runs
+    /// source-free (charged latency 0).
+    fn fixture() -> TraceJournal {
+        let j = TraceJournal::enabled();
+        j.record("kernel_seeded", vec![("buckets", Value::U64(3))]);
+        j.record("run_started", vec![("lookahead", Value::U64(2))]);
+        j.record("kernel_refinement", vec![("frontier", Value::U64(1))]);
+        j.record(
+            "plan_emitted",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("plan", Value::Str("v2.v3".into())),
+                ("utility", Value::F64(0.8)),
+            ],
+        );
+        j.record(
+            "plan_emitted",
+            vec![
+                ("plan_seq", Value::U64(1)),
+                ("plan", Value::Str("v2.v4".into())),
+                ("utility", Value::F64(0.5)),
+            ],
+        );
+        for (attempt, backoff, charge, outcome) in
+            [(1u64, 0.0, 2.0, "timeout"), (2, 0.5, 2.5, "ok")]
+        {
+            j.record(
+                "source_attempt",
+                vec![
+                    ("plan_seq", Value::U64(0)),
+                    ("source", Value::Str("v2".into())),
+                    ("attempt", Value::U64(attempt)),
+                    ("backoff", Value::F64(backoff)),
+                    ("latency", Value::F64(charge)),
+                    ("outcome", Value::Str(outcome.into())),
+                ],
+            );
+        }
+        j.record(
+            "source_attempt",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("source", Value::Str("v3".into())),
+                ("attempt", Value::U64(1)),
+                ("backoff", Value::F64(0.0)),
+                ("latency", Value::F64(1.0)),
+                ("outcome", Value::Str("ok".into())),
+            ],
+        );
+        j.record(
+            "plan_completed",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("latency", Value::F64(5.0)),
+                ("tuples", Value::U64(7)),
+            ],
+        );
+        j.set_clock(5.0);
+        j.record(
+            "memo_hit",
+            vec![
+                ("plan_seq", Value::U64(1)),
+                ("source", Value::Str("v2".into())),
+                ("warm", Value::Bool(true)),
+            ],
+        );
+        j.record(
+            "plan_completed",
+            vec![
+                ("plan_seq", Value::U64(1)),
+                ("latency", Value::F64(0.0)),
+                ("tuples", Value::U64(7)),
+            ],
+        );
+        j.record(
+            "run_finished",
+            vec![
+                ("plans", Value::U64(2)),
+                ("answers", Value::U64(7)),
+                ("makespan", Value::F64(5.0)),
+            ],
+        );
+        j
+    }
+
+    #[test]
+    fn reconstructs_the_span_tree_with_exact_attribution() {
+        let index = ProfileIndex::from_journal(&fixture());
+        assert_eq!(index.runs().len(), 1);
+        let run = index.latest().unwrap();
+        run.check().expect("invariants");
+        // Kernel event before run_started counts as prepare work, the
+        // one after (pre-emission) too.
+        assert_eq!(run.prepare_events, 2);
+        assert_eq!(run.lookahead, Some(2));
+        assert_eq!(run.makespan, Some(5.0));
+        assert_eq!(run.critical_path.to_bits(), 5.0f64.to_bits());
+
+        let p0 = &run.plans[0];
+        assert_eq!(p0.status, SpanStatus::Completed);
+        // v2's chain: 0 + 2, then 0.5 + 2.5 — total 5, the critical
+        // source; v3 contributes 1. Wait is the clock delta minus the
+        // charged latency (both clocks are 0 here, so it clamps to 0).
+        assert_eq!(p0.sources.len(), 2);
+        let v2 = &p0.sources[0];
+        assert_eq!((v2.attempts, v2.transient), (2, 1));
+        assert_eq!(v2.total, 5.0);
+        assert_eq!(v2.backoff, 0.5);
+        assert_eq!(v2.attempt_time, 4.5);
+        assert_eq!(v2.outcome, "ok");
+        assert_eq!(p0.critical_source, Some(0));
+        assert_eq!((p0.wait, p0.join, p0.self_time), (0.0, 0.0, 0.0));
+
+        let p1 = &run.plans[1];
+        assert_eq!(p1.memo_hits, 1);
+        assert_eq!(p1.latency, 0.0);
+        assert_eq!(p1.wait, 5.0, "emitted at 0, merged at clock 5");
+
+        assert_eq!(run.critical_plan().unwrap().seq, 0);
+        assert_eq!(run.dominant_source(), Some(("v2".to_string(), 5.0)));
+    }
+
+    #[test]
+    fn renderers_agree_with_the_reconstruction() {
+        let index = ProfileIndex::from_journal(&fixture());
+        let run = index.latest().unwrap();
+        let text = run.render_text();
+        assert!(text.contains("critical-path=5"), "{text}");
+        assert!(text.contains("bounded by plan 0 [v2.v3]"), "{text}");
+        assert!(text.contains("dominated by source v2"), "{text}");
+        assert!(text.contains("«critical»"), "{text}");
+        assert!(text.contains("memo: 1 shortcut(s)"), "{text}");
+        let json = run.to_json();
+        crate::json::parse_json(&json).expect("well-formed");
+        assert!(json.contains("\"bounding_plan\":\"v2.v3\""));
+        // The JSONL path rebuilds the identical index.
+        let jsonl = fixture().to_jsonl();
+        assert_eq!(ProfileIndex::from_jsonl(&jsonl).unwrap(), index);
+    }
+
+    #[test]
+    fn truncated_traces_leave_spans_open() {
+        let j = TraceJournal::enabled();
+        j.record("run_started", vec![]);
+        j.record(
+            "plan_emitted",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("plan", Value::Str("v1".into())),
+                ("utility", Value::F64(0.1)),
+            ],
+        );
+        let index = ProfileIndex::from_journal(&j);
+        let run = index.latest().unwrap();
+        run.check().expect("open spans are valid");
+        assert_eq!(run.plans[0].status, SpanStatus::Open);
+        assert_eq!(run.plans[0].latency, 0.0);
+        assert_eq!(run.makespan, None);
+    }
+
+    #[test]
+    fn a_stray_late_seal_does_not_overwrite_the_first() {
+        // An abandoned session seals its trace on drop, which can land
+        // after a newer run's own run_finished (no run_started between
+        // them). The first seal must win.
+        let j = fixture();
+        j.record(
+            "run_finished",
+            vec![
+                ("plans", Value::U64(1)),
+                ("answers", Value::U64(450)),
+                ("makespan", Value::F64(0.0)),
+            ],
+        );
+        let index = ProfileIndex::from_journal(&j);
+        assert_eq!(index.runs().len(), 1);
+        let run = index.latest().unwrap();
+        run.check().expect("invariants survive the stray seal");
+        assert_eq!(run.makespan, Some(5.0));
+        assert_eq!(run.answers, Some(7));
+    }
+
+    #[test]
+    fn check_rejects_escaping_children_and_leaky_attribution() {
+        let mut run = RunProfile::default();
+        run.plans.push(PlanSpan {
+            seq: 0,
+            plan: "p".into(),
+            utility: 0.0,
+            start: 0.0,
+            end: 1.0,
+            latency: 1.0,
+            wait: 0.0,
+            join: 0.0,
+            self_time: 0.0,
+            status: SpanStatus::Completed,
+            memo_hits: 0,
+            reused_prefix: None,
+            tuples: None,
+            sources: vec![SourceSpan {
+                name: "s".into(),
+                attempts: 1,
+                transient: 0,
+                backoff: 0.0,
+                attempt_time: 2.0,
+                total: 2.0,
+                outcome: "ok".into(),
+            }],
+            critical_source: Some(0),
+        });
+        let err = run.check().unwrap_err();
+        assert!(err.contains("escapes its parent span"), "{err}");
+        // Contain the child but break the decomposition sum instead.
+        run.plans[0].sources[0].total = 1.0;
+        run.plans[0].join = 0.5;
+        let err = run.check().unwrap_err();
+        assert!(err.contains("attribution leaks"), "{err}");
+        // A makespan below the critical path is also rejected.
+        run.plans.clear();
+        run.critical_path = 2.0;
+        run.makespan = Some(1.0);
+        let err = run.check().unwrap_err();
+        assert!(err.contains("exceeds makespan"), "{err}");
+    }
+
+    #[test]
+    fn malformed_jsonl_is_an_error_not_a_panic() {
+        assert!(ProfileIndex::from_jsonl("{\"seq\":0").is_err());
+        assert!(ProfileIndex::from_jsonl("{\"seq\":0}").is_err());
+        assert!(ProfileIndex::from_jsonl("").unwrap().runs().is_empty());
+    }
+}

@@ -173,6 +173,13 @@ pub struct SessionEntry {
     pub memo_hits: u64,
     /// Plans whose join was seeded from a memoized subplan prefix.
     pub subplans_reused: u64,
+    /// Profile snapshot: the session's critical-path length so far (the
+    /// left-to-right sum of executed plan costs, the same fold the trace
+    /// profile reconstructs).
+    pub critical_path: f64,
+    /// Profile snapshot: the costliest executed plan so far (encoded
+    /// bucket-index form), `None` before the first sound plan.
+    pub bounding_plan: Option<String>,
     /// Whether the session has been dropped.
     pub closed: bool,
 }
@@ -225,6 +232,8 @@ impl SessionBoard {
                 tuple_curve: Vec::new(),
                 memo_hits: 0,
                 subplans_reused: 0,
+                critical_path: 0.0,
+                bounding_plan: None,
                 closed: false,
             },
         );
@@ -310,6 +319,13 @@ impl SessionBoard {
                 ",\"memo_hits\":{},\"subplans_reused\":{}",
                 e.memo_hits, e.subplans_reused
             );
+            out.push_str(",\"critical_path\":");
+            push_f64(&mut out, e.critical_path);
+            out.push_str(",\"bounding_plan\":");
+            match &e.bounding_plan {
+                Some(p) => push_str(&mut out, p),
+                None => out.push_str("null"),
+            }
             let _ = write!(out, ",\"closed\":{}}}", e.closed);
         }
         out.push_str("]}");

@@ -11,8 +11,19 @@
 //!   [`TraceJournal::to_jsonl`](crate::TraceJournal::to_jsonl);
 //! - `/sessions` — the live session board as JSON;
 //! - `/explain?run=N&plan=i,j,k` — the dominance-provenance query of
-//!   [`crate::explain`] (`run` defaults to the journal's latest run).
+//!   [`crate::explain`] (`run` defaults to the journal's latest run);
+//! - `/profile` and `/profile?run=N[&format=text]` — the span-tree
+//!   profile of [`crate::profile`], reconstructed from the journal,
+//!   byte-identical to the offline renderers;
+//! - `/divergence` — the source-drift recomputation of
+//!   [`crate::divergence`] over the journal (default config), the same
+//!   bytes [`DivergenceMonitor::to_json`] renders offline.
 //!
+//! Malformed query strings on `/explain` and `/profile` return 400, and
+//! request heads are bounded (oversized or unterminated heads return 400
+//! without being routed).
+//!
+//! [`DivergenceMonitor::to_json`]: crate::divergence::DivergenceMonitor::to_json
 //! The server runs one accept-loop thread and handles connections
 //! serially — introspection traffic is a human with a browser or a
 //! scraper on a schedule, not the query path — and every response is a
@@ -25,9 +36,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::divergence::{DivergenceConfig, DivergenceMonitor};
 use crate::explain::{parse_plan, ExplainIndex};
 use crate::export::prometheus_text;
+use crate::profile::ProfileIndex;
 use crate::Obs;
+
+/// Upper bound on the request head; anything larger is rejected with a
+/// 400 before routing.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// A running introspection server. Dropping (or calling
 /// [`IntrospectionServer::stop`]) shuts the accept loop down.
@@ -93,14 +110,20 @@ fn handle_connection(mut stream: TcpStream, obs: &Obs) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
-    // Read until the end of the request head; introspection requests
-    // carry no body.
+    // Read until the end of the request head, bounded: introspection
+    // requests carry no body, and a head that exceeds the cap without
+    // terminating is rejected rather than routed.
+    let mut terminated = false;
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    terminated = true;
+                    break;
+                }
+                if buf.len() > MAX_HEAD_BYTES {
                     break;
                 }
             }
@@ -111,12 +134,27 @@ fn handle_connection(mut stream: TcpStream, obs: &Obs) {
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
-    let (status, reason, content_type, body) = if method != "GET" {
+    let too_large = !terminated && buf.len() > MAX_HEAD_BYTES;
+    let (status, reason, content_type, body) = if too_large {
+        (
+            400,
+            "Bad Request",
+            "text/plain; charset=utf-8",
+            "request head too large\n".to_string(),
+        )
+    } else if method != "GET" {
         (
             405,
             "Method Not Allowed",
             "text/plain; charset=utf-8",
             "only GET is supported\n".to_string(),
+        )
+    } else if !target.starts_with('/') {
+        (
+            400,
+            "Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request target\n".to_string(),
         )
     } else {
         respond(target, obs)
@@ -128,6 +166,23 @@ fn handle_connection(mut stream: TcpStream, obs: &Obs) {
     );
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+    if too_large {
+        // Lingering close: drain what the client keeps sending (bounded
+        // by the read timeout and a byte cap) so closing the socket with
+        // unread data doesn't reset the connection and discard the 400
+        // we just wrote.
+        let mut sink = [0u8; 1024];
+        let mut drained = 0usize;
+        while let Ok(n) = stream.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+            drained += n;
+            if drained > 64 * MAX_HEAD_BYTES {
+                break;
+            }
+        }
+    }
 }
 
 /// Routes one request target to `(status, reason, content-type, body)`.
@@ -159,37 +214,112 @@ pub(crate) fn respond(target: &str, obs: &Obs) -> (u16, &'static str, &'static s
             obs.sessions.to_json(),
         ),
         "/explain" => explain_response(query, obs),
+        "/profile" => profile_response(query, obs),
+        "/divergence" => (
+            200,
+            "OK",
+            "application/json; charset=utf-8",
+            DivergenceMonitor::from_events(&obs.journal.events(), DivergenceConfig::default())
+                .to_json(),
+        ),
         _ => (
             404,
             "Not Found",
             "text/plain; charset=utf-8",
-            "unknown path; try /healthz /metrics /traces /sessions /explain\n".to_string(),
+            "unknown path; try /healthz /metrics /traces /sessions /explain /profile /divergence\n"
+                .to_string(),
         ),
     }
 }
 
+fn bad_request(usage: &str) -> (u16, &'static str, &'static str, String) {
+    (
+        400,
+        "Bad Request",
+        "text/plain; charset=utf-8",
+        format!("{usage}\n"),
+    )
+}
+
 fn explain_response(query: &str, obs: &Obs) -> (u16, &'static str, &'static str, String) {
+    const USAGE: &str = "usage: /explain?run=N&plan=i,j,k (run defaults to the latest)";
     let mut run: Option<u64> = None;
     let mut plan: Option<Vec<usize>> = None;
-    for pair in query.split('&') {
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        // Strict parsing: an unknown key or unparsable value is a 400,
+        // never silently ignored.
         match pair.split_once('=') {
-            Some(("run", v)) => run = v.parse().ok(),
-            Some(("plan", v)) => plan = parse_plan(v),
-            _ => {}
+            Some(("run", v)) => match v.parse() {
+                Ok(n) => run = Some(n),
+                Err(_) => return bad_request(USAGE),
+            },
+            Some(("plan", v)) => match parse_plan(v) {
+                Some(p) => plan = Some(p),
+                None => return bad_request(USAGE),
+            },
+            _ => return bad_request(USAGE),
         }
     }
     let Some(plan) = plan else {
-        return (
-            400,
-            "Bad Request",
-            "text/plain; charset=utf-8",
-            "usage: /explain?run=N&plan=i,j,k (run defaults to the latest)\n".to_string(),
-        );
+        return bad_request(USAGE);
     };
     let index = ExplainIndex::from_journal(&obs.journal);
     let run = run.unwrap_or_else(|| index.runs());
     let body = index.explain(run, &plan).to_json(run, &plan);
     (200, "OK", "application/json; charset=utf-8", body)
+}
+
+fn profile_response(query: &str, obs: &Obs) -> (u16, &'static str, &'static str, String) {
+    const USAGE: &str = "usage: /profile[?run=N][&format=text] (run defaults to the latest)";
+    let mut run: Option<u64> = None;
+    let mut text = false;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("run", v)) => match v.parse() {
+                Ok(n) => run = Some(n),
+                Err(_) => return bad_request(USAGE),
+            },
+            Some(("format", "text")) => text = true,
+            Some(("format", "json")) => text = false,
+            _ => return bad_request(USAGE),
+        }
+    }
+    let index = ProfileIndex::from_journal(&obs.journal);
+    if run.is_none() && !text {
+        return (
+            200,
+            "OK",
+            "application/json; charset=utf-8",
+            index.to_json(),
+        );
+    }
+    let profile = match run {
+        Some(n) => index.run(n),
+        None => index.latest(),
+    };
+    let Some(profile) = profile else {
+        return (
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "no such run in the journal\n".to_string(),
+        );
+    };
+    if text {
+        (
+            200,
+            "OK",
+            "text/plain; charset=utf-8",
+            profile.render_text(),
+        )
+    } else {
+        (
+            200,
+            "OK",
+            "application/json; charset=utf-8",
+            profile.to_json(),
+        )
+    }
 }
 
 #[cfg(test)]

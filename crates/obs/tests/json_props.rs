@@ -1,0 +1,208 @@
+//! Property tests for the trace-file JSON reader: malformed input must
+//! produce [`JsonError`]s, never panics, and everything the workspace's
+//! hand-rolled writers emit must read back exactly.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use qpo_obs::json::{parse_json, Json};
+use rand::Rng;
+use std::fmt::Write as _;
+
+/// Serializes a [`Json`] value with the exact escaping discipline the
+/// journal's writers use (`push_str`/`push_f64` in `journal.rs`), so the
+/// round-trip property pins reader and writers to each other.
+fn write_json(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::String(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Json::Object(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, &Json::String(k.clone()));
+                out.push(':');
+                write_json(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn gen_string(rng: &mut TestRng) -> String {
+    // Escape-relevant characters, control bytes, and multi-byte UTF-8
+    // (including an astral char, which the writer emits raw and the
+    // reader must slice on byte offsets without panicking).
+    const SOUP: &[char] = &[
+        'a', 'b', 'z', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'é', 'π', '🦀', ' ', '/',
+    ];
+    let n = rng.gen_range(0usize..12);
+    (0..n).map(|_| SOUP[rng.gen_range(0..SOUP.len())]).collect()
+}
+
+fn gen_number(rng: &mut TestRng) -> f64 {
+    match rng.gen_range(0u32..4) {
+        0 => rng.gen_range(-1.0e9..1.0e9f64),
+        1 => rng.gen_range(-1000i64..1000) as f64,
+        2 => 2f64.powi(rng.gen_range(-60i32..60)),
+        _ => 0.0,
+    }
+}
+
+fn gen_json(rng: &mut TestRng, depth: u32) -> Json {
+    let top = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0u32..top) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0u32..2) == 0),
+        2 => Json::Number(gen_number(rng)),
+        3 => Json::String(gen_string(rng)),
+        4 => {
+            let n = rng.gen_range(0usize..4);
+            Json::Array((0..n).map(|_| gen_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..4);
+            Json::Object(
+                (0..n)
+                    .map(|_| (gen_string(rng), gen_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Arbitrary [`Json`] trees, depth-bounded (the shim has no
+/// `prop_recursive`, so the recursion lives in a plain generator).
+struct JsonTree;
+
+impl proptest::strategy::Strategy for JsonTree {
+    type Value = Json;
+    fn generate(&self, rng: &mut TestRng) -> Json {
+        gen_json(rng, 3)
+    }
+}
+
+/// Character soup skewed toward JSON's structural tokens, so deep but
+/// broken nestings, dangling escapes, and cut-off literals all appear.
+fn json_soup() -> impl proptest::strategy::Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('{'),
+            Just('}'),
+            Just('['),
+            Just(']'),
+            Just('"'),
+            Just(','),
+            Just(':'),
+            Just('\\'),
+            Just('.'),
+            Just('-'),
+            Just('+'),
+            Just('e'),
+            Just('u'),
+            Just('t'),
+            Just('n'),
+            Just('0'),
+            Just('9'),
+            Just(' '),
+            Just('é'),
+            Just('🦀'),
+        ],
+        0..48,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking(soup in json_soup()) {
+        // The property is that this call returns at all: every failure
+        // path must surface as a JsonError (satellite of PR 8 — the two
+        // `expect`s this reader used to contain turned char soup into
+        // panics). On error, the offset stays inside the input and the
+        // Display form renders.
+        if let Err(e) = parse_json(&soup) {
+            prop_assert!(e.offset <= soup.len(), "offset {} past {}", e.offset, soup.len());
+            prop_assert!(e.to_string().contains("json error at byte"));
+        }
+    }
+
+    #[test]
+    fn truncated_documents_never_panic(doc in JsonTree, cut in 0.0..1.0f64) {
+        let mut text = String::new();
+        write_json(&mut text, &doc);
+        // Truncate at an arbitrary char boundary: mid-literal, mid-escape,
+        // mid-number. The reader must error or (for a prefix that happens
+        // to be complete, e.g. a cut-short number) parse cleanly.
+        let boundary = text
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([text.len()])
+            .nth((cut * text.chars().count() as f64) as usize)
+            .unwrap_or(0);
+        let _ = parse_json(&text[..boundary]);
+    }
+
+    #[test]
+    fn writer_output_reads_back_exactly(doc in JsonTree) {
+        let mut text = String::new();
+        write_json(&mut text, &doc);
+        let parsed = parse_json(&text);
+        prop_assert_eq!(parsed.as_ref(), Ok(&doc), "from {}", text);
+        // And the round-trip is a fixed point: re-serializing the parsed
+        // value reproduces the bytes.
+        let mut again = String::new();
+        write_json(&mut again, parsed.as_ref().unwrap());
+        prop_assert_eq!(again, text);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(doc in JsonTree, tail in json_soup()) {
+        let mut text = String::new();
+        write_json(&mut text, &doc);
+        let trimmed_tail = tail.trim();
+        text.push(' ');
+        text.push_str(trimmed_tail);
+        if trimmed_tail.is_empty() {
+            prop_assert!(parse_json(&text).is_ok());
+        } else {
+            // Any non-whitespace after one complete value is an error;
+            // `parse_json` reads exactly one document.
+            prop_assert!(parse_json(&text).is_err(), "accepted {}", text);
+        }
+    }
+}

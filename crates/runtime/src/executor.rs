@@ -262,10 +262,16 @@ struct Job {
 /// trace journal. `offset` is virtual time *relative to the plan's start*
 /// (each source is accessed in parallel, so offsets restart per source);
 /// the coordinator anchors it to the journal's serial clock at merge.
+/// `backoff` and `latency` are the attempt's two charges (wait before,
+/// access time after) — journalled explicitly so profile reconstruction
+/// can rebuild the per-source chain bit-exactly instead of differencing
+/// floating-point offsets.
 struct AttemptEvent {
     source: String,
     attempt: u32,
     offset: f64,
+    backoff: f64,
+    latency: f64,
     outcome: &'static str,
 }
 
@@ -416,6 +422,24 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 "run_started",
                 vec![("lookahead", Value::U64(lookahead as u64))],
             );
+            // Catalog-declared expectations for every source the run can
+            // touch, so drift detection can be recomputed from the trace
+            // alone (qpo-obs::divergence): no catalog needed offline, and
+            // the declared values are the same f64s the live monitor sees.
+            for svc in self.grid.iter() {
+                journal.record(
+                    "source_declared",
+                    vec![
+                        ("source", Value::Str(svc.name.to_string().into())),
+                        ("latency", Value::F64(svc.behavior.expected_latency())),
+                        (
+                            "transient_rate",
+                            Value::F64(svc.behavior.transient_failure_rate),
+                        ),
+                        ("tuples", Value::F64(svc.behavior.expected_tuples)),
+                    ],
+                );
+            }
         }
         crossbeam::thread::scope(|s| {
             let (job_tx, job_rx) = channel::unbounded::<Job>();
@@ -473,7 +497,10 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                             "plan_emitted",
                             vec![
                                 ("plan_seq", Value::U64(seq)),
-                                ("plan", Value::Str(qpo_obs::encode_plan(&ordered.plan))),
+                                (
+                                    "plan",
+                                    Value::Str(qpo_obs::encode_plan(&ordered.plan).into()),
+                                ),
                                 ("utility", Value::F64(ordered.utility)),
                             ],
                         );
@@ -520,6 +547,23 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             drop(job_tx);
             metrics.virtual_time.set(stats.virtual_time);
             metrics.fees.set(stats.fees);
+            if journal.is_enabled() {
+                // End-of-run marker carrying the *serial-clock* makespan
+                // (plan latencies summed in emission order) — the quantity
+                // profile reconstruction's critical path must bit-equal.
+                // `stats.virtual_time` is the lane-scheduled makespan and
+                // legitimately varies with the worker count; `vclock` does
+                // not. With one worker the two coincide.
+                journal.record_at(
+                    vclock,
+                    "run_finished",
+                    vec![
+                        ("plans", Value::U64(reports.len() as u64)),
+                        ("answers", Value::U64(answers.len() as u64)),
+                        ("makespan", Value::F64(vclock)),
+                    ],
+                );
+            }
             RuntimeRun {
                 reports,
                 answers,
@@ -564,10 +608,10 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                         "memo_hit",
                         vec![
                             ("plan_seq", Value::U64(seq)),
-                            ("source", Value::Str(svc.name.to_string())),
+                            ("source", Value::Str(svc.name.to_string().into())),
                             (
                                 "outcome",
-                                Value::Str(memo_outcome_label(hit.outcome).to_string()),
+                                Value::Str(memo_outcome_label(hit.outcome).into()),
                             ),
                             ("warm", Value::Bool(hit.warm)),
                         ],
@@ -631,9 +675,11 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 "source_attempt",
                 vec![
                     ("plan_seq", Value::U64(seq)),
-                    ("source", Value::Str(ev.source)),
+                    ("source", Value::Str(ev.source.into())),
                     ("attempt", Value::U64(u64::from(ev.attempt))),
-                    ("outcome", Value::Str(ev.outcome.to_string())),
+                    ("backoff", Value::F64(ev.backoff)),
+                    ("latency", Value::F64(ev.latency)),
+                    ("outcome", Value::Str(ev.outcome.into())),
                 ],
             );
         }
@@ -664,11 +710,8 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                         "memo_store",
                         vec![
                             ("plan_seq", Value::U64(seq)),
-                            ("source", Value::Str(a.name.clone())),
-                            (
-                                "outcome",
-                                Value::Str(memo_outcome_label(outcome).to_string()),
-                            ),
+                            ("source", Value::Str(a.name.clone().into())),
+                            ("outcome", Value::Str(memo_outcome_label(outcome).into())),
                         ],
                     );
                 }
@@ -678,7 +721,14 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
         let status = if !sound {
             metrics.plans_unsound.inc();
             if journal.is_enabled() {
-                journal.record_at(done, "plan_unsound", vec![("plan_seq", Value::U64(seq))]);
+                journal.record_at(
+                    done,
+                    "plan_unsound",
+                    vec![
+                        ("plan_seq", Value::U64(seq)),
+                        ("latency", Value::F64(latency)),
+                    ],
+                );
             }
             PlanStatus::Unsound
         } else if let Some(reason) = failure {
@@ -694,8 +744,9 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                     "plan_failed",
                     vec![
                         ("plan_seq", Value::U64(seq)),
-                        ("reason", Value::Str(kind.to_string())),
-                        ("source", Value::Str(source.clone())),
+                        ("reason", Value::Str(kind.into())),
+                        ("source", Value::Str(source.clone().into())),
+                        ("latency", Value::F64(latency)),
                     ],
                 );
             }
@@ -723,6 +774,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                         ("tuples", Value::U64(total as u64)),
                         ("new_tuples", Value::U64(new_tuples as u64)),
                         ("cumulative", Value::U64(answers.len() as u64)),
+                        ("latency", Value::F64(latency)),
                     ],
                 );
             }
@@ -909,37 +961,44 @@ fn access_with_retries(
         ok,
         permanently_down,
     };
-    let mut record = |attempt: u32, offset: f64, outcome: &'static str| {
-        if let Some(events) = events.as_deref_mut() {
-            events.push(AttemptEvent {
-                source: svc.name.to_string(),
-                attempt,
-                offset,
-                outcome,
-            });
-        }
-    };
+    let mut record =
+        |attempt: u32, offset: f64, backoff: f64, charge: f64, outcome: &'static str| {
+            if let Some(events) = events.as_deref_mut() {
+                events.push(AttemptEvent {
+                    source: svc.name.to_string(),
+                    attempt,
+                    offset,
+                    backoff,
+                    latency: charge,
+                    outcome,
+                });
+            }
+        };
     for attempt in 0..retry.max_attempts.max(1) {
-        latency += retry.backoff_before(attempt);
+        let backoff = retry.backoff_before(attempt);
+        latency += backoff;
         let access = svc.simulate_access(&policy.faults, seq, attempt);
         match access.outcome {
             AccessOutcome::PermanentFailure => {
-                record(attempt + 1, latency, "permanent");
+                record(attempt + 1, latency, backoff, 0.0, "permanent");
                 return report(attempt + 1, false, true, latency, transient_failures);
             }
             AccessOutcome::Success if access.latency <= retry.access_timeout => {
                 latency += access.latency;
-                record(attempt + 1, latency, "ok");
+                record(attempt + 1, latency, backoff, access.latency, "ok");
                 return report(attempt + 1, true, false, latency, transient_failures);
             }
             // A success slower than the timeout is indistinguishable from
             // a transient failure to the caller: charge the timeout, retry.
             AccessOutcome::Success | AccessOutcome::TransientFailure => {
                 let timed_out = matches!(access.outcome, AccessOutcome::Success);
-                latency += access.latency.min(retry.access_timeout);
+                let charge = access.latency.min(retry.access_timeout);
+                latency += charge;
                 record(
                     attempt + 1,
                     latency,
+                    backoff,
+                    charge,
                     if timed_out { "timeout" } else { "transient" },
                 );
                 transient_failures += 1;

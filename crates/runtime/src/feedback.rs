@@ -9,7 +9,9 @@
 //! the place where cataloged statistics can be confronted with reality.
 
 use crate::executor::{PlanExecution, PlanStatus};
+use crate::source::SourceGrid;
 use qpo_core::PlanOutcome;
+use qpo_obs::{AccessObservation, DivergenceMonitor, SourceExpectation};
 use std::collections::BTreeMap;
 
 /// The [`PlanOutcome`] a run record corresponds to, or `None` for unsound
@@ -22,6 +24,51 @@ pub fn outcome_of(report: &PlanExecution) -> Option<PlanOutcome> {
         }
         PlanStatus::Failed(_) => Some(PlanOutcome::failed(&report.ordered.plan)),
         PlanStatus::Unsound => None,
+    }
+}
+
+/// Declares every grid source's catalog expectations to the drift
+/// monitor — the same f64s the executor journals as `source_declared`
+/// events, so the live monitor and a trace replay measure against
+/// bit-identical baselines.
+pub fn declare_sources(monitor: &mut DivergenceMonitor, grid: &SourceGrid) {
+    for svc in grid.iter() {
+        monitor.declare(
+            &svc.name,
+            SourceExpectation {
+                latency: svc.behavior.expected_latency(),
+                transient_rate: svc.behavior.transient_failure_rate,
+                tuples: svc.behavior.expected_tuples,
+            },
+        );
+    }
+}
+
+/// Feeds one plan's fresh access chains into the drift monitor, in
+/// record order. Memo replays (`attempts == 0`) are skipped: a replayed
+/// access observes the memo, not the source — and, symmetrically, it
+/// journals no `source_attempt` events, so the offline recomputation
+/// never sees it either.
+pub fn observe_divergence(monitor: &mut DivergenceMonitor, report: &PlanExecution) {
+    let tuples = match &report.status {
+        PlanStatus::Executed { tuples, .. } => Some(*tuples as f64),
+        _ => None,
+    };
+    for a in &report.accesses {
+        if a.attempts == 0 {
+            continue;
+        }
+        monitor.observe(
+            &a.name,
+            AccessObservation {
+                attempts: u64::from(a.attempts),
+                transient_failures: u64::from(a.transient_failures),
+                ok: a.ok,
+                permanently_down: a.permanently_down,
+                latency: a.latency,
+                tuples,
+            },
+        );
     }
 }
 

@@ -41,7 +41,7 @@ pub use executor::{
     Executor, FailureReason, PlanEvaluator, PlanExecution, PlanStatus, RunBudget, RunStats,
     RuntimeRun, SourceAccess, WaveObserver,
 };
-pub use feedback::{outcome_of, SourceHealth, SourceRecord};
+pub use feedback::{declare_sources, observe_divergence, outcome_of, SourceHealth, SourceRecord};
 pub use memo::{MemoHit, MemoOutcome, SourceMemo, SCAN_PATTERN};
 pub use policy::{FaultConfig, RetryPolicy, RuntimePolicy};
 pub use source::{Access, AccessOutcome, SourceGrid, SourceService};

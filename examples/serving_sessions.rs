@@ -19,6 +19,11 @@
 //! partial-join memos, the second replays and seeds from them, and the
 //! example prints the reuse counters (the same `memo_hits` /
 //! `subplans_reused` the `/sessions` endpoint exposes).
+//!
+//! With `--profile` it enables trace journaling and, after the demo,
+//! reconstructs the span-tree profile of every traced run from the
+//! journal alone and prints the `EXPLAIN ANALYZE`-style report — the
+//! same text the `/profile` introspection endpoint serves.
 
 use query_plan_ordering::prelude::*;
 
@@ -29,9 +34,12 @@ fn main() {
         .position(|a| a == "--serve")
         .map(|i| args.get(i + 1).and_then(|p| p.parse().ok()).unwrap_or(0));
     let with_memo = args.iter().any(|a| a == "--memo");
+    let with_profile = args.iter().any(|a| a == "--profile");
 
-    // Journaling on when serving, so /traces and /explain have content.
-    let obs = if serve_port.is_some() {
+    // Journaling on when serving or profiling, so the trace-derived
+    // views (/traces, /explain, /profile, the printed report) have
+    // content.
+    let obs = if serve_port.is_some() || with_profile {
         Obs::with_trace()
     } else {
         Obs::new()
@@ -144,6 +152,37 @@ fn main() {
         stats.generations, 1,
         "one query shape: plan generation ran exactly once"
     );
+
+    // ---- Span-tree profile, reconstructed from the trace (opt-in) -------
+    if with_profile {
+        println!("\n== span-tree profile (--profile)\n");
+        // Re-run the movie query on the concurrent executor so the trace
+        // has real (virtual) source latencies, retries, and schedule
+        // waits to attribute — the in-memory sessions above run at
+        // virtual time zero.
+        mediator
+            .run_concurrent_observed(
+                &query,
+                &Coverage,
+                Strategy::IDrips,
+                StopCondition::answers(3),
+                RuntimePolicy::parallel(2).with_lookahead(2),
+                &obs,
+            )
+            .unwrap();
+        let index = ProfileIndex::from_journal(&obs.journal);
+        let profile = index.latest().expect("the traced run profiles");
+        profile
+            .check()
+            .expect("reconstructed span tree is well-formed");
+        let makespan = profile.makespan.expect("the run was sealed");
+        assert_eq!(
+            profile.critical_path.to_bits(),
+            makespan.to_bits(),
+            "reconstruction bit-equals the executor's reported makespan"
+        );
+        println!("{}", profile.render_text());
+    }
 
     // ---- Live introspection (opt-in) ------------------------------------
     if let Some(port) = serve_port {
