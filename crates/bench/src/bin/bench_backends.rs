@@ -1,0 +1,248 @@
+//! Source-backend benchmark: the same query, the same ordering, executed
+//! through the three shipped [`SourceBackend`](qpo_runtime::SourceBackend)
+//! implementations — the deterministic simulator (`sim`), the in-process
+//! persistent indexed store (`store`), and a loopback TCP source server
+//! (`tcp`) — comparing per-access latency distributions and gating on
+//! answer equivalence.
+//!
+//! Reported per backend: live access attempts, access-latency p50/p95
+//! (virtual units — the simulator draws them, real backends map measured
+//! wall time at 1 unit/ms), failed plans, and the answer count.
+//!
+//! Gates (all modes): every backend returns the answer set of the
+//! simulator *bit-identically*, emits the identical plan sequence, and
+//! fails no plan. `--smoke` is the CI entry point; `--merge` inserts a
+//! `"backends"` section into BENCH_ordering.json.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-backends [--smoke] [--merge BENCH_ordering.json]
+//! ```
+
+use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+use qpo_exec::{snapshot_relations, BackendRegistry, Mediator, StopCondition, Strategy};
+use qpo_runtime::{MemProvider, RuntimePolicy, SourceServer, StoreBackend, TcpBackend};
+use qpo_utility::LinearCost;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Runs per backend: enough latency samples for stable percentiles
+/// (9 plans × 2 sources × REPEATS), cheap enough for a CI smoke.
+const REPEATS: usize = 3;
+
+struct BackendMeasure {
+    label: &'static str,
+    attempts: u64,
+    access_p50: f64,
+    access_p95: f64,
+    failed: usize,
+    answers: usize,
+    answers_match_sim: bool,
+    plans_match_sim: bool,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _smoke = args.iter().any(|a| a == "--smoke");
+    let merge_path = args
+        .iter()
+        .position(|a| a == "--merge")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // One world, three access paths: the store and the server are seeded
+    // from the mediator's own extensions, so any answer difference is a
+    // backend bug, not a data difference.
+    let mediator = Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"]);
+    let relations = snapshot_relations(mediator.database());
+
+    let store_dir = std::env::temp_dir().join(format!("qpo-bench-backends-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = StoreBackend::open(&store_dir).expect("store opens");
+    for (name, rows) in &relations {
+        store.put_relation(name, rows).expect("store seeds");
+    }
+    store.flush().expect("store flushes");
+
+    let provider = MemProvider::new();
+    for (name, rows) in relations {
+        provider.insert(name, rows);
+    }
+    let server = SourceServer::serve(Arc::new(provider), 0).expect("loopback server binds");
+
+    let mediator = mediator.with_backends(
+        BackendRegistry::new()
+            .with("store", Arc::new(store))
+            .with("tcp", Arc::new(TcpBackend::new(server.addr().to_string()))),
+    );
+
+    let run_backend = |label: &'static str| -> (BackendMeasure, BTreeSet<_>, Vec<Vec<usize>>) {
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut attempts = 0u64;
+        let mut failed = 0usize;
+        let mut answers = BTreeSet::new();
+        let mut plans: Vec<Vec<usize>> = Vec::new();
+        for rep in 0..REPEATS {
+            let run = mediator
+                .run_concurrent_on(
+                    label,
+                    &movie_query(),
+                    &LinearCost,
+                    Strategy::Greedy,
+                    StopCondition::unbounded(),
+                    RuntimePolicy::parallel(2),
+                )
+                .unwrap_or_else(|e| panic!("{label} run: {e}"));
+            attempts += run.runtime.stats.attempts;
+            failed += run.failed();
+            for r in &run.runtime.reports {
+                for a in &r.accesses {
+                    latencies.push(a.latency);
+                }
+            }
+            if rep == 0 {
+                answers = run.runtime.answers.clone();
+                plans = run.emitted_plans();
+            } else if run.runtime.answers != answers {
+                eprintln!("FAIL: {label} answers differ between repeats");
+                std::process::exit(1);
+            }
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        (
+            BackendMeasure {
+                label,
+                attempts,
+                access_p50: percentile(&latencies, 0.50),
+                access_p95: percentile(&latencies, 0.95),
+                failed,
+                answers: answers.len(),
+                answers_match_sim: true, // filled in below
+                plans_match_sim: true,
+            },
+            answers,
+            plans,
+        )
+    };
+
+    let (mut sim, sim_answers, sim_plans) = run_backend("sim");
+    sim.answers_match_sim = true;
+    let mut results = vec![sim];
+    let mut failed = false;
+    for label in ["store", "tcp"] {
+        let (mut m, answers, plans) = run_backend(label);
+        m.answers_match_sim = answers == sim_answers;
+        m.plans_match_sim = plans == sim_plans;
+        if !m.answers_match_sim {
+            eprintln!("FAIL: {label} answers diverge from the simulator");
+            failed = true;
+        }
+        if !m.plans_match_sim {
+            eprintln!("FAIL: {label} plan emission order diverges from the simulator");
+            failed = true;
+        }
+        if m.failed > 0 {
+            eprintln!(
+                "FAIL: {label} failed {} plans against a live backend",
+                m.failed
+            );
+            failed = true;
+        }
+        results.push(m);
+    }
+
+    for r in &results {
+        println!(
+            "{:<6} attempts {:>3}  access p50 {:>9.3} / p95 {:>9.3} units  \
+             failed {:>2}  answers {:>3}  {}",
+            r.label,
+            r.attempts,
+            r.access_p50,
+            r.access_p95,
+            r.failed,
+            r.answers,
+            if r.answers_match_sim {
+                "ok"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+
+    if let Some(path) = merge_path {
+        let base = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let merged = merge_section(&base, &render_section(&results));
+        std::fs::write(&path, merged).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("merged backends section into {path}");
+    }
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn render_section(results: &[BackendMeasure]) -> String {
+    let mut s = String::from("\"backends\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"source\": \"scripts/bench.sh (crates/bench/src/bin/bench_backends.rs)\","
+    );
+    let _ = writeln!(
+        s,
+        "    \"note\": \"movie domain, greedy/linear-cost, {REPEATS} runs per backend; \
+         latencies in virtual units (sim draws them; store/tcp map wall time at 1 unit/ms)\","
+    );
+    let _ = writeln!(s, "    \"runs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "      {{ \"backend\": \"{}\", \"attempts\": {}, \"access_p50\": {:.3}, \
+             \"access_p95\": {:.3}, \"failed_plans\": {}, \"answers\": {}, \
+             \"answers_match_sim\": {} }}{comma}",
+            r.label,
+            r.attempts,
+            r.access_p50,
+            r.access_p95,
+            r.failed,
+            r.answers,
+            r.answers_match_sim,
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(
+        s,
+        "    \"gate\": \"answers and plan order bit-identical to sim on every \
+         backend; zero failed plans against live backends\""
+    );
+    s.push_str("  }");
+    s
+}
+
+/// Inserts (or refreshes) the `"backends"` section before the final
+/// closing brace of BENCH_ordering.json (after bench-sharing's merge, so
+/// `"backends"` lands last).
+fn merge_section(base: &str, section: &str) -> String {
+    let base = match base.find(",\n  \"backends\":") {
+        Some(i) => format!("{}\n}}\n", &base[..i]),
+        None => base.to_string(),
+    };
+    let trimmed = base.trim_end();
+    let without_brace = trimmed
+        .strip_suffix('}')
+        .expect("BENCH_ordering.json ends with a closing brace")
+        .trim_end();
+    format!("{without_brace},\n  {section}\n}}\n")
+}

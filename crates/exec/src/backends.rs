@@ -1,0 +1,395 @@
+//! Backend-aware mediation: the concurrent mediator loop re-run against
+//! *real* source backends instead of (only) the deterministic simulator.
+//!
+//! A [`BackendRegistry`] maps stable labels to [`SourceBackend`]
+//! implementations — `"sim"` (the default, always present), an
+//! in-process persistent [`StoreBackend`](qpo_runtime::StoreBackend),
+//! an out-of-process [`TcpBackend`](qpo_runtime::TcpBackend), or
+//! anything else implementing the trait. [`Mediator::run_concurrent_on`]
+//! resolves a label and runs the exact concurrent pipeline of
+//! [`Mediator::run_concurrent`](crate::concurrent) on it: same
+//! reformulation, same ordering, same retry/feedback/divergence stack —
+//! only the access path changes. When the backend returns tuples
+//! (store and TCP do), join evaluation uses *those* tuples, overlaid on
+//! the mediator's extensions for memo-resolved slots; when it returns
+//! none (the simulator), evaluation falls back to the static extensions,
+//! which keeps every sim run bit-identical to [`Mediator::run_concurrent`].
+//!
+//! [`snapshot_relations`] exports the mediator's materialized extensions
+//! keyed by catalog source name — the seeding bridge that lets a store or
+//! a source server answer with exactly the tuples the simulated world
+//! would have, so the cross-backend equivalence suites can demand
+//! bit-identical answer sets.
+
+use crate::concurrent::{ConcurrentRun, MediatorEvaluator};
+use crate::mediator::{build_orderer_observed, Mediator, MediatorError, StopCondition, Strategy};
+use qpo_datalog::{ConjunctiveQuery, Database, Tuple};
+use qpo_obs::{DivergenceMonitor, Obs};
+use qpo_runtime::{
+    declare_sources, observe_divergence, BackendError, Executor, PlanEvaluator, SimBackend,
+    SourceBackend, SourceGrid, SourceHealth,
+};
+use qpo_utility::UtilityMeasure;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A labeled set of [`SourceBackend`]s a mediator can execute against.
+///
+/// The registry always contains `"sim"` — the deterministic simulator the
+/// equivalence and determinism suites are pinned to. Additional backends
+/// are registered under caller-chosen labels and selected per run via
+/// [`Mediator::run_concurrent_on`] or per session via
+/// [`QuerySession::with_backend`](crate::QuerySession::with_backend).
+#[derive(Clone)]
+pub struct BackendRegistry {
+    entries: BTreeMap<String, Arc<dyn SourceBackend>>,
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        let mut entries: BTreeMap<String, Arc<dyn SourceBackend>> = BTreeMap::new();
+        entries.insert("sim".to_string(), Arc::new(SimBackend));
+        BackendRegistry { entries }
+    }
+}
+
+impl fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (label, backend) in &self.entries {
+            map.entry(label, &backend.kind());
+        }
+        map.finish()
+    }
+}
+
+impl BackendRegistry {
+    /// The default registry: just the simulator under `"sim"`.
+    pub fn new() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// Builder-style registration; later entries win on label collision.
+    pub fn with(mut self, label: impl Into<String>, backend: Arc<dyn SourceBackend>) -> Self {
+        self.register(label, backend);
+        self
+    }
+
+    /// Registers `backend` under `label`, replacing any previous entry.
+    pub fn register(&mut self, label: impl Into<String>, backend: Arc<dyn SourceBackend>) {
+        self.entries.insert(label.into(), backend);
+    }
+
+    /// The backend registered under `label`.
+    pub fn get(&self, label: &str) -> Option<Arc<dyn SourceBackend>> {
+        self.entries.get(label).cloned()
+    }
+
+    /// Registered labels, sorted.
+    pub fn labels(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Whether `label` is registered.
+    pub fn contains(&self, label: &str) -> bool {
+        self.entries.contains_key(label)
+    }
+}
+
+/// Exports `db`'s relations as `(source name, rows)` pairs, sorted by
+/// name — the seeding bridge from the mediator's materialized extensions
+/// to a [`StoreBackend`](qpo_runtime::StoreBackend) or a
+/// [`SourceServer`](qpo_runtime::SourceServer) provider. Rows come out in
+/// the extensions' canonical (BTreeSet) order, so two backends seeded
+/// from the same database serve byte-identical relations.
+pub fn snapshot_relations(db: &Database) -> Vec<(String, Vec<Tuple>)> {
+    db.predicates()
+        .map(|name| {
+            (
+                name.to_string(),
+                db.tuples(name).cloned().collect::<Vec<Tuple>>(),
+            )
+        })
+        .collect()
+}
+
+/// The backend-aware [`PlanEvaluator`]: soundness and the simulated
+/// evaluation path delegate to the plain [`MediatorEvaluator`]; when the
+/// backend returned tuples for at least one bucket, evaluation joins
+/// *those* tuples (falling back to the mediator's extensions for
+/// memo-resolved or data-less slots) instead of the static database.
+pub(crate) struct BackendEvaluator<'a> {
+    pub(crate) base: MediatorEvaluator<'a>,
+}
+
+impl PlanEvaluator for BackendEvaluator<'_> {
+    fn is_sound(&self, plan: &[usize]) -> bool {
+        self.base.is_sound(plan)
+    }
+
+    fn evaluate(&self, plan: &[usize]) -> Vec<Tuple> {
+        self.base.evaluate(plan)
+    }
+
+    fn evaluate_fetched(&self, plan: &[usize], fetched: &[Option<Arc<Vec<Tuple>>>]) -> Vec<Tuple> {
+        if fetched.iter().all(Option::is_none) {
+            // The simulator (and fully memo-resolved plans): the static
+            // extensions are the world. This arm keeps sim runs
+            // bit-identical to the pre-backend pipeline.
+            return self.base.evaluate(plan);
+        }
+        let sources = self.base.reform.plan_sources(plan);
+        let mut overlay = Database::new();
+        for (slot, name) in sources.iter().enumerate() {
+            match fetched.get(slot).and_then(Option::as_ref) {
+                Some(rows) => {
+                    for t in rows.iter() {
+                        overlay.insert(name, t.clone());
+                    }
+                }
+                // Memo-resolved slot: the terminal outcome was cached but
+                // no live rows rode along, so the extensions stand in —
+                // they are what seeded the backend in the first place.
+                None => {
+                    for t in self.base.db.tuples(name) {
+                        overlay.insert(name, t.clone());
+                    }
+                }
+            }
+        }
+        overlay
+            .evaluate(&self.base.reform.plan_query(plan))
+            .into_iter()
+            .collect()
+    }
+}
+
+impl Mediator {
+    /// [`Mediator::run_concurrent`](crate::concurrent) against the
+    /// backend registered under `label` (see
+    /// [`Mediator::with_backends`]). `"sim"` reproduces
+    /// `run_concurrent` bit for bit; other labels execute every source
+    /// access through the named backend — real I/O, measured wall latency
+    /// mapped onto the virtual clock, and typed
+    /// [`BackendError`](qpo_runtime::BackendError)s classified
+    /// transient/permanent and fed to the same retry, feedback, and
+    /// divergence machinery as simulated faults.
+    pub fn run_concurrent_on<M: UtilityMeasure>(
+        &self,
+        label: &str,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        stop: StopCondition,
+        policy: qpo_runtime::RuntimePolicy,
+    ) -> Result<ConcurrentRun, MediatorError> {
+        self.run_concurrent_on_observed(label, query, measure, strategy, stop, policy, &Obs::new())
+    }
+
+    /// [`Mediator::run_concurrent_on`] with a shared observability
+    /// bundle; the run's metrics and journal events carry a
+    /// `backend` label with the backend's kind.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_concurrent_on_observed<M: UtilityMeasure>(
+        &self,
+        label: &str,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        stop: StopCondition,
+        policy: qpo_runtime::RuntimePolicy,
+        obs: &Obs,
+    ) -> Result<ConcurrentRun, MediatorError> {
+        let backend = self.backends().get(label).ok_or_else(|| {
+            MediatorError::Backend(BackendError::permanent(format!(
+                "no backend registered under label {label:?} (have {:?})",
+                self.backends().labels()
+            )))
+        })?;
+        self.run_concurrent_with(backend, query, measure, strategy, stop, policy, obs)
+    }
+
+    /// The shared concurrent pipeline, parameterized by the backend every
+    /// source access dispatches through. `run_concurrent_observed`
+    /// passes [`SimBackend`]; `run_concurrent_on_observed` passes a
+    /// registry entry.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_concurrent_with<M: UtilityMeasure>(
+        &self,
+        backend: Arc<dyn SourceBackend>,
+        query: &ConjunctiveQuery,
+        measure: &M,
+        strategy: Strategy,
+        stop: StopCondition,
+        policy: qpo_runtime::RuntimePolicy,
+        obs: &Obs,
+    ) -> Result<ConcurrentRun, MediatorError> {
+        let prepared = self.prepare(query)?;
+        let mut orderer = build_orderer_observed(&prepared.instance, measure, strategy, obs)?;
+        obs.registry
+            .counter(
+                "qpo_mediator_runs_total",
+                &[("orderer", orderer.algorithm_name())],
+            )
+            .inc();
+        let grid = SourceGrid::from_instance(&prepared.instance);
+        let eval = BackendEvaluator {
+            base: MediatorEvaluator {
+                reform: &prepared.reformulation,
+                db: self.database(),
+                view_map: self.catalog().view_map(),
+                soundness_errors: obs.registry.counter("qpo_soundness_test_errors_total", &[]),
+            },
+        };
+        let runtime = Executor::new(&grid, &eval, policy)
+            .with_backend(backend)
+            .with_obs(obs)
+            .run(orderer.as_mut(), stop.into());
+        let mut health = SourceHealth::new();
+        health.record_run(&runtime.reports);
+        // Same replay discipline as `run_concurrent_observed`: the drift
+        // monitor consumes the reports in emission order, so its gauges
+        // are recomputable bit-for-bit from the journal — for real
+        // backends included, whose failures ride the same
+        // transient/permanent outcome labels.
+        let mut divergence = DivergenceMonitor::new(obs);
+        declare_sources(&mut divergence, &grid);
+        for report in &runtime.reports {
+            observe_divergence(&mut divergence, report);
+        }
+        Ok(ConcurrentRun {
+            runtime,
+            health,
+            divergence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+    use qpo_runtime::{MemProvider, RuntimePolicy, StoreBackend};
+    use qpo_utility::LinearCost;
+
+    fn mediator() -> Mediator {
+        Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"])
+    }
+
+    #[test]
+    fn registry_defaults_to_sim_and_replaces_on_collision() {
+        let reg = BackendRegistry::new();
+        assert!(reg.contains("sim"));
+        assert_eq!(reg.labels(), vec!["sim"]);
+        assert_eq!(reg.get("sim").unwrap().kind(), "sim");
+        assert!(reg.get("tcp").is_none());
+        let reg = reg.with("x", Arc::new(SimBackend)).with(
+            "x",
+            Arc::new(SimBackend), // replaces, no duplicate
+        );
+        assert_eq!(reg.labels(), vec!["sim", "x"]);
+        assert!(format!("{reg:?}").contains("\"sim\""));
+    }
+
+    #[test]
+    fn unknown_label_is_a_typed_backend_error() {
+        let m = mediator();
+        let err = m
+            .run_concurrent_on(
+                "nope",
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::serial(),
+            )
+            .err()
+            .unwrap();
+        assert!(matches!(err, MediatorError::Backend(_)), "{err}");
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn sim_label_matches_run_concurrent_bit_for_bit() {
+        let m = mediator();
+        let a = m
+            .run_concurrent(
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::parallel(3),
+            )
+            .unwrap();
+        let b = m
+            .run_concurrent_on(
+                "sim",
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::parallel(3),
+            )
+            .unwrap();
+        assert_eq!(a.runtime.answers, b.runtime.answers);
+        assert_eq!(a.emitted_plans(), b.emitted_plans());
+        assert_eq!(
+            a.runtime.stats.virtual_time.to_bits(),
+            b.runtime.stats.virtual_time.to_bits()
+        );
+    }
+
+    #[test]
+    fn store_backend_answers_match_the_simulator() {
+        let m = mediator();
+        let dir = std::env::temp_dir().join(format!(
+            "qpo-exec-backends-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StoreBackend::open(&dir).unwrap();
+        for (name, rows) in snapshot_relations(m.database()) {
+            store.put_relation(&name, &rows).unwrap();
+        }
+        store.flush().unwrap();
+        let m = m.with_backends(BackendRegistry::new().with("store", Arc::new(store)));
+        let sim = m
+            .run_concurrent(
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::parallel(2),
+            )
+            .unwrap();
+        let real = m
+            .run_concurrent_on(
+                "store",
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::parallel(2),
+            )
+            .unwrap();
+        assert_eq!(sim.runtime.answers, real.runtime.answers);
+        assert_eq!(sim.emitted_plans(), real.emitted_plans());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_a_provider() {
+        let m = mediator();
+        let snap = snapshot_relations(m.database());
+        assert!(!snap.is_empty());
+        let provider = MemProvider::new();
+        let mut total = 0usize;
+        for (name, rows) in &snap {
+            total += rows.len();
+            provider.insert(name.clone(), rows.clone());
+        }
+        assert_eq!(total, m.database().total_facts());
+    }
+}

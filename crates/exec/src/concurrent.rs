@@ -15,14 +15,11 @@
 //!   carries on, so a permanently-down source costs exactly the answers
 //!   only it could deliver.
 
-use crate::mediator::{build_orderer_observed, Mediator, MediatorError, StopCondition, Strategy};
+use crate::mediator::{Mediator, MediatorError, StopCondition, Strategy};
 use qpo_datalog::{is_sound_plan, ConjunctiveQuery, Database, SourceDescription, Tuple};
 use qpo_obs::{Counter, DivergenceMonitor, Obs};
 use qpo_reformulation::Reformulation;
-use qpo_runtime::{
-    declare_sources, observe_divergence, Executor, PlanEvaluator, RunBudget, RuntimePolicy,
-    RuntimeRun, SourceGrid, SourceHealth,
-};
+use qpo_runtime::{PlanEvaluator, RunBudget, RuntimePolicy, RuntimeRun, SourceHealth};
 use qpo_utility::UtilityMeasure;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -142,40 +139,19 @@ impl Mediator {
         policy: RuntimePolicy,
         obs: &Obs,
     ) -> Result<ConcurrentRun, MediatorError> {
-        let prepared = self.prepare(query)?;
-        let mut orderer = build_orderer_observed(&prepared.instance, measure, strategy, obs)?;
-        obs.registry
-            .counter(
-                "qpo_mediator_runs_total",
-                &[("orderer", orderer.algorithm_name())],
-            )
-            .inc();
-        let grid = SourceGrid::from_instance(&prepared.instance);
-        let eval = MediatorEvaluator {
-            reform: &prepared.reformulation,
-            db: self.database(),
-            view_map: self.catalog().view_map(),
-            soundness_errors: obs.registry.counter("qpo_soundness_test_errors_total", &[]),
-        };
-        let runtime = Executor::new(&grid, &eval, policy)
-            .with_obs(obs)
-            .run(orderer.as_mut(), stop.into());
-        let mut health = SourceHealth::new();
-        health.record_run(&runtime.reports);
-        // The drift monitor replays the reports in emission order — the
-        // same sequence the trace records — so its estimators (and the
-        // gauges they export onto `obs.registry`) are recomputable
-        // bit-for-bit from the journal alone.
-        let mut divergence = DivergenceMonitor::new(obs);
-        declare_sources(&mut divergence, &grid);
-        for report in &runtime.reports {
-            observe_divergence(&mut divergence, report);
-        }
-        Ok(ConcurrentRun {
-            runtime,
-            health,
-            divergence,
-        })
+        // The simulator instantiation of the shared backend pipeline
+        // (see `crate::backends`): all-`None` fetched slots make
+        // `BackendEvaluator` evaluate against the static extensions, so
+        // this path is bit-identical to the pre-backend executor.
+        self.run_concurrent_with(
+            Arc::new(qpo_runtime::SimBackend),
+            query,
+            measure,
+            strategy,
+            stop,
+            policy,
+            obs,
+        )
     }
 }
 

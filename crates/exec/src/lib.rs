@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod anyk;
+pub mod backends;
 pub mod concurrent;
 pub mod extensions;
 pub mod mediator;
@@ -20,6 +21,7 @@ pub mod session;
 pub mod sharing;
 
 pub use anyk::{offline_ranked_answers, ranked_join_for_plan, AnyKRun};
+pub use backends::{snapshot_relations, BackendRegistry};
 pub use concurrent::ConcurrentRun;
 pub use extensions::{populate_sources, try_populate_sources, ExtensionError};
 pub use mediator::{

@@ -165,6 +165,11 @@ pub enum MediatorError {
     Reformulation(ReformulationError),
     /// The chosen strategy does not apply to the measure.
     Orderer(OrdererError),
+    /// A source-backend operation failed outside plan execution — an
+    /// unknown registry label, or a session-side fetch. (Failures *during*
+    /// plan execution never surface here: they are classified, retried,
+    /// and reported per plan by the runtime.)
+    Backend(qpo_runtime::BackendError),
 }
 
 impl fmt::Display for MediatorError {
@@ -172,6 +177,7 @@ impl fmt::Display for MediatorError {
         match self {
             MediatorError::Reformulation(e) => write!(f, "reformulation failed: {e}"),
             MediatorError::Orderer(e) => write!(f, "ordering failed: {e}"),
+            MediatorError::Backend(e) => write!(f, "backend failed: {e}"),
         }
     }
 }
@@ -259,6 +265,7 @@ pub struct Mediator {
     catalog: Arc<Catalog>,
     db: Arc<Database>,
     cache: Arc<ReformulationCache>,
+    backends: Arc<crate::backends::BackendRegistry>,
     obs: Obs,
 }
 
@@ -273,8 +280,23 @@ impl Mediator {
             catalog: Arc::new(catalog),
             db: Arc::new(db),
             cache: Arc::new(cache),
+            backends: Arc::new(crate::backends::BackendRegistry::default()),
             obs,
         }
+    }
+
+    /// Replaces the mediator's backend registry (default: only the
+    /// simulator, under `"sim"`). Runs select a backend by label via
+    /// [`Mediator::run_concurrent_on`]; sessions via
+    /// [`QuerySession::with_backend`](crate::QuerySession::with_backend).
+    pub fn with_backends(mut self, backends: crate::backends::BackendRegistry) -> Self {
+        self.backends = Arc::new(backends);
+        self
+    }
+
+    /// The registered source backends.
+    pub fn backends(&self) -> &crate::backends::BackendRegistry {
+        &self.backends
     }
 
     /// Rebinds the mediator's telemetry to `obs`: session metrics, cache

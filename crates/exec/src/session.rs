@@ -38,11 +38,26 @@ use qpo_core::{utility_cmp, Naive, OrderedPlan, PlanOrderer, PlanOutcome};
 use qpo_datalog::{Database, SourceDescription, Tuple};
 use qpo_obs::{encode_plan, Counter, Histogram, Obs, QualitySnapshot, QualityTracker, Value};
 use qpo_reformulation::PreparedQuery;
+use qpo_runtime::{
+    AccessContext, BackendError, FaultConfig, SourceBackend, SourceGrid, SCAN_PATTERN,
+};
 use qpo_utility::UtilityMeasure;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The per-session state of a real source backend attached with
+/// [`QuerySession::with_backend`]: the resolved backend, the source grid
+/// the prepared query induces (names/buckets match the concurrent
+/// executor's), and a per-source fetch cache so each relation crosses
+/// the backend once per session, however many plans join it.
+struct SessionBackend {
+    backend: Arc<dyn SourceBackend>,
+    grid: SourceGrid,
+    faults: FaultConfig,
+    fetched: BTreeMap<Arc<str>, Arc<Vec<Tuple>>>,
+}
 
 /// The per-session state of the tuple-level any-k stream, created lazily
 /// on the first [`QuerySession::next_tuple`] pull.
@@ -119,6 +134,10 @@ pub struct QuerySession<'s> {
     // The offline exact ranked answer list (scores only), built lazily on
     // the first tuple-quality observation.
     tuple_oracle: Option<Vec<f64>>,
+    // A real source backend to pull join tuples from (None = the static
+    // extensions, the default and the `"sim"` label's behavior).
+    backends: crate::backends::BackendRegistry,
+    backend: Option<SessionBackend>,
     // Shared-execution memo (None = every plan evaluates from scratch)
     // plus the session-cumulative reuse counters surfaced on the board.
     memo: Option<ExecutionMemo>,
@@ -183,6 +202,8 @@ impl<'s> QuerySession<'s> {
             pending_scorer: None,
             tuple_quality: None,
             tuple_oracle: None,
+            backends: mediator.backends().clone(),
+            backend: None,
             memo: None,
             memo_hits: 0,
             subplans_reused: 0,
@@ -229,6 +250,74 @@ impl<'s> QuerySession<'s> {
     /// [`with_quality`](Self::with_quality) enabled tracking.
     pub fn quality(&self) -> Option<QualitySnapshot> {
         self.quality.as_ref().map(|q| q.snapshot())
+    }
+
+    /// Routes this session's join tuples through the backend registered
+    /// under `label` on the mediator (see
+    /// [`Mediator::with_backends`](crate::Mediator::with_backends)): each
+    /// plan's relations are fetched from the backend — once per source,
+    /// cached for the session — and evaluation joins the fetched rows
+    /// instead of the static extensions. Sources the backend cannot serve
+    /// (a typed [`BackendError`], transient or permanent — a session has
+    /// no retry loop) contribute an *empty* relation, so their plans
+    /// produce no answers but the session carries on, mirroring the
+    /// concurrent path's graceful degradation. `"sim"` (and any backend
+    /// of kind `"sim"`) leaves the session on the extensions untouched —
+    /// the serial path stays bit-identical to an unbackended session.
+    /// Tuple-level any-k streaming always ranks over the extensions.
+    ///
+    /// Fails fast when `label` is not registered.
+    pub fn with_backend(mut self, label: &str) -> Result<Self, MediatorError> {
+        let backend = self.backends.get(label).ok_or_else(|| {
+            MediatorError::Backend(BackendError::permanent(format!(
+                "no backend registered under label {label:?} (have {:?})",
+                self.backends.labels()
+            )))
+        })?;
+        self.backend = (backend.kind() != "sim").then(|| SessionBackend {
+            grid: SourceGrid::from_instance(&self.prepared.instance),
+            backend,
+            faults: FaultConfig::disabled(),
+            fetched: BTreeMap::new(),
+        });
+        Ok(self)
+    }
+
+    /// Builds the plan's evaluation database from the attached backend:
+    /// every source of `plan` resolves to its fetched rows (served from
+    /// the session cache after the first fetch; unfetchable sources
+    /// resolve to the empty relation; backends that return no data — the
+    /// simulator — fall back to the extensions). `None` without an
+    /// attached real backend.
+    fn backend_overlay(&mut self, plan: &[usize]) -> Option<Database> {
+        let sess = self.backend.as_mut()?;
+        let mut overlay = Database::new();
+        for (bucket, &index) in plan.iter().enumerate() {
+            let svc = sess.grid.service(bucket, index);
+            let rows = match sess.fetched.get(&svc.name) {
+                Some(rows) => rows.clone(),
+                None => {
+                    let ctx = AccessContext {
+                        pattern: SCAN_PATTERN,
+                        plan_seq: 0,
+                        attempt: 1,
+                        faults: &sess.faults,
+                    };
+                    let rows = match sess.backend.access(svc, &ctx) {
+                        Ok(reply) => reply.tuples.unwrap_or_else(|| {
+                            Arc::new(self.db.tuples(&svc.name).cloned().collect())
+                        }),
+                        Err(_) => Arc::new(Vec::new()),
+                    };
+                    sess.fetched.insert(svc.name.clone(), rows.clone());
+                    rows
+                }
+            };
+            for t in rows.iter() {
+                overlay.insert(svc.name.as_ref(), t.clone());
+            }
+        }
+        Some(overlay)
     }
 
     /// Attaches a shared-execution memo: sound plans seed their joins
@@ -363,11 +452,13 @@ impl<'s> QuerySession<'s> {
                 ],
             );
         }
+        let overlay = self.backend_overlay(&ordered.plan);
+        let db = overlay.as_ref().unwrap_or(self.db);
         let (report, reused) = match &self.memo {
             Some(memo) => execute_plan_memoized(
                 &self.prepared.reformulation,
                 &self.view_map,
-                self.db,
+                db,
                 &mut self.answers,
                 ordered,
                 memo,
@@ -376,7 +467,7 @@ impl<'s> QuerySession<'s> {
                 execute_plan(
                     &self.prepared.reformulation,
                     &self.view_map,
-                    self.db,
+                    db,
                     &mut self.answers,
                     ordered,
                 ),
@@ -891,6 +982,37 @@ mod tests {
         s2.next_report().unwrap();
         drop(s2);
         qpo_obs::validate_trace(&obs.journal.to_jsonl()).expect("multi-run trace still validates");
+    }
+
+    #[test]
+    fn store_backed_session_matches_the_extensions() {
+        use crate::backends::{snapshot_relations, BackendRegistry};
+        let dir = std::env::temp_dir().join(format!("qpo-session-backend-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = qpo_runtime::StoreBackend::open(&dir).unwrap();
+        let m = mediator();
+        for (name, rows) in snapshot_relations(m.database()) {
+            store.put_relation(&name, &rows).unwrap();
+        }
+        let m = m.with_backends(BackendRegistry::new().with("store", Arc::new(store)));
+        let prepared = m.prepare(&movie_query()).unwrap();
+        let plain = QuerySession::new(&m, &prepared, &LinearCost, Strategy::Greedy)
+            .unwrap()
+            .drain(StopCondition::unbounded());
+        let mut backed = QuerySession::new(&m, &prepared, &LinearCost, Strategy::Greedy)
+            .unwrap()
+            .with_backend("store")
+            .unwrap();
+        let backed_run = backed.drain(StopCondition::unbounded());
+        assert_eq!(plain.answers, backed_run.answers);
+        assert_eq!(plain.reports.len(), backed_run.reports.len());
+        // "sim" is a no-op attach; unknown labels fail fast.
+        let s = QuerySession::new(&m, &prepared, &LinearCost, Strategy::Greedy).unwrap();
+        assert!(s.with_backend("sim").is_ok());
+        let s = QuerySession::new(&m, &prepared, &LinearCost, Strategy::Greedy).unwrap();
+        let err = s.with_backend("nope").err().unwrap();
+        assert!(matches!(err, MediatorError::Backend(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

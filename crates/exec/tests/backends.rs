@@ -1,0 +1,197 @@
+//! Cross-backend equivalence and robustness: the same query, executed
+//! through the simulator, an in-process persistent store, and a loopback
+//! TCP source server, must return bit-identical answer sets — and a
+//! server dying mid-serving must degrade the run gracefully through the
+//! existing retry/backoff/divergence stack, never abort it.
+//!
+//! The TCP tests honor `QPO_SOURCE_SERVER_ADDR` (set by `scripts/ci.sh`,
+//! pointing at an out-of-process `qpo-source-server`); without it they
+//! fall back to an in-process [`SourceServer`] seeded from the same
+//! extensions.
+
+use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
+use qpo_exec::{snapshot_relations, BackendRegistry, Mediator, StopCondition, Strategy};
+use qpo_runtime::{
+    MemProvider, RetryPolicy, RuntimePolicy, SourceServer, StoreBackend, TcpBackend,
+};
+use qpo_utility::{Coverage, LinearCost};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn mediator() -> Mediator {
+    Mediator::new(movie_domain(), MOVIE_UNIVERSE, &["ford"])
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpo-backends-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A live wire address: the CI-provided server when
+/// `QPO_SOURCE_SERVER_ADDR` is set, else an in-process one seeded with
+/// the same movie-domain extensions (the guard keeps it alive).
+fn server_addr(m: &Mediator) -> (String, Option<SourceServer>) {
+    if let Ok(addr) = std::env::var("QPO_SOURCE_SERVER_ADDR") {
+        if !addr.trim().is_empty() {
+            return (addr.trim().to_string(), None);
+        }
+    }
+    let provider = MemProvider::new();
+    for (name, rows) in snapshot_relations(m.database()) {
+        provider.insert(name, rows);
+    }
+    let server = SourceServer::serve(Arc::new(provider), 0).expect("loopback bind");
+    (server.addr().to_string(), Some(server))
+}
+
+#[test]
+fn answers_are_bit_identical_across_sim_store_and_tcp() {
+    let m = mediator();
+    let dir = scratch_dir("tri");
+    let store = StoreBackend::open(&dir).unwrap();
+    for (name, rows) in snapshot_relations(m.database()) {
+        store.put_relation(&name, &rows).unwrap();
+    }
+    store.flush().unwrap();
+    let (addr, _guard) = server_addr(&m);
+    let m = m.with_backends(
+        BackendRegistry::new()
+            .with("store", Arc::new(store))
+            .with("tcp", Arc::new(TcpBackend::new(addr))),
+    );
+    let run = |label: &str| {
+        m.run_concurrent_on(
+            label,
+            &movie_query(),
+            &LinearCost,
+            Strategy::Greedy,
+            StopCondition::unbounded(),
+            RuntimePolicy::parallel(2),
+        )
+        .unwrap()
+    };
+    let sim = run("sim");
+    let store = run("store");
+    let tcp = run("tcp");
+    assert_eq!(sim.runtime.reports.len(), 9, "the full Figure 1 plan space");
+    assert_eq!(sim.runtime.answers, store.runtime.answers, "sim vs store");
+    assert_eq!(sim.runtime.answers, tcp.runtime.answers, "sim vs tcp");
+    assert_eq!(sim.emitted_plans(), store.emitted_plans());
+    assert_eq!(sim.emitted_plans(), tcp.emitted_plans());
+    assert_eq!(store.failed(), 0, "store accesses all succeed");
+    assert_eq!(tcp.failed(), 0, "tcp accesses all succeed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_survives_close_and_reopen() {
+    let m = mediator();
+    let dir = scratch_dir("reopen");
+    let baseline = {
+        let store = StoreBackend::open(&dir).unwrap();
+        for (name, rows) in snapshot_relations(m.database()) {
+            store.put_relation(&name, &rows).unwrap();
+        }
+        store.flush().unwrap();
+        let m2 = m
+            .clone()
+            .with_backends(BackendRegistry::new().with("store", Arc::new(store)));
+        m2.run_concurrent_on(
+            "store",
+            &movie_query(),
+            &Coverage,
+            Strategy::Streamer,
+            StopCondition::unbounded(),
+            RuntimePolicy::serial(),
+        )
+        .unwrap()
+        .runtime
+        .answers
+        // store dropped here: files closed
+    };
+    assert!(!baseline.is_empty());
+    let reopened = StoreBackend::open(&dir).unwrap();
+    assert!(reopened.records() > 0, "reopen replays the log");
+    let m = m.with_backends(BackendRegistry::new().with("store", Arc::new(reopened)));
+    let after = m
+        .run_concurrent_on(
+            "store",
+            &movie_query(),
+            &Coverage,
+            Strategy::Streamer,
+            StopCondition::unbounded(),
+            RuntimePolicy::serial(),
+        )
+        .unwrap();
+    assert_eq!(after.runtime.answers, baseline, "reopen preserves answers");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_death_mid_serving_degrades_gracefully() {
+    // An in-process server (never the CI one — this test kills it).
+    let m = mediator();
+    let provider = MemProvider::new();
+    for (name, rows) in snapshot_relations(m.database()) {
+        provider.insert(name, rows);
+    }
+    let mut server = SourceServer::serve(Arc::new(provider), 0).expect("loopback bind");
+    let addr = server.addr().to_string();
+    let m = m.with_backends(BackendRegistry::new().with("tcp", Arc::new(TcpBackend::new(addr))));
+    let retry = RetryPolicy::standard();
+    assert!(retry.max_attempts > 1, "retries are what we are testing");
+    let run = |m: &Mediator| {
+        m.run_concurrent_on(
+            "tcp",
+            &movie_query(),
+            &LinearCost,
+            Strategy::Greedy,
+            StopCondition::unbounded(),
+            RuntimePolicy::parallel(2).with_retry(retry),
+        )
+        .unwrap()
+    };
+
+    // Alive: everything answers.
+    let alive = run(&m);
+    assert_eq!(alive.failed(), 0);
+    assert!(!alive.runtime.answers.is_empty());
+
+    // Kill the server; the same backend now meets connection refusals.
+    server.stop();
+    let dead = run(&m);
+    assert_eq!(dead.runtime.reports.len(), 9, "the run completes");
+    assert_eq!(dead.executed(), 0, "no plan can answer");
+    assert_eq!(dead.failed(), 9, "every plan fails, none aborts the run");
+    assert!(dead.runtime.answers.is_empty());
+    // The retry/backoff stack engaged: every access chain burned its full
+    // transient-retry budget...
+    assert_eq!(
+        dead.runtime.stats.transient_failures, dead.runtime.stats.attempts,
+        "every attempt failed transiently"
+    );
+    for report in &dead.runtime.reports {
+        for access in &report.accesses {
+            assert_eq!(access.attempts, retry.max_attempts);
+            assert!(
+                access.latency > 0.0,
+                "backoff and connect latency are charged"
+            );
+        }
+    }
+    // ...and the divergence gauges react: observed transient rate towers
+    // over the declared one for every accessed source.
+    let mut drifted = 0;
+    for (_, drift) in dead.divergence.iter() {
+        if drift.attempts == 0 {
+            continue;
+        }
+        let transient = drift
+            .transient_divergence()
+            .expect("attempts imply an observation");
+        assert!(transient > 0.5, "divergence {transient} should spike");
+        drifted += 1;
+    }
+    assert!(drifted > 0, "at least one source drifted");
+}

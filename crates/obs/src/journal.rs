@@ -513,6 +513,23 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
                 ));
             }
         }
+        // Backend-labeled attempts (PR 9): a `source_attempt` behind a
+        // typed backend error journals the classification; when present
+        // it must be one of the two classes the runtime defines.
+        if kind == "source_attempt" {
+            if let Some(class) = get("error_class") {
+                match class {
+                    Json::String(s) if s == "transient" || s == "permanent" => {}
+                    other => {
+                        return Err(format!(
+                            "line {}: \"source_attempt\" carries invalid \"error_class\" \
+                             {other:?} (expected \"transient\" or \"permanent\")",
+                            lineno + 1
+                        ));
+                    }
+                }
+            }
+        }
         if kind == "source_declared" {
             if !matches!(get("source"), Some(Json::String(_))) {
                 return Err(format!(
@@ -745,6 +762,38 @@ mod tests {
             "{\"seq\":5,\"clock\":0,\"kind\":\"tuple_emitted\",\"plan_seq\":0,\"score\":9}\n",
         );
         assert!(validate_trace(two_runs).is_ok());
+    }
+
+    #[test]
+    fn validate_checks_source_attempt_error_class() {
+        // Backend errors carry a typed classification; only the two
+        // recognized labels validate (absent is fine — sim attempts
+        // don't classify).
+        let ok = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"source_attempt\",\"plan_seq\":0,\"source\":\"s0\",\"outcome\":\"transient\",\"error_class\":\"transient\",\"error\":\"connect refused\"}\n",
+            "{\"seq\":2,\"clock\":1,\"kind\":\"source_attempt\",\"plan_seq\":0,\"source\":\"s0\",\"outcome\":\"permanent\",\"error_class\":\"permanent\",\"error\":\"unknown source\"}\n",
+            "{\"seq\":3,\"clock\":1,\"kind\":\"source_attempt\",\"plan_seq\":0,\"source\":\"s1\",\"outcome\":\"ok\"}\n",
+            "{\"seq\":4,\"clock\":2,\"kind\":\"plan_completed\",\"plan_seq\":0}\n",
+        );
+        let report = validate_trace(ok).expect("classified attempts validate");
+        assert_eq!(report.count("source_attempt"), 3);
+
+        let bad_label = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"source_attempt\",\"plan_seq\":0,\"source\":\"s0\",\"outcome\":\"transient\",\"error_class\":\"flaky\"}\n",
+        );
+        let err = validate_trace(bad_label).unwrap_err();
+        assert!(err.contains("error_class"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+
+        let wrong_type = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"source_attempt\",\"plan_seq\":0,\"source\":\"s0\",\"outcome\":\"transient\",\"error_class\":3}\n",
+        );
+        assert!(validate_trace(wrong_type)
+            .unwrap_err()
+            .contains("error_class"));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! `lookahead − 1` plans past the serial stopping point — the usual price
 //! of speculation. Use `lookahead = 1` for exact answer-budget parity.
 
+use crate::backend::{AccessContext, BackendErrorClass, SimBackend, SourceBackend};
 use crate::memo::{MemoHit, MemoOutcome, SourceMemo, SCAN_PATTERN};
 use crate::policy::{RetryPolicy, RuntimePolicy};
 use crate::source::{AccessOutcome, SourceGrid, SourceService};
@@ -39,6 +40,7 @@ use qpo_core::{OrderedPlan, PlanOrderer, PlanOutcome};
 use qpo_datalog::Tuple;
 use qpo_obs::{Counter, Gauge, Histogram, Obs, Value};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Evaluates concrete plans against the integration system's data; the
@@ -51,6 +53,18 @@ pub trait PlanEvaluator: Sync {
 
     /// Evaluates the plan's conjunctive query, returning its answers.
     fn evaluate(&self, plan: &[usize]) -> Vec<Tuple>;
+
+    /// Evaluates the plan given the tuples the backend returned for each
+    /// bucket (`None` for buckets the backend holds no data for — the
+    /// simulator, and memo-resolved slots). The default ignores the
+    /// fetched data and evaluates against the implementation's own
+    /// database, which is exactly the simulated world's contract;
+    /// data-serving backends are handled by evaluators that override
+    /// this (qpo-exec's backend evaluator).
+    fn evaluate_fetched(&self, plan: &[usize], fetched: &[Option<Arc<Vec<Tuple>>>]) -> Vec<Tuple> {
+        let _ = fetched;
+        self.evaluate(plan)
+    }
 }
 
 /// A hook into the coordinator's deterministic wave loop, called only
@@ -273,6 +287,10 @@ struct AttemptEvent {
     backoff: f64,
     latency: f64,
     outcome: &'static str,
+    /// Backend infrastructure failure behind this attempt, when there was
+    /// one: `(class label, message)`. Journalled as `error_class`/`error`
+    /// so the typed classification survives into the trace.
+    error: Option<(&'static str, String)>,
 }
 
 struct Completion {
@@ -284,6 +302,10 @@ struct Completion {
     failure: Option<FailureReason>,
     /// Per-attempt records, populated only when the journal is enabled.
     trace: Vec<AttemptEvent>,
+    /// Backend infrastructure errors across all attempts, by class —
+    /// counted here so the metric lands on the coordinator like every
+    /// other run metric.
+    backend_errors: [u64; 2],
 }
 
 /// Registry handles the executor updates as it merges completions. The
@@ -302,16 +324,25 @@ struct RunMetrics {
     memo_hits: Counter,
     memo_misses: Counter,
     memo_bytes: Gauge,
+    /// Backend infrastructure errors by class, labeled with the backend
+    /// kind: `[transient, permanent]`.
+    backend_errors: [Counter; 2],
 }
 
 impl RunMetrics {
-    fn registered(obs: &Obs) -> Self {
+    fn registered(obs: &Obs, backend: &'static str) -> Self {
         let c = |name| obs.registry.counter(name, &[]);
         let status = |s| {
             obs.registry
                 .counter("qpo_runtime_plans_total", &[("status", s)])
         };
         let memo = |name| obs.registry.counter(name, &[("layer", "source")]);
+        let backend_error = |class| {
+            obs.registry.counter(
+                "qpo_backend_errors_total",
+                &[("backend", backend), ("class", class)],
+            )
+        };
         RunMetrics {
             attempts: c("qpo_runtime_attempts_total"),
             transient_failures: c("qpo_runtime_transient_failures_total"),
@@ -327,6 +358,10 @@ impl RunMetrics {
             memo_hits: memo("qpo_memo_hits_total"),
             memo_misses: memo("qpo_memo_misses_total"),
             memo_bytes: obs.registry.gauge("qpo_memo_bytes", &[("layer", "source")]),
+            backend_errors: [
+                backend_error(BackendErrorClass::Transient.label()),
+                backend_error(BackendErrorClass::Permanent.label()),
+            ],
         }
     }
 }
@@ -339,11 +374,14 @@ pub struct Executor<'a, E: PlanEvaluator> {
     policy: RuntimePolicy,
     obs: Obs,
     memo: Option<SourceMemo>,
+    backend: Arc<dyn SourceBackend>,
 }
 
 impl<'a, E: PlanEvaluator> Executor<'a, E> {
     /// Creates an executor with a private observability bundle (metrics
     /// still accumulate and can be read back via [`Executor::obs`]).
+    /// Accesses run against [`SimBackend`] unless
+    /// [`Executor::with_backend`] swaps in another world.
     pub fn new(grid: &'a SourceGrid, eval: &'a E, policy: RuntimePolicy) -> Self {
         Executor {
             grid,
@@ -351,7 +389,22 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             policy,
             obs: Obs::new(),
             memo: None,
+            backend: Arc::new(SimBackend),
         }
+    }
+
+    /// Routes every source access through `backend` instead of the
+    /// default deterministic simulator. Real backends report measured
+    /// wall latency mapped onto the virtual-time axis, so traces keep
+    /// their structure but stop being replayable bit-for-bit.
+    pub fn with_backend(mut self, backend: Arc<dyn SourceBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend accesses run against.
+    pub fn backend(&self) -> &Arc<dyn SourceBackend> {
+        &self.backend
     }
 
     /// Shares an observability bundle: run metrics land on its registry
@@ -408,9 +461,12 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
     ) -> RuntimeRun {
         let workers = self.policy.workers.max(1);
         let lookahead = self.policy.lookahead.max(1);
-        let metrics = RunMetrics::registered(&self.obs);
+        let metrics = RunMetrics::registered(&self.obs, self.backend.kind());
         let journal = &self.obs.journal;
         if let Some(memo) = &self.memo {
+            // Outcomes memoized under an older backend data version are
+            // stale before the run even starts.
+            memo.sync_backend_epoch(self.backend.epoch());
             memo.begin_run();
         }
         if journal.is_enabled() {
@@ -420,7 +476,10 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             journal.set_clock(0.0);
             journal.record(
                 "run_started",
-                vec![("lookahead", Value::U64(lookahead as u64))],
+                vec![
+                    ("lookahead", Value::U64(lookahead as u64)),
+                    ("backend", Value::Str(self.backend.kind().into())),
+                ],
             );
             // Catalog-declared expectations for every source the run can
             // touch, so drift detection can be recomputed from the trace
@@ -642,10 +701,12 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             accesses,
             failure,
             trace,
+            backend_errors,
         } = completion;
         let journal = &self.obs.journal;
         let latency = plan_latency(&accesses);
         let fees: f64 = accesses.iter().map(|a| a.fee).sum();
+        let backend_kind = self.backend.kind();
         for a in &accesses {
             stats.attempts += u64::from(a.attempts);
             stats.transient_failures += u64::from(a.transient_failures);
@@ -658,8 +719,16 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 .record(f64::from(a.attempts) - 1.0);
             self.obs
                 .registry
-                .histogram("qpo_runtime_access_latency", &[("source", &a.name)])
+                .histogram(
+                    "qpo_runtime_access_latency",
+                    &[("source", &a.name), ("backend", backend_kind)],
+                )
                 .record(a.latency);
+        }
+        for (class, &count) in metrics.backend_errors.iter().zip(&backend_errors) {
+            if count > 0 {
+                class.add(count);
+            }
         }
         stats.fees += fees;
         // A plan's source accesses run concurrently, so the per-source
@@ -670,18 +739,22 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
         let mut trace = trace;
         trace.sort_by(|a, b| a.offset.total_cmp(&b.offset));
         for ev in trace {
-            journal.record_at(
-                *vclock + ev.offset,
-                "source_attempt",
-                vec![
-                    ("plan_seq", Value::U64(seq)),
-                    ("source", Value::Str(ev.source.into())),
-                    ("attempt", Value::U64(u64::from(ev.attempt))),
-                    ("backoff", Value::F64(ev.backoff)),
-                    ("latency", Value::F64(ev.latency)),
-                    ("outcome", Value::Str(ev.outcome.into())),
-                ],
-            );
+            let mut fields = vec![
+                ("plan_seq", Value::U64(seq)),
+                ("source", Value::Str(ev.source.into())),
+                ("attempt", Value::U64(u64::from(ev.attempt))),
+                ("backoff", Value::F64(ev.backoff)),
+                ("latency", Value::F64(ev.latency)),
+                ("outcome", Value::Str(ev.outcome.into())),
+            ];
+            // Journal the backend-error classification (typed, end to
+            // end): attempts behind an infrastructure failure carry the
+            // class and message alongside the retry-loop outcome.
+            if let Some((class, message)) = ev.error {
+                fields.push(("error_class", Value::Str(class.into())));
+                fields.push(("error", Value::Str(message.into())));
+            }
+            journal.record_at(*vclock + ev.offset, "source_attempt", fields);
         }
         let done = *vclock + latency;
         // Memo maintenance, in emission order on the coordinator thread. A
@@ -797,10 +870,11 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
         }
     }
 
-    /// Runs on a worker thread: simulate the plan's source accesses, then
-    /// evaluate it if everything succeeded. Attempt-level trace events are
-    /// collected here (relative to the plan's start) and carried back to
-    /// the coordinator, which is the only thread that writes the journal.
+    /// Runs on a worker thread: perform the plan's source accesses
+    /// through the backend, then evaluate it if everything succeeded.
+    /// Attempt-level trace events are collected here (relative to the
+    /// plan's start) and carried back to the coordinator, which is the
+    /// only thread that writes the journal.
     fn execute_job(&self, job: Job) -> Completion {
         let Job {
             seq,
@@ -819,19 +893,30 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 accesses: Vec::new(),
                 failure: None,
                 trace,
+                backend_errors: [0, 0],
             };
         }
         let services = self.grid.plan_services(&ordered.plan);
         let mut accesses: Vec<SourceAccess> = Vec::with_capacity(services.len());
+        let mut fetched: Vec<Option<Arc<Vec<Tuple>>>> = Vec::with_capacity(accesses.capacity());
+        let mut backend_errors = [0u64; 2];
         for (bucket, svc) in services.enumerate() {
             // Slots the coordinator resolved from the memo are replayed
-            // as-is: zero attempts, zero latency, zero fee.
+            // as-is: zero attempts, zero latency, zero fee. The memo only
+            // vouches for the *outcome*; backend data for the bucket is
+            // re-fetched by the evaluator's own cache if it needs rows.
             if let Some(Some(access)) = resolved.get(bucket) {
                 accesses.push(access.clone());
+                fetched.push(None);
                 continue;
             }
             let events = tracing.then_some(&mut trace);
-            accesses.push(access_with_retries(svc, &self.policy, seq, events));
+            let outcome =
+                access_with_retries(self.backend.as_ref(), svc, &self.policy, seq, events);
+            accesses.push(outcome.access);
+            fetched.push(outcome.tuples);
+            backend_errors[0] += outcome.backend_errors[0];
+            backend_errors[1] += outcome.backend_errors[1];
         }
         if self.policy.latency_scale > 0.0 {
             let secs = plan_latency(&accesses) * self.policy.latency_scale;
@@ -849,7 +934,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             }
         });
         let tuples = if failure.is_none() {
-            self.eval.evaluate(&ordered.plan)
+            self.eval.evaluate_fetched(&ordered.plan, &fetched)
         } else {
             Vec::new()
         };
@@ -861,6 +946,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             accesses,
             failure,
             trace,
+            backend_errors,
         }
     }
 }
@@ -936,20 +1022,36 @@ fn makespan(latencies: impl Iterator<Item = f64>, workers: usize) -> f64 {
     lanes.into_iter().fold(0.0, f64::max)
 }
 
-/// Accesses one source with the policy's retry discipline, accumulating
-/// backoffs and attempt latencies into one virtual-time charge. When
-/// `events` is given, every resolved attempt is appended with its
-/// plan-relative virtual-time offset and outcome
-/// (`ok`/`timeout`/`transient`/`permanent`).
+/// What one retried source access resolved to: the access record, the
+/// tuples the backend served (if it serves data), and the count of
+/// backend infrastructure errors absorbed, by class
+/// (`[transient, permanent]`).
+struct ResolvedAccess {
+    access: SourceAccess,
+    tuples: Option<Arc<Vec<Tuple>>>,
+    backend_errors: [u64; 2],
+}
+
+/// Accesses one source through `backend` with the policy's retry
+/// discipline, accumulating backoffs and attempt latencies into one
+/// virtual-time charge. When `events` is given, every resolved attempt is
+/// appended with its plan-relative virtual-time offset and outcome
+/// (`ok`/`timeout`/`transient`/`permanent`); attempts behind a typed
+/// [`crate::backend::BackendError`] additionally carry its class and
+/// message. Backend errors never panic the retry loop: transient ones
+/// consume an attempt and back off like simulated transient faults,
+/// permanent ones fail the access like a permanently-down source.
 fn access_with_retries(
+    backend: &dyn SourceBackend,
     svc: &SourceService,
     policy: &RuntimePolicy,
     seq: u64,
     mut events: Option<&mut Vec<AttemptEvent>>,
-) -> SourceAccess {
+) -> ResolvedAccess {
     let retry: &RetryPolicy = &policy.retry;
     let mut latency = 0.0;
     let mut transient_failures = 0u32;
+    let mut backend_errors = [0u64; 2];
     let report = |attempts, ok, permanently_down, latency, transient_failures| SourceAccess {
         bucket: svc.bucket,
         index: svc.index,
@@ -961,32 +1063,94 @@ fn access_with_retries(
         ok,
         permanently_down,
     };
-    let mut record =
-        |attempt: u32, offset: f64, backoff: f64, charge: f64, outcome: &'static str| {
-            if let Some(events) = events.as_deref_mut() {
-                events.push(AttemptEvent {
-                    source: svc.name.to_string(),
-                    attempt,
-                    offset,
-                    backoff,
-                    latency: charge,
-                    outcome,
-                });
-            }
-        };
+    let mut record = |attempt: u32,
+                      offset: f64,
+                      backoff: f64,
+                      charge: f64,
+                      outcome: &'static str,
+                      error: Option<(&'static str, String)>| {
+        if let Some(events) = events.as_deref_mut() {
+            events.push(AttemptEvent {
+                source: svc.name.to_string(),
+                attempt,
+                offset,
+                backoff,
+                latency: charge,
+                outcome,
+                error,
+            });
+        }
+    };
     for attempt in 0..retry.max_attempts.max(1) {
         let backoff = retry.backoff_before(attempt);
         latency += backoff;
-        let access = svc.simulate_access(&policy.faults, seq, attempt);
+        let ctx = AccessContext {
+            pattern: SCAN_PATTERN,
+            plan_seq: seq,
+            attempt,
+            faults: &policy.faults,
+        };
+        let access = match backend.access(svc, &ctx) {
+            Ok(reply) => {
+                if reply.access.outcome == AccessOutcome::Success
+                    && reply.access.latency <= retry.access_timeout
+                {
+                    latency += reply.access.latency;
+                    record(
+                        attempt + 1,
+                        latency,
+                        backoff,
+                        reply.access.latency,
+                        "ok",
+                        None,
+                    );
+                    return ResolvedAccess {
+                        access: report(attempt + 1, true, false, latency, transient_failures),
+                        tuples: reply.tuples,
+                        backend_errors,
+                    };
+                }
+                reply.access
+            }
+            Err(err) => {
+                // An infrastructure failure maps onto the simulator's
+                // outcome vocabulary — transient consumes an attempt and
+                // retries, permanent fails the access — with the typed
+                // classification preserved on the attempt event.
+                let class = err.class;
+                backend_errors[match class {
+                    BackendErrorClass::Transient => 0,
+                    BackendErrorClass::Permanent => 1,
+                }] += 1;
+                let charge = err.latency.min(retry.access_timeout);
+                let detail = Some((class.label(), err.message));
+                match class {
+                    BackendErrorClass::Permanent => {
+                        latency += charge;
+                        record(attempt + 1, latency, backoff, charge, "permanent", detail);
+                        return ResolvedAccess {
+                            access: report(attempt + 1, false, true, latency, transient_failures),
+                            tuples: None,
+                            backend_errors,
+                        };
+                    }
+                    BackendErrorClass::Transient => {
+                        latency += charge;
+                        record(attempt + 1, latency, backoff, charge, "transient", detail);
+                        transient_failures += 1;
+                        continue;
+                    }
+                }
+            }
+        };
         match access.outcome {
             AccessOutcome::PermanentFailure => {
-                record(attempt + 1, latency, backoff, 0.0, "permanent");
-                return report(attempt + 1, false, true, latency, transient_failures);
-            }
-            AccessOutcome::Success if access.latency <= retry.access_timeout => {
-                latency += access.latency;
-                record(attempt + 1, latency, backoff, access.latency, "ok");
-                return report(attempt + 1, true, false, latency, transient_failures);
+                record(attempt + 1, latency, backoff, 0.0, "permanent", None);
+                return ResolvedAccess {
+                    access: report(attempt + 1, false, true, latency, transient_failures),
+                    tuples: None,
+                    backend_errors,
+                };
             }
             // A success slower than the timeout is indistinguishable from
             // a transient failure to the caller: charge the timeout, retry.
@@ -1000,18 +1164,23 @@ fn access_with_retries(
                     backoff,
                     charge,
                     if timed_out { "timeout" } else { "transient" },
+                    None,
                 );
                 transient_failures += 1;
             }
         }
     }
-    report(
-        retry.max_attempts.max(1),
-        false,
-        false,
-        latency,
-        transient_failures,
-    )
+    ResolvedAccess {
+        access: report(
+            retry.max_attempts.max(1),
+            false,
+            false,
+            latency,
+            transient_failures,
+        ),
+        tuples: None,
+        backend_errors,
+    }
 }
 
 #[cfg(test)]
@@ -1415,13 +1584,108 @@ mod tests {
         // jittered draws exceed it; over many sequences some access must
         // record a timeout-induced retry.
         let timed_out = (0..50).any(|seq| {
-            let a = access_with_retries(svc, &policy, seq, None);
-            a.transient_failures > 0
+            let a = access_with_retries(&SimBackend, svc, &policy, seq, None);
+            a.access.transient_failures > 0
         });
         assert!(timed_out);
         // And an infinite timeout on a reliable source never retries.
         let policy = RuntimePolicy::serial().with_faults(FaultConfig::with_seed(4));
-        let a = access_with_retries(grid.service(0, 2), &policy, 0, None);
-        assert_eq!((a.attempts, a.ok), (1, true));
+        let a = access_with_retries(&SimBackend, grid.service(0, 2), &policy, 0, None);
+        assert_eq!((a.access.attempts, a.access.ok), (1, true));
+        assert!(a.tuples.is_none(), "the simulator serves no data");
+        assert_eq!(a.backend_errors, [0, 0]);
+    }
+
+    /// A backend that fails transiently for the first `flaky_attempts`
+    /// attempts of every access, then serves data — exercising the
+    /// typed-error retry path end to end.
+    struct FlakyBackend {
+        flaky_attempts: u32,
+        down: Option<&'static str>,
+    }
+
+    impl crate::backend::SourceBackend for FlakyBackend {
+        fn kind(&self) -> &'static str {
+            "flaky-test"
+        }
+
+        fn access(
+            &self,
+            svc: &SourceService,
+            ctx: &AccessContext<'_>,
+        ) -> Result<crate::backend::AccessReply, crate::backend::BackendError> {
+            if self.down == Some(svc.name.as_ref()) {
+                return Err(crate::backend::BackendError::permanent(
+                    "host decommissioned",
+                ));
+            }
+            if ctx.attempt < self.flaky_attempts {
+                return Err(
+                    crate::backend::BackendError::transient("connection reset").with_latency(0.5)
+                );
+            }
+            Ok(crate::backend::AccessReply {
+                access: crate::source::Access {
+                    outcome: AccessOutcome::Success,
+                    latency: 1.0,
+                },
+                tuples: Some(Arc::new(vec![vec![Constant::Int(1)]])),
+            })
+        }
+    }
+
+    #[test]
+    fn transient_backend_errors_are_retried_with_backoff() {
+        let inst = inst();
+        let grid = SourceGrid::from_instance(&inst);
+        let svc = grid.service(0, 0);
+        let policy = RuntimePolicy::serial(); // 4 attempts, exp. backoff
+        let backend = FlakyBackend {
+            flaky_attempts: 2,
+            down: None,
+        };
+        let mut events = Vec::new();
+        let a = access_with_retries(&backend, svc, &policy, 0, Some(&mut events));
+        assert!(a.access.ok, "third attempt succeeds");
+        assert_eq!(a.access.attempts, 3);
+        assert_eq!(a.access.transient_failures, 2);
+        assert_eq!(a.backend_errors, [2, 0]);
+        assert!(a.tuples.is_some(), "data arrives with the success");
+        // Backoffs accrued: attempt 1 free, attempts 2 and 3 back off,
+        // plus two 0.5 error charges and the final 1.0 access.
+        let expected = policy.retry.backoff_before(1) + policy.retry.backoff_before(2) + 2.0;
+        assert!((a.access.latency - expected).abs() < 1e-9);
+        // The typed classification rides on the attempt events.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].outcome, "transient");
+        assert_eq!(events[0].error.as_ref().unwrap().0, "transient");
+        assert!(events[1].error.as_ref().unwrap().1.contains("reset"));
+        assert!(events[2].error.is_none());
+    }
+
+    #[test]
+    fn permanent_backend_errors_fail_plans_gracefully() {
+        let inst = inst();
+        let grid = SourceGrid::from_instance(&inst);
+        let eval = ToyEval { inst: inst.clone() };
+        let backend = FlakyBackend {
+            flaky_attempts: 0,
+            down: Some("w1"),
+        };
+        let mut orderer = Pi::new(&inst, &Coverage);
+        let run = Executor::new(&grid, &eval, RuntimePolicy::parallel(2))
+            .with_backend(Arc::new(backend))
+            .run(&mut orderer, RunBudget::unbounded());
+        assert_eq!(run.reports.len(), 6, "the run still covers the plan space");
+        let failed: Vec<_> = run.reports.iter().filter(|r| r.failed()).collect();
+        assert_eq!(failed.len(), 3, "every plan through w1 fails");
+        for r in &failed {
+            assert!(matches!(
+                r.status,
+                PlanStatus::Failed(FailureReason::PermanentlyDown { ref source })
+                    if source == "w1"
+            ));
+        }
+        assert!(run.executed() > 0, "plans avoiding w1 still answer");
     }
 }

@@ -20,28 +20,44 @@
 //! - [`feedback`] — observed tuples and failures flow back into the
 //!   orderer's utility context ([`PlanOrderer::observe`]
 //!   (qpo_core::PlanOrderer::observe)), so subsequent emissions are
-//!   conditioned on what actually executed, not on what was assumed.
+//!   conditioned on what actually executed, not on what was assumed;
+//! - [`backend`] — the [`SourceBackend`] trait the executor dispatches
+//!   every access through: the deterministic simulator ([`SimBackend`],
+//!   the default), a persistent indexed store ([`store::StoreBackend`]),
+//!   and an out-of-process TCP source ([`net::TcpBackend`] speaking the
+//!   [`wire`] protocol against a [`net::SourceServer`]).
 //!
-//! Everything is deterministic: a run is a pure function of its inputs
-//! and the fault seed, bit-for-bit reproducible under any worker count.
-//! With faults disabled the executor is *equivalent* to the serial
-//! mediator — same plan emission order, same answer set — which is the
-//! property the integration tests in `qpo-exec` pin down.
+//! Under the default [`SimBackend`] everything is deterministic: a run is
+//! a pure function of its inputs and the fault seed, bit-for-bit
+//! reproducible under any worker count. With faults disabled the executor
+//! is *equivalent* to the serial mediator — same plan emission order,
+//! same answer set — which is the property the integration tests in
+//! `qpo-exec` pin down. Real backends keep the same trace structure but
+//! report measured wall latency mapped onto the virtual-time axis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod executor;
 pub mod feedback;
 pub mod memo;
+pub mod net;
 pub mod policy;
 pub mod source;
+pub mod store;
+pub mod wire;
 
+pub use backend::{
+    AccessContext, AccessReply, BackendError, BackendErrorClass, SimBackend, SourceBackend,
+};
 pub use executor::{
     Executor, FailureReason, PlanEvaluator, PlanExecution, PlanStatus, RunBudget, RunStats,
     RuntimeRun, SourceAccess, WaveObserver,
 };
 pub use feedback::{declare_sources, observe_divergence, outcome_of, SourceHealth, SourceRecord};
 pub use memo::{MemoHit, MemoOutcome, SourceMemo, SCAN_PATTERN};
+pub use net::{MemProvider, RelationProvider, SourceServer, TcpBackend};
 pub use policy::{FaultConfig, RetryPolicy, RuntimePolicy};
 pub use source::{Access, AccessOutcome, SourceGrid, SourceService};
+pub use store::StoreBackend;

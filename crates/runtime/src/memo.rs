@@ -78,6 +78,9 @@ struct MemoEntry {
     outcome: MemoOutcome,
     epoch: u64,
     run_token: u64,
+    /// Backend data version this outcome was observed under; see
+    /// [`SourceMemo::sync_backend_epoch`].
+    backend_epoch: u64,
 }
 
 #[derive(Debug, Default)]
@@ -85,6 +88,7 @@ struct MemoInner {
     entries: BTreeMap<(usize, usize, Arc<str>), MemoEntry>,
     epoch: u64,
     run_token: u64,
+    backend_epoch: u64,
     hits: u64,
     misses: u64,
     stores: u64,
@@ -110,6 +114,23 @@ impl SourceMemo {
     /// runs remain valid but report as *warm* on hit.
     pub fn begin_run(&self) {
         self.lock().run_token += 1;
+    }
+
+    /// Declares the backend's current data version
+    /// ([`crate::backend::SourceBackend::epoch`]). A changed epoch drops
+    /// every cached outcome observed under the old one — a store write or
+    /// a restarted server invalidates terminal outcomes the same way a
+    /// live failure does, without touching the failure-driven
+    /// [`SourceMemo::epoch`] discipline. The executor calls this at the
+    /// start of each run; `SimBackend`'s epoch is constant `0`, so purely
+    /// simulated sessions are unaffected.
+    pub fn sync_backend_epoch(&self, epoch: u64) {
+        let mut inner = self.lock();
+        if inner.backend_epoch == epoch {
+            return;
+        }
+        inner.backend_epoch = epoch;
+        inner.entries.retain(|_, e| e.backend_epoch == epoch);
     }
 
     /// Looks up the cached outcome for `(bucket, index, pattern)`,
@@ -150,12 +171,14 @@ impl SourceMemo {
         let mut inner = self.lock();
         let epoch = inner.epoch;
         let token = inner.run_token;
+        let backend_epoch = inner.backend_epoch;
         inner.entries.insert(
             (bucket, index, Arc::from(pattern)),
             MemoEntry {
                 outcome,
                 epoch,
                 run_token: token,
+                backend_epoch,
             },
         );
         inner.stores += 1;
@@ -219,9 +242,11 @@ impl SourceMemo {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MemoInner> {
-        self.inner
-            .lock()
-            .expect("source memo lock is never poisoned")
+        // Poison recovery (the qpo-obs registry/journal idiom): every
+        // critical section here is a plain field update that leaves the
+        // map consistent, so a worker panicking mid-section cannot wedge
+        // the shared memo for the rest of the session.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -278,6 +303,44 @@ mod tests {
         assert!(memo.contains(1, 1, SCAN_PATTERN));
         assert!(!memo.contains(1, 2, SCAN_PATTERN));
         assert_eq!((memo.hits(), memo.misses()), (0, 0));
+    }
+
+    #[test]
+    fn backend_epoch_change_drops_stale_entries() {
+        let memo = SourceMemo::new();
+        memo.sync_backend_epoch(0); // no-op: already at 0
+        memo.store(0, 0, SCAN_PATTERN, MemoOutcome::Success);
+        memo.sync_backend_epoch(1);
+        assert!(
+            memo.lookup(0, 0, SCAN_PATTERN).is_none(),
+            "outcomes from the old data version are gone"
+        );
+        // The failure epoch is untouched — only the data version moved.
+        assert_eq!(memo.epoch(), 0);
+        memo.store(0, 0, SCAN_PATTERN, MemoOutcome::Success);
+        memo.sync_backend_epoch(1); // same version: entries survive
+        assert!(memo.contains(0, 0, SCAN_PATTERN));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_wedging() {
+        let memo = SourceMemo::new();
+        memo.store(0, 0, SCAN_PATTERN, MemoOutcome::Success);
+        // Poison the mutex: panic while holding the raw guard.
+        let inner = Arc::clone(&memo.inner);
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.lock().unwrap();
+            panic!("poison the memo lock");
+        })
+        .join();
+        assert!(memo.inner.is_poisoned(), "the panic actually poisoned it");
+        // Every entry point still works on the recovered state.
+        let hit = memo.lookup(0, 0, SCAN_PATTERN).expect("state survives");
+        assert_eq!(hit.outcome, MemoOutcome::Success);
+        memo.store(1, 0, SCAN_PATTERN, MemoOutcome::PermanentFailure);
+        assert_eq!(memo.len(), 2);
+        memo.invalidate();
+        assert!(memo.is_empty());
     }
 
     #[test]

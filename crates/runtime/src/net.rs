@@ -1,0 +1,475 @@
+//! Out-of-process sources over TCP: [`TcpBackend`] (the client the
+//! executor dispatches through) and [`SourceServer`] (the loopback server
+//! the `qpo-source-server` binary and the tests run).
+//!
+//! Both ends speak the length-prefixed wire protocol of [`crate::wire`].
+//! The client measures real wall time per access and maps it onto the
+//! virtual-time axis via `latency_unit`; connection failures, timeouts,
+//! resets, and malformed responses surface as typed
+//! [`BackendError`]s — transient, so the executor's retry/backoff
+//! machinery handles a flapping server with the same discipline it
+//! applies to simulated transient faults. Only an explicit
+//! `UNKNOWN_SOURCE` response is permanent: the server is healthy and
+//! simply does not host the relation.
+//!
+//! The server is deliberately minimal — serial accept loop, bounded
+//! frame reads, one thread — mirroring the `qpo-obs` introspection
+//! server's shutdown idiom (an atomic flag plus a throwaway wake-up
+//! connection, so `stop()` never blocks on `accept`).
+
+use crate::backend::{AccessContext, AccessReply, BackendError, SourceBackend};
+use crate::source::{Access, AccessOutcome, SourceService};
+use crate::store::StoreBackend;
+use crate::wire::{self, Request, Response};
+use qpo_datalog::Tuple;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Something that can answer "the current tuples of relation `name`" —
+/// the server side's storage abstraction. [`StoreBackend`] implements it
+/// (persistent server), as does [`MemProvider`] (fixture server).
+pub trait RelationProvider: Send + Sync {
+    /// The relation's tuples, or `None` if not hosted.
+    fn relation(&self, name: &str) -> Option<Arc<Vec<Tuple>>>;
+}
+
+impl RelationProvider for StoreBackend {
+    fn relation(&self, name: &str) -> Option<Arc<Vec<Tuple>>> {
+        StoreBackend::relation(self, name)
+    }
+}
+
+/// An in-memory relation provider for fixtures and tests.
+#[derive(Debug, Default)]
+pub struct MemProvider {
+    relations: Mutex<BTreeMap<String, Arc<Vec<Tuple>>>>,
+}
+
+impl MemProvider {
+    /// An empty provider.
+    pub fn new() -> Self {
+        MemProvider::default()
+    }
+
+    /// Inserts (or replaces) a relation.
+    pub fn insert(&self, name: impl Into<String>, rows: Vec<Tuple>) {
+        self.relations
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.into(), Arc::new(rows));
+    }
+}
+
+impl RelationProvider for MemProvider {
+    fn relation(&self, name: &str) -> Option<Arc<Vec<Tuple>>> {
+        self.relations
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+}
+
+/// Per-connection I/O timeout on the server side.
+const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running loopback source server. Dropping it stops the accept loop.
+pub struct SourceServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    requests: Arc<AtomicU64>,
+}
+
+impl SourceServer {
+    /// Binds `127.0.0.1:port` (`port` 0 picks a free one) and serves
+    /// `provider` on a background thread.
+    pub fn serve(provider: Arc<dyn RelationProvider>, port: u16) -> std::io::Result<SourceServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&shutdown);
+        let served = Arc::clone(&requests);
+        let handle = std::thread::Builder::new()
+            .name("qpo-source-server".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // Serial service keeps the server trivially
+                        // correct; the executor's parallelism comes from
+                        // its own worker lanes, not the source.
+                        let _ = handle_connection(stream, provider.as_ref(), &served);
+                    }
+                }
+            })?;
+        Ok(SourceServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+            requests,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::SeqCst)
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn stop(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SourceServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves one connection: any number of request frames until the peer
+/// closes, a frame is malformed, or a timeout fires. A malformed frame
+/// gets a transient-error response (best effort) and the connection is
+/// dropped — after garbage, frame alignment cannot be trusted.
+fn handle_connection(
+    mut stream: TcpStream,
+    provider: &dyn RelationProvider,
+    served: &AtomicU64,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(SERVER_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(SERVER_IO_TIMEOUT))?;
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // peer closed, timed out, or hostile length
+        };
+        let response = match wire::decode_request(&payload) {
+            Ok(req) => respond(&req, provider),
+            Err(e) => {
+                let resp = Response::Error(format!("malformed request: {e}"));
+                if let Ok(bytes) = wire::encode_response(&resp) {
+                    let _ = wire::write_frame(&mut stream, &bytes);
+                }
+                return Ok(());
+            }
+        };
+        served.fetch_add(1, Ordering::SeqCst);
+        let bytes = wire::encode_response(&response)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        wire::write_frame(&mut stream, &bytes)?;
+        stream.flush()?;
+    }
+}
+
+/// Pure request → response mapping, split out so protocol tests can run
+/// without sockets (the `qpo-obs::serve` pattern).
+pub fn respond(req: &Request, provider: &dyn RelationProvider) -> Response {
+    match provider.relation(&req.source) {
+        Some(rows) => Response::Rows(rows.as_ref().clone()),
+        None => Response::UnknownSource(format!("source `{}` not hosted here", req.source)),
+    }
+}
+
+/// A remote source reached over TCP; see the module docs.
+#[derive(Debug, Clone)]
+pub struct TcpBackend {
+    addr: String,
+    io_timeout: Duration,
+    latency_unit: f64,
+    epoch: u64,
+}
+
+impl TcpBackend {
+    /// A backend dialing `addr` (e.g. `"127.0.0.1:7171"`) with a 2 s I/O
+    /// timeout and one virtual unit per millisecond.
+    pub fn new(addr: impl Into<String>) -> Self {
+        TcpBackend {
+            addr: addr.into(),
+            io_timeout: Duration::from_secs(2),
+            latency_unit: 1000.0,
+            epoch: 0,
+        }
+    }
+
+    /// Sets the connect/read/write timeout.
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Sets the virtual-time units charged per wall second (default
+    /// `1000.0`).
+    pub fn with_latency_unit(mut self, units_per_second: f64) -> Self {
+        self.latency_unit = units_per_second.max(0.0);
+        self
+    }
+
+    /// Declares the remote data version (see [`SourceBackend::epoch`]).
+    /// The protocol has no epoch exchange yet, so callers that know the
+    /// server's data changed bump this by hand.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The server address this backend dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One full request/response exchange on a fresh connection.
+    fn exchange(&self, source: &str, pattern: &str) -> Result<Response, BackendError> {
+        let addr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| BackendError::from_io(&e, "resolve"))?
+            .next()
+            .ok_or_else(|| {
+                BackendError::permanent(format!("`{}` resolves to nothing", self.addr))
+            })?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.io_timeout)
+            .map_err(|e| BackendError::from_io(&e, "connect"))?;
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
+            .map_err(|e| BackendError::from_io(&e, "configure socket"))?;
+        let request = wire::encode_request(&Request {
+            source: source.to_string(),
+            pattern: pattern.to_string(),
+        })
+        .map_err(|e| BackendError::permanent(format!("encode request: {e}")))?;
+        wire::write_frame(&mut stream, &request)
+            .map_err(|e| BackendError::from_io(&e, "send request"))?;
+        let payload = wire::read_frame(&mut stream)
+            .map_err(|e| BackendError::from_io(&e, "read response"))?;
+        wire::decode_response(&payload)
+            .map_err(|e| BackendError::transient(format!("malformed response: {e}")))
+    }
+}
+
+impl SourceBackend for TcpBackend {
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn access(
+        &self,
+        svc: &SourceService,
+        ctx: &AccessContext<'_>,
+    ) -> Result<AccessReply, BackendError> {
+        let start = Instant::now();
+        let result = self.exchange(svc.name.as_ref(), ctx.pattern);
+        let latency = start.elapsed().as_secs_f64() * self.latency_unit;
+        match result {
+            Ok(Response::Rows(rows)) => Ok(AccessReply {
+                access: Access {
+                    outcome: AccessOutcome::Success,
+                    latency,
+                },
+                tuples: Some(Arc::new(rows)),
+            }),
+            Ok(Response::UnknownSource(msg)) => {
+                Err(BackendError::permanent(msg).with_latency(latency))
+            }
+            Ok(Response::Error(msg)) => Err(BackendError::transient(msg).with_latency(latency)),
+            Err(e) => {
+                let latency = latency.max(e.latency);
+                Err(e.with_latency(latency))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendErrorClass;
+    use crate::memo::SCAN_PATTERN;
+    use crate::policy::FaultConfig;
+    use crate::source::SourceGrid;
+    use qpo_catalog::{Extent, ProblemInstance, SourceStats};
+    use qpo_datalog::Constant;
+
+    fn rows(items: &[i64]) -> Vec<Tuple> {
+        items.iter().map(|&i| vec![Constant::Int(i)]).collect()
+    }
+
+    fn provider() -> Arc<MemProvider> {
+        let p = MemProvider::new();
+        p.insert("v1", rows(&[1, 2, 3]));
+        p.insert(
+            "w1",
+            vec![vec![Constant::Str("ford".into()), Constant::Int(7)]],
+        );
+        Arc::new(p)
+    }
+
+    fn grid() -> SourceGrid {
+        let src = |name: &str| {
+            SourceStats::new()
+                .with_name(name)
+                .with_extent(Extent::new(0, 3))
+        };
+        let inst = ProblemInstance::new(
+            0.0,
+            vec![10],
+            vec![vec![src("v1"), src("w1"), src("missing")]],
+        )
+        .unwrap();
+        SourceGrid::from_instance(&inst)
+    }
+
+    fn ctx(faults: &FaultConfig) -> AccessContext<'_> {
+        AccessContext {
+            pattern: SCAN_PATTERN,
+            plan_seq: 0,
+            attempt: 0,
+            faults,
+        }
+    }
+
+    #[test]
+    fn respond_maps_hosted_and_unknown_sources() {
+        let p = provider();
+        let req = |source: &str| Request {
+            source: source.into(),
+            pattern: "scan".into(),
+        };
+        assert_eq!(
+            respond(&req("v1"), p.as_ref()),
+            Response::Rows(rows(&[1, 2, 3]))
+        );
+        assert!(matches!(
+            respond(&req("nope"), p.as_ref()),
+            Response::UnknownSource(_)
+        ));
+    }
+
+    #[test]
+    fn tcp_backend_round_trips_through_a_live_server() {
+        let mut server = SourceServer::serve(provider(), 0).unwrap();
+        let backend = TcpBackend::new(server.addr().to_string());
+        let grid = grid();
+        let faults = FaultConfig::disabled();
+        let reply = backend.access(grid.service(0, 0), &ctx(&faults)).unwrap();
+        assert_eq!(reply.access.outcome, AccessOutcome::Success);
+        assert!(reply.access.latency >= 0.0);
+        assert_eq!(reply.tuples.unwrap().as_ref(), &rows(&[1, 2, 3]));
+        // Unknown source → permanent, with the server's message.
+        let err = backend
+            .access(grid.service(0, 2), &ctx(&faults))
+            .unwrap_err();
+        assert_eq!(err.class, BackendErrorClass::Permanent);
+        assert!(err.message.contains("missing"));
+        assert!(server.requests_served() >= 2);
+        server.stop();
+    }
+
+    #[test]
+    fn dead_server_is_a_transient_failure() {
+        // Bind-then-drop guarantees a port nobody is listening on.
+        let port = {
+            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let backend = TcpBackend::new(format!("127.0.0.1:{port}"))
+            .with_io_timeout(Duration::from_millis(200));
+        let grid = grid();
+        let faults = FaultConfig::disabled();
+        let err = backend
+            .access(grid.service(0, 0), &ctx(&faults))
+            .unwrap_err();
+        assert_eq!(err.class, BackendErrorClass::Transient, "{}", err.message);
+        assert!(err.latency >= 0.0);
+    }
+
+    #[test]
+    fn garbage_and_truncated_frames_do_not_kill_the_server() {
+        let mut server = SourceServer::serve(provider(), 0).unwrap();
+        let addr = server.addr();
+        // Raw garbage: a framed payload that is not a valid request.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            wire::write_frame(&mut s, &[0xde, 0xad, 0xbe, 0xef]).unwrap();
+            let reply = wire::read_frame(&mut s).unwrap();
+            match wire::decode_response(&reply).unwrap() {
+                Response::Error(msg) => assert!(msg.contains("malformed")),
+                other => panic!("expected transient error, got {other:?}"),
+            }
+        }
+        // A truncated frame (length prefix, missing payload) then hangup.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&100u32.to_be_bytes()).unwrap();
+            s.write_all(&[1, 2, 3]).unwrap();
+        }
+        // A hostile length prefix.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        }
+        // The server is still alive and serving correct requests.
+        let backend = TcpBackend::new(addr.to_string());
+        let grid = grid();
+        let faults = FaultConfig::disabled();
+        let reply = backend.access(grid.service(0, 1), &ctx(&faults)).unwrap();
+        assert_eq!(reply.tuples.unwrap().len(), 1);
+        server.stop();
+    }
+
+    #[test]
+    fn multiple_requests_reuse_one_connection() {
+        let mut server = SourceServer::serve(provider(), 0).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            let req = wire::encode_request(&Request {
+                source: "v1".into(),
+                pattern: "scan".into(),
+            })
+            .unwrap();
+            wire::write_frame(&mut s, &req).unwrap();
+            let reply = wire::read_frame(&mut s).unwrap();
+            assert_eq!(
+                wire::decode_response(&reply).unwrap(),
+                Response::Rows(rows(&[1, 2, 3]))
+            );
+        }
+        drop(s);
+        server.stop();
+        assert_eq!(server.requests_served(), 3);
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_safe() {
+        let mut server = SourceServer::serve(provider(), 0).unwrap();
+        server.stop();
+        server.stop();
+        drop(server); // Drop after stop must not hang.
+    }
+}

@@ -1,0 +1,400 @@
+//! [`StoreBackend`]: an in-process persistent indexed source store.
+//!
+//! Sources live in a directory of append-only log segments
+//! (`segment-NNNNNN.log`). Each record is one wire-framed
+//! [`crate::wire::encode_relation`] payload — a full snapshot of one
+//! relation. On open the segments are replayed in order and the *latest*
+//! record per relation wins, rebuilding the in-memory index; a torn tail
+//! frame (crash mid-append) is detected and ignored, so recovery is
+//! last-good-record. [`StoreBackend::flush`] fsyncs the active segment,
+//! making everything before it durable.
+//!
+//! Accesses are served from the in-memory index and charged the *measured*
+//! wall time of the lookup, mapped onto the virtual-time axis via
+//! `latency_unit` (units per wall second, default `1000.0`, i.e. one unit
+//! per millisecond). A relation the store does not hold is a permanent
+//! [`BackendError`] — the mediator's catalog said the source exists, the
+//! world disagrees, and retrying will not change that.
+//!
+//! The [`SourceBackend::epoch`] is the total number of records ever
+//! appended (persisted implicitly as "records replayed on open" plus
+//! appends since), so any write — including one made by a previous
+//! process incarnation — moves the epoch and invalidates memoized
+//! outcomes that predate it.
+
+use crate::backend::{AccessContext, AccessReply, BackendError, SourceBackend};
+use crate::source::{Access, AccessOutcome, SourceService};
+use crate::wire;
+use qpo_datalog::Tuple;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Active segment rotation threshold: appends past this many bytes open a
+/// fresh segment, keeping individual files bounded and replayable.
+const SEGMENT_ROTATE_BYTES: u64 = 4 * 1024 * 1024;
+
+struct StoreInner {
+    index: BTreeMap<String, Arc<Vec<Tuple>>>,
+    log: BufWriter<File>,
+    log_bytes: u64,
+    segment: u64,
+}
+
+/// Persistent indexed source store; see the module docs.
+pub struct StoreBackend {
+    dir: PathBuf,
+    latency_unit: f64,
+    inner: Mutex<StoreInner>,
+    /// Total records ever appended (replayed + live). Monotone across
+    /// reopen, so it doubles as the backend epoch.
+    records: AtomicU64,
+}
+
+impl std::fmt::Debug for StoreBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreBackend")
+            .field("dir", &self.dir)
+            .field("records", &self.records.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, segment: u64) -> PathBuf {
+    dir.join(format!("segment-{segment:06}.log"))
+}
+
+/// Replays one segment file into the index, stopping (without error) at a
+/// torn tail frame. Returns the number of whole records applied.
+fn replay_segment(
+    path: &Path,
+    index: &mut BTreeMap<String, Arc<Vec<Tuple>>>,
+) -> std::io::Result<u64> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut applied = 0u64;
+    loop {
+        let payload = match wire::read_frame(&mut reader) {
+            Ok(p) => p,
+            // Torn tail (crash mid-append) or clean end: stop replaying.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        };
+        let (name, rows) = match wire::decode_relation(&payload) {
+            Ok(rec) => rec,
+            // A framed-but-garbled record: treat like a torn tail. Every
+            // record before it already applied; nothing after it can be
+            // trusted to align.
+            Err(_) => break,
+        };
+        index.insert(name, Arc::new(rows));
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+impl StoreBackend {
+    /// Opens (or creates) a store at `dir`, replaying all segments to
+    /// rebuild the index.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name
+                .strip_prefix("segment-")
+                .and_then(|s| s.strip_suffix(".log"))
+            {
+                if let Ok(n) = num.parse::<u64>() {
+                    segments.push((n, entry.path()));
+                }
+            }
+        }
+        segments.sort();
+        let mut index = BTreeMap::new();
+        let mut replayed = 0u64;
+        for (_, path) in &segments {
+            replayed += replay_segment(path, &mut index)?;
+        }
+        let segment = segments.last().map_or(0, |(n, _)| *n);
+        let mut log_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, segment))?;
+        let log_bytes = log_file.seek(SeekFrom::End(0))?;
+        Ok(StoreBackend {
+            dir,
+            latency_unit: 1000.0,
+            inner: Mutex::new(StoreInner {
+                index,
+                log: BufWriter::new(log_file),
+                log_bytes,
+                segment,
+            }),
+            records: AtomicU64::new(replayed),
+        })
+    }
+
+    /// Sets the virtual-time units charged per wall second (default
+    /// `1000.0`: one unit per millisecond).
+    pub fn with_latency_unit(mut self, units_per_second: f64) -> Self {
+        self.latency_unit = units_per_second.max(0.0);
+        self
+    }
+
+    /// Appends a full snapshot of `name` and updates the index. The write
+    /// is buffered; call [`StoreBackend::flush`] to make it durable.
+    pub fn put_relation(&self, name: &str, rows: &[Tuple]) -> std::io::Result<()> {
+        let payload = wire::encode_relation(name, rows)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut inner = self.lock();
+        if inner.log_bytes >= SEGMENT_ROTATE_BYTES {
+            inner.log.flush()?;
+            let segment = inner.segment + 1;
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(segment_path(&self.dir, segment))?;
+            inner.log = BufWriter::new(file);
+            inner.log_bytes = 0;
+            inner.segment = segment;
+        }
+        wire::write_frame(&mut inner.log, &payload)?;
+        inner.log_bytes += 4 + payload.len() as u64;
+        inner
+            .index
+            .insert(name.to_string(), Arc::new(rows.to_vec()));
+        self.records.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the active segment: everything appended so far
+    /// survives a crash.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut inner = self.lock();
+        inner.log.flush()?;
+        inner.log.get_ref().sync_all()
+    }
+
+    /// The current tuples of `name`, if the store holds it.
+    pub fn relation(&self, name: &str) -> Option<Arc<Vec<Tuple>>> {
+        self.lock().index.get(name).cloned()
+    }
+
+    /// Names of all relations held, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.lock().index.keys().cloned().collect()
+    }
+
+    /// Number of relations held.
+    pub fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// Whether the store holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever appended (equals [`SourceBackend::epoch`]).
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StoreInner> {
+        // Poison recovery: a panicking reader leaves the index intact.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl SourceBackend for StoreBackend {
+    fn kind(&self) -> &'static str {
+        "store"
+    }
+
+    fn epoch(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    fn access(
+        &self,
+        svc: &SourceService,
+        _ctx: &AccessContext<'_>,
+    ) -> Result<AccessReply, BackendError> {
+        let start = Instant::now();
+        let rows = self.relation(svc.name.as_ref());
+        let latency = start.elapsed().as_secs_f64() * self.latency_unit;
+        match rows {
+            Some(tuples) => Ok(AccessReply {
+                access: Access {
+                    outcome: AccessOutcome::Success,
+                    latency,
+                },
+                tuples: Some(tuples),
+            }),
+            None => Err(BackendError::permanent(format!(
+                "source `{}` not in store {}",
+                svc.name,
+                self.dir.display()
+            ))
+            .with_latency(latency)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendErrorClass;
+    use crate::memo::SCAN_PATTERN;
+    use crate::policy::FaultConfig;
+    use crate::source::SourceGrid;
+    use qpo_catalog::{Extent, ProblemInstance, SourceStats};
+    use qpo_datalog::Constant;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A unique scratch directory per test invocation; no external
+    /// tempdir crate in the offline build.
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("qpo-store-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rows(items: &[i64]) -> Vec<Tuple> {
+        items.iter().map(|&i| vec![Constant::Int(i)]).collect()
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let dir = scratch("roundtrip");
+        let store = StoreBackend::open(&dir).unwrap();
+        assert!(store.is_empty());
+        store.put_relation("v1", &rows(&[1, 2, 3])).unwrap();
+        store.put_relation("v2", &rows(&[4])).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.relation("v1").unwrap().as_ref(), &rows(&[1, 2, 3]));
+        assert_eq!(store.relation_names(), vec!["v1", "v2"]);
+        assert!(store.relation("v9").is_none());
+        assert_eq!(store.records(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn data_survives_close_and_reopen() {
+        let dir = scratch("reopen");
+        {
+            let store = StoreBackend::open(&dir).unwrap();
+            store.put_relation("v1", &rows(&[1, 2])).unwrap();
+            store.put_relation("v1", &rows(&[1, 2, 9])).unwrap(); // later record wins
+            store.put_relation("w1", &rows(&[7])).unwrap();
+            store.flush().unwrap();
+        }
+        let store = StoreBackend::open(&dir).unwrap();
+        assert_eq!(store.relation("v1").unwrap().as_ref(), &rows(&[1, 2, 9]));
+        assert_eq!(store.relation("w1").unwrap().as_ref(), &rows(&[7]));
+        assert_eq!(store.records(), 3, "epoch is monotone across reopen");
+        // Appends after reopen keep moving the epoch forward.
+        store.put_relation("w1", &rows(&[8])).unwrap();
+        assert_eq!(store.epoch(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_frame_recovers_to_last_good_record() {
+        let dir = scratch("torn");
+        {
+            let store = StoreBackend::open(&dir).unwrap();
+            store.put_relation("v1", &rows(&[1])).unwrap();
+            store.put_relation("v2", &rows(&[2])).unwrap();
+            store.flush().unwrap();
+        }
+        // Simulate a crash mid-append: a length prefix with half a payload.
+        let path = segment_path(&dir, 0);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&100u32.to_be_bytes()).unwrap();
+        file.write_all(&[1, 2, 3]).unwrap();
+        drop(file);
+        let store = StoreBackend::open(&dir).unwrap();
+        assert_eq!(store.len(), 2, "whole records before the tear survive");
+        assert_eq!(store.relation("v2").unwrap().as_ref(), &rows(&[2]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn access_serves_tuples_and_classifies_misses_as_permanent() {
+        let dir = scratch("access");
+        let store = StoreBackend::open(&dir).unwrap();
+        store.put_relation("v1", &rows(&[1, 2])).unwrap();
+        let inst = ProblemInstance::new(
+            0.0,
+            vec![10],
+            vec![vec![
+                SourceStats::new()
+                    .with_name("v1")
+                    .with_extent(Extent::new(0, 2)),
+                SourceStats::new()
+                    .with_name("vX")
+                    .with_extent(Extent::new(0, 2)),
+            ]],
+        )
+        .unwrap();
+        let grid = SourceGrid::from_instance(&inst);
+        let faults = FaultConfig::disabled();
+        let ctx = AccessContext {
+            pattern: SCAN_PATTERN,
+            plan_seq: 0,
+            attempt: 0,
+            faults: &faults,
+        };
+        let reply = store.access(grid.service(0, 0), &ctx).unwrap();
+        assert_eq!(reply.access.outcome, AccessOutcome::Success);
+        assert!(reply.access.latency >= 0.0);
+        assert_eq!(reply.tuples.unwrap().as_ref(), &rows(&[1, 2]));
+        let err = store.access(grid.service(0, 1), &ctx).unwrap_err();
+        assert_eq!(err.class, BackendErrorClass::Permanent);
+        assert!(err.message.contains("vX"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_in_order() {
+        let dir = scratch("rotate");
+        {
+            let store = StoreBackend::open(&dir).unwrap();
+            // Big rows force rotation past the 4 MiB threshold.
+            let big: Vec<Tuple> = (0..2000)
+                .map(|i| vec![Constant::Str(format!("row-{i}-{}", "x".repeat(500)).into())])
+                .collect();
+            for round in 0..6 {
+                store.put_relation("big", &big).unwrap();
+                store.put_relation("tick", &rows(&[round])).unwrap();
+            }
+            store.flush().unwrap();
+            let segments = std::fs::read_dir(&dir).unwrap().count();
+            assert!(segments > 1, "rotation produced {segments} segment(s)");
+        }
+        let store = StoreBackend::open(&dir).unwrap();
+        assert_eq!(
+            store.relation("tick").unwrap().as_ref(),
+            &rows(&[5]),
+            "latest record wins across segments"
+        );
+        assert_eq!(store.records(), 12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

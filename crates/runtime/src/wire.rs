@@ -1,0 +1,470 @@
+//! The source-server wire protocol: length-prefixed binary frames over a
+//! byte stream.
+//!
+//! Deliberately tiny — one request shape, one response shape — so the
+//! whole codec is auditable and the robustness surface (truncated frames,
+//! garbage bytes, oversized lengths) is small enough to test exhaustively.
+//!
+//! ## Framing
+//!
+//! Every message is one *frame*: a `u32` big-endian payload length
+//! followed by that many payload bytes. Readers enforce
+//! [`MAX_FRAME_BYTES`] before allocating, so a hostile or corrupt length
+//! prefix cannot balloon memory.
+//!
+//! ## Payloads
+//!
+//! Request (`op` byte then fields):
+//!
+//! ```text
+//! [u8 op = 1] [u16 len][source name bytes] [u16 len][binding pattern bytes]
+//! ```
+//!
+//! Response (`status` byte then fields):
+//!
+//! ```text
+//! [u8 0 = OK]             [u32 row count] rows…
+//! [u8 1 = UNKNOWN_SOURCE] [u16 len][message bytes]       (permanent)
+//! [u8 2 = ERROR]          [u16 len][message bytes]       (transient)
+//! ```
+//!
+//! A row is `[u16 arity]` followed by tagged constants: tag `0` is a
+//! big-endian `i64`, tag `1` is a `u16`-length-prefixed UTF-8 string.
+//! Decoders reject unknown tags, truncated fields, and trailing bytes, so
+//! every byte of a frame is accounted for.
+
+use qpo_datalog::{Constant, Tuple};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame's payload size. A length prefix above this is
+/// rejected before any allocation happens.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Protocol opcode for a scan request (the only request today; the slot
+/// exists so bound accesses can join the protocol without re-framing).
+pub const OP_SCAN: u8 = 1;
+
+/// What went wrong decoding a payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a field was complete.
+    Truncated,
+    /// A declared length exceeds the protocol ceiling.
+    Oversized(usize),
+    /// An unknown constant tag.
+    BadTag(u8),
+    /// An unknown request opcode.
+    BadOp(u8),
+    /// An unknown response status byte.
+    BadStatus(u8),
+    /// A string field was not valid UTF-8.
+    Utf8,
+    /// The payload had bytes left over after the message was complete.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated mid-field"),
+            WireError::Oversized(n) => write!(f, "declared length {n} exceeds protocol ceiling"),
+            WireError::BadTag(t) => write!(f, "unknown constant tag {t}"),
+            WireError::BadOp(op) => write!(f, "unknown request opcode {op}"),
+            WireError::BadStatus(s) => write!(f, "unknown response status {s}"),
+            WireError::Utf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A source-access request: scan `source` under `pattern`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Catalog name of the source relation.
+    pub source: String,
+    /// Binding pattern (today always `"scan"`).
+    pub pattern: String,
+}
+
+/// A source-access response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The source answered with its tuples.
+    Rows(Vec<Tuple>),
+    /// The server does not host that source — a permanent failure.
+    UnknownSource(String),
+    /// The server failed transiently (e.g. mid-restart); retry.
+    Error(String),
+}
+
+/// Bounds-checked little reader over a payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Oversized(n))?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(i64::from_be_bytes(raw))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Utf8)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(left))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    let len = u16::try_from(s.len()).map_err(|_| WireError::Oversized(s.len()))?;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_tuple(out: &mut Vec<u8>, tuple: &Tuple) -> Result<(), WireError> {
+    let arity = u16::try_from(tuple.len()).map_err(|_| WireError::Oversized(tuple.len()))?;
+    out.extend_from_slice(&arity.to_be_bytes());
+    for c in tuple {
+        match c {
+            Constant::Int(i) => {
+                out.push(0);
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+            Constant::Str(s) => {
+                out.push(1);
+                put_string(out, s)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_tuple(r: &mut Reader<'_>) -> Result<Tuple, WireError> {
+    let arity = r.u16()? as usize;
+    let mut tuple = Vec::with_capacity(arity.min(64));
+    for _ in 0..arity {
+        let c = match r.u8()? {
+            0 => Constant::Int(r.i64()?),
+            1 => Constant::Str(r.string()?.into()),
+            t => return Err(WireError::BadTag(t)),
+        };
+        tuple.push(c);
+    }
+    Ok(tuple)
+}
+
+/// Encodes a request payload (no frame prefix).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(5 + req.source.len() + req.pattern.len());
+    out.push(OP_SCAN);
+    put_string(&mut out, &req.source)?;
+    put_string(&mut out, &req.pattern)?;
+    Ok(out)
+}
+
+/// Decodes a request payload, rejecting unknown opcodes, truncation, and
+/// trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        OP_SCAN => {}
+        op => return Err(WireError::BadOp(op)),
+    }
+    let source = r.string()?;
+    let pattern = r.string()?;
+    r.finish()?;
+    Ok(Request { source, pattern })
+}
+
+/// Encodes a response payload (no frame prefix).
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Rows(rows) => {
+            out.push(0);
+            let count = u32::try_from(rows.len()).map_err(|_| WireError::Oversized(rows.len()))?;
+            out.extend_from_slice(&count.to_be_bytes());
+            for row in rows {
+                put_tuple(&mut out, row)?;
+            }
+        }
+        Response::UnknownSource(msg) => {
+            out.push(1);
+            put_string(&mut out, msg)?;
+        }
+        Response::Error(msg) => {
+            out.push(2);
+            put_string(&mut out, msg)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a response payload, rejecting unknown statuses, truncation, and
+/// trailing bytes.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.u8()? {
+        0 => {
+            let count = r.u32()? as usize;
+            if count > MAX_FRAME_BYTES {
+                return Err(WireError::Oversized(count));
+            }
+            let mut rows = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                rows.push(read_tuple(&mut r)?);
+            }
+            Response::Rows(rows)
+        }
+        1 => Response::UnknownSource(r.string()?),
+        2 => Response::Error(r.string()?),
+        s => return Err(WireError::BadStatus(s)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// Encodes one named relation — the record format of the store's log
+/// segments: `[u16 len][name]` then `[u32 row count]` and the rows.
+pub fn encode_relation(name: &str, rows: &[Tuple]) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    put_string(&mut out, name)?;
+    let count = u32::try_from(rows.len()).map_err(|_| WireError::Oversized(rows.len()))?;
+    out.extend_from_slice(&count.to_be_bytes());
+    for row in rows {
+        put_tuple(&mut out, row)?;
+    }
+    Ok(out)
+}
+
+/// Decodes one named-relation record (inverse of [`encode_relation`]).
+pub fn decode_relation(payload: &[u8]) -> Result<(String, Vec<Tuple>), WireError> {
+    let mut r = Reader::new(payload);
+    let name = r.string()?;
+    let count = r.u32()? as usize;
+    if count > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(count));
+    }
+    let mut rows = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        rows.push(read_tuple(&mut r)?);
+    }
+    r.finish()?;
+    Ok((name, rows))
+}
+
+/// Writes one frame: `u32` big-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::Oversized(payload.len()).to_string(),
+        ));
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing [`MAX_FRAME_BYTES`] before allocating. A
+/// clean EOF *before any length byte* maps to `UnexpectedEof` with an
+/// empty message, which callers treat as "peer closed"; EOF mid-frame is
+/// a truncation error.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::Oversized(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(items: &[i64]) -> Tuple {
+        items.iter().map(|&i| Constant::Int(i)).collect()
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            source: "v3".into(),
+            pattern: "scan".into(),
+        };
+        let bytes = encode_request(&req).unwrap();
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Rows(vec![
+                row(&[1, 2]),
+                vec![Constant::Str("ford".into()), Constant::Int(-7)],
+                vec![],
+            ]),
+            Response::Rows(Vec::new()),
+            Response::UnknownSource("v9".into()),
+            Response::Error("mid-restart".into()),
+        ];
+        for resp in cases {
+            let bytes = encode_response(&resp).unwrap();
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected_at_every_prefix() {
+        let req = Request {
+            source: "movies".into(),
+            pattern: "scan".into(),
+        };
+        let bytes = encode_request(&req).unwrap();
+        for cut in 0..bytes.len() {
+            let err = decode_request(&bytes[..cut]).unwrap_err();
+            assert_eq!(err, WireError::Truncated, "cut at {cut}");
+        }
+        let resp = Response::Rows(vec![row(&[1]), vec![Constant::Str("x".into())]]);
+        let bytes = encode_response(&resp).unwrap();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_response(&bytes[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_are_rejected_not_panicked_on() {
+        assert_eq!(decode_request(&[9]).unwrap_err(), WireError::BadOp(9));
+        assert_eq!(decode_response(&[7]).unwrap_err(), WireError::BadStatus(7));
+        // Bad constant tag inside a row.
+        let mut bytes = encode_response(&Response::Rows(vec![row(&[5])])).unwrap();
+        let tag_at = bytes.len() - 9; // tag byte precedes the 8-byte int
+        bytes[tag_at] = 0xEE;
+        assert_eq!(
+            decode_response(&bytes).unwrap_err(),
+            WireError::BadTag(0xEE)
+        );
+        // Invalid UTF-8 in a string field.
+        let mut bytes = encode_response(&Response::Error("ab".into())).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF;
+        bytes[n - 2] = 0xFE;
+        assert_eq!(decode_response(&bytes).unwrap_err(), WireError::Utf8);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_request(&Request {
+            source: "v1".into(),
+            pattern: "scan".into(),
+        })
+        .unwrap();
+        bytes.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(
+            decode_request(&bytes).unwrap_err(),
+            WireError::TrailingBytes(3)
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_the_ceiling() {
+        let payload = b"hello frames".to_vec();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(read_frame(&mut wire.as_slice()).unwrap(), payload);
+        // A hostile length prefix is rejected before allocation.
+        let mut hostile = (u32::MAX).to_be_bytes().to_vec();
+        hostile.extend_from_slice(b"x");
+        let err = read_frame(&mut hostile.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A truncated frame reports UnexpectedEof.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        wire.truncate(wire.len() - 3);
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn relation_records_round_trip() {
+        let rows = vec![row(&[1, 2]), vec![Constant::Str("ford".into())]];
+        let bytes = encode_relation("v4", &rows).unwrap();
+        let (name, decoded) = decode_relation(&bytes).unwrap();
+        assert_eq!(name, "v4");
+        assert_eq!(decoded, rows);
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_relation(&bytes[..cut]).unwrap_err(),
+                WireError::Truncated
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_strings_fail_to_encode() {
+        let req = Request {
+            source: "v".repeat(70_000),
+            pattern: "scan".into(),
+        };
+        assert!(matches!(
+            encode_request(&req).unwrap_err(),
+            WireError::Oversized(70_000)
+        ));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the source-server wire protocol: arbitrary
+//! requests/responses round-trip bit-exactly, and arbitrary byte soup
+//! never panics a decoder — it errors.
+
+use proptest::prelude::*;
+use qpo_datalog::{Constant, Tuple};
+use qpo_runtime::wire::{
+    decode_relation, decode_request, decode_response, encode_relation, encode_request,
+    encode_response, read_frame, write_frame, Request, Response,
+};
+
+/// An ASCII identifier-ish string (the shim has no regex strategies).
+fn arb_name(max_len: usize) -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_- ";
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..max_len)
+        .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i] as char).collect())
+}
+
+fn arb_constant() -> impl Strategy<Value = Constant> {
+    prop_oneof![
+        any::<i64>().prop_map(Constant::Int).boxed(),
+        arb_name(12).prop_map(|s| Constant::Str(s.into())).boxed(),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(arb_constant(), 0..5)
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (arb_name(16), arb_name(8)).prop_map(|(source, pattern)| Request { source, pattern })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        proptest::collection::vec(arb_tuple(), 0..8)
+            .prop_map(Response::Rows)
+            .boxed(),
+        arb_name(20).prop_map(Response::UnknownSource).boxed(),
+        arb_name(20).prop_map(Response::Error).boxed(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn requests_round_trip(req in arb_request()) {
+        let bytes = encode_request(&req).expect("encodes");
+        prop_assert_eq!(decode_request(&bytes).expect("decodes"), req);
+    }
+
+    #[test]
+    fn responses_round_trip(resp in arb_response()) {
+        let bytes = encode_response(&resp).expect("encodes");
+        prop_assert_eq!(decode_response(&bytes).expect("decodes"), resp);
+    }
+
+    #[test]
+    fn relation_records_round_trip(
+        name in arb_name(16),
+        rows in proptest::collection::vec(arb_tuple(), 0..8),
+    ) {
+        let bytes = encode_relation(&name, &rows).expect("encodes");
+        let (n, r) = decode_relation(&bytes).expect("decodes");
+        prop_assert_eq!(n, name);
+        prop_assert_eq!(r, rows);
+    }
+
+    #[test]
+    fn framed_messages_survive_the_byte_stream(resp in arb_response()) {
+        let payload = encode_response(&resp).expect("encodes");
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).expect("frames");
+        write_frame(&mut stream, &payload).expect("frames again");
+        let mut reader = stream.as_slice();
+        for _ in 0..2 {
+            let got = read_frame(&mut reader).expect("unframes");
+            prop_assert_eq!(decode_response(&got).expect("decodes"), resp.clone());
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_the_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Errors are fine; panics are not. A decode that happens to
+        // succeed must re-encode to the same bytes (the format is
+        // canonical: no padding, no alternative encodings).
+        if let Ok(req) = decode_request(&bytes) {
+            prop_assert_eq!(encode_request(&req).expect("re-encodes"), bytes.clone());
+        }
+        if let Ok(resp) = decode_response(&bytes) {
+            prop_assert_eq!(encode_response(&resp).expect("re-encodes"), bytes.clone());
+        }
+        let _ = decode_relation(&bytes);
+    }
+
+    #[test]
+    fn truncations_error_cleanly(resp in arb_response(), cut in 0usize..64) {
+        let bytes = encode_response(&resp).expect("encodes");
+        if cut < bytes.len() {
+            prop_assert!(decode_response(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -12,15 +12,25 @@
 //!    carries on, and the answers degrade to exactly what the surviving
 //!    sources support.
 //!
-//! Run with: `cargo run --example flaky_sources [--trace out.jsonl] [--metrics out.prom]`
+//! Run with:
+//! `cargo run --example flaky_sources [--trace out.jsonl] [--metrics out.prom] [--backend sim|store|tcp]`
 //!
 //! `--trace <path>` records every run on a shared [`Obs`] bundle and
 //! writes the deterministic plan-lifecycle trace journal as JSONL;
 //! `--metrics <path>` writes a Prometheus-style snapshot of the metrics
 //! registry. Either flag also prints the human-readable telemetry
 //! summary at the end.
+//!
+//! `--backend store` / `--backend tcp` additionally re-run the fault-free
+//! case through a *real* source backend — a persistent indexed store in a
+//! temp directory, or an in-process loopback source server behind a
+//! `TcpBackend` — seeded from the mediator's own extensions, and assert
+//! the answers match the simulator bit for bit. Sections 1–3 always run
+//! on the simulator (`sim`, the default), keeping the traced runs
+//! deterministic.
 
 use query_plan_ordering::prelude::*;
+use std::sync::Arc;
 
 /// Pulls `--flag <value>` out of the argument list, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -34,6 +44,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let trace_path = flag_value(&args, "--trace");
     let metrics_path = flag_value(&args, "--metrics");
+    let backend = flag_value(&args, "--backend").unwrap_or_else(|| "sim".to_string());
+    assert!(
+        matches!(backend.as_str(), "sim" | "store" | "tcp"),
+        "--backend must be one of sim, store, tcp (got {backend:?})"
+    );
     let obs = if trace_path.is_some() {
         Obs::with_trace()
     } else {
@@ -130,6 +145,60 @@ fn main() {
     assert!(degraded.failed() > 0 && degraded.executed() > 0);
     assert!(degraded.runtime.answers.len() < full);
     assert!(!degraded.runtime.answers.is_empty());
+
+    // Optional: the fault-free case again, through a real backend seeded
+    // from the same extensions — identical answers, real I/O.
+    if backend != "sim" {
+        let mut _server_guard = None;
+        let store_dir =
+            std::env::temp_dir().join(format!("qpo-flaky-backend-{}", std::process::id()));
+        let real: Arc<dyn SourceBackend> = match backend.as_str() {
+            "store" => {
+                let _ = std::fs::remove_dir_all(&store_dir);
+                let store = StoreBackend::open(&store_dir).expect("store opens");
+                for (name, rows) in snapshot_relations(mediator.database()) {
+                    store.put_relation(&name, &rows).expect("store seeds");
+                }
+                store.flush().expect("store flushes");
+                Arc::new(store)
+            }
+            _ => {
+                let provider = MemProvider::new();
+                for (name, rows) in snapshot_relations(mediator.database()) {
+                    provider.insert(name, rows);
+                }
+                let server =
+                    SourceServer::serve(Arc::new(provider), 0).expect("loopback server binds");
+                let addr = server.addr().to_string();
+                _server_guard = Some(server);
+                Arc::new(TcpBackend::new(addr))
+            }
+        };
+        let mediator = mediator
+            .clone()
+            .with_backends(BackendRegistry::new().with(backend.as_str(), real));
+        let remote = mediator
+            .run_concurrent_on(
+                &backend,
+                &query,
+                &Coverage,
+                Strategy::Pi,
+                StopCondition::unbounded(),
+                RuntimePolicy::parallel(4),
+            )
+            .expect("backend mediation succeeds");
+        assert_eq!(
+            remote.runtime.answers, serial.answers,
+            "real backends answer bit-identically to the simulator"
+        );
+        println!(
+            "\n[{backend}] fault-free rerun through the {backend} backend: \
+             {} plans, {} answers — identical to the simulator.",
+            remote.runtime.reports.len(),
+            remote.runtime.answers.len()
+        );
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
 
     // 4. What the ordering itself costs: run iDrips over the same query
     // and dump the incremental kernel's work counters.

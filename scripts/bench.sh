@@ -13,6 +13,9 @@
 # - bench-sharing: cross-plan shared-execution memo on/off (live source
 #   accesses, tuple throughput, time-to-k-th-plan), merged into
 #   BENCH_ordering.json as the "sharing" section.
+# - bench-backends: the same query through the sim/store/tcp source
+#   backends (access p50/p95, answer equivalence), merged into
+#   BENCH_ordering.json as the "backends" section.
 #
 # Usage:
 #   scripts/bench.sh            # full workloads, rewrite both JSON files
@@ -41,6 +44,10 @@ else
   cargo build --release -p qpo-bench --bin bench-sharing
   echo "==> bench-sharing --merge BENCH_ordering.json"
   ./target/release/bench-sharing --merge BENCH_ordering.json
+  echo "==> cargo build --release -p qpo-bench --bin bench-backends"
+  cargo build --release -p qpo-bench --bin bench-backends
+  echo "==> bench-backends --merge BENCH_ordering.json"
+  ./target/release/bench-backends --merge BENCH_ordering.json
   echo "==> cargo build --release -p qpo-bench --bin bench-serving"
   cargo build --release -p qpo-bench --bin bench-serving
   echo "==> bench-serving --out BENCH_serving.json"

@@ -24,6 +24,22 @@ cargo test -q -p qpo-exec --test session_equivalence
 echo "==> live introspection server smoke (std TcpStream client, byte-identity vs offline exporters)"
 cargo test -q -p qpo-exec --test introspection_server
 
+echo "==> source-backend integration tests (against a live qpo-source-server)"
+cargo build --release -p qpo-exec --bin qpo-source-server
+addr_file="$(mktemp /tmp/qpo-source-addr.XXXXXX)"
+rm -f "$addr_file"
+./target/release/qpo-source-server --quiet --addr-file "$addr_file" &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [[ -s "$addr_file" ]] && break
+  sleep 0.1
+done
+[[ -s "$addr_file" ]] || { echo "qpo-source-server never reported an address"; exit 1; }
+QPO_SOURCE_SERVER_ADDR="$(cat "$addr_file")" cargo test -q -p qpo-exec --test backends
+kill "$server_pid" 2>/dev/null || true
+rm -f "$addr_file"
+
 echo "==> trace journal validation gate"
 cargo build --release --example flaky_sources -p query-plan-ordering
 cargo build --release -p qpo-bench --bin trace-validate
@@ -46,5 +62,9 @@ cargo build --release -p qpo-bench --bin bench-anyk
 echo "==> shared-execution memo bench smoke (release)"
 cargo build --release -p qpo-bench --bin bench-sharing
 ./target/release/bench-sharing --smoke
+
+echo "==> source-backend bench smoke (release: sim/store/tcp answer equivalence)"
+cargo build --release -p qpo-bench --bin bench-backends
+./target/release/bench-backends --smoke
 
 echo "CI gate passed."

@@ -97,9 +97,10 @@ pub mod prelude {
         SourceDescription, Term,
     };
     pub use qpo_exec::{
-        format_kernel_stats, offline_ranked_answers, ranked_join_for_plan, AnyKRun, CacheStats,
-        ConcurrentRun, ExecutionMemo, Mediator, MediatorRun, PlanReport, PreparedQuery,
-        QuerySession, ReformulationCache, StopCondition, Strategy, SubplanMemo,
+        format_kernel_stats, offline_ranked_answers, ranked_join_for_plan, snapshot_relations,
+        AnyKRun, BackendRegistry, CacheStats, ConcurrentRun, ExecutionMemo, Mediator, MediatorRun,
+        PlanReport, PreparedQuery, QuerySession, ReformulationCache, StopCondition, Strategy,
+        SubplanMemo,
     };
     pub use qpo_interval::Interval;
     pub use qpo_obs::{
@@ -113,7 +114,9 @@ pub mod prelude {
         create_buckets, enumerate_sound_plans, minicon_plan_spaces, reformulate, Reformulation,
     };
     pub use qpo_runtime::{
-        FaultConfig, PlanStatus, RetryPolicy, RunBudget, RuntimePolicy, SourceHealth,
+        BackendError, BackendErrorClass, FaultConfig, MemProvider, PlanStatus, RelationProvider,
+        RetryPolicy, RunBudget, RuntimePolicy, SimBackend, SourceBackend, SourceHealth,
+        SourceServer, StoreBackend, TcpBackend,
     };
     pub use qpo_utility::{
         Combined, CountingMeasure, Coverage, ExecutionContext, FailureCost, FusionCost, LinearCost,
