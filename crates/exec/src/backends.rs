@@ -10,10 +10,12 @@
 //! [`Mediator::run_concurrent`](crate::concurrent) on it: same
 //! reformulation, same ordering, same retry/feedback/divergence stack —
 //! only the access path changes. When the backend returns tuples
-//! (store and TCP do), join evaluation uses *those* tuples, overlaid on
-//! the mediator's extensions for memo-resolved slots; when it returns
-//! none (the simulator), evaluation falls back to the static extensions,
-//! which keeps every sim run bit-identical to [`Mediator::run_concurrent`].
+//! (store and TCP do), join evaluation uses *those* tuples — slots a
+//! memo shortcut skipped fetching are refilled from a per-run fetch
+//! cache backed by the same backend, never from the extensions; when the
+//! backend returns none for every slot (the simulator), evaluation falls
+//! back to the static extensions, which keeps every sim run
+//! bit-identical to [`Mediator::run_concurrent`].
 //!
 //! [`snapshot_relations`] exports the mediator's materialized extensions
 //! keyed by catalog source name — the seeding bridge that lets a store or
@@ -26,13 +28,13 @@ use crate::mediator::{build_orderer_observed, Mediator, MediatorError, StopCondi
 use qpo_datalog::{ConjunctiveQuery, Database, Tuple};
 use qpo_obs::{DivergenceMonitor, Obs};
 use qpo_runtime::{
-    declare_sources, observe_divergence, BackendError, Executor, PlanEvaluator, SimBackend,
-    SourceBackend, SourceGrid, SourceHealth,
+    declare_sources, observe_divergence, AccessContext, BackendError, Executor, FaultConfig,
+    PlanEvaluator, SimBackend, SourceBackend, SourceGrid, SourceHealth, SCAN_PATTERN,
 };
 use qpo_utility::UtilityMeasure;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A labeled set of [`SourceBackend`]s a mediator can execute against.
 ///
@@ -117,10 +119,55 @@ pub fn snapshot_relations(db: &Database) -> Vec<(String, Vec<Tuple>)> {
 /// The backend-aware [`PlanEvaluator`]: soundness and the simulated
 /// evaluation path delegate to the plain [`MediatorEvaluator`]; when the
 /// backend returned tuples for at least one bucket, evaluation joins
-/// *those* tuples (falling back to the mediator's extensions for
-/// memo-resolved or data-less slots) instead of the static database.
+/// *those* tuples instead of the static database. Slots with no rows
+/// attached (memo-resolved accesses) are served from a per-run fetch
+/// cache — refilled from the backend on a miss — never from the static
+/// extensions: a data-serving backend may hold different data, and
+/// joining extension rows for some buckets against backend rows for
+/// others would produce answers from a mixed world.
 pub(crate) struct BackendEvaluator<'a> {
     pub(crate) base: MediatorEvaluator<'a>,
+    /// The backend the run's accesses go through — also the authority
+    /// for rows the memo shortcut skipped fetching.
+    pub(crate) backend: Arc<dyn SourceBackend>,
+    pub(crate) grid: &'a SourceGrid,
+    pub(crate) faults: FaultConfig,
+    /// Rows seen (or re-fetched) this run, by source name.
+    pub(crate) fetch_cache: Mutex<BTreeMap<String, Arc<Vec<Tuple>>>>,
+}
+
+impl BackendEvaluator<'_> {
+    fn cache(&self) -> MutexGuard<'_, BTreeMap<String, Arc<Vec<Tuple>>>> {
+        // Poison recovery: the cache only ever holds complete fetches.
+        self.fetch_cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Rows for a slot the backend served no data for in this plan (a
+    /// memo-resolved access): the run's fetch cache, or a direct backend
+    /// re-fetch on a miss (warm memos span runs; the cache does not). A
+    /// backend that cannot serve the relation right now degrades to the
+    /// empty relation — no answers from this plan — rather than
+    /// resurrecting extension rows the backend never held.
+    fn backend_rows(&self, plan: &[usize], bucket: usize, name: &str) -> Arc<Vec<Tuple>> {
+        if let Some(rows) = self.cache().get(name) {
+            return rows.clone();
+        }
+        let svc = self.grid.service(bucket, plan[bucket]);
+        let ctx = AccessContext {
+            pattern: SCAN_PATTERN,
+            plan_seq: 0,
+            attempt: 0,
+            faults: &self.faults,
+        };
+        match self.backend.access(svc, &ctx) {
+            Ok(reply) => {
+                let rows = reply.tuples.unwrap_or_else(|| Arc::new(Vec::new()));
+                self.cache().insert(name.to_string(), rows.clone());
+                rows
+            }
+            Err(_) => Arc::new(Vec::new()),
+        }
+    }
 }
 
 impl PlanEvaluator for BackendEvaluator<'_> {
@@ -142,20 +189,21 @@ impl PlanEvaluator for BackendEvaluator<'_> {
         let sources = self.base.reform.plan_sources(plan);
         let mut overlay = Database::new();
         for (slot, name) in sources.iter().enumerate() {
-            match fetched.get(slot).and_then(Option::as_ref) {
+            let rows = match fetched.get(slot).and_then(Option::as_ref) {
                 Some(rows) => {
-                    for t in rows.iter() {
-                        overlay.insert(name, t.clone());
-                    }
+                    self.cache()
+                        .entry(name.clone())
+                        .or_insert_with(|| rows.clone());
+                    rows.clone()
                 }
                 // Memo-resolved slot: the terminal outcome was cached but
-                // no live rows rode along, so the extensions stand in —
-                // they are what seeded the backend in the first place.
-                None => {
-                    for t in self.base.db.tuples(name) {
-                        overlay.insert(name, t.clone());
-                    }
-                }
+                // no live rows rode along. The backend (via the run's
+                // fetch cache) is the only authority for this world's
+                // rows — the static extensions may disagree with it.
+                None => self.backend_rows(plan, slot, name),
+            };
+            for t in rows.iter() {
+                overlay.insert(name, t.clone());
             }
         }
         overlay
@@ -241,6 +289,10 @@ impl Mediator {
                 view_map: self.catalog().view_map(),
                 soundness_errors: obs.registry.counter("qpo_soundness_test_errors_total", &[]),
             },
+            backend: Arc::clone(&backend),
+            grid: &grid,
+            faults: FaultConfig::disabled(),
+            fetch_cache: Mutex::new(BTreeMap::new()),
         };
         let runtime = Executor::new(&grid, &eval, policy)
             .with_backend(backend)
@@ -376,6 +428,78 @@ mod tests {
             .unwrap();
         assert_eq!(sim.runtime.answers, real.runtime.answers);
         assert_eq!(sim.emitted_plans(), real.emitted_plans());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_resolved_slots_join_backend_rows_not_extensions() {
+        use qpo_runtime::PlanStatus;
+        let m = mediator();
+        let q = movie_query();
+        // A plan the simulated world answers, to make the negative case
+        // meaningful below.
+        let sim = m
+            .run_concurrent(
+                &q,
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::serial(),
+            )
+            .unwrap();
+        let plan = sim
+            .runtime
+            .reports
+            .iter()
+            .find(|r| matches!(r.status, PlanStatus::Executed { tuples, .. } if tuples > 0))
+            .expect("some plan answers")
+            .ordered
+            .plan
+            .clone();
+        assert!(plan.len() >= 2, "needs a mixed fetched/memo-resolved plan");
+        let prepared = m.prepare(&q).unwrap();
+        let grid = SourceGrid::from_instance(&prepared.instance);
+        let dir = std::env::temp_dir().join(format!(
+            "qpo-exec-memoslot-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(StoreBackend::open(&dir).unwrap());
+        for (name, rows) in snapshot_relations(m.database()) {
+            store.put_relation(&name, &rows).unwrap();
+        }
+        // The backend's world diverges from the extensions: the plan's
+        // first source is emptied on the store only.
+        let sources = prepared.reformulation.plan_sources(&plan);
+        store.put_relation(&sources[0], &[]).unwrap();
+        let obs = Obs::new();
+        let eval = BackendEvaluator {
+            base: MediatorEvaluator {
+                reform: &prepared.reformulation,
+                db: m.database(),
+                view_map: m.catalog().view_map(),
+                soundness_errors: obs.registry.counter("qpo_soundness_test_errors_total", &[]),
+            },
+            backend: store.clone(),
+            grid: &grid,
+            faults: FaultConfig::disabled(),
+            fetch_cache: Mutex::new(BTreeMap::new()),
+        };
+        // Slot 0 is memo-resolved (no rows rode along); the last slot
+        // carries live backend rows.
+        let mut fetched: Vec<Option<Arc<Vec<Tuple>>>> = vec![None; plan.len()];
+        let last = plan.len() - 1;
+        fetched[last] = Some(store.relation(&sources[last]).unwrap());
+        let answers = eval.evaluate_fetched(&plan, &fetched);
+        assert!(
+            answers.is_empty(),
+            "memo-resolved slot must join the backend's (empty) rows, \
+             not the extensions'"
+        );
+        // The extensions still answer — proving the empty result above
+        // came from the backend re-fetch, not a broken join.
+        assert!(!eval.evaluate(&plan).is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

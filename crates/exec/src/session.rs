@@ -39,7 +39,8 @@ use qpo_datalog::{Database, SourceDescription, Tuple};
 use qpo_obs::{encode_plan, Counter, Histogram, Obs, QualitySnapshot, QualityTracker, Value};
 use qpo_reformulation::PreparedQuery;
 use qpo_runtime::{
-    AccessContext, BackendError, FaultConfig, SourceBackend, SourceGrid, SCAN_PATTERN,
+    AccessContext, BackendError, BackendErrorClass, FaultConfig, SourceBackend, SourceGrid,
+    SCAN_PATTERN,
 };
 use qpo_utility::UtilityMeasure;
 use std::cmp::Ordering;
@@ -258,10 +259,12 @@ impl<'s> QuerySession<'s> {
     /// plan's relations are fetched from the backend — once per source,
     /// cached for the session — and evaluation joins the fetched rows
     /// instead of the static extensions. Sources the backend cannot serve
-    /// (a typed [`BackendError`], transient or permanent — a session has
-    /// no retry loop) contribute an *empty* relation, so their plans
-    /// produce no answers but the session carries on, mirroring the
-    /// concurrent path's graceful degradation. `"sim"` (and any backend
+    /// (a typed [`BackendError`] — a session has no retry loop)
+    /// contribute an *empty* relation for the current plan, so it
+    /// produces no answers but the session carries on, mirroring the
+    /// concurrent path's graceful degradation; only *permanent* failures
+    /// are cached, so a transiently unreachable source is retried by the
+    /// next plan that joins it. `"sim"` (and any backend
     /// of kind `"sim"`) leaves the session on the extensions untouched —
     /// the serial path stays bit-identical to an unbackended session.
     /// Tuple-level any-k streaming always ranks over the extensions.
@@ -285,8 +288,9 @@ impl<'s> QuerySession<'s> {
 
     /// Builds the plan's evaluation database from the attached backend:
     /// every source of `plan` resolves to its fetched rows (served from
-    /// the session cache after the first fetch; unfetchable sources
-    /// resolve to the empty relation; backends that return no data — the
+    /// the session cache after the first successful fetch; unfetchable
+    /// sources resolve to the empty relation for this plan, cached only
+    /// when the failure is permanent; backends that return no data — the
     /// simulator — fall back to the extensions). `None` without an
     /// attached real backend.
     fn backend_overlay(&mut self, plan: &[usize]) -> Option<Database> {
@@ -303,14 +307,29 @@ impl<'s> QuerySession<'s> {
                         attempt: 1,
                         faults: &sess.faults,
                     };
-                    let rows = match sess.backend.access(svc, &ctx) {
-                        Ok(reply) => reply.tuples.unwrap_or_else(|| {
-                            Arc::new(self.db.tuples(&svc.name).cloned().collect())
-                        }),
-                        Err(_) => Arc::new(Vec::new()),
-                    };
-                    sess.fetched.insert(svc.name.clone(), rows.clone());
-                    rows
+                    match sess.backend.access(svc, &ctx) {
+                        Ok(reply) => {
+                            let rows = reply.tuples.unwrap_or_else(|| {
+                                Arc::new(self.db.tuples(&svc.name).cloned().collect())
+                            });
+                            sess.fetched.insert(svc.name.clone(), rows.clone());
+                            rows
+                        }
+                        // A failed fetch is not data. Permanent failures
+                        // (unknown source) cache as empty — retrying
+                        // cannot help — but transient ones (a flapping
+                        // server) stay uncached, so a later plan joining
+                        // this source retries it once the backend heals
+                        // instead of silently answering empty for the
+                        // rest of the session.
+                        Err(e) => {
+                            let rows: Arc<Vec<Tuple>> = Arc::new(Vec::new());
+                            if e.class == BackendErrorClass::Permanent {
+                                sess.fetched.insert(svc.name.clone(), rows.clone());
+                            }
+                            rows
+                        }
+                    }
                 }
             };
             for t in rows.iter() {

@@ -36,11 +36,22 @@ use std::time::{Duration, Instant};
 pub trait RelationProvider: Send + Sync {
     /// The relation's tuples, or `None` if not hosted.
     fn relation(&self, name: &str) -> Option<Arc<Vec<Tuple>>>;
+
+    /// Monotone data-version counter, stamped on every wire response so
+    /// clients can invalidate memoized outcomes when the served data
+    /// changes. Providers whose data never changes may keep the default.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 impl RelationProvider for StoreBackend {
     fn relation(&self, name: &str) -> Option<Arc<Vec<Tuple>>> {
         StoreBackend::relation(self, name)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.records()
     }
 }
 
@@ -48,6 +59,7 @@ impl RelationProvider for StoreBackend {
 #[derive(Debug, Default)]
 pub struct MemProvider {
     relations: Mutex<BTreeMap<String, Arc<Vec<Tuple>>>>,
+    version: AtomicU64,
 }
 
 impl MemProvider {
@@ -56,12 +68,13 @@ impl MemProvider {
         MemProvider::default()
     }
 
-    /// Inserts (or replaces) a relation.
+    /// Inserts (or replaces) a relation, bumping the data version.
     pub fn insert(&self, name: impl Into<String>, rows: Vec<Tuple>) {
         self.relations
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(name.into(), Arc::new(rows));
+        self.version.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -72,6 +85,10 @@ impl RelationProvider for MemProvider {
             .unwrap_or_else(|e| e.into_inner())
             .get(name)
             .cloned()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
     }
 }
 
@@ -169,14 +186,14 @@ fn handle_connection(
             Ok(req) => respond(&req, provider),
             Err(e) => {
                 let resp = Response::Error(format!("malformed request: {e}"));
-                if let Ok(bytes) = wire::encode_response(&resp) {
+                if let Ok(bytes) = wire::encode_response(&resp, provider.epoch()) {
                     let _ = wire::write_frame(&mut stream, &bytes);
                 }
                 return Ok(());
             }
         };
         served.fetch_add(1, Ordering::SeqCst);
-        let bytes = wire::encode_response(&response)
+        let bytes = wire::encode_response(&response, provider.epoch())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         wire::write_frame(&mut stream, &bytes)?;
         stream.flush()?;
@@ -193,12 +210,17 @@ pub fn respond(req: &Request, provider: &dyn RelationProvider) -> Response {
 }
 
 /// A remote source reached over TCP; see the module docs.
+///
+/// Every server response carries the provider's data epoch in its
+/// header; the backend tracks the highest epoch observed (shared across
+/// clones) and reports it through [`SourceBackend::epoch`], so the
+/// source memo invalidates automatically when the remote data changes.
 #[derive(Debug, Clone)]
 pub struct TcpBackend {
     addr: String,
     io_timeout: Duration,
     latency_unit: f64,
-    epoch: u64,
+    seen_epoch: Arc<AtomicU64>,
 }
 
 impl TcpBackend {
@@ -209,7 +231,7 @@ impl TcpBackend {
             addr: addr.into(),
             io_timeout: Duration::from_secs(2),
             latency_unit: 1000.0,
-            epoch: 0,
+            seen_epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -226,20 +248,14 @@ impl TcpBackend {
         self
     }
 
-    /// Declares the remote data version (see [`SourceBackend::epoch`]).
-    /// The protocol has no epoch exchange yet, so callers that know the
-    /// server's data changed bump this by hand.
-    pub fn with_epoch(mut self, epoch: u64) -> Self {
-        self.epoch = epoch;
-        self
-    }
-
     /// The server address this backend dials.
     pub fn addr(&self) -> &str {
         &self.addr
     }
 
-    /// One full request/response exchange on a fresh connection.
+    /// One full request/response exchange on a fresh connection. Folds
+    /// the response header's epoch into the high-water mark before
+    /// returning, so even error responses advance the observed version.
     fn exchange(&self, source: &str, pattern: &str) -> Result<Response, BackendError> {
         let addr = self
             .addr
@@ -264,8 +280,10 @@ impl TcpBackend {
             .map_err(|e| BackendError::from_io(&e, "send request"))?;
         let payload = wire::read_frame(&mut stream)
             .map_err(|e| BackendError::from_io(&e, "read response"))?;
-        wire::decode_response(&payload)
-            .map_err(|e| BackendError::transient(format!("malformed response: {e}")))
+        let (resp, epoch) = wire::decode_response(&payload)
+            .map_err(|e| BackendError::transient(format!("malformed response: {e}")))?;
+        self.seen_epoch.fetch_max(epoch, Ordering::SeqCst);
+        Ok(resp)
     }
 }
 
@@ -275,7 +293,7 @@ impl SourceBackend for TcpBackend {
     }
 
     fn epoch(&self) -> u64 {
-        self.epoch
+        self.seen_epoch.load(Ordering::SeqCst)
     }
 
     fn access(
@@ -418,7 +436,7 @@ mod tests {
             let mut s = TcpStream::connect(addr).unwrap();
             wire::write_frame(&mut s, &[0xde, 0xad, 0xbe, 0xef]).unwrap();
             let reply = wire::read_frame(&mut s).unwrap();
-            match wire::decode_response(&reply).unwrap() {
+            match wire::decode_response(&reply).unwrap().0 {
                 Response::Error(msg) => assert!(msg.contains("malformed")),
                 other => panic!("expected transient error, got {other:?}"),
             }
@@ -455,14 +473,33 @@ mod tests {
             .unwrap();
             wire::write_frame(&mut s, &req).unwrap();
             let reply = wire::read_frame(&mut s).unwrap();
-            assert_eq!(
-                wire::decode_response(&reply).unwrap(),
-                Response::Rows(rows(&[1, 2, 3]))
-            );
+            let (resp, epoch) = wire::decode_response(&reply).unwrap();
+            assert_eq!(resp, Response::Rows(rows(&[1, 2, 3])));
+            assert_eq!(epoch, 2, "two fixture inserts");
         }
         drop(s);
         server.stop();
         assert_eq!(server.requests_served(), 3);
+    }
+
+    #[test]
+    fn epoch_rides_the_wire_and_advances_the_backend() {
+        let p = provider(); // two fixture inserts → server epoch 2
+        let mut server = SourceServer::serve(p.clone(), 0).unwrap();
+        let backend = TcpBackend::new(server.addr().to_string());
+        let grid = grid();
+        let faults = FaultConfig::disabled();
+        assert_eq!(backend.epoch(), 0, "no response observed yet");
+        backend.access(grid.service(0, 0), &ctx(&faults)).unwrap();
+        assert_eq!(backend.epoch(), 2);
+        // A remote data change is visible after the next exchange — even
+        // through a clone (the high-water mark is shared) and even when
+        // the exchange itself fails (UNKNOWN_SOURCE carries the epoch).
+        p.insert("v1", rows(&[9]));
+        let clone = backend.clone();
+        let _ = clone.access(grid.service(0, 2), &ctx(&faults));
+        assert_eq!(backend.epoch(), 3);
+        server.stop();
     }
 
     #[test]

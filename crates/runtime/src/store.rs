@@ -5,9 +5,11 @@
 //! [`crate::wire::encode_relation`] payload — a full snapshot of one
 //! relation. On open the segments are replayed in order and the *latest*
 //! record per relation wins, rebuilding the in-memory index; a torn tail
-//! frame (crash mid-append) is detected and ignored, so recovery is
-//! last-good-record. [`StoreBackend::flush`] fsyncs the active segment,
-//! making everything before it durable.
+//! frame (crash mid-append) is detected and the segment is truncated back
+//! to the last whole record, so recovery is last-good-record *and*
+//! records appended after the reopen land at a frame-aligned offset,
+//! keeping them reachable on every later replay. [`StoreBackend::flush`]
+//! fsyncs the active segment, making everything before it durable.
 //!
 //! Accesses are served from the in-memory index and charged the *measured*
 //! wall time of the lookup, mapped onto the virtual-time axis via
@@ -69,13 +71,16 @@ fn segment_path(dir: &Path, segment: u64) -> PathBuf {
 }
 
 /// Replays one segment file into the index, stopping (without error) at a
-/// torn tail frame. Returns the number of whole records applied.
+/// torn tail frame. Returns the number of whole records applied and the
+/// byte offset just past the last whole record — the offset the segment
+/// must be truncated to before it can take further appends.
 fn replay_segment(
     path: &Path,
     index: &mut BTreeMap<String, Arc<Vec<Tuple>>>,
-) -> std::io::Result<u64> {
+) -> std::io::Result<(u64, u64)> {
     let mut reader = BufReader::new(File::open(path)?);
     let mut applied = 0u64;
+    let mut good_bytes = 0u64;
     loop {
         let payload = match wire::read_frame(&mut reader) {
             Ok(p) => p,
@@ -92,8 +97,9 @@ fn replay_segment(
         };
         index.insert(name, Arc::new(rows));
         applied += 1;
+        good_bytes += 4 + payload.len() as u64;
     }
-    Ok(applied)
+    Ok((applied, good_bytes))
 }
 
 impl StoreBackend {
@@ -120,7 +126,19 @@ impl StoreBackend {
         let mut index = BTreeMap::new();
         let mut replayed = 0u64;
         for (_, path) in &segments {
-            replayed += replay_segment(path, &mut index)?;
+            let (applied, good_bytes) = replay_segment(path, &mut index)?;
+            replayed += applied;
+            // A torn or garbled tail (crash mid-append) leaves garbage
+            // bytes past the last whole record. Appending after them
+            // would make every later record unreachable on the next
+            // replay (the stale length prefix misaligns the frame
+            // stream), so cut the segment back to the last whole record
+            // before it can take appends again.
+            if std::fs::metadata(path)?.len() > good_bytes {
+                let tail = OpenOptions::new().write(true).open(path)?;
+                tail.set_len(good_bytes)?;
+                tail.sync_all()?;
+            }
         }
         let segment = segments.last().map_or(0, |(n, _)| *n);
         let mut log_file = OpenOptions::new()
@@ -332,6 +350,19 @@ mod tests {
         let store = StoreBackend::open(&dir).unwrap();
         assert_eq!(store.len(), 2, "whole records before the tear survive");
         assert_eq!(store.relation("v2").unwrap().as_ref(), &rows(&[2]));
+        // The tear was truncated away, so records appended after the
+        // crash-recovery reopen are frame-aligned and survive the *next*
+        // replay — acknowledged writes never become unreachable.
+        store.put_relation("v3", &rows(&[9])).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let store = StoreBackend::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(
+            store.relation("v3").unwrap().as_ref(),
+            &rows(&[9]),
+            "post-recovery appends replay"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

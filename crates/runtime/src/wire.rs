@@ -20,13 +20,20 @@
 //! [u8 op = 1] [u16 len][source name bytes] [u16 len][binding pattern bytes]
 //! ```
 //!
-//! Response (`status` byte then fields):
+//! Response (`status` byte, then the server's data epoch, then fields):
 //!
 //! ```text
-//! [u8 0 = OK]             [u32 row count] rows…
-//! [u8 1 = UNKNOWN_SOURCE] [u16 len][message bytes]       (permanent)
-//! [u8 2 = ERROR]          [u16 len][message bytes]       (transient)
+//! [u8 0 = OK]             [u64 epoch] [u32 row count] rows…
+//! [u8 1 = UNKNOWN_SOURCE] [u64 epoch] [u16 len][message bytes]  (permanent)
+//! [u8 2 = ERROR]          [u64 epoch] [u16 len][message bytes]  (transient)
 //! ```
+//!
+//! The epoch is the server's monotone data-version counter
+//! ([`crate::net::RelationProvider::epoch`]): it rides on *every*
+//! response so a [`crate::net::TcpBackend`] can surface it through
+//! [`crate::backend::SourceBackend::epoch`] and the source memo can
+//! invalidate outcomes cached against a world the server no longer
+//! serves — no manual version bookkeeping on the client.
 //!
 //! A row is `[u16 arity]` followed by tagged constants: tag `0` is a
 //! big-endian `i64`, tag `1` is a `u16`-length-prefixed UTF-8 string.
@@ -135,11 +142,15 @@ impl<'a> Reader<'a> {
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn i64(&mut self) -> Result<i64, WireError> {
+    fn u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
         let mut raw = [0u8; 8];
         raw.copy_from_slice(b);
-        Ok(i64::from_be_bytes(raw))
+        Ok(u64::from_be_bytes(raw))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
     }
 
     fn string(&mut self) -> Result<String, WireError> {
@@ -220,12 +231,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     Ok(Request { source, pattern })
 }
 
-/// Encodes a response payload (no frame prefix).
-pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
+/// Encodes a response payload (no frame prefix). `epoch` is the server's
+/// data-version counter, carried in the header of every response.
+pub fn encode_response(resp: &Response, epoch: u64) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::new();
     match resp {
         Response::Rows(rows) => {
             out.push(0);
+            out.extend_from_slice(&epoch.to_be_bytes());
             let count = u32::try_from(rows.len()).map_err(|_| WireError::Oversized(rows.len()))?;
             out.extend_from_slice(&count.to_be_bytes());
             for row in rows {
@@ -234,21 +247,28 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
         }
         Response::UnknownSource(msg) => {
             out.push(1);
+            out.extend_from_slice(&epoch.to_be_bytes());
             put_string(&mut out, msg)?;
         }
         Response::Error(msg) => {
             out.push(2);
+            out.extend_from_slice(&epoch.to_be_bytes());
             put_string(&mut out, msg)?;
         }
     }
     Ok(out)
 }
 
-/// Decodes a response payload, rejecting unknown statuses, truncation, and
-/// trailing bytes.
-pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+/// Decodes a response payload into `(response, server epoch)`, rejecting
+/// unknown statuses, truncation, and trailing bytes.
+pub fn decode_response(payload: &[u8]) -> Result<(Response, u64), WireError> {
     let mut r = Reader::new(payload);
-    let resp = match r.u8()? {
+    let status = r.u8()?;
+    if status > 2 {
+        return Err(WireError::BadStatus(status));
+    }
+    let epoch = r.u64()?;
+    let resp = match status {
         0 => {
             let count = r.u32()? as usize;
             if count > MAX_FRAME_BYTES {
@@ -265,7 +285,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         s => return Err(WireError::BadStatus(s)),
     };
     r.finish()?;
-    Ok(resp)
+    Ok((resp, epoch))
 }
 
 /// Encodes one named relation — the record format of the store's log
@@ -360,9 +380,10 @@ mod tests {
             Response::UnknownSource("v9".into()),
             Response::Error("mid-restart".into()),
         ];
-        for resp in cases {
-            let bytes = encode_response(&resp).unwrap();
-            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        for (i, resp) in cases.into_iter().enumerate() {
+            let epoch = i as u64 * 1000 + 7;
+            let bytes = encode_response(&resp, epoch).unwrap();
+            assert_eq!(decode_response(&bytes).unwrap(), (resp, epoch));
         }
     }
 
@@ -378,7 +399,7 @@ mod tests {
             assert_eq!(err, WireError::Truncated, "cut at {cut}");
         }
         let resp = Response::Rows(vec![row(&[1]), vec![Constant::Str("x".into())]]);
-        let bytes = encode_response(&resp).unwrap();
+        let bytes = encode_response(&resp, 42).unwrap();
         for cut in 0..bytes.len() {
             assert_eq!(
                 decode_response(&bytes[..cut]).unwrap_err(),
@@ -393,7 +414,7 @@ mod tests {
         assert_eq!(decode_request(&[9]).unwrap_err(), WireError::BadOp(9));
         assert_eq!(decode_response(&[7]).unwrap_err(), WireError::BadStatus(7));
         // Bad constant tag inside a row.
-        let mut bytes = encode_response(&Response::Rows(vec![row(&[5])])).unwrap();
+        let mut bytes = encode_response(&Response::Rows(vec![row(&[5])]), 3).unwrap();
         let tag_at = bytes.len() - 9; // tag byte precedes the 8-byte int
         bytes[tag_at] = 0xEE;
         assert_eq!(
@@ -401,7 +422,7 @@ mod tests {
             WireError::BadTag(0xEE)
         );
         // Invalid UTF-8 in a string field.
-        let mut bytes = encode_response(&Response::Error("ab".into())).unwrap();
+        let mut bytes = encode_response(&Response::Error("ab".into()), 3).unwrap();
         let n = bytes.len();
         bytes[n - 1] = 0xFF;
         bytes[n - 2] = 0xFE;

@@ -51,9 +51,9 @@ proptest! {
     }
 
     #[test]
-    fn responses_round_trip(resp in arb_response()) {
-        let bytes = encode_response(&resp).expect("encodes");
-        prop_assert_eq!(decode_response(&bytes).expect("decodes"), resp);
+    fn responses_round_trip(resp in arb_response(), epoch in any::<u64>()) {
+        let bytes = encode_response(&resp, epoch).expect("encodes");
+        prop_assert_eq!(decode_response(&bytes).expect("decodes"), (resp, epoch));
     }
 
     #[test]
@@ -68,15 +68,15 @@ proptest! {
     }
 
     #[test]
-    fn framed_messages_survive_the_byte_stream(resp in arb_response()) {
-        let payload = encode_response(&resp).expect("encodes");
+    fn framed_messages_survive_the_byte_stream(resp in arb_response(), epoch in any::<u64>()) {
+        let payload = encode_response(&resp, epoch).expect("encodes");
         let mut stream = Vec::new();
         write_frame(&mut stream, &payload).expect("frames");
         write_frame(&mut stream, &payload).expect("frames again");
         let mut reader = stream.as_slice();
         for _ in 0..2 {
             let got = read_frame(&mut reader).expect("unframes");
-            prop_assert_eq!(decode_response(&got).expect("decodes"), resp.clone());
+            prop_assert_eq!(decode_response(&got).expect("decodes"), (resp.clone(), epoch));
         }
     }
 
@@ -88,15 +88,15 @@ proptest! {
         if let Ok(req) = decode_request(&bytes) {
             prop_assert_eq!(encode_request(&req).expect("re-encodes"), bytes.clone());
         }
-        if let Ok(resp) = decode_response(&bytes) {
-            prop_assert_eq!(encode_response(&resp).expect("re-encodes"), bytes.clone());
+        if let Ok((resp, epoch)) = decode_response(&bytes) {
+            prop_assert_eq!(encode_response(&resp, epoch).expect("re-encodes"), bytes.clone());
         }
         let _ = decode_relation(&bytes);
     }
 
     #[test]
-    fn truncations_error_cleanly(resp in arb_response(), cut in 0usize..64) {
-        let bytes = encode_response(&resp).expect("encodes");
+    fn truncations_error_cleanly(resp in arb_response(), epoch in any::<u64>(), cut in 0usize..64) {
+        let bytes = encode_response(&resp, epoch).expect("encodes");
         if cut < bytes.len() {
             prop_assert!(decode_response(&bytes[..cut]).is_err());
         }
