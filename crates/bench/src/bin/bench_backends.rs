@@ -11,17 +11,28 @@
 //!
 //! Gates (all modes): every backend returns the answer set of the
 //! simulator *bit-identically*, emits the identical plan sequence, and
-//! fails no plan. `--smoke` is the CI entry point; `--merge` inserts a
-//! `"backends"` section into BENCH_ordering.json.
+//! fails no plan. `--smoke` is the CI entry point and additionally gates
+//! the tracing overhead: the traced tcp client's access p50 must stay
+//! within 5% (plus a 0.1-unit absolute floor) of an untraced client
+//! against the same server, and every traced access must carry a
+//! stitched remote span. `--merge` inserts a `"backends"` section into
+//! BENCH_ordering.json, now including a `"remote_tracing"` block with
+//! network-vs-server p50/p95 from the stitched spans.
 //!
 //! Usage:
 //!
 //! ```text
 //! bench-backends [--smoke] [--merge BENCH_ordering.json]
+//!                [--tcp-addr ADDR] [--trace FILE]
 //! ```
+//!
+//! `--tcp-addr` points the tcp backends at an already-running
+//! `qpo-source-server` (CI spawns one) instead of an in-process server;
+//! `--trace` writes the traced run's JSONL journal for `trace-validate`.
 
 use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
 use qpo_exec::{snapshot_relations, BackendRegistry, Mediator, StopCondition, Strategy};
+use qpo_obs::{Obs, ProfileIndex};
 use qpo_runtime::{MemProvider, RuntimePolicy, SourceServer, StoreBackend, TcpBackend};
 use qpo_utility::LinearCost;
 use std::collections::BTreeSet;
@@ -43,6 +54,19 @@ struct BackendMeasure {
     plans_match_sim: bool,
 }
 
+/// Network-vs-server attribution from the stitched remote spans of a
+/// traced tcp pass, plus the traced/untraced p50 pair the overhead gate
+/// compares.
+struct RemoteMeasure {
+    spans: usize,
+    network_p50: f64,
+    network_p95: f64,
+    server_p50: f64,
+    server_p95: f64,
+    traced_p50: f64,
+    untraced_p50: f64,
+}
+
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -53,12 +77,16 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let _smoke = args.iter().any(|a| a == "--smoke");
-    let merge_path = args
-        .iter()
-        .position(|a| a == "--merge")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let merge_path = flag_value("--merge");
+    let tcp_addr = flag_value("--tcp-addr");
+    let trace_path = flag_value("--trace");
 
     // One world, three access paths: the store and the server are seeded
     // from the mediator's own extensions, so any answer difference is a
@@ -74,16 +102,32 @@ fn main() {
     }
     store.flush().expect("store flushes");
 
-    let provider = MemProvider::new();
-    for (name, rows) in relations {
-        provider.insert(name, rows);
-    }
-    let server = SourceServer::serve(Arc::new(provider), 0).expect("loopback server binds");
+    // Either dial the CI-spawned server (`--tcp-addr`) or spin one up
+    // in-process; both serve the same seeded world.
+    let mut server = None;
+    let addr = match &tcp_addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let provider = MemProvider::new();
+            for (name, rows) in relations {
+                provider.insert(name, rows);
+            }
+            let spawned =
+                SourceServer::serve(Arc::new(provider), 0).expect("loopback server binds");
+            let addr = spawned.addr().to_string();
+            server = Some(spawned);
+            addr
+        }
+    };
 
     let mediator = mediator.with_backends(
         BackendRegistry::new()
             .with("store", Arc::new(store))
-            .with("tcp", Arc::new(TcpBackend::new(server.addr().to_string()))),
+            .with("tcp", Arc::new(TcpBackend::new(addr.clone())))
+            .with(
+                "tcp-plain",
+                Arc::new(TcpBackend::new(addr).with_tracing(false)),
+            ),
     );
 
     let run_backend = |label: &'static str| -> (BackendMeasure, BTreeSet<_>, Vec<Vec<usize>>) {
@@ -139,7 +183,7 @@ fn main() {
     sim.answers_match_sim = true;
     let mut results = vec![sim];
     let mut failed = false;
-    for label in ["store", "tcp"] {
+    for label in ["store", "tcp", "tcp-plain"] {
         let (mut m, answers, plans) = run_backend(label);
         m.answers_match_sim = answers == sim_answers;
         m.plans_match_sim = plans == sim_plans;
@@ -161,6 +205,81 @@ fn main() {
         results.push(m);
     }
 
+    // ── Remote tracing ─────────────────────────────────────────────────
+    // One observed pass through the traced tcp client: the journal's
+    // stitched remote spans split every access into network + server
+    // phases, and the profiler re-checks the attribution invariants.
+    let obs = Obs::with_trace();
+    let mut network: Vec<f64> = Vec::new();
+    let mut server_time: Vec<f64> = Vec::new();
+    for _ in 0..REPEATS {
+        let run = mediator
+            .run_concurrent_on_observed(
+                "tcp",
+                &movie_query(),
+                &LinearCost,
+                Strategy::Greedy,
+                StopCondition::unbounded(),
+                RuntimePolicy::parallel(2),
+                &obs,
+            )
+            .unwrap_or_else(|e| panic!("traced tcp run: {e}"));
+        for report in &run.runtime.reports {
+            for access in &report.accesses {
+                if let (Some(s), Some(n)) = (access.remote_server, access.remote_network) {
+                    server_time.push(s);
+                    network.push(n);
+                }
+            }
+        }
+    }
+    network.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    server_time.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let jsonl = obs.journal.to_jsonl();
+    if let Err(e) = qpo_obs::validate_trace(&jsonl) {
+        eprintln!("FAIL: traced tcp journal does not validate: {e}");
+        failed = true;
+    }
+    let index = ProfileIndex::from_journal(&obs.journal);
+    for profile in index.runs() {
+        if let Err(e) = profile.check() {
+            eprintln!(
+                "FAIL: stitched profile for run {} unsound: {e}",
+                profile.run
+            );
+            failed = true;
+        }
+    }
+    if let Some(path) = &trace_path {
+        std::fs::write(path, &jsonl).unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
+        println!("wrote traced tcp journal to {path}");
+    }
+    let remote = RemoteMeasure {
+        spans: network.len(),
+        network_p50: percentile(&network, 0.50),
+        network_p95: percentile(&network, 0.95),
+        server_p50: percentile(&server_time, 0.50),
+        server_p95: percentile(&server_time, 0.95),
+        traced_p50: results[2].access_p50,
+        untraced_p50: results[3].access_p50,
+    };
+    if smoke {
+        // Overhead gate: tracing must be close to free. The 0.1-unit
+        // (0.1 ms) absolute floor absorbs loopback scheduling noise.
+        let limit = remote.untraced_p50 * 1.05 + 0.1;
+        if remote.traced_p50 > limit {
+            eprintln!(
+                "FAIL: traced tcp p50 {:.3} exceeds untraced p50 {:.3} * 1.05 + 0.1 = {:.3}",
+                remote.traced_p50, remote.untraced_p50, limit
+            );
+            failed = true;
+        }
+        if remote.spans == 0 {
+            eprintln!("FAIL: traced tcp run stitched no remote spans");
+            failed = true;
+        }
+    }
+
     for r in &results {
         println!(
             "{:<6} attempts {:>3}  access p50 {:>9.3} / p95 {:>9.3} units  \
@@ -178,10 +297,21 @@ fn main() {
             },
         );
     }
+    println!(
+        "remote  spans {:>3}  network p50 {:>9.3} / p95 {:>9.3}  \
+         server p50 {:>9.3} / p95 {:>9.3}  traced p50 {:.3} vs untraced {:.3}",
+        remote.spans,
+        remote.network_p50,
+        remote.network_p95,
+        remote.server_p50,
+        remote.server_p95,
+        remote.traced_p50,
+        remote.untraced_p50,
+    );
 
     if let Some(path) = merge_path {
         let base = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-        let merged = merge_section(&base, &render_section(&results));
+        let merged = merge_section(&base, &render_section(&results, &remote));
         std::fs::write(&path, merged).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("merged backends section into {path}");
     }
@@ -193,7 +323,7 @@ fn main() {
     }
 }
 
-fn render_section(results: &[BackendMeasure]) -> String {
+fn render_section(results: &[BackendMeasure], remote: &RemoteMeasure) -> String {
     let mut s = String::from("\"backends\": {\n");
     let _ = writeln!(
         s,
@@ -224,8 +354,22 @@ fn render_section(results: &[BackendMeasure]) -> String {
     let _ = writeln!(s, "    ],");
     let _ = writeln!(
         s,
+        "    \"remote_tracing\": {{ \"spans\": {}, \"network_p50\": {:.3}, \
+         \"network_p95\": {:.3}, \"server_p50\": {:.3}, \"server_p95\": {:.3}, \
+         \"traced_p50\": {:.3}, \"untraced_p50\": {:.3} }},",
+        remote.spans,
+        remote.network_p50,
+        remote.network_p95,
+        remote.server_p50,
+        remote.server_p95,
+        remote.traced_p50,
+        remote.untraced_p50,
+    );
+    let _ = writeln!(
+        s,
         "    \"gate\": \"answers and plan order bit-identical to sim on every \
-         backend; zero failed plans against live backends\""
+         backend; zero failed plans against live backends; traced tcp p50 \
+         within 5% (+0.1 units) of untraced\""
     );
     s.push_str("  }");
     s

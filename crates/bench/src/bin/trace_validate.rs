@@ -11,7 +11,11 @@
 //! [`qpo_obs::RunProfile`] passes its structural `check` (children nest,
 //! attribution sums exactly, critical path bounded by the reported
 //! makespan), and on runs that journalled a `run_finished` the
-//! reconstructed critical path bit-equals that makespan. Exits non-zero
+//! reconstructed critical path bit-equals that makespan. Traces from
+//! traced TCP backends additionally pass the remote-span soundness rules
+//! (remote fields only on tcp runs, travelling together, server total
+//! bounded by the attempt latency, phases bounded by the total, network
+//! residual bit-exact). Exits non-zero
 //! (with the validator's message, which names the violating seq) on any
 //! violation, including unbalanced spans. On success prints the event
 //! total, the per-kind counts, and a one-line profile digest per run, so
@@ -73,6 +77,17 @@ fn main() {
             run.plans.len(),
             run.critical_path
         );
+        // Remote spans already passed check()'s soundness rules (nesting,
+        // phase sums, bit-exact network residual); digest them here.
+        let stitched = run
+            .plans
+            .iter()
+            .flat_map(|p| p.sources.iter())
+            .filter(|s| s.remote.is_some())
+            .count();
+        if stitched > 0 {
+            print!(", {stitched} remote spans stitched");
+        }
         match run.makespan {
             Some(m) => println!(" (bit-equals makespan {m})"),
             None => println!(" (no run_finished — truncated trace)"),

@@ -155,6 +155,7 @@ impl BackendEvaluator<'_> {
         let svc = self.grid.service(bucket, plan[bucket]);
         let ctx = AccessContext {
             pattern: SCAN_PATTERN,
+            run: 0,
             plan_seq: 0,
             attempt: 0,
             faults: &self.faults,

@@ -8,25 +8,35 @@
 //! into) a `StoreBackend` directory instead of a memory provider.
 //!
 //! ```text
-//! qpo-source-server [--port N] [--dir PATH] [--addr-file PATH] [--quiet]
+//! qpo-source-server [--port N] [--dir PATH] [--addr-file PATH] [--quiet] [--legacy]
+//! qpo-source-server --metrics ADDR
 //! ```
 //!
 //! `--port 0` (the default) binds any free loopback port; the bound
 //! address is printed on stdout (`listening on 127.0.0.1:PORT`) and,
 //! with `--addr-file`, written to a file CI scripts can poll. The server
 //! runs until killed.
+//!
+//! `--legacy` serves the pre-tracing protocol (strict decoding, no span
+//! blocks, no `TRACE` op) — the downgrade target the differential tests
+//! pin. `--metrics ADDR` is a one-shot client instead of a server: it
+//! dials a running tracing server, requests its span journal over the
+//! wire, prints the dump, and exits.
 
 use qpo_catalog::domains::movie_domain;
 use qpo_exec::{populate_sources, snapshot_relations};
-use qpo_runtime::{MemProvider, RelationProvider, SourceServer, StoreBackend};
+use qpo_runtime::{fetch_server_trace, MemProvider, RelationProvider, SourceServer, StoreBackend};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Options {
     port: u16,
     dir: Option<String>,
     addr_file: Option<String>,
     quiet: bool,
+    legacy: bool,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -35,6 +45,8 @@ fn parse_args() -> Result<Options, String> {
         dir: None,
         addr_file: None,
         quiet: false,
+        legacy: false,
+        metrics: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,9 +58,11 @@ fn parse_args() -> Result<Options, String> {
             "--dir" => opts.dir = Some(args.next().ok_or("--dir needs a value")?),
             "--addr-file" => opts.addr_file = Some(args.next().ok_or("--addr-file needs a value")?),
             "--quiet" => opts.quiet = true,
+            "--legacy" => opts.legacy = true,
+            "--metrics" => opts.metrics = Some(args.next().ok_or("--metrics needs an address")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: qpo-source-server [--port N] [--dir PATH] [--addr-file PATH] [--quiet]"
+                    "usage: qpo-source-server [--port N] [--dir PATH] [--addr-file PATH] [--quiet] [--legacy]\n       qpo-source-server --metrics ADDR"
                 );
                 std::process::exit(0);
             }
@@ -66,6 +80,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(addr) = &opts.metrics {
+        // One-shot metrics client: dump a running server's span journal.
+        match fetch_server_trace(addr, Duration::from_secs(2)) {
+            Ok(dump) => {
+                print!("{dump}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("qpo-source-server: cannot fetch trace from {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     // Seed the canonical movie-domain extensions so remote answers match
     // the simulator's bit for bit.
@@ -105,7 +133,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let server = match SourceServer::serve(provider, opts.port) {
+    let server = match if opts.legacy {
+        SourceServer::serve_legacy(provider, opts.port)
+    } else {
+        SourceServer::serve(provider, opts.port)
+    } {
         Ok(s) => s,
         Err(e) => {
             eprintln!("qpo-source-server: bind failed: {e}");

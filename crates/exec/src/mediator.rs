@@ -276,13 +276,15 @@ impl Mediator {
         let db = populate_sources(&catalog, pool);
         let obs = Obs::new();
         let cache = ReformulationCache::new(DEFAULT_CACHE_CAPACITY, universe, 5.0).with_obs(&obs);
-        Mediator {
+        let mediator = Mediator {
             catalog: Arc::new(catalog),
             db: Arc::new(db),
             cache: Arc::new(cache),
             backends: Arc::new(crate::backends::BackendRegistry::default()),
             obs,
-        }
+        };
+        mediator.publish_backends();
+        mediator
     }
 
     /// Replaces the mediator's backend registry (default: only the
@@ -291,7 +293,26 @@ impl Mediator {
     /// [`QuerySession::with_backend`](crate::QuerySession::with_backend).
     pub fn with_backends(mut self, backends: crate::backends::BackendRegistry) -> Self {
         self.backends = Arc::new(backends);
+        self.publish_backends();
         self
+    }
+
+    /// Republishes the registry onto the observability bundle's backend
+    /// board: one `(label, kind, live epoch sampler)` entry per backend,
+    /// behind the introspection server's `/backends` endpoint. The
+    /// sampler holds the backend [`Arc`], so the listing tracks epoch
+    /// bumps (store reseeds, server restarts) without re-registration.
+    fn publish_backends(&self) {
+        self.obs.backends.clear();
+        for label in self.backends.labels() {
+            if let Some(backend) = self.backends.get(label) {
+                let kind = backend.kind();
+                let sampler = Arc::clone(&backend);
+                self.obs
+                    .backends
+                    .publish(label, kind, Arc::new(move || sampler.epoch()));
+            }
+        }
     }
 
     /// The registered source backends.
@@ -306,6 +327,7 @@ impl Mediator {
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.obs = obs.clone();
         self.rebuild_cache(self.cache.capacity());
+        self.publish_backends();
         self
     }
 
@@ -365,8 +387,8 @@ impl Mediator {
     /// Starts the dependency-free introspection server over this
     /// mediator's observability bundle on `127.0.0.1:port` (`0` picks a
     /// free port). Serves `/metrics`, `/traces`, `/sessions`,
-    /// `/explain?run=..&plan=..`, `/profile`, `/divergence`, and
-    /// `/healthz` — live, read-only views of exactly what the offline
+    /// `/explain?run=..&plan=..`, `/profile`, `/divergence`, `/backends`,
+    /// and `/healthz` — live, read-only views of exactly what the offline
     /// exporters produce. The server stops when the returned handle is
     /// dropped.
     pub fn spawn_introspection(&self, port: u16) -> std::io::Result<qpo_obs::IntrospectionServer> {

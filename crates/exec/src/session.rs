@@ -303,6 +303,7 @@ impl<'s> QuerySession<'s> {
                 None => {
                     let ctx = AccessContext {
                         pattern: SCAN_PATTERN,
+                        run: 0,
                         plan_seq: 0,
                         attempt: 1,
                         faults: &sess.faults,

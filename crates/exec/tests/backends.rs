@@ -11,8 +11,10 @@
 
 use qpo_catalog::domains::{movie_domain, movie_query, MOVIE_UNIVERSE};
 use qpo_exec::{snapshot_relations, BackendRegistry, Mediator, StopCondition, Strategy};
+use qpo_obs::{parse_json, validate_trace, Json, Obs, ProfileIndex};
 use qpo_runtime::{
-    MemProvider, RetryPolicy, RuntimePolicy, SourceServer, StoreBackend, TcpBackend,
+    AccessContext, AccessReply, BackendError, MemProvider, RemoteSpan, RetryPolicy, RuntimePolicy,
+    SimBackend, SourceBackend, SourceServer, SourceService, StoreBackend, TcpBackend,
 };
 use qpo_utility::{Coverage, LinearCost};
 use std::path::PathBuf;
@@ -194,4 +196,234 @@ fn server_death_mid_serving_degrades_gracefully() {
         drifted += 1;
     }
     assert!(drifted > 0, "at least one source drifted");
+}
+
+/// The simulator wearing a tracing tcp backend's interface: every reply
+/// carries a synthetic server span derived deterministically from the
+/// simulated latency. This is what lets the stitched-profile
+/// worker-count determinism test run without sockets or wall clocks.
+struct TracedSimBackend;
+
+impl SourceBackend for TracedSimBackend {
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn access(
+        &self,
+        svc: &SourceService,
+        ctx: &AccessContext<'_>,
+    ) -> Result<AccessReply, BackendError> {
+        let mut reply = SimBackend.access(svc, ctx)?;
+        let total = reply.access.latency * 0.5;
+        reply.remote = Some(RemoteSpan {
+            recv_parse: total * 0.25,
+            lookup: total * 0.5,
+            encode: total * 0.125,
+            total,
+            server_seq: ctx.plan_seq * 100 + u64::from(ctx.attempt),
+        });
+        Ok(reply)
+    }
+}
+
+/// One traced run against the deterministic tracing mock, returning the
+/// journal bytes and the stitched profile bytes. Lookahead is pinned so
+/// only the worker count varies — emission order is part of the trace.
+fn traced_sim_run(workers: usize) -> (String, String) {
+    let m =
+        mediator().with_backends(BackendRegistry::new().with("traced", Arc::new(TracedSimBackend)));
+    let obs = Obs::with_trace();
+    m.run_concurrent_on_observed(
+        "traced",
+        &movie_query(),
+        &LinearCost,
+        Strategy::Greedy,
+        StopCondition::unbounded(),
+        RuntimePolicy::parallel(workers).with_lookahead(4),
+        &obs,
+    )
+    .unwrap();
+    let jsonl = obs.journal.to_jsonl();
+    let profile = ProfileIndex::from_jsonl(&jsonl).unwrap().to_json();
+    (jsonl, profile)
+}
+
+#[test]
+fn stitched_profiles_are_byte_identical_across_worker_counts() {
+    let (trace1, profile1) = traced_sim_run(1);
+    // The remote rules of validate_trace hold on the mock's spans.
+    validate_trace(&trace1).expect("trace is sound");
+    let index = ProfileIndex::from_jsonl(&trace1).unwrap();
+    let run = index.latest().expect("one run");
+    run.check().expect("profile invariants");
+    let stitched: usize = run
+        .plans
+        .iter()
+        .flat_map(|p| &p.sources)
+        .filter(|s| s.remote.is_some())
+        .count();
+    assert!(stitched > 0, "traced replies stitch remote spans");
+    for s in run.plans.iter().flat_map(|p| &p.sources) {
+        let Some(r) = &s.remote else { continue };
+        // The network residual is exactly the executor's subtraction.
+        assert_eq!(r.network.to_bits(), (r.charge - r.total).to_bits());
+    }
+    for workers in [4usize, 8] {
+        let (trace, profile) = traced_sim_run(workers);
+        assert_eq!(trace1, trace, "journal differs at {workers} workers");
+        assert_eq!(profile1, profile, "profile differs at {workers} workers");
+    }
+}
+
+#[test]
+fn tcp_runs_stitch_remote_spans_with_exact_attribution() {
+    let m = mediator();
+    let (addr, _guard) = server_addr(&m);
+    let m = m.with_backends(BackendRegistry::new().with("tcp", Arc::new(TcpBackend::new(addr))));
+    let obs = Obs::with_trace();
+    m.run_concurrent_on_observed(
+        "tcp",
+        &movie_query(),
+        &LinearCost,
+        Strategy::Greedy,
+        StopCondition::unbounded(),
+        RuntimePolicy::parallel(2),
+        &obs,
+    )
+    .unwrap();
+    let jsonl = obs.journal.to_jsonl();
+    validate_trace(&jsonl).expect("remote span rules hold on a live run");
+    let index = ProfileIndex::from_jsonl(&jsonl).unwrap();
+    let run = index.latest().expect("one run");
+    run.check().expect("stitched attribution is exact");
+    let mut stitched = 0;
+    for s in run.plans.iter().flat_map(|p| &p.sources) {
+        if let Some(r) = &s.remote {
+            assert!(r.total <= r.charge, "server span nests in the charge");
+            assert!(r.recv_parse + r.lookup + r.encode <= r.total);
+            assert_eq!(r.network.to_bits(), (r.charge - r.total).to_bits());
+            stitched += 1;
+        }
+    }
+    assert!(stitched > 0, "a tracing server attaches spans");
+    // The text renderer surfaces the decomposition.
+    assert!(
+        run.render_text().contains(" server="),
+        "{}",
+        run.render_text()
+    );
+}
+
+#[test]
+fn killed_server_leaves_no_remote_spans_but_still_charges_latency() {
+    // An in-process server (never the CI one — this test kills it).
+    let m = mediator();
+    let provider = MemProvider::new();
+    for (name, rows) in snapshot_relations(m.database()) {
+        provider.insert(name, rows);
+    }
+    let mut server = SourceServer::serve(Arc::new(provider), 0).expect("loopback bind");
+    let addr = server.addr().to_string();
+    let m = m.with_backends(BackendRegistry::new().with("tcp", Arc::new(TcpBackend::new(addr))));
+    server.stop();
+    let obs = Obs::with_trace();
+    let retry = RetryPolicy::standard();
+    let dead = m
+        .run_concurrent_on_observed(
+            "tcp",
+            &movie_query(),
+            &LinearCost,
+            Strategy::Greedy,
+            StopCondition::unbounded(),
+            RuntimePolicy::parallel(2).with_retry(retry),
+            &obs,
+        )
+        .unwrap();
+    assert_eq!(dead.executed(), 0, "no plan can answer");
+    // Failed attempts never carry a span block, so the access records
+    // and the journal both degrade to single-span attribution — while
+    // the client-side latency (connect attempts + backoff) stays
+    // charged.
+    for report in &dead.runtime.reports {
+        for access in &report.accesses {
+            assert_eq!(access.remote_server, None);
+            assert_eq!(access.remote_network, None);
+            assert!(access.latency > 0.0, "client latency is still charged");
+        }
+    }
+    let jsonl = obs.journal.to_jsonl();
+    validate_trace(&jsonl).expect("trace stays sound without spans");
+    assert!(
+        !jsonl.contains("remote_total"),
+        "no remote fields journalled"
+    );
+    let index = ProfileIndex::from_jsonl(&jsonl).unwrap();
+    let run = index.latest().expect("one run");
+    run.check().expect("single-span profile");
+    assert!(run
+        .plans
+        .iter()
+        .flat_map(|p| &p.sources)
+        .all(|s| s.remote.is_none()));
+}
+
+#[test]
+fn legacy_servers_degrade_to_single_span_traces() {
+    let m = mediator();
+    let provider = MemProvider::new();
+    for (name, rows) in snapshot_relations(m.database()) {
+        provider.insert(name, rows);
+    }
+    let server = SourceServer::serve_legacy(Arc::new(provider), 0).expect("loopback bind");
+    let backend = TcpBackend::new(server.addr().to_string());
+    let latch = backend.clone();
+    let m = m.with_backends(BackendRegistry::new().with("tcp", Arc::new(backend)));
+    let obs = Obs::with_trace();
+    let run = m
+        .run_concurrent_on_observed(
+            "tcp",
+            &movie_query(),
+            &LinearCost,
+            Strategy::Greedy,
+            StopCondition::unbounded(),
+            RuntimePolicy::parallel(2),
+            &obs,
+        )
+        .unwrap();
+    assert_eq!(run.failed(), 0, "legacy downgrade keeps the run whole");
+    assert!(!run.runtime.answers.is_empty());
+    assert!(latch.server_is_legacy(), "the client latched the downgrade");
+    // The differential pin: against a legacy server, every journalled
+    // source_attempt carries exactly the pre-tracing field set — the
+    // byte shape older tooling parses.
+    let jsonl = obs.journal.to_jsonl();
+    validate_trace(&jsonl).expect("legacy-shaped trace validates");
+    let mut attempts = 0;
+    for line in jsonl.lines().filter(|l| !l.is_empty()) {
+        let obj = parse_json(line).expect("well-formed");
+        if obj.get("kind").and_then(Json::as_str) != Some("source_attempt") {
+            continue;
+        }
+        attempts += 1;
+        let Json::Object(pairs) = &obj else {
+            panic!("events are objects")
+        };
+        let mut keys: Vec<&str> = pairs
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| !matches!(*k, "seq" | "clock" | "kind"))
+            .collect();
+        keys.sort_unstable();
+        assert_eq!(
+            keys,
+            ["attempt", "backoff", "latency", "outcome", "plan_seq", "source"],
+            "legacy runs journal the single-span field set only"
+        );
+    }
+    assert!(attempts > 0, "the run accessed sources");
+    let index = ProfileIndex::from_jsonl(&jsonl).unwrap();
+    let profile = index.latest().expect("one run");
+    profile.check().expect("single-span attribution");
+    assert!(!profile.to_json().contains("\"remote\""));
 }

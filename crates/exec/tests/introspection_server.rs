@@ -261,6 +261,30 @@ fn profile_endpoint_is_byte_identical_to_the_offline_renderers() {
 }
 
 #[test]
+fn backends_endpoint_is_byte_identical_to_the_offline_renderer() {
+    let (obs, mediator) = served_mediator();
+    let server = mediator.spawn_introspection(0).unwrap();
+    let (status, body) = http_get(&server.addr(), "/backends");
+    assert!(status.contains("200"), "{status}");
+    // The endpoint serves exactly the offline renderer's bytes over the
+    // live board the mediator published into.
+    assert_eq!(
+        body,
+        qpo_obs::backends_text(&obs.backends).as_bytes(),
+        "/backends drifted from the renderer"
+    );
+    let text = String::from_utf8(body).unwrap();
+    // The default mediator wires every catalog source to the simulator;
+    // each published row carries label, kind, and a live epoch sample.
+    assert!(!text.is_empty(), "mediator publishes its registry");
+    for line in text.lines() {
+        assert!(line.contains(" kind="), "{line}");
+        assert!(line.contains(" epoch="), "{line}");
+    }
+    assert!(text.contains("kind=sim"), "{text}");
+}
+
+#[test]
 fn divergence_endpoint_matches_the_offline_recomputation() {
     let (obs, mediator) = served_mediator();
     let offline = qpo_obs::DivergenceMonitor::from_events(

@@ -82,6 +82,12 @@ pub struct AccessObservation {
     /// per-source extent signal: each participating source's extent
     /// bounds the join from above).
     pub tuples: Option<f64>,
+    /// Network residual of the successful attempt (client latency minus
+    /// server-reported total), when the backend returned a remote span.
+    pub network: Option<f64>,
+    /// Server-reported total of the successful attempt, when the backend
+    /// returned a remote span.
+    pub server: Option<f64>,
 }
 
 /// Running estimator state for one source.
@@ -103,6 +109,13 @@ pub struct SourceDrift {
     pub ewma_latency: Option<f64>,
     /// EWMA of observed plan answers behind this source.
     pub ewma_tuples: Option<f64>,
+    /// EWMA of the network residual on traced accesses, `None` until a
+    /// remote span has been observed. Together with `ewma_server` this
+    /// localizes latency drift: a rising `ewma_latency` with a flat
+    /// `ewma_server` points at the network, and vice versa.
+    pub ewma_network: Option<f64>,
+    /// EWMA of the server-reported total on traced accesses.
+    pub ewma_server: Option<f64>,
 }
 
 /// The stats a [`SourceDrift`] exports, in gauge-label order.
@@ -228,6 +241,18 @@ impl DivergenceMonitor {
                 Some(prev) => prev + alpha * (tuples - prev),
             });
         }
+        if let Some(network) = obs.network {
+            drift.ewma_network = Some(match drift.ewma_network {
+                None => network,
+                Some(prev) => prev + alpha * (network - prev),
+            });
+        }
+        if let Some(server) = obs.server {
+            drift.ewma_server = Some(match drift.ewma_server {
+                None => server,
+                Some(prev) => prev + alpha * (server - prev),
+            });
+        }
         let divergences = drift.divergences();
         for (stat, value) in divergences {
             self.obs
@@ -339,6 +364,10 @@ impl DivergenceMonitor {
             push_opt_f64(&mut out, d.ewma_latency);
             out.push_str(",\"ewma_tuples\":");
             push_opt_f64(&mut out, d.ewma_tuples);
+            out.push_str(",\"ewma_network\":");
+            push_opt_f64(&mut out, d.ewma_network);
+            out.push_str(",\"ewma_server\":");
+            push_opt_f64(&mut out, d.ewma_server);
             out.push_str(",\"divergence\":{");
             for (j, (stat, value)) in d.divergences().into_iter().enumerate() {
                 if j > 0 {
@@ -427,6 +456,11 @@ struct ChainState {
     transient: u64,
     latency: f64,
     last_outcome: String,
+    /// Remote-span split of the attempt that carried one (at most one
+    /// per chain — the successful attempt): `(network, server)`,
+    /// recomputed from the journalled fields exactly as the live path
+    /// computed them, so the EWMA folds bit-equal.
+    remote: Option<(f64, f64)>,
 }
 
 /// Offline replay: rebuilds the exact observation sequence the live
@@ -489,6 +523,13 @@ impl Replay {
                 // Same charge order as the runtime's accumulation.
                 chain.latency += fields.f64("backoff").unwrap_or(0.0);
                 chain.latency += fields.f64("latency").unwrap_or(0.0);
+                if let Some(total) = fields.f64("remote_total") {
+                    // `network = attempt latency − server total`: the same
+                    // subtraction, over the same journalled f64s, that the
+                    // executor performed live.
+                    let charge = fields.f64("latency").unwrap_or(0.0);
+                    chain.remote = Some((charge - total, total));
+                }
                 chain.last_outcome = outcome.to_string();
             }
             "plan_completed" | "plan_failed" | "plan_unsound" => {
@@ -508,6 +549,8 @@ impl Replay {
                             permanently_down: chain.last_outcome == "permanent",
                             latency: chain.latency,
                             tuples,
+                            network: chain.remote.map(|(network, _)| network),
+                            server: chain.remote.map(|(_, server)| server),
                         },
                     );
                 }
@@ -530,6 +573,8 @@ mod tests {
             permanently_down: false,
             latency,
             tuples: None,
+            network: None,
+            server: None,
         }
     }
 
@@ -553,6 +598,8 @@ mod tests {
                 permanently_down: false,
                 latency: 4.0,
                 tuples: Some(6.0),
+                network: None,
+                server: None,
             },
         );
         m.observe(
@@ -564,6 +611,8 @@ mod tests {
                 permanently_down: true,
                 latency: 0.0,
                 tuples: None,
+                network: None,
+                server: None,
             },
         );
         let d = m.source("s").unwrap();
@@ -661,6 +710,86 @@ mod tests {
         let drifting = doc.get("drifting").expect("drifting array");
         assert!(matches!(drifting, Json::Array(items) if !items.is_empty()));
         assert!(json.contains("\"stat\":\"latency\""));
+    }
+
+    #[test]
+    fn remote_spans_fold_into_network_and_server_ewmas() {
+        let mut m = DivergenceMonitor::detached();
+        m.declare(
+            "s",
+            SourceExpectation {
+                latency: 1.0,
+                ..SourceExpectation::default()
+            },
+        );
+        let traced = |latency: f64, server: f64| AccessObservation {
+            network: Some(latency - server),
+            server: Some(server),
+            ..chain_ok(latency)
+        };
+        m.observe("s", traced(2.0, 1.5));
+        // An untraced chain in between must not disturb the remote EWMAs.
+        m.observe("s", chain_ok(3.0));
+        m.observe("s", traced(4.0, 1.0));
+        let d = m.source("s").unwrap();
+        assert_eq!(d.ewma_server, Some(1.5 + 0.2 * (1.0 - 1.5)));
+        assert_eq!(d.ewma_network, Some(0.5 + 0.2 * (3.0 - 0.5)));
+        let json = m.to_json();
+        assert!(json.contains("\"ewma_network\":"));
+        assert!(json.contains("\"ewma_server\":"));
+    }
+
+    #[test]
+    fn replay_recomputes_remote_ewmas_bit_for_bit() {
+        let obs = crate::Obs::with_trace();
+        obs.journal.record("run_started", vec![]);
+        let mut live = DivergenceMonitor::detached();
+        for (latency, total) in [(2.5f64, 1.75f64), (3.25, 2.0)] {
+            obs.journal.record(
+                "source_attempt",
+                vec![
+                    ("plan_seq", Value::U64(0)),
+                    ("source", Value::Str("s".into())),
+                    ("attempt", Value::U64(1)),
+                    ("backoff", Value::F64(0.0)),
+                    ("latency", Value::F64(latency)),
+                    ("outcome", Value::Str("ok".into())),
+                    ("remote_total", Value::F64(total)),
+                    ("remote_recv", Value::F64(total * 0.25)),
+                    ("remote_lookup", Value::F64(total * 0.5)),
+                    ("remote_encode", Value::F64(total * 0.25)),
+                    ("remote_seq", Value::U64(7)),
+                ],
+            );
+            obs.journal.record(
+                "plan_completed",
+                vec![
+                    ("plan_seq", Value::U64(0)),
+                    ("latency", Value::F64(latency)),
+                    ("tuples", Value::U64(2)),
+                ],
+            );
+            live.observe(
+                "s",
+                AccessObservation {
+                    tuples: Some(2.0),
+                    network: Some(latency - total),
+                    server: Some(total),
+                    ..chain_ok(latency)
+                },
+            );
+        }
+        let replayed =
+            DivergenceMonitor::from_events(&obs.journal.events(), DivergenceConfig::default());
+        let (r, l) = (replayed.source("s").unwrap(), live.source("s").unwrap());
+        assert_eq!(
+            r.ewma_network.unwrap().to_bits(),
+            l.ewma_network.unwrap().to_bits()
+        );
+        assert_eq!(
+            r.ewma_server.unwrap().to_bits(),
+            l.ewma_server.unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -11,14 +11,27 @@
 //! A disabled journal (the default) makes [`TraceJournal::record`] a
 //! no-op guarded by one immutable bool, so instrumented hot paths cost
 //! nothing when tracing is off.
+//!
+//! ## Bounded journals
+//!
+//! [`TraceJournal::enabled_with_capacity`] caps retained events with
+//! ring-buffer semantics: once full, each append drops the oldest event
+//! and bumps the drop tally (exported as `qpo_trace_events_dropped_total`
+//! when wired through [`crate::Obs::with_trace_capacity`]). Sequence
+//! numbers keep counting across drops, so a truncated export no longer
+//! starts at seq 0 and [`validate_trace`]'s contiguity check rejects it —
+//! by design: profile reconstruction ([`crate::profile`]) and divergence
+//! replay need the *un-truncated* run, and a capped journal is for
+//! long-lived serving sessions where only the recent tail matters.
 
 use std::borrow::Cow;
 use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
 use crate::json::{parse_json, Json};
+use crate::registry::Counter;
 
 /// A field value attached to a trace event.
 ///
@@ -42,7 +55,9 @@ pub enum Value {
 /// small set of fields.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
-    /// Position in the journal (contiguous from 0).
+    /// Monotone record index: contiguous from 0 for an unbounded journal;
+    /// a capped journal keeps counting across dropped events, so the
+    /// first retained seq reveals how much history is gone.
     pub seq: u64,
     /// Virtual time of the event.
     pub clock: f64,
@@ -61,7 +76,37 @@ pub const SPAN_CLOSE_KINDS: &[&str] = &["plan_completed", "plan_failed", "plan_u
 #[derive(Debug, Default)]
 struct JournalInner {
     clock: f64,
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
+    /// Seq of the next event (equals total events ever recorded).
+    next_seq: u64,
+    /// Retention cap; `None` grows without bound.
+    cap: Option<usize>,
+    /// Events dropped to honor the cap.
+    dropped: u64,
+    /// Registry counter mirroring `dropped`, when one is wired.
+    dropped_counter: Option<Counter>,
+}
+
+impl JournalInner {
+    fn push(&mut self, clock: f64, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push_back(TraceEvent {
+            seq,
+            clock,
+            kind,
+            fields,
+        });
+        if let Some(cap) = self.cap {
+            while self.events.len() > cap {
+                self.events.pop_front();
+                self.dropped += 1;
+                if let Some(counter) = &self.dropped_counter {
+                    counter.inc();
+                }
+            }
+        }
+    }
 }
 
 /// An append-only, virtually-clocked event journal. Cloning shares the
@@ -80,6 +125,48 @@ impl TraceJournal {
             recording: true,
             inner: Arc::default(),
         }
+    }
+
+    /// A recording journal retaining at most `cap` events, ring-buffer
+    /// style: once full, each append drops the oldest event and bumps
+    /// [`dropped`](Self::dropped). Sequence numbers are *not* reassigned,
+    /// so [`validate_trace`]'s seq-contiguity check detects a truncated
+    /// export — profile and divergence reconstruction require the full
+    /// run (see the module docs).
+    pub fn enabled_with_capacity(cap: usize) -> Self {
+        let journal = TraceJournal::enabled();
+        journal.inner.lock().unwrap_or_else(|e| e.into_inner()).cap = Some(cap);
+        journal
+    }
+
+    /// The retention cap, when one was set.
+    pub fn capacity(&self) -> Option<usize> {
+        if !self.recording {
+            return None;
+        }
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).cap
+    }
+
+    /// Events dropped so far to honor the cap (0 for unbounded journals).
+    pub fn dropped(&self) -> u64 {
+        if !self.recording {
+            return 0;
+        }
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Mirrors every future drop onto `counter` (the
+    /// `qpo_trace_events_dropped_total` metric, when wired through
+    /// [`crate::Obs::with_trace_capacity`]). Drops that already happened
+    /// are back-filled so the counter and [`dropped`](Self::dropped)
+    /// agree from the moment of wiring.
+    pub fn set_dropped_counter(&self, counter: Counter) {
+        if !self.recording {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        counter.add(inner.dropped);
+        inner.dropped_counter = Some(counter);
     }
 
     /// Whether [`record`](Self::record) stores anything. Checking this is
@@ -112,13 +199,7 @@ impl TraceJournal {
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let clock = inner.clock;
-        let seq = inner.events.len() as u64;
-        inner.events.push(TraceEvent {
-            seq,
-            clock,
-            kind,
-            fields,
-        });
+        inner.push(clock, kind, fields);
     }
 
     /// Appends an event at an explicit virtual time (does not move the
@@ -128,13 +209,7 @@ impl TraceJournal {
             return;
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let seq = inner.events.len() as u64;
-        inner.events.push(TraceEvent {
-            seq,
-            clock,
-            kind,
-            fields,
-        });
+        inner.push(clock, kind, fields);
     }
 
     /// Number of recorded events.
@@ -154,7 +229,7 @@ impl TraceJournal {
         self.len() == 0
     }
 
-    /// Copies of all events, in order.
+    /// Copies of all retained events, in order.
     pub fn events(&self) -> Vec<TraceEvent> {
         if !self.recording {
             return Vec::new();
@@ -163,7 +238,9 @@ impl TraceJournal {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .events
-            .clone()
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Serializes the journal as JSON Lines: one object per event with
@@ -277,6 +354,16 @@ enum SpanState {
 /// event. A `memo_hit` must additionally follow a `memo_store` for the
 /// same `source` earlier in the same run, unless it carries
 /// `"warm":true` (the entry survives from a prior run sharing the memo).
+///
+/// Remote spans (`remote_*` fields on `source_attempt`) are checked for
+/// soundness: they may only appear in runs whose `run_started` declares
+/// `"backend":"tcp"`, the five fields travel together
+/// (`remote_total`/`remote_recv`/`remote_lookup`/`remote_encode`
+/// numeric, `remote_seq` present), the server total never exceeds the
+/// attempt's client-observed `latency`, and the phase sum
+/// `remote_recv + remote_lookup + remote_encode` never exceeds
+/// `remote_total` — the clamp-by-construction invariants the runtime's
+/// decoder enforces, re-checked on the wire format.
 pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
     let mut report = TraceReport::default();
     let mut spans: BTreeMap<(u64, u64), SpanState> = BTreeMap::new();
@@ -285,6 +372,7 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
     let mut last_tuple_score: Option<f64> = None;
     let mut stored_sources: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut run_finished_seen = false;
+    let mut run_backend: Option<String> = None;
     for (lineno, line) in jsonl.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -332,6 +420,10 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
             last_tuple_score = None;
             stored_sources.clear();
             run_finished_seen = false;
+            run_backend = match get("backend") {
+                Some(Json::String(s)) => Some(s.clone()),
+                _ => None,
+            };
         }
         if let Some(t) = clock {
             if t < last_clock {
@@ -527,6 +619,48 @@ pub fn validate_trace(jsonl: &str) -> Result<TraceReport, String> {
                             lineno + 1
                         ));
                     }
+                }
+            }
+            // Remote-span soundness (PR 10): the clamp-by-construction
+            // invariants the runtime's wire decoder enforces, re-checked
+            // on the exported trace.
+            let remote_present = obj.iter().any(|(k, _)| k.starts_with("remote_"));
+            if remote_present {
+                if run_backend.as_deref() != Some("tcp") {
+                    return Err(format!(
+                        "line {}: \"source_attempt\" carries remote-span fields but run {run} \
+                         declares backend {:?} (remote spans only ride tcp-backend attempts)",
+                        lineno + 1,
+                        run_backend.as_deref().unwrap_or("<none>")
+                    ));
+                }
+                let num = |field: &str| match get(field) {
+                    Some(Json::Number(n)) => Ok(*n),
+                    _ => Err(format!(
+                        "line {}: remote span missing numeric \"{field}\" \
+                         (the five remote_* fields travel together)",
+                        lineno + 1
+                    )),
+                };
+                let total = num("remote_total")?;
+                let recv = num("remote_recv")?;
+                let lookup = num("remote_lookup")?;
+                let encode = num("remote_encode")?;
+                num("remote_seq")?;
+                let latency = num("latency")?;
+                if total > latency {
+                    return Err(format!(
+                        "line {}: remote_total {total} exceeds the attempt's client \
+                         latency {latency}",
+                        lineno + 1
+                    ));
+                }
+                if recv + lookup + encode > total {
+                    return Err(format!(
+                        "line {}: remote phase sum {} exceeds remote_total {total}",
+                        lineno + 1,
+                        recv + lookup + encode
+                    ));
                 }
             }
         }
@@ -866,6 +1000,120 @@ mod tests {
             "{\"seq\":1,\"clock\":0,\"kind\":\"memo_store\",\"plan_seq\":0}\n",
         );
         assert!(validate_trace(no_source).unwrap_err().contains("source"));
+    }
+
+    #[test]
+    fn capped_journal_drops_oldest_and_keeps_counting() {
+        let j = TraceJournal::enabled_with_capacity(3);
+        assert_eq!(j.capacity(), Some(3));
+        for i in 0..5u64 {
+            j.record("tick", vec![("i", Value::U64(i))]);
+        }
+        assert_eq!(j.len(), 3, "ring buffer holds the cap");
+        assert_eq!(j.dropped(), 2);
+        let seqs: Vec<u64> = j.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest dropped, seqs never reused");
+        // A truncated export no longer starts at seq 0, so the
+        // contiguity check catches it — profile reconstruction must not
+        // silently run on partial history.
+        let err = validate_trace(&j.to_jsonl()).unwrap_err();
+        assert!(err.contains("contiguity"), "{err}");
+        // An un-truncated capped journal still validates.
+        let fresh = TraceJournal::enabled_with_capacity(8);
+        fresh.record("plan_emitted", vec![("plan_seq", Value::U64(0))]);
+        fresh.record("plan_completed", vec![("plan_seq", Value::U64(0))]);
+        assert!(validate_trace(&fresh.to_jsonl()).is_ok());
+        assert_eq!(fresh.dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_counter_mirrors_the_tally() {
+        let j = TraceJournal::enabled_with_capacity(1);
+        j.record("a", vec![]);
+        j.record("b", vec![]); // drops "a" before the counter is wired
+        let counter = Counter::detached();
+        j.set_dropped_counter(counter.clone());
+        assert_eq!(counter.get(), 1, "wiring back-fills earlier drops");
+        j.record("c", vec![]);
+        j.record("d", vec![]);
+        assert_eq!(counter.get(), 3);
+        assert_eq!(j.dropped(), 3);
+        let obs = crate::Obs::with_trace_capacity(1);
+        obs.journal.record("a", vec![]);
+        obs.journal.record("b", vec![]);
+        assert_eq!(
+            obs.registry
+                .counter("qpo_trace_events_dropped_total", &[])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn validate_checks_remote_span_soundness() {
+        let tcp_run = |attempt_line: &str| {
+            format!(
+                concat!(
+                    "{{\"seq\":0,\"clock\":0,\"kind\":\"run_started\",\"backend\":\"tcp\"}}\n",
+                    "{{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}}\n",
+                    "{}\n",
+                    "{{\"seq\":3,\"clock\":2,\"kind\":\"plan_completed\",\"plan_seq\":0}}\n",
+                ),
+                attempt_line
+            )
+        };
+        let ok = tcp_run(
+            "{\"seq\":2,\"clock\":1,\"kind\":\"source_attempt\",\"plan_seq\":0,\
+             \"source\":\"s0\",\"attempt\":1,\"backoff\":0,\"latency\":2.0,\"outcome\":\"ok\",\
+             \"remote_total\":1.5,\"remote_recv\":0.25,\"remote_lookup\":1.0,\
+             \"remote_encode\":0.25,\"remote_seq\":7}",
+        );
+        assert!(validate_trace(&ok).is_ok());
+
+        // Server total larger than the client-observed latency is a lie.
+        let inflated = tcp_run(
+            "{\"seq\":2,\"clock\":1,\"kind\":\"source_attempt\",\"plan_seq\":0,\
+             \"source\":\"s0\",\"attempt\":1,\"backoff\":0,\"latency\":1.0,\"outcome\":\"ok\",\
+             \"remote_total\":1.5,\"remote_recv\":0.25,\"remote_lookup\":1.0,\
+             \"remote_encode\":0.25,\"remote_seq\":7}",
+        );
+        let err = validate_trace(&inflated).unwrap_err();
+        assert!(
+            err.contains("exceeds the attempt's client latency"),
+            "{err}"
+        );
+
+        // Phases summing beyond the total violate the decoder's clamp.
+        let overfull = tcp_run(
+            "{\"seq\":2,\"clock\":1,\"kind\":\"source_attempt\",\"plan_seq\":0,\
+             \"source\":\"s0\",\"attempt\":1,\"backoff\":0,\"latency\":2.0,\"outcome\":\"ok\",\
+             \"remote_total\":1.0,\"remote_recv\":0.5,\"remote_lookup\":0.5,\
+             \"remote_encode\":0.5,\"remote_seq\":7}",
+        );
+        assert!(validate_trace(&overfull).unwrap_err().contains("phase sum"));
+
+        // The five fields travel together.
+        let partial = tcp_run(
+            "{\"seq\":2,\"clock\":1,\"kind\":\"source_attempt\",\"plan_seq\":0,\
+             \"source\":\"s0\",\"attempt\":1,\"backoff\":0,\"latency\":2.0,\"outcome\":\"ok\",\
+             \"remote_total\":1.0}",
+        );
+        assert!(validate_trace(&partial)
+            .unwrap_err()
+            .contains("travel together"));
+
+        // Remote spans only ride tcp-backend runs.
+        let sim = concat!(
+            "{\"seq\":0,\"clock\":0,\"kind\":\"run_started\",\"backend\":\"sim\"}\n",
+            "{\"seq\":1,\"clock\":0,\"kind\":\"plan_emitted\",\"plan_seq\":0}\n",
+            "{\"seq\":2,\"clock\":1,\"kind\":\"source_attempt\",\"plan_seq\":0,\
+             \"source\":\"s0\",\"attempt\":1,\"backoff\":0,\"latency\":2.0,\"outcome\":\"ok\",\
+             \"remote_total\":1.5,\"remote_recv\":0.25,\"remote_lookup\":1.0,\
+             \"remote_encode\":0.25,\"remote_seq\":7}\n",
+        );
+        assert!(validate_trace(sim)
+            .unwrap_err()
+            .contains("only ride tcp-backend attempts"));
     }
 
     #[test]

@@ -34,10 +34,13 @@
 //!   catalog-declared behavior, exported as `qpo_source_divergence`
 //!   gauges and `drift_detected` journal events, recomputable bit-exact
 //!   from the trace;
+//! - [`backends`] — the live backend directory ([`BackendBoard`]): the
+//!   mediator publishes each registered source backend's label, kind,
+//!   and a live epoch sampler, rendered by [`backends_text`];
 //! - [`serve`] — a dependency-free introspection server
 //!   ([`serve::serve`]) exposing `/metrics`, `/traces`, `/sessions`,
-//!   `/explain`, `/profile`, `/divergence`, and `/healthz` over
-//!   `std::net::TcpListener`.
+//!   `/explain`, `/profile`, `/divergence`, `/backends`, and
+//!   `/healthz` over `std::net::TcpListener`.
 //!
 //! The [`Obs`] bundle ties a registry, a journal, and a session board
 //! together; every instrumented layer (`OrderingKernel`, the
@@ -62,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod divergence;
 pub mod explain;
 pub mod export;
@@ -72,6 +76,7 @@ pub mod quality;
 pub mod registry;
 pub mod serve;
 
+pub use backends::{backends_text, BackendBoard};
 pub use divergence::{
     AccessObservation, DivergenceConfig, DivergenceMonitor, SourceDrift, SourceExpectation,
 };
@@ -82,7 +87,7 @@ pub use explain::{
 pub use export::{escape_label_value, prometheus_text, summary_text};
 pub use journal::{validate_trace, TraceEvent, TraceJournal, TraceReport, Value};
 pub use json::{parse_json, Json, JsonError};
-pub use profile::{PlanSpan, ProfileIndex, RunProfile, SourceSpan, SpanStatus};
+pub use profile::{PlanSpan, ProfileIndex, RemoteSpan, RunProfile, SourceSpan, SpanStatus};
 pub use quality::{QualityPoint, QualitySnapshot, QualityTracker, SessionBoard, SessionEntry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use serve::IntrospectionServer;
@@ -105,6 +110,10 @@ pub struct Obs {
     /// `/sessions` endpoint. Always on (registration is a few map
     /// operations per session, not per plan).
     pub sessions: SessionBoard,
+    /// The live backend directory behind the introspection server's
+    /// `/backends` endpoint. The mediator publishes one entry per
+    /// registered source backend (label, kind, live epoch sampler).
+    pub backends: BackendBoard,
 }
 
 impl Obs {
@@ -119,6 +128,26 @@ impl Obs {
             registry: Registry::new(),
             journal: TraceJournal::enabled(),
             sessions: SessionBoard::new(),
+            backends: BackendBoard::new(),
         }
+    }
+
+    /// [`Obs::with_trace`] with a bounded journal: at most `cap` events
+    /// are retained (ring buffer, oldest dropped first) and every drop
+    /// bumps the `qpo_trace_events_dropped_total` counter. Truncation is
+    /// detectable offline — dropped events leave a seq gap that
+    /// [`validate_trace`] rejects — so long-lived serving sessions can
+    /// cap memory while profile reconstruction keeps requiring an
+    /// un-truncated run.
+    pub fn with_trace_capacity(cap: usize) -> Self {
+        let obs = Obs {
+            registry: Registry::new(),
+            journal: TraceJournal::enabled_with_capacity(cap),
+            sessions: SessionBoard::new(),
+            backends: BackendBoard::new(),
+        };
+        obs.journal
+            .set_dropped_counter(obs.registry.counter("qpo_trace_events_dropped_total", &[]));
+        obs
     }
 }

@@ -13,7 +13,17 @@
 //! ├── prepare   (kernel events before the first emission)
 //! ├── ordering  (kernel events interleaved with emissions)
 //! └── plan* — schedule wait · per-source {backoff, attempt}* · join · self
+//!                              └ remote: network + server {recv, lookup, encode}
 //! ```
+//!
+//! When a source chain's successful attempt carried a server span block
+//! over the wire (tcp backends against a tracing `qpo-source-server`),
+//! the executor journals it as `remote_*` fields and this module
+//! stitches a [`RemoteSpan`] child under the attempt: the charged
+//! latency decomposes into a server portion (with its receive/parse,
+//! provider-lookup, and row-encode phases) and a `network` residual that
+//! bit-equals `charge − server_total`. Legacy servers send no block and
+//! the chain degrades to the single-span attribution above.
 //!
 //! Per-plan attribution is **exact, not differenced**: the runtime
 //! journals each attempt's `backoff` and `latency` charges and each
@@ -39,6 +49,32 @@ use crate::json::{parse_json, Json};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// The server-side span block stitched under a source chain's successful
+/// attempt, journalled by the executor as `remote_*` fields when the
+/// backend's wire reply carried one (tcp backends against a tracing
+/// server). All times are in the run's virtual units; `network` is the
+/// client-observed residual `charge − total`, reproduced here with the
+/// same single f64 subtraction the executor performed live so the
+/// attribution is exact to the bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteSpan {
+    /// Server time from frame receipt to request parse.
+    pub recv_parse: f64,
+    /// Server time resolving the provider for the requested source.
+    pub lookup: f64,
+    /// Server time encoding the result rows.
+    pub encode: f64,
+    /// Total server-side time for the request (≥ the phase sum).
+    pub total: f64,
+    /// The attempt latency the executor charged for this access — the
+    /// parent the remote span nests inside.
+    pub charge: f64,
+    /// Network + framing residual: `charge − total`.
+    pub network: f64,
+    /// The server's monotonically increasing request counter.
+    pub server_seq: u64,
+}
+
 /// One source's sub-span within a plan: the retry chain with its two
 /// charge kinds (backoff wait, attempt latency) re-summed in the order
 /// the runtime charged them.
@@ -60,6 +96,10 @@ pub struct SourceSpan {
     pub total: f64,
     /// Outcome of the final attempt (`ok`/`timeout`/`transient`/`permanent`).
     pub outcome: String,
+    /// The server span block from the successful attempt, when the wire
+    /// reply carried one. At most one per chain: only an `ok` attempt
+    /// ends the chain, and only `ok` replies carry a span block.
+    pub remote: Option<RemoteSpan>,
 }
 
 /// Terminal status of a profiled plan span.
@@ -196,7 +236,10 @@ impl RunProfile {
     ///    latency);
     /// 2. self times are non-negative and the critical decomposition
     ///    (critical source + join + self) sums exactly to the latency;
-    /// 3. the critical path never exceeds the reported makespan.
+    /// 3. the critical path never exceeds the reported makespan;
+    /// 4. stitched remote spans nest within their attempt charge, their
+    ///    phases sum within the server total, and the network residual
+    ///    bit-equals `charge − total` (the executor's own subtraction).
     pub fn check(&self) -> Result<(), String> {
         let fail = |msg: String| Err(format!("run {}: {msg}", self.run));
         let mut cursor = f64::NEG_INFINITY;
@@ -224,6 +267,36 @@ impl RunProfile {
                         "plan {} source {} escapes its parent span ({} > {})",
                         p.seq, s.name, s.total, p.latency
                     ));
+                }
+                if let Some(r) = &s.remote {
+                    if !(r.recv_parse >= 0.0
+                        && r.lookup >= 0.0
+                        && r.encode >= 0.0
+                        && r.total >= 0.0)
+                    {
+                        return fail(format!(
+                            "plan {} source {} remote span has a negative phase",
+                            p.seq, s.name
+                        ));
+                    }
+                    if r.total > r.charge {
+                        return fail(format!(
+                            "plan {} source {} remote span escapes its attempt ({} > {})",
+                            p.seq, s.name, r.total, r.charge
+                        ));
+                    }
+                    if r.recv_parse + r.lookup + r.encode > r.total {
+                        return fail(format!(
+                            "plan {} source {} remote phases exceed the server total",
+                            p.seq, s.name
+                        ));
+                    }
+                    if r.network.to_bits() != (r.charge - r.total).to_bits() {
+                        return fail(format!(
+                            "plan {} source {} network residual is not exact ({} != {} - {})",
+                            p.seq, s.name, r.network, r.charge, r.total
+                        ));
+                    }
                 }
                 critical = critical.max(s.total);
             }
@@ -357,6 +430,19 @@ impl RunProfile {
                 push_f64(&mut out, s.total);
                 out.push_str(",\"outcome\":");
                 push_str(&mut out, &s.outcome);
+                if let Some(r) = &s.remote {
+                    out.push_str(",\"remote\":{\"total\":");
+                    push_f64(&mut out, r.total);
+                    out.push_str(",\"recv_parse\":");
+                    push_f64(&mut out, r.recv_parse);
+                    out.push_str(",\"lookup\":");
+                    push_f64(&mut out, r.lookup);
+                    out.push_str(",\"encode\":");
+                    push_f64(&mut out, r.encode);
+                    out.push_str(",\"network\":");
+                    push_f64(&mut out, r.network);
+                    let _ = write!(out, ",\"server_seq\":{}}}", r.server_seq);
+                }
                 let _ = write!(out, ",\"critical\":{}}}", p.critical_source == Some(j));
             }
             out.push_str("]}");
@@ -465,6 +551,12 @@ impl RunProfile {
                 out.push_str(" total=");
                 push_num(&mut out, s.total);
                 let _ = write!(out, " outcome={}", s.outcome);
+                if let Some(r) = &s.remote {
+                    out.push_str(" server=");
+                    push_num(&mut out, r.total);
+                    out.push_str(" network=");
+                    push_num(&mut out, r.network);
+                }
                 if p.critical_source == Some(j) {
                     out.push_str(" «critical»");
                 }
@@ -691,6 +783,18 @@ impl Builder {
                 let charge = fields.f64("latency").unwrap_or(0.0);
                 let outcome = fields.str("outcome").unwrap_or("").to_string();
                 let name = fields.str("source").unwrap_or("").to_string();
+                // The network residual repeats the executor's live
+                // subtraction (charge − server total) on the journalled
+                // f64s, so the stitched attribution is bit-exact.
+                let remote = fields.f64("remote_total").map(|total| RemoteSpan {
+                    recv_parse: fields.f64("remote_recv").unwrap_or(0.0),
+                    lookup: fields.f64("remote_lookup").unwrap_or(0.0),
+                    encode: fields.f64("remote_encode").unwrap_or(0.0),
+                    total,
+                    charge,
+                    network: charge - total,
+                    server_seq: fields.u64("remote_seq").unwrap_or(0),
+                });
                 if let Some(p) = self.plan_mut(fields) {
                     let s = match p.sources.iter_mut().find(|s| s.name == name) {
                         Some(s) => s,
@@ -703,6 +807,7 @@ impl Builder {
                                 attempt_time: 0.0,
                                 total: 0.0,
                                 outcome: String::new(),
+                                remote: None,
                             });
                             p.sources.last_mut().expect("just pushed")
                         }
@@ -716,6 +821,9 @@ impl Builder {
                     s.total += backoff;
                     s.total += charge;
                     s.outcome = outcome;
+                    if let Some(r) = remote {
+                        s.remote = Some(r);
+                    }
                 }
             }
             "plan_completed" | "plan_failed" | "plan_unsound" => {
@@ -1012,6 +1120,7 @@ mod tests {
                 attempt_time: 2.0,
                 total: 2.0,
                 outcome: "ok".into(),
+                remote: None,
             }],
             critical_source: Some(0),
         });
@@ -1028,6 +1137,128 @@ mod tests {
         run.makespan = Some(1.0);
         let err = run.check().unwrap_err();
         assert!(err.contains("exceeds makespan"), "{err}");
+    }
+
+    /// A single-plan run whose one source attempt carries the journalled
+    /// remote span fields the executor emits for traced tcp backends.
+    fn remote_fixture(total: f64) -> TraceJournal {
+        let j = TraceJournal::enabled();
+        j.record(
+            "run_started",
+            vec![
+                ("lookahead", Value::U64(1)),
+                ("backend", Value::Str("tcp".into())),
+            ],
+        );
+        j.record(
+            "plan_emitted",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("plan", Value::Str("v1".into())),
+                ("utility", Value::F64(0.9)),
+            ],
+        );
+        j.record(
+            "source_attempt",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("source", Value::Str("v1".into())),
+                ("attempt", Value::U64(1)),
+                ("backoff", Value::F64(0.0)),
+                ("latency", Value::F64(3.0)),
+                ("outcome", Value::Str("ok".into())),
+                ("remote_total", Value::F64(total)),
+                ("remote_recv", Value::F64(0.25)),
+                ("remote_lookup", Value::F64(0.5)),
+                ("remote_encode", Value::F64(0.75)),
+                ("remote_seq", Value::U64(42)),
+            ],
+        );
+        j.set_clock(3.0);
+        j.record(
+            "plan_completed",
+            vec![
+                ("plan_seq", Value::U64(0)),
+                ("latency", Value::F64(3.0)),
+                ("tuples", Value::U64(1)),
+            ],
+        );
+        j.record(
+            "run_finished",
+            vec![
+                ("plans", Value::U64(1)),
+                ("answers", Value::U64(1)),
+                ("makespan", Value::F64(3.0)),
+            ],
+        );
+        j
+    }
+
+    #[test]
+    fn remote_spans_stitch_under_the_attempt_exactly() {
+        let j = remote_fixture(1.75);
+        let index = ProfileIndex::from_journal(&j);
+        let run = index.latest().unwrap();
+        run.check().expect("remote invariants");
+        let r = run.plans[0].sources[0].remote.as_ref().expect("stitched");
+        assert_eq!(
+            r,
+            &RemoteSpan {
+                recv_parse: 0.25,
+                lookup: 0.5,
+                encode: 0.75,
+                total: 1.75,
+                charge: 3.0,
+                network: 3.0 - 1.75,
+                server_seq: 42,
+            }
+        );
+        // The decomposition is exact: the network residual is the same
+        // f64 subtraction the executor performed live.
+        assert_eq!(r.network.to_bits(), (r.charge - r.total).to_bits());
+        let json = run.to_json();
+        assert!(json.contains("\"remote\":{\"total\":1.75"), "{json}");
+        assert!(json.contains("\"server_seq\":42"), "{json}");
+        let text = run.render_text();
+        assert!(text.contains("server=1.75 network=1.25"), "{text}");
+        // The JSONL path rebuilds the identical stitched index.
+        let offline = ProfileIndex::from_jsonl(&j.to_jsonl()).unwrap();
+        assert_eq!(offline, index);
+        assert_eq!(offline.latest().unwrap().to_json(), json);
+    }
+
+    #[test]
+    fn check_rejects_unsound_remote_spans() {
+        // A server total larger than the attempt charge cannot nest.
+        let index = ProfileIndex::from_journal(&remote_fixture(3.5));
+        let err = index.latest().unwrap().check().unwrap_err();
+        assert!(err.contains("remote span escapes its attempt"), "{err}");
+        // Phase sum above the server total is rejected too.
+        let index = ProfileIndex::from_journal(&remote_fixture(1.0));
+        let err = index.latest().unwrap().check().unwrap_err();
+        assert!(err.contains("remote phases exceed"), "{err}");
+        // And a tampered network residual fails the bit-exactness rule.
+        let mut run = ProfileIndex::from_journal(&remote_fixture(1.75))
+            .latest()
+            .unwrap()
+            .clone();
+        run.plans[0].sources[0].remote.as_mut().unwrap().network += 1e-9;
+        let err = run.check().unwrap_err();
+        assert!(err.contains("network residual is not exact"), "{err}");
+    }
+
+    #[test]
+    fn chains_without_remote_fields_stay_single_span() {
+        // The legacy degradation: no remote_* fields, no stitched child.
+        let index = ProfileIndex::from_journal(&fixture());
+        let run = index.latest().unwrap();
+        for p in run.plans.iter() {
+            for s in &p.sources {
+                assert_eq!(s.remote, None);
+            }
+        }
+        assert!(!run.to_json().contains("\"remote\""));
+        assert!(!run.render_text().contains(" server="));
     }
 
     #[test]

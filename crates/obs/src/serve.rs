@@ -17,7 +17,9 @@
 //!   byte-identical to the offline renderers;
 //! - `/divergence` — the source-drift recomputation of
 //!   [`crate::divergence`] over the journal (default config), the same
-//!   bytes [`DivergenceMonitor::to_json`] renders offline.
+//!   bytes [`DivergenceMonitor::to_json`] renders offline;
+//! - `/backends` — the published backend directory (label, kind, live
+//!   epoch), byte-identical to [`backends_text`] over the same board.
 //!
 //! Malformed query strings on `/explain` and `/profile` return 400, and
 //! request heads are bounded (oversized or unterminated heads return 400
@@ -36,6 +38,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::backends::backends_text;
 use crate::divergence::{DivergenceConfig, DivergenceMonitor};
 use crate::explain::{parse_plan, ExplainIndex};
 use crate::export::prometheus_text;
@@ -215,6 +218,12 @@ pub(crate) fn respond(target: &str, obs: &Obs) -> (u16, &'static str, &'static s
         ),
         "/explain" => explain_response(query, obs),
         "/profile" => profile_response(query, obs),
+        "/backends" => (
+            200,
+            "OK",
+            "text/plain; charset=utf-8",
+            backends_text(&obs.backends),
+        ),
         "/divergence" => (
             200,
             "OK",
@@ -226,7 +235,7 @@ pub(crate) fn respond(target: &str, obs: &Obs) -> (u16, &'static str, &'static s
             404,
             "Not Found",
             "text/plain; charset=utf-8",
-            "unknown path; try /healthz /metrics /traces /sessions /explain /profile /divergence\n"
+            "unknown path; try /healthz /metrics /traces /sessions /explain /profile /divergence /backends\n"
                 .to_string(),
         ),
     }
@@ -354,6 +363,11 @@ mod tests {
         assert_eq!(traces, obs.journal.to_jsonl());
         let (_, _, _, sessions) = respond("/sessions", &obs);
         assert_eq!(sessions, obs.sessions.to_json());
+        obs.backends.publish("pi", "sim", std::sync::Arc::new(|| 7));
+        let (_, _, ct, backends) = respond("/backends", &obs);
+        assert_eq!(ct, "text/plain; charset=utf-8");
+        assert_eq!(backends, backends_text(&obs.backends));
+        assert_eq!(backends, "pi kind=sim epoch=7\n");
         let (status, _, _, body) = respond("/explain?plan=0,1", &obs);
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"emitted\""), "{body}");

@@ -157,6 +157,11 @@ pub struct AccessContext<'a> {
     /// Binding pattern of the access (today always
     /// [`crate::memo::SCAN_PATTERN`]).
     pub pattern: &'a str,
+    /// Process-local identifier of the run performing the access.
+    /// Propagated to tracing backends (the TCP backend's wire trace
+    /// context) so a server's journal can tell concurrent runs apart; it
+    /// is never journalled client-side, so traces stay deterministic.
+    pub run: u64,
     /// Emission sequence number of the plan performing the access.
     pub plan_seq: u64,
     /// Zero-based attempt number within the retry loop.
@@ -164,6 +169,26 @@ pub struct AccessContext<'a> {
     /// The run's fault configuration. Real backends ignore it — their
     /// faults are real.
     pub faults: &'a FaultConfig,
+}
+
+/// Server-side timing of one remote access, decoded from the wire's
+/// span-block extension and mapped onto the client's virtual-time axis
+/// (the backend's `latency_unit` scaling, same as the client latency).
+/// By construction `recv_parse + lookup + encode ≤ total ≤` the attempt's
+/// charged client latency, so `client latency − total` is a non-negative
+/// network residual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteSpan {
+    /// Server frame receive + request parse time (virtual units).
+    pub recv_parse: f64,
+    /// Server provider lookup time (virtual units).
+    pub lookup: f64,
+    /// Server row encode time (virtual units).
+    pub encode: f64,
+    /// Total server residence time, `≥` the phase sum (virtual units).
+    pub total: f64,
+    /// The server's monotone request counter at this request.
+    pub server_seq: u64,
 }
 
 /// What one backend access attempt produced: the access record (outcome +
@@ -177,6 +202,10 @@ pub struct AccessReply {
     pub access: Access,
     /// The source relation's tuples, when the backend serves data.
     pub tuples: Option<Arc<Vec<Tuple>>>,
+    /// Server-side span of the attempt, when the backend speaks the wire
+    /// protocol's span-block extension (only [`crate::net::TcpBackend`]
+    /// today). `None` degrades to single-span client-side attribution.
+    pub remote: Option<RemoteSpan>,
 }
 
 /// A world the executor can run plans against. Implementations must be
@@ -222,6 +251,7 @@ impl SourceBackend for SimBackend {
         Ok(AccessReply {
             access: svc.simulate_access(ctx.faults, ctx.plan_seq, ctx.attempt),
             tuples: None,
+            remote: None,
         })
     }
 }
@@ -256,6 +286,7 @@ mod tests {
             for attempt in 0..4 {
                 let ctx = AccessContext {
                     pattern: SCAN_PATTERN,
+                    run: 0,
                     plan_seq,
                     attempt,
                     faults: &faults,

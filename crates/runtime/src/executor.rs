@@ -31,7 +31,7 @@
 //! `lookahead − 1` plans past the serial stopping point — the usual price
 //! of speculation. Use `lookahead = 1` for exact answer-budget parity.
 
-use crate::backend::{AccessContext, BackendErrorClass, SimBackend, SourceBackend};
+use crate::backend::{AccessContext, BackendErrorClass, RemoteSpan, SimBackend, SourceBackend};
 use crate::memo::{MemoHit, MemoOutcome, SourceMemo, SCAN_PATTERN};
 use crate::policy::{RetryPolicy, RuntimePolicy};
 use crate::source::{AccessOutcome, SourceGrid, SourceService};
@@ -40,8 +40,17 @@ use qpo_core::{OrderedPlan, PlanOrderer, PlanOutcome};
 use qpo_datalog::Tuple;
 use qpo_obs::{Counter, Gauge, Histogram, Obs, Value};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Process-wide run-id source for trace-context propagation: each
+/// [`Executor::run_observed`] call takes the next value, so backend
+/// requests from distinct runs (or distinct executors) carry distinct
+/// trace run ids over the wire. The id is propagation metadata only — it
+/// is never journalled, so traces stay a pure function of
+/// `(seed, sources, plan order)`.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Evaluates concrete plans against the integration system's data; the
 /// runtime is generic over this so it does not depend on any particular
@@ -155,6 +164,14 @@ pub struct SourceAccess {
     pub ok: bool,
     /// Whether the source was permanently down.
     pub permanently_down: bool,
+    /// Server-side total of the successful attempt in virtual units, when
+    /// the backend returned a remote span (traced TCP server). `None` for
+    /// simulated, untraced, legacy-server, and failed accesses.
+    pub remote_server: Option<f64>,
+    /// Network residual of the successful attempt: client-observed attempt
+    /// latency minus the server-reported total. Present iff
+    /// `remote_server` is, and never negative.
+    pub remote_network: Option<f64>,
 }
 
 /// Why a plan failed to execute.
@@ -265,6 +282,8 @@ impl RuntimeRun {
 
 struct Job {
     seq: u64,
+    /// Trace run id propagated to the backend on every access.
+    run: u64,
     ordered: OrderedPlan,
     /// Per-bucket accesses already resolved by the coordinator's memo
     /// lookup (aligned with the plan; empty when no memo is attached).
@@ -291,6 +310,10 @@ struct AttemptEvent {
     /// one: `(class label, message)`. Journalled as `error_class`/`error`
     /// so the typed classification survives into the trace.
     error: Option<(&'static str, String)>,
+    /// Server-side span the reply carried, when the backend returned one
+    /// (only ever on `ok` attempts). Journalled as typed `remote_*`
+    /// fields, in virtual units.
+    remote: Option<RemoteSpan>,
 }
 
 struct Completion {
@@ -463,6 +486,8 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
         let lookahead = self.policy.lookahead.max(1);
         let metrics = RunMetrics::registered(&self.obs, self.backend.kind());
         let journal = &self.obs.journal;
+        // Fresh trace run id for context propagation; see `RUN_COUNTER`.
+        let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
         if let Some(memo) = &self.memo {
             // Outcomes memoized under an older backend data version are
             // stale before the run even starts.
@@ -576,6 +601,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                         job_tx
                             .send(Job {
                                 seq,
+                                run,
                                 ordered,
                                 resolved,
                             })
@@ -747,6 +773,17 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
                 ("latency", Value::F64(ev.latency)),
                 ("outcome", Value::Str(ev.outcome.into())),
             ];
+            // The server-side span, when the reply carried one: typed
+            // fields in virtual units, so profile stitching and the
+            // divergence replay recompute `network = latency −
+            // remote_total` bit-for-bit from the trace alone.
+            if let Some(r) = ev.remote {
+                fields.push(("remote_total", Value::F64(r.total)));
+                fields.push(("remote_recv", Value::F64(r.recv_parse)));
+                fields.push(("remote_lookup", Value::F64(r.lookup)));
+                fields.push(("remote_encode", Value::F64(r.encode)));
+                fields.push(("remote_seq", Value::U64(r.server_seq)));
+            }
             // Journal the backend-error classification (typed, end to
             // end): attempts behind an infrastructure failure carry the
             // class and message alongside the retry-loop outcome.
@@ -878,6 +915,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
     fn execute_job(&self, job: Job) -> Completion {
         let Job {
             seq,
+            run,
             ordered,
             resolved,
         } = job;
@@ -912,7 +950,7 @@ impl<'a, E: PlanEvaluator> Executor<'a, E> {
             }
             let events = tracing.then_some(&mut trace);
             let outcome =
-                access_with_retries(self.backend.as_ref(), svc, &self.policy, seq, events);
+                access_with_retries(self.backend.as_ref(), svc, &self.policy, run, seq, events);
             accesses.push(outcome.access);
             fetched.push(outcome.tuples);
             backend_errors[0] += outcome.backend_errors[0];
@@ -972,6 +1010,8 @@ fn replay_access(svc: &SourceService, hit: MemoHit) -> SourceAccess {
         fee: 0.0,
         ok: hit.outcome == MemoOutcome::Success,
         permanently_down: hit.outcome == MemoOutcome::PermanentFailure,
+        remote_server: None,
+        remote_network: None,
     }
 }
 
@@ -1045,6 +1085,7 @@ fn access_with_retries(
     backend: &dyn SourceBackend,
     svc: &SourceService,
     policy: &RuntimePolicy,
+    run: u64,
     seq: u64,
     mut events: Option<&mut Vec<AttemptEvent>>,
 ) -> ResolvedAccess {
@@ -1052,7 +1093,12 @@ fn access_with_retries(
     let mut latency = 0.0;
     let mut transient_failures = 0u32;
     let mut backend_errors = [0u64; 2];
-    let report = |attempts, ok, permanently_down, latency, transient_failures| SourceAccess {
+    let report = |attempts,
+                  ok,
+                  permanently_down,
+                  latency,
+                  transient_failures,
+                  remote: Option<(f64, f64)>| SourceAccess {
         bucket: svc.bucket,
         index: svc.index,
         name: svc.name.to_string(),
@@ -1062,13 +1108,16 @@ fn access_with_retries(
         fee: if ok { svc.behavior.fee_per_access } else { 0.0 },
         ok,
         permanently_down,
+        remote_server: remote.map(|(server, _)| server),
+        remote_network: remote.map(|(_, network)| network),
     };
     let mut record = |attempt: u32,
                       offset: f64,
                       backoff: f64,
                       charge: f64,
                       outcome: &'static str,
-                      error: Option<(&'static str, String)>| {
+                      error: Option<(&'static str, String)>,
+                      remote: Option<RemoteSpan>| {
         if let Some(events) = events.as_deref_mut() {
             events.push(AttemptEvent {
                 source: svc.name.to_string(),
@@ -1078,6 +1127,7 @@ fn access_with_retries(
                 latency: charge,
                 outcome,
                 error,
+                remote,
             });
         }
     };
@@ -1086,6 +1136,7 @@ fn access_with_retries(
         latency += backoff;
         let ctx = AccessContext {
             pattern: SCAN_PATTERN,
+            run,
             plan_seq: seq,
             attempt,
             faults: &policy.faults,
@@ -1095,17 +1146,26 @@ fn access_with_retries(
                 if reply.access.outcome == AccessOutcome::Success
                     && reply.access.latency <= retry.access_timeout
                 {
-                    latency += reply.access.latency;
+                    let charge = reply.access.latency;
+                    latency += charge;
                     record(
                         attempt + 1,
                         latency,
                         backoff,
-                        reply.access.latency,
+                        charge,
                         "ok",
                         None,
+                        reply.remote,
                     );
                     return ResolvedAccess {
-                        access: report(attempt + 1, true, false, latency, transient_failures),
+                        access: report(
+                            attempt + 1,
+                            true,
+                            false,
+                            latency,
+                            transient_failures,
+                            reply.remote.map(|r| (r.total, charge - r.total)),
+                        ),
                         tuples: reply.tuples,
                         backend_errors,
                     };
@@ -1127,16 +1187,39 @@ fn access_with_retries(
                 match class {
                     BackendErrorClass::Permanent => {
                         latency += charge;
-                        record(attempt + 1, latency, backoff, charge, "permanent", detail);
+                        record(
+                            attempt + 1,
+                            latency,
+                            backoff,
+                            charge,
+                            "permanent",
+                            detail,
+                            None,
+                        );
                         return ResolvedAccess {
-                            access: report(attempt + 1, false, true, latency, transient_failures),
+                            access: report(
+                                attempt + 1,
+                                false,
+                                true,
+                                latency,
+                                transient_failures,
+                                None,
+                            ),
                             tuples: None,
                             backend_errors,
                         };
                     }
                     BackendErrorClass::Transient => {
                         latency += charge;
-                        record(attempt + 1, latency, backoff, charge, "transient", detail);
+                        record(
+                            attempt + 1,
+                            latency,
+                            backoff,
+                            charge,
+                            "transient",
+                            detail,
+                            None,
+                        );
                         transient_failures += 1;
                         continue;
                     }
@@ -1145,9 +1228,9 @@ fn access_with_retries(
         };
         match access.outcome {
             AccessOutcome::PermanentFailure => {
-                record(attempt + 1, latency, backoff, 0.0, "permanent", None);
+                record(attempt + 1, latency, backoff, 0.0, "permanent", None, None);
                 return ResolvedAccess {
-                    access: report(attempt + 1, false, true, latency, transient_failures),
+                    access: report(attempt + 1, false, true, latency, transient_failures, None),
                     tuples: None,
                     backend_errors,
                 };
@@ -1165,6 +1248,7 @@ fn access_with_retries(
                     charge,
                     if timed_out { "timeout" } else { "transient" },
                     None,
+                    None,
                 );
                 transient_failures += 1;
             }
@@ -1177,6 +1261,7 @@ fn access_with_retries(
             false,
             latency,
             transient_failures,
+            None,
         ),
         tuples: None,
         backend_errors,
@@ -1584,13 +1669,13 @@ mod tests {
         // jittered draws exceed it; over many sequences some access must
         // record a timeout-induced retry.
         let timed_out = (0..50).any(|seq| {
-            let a = access_with_retries(&SimBackend, svc, &policy, seq, None);
+            let a = access_with_retries(&SimBackend, svc, &policy, 0, seq, None);
             a.access.transient_failures > 0
         });
         assert!(timed_out);
         // And an infinite timeout on a reliable source never retries.
         let policy = RuntimePolicy::serial().with_faults(FaultConfig::with_seed(4));
-        let a = access_with_retries(&SimBackend, grid.service(0, 2), &policy, 0, None);
+        let a = access_with_retries(&SimBackend, grid.service(0, 2), &policy, 0, 0, None);
         assert_eq!((a.access.attempts, a.access.ok), (1, true));
         assert!(a.tuples.is_none(), "the simulator serves no data");
         assert_eq!(a.backend_errors, [0, 0]);
@@ -1630,6 +1715,7 @@ mod tests {
                     latency: 1.0,
                 },
                 tuples: Some(Arc::new(vec![vec![Constant::Int(1)]])),
+                remote: None,
             })
         }
     }
@@ -1645,7 +1731,7 @@ mod tests {
             down: None,
         };
         let mut events = Vec::new();
-        let a = access_with_retries(&backend, svc, &policy, 0, Some(&mut events));
+        let a = access_with_retries(&backend, svc, &policy, 0, 0, Some(&mut events));
         assert!(a.access.ok, "third attempt succeeds");
         assert_eq!(a.access.attempts, 3);
         assert_eq!(a.access.transient_failures, 2);

@@ -67,6 +67,8 @@ pub fn observe_divergence(monitor: &mut DivergenceMonitor, report: &PlanExecutio
                 permanently_down: a.permanently_down,
                 latency: a.latency,
                 tuples,
+                network: a.remote_network,
+                server: a.remote_server,
             },
         );
     }
@@ -165,6 +167,8 @@ mod tests {
             fee: 0.0,
             ok,
             permanently_down: false,
+            remote_server: None,
+            remote_network: None,
         }
     }
 

@@ -49,7 +49,8 @@ pub mod store;
 pub mod wire;
 
 pub use backend::{
-    AccessContext, AccessReply, BackendError, BackendErrorClass, SimBackend, SourceBackend,
+    AccessContext, AccessReply, BackendError, BackendErrorClass, RemoteSpan, SimBackend,
+    SourceBackend,
 };
 pub use executor::{
     Executor, FailureReason, PlanEvaluator, PlanExecution, PlanStatus, RunBudget, RunStats,
@@ -57,7 +58,10 @@ pub use executor::{
 };
 pub use feedback::{declare_sources, observe_divergence, outcome_of, SourceHealth, SourceRecord};
 pub use memo::{MemoHit, MemoOutcome, SourceMemo, SCAN_PATTERN};
-pub use net::{MemProvider, RelationProvider, SourceServer, TcpBackend};
+pub use net::{
+    fetch_server_trace, MemProvider, RelationProvider, ServerJournal, ServerSpanEntry,
+    SourceServer, TcpBackend,
+};
 pub use policy::{FaultConfig, RetryPolicy, RuntimePolicy};
 pub use source::{Access, AccessOutcome, SourceGrid, SourceService};
 pub use store::StoreBackend;

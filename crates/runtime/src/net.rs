@@ -16,13 +16,30 @@
 //! frame reads, one thread — mirroring the `qpo-obs` introspection
 //! server's shutdown idiom (an atomic flag plus a throwaway wake-up
 //! connection, so `stop()` never blocks on `accept`).
+//!
+//! ## Distributed tracing
+//!
+//! Requests from a tracing client carry a [`wire::TraceContext`]
+//! extension block (run / plan / source / attempt); the server times each
+//! request's receive→parse, provider lookup, and row-encode phases,
+//! journals them in a bounded in-process [`ServerJournal`] (dumped over
+//! the wire by [`wire::OP_TRACE`] or `qpo-source-server --metrics`), and
+//! — only when the request carried a context — appends a
+//! [`wire::ServerSpan`] extension to the response. [`TcpBackend`] decodes
+//! that block into a virtual-unit [`RemoteSpan`] on the [`AccessReply`],
+//! clamped so `phase sum ≤ total ≤ client latency` holds bit-exactly.
+//! Interop is two-sided: a legacy client's requests get byte-identical
+//! legacy responses, and a legacy (strict) server's "trailing bytes"
+//! rejection makes the client latch into legacy mode and resend the
+//! attempt plain — degrading to single-span client-side attribution.
 
-use crate::backend::{AccessContext, AccessReply, BackendError, SourceBackend};
+use crate::backend::{AccessContext, AccessReply, BackendError, RemoteSpan, SourceBackend};
 use crate::source::{Access, AccessOutcome, SourceService};
 use crate::store::StoreBackend;
 use crate::wire::{self, Request, Response};
 use qpo_datalog::Tuple;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -95,24 +112,136 @@ impl RelationProvider for MemProvider {
 /// Per-connection I/O timeout on the server side.
 const SERVER_IO_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Bound on the server's in-process span journal (drop-oldest ring).
+pub const SERVER_JOURNAL_CAP: usize = 512;
+
+/// One served scan request in the server's span journal: its phase
+/// timings (wall seconds) and, when the client propagated one, its trace
+/// context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpanEntry {
+    /// The server's monotone request counter at this request.
+    pub request_seq: u64,
+    /// Requested source relation.
+    pub source: String,
+    /// Requested binding pattern.
+    pub pattern: String,
+    /// The client's trace context, when the request carried one.
+    pub ctx: Option<wire::TraceContext>,
+    /// Frame receive + request parse time (seconds).
+    pub recv_parse: f64,
+    /// Provider lookup time (seconds).
+    pub lookup: f64,
+    /// Row encode time (seconds).
+    pub encode: f64,
+    /// Total request residence time, `≥` the phase sum (seconds).
+    pub total: f64,
+}
+
+/// The server's bounded in-process span journal: the last
+/// [`SERVER_JOURNAL_CAP`] served scans, drop-oldest. Dumped as text over
+/// the wire by [`wire::OP_TRACE`] and by `qpo-source-server --metrics`.
+#[derive(Debug, Default)]
+pub struct ServerJournal {
+    entries: Mutex<VecDeque<ServerSpanEntry>>,
+    total: AtomicU64,
+}
+
+impl ServerJournal {
+    fn push(&self, entry: ServerSpanEntry) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() == SERVER_JOURNAL_CAP {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        self.total.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Spans journalled over the server's lifetime (retained or dropped).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::SeqCst)
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<ServerSpanEntry> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Text dump: one header line, then one line per retained span.
+    pub fn render_text(&self) -> String {
+        let entries = self.entries();
+        let mut out = format!(
+            "source-server spans: total {}, retained {} (cap {SERVER_JOURNAL_CAP})\n",
+            self.total(),
+            entries.len()
+        );
+        for e in &entries {
+            let _ = write!(
+                out,
+                "seq={} source={} pattern={} recv={:.9} lookup={:.9} encode={:.9} total={:.9}",
+                e.request_seq, e.source, e.pattern, e.recv_parse, e.lookup, e.encode, e.total
+            );
+            match &e.ctx {
+                Some(c) => {
+                    let _ = writeln!(
+                        out,
+                        " run={} plan={} attempt={}",
+                        c.run, c.plan_seq, c.attempt
+                    );
+                }
+                None => out.push('\n'),
+            }
+        }
+        out
+    }
+}
+
 /// A running loopback source server. Dropping it stops the accept loop.
 pub struct SourceServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
     requests: Arc<AtomicU64>,
+    journal: Arc<ServerJournal>,
 }
 
 impl SourceServer {
     /// Binds `127.0.0.1:port` (`port` 0 picks a free one) and serves
     /// `provider` on a background thread.
     pub fn serve(provider: Arc<dyn RelationProvider>, port: u16) -> std::io::Result<SourceServer> {
+        SourceServer::serve_mode(provider, port, false)
+    }
+
+    /// [`SourceServer::serve`] in *legacy* mode: requests are decoded
+    /// with the strict pre-extension decoder (so trace contexts are
+    /// rejected as trailing bytes, exactly like a server predating the
+    /// span extension) and responses never carry span blocks. Exists for
+    /// the interop differential suites.
+    pub fn serve_legacy(
+        provider: Arc<dyn RelationProvider>,
+        port: u16,
+    ) -> std::io::Result<SourceServer> {
+        SourceServer::serve_mode(provider, port, true)
+    }
+
+    fn serve_mode(
+        provider: Arc<dyn RelationProvider>,
+        port: u16,
+        legacy: bool,
+    ) -> std::io::Result<SourceServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));
+        let journal = Arc::new(ServerJournal::default());
         let flag = Arc::clone(&shutdown);
         let served = Arc::clone(&requests);
+        let spans = Arc::clone(&journal);
         let handle = std::thread::Builder::new()
             .name("qpo-source-server".into())
             .spawn(move || {
@@ -124,7 +253,8 @@ impl SourceServer {
                         // Serial service keeps the server trivially
                         // correct; the executor's parallelism comes from
                         // its own worker lanes, not the source.
-                        let _ = handle_connection(stream, provider.as_ref(), &served);
+                        let _ =
+                            handle_connection(stream, provider.as_ref(), &served, &spans, legacy);
                     }
                 }
             })?;
@@ -133,6 +263,7 @@ impl SourceServer {
             shutdown,
             handle: Some(handle),
             requests,
+            journal,
         })
     }
 
@@ -144,6 +275,11 @@ impl SourceServer {
     /// Requests answered so far.
     pub fn requests_served(&self) -> u64 {
         self.requests.load(Ordering::SeqCst)
+    }
+
+    /// The server's bounded span journal.
+    pub fn journal(&self) -> &ServerJournal {
+        &self.journal
     }
 
     /// Stops the accept loop and joins the server thread. Idempotent.
@@ -170,20 +306,45 @@ impl Drop for SourceServer {
 /// closes, a frame is malformed, or a timeout fires. A malformed frame
 /// gets a transient-error response (best effort) and the connection is
 /// dropped — after garbage, frame alignment cannot be trusted.
+///
+/// Each scan is phase-timed — receive→parse, provider lookup, row
+/// encode — and journalled; a request that carried a trace context gets
+/// the span appended to its response (never in `legacy` mode, which
+/// also decodes strictly, rejecting extended requests as trailing
+/// bytes). A one-byte [`wire::OP_TRACE`] payload dumps the journal as a
+/// raw text frame.
 fn handle_connection(
     mut stream: TcpStream,
     provider: &dyn RelationProvider,
     served: &AtomicU64,
+    journal: &ServerJournal,
+    legacy: bool,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(SERVER_IO_TIMEOUT))?;
     stream.set_write_timeout(Some(SERVER_IO_TIMEOUT))?;
     loop {
+        // The receive phase starts when the server is ready for the next
+        // frame: on a fresh connection (the tracing client's shape) this
+        // is transit + read + parse of the request.
+        let start = Instant::now();
         let payload = match wire::read_frame(&mut stream) {
             Ok(p) => p,
             Err(_) => return Ok(()), // peer closed, timed out, or hostile length
         };
-        let response = match wire::decode_request(&payload) {
-            Ok(req) => respond(&req, provider),
+        if !legacy && payload == [wire::OP_TRACE] {
+            // Journal dump: one raw UTF-8 text frame, not a Response.
+            // Not counted as a served scan and not journalled itself.
+            wire::write_frame(&mut stream, journal.render_text().as_bytes())?;
+            stream.flush()?;
+            continue;
+        }
+        let decoded = if legacy {
+            wire::decode_request(&payload).map(|req| (req, None))
+        } else {
+            wire::decode_request_ext(&payload)
+        };
+        let (req, ctx) = match decoded {
+            Ok(d) => d,
             Err(e) => {
                 let resp = Response::Error(format!("malformed request: {e}"));
                 if let Ok(bytes) = wire::encode_response(&resp, provider.epoch()) {
@@ -192,12 +353,63 @@ fn handle_connection(
                 return Ok(());
             }
         };
+        let recv_parse = start.elapsed().as_secs_f64();
+        let response = respond(&req, provider);
+        let lookup = start.elapsed().as_secs_f64() - recv_parse;
         served.fetch_add(1, Ordering::SeqCst);
-        let bytes = wire::encode_response(&response, provider.epoch())
+        let request_seq = served.load(Ordering::SeqCst);
+        let mut bytes = wire::encode_response(&response, provider.epoch())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let encode = start.elapsed().as_secs_f64() - recv_parse - lookup;
+        // Clamp by construction: measured total can never undercut the
+        // phase sum, so decoded spans always attribute soundly.
+        let total = start
+            .elapsed()
+            .as_secs_f64()
+            .max(recv_parse + lookup + encode);
+        if !legacy {
+            if ctx.is_some() {
+                let span = wire::ServerSpan {
+                    recv_parse,
+                    lookup,
+                    encode,
+                    total,
+                    request_seq,
+                };
+                wire::append_server_span(&mut bytes, &span).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+            }
+            journal.push(ServerSpanEntry {
+                request_seq,
+                source: req.source,
+                pattern: req.pattern,
+                ctx,
+                recv_parse,
+                lookup,
+                encode,
+                total,
+            });
+        }
         wire::write_frame(&mut stream, &bytes)?;
         stream.flush()?;
     }
+}
+
+/// Dials `addr` and requests the server's span journal with a one-byte
+/// [`wire::OP_TRACE`] frame, returning the text dump — the client side
+/// of `qpo-source-server --metrics`. Legacy servers treat the probe as a
+/// malformed request, so this errors rather than hanging.
+pub fn fetch_server_trace(addr: &str, timeout: Duration) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    wire::write_frame(&mut stream, &[wire::OP_TRACE])?;
+    stream.flush()?;
+    let payload = wire::read_frame(&mut stream)?;
+    String::from_utf8(payload).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "trace dump is not UTF-8")
+    })
 }
 
 /// Pure request → response mapping, split out so protocol tests can run
@@ -221,17 +433,24 @@ pub struct TcpBackend {
     io_timeout: Duration,
     latency_unit: f64,
     seen_epoch: Arc<AtomicU64>,
+    trace: bool,
+    /// Latched (shared across clones) when the server rejects a
+    /// trace-context extension as trailing bytes — a strict legacy
+    /// server. Subsequent requests go out plain.
+    server_is_legacy: Arc<AtomicBool>,
 }
 
 impl TcpBackend {
     /// A backend dialing `addr` (e.g. `"127.0.0.1:7171"`) with a 2 s I/O
-    /// timeout and one virtual unit per millisecond.
+    /// timeout, one virtual unit per millisecond, and tracing on.
     pub fn new(addr: impl Into<String>) -> Self {
         TcpBackend {
             addr: addr.into(),
             io_timeout: Duration::from_secs(2),
             latency_unit: 1000.0,
             seen_epoch: Arc::new(AtomicU64::new(0)),
+            trace: true,
+            server_is_legacy: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -248,15 +467,38 @@ impl TcpBackend {
         self
     }
 
+    /// Enables or disables trace-context propagation (default on).
+    /// Disabled, the backend sends byte-identical legacy requests and
+    /// never reports remote spans — the untraced baseline the overhead
+    /// gate compares against.
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
     /// The server address this backend dials.
     pub fn addr(&self) -> &str {
         &self.addr
     }
 
+    /// Whether the backend has latched into legacy mode after a strict
+    /// server rejected a trace context.
+    pub fn server_is_legacy(&self) -> bool {
+        self.server_is_legacy.load(Ordering::SeqCst)
+    }
+
     /// One full request/response exchange on a fresh connection. Folds
     /// the response header's epoch into the high-water mark before
     /// returning, so even error responses advance the observed version.
-    fn exchange(&self, source: &str, pattern: &str) -> Result<Response, BackendError> {
+    /// A strict legacy server rejecting `ctx` as trailing bytes latches
+    /// the legacy flag and resends the request plain within the same
+    /// attempt (the extra round-trip is charged to it).
+    fn exchange(
+        &self,
+        source: &str,
+        pattern: &str,
+        ctx: Option<&wire::TraceContext>,
+    ) -> Result<(Response, Option<wire::ServerSpan>), BackendError> {
         let addr = self
             .addr
             .to_socket_addrs()
@@ -271,19 +513,50 @@ impl TcpBackend {
             .set_read_timeout(Some(self.io_timeout))
             .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
             .map_err(|e| BackendError::from_io(&e, "configure socket"))?;
-        let request = wire::encode_request(&Request {
-            source: source.to_string(),
-            pattern: pattern.to_string(),
-        })
+        let request = wire::encode_request_with(
+            &Request {
+                source: source.to_string(),
+                pattern: pattern.to_string(),
+            },
+            ctx,
+        )
         .map_err(|e| BackendError::permanent(format!("encode request: {e}")))?;
         wire::write_frame(&mut stream, &request)
             .map_err(|e| BackendError::from_io(&e, "send request"))?;
         let payload = wire::read_frame(&mut stream)
             .map_err(|e| BackendError::from_io(&e, "read response"))?;
-        let (resp, epoch) = wire::decode_response(&payload)
+        let (resp, epoch, span) = wire::decode_response_ext(&payload)
             .map_err(|e| BackendError::transient(format!("malformed response: {e}")))?;
         self.seen_epoch.fetch_max(epoch, Ordering::SeqCst);
-        Ok(resp)
+        if ctx.is_some() {
+            if let Response::Error(msg) = &resp {
+                if msg.contains("trailing bytes") {
+                    // A strict pre-extension server: downgrade for good
+                    // and redo this attempt without the context.
+                    self.server_is_legacy.store(true, Ordering::SeqCst);
+                    return self.exchange(source, pattern, None);
+                }
+            }
+        }
+        Ok((resp, span))
+    }
+
+    /// Maps a wire span (wall seconds) onto the virtual-time axis,
+    /// re-clamping after scaling so `phase sum ≤ total` survives f64
+    /// rounding, and hostile values (negatives, NaN) degrade to zeros.
+    fn remote_from_wire(&self, span: &wire::ServerSpan) -> RemoteSpan {
+        let unit = self.latency_unit;
+        let recv_parse = (span.recv_parse * unit).max(0.0);
+        let lookup = (span.lookup * unit).max(0.0);
+        let encode = (span.encode * unit).max(0.0);
+        let total = (span.total * unit).max(recv_parse + lookup + encode);
+        RemoteSpan {
+            recv_parse,
+            lookup,
+            encode,
+            total,
+            server_seq: span.request_seq,
+        }
     }
 }
 
@@ -301,21 +574,40 @@ impl SourceBackend for TcpBackend {
         svc: &SourceService,
         ctx: &AccessContext<'_>,
     ) -> Result<AccessReply, BackendError> {
+        let trace_ctx = (self.trace && !self.server_is_legacy()).then(|| wire::TraceContext {
+            run: ctx.run,
+            plan_seq: ctx.plan_seq,
+            source: svc.name.to_string(),
+            attempt: ctx.attempt,
+        });
         let start = Instant::now();
-        let result = self.exchange(svc.name.as_ref(), ctx.pattern);
+        let result = self.exchange(svc.name.as_ref(), ctx.pattern, trace_ctx.as_ref());
         let latency = start.elapsed().as_secs_f64() * self.latency_unit;
         match result {
-            Ok(Response::Rows(rows)) => Ok(AccessReply {
-                access: Access {
-                    outcome: AccessOutcome::Success,
-                    latency,
-                },
-                tuples: Some(Arc::new(rows)),
-            }),
-            Ok(Response::UnknownSource(msg)) => {
+            Ok((Response::Rows(rows), span)) => {
+                let remote = span.map(|s| self.remote_from_wire(&s));
+                // Final clamp of the chain `phase sum ≤ server total ≤
+                // client latency`: the attempt's network residual
+                // (`latency − total`) is non-negative by construction.
+                let latency = match &remote {
+                    Some(r) => latency.max(r.total),
+                    None => latency,
+                };
+                Ok(AccessReply {
+                    access: Access {
+                        outcome: AccessOutcome::Success,
+                        latency,
+                    },
+                    tuples: Some(Arc::new(rows)),
+                    remote,
+                })
+            }
+            Ok((Response::UnknownSource(msg), _)) => {
                 Err(BackendError::permanent(msg).with_latency(latency))
             }
-            Ok(Response::Error(msg)) => Err(BackendError::transient(msg).with_latency(latency)),
+            Ok((Response::Error(msg), _)) => {
+                Err(BackendError::transient(msg).with_latency(latency))
+            }
             Err(e) => {
                 let latency = latency.max(e.latency);
                 Err(e.with_latency(latency))
@@ -366,6 +658,7 @@ mod tests {
     fn ctx(faults: &FaultConfig) -> AccessContext<'_> {
         AccessContext {
             pattern: SCAN_PATTERN,
+            run: 0,
             plan_seq: 0,
             attempt: 0,
             faults,
@@ -508,5 +801,114 @@ mod tests {
         server.stop();
         server.stop();
         drop(server); // Drop after stop must not hang.
+    }
+
+    #[test]
+    fn traced_access_carries_a_sound_remote_span() {
+        let mut server = SourceServer::serve(provider(), 0).unwrap();
+        let backend = TcpBackend::new(server.addr().to_string());
+        let grid = grid();
+        let faults = FaultConfig::disabled();
+        let reply = backend.access(grid.service(0, 0), &ctx(&faults)).unwrap();
+        let remote = reply.remote.expect("traced tcp access reports a span");
+        let phases = remote.recv_parse + remote.lookup + remote.encode;
+        assert!(phases <= remote.total, "{remote:?}");
+        assert!(remote.total <= reply.access.latency, "{remote:?}");
+        assert!(remote.server_seq >= 1);
+        assert!(!backend.server_is_legacy());
+        // The server journalled the span with its trace context.
+        let entries = server.journal().entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].source, "v1");
+        assert_eq!(entries[0].ctx.as_ref().map(|c| c.attempt), Some(0));
+        server.stop();
+    }
+
+    #[test]
+    fn untraced_client_gets_no_span_and_the_server_journals_anyway() {
+        let mut server = SourceServer::serve(provider(), 0).unwrap();
+        let backend = TcpBackend::new(server.addr().to_string()).with_tracing(false);
+        let grid = grid();
+        let faults = FaultConfig::disabled();
+        let reply = backend.access(grid.service(0, 0), &ctx(&faults)).unwrap();
+        assert!(reply.remote.is_none());
+        let entries = server.journal().entries();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].ctx.is_none());
+        server.stop();
+    }
+
+    #[test]
+    fn legacy_server_downgrades_the_client_within_one_attempt() {
+        let mut server = SourceServer::serve_legacy(provider(), 0).unwrap();
+        let backend = TcpBackend::new(server.addr().to_string());
+        let grid = grid();
+        let faults = FaultConfig::disabled();
+        // First traced attempt: the strict server rejects the extension,
+        // the client latches legacy and resends plain — the attempt
+        // still succeeds, with no remote span.
+        let reply = backend.access(grid.service(0, 0), &ctx(&faults)).unwrap();
+        assert_eq!(reply.access.outcome, AccessOutcome::Success);
+        assert!(reply.remote.is_none());
+        assert!(backend.server_is_legacy());
+        // Clones share the latch: subsequent requests go out plain from
+        // the start (one request frame each, no rejected preamble).
+        let before = server.requests_served();
+        let reply = backend
+            .clone()
+            .access(grid.service(0, 1), &ctx(&faults))
+            .unwrap();
+        assert!(reply.remote.is_none());
+        assert_eq!(server.requests_served(), before + 1);
+        server.stop();
+    }
+
+    #[test]
+    fn op_trace_dumps_the_server_journal_over_the_wire() {
+        let mut server = SourceServer::serve(provider(), 0).unwrap();
+        let backend = TcpBackend::new(server.addr().to_string());
+        let grid = grid();
+        let faults = FaultConfig::disabled();
+        backend.access(grid.service(0, 0), &ctx(&faults)).unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        wire::write_frame(&mut s, &[wire::OP_TRACE]).unwrap();
+        let frame = wire::read_frame(&mut s).unwrap();
+        let text = String::from_utf8(frame).expect("journal dump is UTF-8");
+        assert_eq!(text, server.journal().render_text());
+        assert!(text.starts_with("source-server spans: total 1"), "{text}");
+        assert!(text.contains("source=v1"), "{text}");
+        assert!(text.contains("run=0 plan=0 attempt=0"), "{text}");
+        // The dump is not a scan: the served counter is untouched.
+        assert_eq!(server.requests_served(), 1);
+        server.stop();
+    }
+
+    #[test]
+    fn server_journal_drops_oldest_beyond_the_cap() {
+        let journal = ServerJournal::default();
+        for i in 0..SERVER_JOURNAL_CAP as u64 + 3 {
+            journal.push(ServerSpanEntry {
+                request_seq: i + 1,
+                source: "v1".into(),
+                pattern: "scan".into(),
+                ctx: None,
+                recv_parse: 0.0,
+                lookup: 0.0,
+                encode: 0.0,
+                total: 0.0,
+            });
+        }
+        let entries = journal.entries();
+        assert_eq!(entries.len(), SERVER_JOURNAL_CAP);
+        assert_eq!(entries[0].request_seq, 4, "oldest three dropped");
+        assert_eq!(journal.total(), SERVER_JOURNAL_CAP as u64 + 3);
+        let text = journal.render_text();
+        assert!(
+            text.starts_with(&format!(
+                "source-server spans: total {}, retained {SERVER_JOURNAL_CAP}",
+                SERVER_JOURNAL_CAP + 3
+            )),
+            "{text}"
+        );
     }
 }

@@ -260,6 +260,7 @@ impl SourceBackend for StoreBackend {
                     latency,
                 },
                 tuples: Some(tuples),
+                remote: None,
             }),
             None => Err(BackendError::permanent(format!(
                 "source `{}` not in store {}",
@@ -388,6 +389,7 @@ mod tests {
         let faults = FaultConfig::disabled();
         let ctx = AccessContext {
             pattern: SCAN_PATTERN,
+            run: 0,
             plan_seq: 0,
             attempt: 0,
             faults: &faults,

@@ -52,6 +52,17 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 /// exists so bound accesses can join the protocol without re-framing).
 pub const OP_SCAN: u8 = 1;
 
+/// Protocol opcode for a server-journal dump request. The payload is the
+/// single opcode byte; the response is one raw UTF-8 text frame (not a
+/// [`Response`]) rendering the server's bounded span journal.
+pub const OP_TRACE: u8 = 2;
+
+/// Extension tag for a request's [`TraceContext`] block.
+pub const EXT_TRACE_CONTEXT: u8 = 0x10;
+
+/// Extension tag for a response's [`ServerSpan`] block.
+pub const EXT_SERVER_SPAN: u8 = 0x11;
+
 /// What went wrong decoding a payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -107,6 +118,44 @@ pub enum Response {
     Error(String),
 }
 
+/// Client trace context propagated on a request as an optional trailing
+/// extension block (tag [`EXT_TRACE_CONTEXT`]): which run, plan, and
+/// attempt this access serves. Servers echo it into their own journal and
+/// — only when it is present — attach a [`ServerSpan`] to the response,
+/// so legacy clients receive byte-identical responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Client-process run identifier (not journalled; disambiguates
+    /// concurrent runs in the *server's* journal only).
+    pub run: u64,
+    /// Emission sequence number of the plan the access serves.
+    pub plan_seq: u64,
+    /// Catalog name of the source being accessed.
+    pub source: String,
+    /// 1-based attempt number within the access retry chain.
+    pub attempt: u32,
+}
+
+/// Server-side span block riding a response as an optional trailing
+/// extension (tag [`EXT_SERVER_SPAN`]): how the server spent its wall
+/// time on this request, plus its monotone request counter. All phase
+/// durations are wall-clock seconds encoded as `f64::to_bits` big-endian;
+/// the server clamps `total ≥ recv_parse + lookup + encode` at
+/// construction so decoded blocks always attribute soundly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerSpan {
+    /// Frame receive + request parse time (seconds).
+    pub recv_parse: f64,
+    /// Provider lookup time: store index probe or mem scan (seconds).
+    pub lookup: f64,
+    /// Row encode time (seconds).
+    pub encode: f64,
+    /// Total server residence time, `≥` the phase sum (seconds).
+    pub total: f64,
+    /// The server's monotone request counter at this request.
+    pub request_seq: u64,
+}
+
 /// Bounds-checked little reader over a payload.
 struct Reader<'a> {
     buf: &'a [u8],
@@ -157,6 +206,10 @@ impl<'a> Reader<'a> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Utf8)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn finish(self) -> Result<(), WireError> {
@@ -217,18 +270,24 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
     Ok(out)
 }
 
-/// Decodes a request payload, rejecting unknown opcodes, truncation, and
-/// trailing bytes.
-pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
-    let mut r = Reader::new(payload);
+fn read_request_body(r: &mut Reader<'_>) -> Result<Request, WireError> {
     match r.u8()? {
         OP_SCAN => {}
         op => return Err(WireError::BadOp(op)),
     }
     let source = r.string()?;
     let pattern = r.string()?;
-    r.finish()?;
     Ok(Request { source, pattern })
+}
+
+/// Decodes a request payload, rejecting unknown opcodes, truncation, and
+/// trailing bytes (extension blocks included — this is the strict legacy
+/// decoder; see [`decode_request_ext`]).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let req = read_request_body(&mut r)?;
+    r.finish()?;
+    Ok(req)
 }
 
 /// Encodes a response payload (no frame prefix). `epoch` is the server's
@@ -259,10 +318,7 @@ pub fn encode_response(resp: &Response, epoch: u64) -> Result<Vec<u8>, WireError
     Ok(out)
 }
 
-/// Decodes a response payload into `(response, server epoch)`, rejecting
-/// unknown statuses, truncation, and trailing bytes.
-pub fn decode_response(payload: &[u8]) -> Result<(Response, u64), WireError> {
-    let mut r = Reader::new(payload);
+fn read_response_body(r: &mut Reader<'_>) -> Result<(Response, u64), WireError> {
     let status = r.u8()?;
     if status > 2 {
         return Err(WireError::BadStatus(status));
@@ -276,7 +332,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(Response, u64), WireError> {
             }
             let mut rows = Vec::with_capacity(count.min(4096));
             for _ in 0..count {
-                rows.push(read_tuple(&mut r)?);
+                rows.push(read_tuple(r)?);
             }
             Response::Rows(rows)
         }
@@ -284,8 +340,159 @@ pub fn decode_response(payload: &[u8]) -> Result<(Response, u64), WireError> {
         2 => Response::Error(r.string()?),
         s => return Err(WireError::BadStatus(s)),
     };
+    Ok((resp, epoch))
+}
+
+/// Decodes a response payload into `(response, server epoch)`, rejecting
+/// unknown statuses, truncation, and trailing bytes (extension blocks
+/// included — this is the strict legacy decoder; see
+/// [`decode_response_ext`]).
+pub fn decode_response(payload: &[u8]) -> Result<(Response, u64), WireError> {
+    let mut r = Reader::new(payload);
+    let (resp, epoch) = read_response_body(&mut r)?;
     r.finish()?;
     Ok((resp, epoch))
+}
+
+// ---------------------------------------------------------------------
+// Extension blocks: optional, length-prefixed, order-independent blobs
+// trailing a message body — `[u8 tag][u16 len][len bytes]` each. Strict
+// decoders reject them as trailing bytes (the legacy behavior the
+// interop tests pin); the `_ext` decoders skip unknown tags, so the
+// protocol can grow without re-framing.
+// ---------------------------------------------------------------------
+
+fn put_ext(out: &mut Vec<u8>, tag: u8, body: &[u8]) -> Result<(), WireError> {
+    let len = u16::try_from(body.len()).map_err(|_| WireError::Oversized(body.len()))?;
+    out.push(tag);
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(body);
+    Ok(())
+}
+
+/// Scans the extension blocks after a message body, returning the bytes
+/// of the first block tagged `want` (unknown tags are skipped; a
+/// truncated block is an error).
+fn find_ext<'a>(r: &mut Reader<'a>, want: u8) -> Result<Option<&'a [u8]>, WireError> {
+    let mut found = None;
+    while r.remaining() > 0 {
+        let tag = r.u8()?;
+        let len = r.u16()? as usize;
+        let body = r.take(len)?;
+        if tag == want && found.is_none() {
+            found = Some(body);
+        }
+    }
+    Ok(found)
+}
+
+/// Appends a [`TraceContext`] extension block to an encoded request
+/// payload.
+pub fn append_trace_context(out: &mut Vec<u8>, ctx: &TraceContext) -> Result<(), WireError> {
+    let mut body = Vec::with_capacity(22 + ctx.source.len());
+    body.extend_from_slice(&ctx.run.to_be_bytes());
+    body.extend_from_slice(&ctx.plan_seq.to_be_bytes());
+    put_string(&mut body, &ctx.source)?;
+    body.extend_from_slice(&ctx.attempt.to_be_bytes());
+    put_ext(out, EXT_TRACE_CONTEXT, &body)
+}
+
+/// Appends a [`ServerSpan`] extension block to an encoded response
+/// payload (the response body is encoded *before* the span exists — the
+/// encode phase is part of what the span times — so the block is
+/// appended, never interleaved).
+pub fn append_server_span(out: &mut Vec<u8>, span: &ServerSpan) -> Result<(), WireError> {
+    let mut body = Vec::with_capacity(40);
+    for v in [span.recv_parse, span.lookup, span.encode, span.total] {
+        body.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+    body.extend_from_slice(&span.request_seq.to_be_bytes());
+    put_ext(out, EXT_SERVER_SPAN, &body)
+}
+
+/// [`encode_request`] plus an optional trace-context extension block
+/// (`None` produces the legacy bytes exactly).
+pub fn encode_request_with(
+    req: &Request,
+    ctx: Option<&TraceContext>,
+) -> Result<Vec<u8>, WireError> {
+    let mut out = encode_request(req)?;
+    if let Some(ctx) = ctx {
+        append_trace_context(&mut out, ctx)?;
+    }
+    Ok(out)
+}
+
+/// [`encode_response`] plus an optional server-span extension block
+/// (`None` produces the legacy bytes exactly).
+pub fn encode_response_with(
+    resp: &Response,
+    epoch: u64,
+    span: Option<&ServerSpan>,
+) -> Result<Vec<u8>, WireError> {
+    let mut out = encode_response(resp, epoch)?;
+    if let Some(span) = span {
+        append_server_span(&mut out, span)?;
+    }
+    Ok(out)
+}
+
+/// Decodes a request and its optional [`TraceContext`]. A legacy payload
+/// (no extension blocks) decodes with `None`; unknown extension tags are
+/// skipped.
+pub fn decode_request_ext(payload: &[u8]) -> Result<(Request, Option<TraceContext>), WireError> {
+    let mut r = Reader::new(payload);
+    let req = read_request_body(&mut r)?;
+    let ctx = match find_ext(&mut r, EXT_TRACE_CONTEXT)? {
+        None => None,
+        Some(body) => {
+            let mut b = Reader::new(body);
+            let run = b.u64()?;
+            let plan_seq = b.u64()?;
+            let source = b.string()?;
+            let attempt = b.u32()?;
+            b.finish()?;
+            Some(TraceContext {
+                run,
+                plan_seq,
+                source,
+                attempt,
+            })
+        }
+    };
+    r.finish()?;
+    Ok((req, ctx))
+}
+
+/// Decodes a response, its epoch, and its optional [`ServerSpan`]. A
+/// legacy payload (no extension blocks) decodes with `None`; unknown
+/// extension tags are skipped.
+pub fn decode_response_ext(
+    payload: &[u8],
+) -> Result<(Response, u64, Option<ServerSpan>), WireError> {
+    let mut r = Reader::new(payload);
+    let (resp, epoch) = read_response_body(&mut r)?;
+    let span = match find_ext(&mut r, EXT_SERVER_SPAN)? {
+        None => None,
+        Some(body) => {
+            let mut b = Reader::new(body);
+            let recv_parse = f64::from_bits(b.u64()?);
+            let lookup = f64::from_bits(b.u64()?);
+            let encode = f64::from_bits(b.u64()?);
+            let total = f64::from_bits(b.u64()?);
+            let request_seq = b.u64()?;
+            b.finish()?;
+            Some(ServerSpan {
+                recv_parse,
+                lookup,
+                encode,
+                total,
+                request_seq,
+            })
+        }
+    };
+    r.finish()?;
+    Ok((resp, epoch, span))
 }
 
 /// Encodes one named relation — the record format of the store's log
@@ -487,5 +694,93 @@ mod tests {
             encode_request(&req).unwrap_err(),
             WireError::Oversized(70_000)
         ));
+    }
+
+    fn ctx() -> TraceContext {
+        TraceContext {
+            run: 7,
+            plan_seq: 3,
+            source: "v2".into(),
+            attempt: 2,
+        }
+    }
+
+    fn span() -> ServerSpan {
+        ServerSpan {
+            recv_parse: 1e-5,
+            lookup: 3e-5,
+            encode: 2e-5,
+            total: 9e-5,
+            request_seq: 41,
+        }
+    }
+
+    #[test]
+    fn trace_context_rides_a_request_and_legacy_requests_decode_without_one() {
+        let req = Request {
+            source: "v2".into(),
+            pattern: "scan".into(),
+        };
+        let bytes = encode_request_with(&req, Some(&ctx())).unwrap();
+        assert_eq!(
+            decode_request_ext(&bytes).unwrap(),
+            (req.clone(), Some(ctx()))
+        );
+        // The strict legacy decoder sees the block as trailing bytes —
+        // exactly how an old server reports an extended request.
+        assert!(matches!(
+            decode_request(&bytes).unwrap_err(),
+            WireError::TrailingBytes(_)
+        ));
+        // No context: the bytes are the legacy bytes, both decoders agree.
+        let plain = encode_request_with(&req, None).unwrap();
+        assert_eq!(plain, encode_request(&req).unwrap());
+        assert_eq!(decode_request_ext(&plain).unwrap(), (req, None));
+    }
+
+    #[test]
+    fn server_span_rides_a_response_and_legacy_responses_decode_without_one() {
+        let resp = Response::Rows(vec![row(&[1, 2])]);
+        let bytes = encode_response_with(&resp, 5, Some(&span())).unwrap();
+        assert_eq!(
+            decode_response_ext(&bytes).unwrap(),
+            (resp.clone(), 5, Some(span()))
+        );
+        assert!(matches!(
+            decode_response(&bytes).unwrap_err(),
+            WireError::TrailingBytes(_)
+        ));
+        let plain = encode_response_with(&resp, 5, None).unwrap();
+        assert_eq!(plain, encode_response(&resp, 5).unwrap());
+        assert_eq!(decode_response_ext(&plain).unwrap(), (resp, 5, None));
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_skipped_not_rejected() {
+        let resp = Response::Error("x".into());
+        let mut bytes = encode_response(&resp, 1).unwrap();
+        // A future extension this decoder has never heard of…
+        bytes.push(0xEE);
+        bytes.extend_from_slice(&3u16.to_be_bytes());
+        bytes.extend_from_slice(&[9, 9, 9]);
+        // …then a span block after it.
+        append_server_span(&mut bytes, &span()).unwrap();
+        assert_eq!(
+            decode_response_ext(&bytes).unwrap(),
+            (resp, 1, Some(span()))
+        );
+    }
+
+    #[test]
+    fn truncated_extension_blocks_error_cleanly() {
+        let req = Request {
+            source: "v1".into(),
+            pattern: "scan".into(),
+        };
+        let bytes = encode_request_with(&req, Some(&ctx())).unwrap();
+        let base = encode_request(&req).unwrap().len();
+        for cut in base + 1..bytes.len() {
+            assert!(decode_request_ext(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

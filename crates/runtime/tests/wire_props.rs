@@ -5,8 +5,9 @@
 use proptest::prelude::*;
 use qpo_datalog::{Constant, Tuple};
 use qpo_runtime::wire::{
-    decode_relation, decode_request, decode_response, encode_relation, encode_request,
-    encode_response, read_frame, write_frame, Request, Response,
+    decode_relation, decode_request, decode_request_ext, decode_response, decode_response_ext,
+    encode_relation, encode_request, encode_request_with, encode_response, encode_response_with,
+    read_frame, write_frame, Request, Response, ServerSpan, TraceContext,
 };
 
 /// An ASCII identifier-ish string (the shim has no regex strategies).
@@ -39,6 +40,41 @@ fn arb_response() -> impl Strategy<Value = Response> {
         arb_name(20).prop_map(Response::UnknownSource).boxed(),
         arb_name(20).prop_map(Response::Error).boxed(),
     ]
+}
+
+fn arb_trace_context() -> impl Strategy<Value = TraceContext> {
+    (any::<u64>(), any::<u64>(), arb_name(16), any::<u32>()).prop_map(
+        |(run, plan_seq, source, attempt)| TraceContext {
+            run,
+            plan_seq,
+            source,
+            attempt,
+        },
+    )
+}
+
+/// Finite non-negative phase times, the only values servers measure.
+fn arb_phase() -> impl Strategy<Value = f64> {
+    (0u32..1_000_000).prop_map(|micros| f64::from(micros) * 1e-6)
+}
+
+fn arb_server_span() -> impl Strategy<Value = ServerSpan> {
+    (
+        arb_phase(),
+        arb_phase(),
+        arb_phase(),
+        arb_phase(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(recv_parse, lookup, encode, slack, request_seq)| ServerSpan {
+                recv_parse,
+                lookup,
+                encode,
+                total: recv_parse + lookup + encode + slack,
+                request_seq,
+            },
+        )
 }
 
 proptest! {
@@ -100,5 +136,58 @@ proptest! {
         if cut < bytes.len() {
             prop_assert!(decode_response(&bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn traced_requests_round_trip_and_strict_decoders_reject_them(
+        req in arb_request(),
+        ctx in arb_trace_context(),
+    ) {
+        let bytes = encode_request_with(&req, Some(&ctx)).expect("encodes");
+        let (got, got_ctx) = decode_request_ext(&bytes).expect("decodes");
+        prop_assert_eq!(got, req.clone());
+        prop_assert_eq!(got_ctx, Some(ctx));
+        // A legacy (strict) server sees the context as trailing bytes —
+        // the downgrade signal the client latches on.
+        prop_assert!(decode_request(&bytes).is_err());
+        // And a plain request decodes through the ext path with no
+        // context, so tracing servers accept legacy clients unchanged.
+        let plain = encode_request(&req).expect("encodes");
+        prop_assert_eq!(decode_request_ext(&plain).expect("decodes"), (req, None));
+    }
+
+    #[test]
+    fn span_block_responses_round_trip_bit_exactly(
+        resp in arb_response(),
+        epoch in any::<u64>(),
+        span in arb_server_span(),
+    ) {
+        let bytes = encode_response_with(&resp, epoch, Some(&span)).expect("encodes");
+        let (got, got_epoch, got_span) = decode_response_ext(&bytes).expect("decodes");
+        prop_assert_eq!(got, resp.clone());
+        prop_assert_eq!(got_epoch, epoch);
+        let got_span = got_span.expect("span rides along");
+        // f64 phases travel as to_bits, so equality is exact.
+        prop_assert_eq!(got_span.recv_parse.to_bits(), span.recv_parse.to_bits());
+        prop_assert_eq!(got_span.lookup.to_bits(), span.lookup.to_bits());
+        prop_assert_eq!(got_span.encode.to_bits(), span.encode.to_bits());
+        prop_assert_eq!(got_span.total.to_bits(), span.total.to_bits());
+        prop_assert_eq!(got_span.request_seq, span.request_seq);
+        // The strict decoder rejects the extended payload rather than
+        // misreading it.
+        prop_assert!(decode_response(&bytes).is_err());
+    }
+
+    #[test]
+    fn legacy_responses_decode_through_the_ext_path(
+        resp in arb_response(),
+        epoch in any::<u64>(),
+    ) {
+        // A legacy server's plain response must decode on a tracing
+        // client with no span — the graceful-degradation contract.
+        let bytes = encode_response(&resp, epoch).expect("encodes");
+        let (got, got_epoch, span) = decode_response_ext(&bytes).expect("decodes");
+        prop_assert_eq!((got, got_epoch), (resp, epoch));
+        prop_assert!(span.is_none());
     }
 }

@@ -37,6 +37,16 @@ for _ in $(seq 1 50); do
 done
 [[ -s "$addr_file" ]] || { echo "qpo-source-server never reported an address"; exit 1; }
 QPO_SOURCE_SERVER_ADDR="$(cat "$addr_file")" cargo test -q -p qpo-exec --test backends
+
+echo "==> distributed-tracing gate (traced run against the live server, validated end to end)"
+cargo build --release -p qpo-bench --bin bench-backends --bin trace-validate
+remote_trace="$(mktemp /tmp/qpo-remote-trace.XXXXXX.jsonl)"
+./target/release/bench-backends --smoke --tcp-addr "$(cat "$addr_file")" --trace "$remote_trace"
+./target/release/trace-validate "$remote_trace"
+rm -f "$remote_trace"
+server_dump="$(./target/release/qpo-source-server --metrics "$(cat "$addr_file")")"
+[[ -n "$server_dump" ]] || { echo "server span journal is empty after a traced run"; exit 1; }
+echo "$server_dump" | tail -n 3
 kill "$server_pid" 2>/dev/null || true
 rm -f "$addr_file"
 
